@@ -1,0 +1,72 @@
+//! Criterion benches: behavioural macro operations (the workloads behind
+//! Figs. 3/6/8/9).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fefet_device::variation::{VariationParams, VariationSampler};
+use imc_core::array::{ChgFeMacro, CurFeMacro};
+use imc_core::chgfe::ChgFeBlockPair;
+use imc_core::config::{ChgFeConfig, CurFeConfig};
+use imc_core::curfe::CurFeBlockPair;
+use imc_core::weights::InputPrecision;
+
+fn bench_block_program(c: &mut Criterion) {
+    let ccfg = CurFeConfig::paper();
+    let qcfg = ChgFeConfig::paper();
+    let weights: Vec<i8> = (0..32).map(|i| (i * 7 - 100) as i8).collect();
+    c.bench_function("curfe_block_program_32w", |b| {
+        b.iter_batched(
+            || VariationSampler::new(VariationParams::paper(), 1),
+            |mut s| CurFeBlockPair::program(&ccfg, &weights, &mut s),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("chgfe_block_program_32w", |b| {
+        b.iter_batched(
+            || VariationSampler::new(VariationParams::paper(), 1),
+            |mut s| ChgFeBlockPair::program(&qcfg, &weights, &mut s),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_partial_mac(c: &mut Criterion) {
+    let ccfg = CurFeConfig::paper();
+    let qcfg = ChgFeConfig::paper();
+    let weights: Vec<i8> = (0..32).map(|i| (i * 7 - 100) as i8).collect();
+    let active: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+    let mut s = VariationSampler::new(VariationParams::paper(), 1);
+    let cur = CurFeBlockPair::program(&ccfg, &weights, &mut s);
+    let chg = ChgFeBlockPair::program(&qcfg, &weights, &mut s);
+    c.bench_function("curfe_partial_mac_cycle", |b| {
+        b.iter(|| cur.partial_mac(std::hint::black_box(&active)));
+    });
+    c.bench_function("chgfe_partial_mac_cycle", |b| {
+        b.iter(|| chg.partial_mac(std::hint::black_box(&active)));
+    });
+}
+
+fn bench_full_macro_mac(c: &mut Criterion) {
+    let weights: Vec<i8> = (0..32).map(|i| (i * 7 - 100) as i8).collect();
+    let inputs: Vec<u32> = (0..32).map(|i| (i as u32 * 5) % 16).collect();
+    let mut cur = CurFeMacro::paper(1);
+    cur.program_bank(0, 0, &weights);
+    let mut chg = ChgFeMacro::paper(1);
+    chg.program_bank(0, 0, &weights);
+    let p = InputPrecision::new(4);
+    c.bench_function("curfe_macro_mac_4bit", |b| {
+        b.iter(|| cur.mac(0, 0, std::hint::black_box(&inputs), p));
+    });
+    c.bench_function("chgfe_macro_mac_4bit", |b| {
+        b.iter(|| chg.mac(0, 0, std::hint::black_box(&inputs), p));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_block_program, bench_partial_mac, bench_full_macro_mac
+}
+criterion_main!(benches);

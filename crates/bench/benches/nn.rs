@@ -1,0 +1,51 @@
+//! Criterion benches: neural-network kernels (the Fig. 10 workload) and
+//! the system-level estimator (Figs. 11/12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neural::imc_exec::{ImcConfig, ImcDesign, QNetwork};
+use neural::models::{resnet18_shapes, vgg8};
+use neural::tensor::{matmul, matmul_parallel, Tensor};
+use system_perf::chip::{evaluate, Design, SystemConfig};
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::from_vec(&[128, 256], (0..128 * 256).map(|i| (i % 97) as f32 * 0.01).collect());
+    let b = Tensor::from_vec(&[256, 64], (0..256 * 64).map(|i| (i % 89) as f32 * 0.02).collect());
+    c.bench_function("matmul_128x256x64", |bch| {
+        bch.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)));
+    });
+    c.bench_function("matmul_parallel_128x256x64", |bch| {
+        bch.iter(|| matmul_parallel(std::hint::black_box(&a), std::hint::black_box(&b), 4));
+    });
+}
+
+fn bench_vgg8_forward(c: &mut Criterion) {
+    let mut net = vgg8(10, 8, 1);
+    let x = Tensor::full(&[1, 3, 32, 32], 0.5);
+    c.bench_function("vgg8_w8_float_forward", |b| {
+        use neural::layers::Layer;
+        b.iter(|| net.forward(std::hint::black_box(&x), false));
+    });
+    let net2 = vgg8(10, 8, 1);
+    let q = QNetwork::from_sequential(&net2, ImcConfig::paper(ImcDesign::CurFe, 4, 8));
+    c.bench_function("vgg8_w8_imc_forward", |b| {
+        b.iter(|| q.forward(std::hint::black_box(&x)));
+    });
+}
+
+fn bench_system_eval(c: &mut Criterion) {
+    let shapes = resnet18_shapes(224, 1000);
+    let cfg = SystemConfig::paper(Design::ChgFe, 4, 8);
+    c.bench_function("system_eval_resnet18_imagenet", |b| {
+        b.iter(|| evaluate(std::hint::black_box(&shapes), &cfg));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_matmul, bench_vgg8_forward, bench_system_eval
+}
+criterion_main!(benches);

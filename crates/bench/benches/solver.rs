@@ -1,0 +1,44 @@
+//! Criterion benches: the MNA solver on the paper's validation circuits
+//! (Figs. 3 and 6).
+
+use analog_sim::dc::{op, NewtonOptions};
+use analog_sim::transient::{transient, TransientOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fefet_device::variation::{VariationParams, VariationSampler};
+use imc_core::circuit::{chgfe_row_circuit, curfe_row_circuit};
+use imc_core::config::{ChgFeConfig, CurFeConfig};
+
+fn bench_dc(c: &mut Criterion) {
+    let cfg = CurFeConfig::paper();
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let circ = curfe_row_circuit(&cfg, -1, &mut s);
+    c.bench_function("curfe_row_dc_op", |b| {
+        b.iter(|| op(&circ.netlist, false, &NewtonOptions::default()).expect("converges"));
+    });
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let ccfg = CurFeConfig::paper();
+    let qcfg = ChgFeConfig::paper();
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let cur = curfe_row_circuit(&ccfg, -1, &mut s);
+    let chg = chgfe_row_circuit(&qcfg, -1, &mut s);
+    c.bench_function("curfe_row_transient_fig3", |b| {
+        b.iter(|| transient(&cur.netlist, &TransientOptions::new(cur.t_stop, 400)).expect("ok"));
+    });
+    c.bench_function("chgfe_row_transient_fig6", |b| {
+        b.iter(|| {
+            transient(&chg.netlist, &TransientOptions::new(chg.t_stop, 700).with_ic()).expect("ok")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_dc, bench_transient
+}
+criterion_main!(benches);

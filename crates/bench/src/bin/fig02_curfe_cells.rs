@@ -1,0 +1,46 @@
+//! Fig. 2(f): I_D–V_G transfer curves of the CurFe cells cell0–cell7.
+//!
+//! The binary-weighted drain resistors clamp the ON currents to
+//! 100/200/400/800 nA; the sign cell (cell7) conducts in the opposite
+//! direction.
+
+use fefet_device::variation::{VariationParams, VariationSampler};
+use imc_core::cell::CurFeCell;
+use imc_core::config::CurFeConfig;
+
+fn main() {
+    println!("=== Fig. 2(f): CurFe cell0-cell7 transfer curves ===\n");
+    let cfg = CurFeConfig::paper();
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    println!("{:>8} {:>12} {:>14} {:>14}", "cell", "R_drain", "I_on (A)", "target (A)");
+    for col in 0..8usize {
+        let (j, v_sl, v_gate) = if col < 4 {
+            (col, 0.0, cfg.v_wl)
+        } else if col < 7 {
+            (col - 4, 0.0, cfg.v_wl)
+        } else {
+            (3, cfg.vdd_i, cfg.v_wls)
+        };
+        let cell = CurFeCell::program(cfg.fefet, &cfg.slc, true, cfg.drain_resistance(j), &mut s);
+        let i = cell.current(cfg.v_cm, v_sl, v_gate, true);
+        let target = if col == 7 {
+            -(cfg.vdd_i - cfg.v_cm) / cfg.drain_resistance(3)
+        } else {
+            cfg.unit_current() * f64::from(1u32 << j)
+        };
+        println!("{col:>8} {:>12.3e} {i:>14.4e} {target:>14.4e}", cfg.drain_resistance(j));
+    }
+    println!("\nGate sweep of cell0 ('1' vs '0'):");
+    for bit in [true, false] {
+        let cell = CurFeCell::program(cfg.fefet, &cfg.slc, bit, cfg.r_base, &mut s);
+        let series: Vec<(f64, f64)> = (0..=14)
+            .map(|k| {
+                let vg = 0.2 + 0.1 * f64::from(k);
+                (vg, cell.current(cfg.v_cm, 0.0, vg, true))
+            })
+            .collect();
+        println!("{}", imc_bench::series_table(
+            &format!("cell0 bit={}", u8::from(bit)), "Vg (V)", "I (A)", &series));
+    }
+    println!("Expected: binary-weighted ON plateaus (resistor-limited), cell7 negative.");
+}

@@ -1,0 +1,39 @@
+//! Fig. 6: multiplication of a 1-bit input and the 8-bit weight
+//! 0b1111_1111 in ChgFe — pre-charge, binary-weighted discharge, and
+//! charge-sharing transient of one row slice.
+
+use analog_sim::transient::{transient, TransientOptions};
+use fefet_device::variation::{VariationParams, VariationSampler};
+use imc_core::circuit::chgfe_row_circuit;
+use imc_core::config::ChgFeConfig;
+
+fn main() {
+    println!("=== Fig. 6: ChgFe 1b x 8b multiplication transient ===\n");
+    let cfg = ChgFeConfig::paper();
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let c = chgfe_row_circuit(&cfg, -1, &mut s);
+    let w = transient(&c.netlist, &TransientOptions::new(c.t_stop, 700).with_ic())
+        .expect("transient converges");
+    let pts = 50;
+    for (label, node) in [("BL0", c.bl[0]), ("BL3", c.bl[3]), ("BL7 (sign)", c.bl[7])] {
+        let series: Vec<(f64, f64)> = (0..=pts)
+            .map(|k| {
+                let t = c.t_stop * f64::from(k) / f64::from(pts);
+                (t * 1e9, w.voltage(node, t).unwrap_or(f64::NAN))
+            })
+            .collect();
+        println!("{}", imc_bench::series_table(label, "t (ns)", "V (V)", &series));
+    }
+    let dv = cfg.unit_delta_v();
+    let t_after = c.t_input_end + 0.02e-9;
+    println!("Bitline excursions after the 0.5 ns input window (units of {dv:.2e} V):");
+    for (i, bl) in c.bl.iter().enumerate() {
+        let v = w.voltage(*bl, t_after).expect("in range");
+        println!("  BL{i}: dV = {:+.3} units", (v - cfg.v_pre) / dv);
+    }
+    let v_l4 = w.final_voltage(c.bl[0]);
+    let v_h4 = w.final_voltage(c.bl[4]);
+    println!("\nAfter charge sharing (/4, Eq. 5/6):");
+    println!("{}", imc_bench::compare_row("V_L4 units (15 expected)", (cfg.v_pre - v_l4) / dv * 4.0, 15.0));
+    println!("{}", imc_bench::compare_row("V_H4 units (-1 expected)", (cfg.v_pre - v_h4) / dv * 4.0, -1.0));
+}

@@ -1,0 +1,34 @@
+//! Fig. 11: system-level performance of CurFe/ChgFe on ResNet18 for the
+//! CIFAR10-like and ImageNet-like workloads, across input/weight
+//! precision: energy efficiency, throughput (FPS), and area.
+
+use neural::models::resnet18_shapes;
+use system_perf::chip::{evaluate, Design, SystemConfig};
+use system_perf::report::{sweep_table, SweepRow};
+
+fn main() {
+    println!("=== Fig. 11: system performance, ResNet18 ===\n");
+    for (ds_name, hw, classes) in [("CIFAR10-like", 32usize, 10usize), ("ImageNet-like", 224, 1000)] {
+        let shapes = resnet18_shapes(hw, classes);
+        for design in [Design::CurFe, Design::ChgFe] {
+            let mut rows = Vec::new();
+            for (ib, wb) in [(1u32, 4u32), (2, 4), (4, 4), (8, 4), (4, 8), (8, 8)] {
+                let r = evaluate(&shapes, &SystemConfig::paper(design, ib, wb));
+                rows.push(SweepRow {
+                    precision: (ib, wb),
+                    tops_per_watt: r.tops_per_watt,
+                    fps: r.fps,
+                    area_mm2: r.area_mm2,
+                });
+            }
+            println!("--- {ds_name}, {design:?} ---");
+            println!("{}", sweep_table(&rows));
+        }
+    }
+    let cur = evaluate(&resnet18_shapes(32, 10), &SystemConfig::paper(Design::CurFe, 4, 8));
+    let chg = evaluate(&resnet18_shapes(32, 10), &SystemConfig::paper(Design::ChgFe, 4, 8));
+    println!("Anchors (CIFAR10-ResNet18 @4b-IN/8b-W):");
+    println!("{}", imc_bench::compare_row("CurFe system TOPS/W", cur.tops_per_watt, 12.41));
+    println!("{}", imc_bench::compare_row("ChgFe system TOPS/W", chg.tops_per_watt, 12.92));
+    println!("\nExpected: ChgFe higher efficiency, CurFe higher throughput, similar area.");
+}

@@ -1,0 +1,18 @@
+//! Fig. 12: per-layer dynamic energy and latency breakdown of
+//! ResNet18 on the ImageNet-like workload at 4-bit input / 4-bit weight.
+
+use neural::models::resnet18_shapes;
+use system_perf::chip::{evaluate, Design, SystemConfig};
+use system_perf::report::layer_breakdown_table;
+
+fn main() {
+    println!("=== Fig. 12: ResNet18-ImageNet layer breakdown (4b-IN / 4b-W) ===\n");
+    let shapes = resnet18_shapes(224, 1000);
+    for design in [Design::CurFe, Design::ChgFe] {
+        let r = evaluate(&shapes, &SystemConfig::paper(design, 4, 4));
+        println!("--- {design:?} ---");
+        println!("{}", layer_breakdown_table(&r));
+    }
+    println!("Expected shape: the high-resolution early layers dominate latency; the wide");
+    println!("late layers dominate macro count; ChgFe trades lower energy for longer latency.");
+}

@@ -1,0 +1,87 @@
+//! Runs every cheap experiment in-process and writes a machine-readable
+//! `results.json` summary (paper anchor vs measured) — the artifact
+//! behind EXPERIMENTS.md. The two training-based experiments (Fig. 10 and
+//! the variation ablation) are skipped here; run their binaries directly.
+
+use imc_baselines::analog::AnalogShiftAddModel;
+use imc_baselines::digital::DigitalShiftAddModel;
+use imc_baselines::sota::headline_ratios;
+use imc_core::energy::{Activity, ChgFeEnergyModel, CurFeEnergyModel, WeightBits};
+use neural::models::resnet18_shapes;
+use serde::Serialize;
+use system_perf::chip::{evaluate, Design, SystemConfig};
+
+#[derive(Serialize)]
+struct Anchor {
+    experiment: &'static str,
+    quantity: &'static str,
+    paper: f64,
+    measured: f64,
+    ratio: f64,
+}
+
+fn anchor(experiment: &'static str, quantity: &'static str, paper: f64, measured: f64) -> Anchor {
+    Anchor {
+        experiment,
+        quantity,
+        paper,
+        measured,
+        ratio: measured / paper,
+    }
+}
+
+fn main() {
+    let a = Activity::average();
+    let cur = CurFeEnergyModel::paper();
+    let chg = ChgFeEnergyModel::paper();
+    let shapes = resnet18_shapes(32, 10);
+    let sys_cur = evaluate(&shapes, &SystemConfig::paper(Design::CurFe, 4, 8));
+    let sys_chg = evaluate(&shapes, &SystemConfig::paper(Design::ChgFe, 4, 8));
+    let ratios = headline_ratios();
+
+    // Fig. 3 anchors via the behavioural bank.
+    let (i_h4, i_l4) = {
+        use fefet_device::variation::{VariationParams, VariationSampler};
+        use imc_core::config::CurFeConfig;
+        use imc_core::curfe::CurFeBlockPair;
+        let cfg = CurFeConfig::paper();
+        let mut s = VariationSampler::new(VariationParams::none(), 0);
+        let mut w = vec![0i8; 32];
+        w[0] = -1;
+        let bp = CurFeBlockPair::program(&cfg, &w, &mut s);
+        let active: Vec<bool> = (0..32).map(|r| r == 0).collect();
+        bp.block_currents(&active)
+    };
+
+    let anchors = vec![
+        anchor("fig3", "I_H4 (nA)", -100.0, i_h4 * 1e9),
+        anchor("fig3", "I_L4 (uA)", 1.5, i_l4 * 1e6),
+        anchor("fig9/table1", "CurFe circuit TOPS/W @(8b,8b)", 12.18,
+            cur.tops_per_watt(8, WeightBits::W8, a)),
+        anchor("fig9/table1", "ChgFe circuit TOPS/W @(8b,8b)", 14.47,
+            chg.tops_per_watt(8, WeightBits::W8, a)),
+        anchor("fig11/table1", "CurFe system TOPS/W @(4b,8b)", 12.41, sys_cur.tops_per_watt),
+        anchor("fig11/table1", "ChgFe system TOPS/W @(4b,8b)", 12.92, sys_chg.tops_per_watt),
+        anchor("table1", "vs SRAM [10] (tabulated)", 1.56, ratios.vs_sram_circuit),
+        anchor("table1", "vs ReRAM [16] (tabulated)", 2.22, ratios.vs_reram_circuit),
+        anchor("table1", "vs Yue [9] system (tabulated)", 1.37, ratios.vs_yue_system),
+        anchor("ablate_shift_add", "digital baseline TOPS/W @(8b,8b)", 2.7,
+            DigitalShiftAddModel::paper().tops_per_watt(8, WeightBits::W8, a)),
+        anchor("ablate_shift_add", "analog baseline TOPS/W @(8b,8b)", 10.4,
+            AnalogShiftAddModel::paper().tops_per_watt(8, WeightBits::W8, a)),
+    ];
+
+    let json = serde_json::to_string_pretty(&anchors).expect("serializes");
+    let path = "results.json";
+    std::fs::write(path, &json).expect("writable working directory");
+    println!("wrote {} anchors to {path}", anchors.len());
+    let mut worst: f64 = 1.0;
+    for an in &anchors {
+        println!(
+            "{:<18} {:<36} paper {:>9.3}  measured {:>9.3}  ratio {:>5.2}",
+            an.experiment, an.quantity, an.paper, an.measured, an.ratio
+        );
+        worst = worst.max((an.ratio - 1.0).abs() + 1.0);
+    }
+    println!("\nworst |ratio-1|: {:.3}", worst - 1.0);
+}

@@ -1,0 +1,134 @@
+//! The accumulation module: combines the 2CM/N2CM ADC results of a bank
+//! into the 8-bit-weight MAC, and performs the bit-serial shift-add over
+//! multi-bit inputs.
+//!
+//! The weight shift-add happened *inside the array* (that is the paper's
+//! contribution); what remains digital is:
+//!
+//! 1. `MAC_w8 = 16·H4B_code_units + L4B_code_units` (one adder), and
+//! 2. `MAC = Σ_t 2^t · MAC_t` over the serial input bits `t`.
+
+use crate::weights::InputPrecision;
+use serde::{Deserialize, Serialize};
+
+/// Combines one cycle's H4B/L4B dequantized unit counts into the 8-bit
+/// weight MAC value (in weight-LSB units).
+#[must_use]
+pub fn combine_nibbles(h4_units: f64, l4_units: f64) -> f64 {
+    16.0 * h4_units + l4_units
+}
+
+/// Bit-serial accumulator state for one output channel.
+///
+/// # Example
+///
+/// ```
+/// use imc_core::accumulator::Accumulator;
+/// use imc_core::weights::InputPrecision;
+///
+/// let mut acc = Accumulator::new(InputPrecision::new(4));
+/// // Cycle values for input bits 0..4 (e.g. from the ADCs):
+/// for (t, v) in [10.0, -3.0, 0.0, 5.0].iter().enumerate() {
+///     acc.push(t as u32, *v);
+/// }
+/// // 10·1 − 3·2 + 0·4 + 5·8 = 44.
+/// assert_eq!(acc.value(), 44.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    precision: InputPrecision,
+    acc: f64,
+    seen: u32,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator for the given input precision.
+    #[must_use]
+    pub fn new(precision: InputPrecision) -> Self {
+        Self {
+            precision,
+            acc: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// Adds the cycle result for input bit significance `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside the precision range or pushed twice.
+    pub fn push(&mut self, t: u32, cycle_value: f64) {
+        assert!(t < self.precision.bits(), "bit {t} beyond input precision");
+        assert!(self.seen & (1 << t) == 0, "bit {t} already accumulated");
+        self.seen |= 1 << t;
+        self.acc += cycle_value * f64::from(1u32 << t);
+    }
+
+    /// Whether every bit significance has been accumulated.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.seen == (1u32 << self.precision.bits()) - 1
+    }
+
+    /// The accumulated MAC value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.acc
+    }
+
+    /// Resets for the next MAC.
+    pub fn reset(&mut self) {
+        self.acc = 0.0;
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_matches_weight_split_algebra() {
+        // w = 16·high + low must hold through the combine.
+        assert_eq!(combine_nibbles(-1.0, 15.0), -1.0);
+        assert_eq!(combine_nibbles(-8.0, 0.0), -128.0);
+        assert_eq!(combine_nibbles(7.0, 15.0), 127.0);
+    }
+
+    #[test]
+    fn shift_add_weights_bits_correctly() {
+        let mut acc = Accumulator::new(InputPrecision::new(8));
+        for t in 0..8 {
+            acc.push(t, 1.0);
+        }
+        assert!(acc.is_complete());
+        assert_eq!(acc.value(), 255.0);
+    }
+
+    #[test]
+    fn out_of_order_pushes_are_fine() {
+        let mut a = Accumulator::new(InputPrecision::new(3));
+        a.push(2, 1.0);
+        a.push(0, 1.0);
+        a.push(1, 1.0);
+        assert_eq!(a.value(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already accumulated")]
+    fn double_push_rejected() {
+        let mut a = Accumulator::new(InputPrecision::new(2));
+        a.push(0, 1.0);
+        a.push(0, 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut a = Accumulator::new(InputPrecision::new(2));
+        a.push(0, 3.0);
+        a.reset();
+        assert_eq!(a.value(), 0.0);
+        assert!(!a.is_complete());
+        a.push(0, 1.0); // no double-push panic after reset
+    }
+}

@@ -1,0 +1,372 @@
+//! Behavioural cell models.
+//!
+//! * [`CurFeCell`] — the `1nFeFET1R` cell of CurFe: an SLC FeFET in series
+//!   with a binary-weighted drain resistor. Because the resistor dominates
+//!   the ON impedance, the ON current is `≈ V/R` and nearly immune to
+//!   FeFET V_TH variation (the mechanism behind Fig. 7(a)).
+//! * [`ChgFeCell`] — the MLC `1nFeFET` (bits 0–6) or `1pFeFET` (sign,
+//!   cell 7) of ChgFe: the programmed V_TH sets a binary-weighted
+//!   *saturation current* that (dis)charges the bitline capacitor.
+//!
+//! Both expose their terminal current as a function of the bitline
+//! voltage, which is all the bank models need; the full netlist versions
+//! used in the transient figures live in [`crate::circuit`].
+
+use fefet_device::fefet::{FeFet, FeFetParams, Polarity};
+use fefet_device::programming::{MlcCurrentLadder, SlcStates};
+use fefet_device::variation::VariationSampler;
+
+/// A `1nFeFET1R` cell (CurFe).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurFeCell {
+    fefet: FeFet,
+    /// Stored weight bit.
+    bit: bool,
+    /// Actual drain resistance after mismatch (Ω).
+    r_drain: f64,
+}
+
+impl CurFeCell {
+    /// Creates and programs a cell.
+    ///
+    /// * `bit` — stored weight bit (true = '1' = low V_TH).
+    /// * `r_nominal` — nominal drain resistance for this bit significance.
+    /// * `sampler` — variability source (V_TH offset + resistor mismatch).
+    #[must_use]
+    pub fn program(
+        params: FeFetParams,
+        slc: &SlcStates,
+        bit: bool,
+        r_nominal: f64,
+        sampler: &mut VariationSampler,
+    ) -> Self {
+        let mut fefet = FeFet::new(params, Polarity::N);
+        fefet.set_vth(slc.vth_for(bit) + sampler.vth_offset());
+        Self {
+            fefet,
+            bit,
+            r_drain: r_nominal * sampler.r_factor(),
+        }
+    }
+
+    /// The stored bit.
+    #[must_use]
+    pub fn bit(&self) -> bool {
+        self.bit
+    }
+
+    /// The (mismatched) drain resistance (Ω).
+    #[must_use]
+    pub fn r_drain(&self) -> f64 {
+        self.r_drain
+    }
+
+    /// The FeFET model (with its perturbed V_TH).
+    #[must_use]
+    pub fn fefet(&self) -> &FeFet {
+        &self.fefet
+    }
+
+    /// Solves the series R–FeFET stack for the current flowing *from the
+    /// bitline into the sourceline* (A).
+    ///
+    /// Topology: `BL — R — (drain) FeFET (source) — SL`, gate at `v_wl`
+    /// when the row is activated, 0 V otherwise.
+    ///
+    /// A positive return value means conventional current flows BL → SL
+    /// (the discharge direction for data columns); the sign column with
+    /// `SL = VDD_i > V_BL` naturally yields a negative value.
+    #[must_use]
+    pub fn current(&self, v_bl: f64, v_sl: f64, v_wl: f64, active: bool) -> f64 {
+        let vg = if active { v_wl } else { 0.0 };
+        // Scalar Newton on the mid node voltage v_m (FeFET drain):
+        //   f(v_m) = (v_bl − v_m)/R − I_fet(vg, v_m, v_sl) = 0.
+        let mut v_m = 0.5 * (v_bl + v_sl);
+        for _ in 0..50 {
+            let d = self.fefet.ids(vg, v_m, v_sl);
+            let f = (v_bl - v_m) / self.r_drain - d.ids;
+            let df = -1.0 / self.r_drain - d.d_vd;
+            let step = f / df;
+            v_m -= step.clamp(-0.5, 0.5);
+            if step.abs() < 1e-12 {
+                break;
+            }
+        }
+        (v_bl - v_m) / self.r_drain
+    }
+}
+
+/// Which ChgFe cell flavour: data (nFeFET, discharges the bitline) or sign
+/// (pFeFET, charges the bitline from `VDD_q`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChgFeKind {
+    /// nFeFET data cell at intra-nibble significance 0–2 (or 0–3 in L4B).
+    Data {
+        /// Intra-nibble bit significance (0..4).
+        significance: usize,
+    },
+    /// pFeFET sign cell (`cell7`/`cell3`-equivalent of the H4B).
+    Sign,
+}
+
+/// An MLC ChgFe cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChgFeCell {
+    fefet: FeFet,
+    kind: ChgFeKind,
+    bit: bool,
+}
+
+impl ChgFeCell {
+    /// Creates and programs a data (nFeFET) cell at the given intra-nibble
+    /// bit significance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `significance >= 4`.
+    #[must_use]
+    pub fn program_data(
+        params: FeFetParams,
+        ladder: &MlcCurrentLadder,
+        significance: usize,
+        bit: bool,
+        sampler: &mut VariationSampler,
+    ) -> Self {
+        assert!(significance < 4);
+        let mut fefet = FeFet::new(params, Polarity::N);
+        fefet.set_vth(ladder.vth_for(significance, bit) + sampler.vth_offset());
+        Self {
+            fefet,
+            kind: ChgFeKind::Data { significance },
+            bit,
+        }
+    }
+
+    /// Creates and programs the pFeFET sign cell.
+    ///
+    /// `vth_on`/`vth_off` are the |V_TH| values of the conducting ('1')
+    /// and blocking ('0') states.
+    #[must_use]
+    pub fn program_sign(
+        params: FeFetParams,
+        vth_on: f64,
+        vth_off: f64,
+        bit: bool,
+        sampler: &mut VariationSampler,
+    ) -> Self {
+        let mut fefet = FeFet::new(params, Polarity::P);
+        let target = if bit { vth_on } else { vth_off };
+        fefet.set_vth(target + sampler.vth_offset());
+        Self {
+            fefet,
+            kind: ChgFeKind::Sign,
+            bit,
+        }
+    }
+
+    /// The stored bit.
+    #[must_use]
+    pub fn bit(&self) -> bool {
+        self.bit
+    }
+
+    /// The cell kind.
+    #[must_use]
+    pub fn kind(&self) -> ChgFeKind {
+        self.kind
+    }
+
+    /// The FeFET model.
+    #[must_use]
+    pub fn fefet(&self) -> &FeFet {
+        &self.fefet
+    }
+
+    /// Bitline current (A) at bitline voltage `v_bl`.
+    ///
+    /// `v_gate_on` is the *activated* gate level: the WL read voltage for
+    /// data cells, the WLS active-low level for the sign cell. Inactive
+    /// gates sit at 0 V (data) or `vdd_q` (sign).
+    ///
+    /// Sign convention: **positive discharges** the bitline capacitor
+    /// (data cells), **negative charges** it (the sign cell pulling the
+    /// bitline towards `VDD_q`). Inactive rows contribute only leakage.
+    #[must_use]
+    pub fn bitline_current(&self, v_bl: f64, v_gate_on: f64, vdd_q: f64, active: bool) -> f64 {
+        match self.kind {
+            ChgFeKind::Data { .. } => {
+                // nFeFET: drain on the bitline, source grounded.
+                let vg = if active { v_gate_on } else { 0.0 };
+                self.fefet.ids(vg, v_bl, 0.0).ids
+            }
+            ChgFeKind::Sign => {
+                // pFeFET: source at VDD_q, drain on the bitline, gate
+                // pulled down to v_gate_on to activate.
+                let vg = if active { v_gate_on } else { vdd_q };
+                // ids() is positive-into-drain; an ON pFeFET with
+                // V_D < V_S sources current *out of* the drain into the
+                // bitline, i.e. ids < 0 — exactly our "negative charges"
+                // convention.
+                self.fefet.ids(vg, v_bl, vdd_q).ids
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChgFeConfig, CurFeConfig};
+    use fefet_device::variation::{VariationParams, VariationSampler};
+
+    fn quiet() -> VariationSampler {
+        VariationSampler::new(VariationParams::none(), 0)
+    }
+
+    #[test]
+    fn curfe_on_cell_current_is_resistor_limited() {
+        let cfg = CurFeConfig::paper();
+        let mut s = quiet();
+        for j in 0..4 {
+            let cell = CurFeCell::program(
+                cfg.fefet,
+                &cfg.slc,
+                true,
+                cfg.drain_resistance(j),
+                &mut s,
+            );
+            let i = cell.current(cfg.v_cm, 0.0, cfg.v_wl, true);
+            let expect = cfg.unit_current() * f64::from(1u32 << j);
+            assert!(
+                (i - expect).abs() < 0.05 * expect,
+                "bit {j}: {i:.3e} vs {expect:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn curfe_off_cell_blocks() {
+        let cfg = CurFeConfig::paper();
+        let mut s = quiet();
+        let cell = CurFeCell::program(cfg.fefet, &cfg.slc, false, cfg.r_base, &mut s);
+        let i = cell.current(cfg.v_cm, 0.0, cfg.v_wl, true);
+        assert!(i.abs() < cfg.unit_current() * 1e-3, "off current {i:.3e}");
+    }
+
+    #[test]
+    fn curfe_inactive_row_blocks_even_with_bit_one() {
+        let cfg = CurFeConfig::paper();
+        let mut s = quiet();
+        let cell = CurFeCell::program(cfg.fefet, &cfg.slc, true, cfg.r_base, &mut s);
+        let i = cell.current(cfg.v_cm, 0.0, cfg.v_wl, false);
+        assert!(i.abs() < cfg.unit_current() * 1e-3);
+    }
+
+    #[test]
+    fn curfe_sign_cell_current_is_negative() {
+        // Sign column: SL at VDD_i = 1 V, BL at 0.5 V → current flows into
+        // the bitline (negative by our BL→SL convention).
+        let cfg = CurFeConfig::paper();
+        let mut s = quiet();
+        let cell = CurFeCell::program(cfg.fefet, &cfg.slc, true, cfg.drain_resistance(3), &mut s);
+        let i = cell.current(cfg.v_cm, cfg.vdd_i, cfg.v_wls, true);
+        let expect = -(cfg.vdd_i - cfg.v_cm) / cfg.drain_resistance(3);
+        assert!(
+            (i - expect).abs() < 0.05 * expect.abs(),
+            "{i:.3e} vs {expect:.3e}"
+        );
+    }
+
+    #[test]
+    fn curfe_variation_barely_moves_current() {
+        // σ(V_TH) = 40 mV must move the resistor-limited current by ≪ 5 %.
+        let cfg = CurFeConfig::paper();
+        let mut s = VariationSampler::new(VariationParams::paper(), 99);
+        let mut currents = Vec::new();
+        for _ in 0..200 {
+            let cell = CurFeCell::program(cfg.fefet, &cfg.slc, true, cfg.r_base, &mut s);
+            currents.push(cell.current(cfg.v_cm, 0.0, cfg.v_wl, true));
+        }
+        let stats = fefet_device::variation::SampleStats::from_values(&currents);
+        assert!(
+            stats.coefficient_of_variation() < 0.03,
+            "CurFe CV = {:.4}",
+            stats.coefficient_of_variation()
+        );
+    }
+
+    #[test]
+    fn chgfe_data_cell_currents_are_binary_weighted() {
+        let cfg = ChgFeConfig::paper();
+        let mut s = quiet();
+        let mut last = 0.0;
+        for j in 0..4 {
+            let cell = ChgFeCell::program_data(cfg.nfefet, &cfg.ladder, j, true, &mut s);
+            let i = cell.bitline_current(cfg.v_pre, cfg.v_wl, cfg.vdd_q, true);
+            if j > 0 {
+                let r = i / last;
+                assert!((r - 2.0).abs() < 0.15, "bit {j}: ratio {r:.3}");
+            }
+            last = i;
+        }
+    }
+
+    #[test]
+    fn chgfe_sign_cell_charges_and_matches_msb_magnitude() {
+        let cfg = ChgFeConfig::paper();
+        let mut s = quiet();
+        let sign = ChgFeCell::program_sign(
+            cfg.pfefet,
+            cfg.pfet_vth_on,
+            cfg.pfet_vth_off,
+            true,
+            &mut s,
+        );
+        let i_sign = sign.bitline_current(cfg.v_pre, cfg.v_wls_low, cfg.vdd_q, true);
+        assert!(i_sign < 0.0, "sign cell must charge the bitline");
+        let msb = ChgFeCell::program_data(cfg.nfefet, &cfg.ladder, 3, true, &mut s);
+        let i_msb = msb.bitline_current(cfg.v_pre, cfg.v_wl, cfg.vdd_q, true);
+        assert!(
+            (i_sign.abs() - i_msb).abs() < 0.15 * i_msb,
+            "|sign| {:.3e} vs msb {:.3e}",
+            i_sign.abs(),
+            i_msb
+        );
+    }
+
+    #[test]
+    fn chgfe_variation_is_visibly_wider_than_curfe() {
+        // Fig. 7(b): ChgFe current spread ≫ CurFe spread at equal σ(V_TH).
+        let ccfg = CurFeConfig::paper();
+        let qcfg = ChgFeConfig::paper();
+        let mut s1 = VariationSampler::new(VariationParams::paper(), 7);
+        let mut s2 = VariationSampler::new(VariationParams::paper(), 7);
+        let mut cur = Vec::new();
+        let mut chg = Vec::new();
+        for _ in 0..300 {
+            let c = CurFeCell::program(ccfg.fefet, &ccfg.slc, true, ccfg.drain_resistance(3), &mut s1);
+            cur.push(c.current(ccfg.v_cm, 0.0, ccfg.v_wl, true));
+            let q = ChgFeCell::program_data(qcfg.nfefet, &qcfg.ladder, 3, true, &mut s2);
+            chg.push(q.bitline_current(qcfg.v_pre, qcfg.v_wl, qcfg.vdd_q, true));
+        }
+        let cv_cur = fefet_device::variation::SampleStats::from_values(&cur).coefficient_of_variation();
+        let cv_chg = fefet_device::variation::SampleStats::from_values(&chg).coefficient_of_variation();
+        assert!(
+            cv_chg > 3.0 * cv_cur,
+            "CV ChgFe {cv_chg:.4} should dwarf CV CurFe {cv_cur:.4}"
+        );
+    }
+
+    #[test]
+    fn chgfe_inactive_and_zero_cells_leak_only() {
+        let cfg = ChgFeConfig::paper();
+        let mut s = quiet();
+        let off = ChgFeCell::program_data(cfg.nfefet, &cfg.ladder, 3, false, &mut s);
+        let i_off = off.bitline_current(cfg.v_pre, cfg.v_wl, cfg.vdd_q, true);
+        let on = ChgFeCell::program_data(cfg.nfefet, &cfg.ladder, 0, true, &mut s);
+        let i_on = on.bitline_current(cfg.v_pre, cfg.v_wl, cfg.vdd_q, true);
+        assert!(i_on / i_off > 1e2, "on/off = {}", i_on / i_off);
+        let inactive = on.bitline_current(cfg.v_pre, cfg.v_wl, cfg.vdd_q, false);
+        assert!(i_on / inactive > 1e2);
+    }
+}

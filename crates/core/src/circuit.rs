@@ -1,0 +1,514 @@
+//! Netlist builders binding the macro designs to the [`analog_sim`]
+//! circuit simulator — the SPICE-level validation path of the paper
+//! (Figs. 3 and 6).
+//!
+//! These circuits model one *row slice* of a bank: the eight cells of an
+//! H4B+L4B pair on one wordline, plus the readout (two TIAs for CurFe;
+//! eight pre-charged bitline capacitors with charge-share TGs for ChgFe).
+//! That is exactly the configuration of the paper's multiplication
+//! examples ("none of the other rows in this H4B/L4B are enabled").
+
+use crate::config::{ChgFeConfig, CurFeConfig};
+use analog_sim::netlist::{Netlist, NodeId, Source, SwitchSchedule, GROUND};
+use fefet_device::fefet::{FeFet, Polarity};
+use fefet_device::mosfet::{Mosfet, MosfetParams};
+use fefet_device::variation::VariationSampler;
+
+/// Switch on-resistance used for transmission gates and PCTs (Ω).
+const R_TG_ON: f64 = 2.0e3;
+/// Switch off-resistance (Ω).
+const R_TG_OFF: f64 = 1.0e12;
+
+/// The CurFe single-row validation circuit (Fig. 3).
+#[derive(Debug, Clone)]
+pub struct CurFeRowCircuit {
+    /// The netlist, ready for [`analog_sim::transient::transient`].
+    pub netlist: Netlist,
+    /// H4B TIA output node.
+    pub out_h4: NodeId,
+    /// L4B TIA output node.
+    pub out_l4: NodeId,
+    /// H4B TIA inverting (virtual-ground) node.
+    pub inv_h4: NodeId,
+    /// L4B TIA inverting node.
+    pub inv_l4: NodeId,
+    /// Time the input pulse asserts (s).
+    pub t_input_on: f64,
+    /// Time the input pulse deasserts (s).
+    pub t_input_off: f64,
+    /// Suggested simulation stop time (s).
+    pub t_stop: f64,
+}
+
+/// Builds the CurFe row circuit for `weight` with a 1-bit input pulse.
+///
+/// The wordline rises at 1 ns (0.1 ns edge), stays high for 2 ns. Measure
+/// the TIA outputs mid-pulse (e.g. at 2.5 ns) and compare with
+/// `V_cm + I·R_out` (Eq. 3/4).
+#[must_use]
+pub fn curfe_row_circuit(
+    cfg: &CurFeConfig,
+    weight: i8,
+    sampler: &mut VariationSampler,
+) -> CurFeRowCircuit {
+    let mut n = Netlist::new();
+    let sw = crate::weights::SplitWeight::split(weight);
+    let lo = sw.low.bits();
+    let hi = sw.high.bits();
+
+    // Supplies and wordline.
+    let vcm = n.named_node("vcm");
+    n.vdc(vcm, GROUND, cfg.v_cm);
+    let vddi = n.named_node("vddi");
+    n.vdc(vddi, GROUND, cfg.vdd_i);
+    let t_input_on = 1.0e-9;
+    let t_input_off = 3.0e-9;
+    let wl = n.named_node("wl");
+    n.vsource(
+        wl,
+        GROUND,
+        Source::Pulse {
+            v0: 0.0,
+            v1: cfg.v_wl,
+            t_delay: t_input_on,
+            t_rise: 0.1e-9,
+            t_width: t_input_off - t_input_on - 0.1e-9,
+            t_fall: 0.1e-9,
+        },
+    );
+    // WLS: the boosted sign-row wordline, pulsed together with WL.
+    let wls = n.named_node("wls");
+    n.vsource(
+        wls,
+        GROUND,
+        Source::Pulse {
+            v0: 0.0,
+            v1: cfg.v_wls,
+            t_delay: t_input_on,
+            t_rise: 0.1e-9,
+            t_width: t_input_off - t_input_on - 0.1e-9,
+            t_fall: 0.1e-9,
+        },
+    );
+
+    // TIAs: high-gain VCVS with feedback resistor; non-inverting input at
+    // V_cm, inverting input collects the block bitlines.
+    let inv_l4 = n.named_node("inv_l4");
+    let out_l4 = n.named_node("out_l4");
+    n.opamp(out_l4, vcm, inv_l4);
+    n.resistor(inv_l4, out_l4, cfg.r_out);
+    let inv_h4 = n.named_node("inv_h4");
+    let out_h4 = n.named_node("out_h4");
+    n.opamp(out_h4, vcm, inv_h4);
+    n.resistor(inv_h4, out_h4, cfg.r_out);
+
+    // Eight 1nFeFET1R cells. The block TGs are ON for the selected pair;
+    // model them as small series resistors into the TIA nodes.
+    for col in 0..8usize {
+        let (bit, j, sl, inv, gate) = if col < 4 {
+            (lo[col], col, GROUND, inv_l4, wl)
+        } else if col < 7 {
+            (hi[col - 4], col - 4, GROUND, inv_h4, wl)
+        } else {
+            (hi[3], 3, vddi, inv_h4, wls)
+        };
+        let bl = n.named_node(format!("bl{col}"));
+        n.switch(inv, bl, R_TG_ON, R_TG_OFF, SwitchSchedule::always(true));
+        let mid = n.node();
+        n.resistor(bl, mid, cfg.drain_resistance(j) * sampler.r_factor());
+        let mut dev = FeFet::new(cfg.fefet, Polarity::N);
+        dev.set_vth(cfg.slc.vth_for(bit) + sampler.vth_offset());
+        n.fefet(mid, gate, sl, dev);
+    }
+
+    CurFeRowCircuit {
+        netlist: n,
+        out_h4,
+        out_l4,
+        inv_h4,
+        inv_l4,
+        t_input_on,
+        t_input_off,
+        t_stop: 4.0e-9,
+    }
+}
+
+/// The ChgFe single-row validation circuit (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct ChgFeRowCircuit {
+    /// The netlist.
+    pub netlist: Netlist,
+    /// The eight bitline nodes (BL0–BL7).
+    pub bl: [NodeId; 8],
+    /// End of the pre-charge phase (s).
+    pub t_precharge_end: f64,
+    /// End of the input (discharge) window (s).
+    pub t_input_end: f64,
+    /// Time at which the charge-share TGs close (s).
+    pub t_share_start: f64,
+    /// Suggested simulation stop time (s).
+    pub t_stop: f64,
+}
+
+/// Builds the ChgFe row circuit: pre-charge (0–1 ns) → input window
+/// (1–1.5 ns) → charge sharing (from 1.6 ns).
+///
+/// After sharing settles, `BL4..BL7` all sit at `V_H4` and `BL0..BL3` at
+/// `V_L4` (Eq. 5/6).
+#[must_use]
+pub fn chgfe_row_circuit(
+    cfg: &ChgFeConfig,
+    weight: i8,
+    sampler: &mut VariationSampler,
+) -> ChgFeRowCircuit {
+    let mut n = Netlist::new();
+    let sw = crate::weights::SplitWeight::split(weight);
+    let lo = sw.low.bits();
+    let hi = sw.high.bits();
+
+    let t_precharge_end = cfg.t_pre;
+    let t_input_on = cfg.t_pre + 0.05e-9;
+    let t_input_end = t_input_on + cfg.t_in;
+    let t_share_start = t_input_end + 0.1e-9;
+    let t_stop = t_share_start + cfg.t_share;
+
+    // Supplies.
+    let vpre = n.named_node("vpre");
+    n.vdc(vpre, GROUND, cfg.v_pre);
+    let vddq = n.named_node("vddq");
+    n.vdc(vddq, GROUND, cfg.vdd_q);
+
+    // Wordline for the data cells (rises after pre-charge).
+    let wl = n.named_node("wl");
+    n.vsource(
+        wl,
+        GROUND,
+        Source::Pulse {
+            v0: 0.0,
+            v1: cfg.v_wl,
+            t_delay: t_input_on,
+            t_rise: 0.02e-9,
+            t_width: cfg.t_in - 0.04e-9,
+            t_fall: 0.02e-9,
+        },
+    );
+    // WLS for the sign cell: active-low from VDD_q.
+    let wls = n.named_node("wls");
+    n.vsource(
+        wls,
+        GROUND,
+        Source::Pulse {
+            v0: cfg.vdd_q,
+            v1: cfg.v_wls_low,
+            t_delay: t_input_on,
+            t_rise: 0.02e-9,
+            t_width: cfg.t_in - 0.04e-9,
+            t_fall: 0.02e-9,
+        },
+    );
+
+    // Eight bitlines: capacitor + pre-charge switch + cell.
+    let mut bls = Vec::with_capacity(8);
+    for col in 0..8usize {
+        let bl = n.named_node(format!("bl{col}"));
+        n.capacitor(bl, GROUND, cfg.c_bl * sampler.c_factor(), Some(0.0));
+        // PCT: closed during the pre-charge window only.
+        n.switch(
+            bl,
+            vpre,
+            R_TG_ON,
+            R_TG_OFF,
+            SwitchSchedule {
+                initial_closed: true,
+                transitions: vec![(t_precharge_end, false)],
+            },
+        );
+        // Cell.
+        if col < 7 {
+            let (bit, j) = if col < 4 {
+                (lo[col], col)
+            } else {
+                (hi[col - 4], col - 4)
+            };
+            let mut dev = FeFet::new(cfg.nfefet, Polarity::N);
+            dev.set_vth(cfg.ladder.vth_for(j, bit) + sampler.vth_offset());
+            n.fefet(bl, wl, GROUND, dev);
+        } else {
+            let mut dev = FeFet::new(cfg.pfefet, Polarity::P);
+            let vth = if hi[3] { cfg.pfet_vth_on } else { cfg.pfet_vth_off };
+            dev.set_vth(vth + sampler.vth_offset());
+            n.fefet(bl, wls, vddq, dev);
+        }
+        bls.push(bl);
+    }
+
+    // Charge-share TGs: chain BL0–BL3 and BL4–BL7, closing at
+    // `t_share_start`.
+    for pair in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)] {
+        n.switch(
+            bls[pair.0],
+            bls[pair.1],
+            R_TG_ON,
+            R_TG_OFF,
+            SwitchSchedule {
+                initial_closed: false,
+                transitions: vec![(t_share_start, true)],
+            },
+        );
+    }
+
+    ChgFeRowCircuit {
+        netlist: n,
+        bl: bls.try_into().expect("eight bitlines"),
+        t_precharge_end,
+        t_input_end,
+        t_share_start,
+        t_stop,
+    }
+}
+
+
+/// Like [`chgfe_row_circuit`], but with *real pMOS pre-charge transistors*
+/// instead of ideal switches: each bitline is charged through a
+/// [`MosfetParams::precharge_40nm`] device whose gate is clocked
+/// active-low during the pre-charge window — the PCT of the paper's
+/// Fig. 4(b). Used to check that the PCT's finite on-resistance completes
+/// the 1.5 V pre-charge within the 1 ns budget.
+#[must_use]
+pub fn chgfe_row_circuit_with_pct(
+    cfg: &ChgFeConfig,
+    weight: i8,
+    sampler: &mut VariationSampler,
+) -> ChgFeRowCircuit {
+    let mut c = chgfe_row_circuit(cfg, weight, sampler);
+    // Rebuild: replace each bitline's pre-charge switch with a pMOS whose
+    // source sits at a V_pre supply and whose gate is clocked.
+    let mut n = Netlist::new();
+    // Recreate from scratch (the netlist builder API is append-only).
+    let sw = crate::weights::SplitWeight::split(weight);
+    let lo = sw.low.bits();
+    let hi = sw.high.bits();
+    let t_precharge_end = cfg.t_pre;
+    let t_input_on = cfg.t_pre + 0.05e-9;
+    let t_input_end = t_input_on + cfg.t_in;
+    let t_share_start = t_input_end + 0.1e-9;
+    let _t_stop = t_share_start + cfg.t_share;
+
+    let vpre = n.named_node("vpre");
+    n.vdc(vpre, GROUND, cfg.v_pre);
+    let vddq = n.named_node("vddq");
+    n.vdc(vddq, GROUND, cfg.vdd_q);
+    // PCT clock: low (on) during pre-charge, high (off) afterwards.
+    let pct_clk = n.named_node("pct_clk");
+    n.vsource(
+        pct_clk,
+        GROUND,
+        Source::Pwl(vec![
+            (0.0, 0.0),
+            (t_precharge_end, 0.0),
+            (t_precharge_end + 0.02e-9, cfg.v_pre + 0.6),
+        ]),
+    );
+    let wl = n.named_node("wl");
+    n.vsource(
+        wl,
+        GROUND,
+        Source::Pulse {
+            v0: 0.0,
+            v1: cfg.v_wl,
+            t_delay: t_input_on,
+            t_rise: 0.02e-9,
+            t_width: cfg.t_in - 0.04e-9,
+            t_fall: 0.02e-9,
+        },
+    );
+    let wls = n.named_node("wls");
+    n.vsource(
+        wls,
+        GROUND,
+        Source::Pulse {
+            v0: cfg.vdd_q,
+            v1: cfg.v_wls_low,
+            t_delay: t_input_on,
+            t_rise: 0.02e-9,
+            t_width: cfg.t_in - 0.04e-9,
+            t_fall: 0.02e-9,
+        },
+    );
+    let mut bls = Vec::with_capacity(8);
+    for col in 0..8usize {
+        let bl = n.named_node(format!("bl{col}"));
+        n.capacitor(bl, GROUND, cfg.c_bl * sampler.c_factor(), Some(0.0));
+        // Real PCT: pMOS, source at V_pre, drain on the bitline.
+        n.mosfet(
+            bl,
+            pct_clk,
+            vpre,
+            Mosfet::new(MosfetParams::precharge_40nm(), fefet_device::mosfet::Polarity::P),
+        );
+        if col < 7 {
+            let (bit, j) = if col < 4 {
+                (lo[col], col)
+            } else {
+                (hi[col - 4], col - 4)
+            };
+            let mut dev = FeFet::new(cfg.nfefet, Polarity::N);
+            dev.set_vth(cfg.ladder.vth_for(j, bit) + sampler.vth_offset());
+            n.fefet(bl, wl, GROUND, dev);
+        } else {
+            let mut dev = FeFet::new(cfg.pfefet, Polarity::P);
+            let vth = if hi[3] { cfg.pfet_vth_on } else { cfg.pfet_vth_off };
+            dev.set_vth(vth + sampler.vth_offset());
+            n.fefet(bl, wls, vddq, dev);
+        }
+        bls.push(bl);
+    }
+    for pair in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)] {
+        n.switch(
+            bls[pair.0],
+            bls[pair.1],
+            R_TG_ON,
+            R_TG_OFF,
+            SwitchSchedule {
+                initial_closed: false,
+                transitions: vec![(t_share_start, true)],
+            },
+        );
+    }
+    c.netlist = n;
+    c.bl = bls.try_into().expect("eight bitlines");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_sim::transient::{transient, TransientOptions};
+    use fefet_device::variation::{VariationParams, VariationSampler};
+
+    fn quiet() -> VariationSampler {
+        VariationSampler::new(VariationParams::none(), 0)
+    }
+
+    #[test]
+    fn curfe_fig3_transient_reproduces_anchor_voltages() {
+        // Weight 0b1111_1111: I_H4 = −100 nA, I_L4 = 1.5 µA. With
+        // R_out = 8.333 kΩ: V_H4 ≈ 0.5 − 0.83 mV, V_L4 ≈ 0.5 + 12.5 mV.
+        let cfg = CurFeConfig::paper();
+        let c = curfe_row_circuit(&cfg, -1, &mut quiet());
+        let w = transient(&c.netlist, &TransientOptions::new(c.t_stop, 400))
+            .expect("curfe row transient converges");
+        let t_meas = 2.5e-9;
+        let v_h4 = w.voltage(c.out_h4, t_meas).expect("in range");
+        let v_l4 = w.voltage(c.out_l4, t_meas).expect("in range");
+        let expect_h4 = cfg.v_cm - 1.0e-7 * cfg.r_out;
+        let expect_l4 = cfg.v_cm + 1.5e-6 * cfg.r_out;
+        assert!(
+            (v_h4 - expect_h4).abs() < 2.0e-4,
+            "V_H4 = {v_h4:.6} vs {expect_h4:.6}"
+        );
+        assert!(
+            (v_l4 - expect_l4).abs() < 1.0e-3,
+            "V_L4 = {v_l4:.6} vs {expect_l4:.6}"
+        );
+        // Before the input pulse both outputs idle at V_cm.
+        let v0 = w.voltage(c.out_l4, 0.5e-9).expect("in range");
+        assert!((v0 - cfg.v_cm).abs() < 2e-3, "idle at {v0}");
+    }
+
+    #[test]
+    fn curfe_virtual_ground_holds() {
+        let cfg = CurFeConfig::paper();
+        let c = curfe_row_circuit(&cfg, 0x7F, &mut quiet());
+        let w = transient(&c.netlist, &TransientOptions::new(c.t_stop, 400)).expect("ok");
+        let v_inv = w.voltage(c.inv_l4, 2.5e-9).expect("in range");
+        assert!((v_inv - cfg.v_cm).abs() < 5.0e-3, "virtual ground at {v_inv}");
+    }
+
+    #[test]
+    fn chgfe_fig6_transient_phases() {
+        // Weight 0b1111_1111: during the input window BL0–BL3 droop
+        // binary-weighted, BL7 rises; after sharing, the nibble bitlines
+        // equalize (Eq. 5/6).
+        let cfg = ChgFeConfig::paper();
+        let c = chgfe_row_circuit(&cfg, -1, &mut quiet());
+        let w = transient(&c.netlist, &TransientOptions::new(c.t_stop, 700).with_ic())
+            .expect("chgfe row transient converges");
+        // Pre-charge worked.
+        let v_pre_end = w
+            .voltage(c.bl[0], c.t_precharge_end * 0.98)
+            .expect("in range");
+        assert!((v_pre_end - cfg.v_pre).abs() < 0.02, "precharged to {v_pre_end}");
+        // After the input window, BL3 dropped ~8× the BL0 drop.
+        let t_after = c.t_input_end + 0.02e-9;
+        let d0 = cfg.v_pre - w.voltage(c.bl[0], t_after).expect("in range");
+        let d3 = cfg.v_pre - w.voltage(c.bl[3], t_after).expect("in range");
+        assert!(d0 > 0.2e-3, "BL0 moved {d0:.2e}");
+        let ratio = d3 / d0;
+        assert!((ratio - 8.0).abs() < 1.6, "BL3/BL0 drop ratio = {ratio:.2}");
+        // Sign bitline rose.
+        let d7 = w.voltage(c.bl[7], t_after).expect("in range") - cfg.v_pre;
+        assert!(d7 > 0.2e-3, "BL7 rose {d7:.2e}");
+        // After sharing: nibble bitlines equalized; L4B value ≈ 15 units/4.
+        let v_l4 = w.final_voltage(c.bl[0]);
+        for i in 1..4 {
+            assert!((w.final_voltage(c.bl[i]) - v_l4).abs() < 1.0e-3);
+        }
+        let expect_l4 = cfg.v_pre - 15.0 * cfg.unit_delta_v() / 4.0;
+        assert!(
+            (v_l4 - expect_l4).abs() < 2.0 * cfg.unit_delta_v(),
+            "V_L4 = {v_l4:.4} vs {expect_l4:.4}"
+        );
+        // H4B: high nibble −1 → shared voltage *above* the −1-unit level:
+        // ΔV sum = (8 − 7) units upward.
+        let v_h4 = w.final_voltage(c.bl[4]);
+        let expect_h4 = cfg.v_pre + 1.0 * cfg.unit_delta_v() / 4.0;
+        assert!(
+            (v_h4 - expect_h4).abs() < 1.5 * cfg.unit_delta_v(),
+            "V_H4 = {v_h4:.4} vs {expect_h4:.4}"
+        );
+    }
+
+
+    #[test]
+    fn pct_variant_precharges_within_budget() {
+        // The real pMOS pre-charge transistor must bring every bitline to
+        // within 30 mV of V_pre inside the 1 ns window, and the MAC result
+        // after sharing must match the ideal-switch variant.
+        let cfg = ChgFeConfig::paper();
+        let a = chgfe_row_circuit(&cfg, -1, &mut quiet());
+        let b = super::chgfe_row_circuit_with_pct(&cfg, -1, &mut quiet());
+        let wa = transient(&a.netlist, &TransientOptions::new(a.t_stop, 700).with_ic())
+            .expect("switch variant");
+        let wb = transient(&b.netlist, &TransientOptions::new(b.t_stop, 700).with_ic())
+            .expect("pct variant");
+        let v_pct = wb
+            .voltage(b.bl[3], b.t_precharge_end * 0.99)
+            .expect("in range");
+        assert!(
+            (v_pct - cfg.v_pre).abs() < 0.03,
+            "PCT pre-charge reached {v_pct:.4} V"
+        );
+        let va = wa.final_voltage(a.bl[0]);
+        let vb = wb.final_voltage(b.bl[0]);
+        assert!(
+            (va - vb).abs() < 1.5 * cfg.unit_delta_v(),
+            "switch {va:.4} vs PCT {vb:.4}"
+        );
+    }
+
+    #[test]
+    fn chgfe_weight_zero_keeps_bitlines_quiet() {
+        let cfg = ChgFeConfig::paper();
+        let c = chgfe_row_circuit(&cfg, 0, &mut quiet());
+        let w = transient(&c.netlist, &TransientOptions::new(c.t_stop, 500).with_ic())
+            .expect("ok");
+        for i in 0..8 {
+            let v = w.final_voltage(c.bl[i]);
+            assert!(
+                (v - cfg.v_pre).abs() < 3.0e-3,
+                "BL{i} moved to {v} with zero weight"
+            );
+        }
+    }
+}

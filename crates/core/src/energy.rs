@@ -1,0 +1,719 @@
+//! Circuit-level energy model → TOPS/W (Fig. 9 and the Table 1 macro
+//! rows).
+//!
+//! The model follows the component style of NeuroSim/ISSCC macro papers:
+//! per input-bit cycle, the whole macro (16 banks operating in parallel)
+//! spends energy in
+//!
+//! * the **array** — CurFe: static cell currents through the supplies;
+//!   ChgFe: bitline pre-charge restoration plus the sign-column charge
+//!   from `VDD_q`;
+//! * the **readout front-end** — CurFe: TIA bias; ChgFe: pre-charge
+//!   transistor gating and charge-share TGs;
+//! * the **ADCs** — 16 2CM + 16 N2CM SAR conversions
+//!   (`E = e_bit·b + e_cdac·2^b`, the usual comparator+CDAC split);
+//! * **wordline drivers**, the **accumulation modules** and the
+//!   **reference bank**.
+//!
+//! Constants are calibrated so the paper-default configurations land on
+//! the Table 1 anchors — CurFe 12.18 TOPS/W and ChgFe 14.47 TOPS/W at
+//! (8b input, 8b weight) — and the calibration is pinned by unit tests.
+//! One MAC = 2 OPs, the Table 1 counting convention.
+
+use crate::config::{ChgFeConfig, CurFeConfig};
+use serde::{Deserialize, Serialize};
+
+/// Average switching activities used for "average energy efficiency".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Probability that an input bit is 1.
+    pub input_density: f64,
+    /// Probability that a weight bit is 1.
+    pub weight_density: f64,
+}
+
+impl Activity {
+    /// The 50/50 activity used for the paper's average-efficiency figures.
+    #[must_use]
+    pub fn average() -> Self {
+        Self {
+            input_density: 0.5,
+            weight_density: 0.5,
+        }
+    }
+}
+
+impl Default for Activity {
+    fn default() -> Self {
+        Self::average()
+    }
+}
+
+/// Shared peripheral energy constants (40 nm, calibrated — see module
+/// docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeripheryParams {
+    /// SAR ADC comparator/logic energy per resolved bit (J).
+    pub adc_e_per_bit: f64,
+    /// SAR ADC capacitive-DAC energy unit (J, scaled by 2^bits).
+    pub adc_e_cdac: f64,
+    /// Wordline driver load capacitance (F).
+    pub wl_cap: f64,
+    /// Accumulation-module energy per bank per cycle (J).
+    pub acc_e_per_cycle: f64,
+    /// Reference-bank energy per macro per cycle (J).
+    pub ref_bank_e: f64,
+    /// Switch-matrix / TG control energy per macro per cycle (J).
+    pub switch_e: f64,
+}
+
+impl PeripheryParams {
+    /// Calibrated 40 nm values.
+    #[must_use]
+    pub fn calibrated_40nm() -> Self {
+        Self {
+            adc_e_per_bit: 16.0e-15,
+            adc_e_cdac: 1.2e-15,
+            wl_cap: 2.0e-15,
+            acc_e_per_cycle: 31.0e-15,
+            ref_bank_e: 0.30e-12,
+            switch_e: 0.10e-12,
+        }
+    }
+
+    /// SAR conversion energy at `bits` resolution (J).
+    #[must_use]
+    pub fn adc_energy(&self, bits: u32) -> f64 {
+        self.adc_e_per_bit * f64::from(bits) + self.adc_e_cdac * (1u64 << bits) as f64
+    }
+}
+
+impl Default for PeripheryParams {
+    fn default() -> Self {
+        Self::calibrated_40nm()
+    }
+}
+
+/// Per-cycle energy breakdown of the whole macro (J).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EnergyBreakdown {
+    /// Array cell energy (static currents / pre-charge restoration).
+    pub array: f64,
+    /// Readout front end (TIA bias / PCT+TG gating).
+    pub frontend: f64,
+    /// All ADC conversions.
+    pub adc: f64,
+    /// Wordline drivers.
+    pub wordline: f64,
+    /// Accumulation modules.
+    pub accumulator: f64,
+    /// Reference bank + switch matrix.
+    pub other: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total cycle energy (J).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.array + self.frontend + self.adc + self.wordline + self.accumulator + self.other
+    }
+}
+
+/// Weight-precision mode for throughput/efficiency accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightBits {
+    /// 4-bit weights: H4B and L4B carry independent channels → 2× MACs
+    /// per cycle.
+    W4,
+    /// 8-bit weights: H4B+L4B combine into one channel.
+    W8,
+}
+
+impl WeightBits {
+    /// Bit width.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            Self::W4 => 4,
+            Self::W8 => 8,
+        }
+    }
+}
+
+/// The common efficiency math shared by both designs.
+fn efficiency(macs_per_cycle: f64, input_bits: u32, cycle_energy: f64) -> f64 {
+    assert!((1..=8).contains(&input_bits), "input precision 1..=8");
+    let ops = 2.0 * macs_per_cycle; // 1 MAC = 2 OPs
+    let energy = f64::from(input_bits) * cycle_energy;
+    ops / energy / 1.0e12 // TOPS/W
+}
+
+/// CurFe energy model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurFeEnergyModel {
+    /// Electrical configuration.
+    pub config: CurFeConfig,
+    /// Peripheral constants.
+    pub periphery: PeripheryParams,
+    /// TIA bias current per TIA (A).
+    pub tia_bias: f64,
+    /// TIA/array supply voltage (V).
+    pub supply: f64,
+    /// ADC resolution (bits).
+    pub adc_bits: u32,
+}
+
+impl CurFeEnergyModel {
+    /// The calibrated paper model (5-bit ADCs).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            config: CurFeConfig::paper(),
+            periphery: PeripheryParams::calibrated_40nm(),
+            tia_bias: 17.0e-6,
+            supply: 1.0,
+            adc_bits: 5,
+        }
+    }
+
+    /// Average per-cycle macro energy breakdown at the given activity.
+    #[must_use]
+    pub fn cycle_breakdown(&self, activity: Activity) -> EnergyBreakdown {
+        let g = self.config.geometry;
+        let banks = g.banks as f64;
+        let rows = g.rows as f64;
+        let act = activity.input_density * activity.weight_density;
+        let unit = self.config.unit_current();
+        // Eight columns with intra-nibble significances (1+2+4+8)·2 = 30
+        // units of conductance at full activation.
+        let row_current = act * 30.0 * unit;
+        let array = banks * rows * row_current * self.supply * self.config.t_cycle;
+        // Two TIAs per bank, biased for the whole cycle.
+        let frontend = banks * 2.0 * self.tia_bias * self.supply * self.config.t_cycle;
+        let adc = banks * 2.0 * self.periphery.adc_energy(self.adc_bits);
+        let wordline = banks
+            * rows
+            * activity.input_density
+            * self.periphery.wl_cap
+            * self.config.v_wl
+            * self.config.v_wl;
+        let accumulator = banks * self.periphery.acc_e_per_cycle;
+        let other = self.periphery.ref_bank_e + self.periphery.switch_e;
+        EnergyBreakdown {
+            array,
+            frontend,
+            adc,
+            wordline,
+            accumulator,
+            other,
+        }
+    }
+
+    /// MACs completed per input-bit cycle across the macro.
+    #[must_use]
+    pub fn macs_per_cycle(&self, weight: WeightBits) -> f64 {
+        let g = self.config.geometry;
+        let base = (g.banks * g.rows) as f64;
+        match weight {
+            WeightBits::W8 => base,
+            WeightBits::W4 => 2.0 * base,
+        }
+    }
+
+    /// Average energy efficiency (TOPS/W) at the given precisions — the
+    /// quantity plotted in Fig. 9 and tabulated in Table 1.
+    #[must_use]
+    pub fn tops_per_watt(&self, input_bits: u32, weight: WeightBits, activity: Activity) -> f64 {
+        efficiency(
+            self.macs_per_cycle(weight),
+            input_bits,
+            self.cycle_breakdown(activity).total(),
+        )
+    }
+
+    /// Peak throughput (OPS) at the given precisions.
+    #[must_use]
+    pub fn throughput_ops(&self, input_bits: u32, weight: WeightBits) -> f64 {
+        2.0 * self.macs_per_cycle(weight) / (f64::from(input_bits) * self.config.t_cycle)
+    }
+}
+
+impl Default for CurFeEnergyModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// ChgFe energy model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChgFeEnergyModel {
+    /// Electrical configuration.
+    pub config: ChgFeConfig,
+    /// Peripheral constants.
+    pub periphery: PeripheryParams,
+    /// Pre-charge-transistor gate capacitance (F).
+    pub pct_gate_cap: f64,
+    /// Gate-drive swing of the PCT clock (V).
+    pub pct_swing: f64,
+    /// ADC resolution (bits).
+    pub adc_bits: u32,
+}
+
+impl ChgFeEnergyModel {
+    /// The calibrated paper model (5-bit ADCs).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            config: ChgFeConfig::paper(),
+            periphery: PeripheryParams::calibrated_40nm(),
+            pct_gate_cap: 3.1e-15,
+            pct_swing: 2.5,
+            adc_bits: 5,
+        }
+    }
+
+    /// Average per-cycle macro energy breakdown at the given activity.
+    #[must_use]
+    pub fn cycle_breakdown(&self, activity: Activity) -> EnergyBreakdown {
+        let g = self.config.geometry;
+        let banks = g.banks as f64;
+        let rows = g.rows as f64;
+        let act = activity.input_density * activity.weight_density;
+        let dv_unit = self.config.unit_delta_v();
+        // Average |ΔV| per bitline: Σ_j 2^(j mod 4) / 8 = 3.75 units at
+        // full activation.
+        let avg_dv = act * rows * dv_unit * 3.75;
+        // Pre-charge restoration: Q = C·ΔV drawn from V_pre per bitline.
+        let array = banks * 8.0 * self.config.c_bl * avg_dv * self.config.v_pre
+            // Sign-column charge from VDD_q: one column of up to `rows`
+            // cells at 8 units each.
+            + banks
+                * act
+                * rows
+                * 8.0
+                * self.config.unit_current()
+                * self.config.t_in
+                * self.config.vdd_q;
+        // PCT clocking (every bitline, every cycle) + TG charge-share
+        // control.
+        let frontend =
+            banks * 8.0 * self.pct_gate_cap * self.pct_swing * self.pct_swing;
+        let adc = banks * 2.0 * self.periphery.adc_energy(self.adc_bits);
+        let wordline = banks
+            * rows
+            * activity.input_density
+            * self.periphery.wl_cap
+            * self.config.v_wl
+            * self.config.v_wl;
+        let accumulator = banks * self.periphery.acc_e_per_cycle;
+        let other = self.periphery.ref_bank_e + self.periphery.switch_e;
+        EnergyBreakdown {
+            array,
+            frontend,
+            adc,
+            wordline,
+            accumulator,
+            other,
+        }
+    }
+
+    /// MACs completed per input-bit cycle across the macro.
+    #[must_use]
+    pub fn macs_per_cycle(&self, weight: WeightBits) -> f64 {
+        let g = self.config.geometry;
+        let base = (g.banks * g.rows) as f64;
+        match weight {
+            WeightBits::W8 => base,
+            WeightBits::W4 => 2.0 * base,
+        }
+    }
+
+    /// Average energy efficiency (TOPS/W).
+    #[must_use]
+    pub fn tops_per_watt(&self, input_bits: u32, weight: WeightBits, activity: Activity) -> f64 {
+        efficiency(
+            self.macs_per_cycle(weight),
+            input_bits,
+            self.cycle_breakdown(activity).total(),
+        )
+    }
+
+    /// Peak throughput (OPS).
+    #[must_use]
+    pub fn throughput_ops(&self, input_bits: u32, weight: WeightBits) -> f64 {
+        2.0 * self.macs_per_cycle(weight) / (f64::from(input_bits) * self.config.t_cycle)
+    }
+}
+
+impl Default for ChgFeEnergyModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+
+/// Dynamic input-sparsity optimization, after the performance-scaling
+/// scheme of Yue et al. (ISSCC'20) — the Table 1 footnote "with sparse
+/// optimization".
+///
+/// Two mechanisms are modelled:
+///
+/// * zero inputs never toggle their wordlines and draw no cell current
+///   (this falls out of the activity model), and
+/// * when every activated row of a bank carries a 0 bit this cycle, the
+///   bank's ADC pair and accumulator are clock-gated
+///   (`p_gate = (1 − α_bit)^rows`).
+///
+/// OPs are still counted at the dense workload (the usual convention for
+/// sparsity-scaled TOPS/W), so efficiency rises with sparsity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparsityModel {
+    /// Fraction of *zero-valued* inputs (0 = dense).
+    pub input_sparsity: f64,
+    /// Bit density of the non-zero inputs (0.5 for uniform values).
+    pub nonzero_bit_density: f64,
+}
+
+impl SparsityModel {
+    /// A dense workload (no optimization effect).
+    #[must_use]
+    pub fn dense() -> Self {
+        Self {
+            input_sparsity: 0.0,
+            nonzero_bit_density: 0.5,
+        }
+    }
+
+    /// A ReLU-heavy DNN workload: ~60 % zero activations.
+    #[must_use]
+    pub fn relu_dnn() -> Self {
+        Self {
+            input_sparsity: 0.6,
+            nonzero_bit_density: 0.5,
+        }
+    }
+
+    /// Effective per-bit input activity.
+    #[must_use]
+    pub fn bit_activity(&self) -> f64 {
+        (1.0 - self.input_sparsity) * self.nonzero_bit_density
+    }
+
+    /// Probability that a bank's 32 activated rows are all zero this
+    /// cycle (its ADC pair + accumulator are gated).
+    #[must_use]
+    pub fn gate_probability(&self, rows: usize) -> f64 {
+        (1.0 - self.bit_activity()).powi(rows as i32)
+    }
+}
+
+impl Default for SparsityModel {
+    fn default() -> Self {
+        Self::dense()
+    }
+}
+
+impl CurFeEnergyModel {
+    /// Average energy efficiency with the sparse optimization enabled.
+    #[must_use]
+    pub fn sparse_tops_per_watt(
+        &self,
+        input_bits: u32,
+        weight: WeightBits,
+        weight_density: f64,
+        sparsity: SparsityModel,
+    ) -> f64 {
+        let act = Activity {
+            input_density: sparsity.bit_activity(),
+            weight_density,
+        };
+        let mut b = self.cycle_breakdown(act);
+        let gate = sparsity.gate_probability(self.config.geometry.rows);
+        b.adc *= 1.0 - gate;
+        b.accumulator *= 1.0 - gate;
+        efficiency(self.macs_per_cycle(weight), input_bits, b.total())
+    }
+}
+
+impl ChgFeEnergyModel {
+    /// Average energy efficiency with the sparse optimization enabled.
+    #[must_use]
+    pub fn sparse_tops_per_watt(
+        &self,
+        input_bits: u32,
+        weight: WeightBits,
+        weight_density: f64,
+        sparsity: SparsityModel,
+    ) -> f64 {
+        let act = Activity {
+            input_density: sparsity.bit_activity(),
+            weight_density,
+        };
+        let mut b = self.cycle_breakdown(act);
+        let gate = sparsity.gate_probability(self.config.geometry.rows);
+        b.adc *= 1.0 - gate;
+        b.accumulator *= 1.0 - gate;
+        efficiency(self.macs_per_cycle(weight), input_bits, b.total())
+    }
+}
+
+
+/// Programming (weight-update) cost of a block pair, estimated through
+/// the ISPP write-verify model of [`fefet_device::programming`].
+///
+/// IMC inference papers usually ignore write cost; for DNN deployment it
+/// matters whenever weights are re-loaded (multi-model serving, on-line
+/// calibration, ChgFe refresh — see the retention ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct WriteCost {
+    /// Total program pulses applied.
+    pub pulses: u64,
+    /// Total write energy (J).
+    pub energy: f64,
+    /// Cells whose verify loop did not converge.
+    pub failed_verifies: u64,
+    /// Total wall-clock write time (s), pulses × pulse width, assuming
+    /// fully serial row-by-row programming (worst case).
+    pub time: f64,
+}
+
+/// Estimates the cost of programming `weights` into a CurFe block pair
+/// (8 SLC cells per weight) with the paper's ISPP configuration.
+#[must_use]
+pub fn curfe_write_cost(weights: &[i8]) -> WriteCost {
+    use fefet_device::fefet::{FeFet, Polarity};
+    use fefet_device::programming::{program_slc, IsppConfig, SlcStates};
+    let cfg = IsppConfig::paper();
+    let states = SlcStates::paper();
+    let params = crate::config::CurFeConfig::paper().fefet;
+    let mut out = WriteCost::default();
+    for &w in weights {
+        let sw = crate::weights::SplitWeight::split(w);
+        let bits: Vec<bool> = sw
+            .low
+            .bits()
+            .into_iter()
+            .chain(sw.high.bits())
+            .collect();
+        for bit in bits {
+            let mut d = FeFet::new(params, Polarity::N);
+            let rep = program_slc(&mut d, bit, &states, &cfg);
+            out.pulses += rep.pulses as u64;
+            out.energy += rep.energy;
+            out.failed_verifies += u64::from(!rep.converged);
+        }
+    }
+    out.time = out.pulses as f64 * cfg.width;
+    out
+}
+
+/// Estimates the cost of programming `weights` into a ChgFe block pair
+/// (MLC nFeFET data cells + pFeFET sign cell).
+#[must_use]
+pub fn chgfe_write_cost(weights: &[i8]) -> WriteCost {
+    use fefet_device::fefet::{FeFet, Polarity};
+    use fefet_device::programming::{program_mlc, program_vth, IsppConfig};
+    let cfg = IsppConfig::paper();
+    let qcfg = crate::config::ChgFeConfig::paper();
+    let mut out = WriteCost::default();
+    for &w in weights {
+        let sw = crate::weights::SplitWeight::split(w);
+        let lo = sw.low.bits();
+        let hi = sw.high.bits();
+        for (j, &bit) in lo.iter().enumerate() {
+            let mut d = FeFet::new(qcfg.nfefet, Polarity::N);
+            let rep = program_mlc(&mut d, j, bit, &qcfg.ladder, &cfg);
+            out.pulses += rep.pulses as u64;
+            out.energy += rep.energy;
+            out.failed_verifies += u64::from(!rep.converged);
+        }
+        for (j, &bit) in hi.iter().enumerate().take(3) {
+            let mut d = FeFet::new(qcfg.nfefet, Polarity::N);
+            let rep = program_mlc(&mut d, j, bit, &qcfg.ladder, &cfg);
+            out.pulses += rep.pulses as u64;
+            out.energy += rep.energy;
+            out.failed_verifies += u64::from(!rep.converged);
+        }
+        // Sign cell: pFeFET, mirrored write polarity handled by the device.
+        let mut d = FeFet::new(qcfg.pfefet, Polarity::P);
+        let target = if hi[3] { qcfg.pfet_vth_on } else { qcfg.pfet_vth_off };
+        let rep = program_vth(&mut d, target, &cfg);
+        out.pulses += rep.pulses as u64;
+        out.energy += rep.energy;
+        out.failed_verifies += u64::from(!rep.converged);
+    }
+    out.time = out.pulses as f64 * cfg.width;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_CURFE_8B8B: f64 = 12.18;
+    const PAPER_CHGFE_8B8B: f64 = 14.47;
+
+    #[test]
+    fn curfe_calibration_hits_table1_anchor() {
+        let m = CurFeEnergyModel::paper();
+        let e = m.tops_per_watt(8, WeightBits::W8, Activity::average());
+        assert!(
+            (e - PAPER_CURFE_8B8B).abs() < 0.10 * PAPER_CURFE_8B8B,
+            "CurFe @(8b,8b): {e:.2} TOPS/W vs paper {PAPER_CURFE_8B8B}"
+        );
+    }
+
+    #[test]
+    fn chgfe_calibration_hits_table1_anchor() {
+        let m = ChgFeEnergyModel::paper();
+        let e = m.tops_per_watt(8, WeightBits::W8, Activity::average());
+        assert!(
+            (e - PAPER_CHGFE_8B8B).abs() < 0.10 * PAPER_CHGFE_8B8B,
+            "ChgFe @(8b,8b): {e:.2} TOPS/W vs paper {PAPER_CHGFE_8B8B}"
+        );
+    }
+
+    #[test]
+    fn chgfe_beats_curfe_at_equal_precision() {
+        // Section 4.1: "the energy efficiency in CurFe is lower than that
+        // in ChgFe at the same precision level" — TIA bias vs pre-charge.
+        let cur = CurFeEnergyModel::paper();
+        let chg = ChgFeEnergyModel::paper();
+        for bits in [1u32, 2, 4, 8] {
+            for w in [WeightBits::W4, WeightBits::W8] {
+                let a = Activity::average();
+                assert!(
+                    chg.tops_per_watt(bits, w, a) > cur.tops_per_watt(bits, w, a),
+                    "ChgFe must win at ({bits}b, {:?})",
+                    w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_decreases_with_input_precision() {
+        let m = CurFeEnergyModel::paper();
+        let a = Activity::average();
+        let mut last = f64::INFINITY;
+        for bits in [1u32, 2, 4, 6, 8] {
+            let e = m.tops_per_watt(bits, WeightBits::W8, a);
+            assert!(e < last, "{bits}b: {e} not < {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn four_bit_weights_double_efficiency() {
+        let m = ChgFeEnergyModel::paper();
+        let a = Activity::average();
+        let e4 = m.tops_per_watt(4, WeightBits::W4, a);
+        let e8 = m.tops_per_watt(4, WeightBits::W8, a);
+        assert!((e4 / e8 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curfe_throughput_beats_chgfe() {
+        // Section 4.2: ChgFe throughput < CurFe (longer MAC cycle).
+        let cur = CurFeEnergyModel::paper();
+        let chg = ChgFeEnergyModel::paper();
+        assert!(
+            cur.throughput_ops(8, WeightBits::W8) > chg.throughput_ops(8, WeightBits::W8)
+        );
+    }
+
+    #[test]
+    fn adc_dominates_at_high_resolution() {
+        let mut m = CurFeEnergyModel::paper();
+        m.adc_bits = 10;
+        let b = m.cycle_breakdown(Activity::average());
+        assert!(b.adc > b.total() * 0.5, "10-bit ADC share {}", b.adc / b.total());
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let b = ChgFeEnergyModel::paper().cycle_breakdown(Activity::average());
+        let sum = b.array + b.frontend + b.adc + b.wordline + b.accumulator + b.other;
+        assert!((b.total() - sum).abs() < 1e-18);
+    }
+
+
+    #[test]
+    fn write_cost_scales_with_weight_count() {
+        let small = curfe_write_cost(&[0x55, -3]);
+        let large = curfe_write_cost(&[0x55, -3, 0x55, -3]);
+        assert!(large.pulses > small.pulses);
+        assert!((large.energy - 2.0 * small.energy).abs() < 0.05 * large.energy);
+        assert_eq!(small.failed_verifies, 0);
+        assert!(small.time > 0.0);
+    }
+
+    #[test]
+    fn chgfe_writes_converge_for_all_nibble_values() {
+        let weights: Vec<i8> = (-8..8).map(|h| (h * 16) as i8).collect();
+        let cost = chgfe_write_cost(&weights);
+        assert_eq!(cost.failed_verifies, 0, "{cost:?}");
+        assert!(cost.energy > 0.0);
+    }
+
+    #[test]
+    fn write_energy_dwarfs_one_mac_cycle_but_amortizes() {
+        // A full block-pair write costs orders of magnitude more than one
+        // MAC cycle — the reason IMC is deployed weight-stationary.
+        let cost = curfe_write_cost(&[0x77i8; 32]);
+        let cycle = CurFeEnergyModel::paper()
+            .cycle_breakdown(Activity::average())
+            .total();
+        assert!(cost.energy > 2.0 * cycle, "write {:.3e} vs cycle {cycle:.3e}", cost.energy);
+    }
+
+    #[test]
+    fn sparse_optimization_raises_efficiency() {
+        let m = CurFeEnergyModel::paper();
+        let dense = m.sparse_tops_per_watt(4, WeightBits::W8, 0.5, SparsityModel::dense());
+        let base = m.tops_per_watt(4, WeightBits::W8, Activity::average());
+        assert!((dense - base).abs() / base < 1e-6, "dense sparse-model = baseline");
+        let mut last = dense;
+        for s in [0.3, 0.6, 0.9] {
+            let e = m.sparse_tops_per_watt(
+                4,
+                WeightBits::W8,
+                0.5,
+                SparsityModel {
+                    input_sparsity: s,
+                    nonzero_bit_density: 0.5,
+                },
+            );
+            assert!(e > last, "sparsity {s}: {e} should beat {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn gate_probability_limits() {
+        assert!(SparsityModel::dense().gate_probability(32) < 1e-9);
+        let very_sparse = SparsityModel {
+            input_sparsity: 0.99,
+            nonzero_bit_density: 0.5,
+        };
+        assert!(very_sparse.gate_probability(32) > 0.8);
+    }
+
+    #[test]
+    fn higher_activity_costs_more_energy() {
+        let m = CurFeEnergyModel::paper();
+        let lo = m
+            .cycle_breakdown(Activity {
+                input_density: 0.1,
+                weight_density: 0.5,
+            })
+            .total();
+        let hi = m
+            .cycle_breakdown(Activity {
+                input_density: 0.9,
+                weight_density: 0.5,
+            })
+            .total();
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,225 @@
+//! Multi-macro tiling: matrix–vector products larger than one block.
+//!
+//! A [`MacroGrid`] maps an arbitrary `[rows × cols]` signed-weight matrix
+//! onto a grid of block pairs (32 rows each, one output column per pair)
+//! and executes full matrix–vector MACs through the *behavioural* bank
+//! models — every analog effect of [`crate::curfe`]/[`crate::chgfe`]
+//! included. This is the bridge between the macro level and whole-layer
+//! execution: the statistical executor in the `neural` crate is
+//! cross-validated against this grid by the workspace integration tests.
+
+use crate::accumulator::combine_nibbles;
+use crate::adc::{h4b_adc, l4b_adc};
+use crate::array::BankDesign;
+use crate::config::{ChgFeConfig, CurFeConfig};
+use crate::weights::{input_bit_slice, InputPrecision};
+use fefet_device::variation::VariationSampler;
+
+/// A weight matrix tiled across behavioural block pairs.
+#[derive(Debug, Clone)]
+pub struct MacroGrid<D: BankDesign> {
+    design: D,
+    adc_bits: u32,
+    rows: usize,
+    cols: usize,
+    row_chunks: usize,
+    /// `blocks[chunk][col]` — each block pair holds one 32-row slice of
+    /// one output column (padded with zero weights at the edges).
+    blocks: Vec<Vec<D::Block>>,
+}
+
+/// The CurFe grid.
+pub type CurFeGrid = MacroGrid<CurFeConfig>;
+/// The ChgFe grid.
+pub type ChgFeGrid = MacroGrid<ChgFeConfig>;
+
+impl<D: BankDesign> MacroGrid<D> {
+    /// Programs a `[rows × cols]` row-major weight matrix (`weights[r *
+    /// cols + c]`) onto the grid, with deterministic per-device variation
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or `weights.len() != rows * cols`.
+    #[must_use]
+    pub fn program(design: D, adc_bits: u32, weights: &[i8], rows: usize, cols: usize, seed: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "weight matrix must be non-empty");
+        assert_eq!(weights.len(), rows * cols, "weights must fill the matrix");
+        let block_rows = design.geometry().rows;
+        let row_chunks = rows.div_ceil(block_rows);
+        let mut sampler =
+            VariationSampler::new(crate::array::design_variation(&design), seed);
+        let mut blocks = Vec::with_capacity(row_chunks);
+        for chunk in 0..row_chunks {
+            let mut row_of_blocks = Vec::with_capacity(cols);
+            for col in 0..cols {
+                let mut w = vec![0i8; block_rows];
+                for (i, slot) in w.iter_mut().enumerate() {
+                    let r = chunk * block_rows + i;
+                    if r < rows {
+                        *slot = weights[r * cols + col];
+                    }
+                }
+                let mut fork = sampler.fork();
+                row_of_blocks.push(design.program_block(&w, &mut fork));
+            }
+            blocks.push(row_of_blocks);
+        }
+        Self {
+            design,
+            adc_bits,
+            rows,
+            cols,
+            row_chunks,
+            blocks,
+        }
+    }
+
+    /// Matrix dimensions `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of block pairs in the grid.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.row_chunks * self.cols
+    }
+
+    /// Executes `y = Wᵀ·x`-style MAC: `inputs` (length `rows`, unsigned,
+    /// `precision`-bit) against every output column, with per-chunk ADC
+    /// conversion and digital accumulation — the full hardware path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != rows`.
+    #[must_use]
+    pub fn mac(&self, inputs: &[u32], precision: InputPrecision) -> Vec<f64> {
+        assert_eq!(inputs.len(), self.rows, "one input per matrix row");
+        let block_rows = self.design.geometry().rows;
+        let v_zero = self.design.v_zero();
+        let mut out = vec![0.0f64; self.cols];
+        // Pad the inputs to whole chunks.
+        let mut padded = inputs.to_vec();
+        padded.resize(self.row_chunks * block_rows, 0);
+        for t in precision.bit_positions() {
+            let bits = input_bit_slice(&padded, InputPrecision::new(precision.bits()), t);
+            let weight = f64::from(1u32 << t);
+            for (chunk, row_of_blocks) in self.blocks.iter().enumerate() {
+                let active = &bits[chunk * block_rows..(chunk + 1) * block_rows];
+                for (col, block) in row_of_blocks.iter().enumerate() {
+                    let vpu = self.design.volts_per_unit(block);
+                    let adc_h = h4b_adc(self.adc_bits, block_rows, v_zero, vpu);
+                    let adc_l = l4b_adc(self.adc_bits, block_rows, v_zero, vpu);
+                    let v = self.design.partial_mac(block, active);
+                    let h = adc_h.read_units(v.v_h4);
+                    let l = adc_l.read_units(v.v_l4);
+                    out[col] += combine_nibbles(h, l) * weight;
+                }
+            }
+        }
+        out
+    }
+
+    /// The ideal integer result for the same operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != rows`.
+    #[must_use]
+    pub fn ideal_mac(&self, inputs: &[u32], weights: &[i8]) -> Vec<i64> {
+        assert_eq!(inputs.len(), self.rows);
+        assert_eq!(weights.len(), self.rows * self.cols);
+        let mut out = vec![0i64; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c] += i64::from(inputs[r]) * i64::from(weights[r * self.cols + c]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_matrix(rows: usize, cols: usize) -> Vec<i8> {
+        (0..rows * cols)
+            .map(|i| ((i * 37) % 251) as u8 as i8)
+            .collect()
+    }
+
+    fn ramp_inputs(rows: usize) -> Vec<u32> {
+        (0..rows).map(|i| (i as u32 * 3) % 16).collect()
+    }
+
+    #[test]
+    fn grid_shape_and_block_count() {
+        let w = ramp_matrix(70, 3);
+        let g = CurFeGrid::program(CurFeConfig::paper(), 8, &w, 70, 3, 1);
+        assert_eq!(g.shape(), (70, 3));
+        // 70 rows → 3 chunks of 32; 3 cols → 9 blocks.
+        assert_eq!(g.block_count(), 9);
+    }
+
+    #[test]
+    fn curfe_grid_mac_tracks_ideal() {
+        let (rows, cols) = (70, 3);
+        let w = ramp_matrix(rows, cols);
+        let x = ramp_inputs(rows);
+        let g = CurFeGrid::program(CurFeConfig::paper(), 8, &w, rows, cols, 2);
+        let hw = g.mac(&x, InputPrecision::new(4));
+        let ideal = g.ideal_mac(&x, &w);
+        for (c, (h, i)) in hw.iter().zip(&ideal).enumerate() {
+            let gross: f64 = (0..rows)
+                .map(|r| f64::from(x[r]) * f64::from(w[r * cols + c]).abs())
+                .sum();
+            // 8-bit ADC per chunk: quantization ≈ 3 chunks × 15 bits of
+            // accumulated error; allow 2 % of gross plus quantization.
+            assert!(
+                (h - *i as f64).abs() < 0.03 * gross + 100.0,
+                "col {c}: hw {h} vs ideal {i} (gross {gross})"
+            );
+        }
+    }
+
+    #[test]
+    fn chgfe_grid_mac_tracks_ideal() {
+        let (rows, cols) = (40, 2);
+        let w = ramp_matrix(rows, cols);
+        let x: Vec<u32> = (0..rows).map(|i| (i as u32 * 3) % 4).collect();
+        let g = ChgFeGrid::program(ChgFeConfig::paper(), 8, &w, rows, cols, 3);
+        let hw = g.mac(&x, InputPrecision::new(2));
+        let ideal = g.ideal_mac(&x, &w);
+        for (c, (h, i)) in hw.iter().zip(&ideal).enumerate() {
+            let gross: f64 = (0..rows)
+                .map(|r| f64::from(x[r]) * f64::from(w[r * cols + c]).abs())
+                .sum();
+            assert!(
+                (h - *i as f64).abs() < 0.05 * gross + 100.0,
+                "col {c}: hw {h} vs ideal {i} (gross {gross})"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_padding_contributes_nothing() {
+        // A 33-row matrix: the second chunk holds one real row + 31 pads.
+        let rows = 33;
+        let w: Vec<i8> = (0..rows).map(|_| 1i8).collect();
+        let x: Vec<u32> = vec![1; rows];
+        let g = CurFeGrid::program(CurFeConfig::paper(), 10, &w, rows, 1, 4);
+        let hw = g.mac(&x, InputPrecision::new(1));
+        assert!((hw[0] - 33.0).abs() < 3.0, "hw {hw:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per matrix row")]
+    fn wrong_input_length_panics() {
+        let w = ramp_matrix(32, 1);
+        let g = CurFeGrid::program(CurFeConfig::paper(), 5, &w, 32, 1, 0);
+        let _ = g.mac(&[1, 2, 3], InputPrecision::new(1));
+    }
+}

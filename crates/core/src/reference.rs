@@ -1,0 +1,155 @@
+//! Golden integer MAC reference and error metrics.
+//!
+//! Every hardware result in this workspace is checked against the exact
+//! integer multiply-accumulate it is supposed to compute.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact MAC of unsigned inputs against signed weights:
+/// `Σ x_i · w_i`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn ideal_mac(inputs: &[u32], weights: &[i8]) -> i64 {
+    assert_eq!(inputs.len(), weights.len(), "inputs and weights must pair up");
+    inputs
+        .iter()
+        .zip(weights)
+        .map(|(&x, &w)| i64::from(x) * i64::from(w))
+        .sum()
+}
+
+/// Error metrics between hardware MAC results and the golden reference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct MacErrorStats {
+    /// Number of compared MACs.
+    pub count: usize,
+    /// Mean signed error (hardware − ideal).
+    pub mean_error: f64,
+    /// Root-mean-square error.
+    pub rms_error: f64,
+    /// Maximum absolute error.
+    pub max_abs_error: f64,
+    /// RMS error normalized by the ideal full-scale range.
+    pub normalized_rms: f64,
+}
+
+impl MacErrorStats {
+    /// Computes error statistics. `full_scale` normalizes the RMS (pass
+    /// the representable output range of the configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or `full_scale <= 0`.
+    #[must_use]
+    pub fn compare(hardware: &[f64], ideal: &[i64], full_scale: f64) -> Self {
+        assert_eq!(hardware.len(), ideal.len());
+        assert!(full_scale > 0.0, "full scale must be positive");
+        if hardware.is_empty() {
+            return Self::default();
+        }
+        let n = hardware.len() as f64;
+        let errs: Vec<f64> = hardware
+            .iter()
+            .zip(ideal)
+            .map(|(h, i)| h - *i as f64)
+            .collect();
+        let mean = errs.iter().sum::<f64>() / n;
+        let rms = (errs.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
+        let max = errs.iter().fold(0.0f64, |m, e| m.max(e.abs()));
+        Self {
+            count: hardware.len(),
+            mean_error: mean,
+            rms_error: rms,
+            max_abs_error: max,
+            normalized_rms: rms / full_scale,
+        }
+    }
+}
+
+/// Linear-regression quality of a transfer curve (for the Fig. 8
+/// linearity claim): returns `(slope, intercept, r_squared)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points or mismatched lengths.
+#[must_use]
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 2, "need at least two points to fit a line");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let sxx: f64 = x.iter().map(|a| (a - mx).powi(2)).sum();
+    let syy: f64 = y.iter().map(|b| (b - my).powi(2)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (slope, intercept, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_mac_basic() {
+        assert_eq!(ideal_mac(&[1, 2, 3], &[1, -1, 2]), 1 - 2 + 6);
+        assert_eq!(ideal_mac(&[], &[]), 0);
+    }
+
+    #[test]
+    fn ideal_mac_extremes_do_not_overflow() {
+        let inputs = vec![255u32; 1024];
+        let weights = vec![-128i8; 1024];
+        assert_eq!(ideal_mac(&inputs, &weights), -128 * 255 * 1024);
+    }
+
+    #[test]
+    fn error_stats_on_exact_match() {
+        let hw = vec![1.0, -2.0, 3.0];
+        let ideal = vec![1i64, -2, 3];
+        let s = MacErrorStats::compare(&hw, &ideal, 100.0);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.rms_error, 0.0);
+        assert_eq!(s.max_abs_error, 0.0);
+    }
+
+    #[test]
+    fn error_stats_capture_bias_and_spread() {
+        let hw = vec![2.0, 2.0, 2.0, 2.0];
+        let ideal = vec![1i64, 1, 1, 1];
+        let s = MacErrorStats::compare(&hw, &ideal, 10.0);
+        assert!((s.mean_error - 1.0).abs() < 1e-12);
+        assert!((s.rms_error - 1.0).abs() < 1e-12);
+        assert!((s.normalized_rms - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_known_line() {
+        let x: Vec<f64> = (0..50).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        let (m, b, r2) = linear_fit(&x, &y);
+        assert!((m - 3.0).abs() < 1e-9);
+        assert!((b + 7.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_r2_degrades_with_noise() {
+        let x: Vec<f64> = (0..100).map(f64::from).collect();
+        let clean: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        // Deterministic "noise".
+        let noisy: Vec<f64> = x
+            .iter()
+            .map(|v| 2.0 * v + 30.0 * ((v * 12.9898).sin()))
+            .collect();
+        let (_, _, r2c) = linear_fit(&x, &clean);
+        let (_, _, r2n) = linear_fit(&x, &noisy);
+        assert!(r2c > r2n);
+        assert!(r2n > 0.8, "still mostly linear: {r2n}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Weight encoding: 2's-complement split into H4B/L4B nibbles (Eq. 1/2 of
+//! the paper).
+//!
+//! An 8-bit signed weight `Y` is decomposed as
+//! `Y = 16·Y_H + Y_L`, where `Y_H = Y >> 4` (arithmetic shift, signed
+//! nibble in `[-8, 7]`, stored in the H4B and converted in 2's-complement
+//! mode) and `Y_L = Y & 0xF` (unsigned nibble in `[0, 15]`, stored in the
+//! L4B and converted in non-2's-complement mode).
+
+use serde::{Deserialize, Serialize};
+
+/// A signed 4-bit nibble as stored in an H4B block (2CM): value ∈ [-8, 7].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SignedNibble(i8);
+
+impl SignedNibble {
+    /// Wraps a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside `[-8, 7]`.
+    #[must_use]
+    pub fn new(v: i8) -> Self {
+        assert!((-8..=7).contains(&v), "signed nibble out of range: {v}");
+        Self(v)
+    }
+
+    /// The numeric value.
+    #[must_use]
+    pub fn value(self) -> i8 {
+        self.0
+    }
+
+    /// 2's-complement bit pattern `[b0, b1, b2, b3]` (LSB first; `b3` is
+    /// the sign bit stored in `cell7`/`WLS`).
+    #[must_use]
+    pub fn bits(self) -> [bool; 4] {
+        let u = (self.0 as u8) & 0x0F;
+        [u & 1 != 0, u & 2 != 0, u & 4 != 0, u & 8 != 0]
+    }
+
+    /// Reconstructs from the bit pattern.
+    #[must_use]
+    pub fn from_bits(bits: [bool; 4]) -> Self {
+        let mag = i8::from(bits[0]) + 2 * i8::from(bits[1]) + 4 * i8::from(bits[2]);
+        Self(mag - 8 * i8::from(bits[3]))
+    }
+}
+
+/// An unsigned 4-bit nibble as stored in an L4B block (N2CM): value ∈ [0, 15].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UnsignedNibble(u8);
+
+impl UnsignedNibble {
+    /// Wraps a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v > 15`.
+    #[must_use]
+    pub fn new(v: u8) -> Self {
+        assert!(v <= 15, "unsigned nibble out of range: {v}");
+        Self(v)
+    }
+
+    /// The numeric value.
+    #[must_use]
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Bit pattern `[b0, b1, b2, b3]`, LSB first.
+    #[must_use]
+    pub fn bits(self) -> [bool; 4] {
+        [
+            self.0 & 1 != 0,
+            self.0 & 2 != 0,
+            self.0 & 4 != 0,
+            self.0 & 8 != 0,
+        ]
+    }
+
+    /// Reconstructs from the bit pattern.
+    #[must_use]
+    pub fn from_bits(bits: [bool; 4]) -> Self {
+        Self(u8::from(bits[0]) + 2 * u8::from(bits[1]) + 4 * u8::from(bits[2]) + 8 * u8::from(bits[3]))
+    }
+}
+
+/// An 8-bit signed weight split into its H4B/L4B nibbles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SplitWeight {
+    /// High signed nibble (stored in H4B, 2CM).
+    pub high: SignedNibble,
+    /// Low unsigned nibble (stored in L4B, N2CM).
+    pub low: UnsignedNibble,
+}
+
+impl SplitWeight {
+    /// Splits an 8-bit 2's-complement weight (Eq. 1).
+    #[must_use]
+    pub fn split(w: i8) -> Self {
+        Self {
+            high: SignedNibble(w >> 4),
+            low: UnsignedNibble((w as u8) & 0x0F),
+        }
+    }
+
+    /// Recombines into the original 8-bit weight:
+    /// `w = 16·high + low`.
+    #[must_use]
+    pub fn combine(self) -> i8 {
+        (i16::from(self.high.0) * 16 + i16::from(self.low.0)) as i8
+    }
+}
+
+impl From<i8> for SplitWeight {
+    fn from(w: i8) -> Self {
+        Self::split(w)
+    }
+}
+
+/// Weight precision modes supported by the macros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightMode {
+    /// 8-bit signed weights: H4B (2CM) + L4B (N2CM) combined as
+    /// `16·H + L`.
+    Signed8,
+    /// 4-bit signed weights: only the H4B/2CM path carries data.
+    Signed4,
+}
+
+impl WeightMode {
+    /// Weight bit width.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            Self::Signed8 => 8,
+            Self::Signed4 => 4,
+        }
+    }
+
+    /// Representable weight range `(min, max)`.
+    #[must_use]
+    pub fn range(self) -> (i32, i32) {
+        match self {
+            Self::Signed8 => (-128, 127),
+            Self::Signed4 => (-8, 7),
+        }
+    }
+}
+
+/// Input precision: 1–8-bit unsigned, processed bit-serially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InputPrecision(u32);
+
+impl InputPrecision {
+    /// Wraps a bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8`.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "input precision must be 1..=8 bits");
+        Self(bits)
+    }
+
+    /// The bit width.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Maximum representable input value.
+    #[must_use]
+    pub fn max_value(self) -> u32 {
+        (1 << self.0) - 1
+    }
+
+    /// Iterates the bit significances `0..bits`.
+    pub fn bit_positions(self) -> impl Iterator<Item = u32> {
+        0..self.0
+    }
+}
+
+/// Extracts bit `t` of each multi-bit input (bit-serial slicing).
+///
+/// # Panics
+///
+/// Panics if any input exceeds the precision's range.
+#[must_use]
+pub fn input_bit_slice(inputs: &[u32], precision: InputPrecision, t: u32) -> Vec<bool> {
+    assert!(t < precision.bits(), "bit index beyond input precision");
+    inputs
+        .iter()
+        .map(|&x| {
+            assert!(
+                x <= precision.max_value(),
+                "input {x} exceeds {}-bit range",
+                precision.bits()
+            );
+            (x >> t) & 1 != 0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_combine_round_trips_all_i8() {
+        for w in i8::MIN..=i8::MAX {
+            let s = SplitWeight::split(w);
+            assert_eq!(s.combine(), w, "weight {w}");
+            assert!((-8..=7).contains(&s.high.value()));
+            assert!(s.low.value() <= 15);
+        }
+    }
+
+    #[test]
+    fn split_matches_eq1_semantics() {
+        // Eq. 1: Y = (−y7·2³ + Σ y_j 2^j)·2⁴ + (Σ y_j 2^j) on the nibble level.
+        let s = SplitWeight::split(-1); // 0b1111_1111
+        assert_eq!(s.high.value(), -1);
+        assert_eq!(s.low.value(), 15);
+        assert_eq!(s.high.bits(), [true, true, true, true]);
+
+        let s = SplitWeight::split(-128); // 0b1000_0000
+        assert_eq!(s.high.value(), -8);
+        assert_eq!(s.low.value(), 0);
+
+        let s = SplitWeight::split(127); // 0b0111_1111
+        assert_eq!(s.high.value(), 7);
+        assert_eq!(s.low.value(), 15);
+    }
+
+    #[test]
+    fn signed_nibble_bits_round_trip() {
+        for v in -8..=7i8 {
+            let n = SignedNibble::new(v);
+            assert_eq!(SignedNibble::from_bits(n.bits()).value(), v);
+        }
+    }
+
+    #[test]
+    fn unsigned_nibble_bits_round_trip() {
+        for v in 0..=15u8 {
+            let n = UnsignedNibble::new(v);
+            assert_eq!(UnsignedNibble::from_bits(n.bits()).value(), v);
+        }
+    }
+
+    #[test]
+    fn sign_bit_is_b3() {
+        assert!(SignedNibble::new(-8).bits()[3]);
+        assert!(!SignedNibble::new(7).bits()[3]);
+        assert!(SignedNibble::new(-1).bits()[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn signed_nibble_rejects_out_of_range() {
+        let _ = SignedNibble::new(8);
+    }
+
+    #[test]
+    fn input_bit_slicing() {
+        let p = InputPrecision::new(4);
+        let inputs = vec![0b1010, 0b0001, 0b1111];
+        assert_eq!(input_bit_slice(&inputs, p, 0), vec![false, true, true]);
+        assert_eq!(input_bit_slice(&inputs, p, 1), vec![true, false, true]);
+        assert_eq!(input_bit_slice(&inputs, p, 3), vec![true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn input_out_of_range_rejected() {
+        let p = InputPrecision::new(2);
+        let _ = input_bit_slice(&[5], p, 0);
+    }
+
+    #[test]
+    fn bit_serial_reconstruction_identity() {
+        // Σ_t 2^t · bit_t(x) = x, the input shift-add invariant.
+        let p = InputPrecision::new(8);
+        let inputs: Vec<u32> = (0..=255).collect();
+        let mut acc = vec![0u32; inputs.len()];
+        for t in p.bit_positions() {
+            for (a, b) in acc.iter_mut().zip(input_bit_slice(&inputs, p, t)) {
+                *a += u32::from(b) << t;
+            }
+        }
+        assert_eq!(acc, inputs);
+    }
+
+    #[test]
+    fn weight_mode_ranges() {
+        assert_eq!(WeightMode::Signed8.range(), (-128, 127));
+        assert_eq!(WeightMode::Signed4.range(), (-8, 7));
+        assert_eq!(WeightMode::Signed8.bits(), 8);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based macro tests: the hardware MAC must track the golden
+//! integer MAC within its documented error bound for arbitrary patterns.
+
+use fefet_device::variation::VariationParams;
+use imc_core::array::{CurFeMacro, ImcMacro};
+use imc_core::config::CurFeConfig;
+use imc_core::reference::ideal_mac;
+use imc_core::weights::{InputPrecision, SplitWeight};
+use proptest::prelude::*;
+
+fn quiet_macro(adc_bits: u32) -> CurFeMacro {
+    let mut cfg = CurFeConfig::paper();
+    cfg.variation = VariationParams::none();
+    ImcMacro::new(cfg, adc_bits, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// High-resolution, variation-free macro ≈ ideal integer MAC for any
+    /// weight/input pattern.
+    #[test]
+    fn macro_mac_matches_ideal(
+        weights in proptest::collection::vec(any::<i8>(), 32),
+        inputs in proptest::collection::vec(0u32..16, 32),
+    ) {
+        let mut m = quiet_macro(10);
+        m.program_bank(0, 0, &weights);
+        let out = m.mac(0, 0, &inputs, InputPrecision::new(4));
+        let ideal = ideal_mac(&inputs, &weights) as f64;
+        let gross: f64 = inputs
+            .iter()
+            .zip(&weights)
+            .map(|(x, w)| f64::from(*x) * f64::from(*w).abs())
+            .sum();
+        prop_assert!(
+            (out.value - ideal).abs() <= out.error_bound + 0.02 * gross + 2.0,
+            "hw {} vs ideal {ideal} (bound {}, gross {gross})",
+            out.value,
+            out.error_bound
+        );
+    }
+
+    /// Weight storage round-trips exactly for any pattern.
+    #[test]
+    fn stored_weights_round_trip(weights in proptest::collection::vec(any::<i8>(), 32)) {
+        let mut m = quiet_macro(5);
+        m.program_bank(3, 2, &weights);
+        prop_assert_eq!(m.stored_weights(3, 2), Some(weights));
+    }
+
+    /// The split-weight invariant holds under macro storage: the stored
+    /// nibbles recombine to the original value.
+    #[test]
+    fn nibble_split_invariant(w in any::<i8>()) {
+        let sw = SplitWeight::split(w);
+        prop_assert_eq!(sw.combine(), w);
+        prop_assert!((-8..=7).contains(&sw.high.value()));
+    }
+}

@@ -1,0 +1,210 @@
+//! Device characterization sweeps.
+//!
+//! Regenerates the measured-device style curves of the paper:
+//! Fig. 1(c) — I_D–V_G with MLC V_TH states; Fig. 2(f) — CurFe cell
+//! transfer curves; Fig. 5 — ChgFe cell transfer curves.
+
+use crate::fefet::FeFet;
+use serde::{Deserialize, Serialize};
+
+/// A single swept curve: paired x (V) and y (A) samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Curve {
+    /// Label for plots/tables (e.g. `"state 2 (Vth=0.8V)"`).
+    pub label: String,
+    /// The swept variable (V).
+    pub x: Vec<f64>,
+    /// The measured response (A).
+    pub y: Vec<f64>,
+}
+
+impl Curve {
+    /// Number of points in the curve.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the curve is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Linear interpolation of y at `x0`. Returns `None` outside the sweep
+    /// range or for an empty curve.
+    #[must_use]
+    pub fn interpolate(&self, x0: f64) -> Option<f64> {
+        if self.x.len() < 2 || x0 < self.x[0] || x0 > *self.x.last()? {
+            return None;
+        }
+        let i = match self
+            .x
+            .binary_search_by(|v| v.partial_cmp(&x0).expect("finite sweep values"))
+        {
+            Ok(i) => return Some(self.y[i]),
+            Err(i) => i,
+        };
+        let (x0a, x1) = (self.x[i - 1], self.x[i]);
+        let (y0, y1) = (self.y[i - 1], self.y[i]);
+        Some(y0 + (y1 - y0) * (x0 - x0a) / (x1 - x0a))
+    }
+}
+
+/// Generates evenly spaced sweep points, inclusive of both endpoints.
+///
+/// # Panics
+///
+/// Panics if `steps < 2` or `hi <= lo`.
+#[must_use]
+pub fn linspace(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps >= 2, "a sweep needs at least two points");
+    assert!(hi > lo, "sweep range must be non-empty");
+    let dx = (hi - lo) / (steps - 1) as f64;
+    (0..steps).map(|i| lo + dx * i as f64).collect()
+}
+
+/// Sweeps I_D–V_G of `device` at fixed `v_ds`, source grounded.
+#[must_use]
+pub fn id_vg_sweep(device: &FeFet, vg_lo: f64, vg_hi: f64, v_ds: f64, steps: usize) -> Curve {
+    let xs = linspace(vg_lo, vg_hi, steps);
+    let ys = xs.iter().map(|&vg| device.ids(vg, v_ds, 0.0).ids).collect();
+    Curve {
+        label: format!("Vth={:.3}V Vds={v_ds:.2}V", device.vth()),
+        x: xs,
+        y: ys,
+    }
+}
+
+/// Sweeps I_D–V_D of `device` at fixed `v_g`, source grounded.
+#[must_use]
+pub fn id_vd_sweep(device: &FeFet, vd_lo: f64, vd_hi: f64, v_g: f64, steps: usize) -> Curve {
+    let xs = linspace(vd_lo, vd_hi, steps);
+    let ys = xs.iter().map(|&vd| device.ids(v_g, vd, 0.0).ids).collect();
+    Curve {
+        label: format!("Vth={:.3}V Vg={v_g:.2}V", device.vth()),
+        x: xs,
+        y: ys,
+    }
+}
+
+/// The MLC I_D–V_G family of Fig. 1(c): one curve per programmed state.
+///
+/// `vth_states` lists the programmed threshold voltages (use
+/// [`crate::programming`] or explicit values from the paper's ladder).
+#[must_use]
+pub fn mlc_family(
+    device: &FeFet,
+    vth_states: &[f64],
+    vg_lo: f64,
+    vg_hi: f64,
+    v_ds: f64,
+    steps: usize,
+) -> Vec<Curve> {
+    vth_states
+        .iter()
+        .enumerate()
+        .map(|(i, &vth)| {
+            let mut d = device.clone();
+            d.set_vth(vth);
+            let mut c = id_vg_sweep(&d, vg_lo, vg_hi, v_ds, steps);
+            c.label = format!("state {i} (Vth={vth:.3}V)");
+            c
+        })
+        .collect()
+}
+
+/// Extracts a constant-current threshold voltage from an I_D–V_G curve:
+/// the gate voltage at which |I_D| crosses `i_crit`. Returns `None` if the
+/// curve never crosses.
+#[must_use]
+pub fn extract_vth_constant_current(curve: &Curve, i_crit: f64) -> Option<f64> {
+    for i in 1..curve.len() {
+        let (y0, y1) = (curve.y[i - 1].abs(), curve.y[i].abs());
+        if (y0 < i_crit) != (y1 < i_crit) && y1 != y0 {
+            let t = (i_crit - y0) / (y1 - y0);
+            return Some(curve.x[i - 1] + t * (curve.x[i] - curve.x[i - 1]));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fefet::{FeFetParams, Polarity};
+
+    fn dev(vth: f64) -> FeFet {
+        let mut d = FeFet::new(FeFetParams::nfefet_40nm(), Polarity::N);
+        d.set_vth(vth);
+        d
+    }
+
+    #[test]
+    fn linspace_endpoints_and_count() {
+        let xs = linspace(-0.5, 1.5, 21);
+        assert_eq!(xs.len(), 21);
+        assert!((xs[0] + 0.5).abs() < 1e-12);
+        assert!((xs[20] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn linspace_rejects_single_point() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn id_vg_is_monotone_for_nfet() {
+        let c = id_vg_sweep(&dev(0.4), -0.5, 1.5, 0.5, 101);
+        for i in 1..c.len() {
+            assert!(c.y[i] >= c.y[i - 1] - 1e-15);
+        }
+    }
+
+    #[test]
+    fn mlc_family_orders_by_vth() {
+        let states = [0.4, 0.8, 1.2, 1.6];
+        let fam = mlc_family(&dev(1.0), &states, -0.5, 1.8, 0.5, 50);
+        assert_eq!(fam.len(), 4);
+        // At a mid gate voltage, lower V_TH conducts more.
+        let at = |c: &Curve| c.interpolate(1.0).expect("in range");
+        for i in 1..4 {
+            assert!(at(&fam[i]) < at(&fam[i - 1]));
+        }
+    }
+
+    #[test]
+    fn constant_current_vth_extraction_tracks_programmed_state() {
+        for &vth in &[0.4, 0.8, 1.2] {
+            let c = id_vg_sweep(&dev(vth), -0.5, 2.0, 0.5, 400);
+            let vx = extract_vth_constant_current(&c, 1.0e-7).expect("crossing exists");
+            assert!(
+                (vx - vth).abs() < 0.25,
+                "extracted {vx:.3} for programmed {vth:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_matches_samples() {
+        let c = Curve {
+            label: String::new(),
+            x: vec![0.0, 1.0, 2.0],
+            y: vec![0.0, 10.0, 40.0],
+        };
+        assert_eq!(c.interpolate(1.0), Some(10.0));
+        assert_eq!(c.interpolate(0.5), Some(5.0));
+        assert_eq!(c.interpolate(-0.1), None);
+        assert_eq!(c.interpolate(2.1), None);
+    }
+
+    #[test]
+    fn id_vd_sweep_saturates() {
+        let c = id_vd_sweep(&dev(0.4), 0.0, 1.4, 1.2, 100);
+        // Saturation: slope near the end far smaller than near the origin.
+        let slope_start = (c.y[5] - c.y[0]) / (c.x[5] - c.x[0]);
+        let slope_end = (c.y[99] - c.y[94]) / (c.x[99] - c.x[94]);
+        assert!(slope_end < 0.2 * slope_start);
+    }
+}

@@ -1,0 +1,163 @@
+//! FeFET endurance: memory-window evolution over program/erase cycling.
+//!
+//! HfO₂ FeFETs show the characteristic *wake-up* (the window grows over
+//! the first ~10³ cycles as domains de-pin) followed by *fatigue* (charge
+//! injection closes the window, typically noticeably past ~10⁵–10⁶
+//! cycles, with device death near 10⁹–10¹⁰). Weight-stationary IMC
+//! inference barely cycles the cells, but on-line training or frequent
+//! model swaps would — this module quantifies the budget.
+
+use serde::{Deserialize, Serialize};
+
+/// Endurance model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceParams {
+    /// Peak wake-up gain of the memory window (fraction, e.g. 0.05).
+    pub wakeup_gain: f64,
+    /// Cycle count at which wake-up saturates.
+    pub wakeup_cycles: f64,
+    /// Cycle count at which fatigue begins.
+    pub fatigue_onset: f64,
+    /// Window loss per decade of cycles past the onset (fraction).
+    pub fatigue_per_decade: f64,
+}
+
+impl EnduranceParams {
+    /// Typical doped-HfO₂ endurance: +5 % wake-up by 10³ cycles, fatigue
+    /// from 10⁵ cycles at ~8 %/decade.
+    #[must_use]
+    pub fn hfo2_typical() -> Self {
+        Self {
+            wakeup_gain: 0.05,
+            wakeup_cycles: 1.0e3,
+            fatigue_onset: 1.0e5,
+            fatigue_per_decade: 0.08,
+        }
+    }
+}
+
+impl Default for EnduranceParams {
+    fn default() -> Self {
+        Self::hfo2_typical()
+    }
+}
+
+/// Relative memory window after `cycles` program/erase cycles
+/// (1.0 = pristine). Clamped to `[0, 1 + wakeup_gain]`.
+///
+/// # Panics
+///
+/// Panics if `cycles` is negative.
+#[must_use]
+pub fn window_factor(cycles: f64, p: &EnduranceParams) -> f64 {
+    assert!(cycles >= 0.0, "cycle count must be non-negative");
+    // Wake-up: saturating exponential toward 1 + gain.
+    let wake = 1.0 + p.wakeup_gain * (1.0 - (-cycles / p.wakeup_cycles).exp());
+    // Fatigue: log decline past the onset.
+    let fatigue = if cycles > p.fatigue_onset {
+        let decades = (cycles / p.fatigue_onset).log10();
+        1.0 - p.fatigue_per_decade * decades
+    } else {
+        1.0
+    };
+    (wake * fatigue).clamp(0.0, 1.0 + p.wakeup_gain)
+}
+
+/// The number of cycles until the window shrinks below `budget` of its
+/// pristine value (post-wake-up), or `None` if `budget` is never crossed
+/// before 10¹² cycles.
+///
+/// # Panics
+///
+/// Panics unless `0 < budget < 1`.
+#[must_use]
+pub fn cycles_to_window(budget: f64, p: &EnduranceParams) -> Option<f64> {
+    assert!(budget > 0.0 && budget < 1.0, "budget is a fraction in (0, 1)");
+    // Past wake-up, window ≈ (1 + gain) · (1 − fpd · log10(c/onset)).
+    // Solve (1 + gain)(1 − fpd·d) = budget for decades d.
+    let d = (1.0 - budget / (1.0 + p.wakeup_gain)) / p.fatigue_per_decade;
+    if d < 0.0 {
+        return Some(p.fatigue_onset); // budget above post-wake-up window
+    }
+    let cycles = p.fatigue_onset * 10f64.powf(d);
+    if cycles > 1.0e12 {
+        None
+    } else {
+        Some(cycles)
+    }
+}
+
+/// How many full DNN weight-update sessions a macro survives if each
+/// session reprograms every cell once and the application needs the
+/// window to stay above `budget`.
+#[must_use]
+pub fn update_sessions(budget: f64, p: &EnduranceParams) -> Option<u64> {
+    cycles_to_window(budget, p).map(|c| c as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> EnduranceParams {
+        EnduranceParams::hfo2_typical()
+    }
+
+    #[test]
+    fn pristine_window_is_unity() {
+        assert!((window_factor(0.0, &p()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wakeup_grows_then_saturates() {
+        let w10 = window_factor(10.0, &p());
+        let w1k = window_factor(1.0e3, &p());
+        let w10k = window_factor(1.0e4, &p());
+        assert!(w10 > 1.0);
+        assert!(w1k > w10);
+        assert!((w10k - w1k).abs() < 0.02, "wake-up saturates");
+        assert!(w1k < 1.0 + p().wakeup_gain + 1e-9);
+    }
+
+    #[test]
+    fn fatigue_closes_the_window() {
+        let fresh = window_factor(1.0e4, &p());
+        let tired = window_factor(1.0e8, &p());
+        let dead = window_factor(1.0e12, &p());
+        assert!(tired < fresh);
+        assert!(dead < tired);
+        assert!(dead >= 0.0);
+    }
+
+    #[test]
+    fn window_is_monotone_after_onset() {
+        let mut last = f64::INFINITY;
+        for e in 5..12 {
+            let w = window_factor(10f64.powi(e), &p());
+            assert!(w <= last + 1e-12);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn cycles_to_window_inverts_the_model() {
+        let budget = 0.8;
+        let c = cycles_to_window(budget, &p()).expect("within horizon");
+        let w = window_factor(c, &p());
+        assert!((w - budget).abs() < 0.02, "window at solved cycles = {w}");
+    }
+
+    #[test]
+    fn inference_only_deployment_is_safe() {
+        // One program + years of reads: the window stays essentially
+        // pristine (reads don't cycle the ferroelectric).
+        let sessions = update_sessions(0.8, &p()).expect("finite");
+        assert!(sessions > 1_000_000, "≥10⁶ weight updates before 80% window");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in (0, 1)")]
+    fn silly_budget_rejected() {
+        let _ = cycles_to_window(1.5, &p());
+    }
+}

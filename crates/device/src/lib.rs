@@ -1,0 +1,90 @@
+//! # fefet-device
+//!
+//! Compact device models for ferroelectric FETs (FeFETs) and conventional
+//! MOSFETs, built for the analog in-memory-computing (IMC) studies of the
+//! DAC'24 paper *"Energy Efficient Dual Designs of FeFET-Based Analog
+//! In-Memory Computing with Inherent Shift-Add Capability"*.
+//!
+//! The crate provides:
+//!
+//! * [`preisach`] — a Preisach-style ferroelectric hysteresis operator with
+//!   minor-loop memory (turning-point stack), the mechanism by which write
+//!   pulses set the remnant polarization of the ferroelectric gate stack.
+//! * [`fefet`] — n- and p-type FeFET I-V models: an EKV-flavoured smooth
+//!   MOS core whose threshold voltage is shifted by the ferroelectric
+//!   polarization state.
+//! * [`mosfet`] — plain MOSFETs for peripheral circuits (transmission
+//!   gates, pre-charge transistors, ...).
+//! * [`programming`] — a write-pulse scheme in the spirit of Reis et al.
+//!   (JxCDC'19) with multi-level-cell (MLC) targeting and write-verify.
+//! * [`endurance`] — memory-window wake-up/fatigue over program cycles.
+//! * [`retention`] — V_TH drift of programmed states over time (the
+//!   extension study of how long the paper's accuracy holds).
+//! * [`variation`] — device-to-device threshold-voltage variability
+//!   (σ = 40 mV per state, per the paper) with deterministic seeding.
+//! * [`characterize`] — I_D–V_G / I_D–V_D sweep helpers used to regenerate
+//!   Fig. 1(c), Fig. 2(f) and Fig. 5 of the paper.
+//!
+//! All quantities are SI: volts, amperes, farads, seconds, joules,
+//! coulombs/m² for polarization, V/m for fields.
+//!
+//! ## Example
+//!
+//! ```
+//! use fefet_device::fefet::{FeFet, FeFetParams, Polarity};
+//!
+//! // An nFeFET programmed to its low-V_TH (logic '1') state conducts
+//! // strongly at a 1.2 V read voltage; the high-V_TH state is off.
+//! let params = FeFetParams::nfefet_40nm();
+//! let mut dev = FeFet::new(params, Polarity::N);
+//! dev.set_vth(0.4);
+//! let i_on = dev.ids(1.2, 0.5, 0.0).ids;
+//! dev.set_vth(1.6);
+//! let i_off = dev.ids(1.2, 0.5, 0.0).ids;
+//! assert!(i_on / i_off > 1.0e4);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod characterize;
+pub mod endurance;
+pub mod fefet;
+pub mod mosfet;
+pub mod preisach;
+pub mod programming;
+pub mod retention;
+pub mod variation;
+
+/// Thermal voltage kT/q at 300 K, in volts.
+pub const VT_300K: f64 = 0.025852;
+
+/// Thermal voltage kT/q for a given temperature in kelvin, in volts.
+///
+/// ```
+/// let vt = fefet_device::thermal_voltage(300.0);
+/// assert!((vt - 0.02585).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn thermal_voltage(temperature_k: f64) -> f64 {
+    const K_B: f64 = 1.380_649e-23;
+    const Q_E: f64 = 1.602_176_634e-19;
+    K_B * temperature_k / Q_E
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        assert!((thermal_voltage(300.0) - VT_300K).abs() < 1e-5);
+    }
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        let v1 = thermal_voltage(300.0);
+        let v2 = thermal_voltage(600.0);
+        assert!((v2 / v1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,328 @@
+//! MOSFET compact model for peripheral transistors.
+//!
+//! Uses a simplified EKV formulation: a single smooth expression valid from
+//! subthreshold through saturation, symmetric in drain/source so that
+//! transmission gates conduct in both directions. This smoothness is what
+//! makes Newton–Raphson in the [`analog-sim`](https://docs.rs) solver
+//! converge reliably.
+//!
+//! Normalized pinch-off voltage `v_p = (V_G − V_TH)/n`; forward and reverse
+//! normalized currents `i_{f,r} = ln²(1 + exp((v_p − V_{S,D})/(2·v_T)))`;
+//! drain current `I_D = I_S (i_f − i_r) (1 + λ|V_DS|) + g_leak V_DS` with
+//! the specific current `I_S = 2 n β v_T²`.
+
+use crate::VT_300K;
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable `ln(1 + exp(x))`.
+#[inline]
+#[must_use]
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Numerically stable logistic function `1/(1 + exp(-x))`.
+#[inline]
+#[must_use]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Drain current and its partial derivatives with respect to the terminal
+/// voltages, as produced by [`ekv_ids`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IdsDerivs {
+    /// Drain current (A), positive into the drain for an n-type device.
+    pub ids: f64,
+    /// ∂I_D/∂V_G (S).
+    pub d_vg: f64,
+    /// ∂I_D/∂V_D (S).
+    pub d_vd: f64,
+    /// ∂I_D/∂V_S (S).
+    pub d_vs: f64,
+}
+
+/// Core EKV drain-current evaluation for an n-type device.
+///
+/// All voltages are referenced to the bulk. `beta` is the transconductance
+/// factor µCₒₓW/L (A/V²), `n` the subthreshold slope factor, `lambda` the
+/// channel-length-modulation coefficient (1/V) and `g_leak` a drain-source
+/// leakage conductance (S) that sets the OFF-state floor.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // raw device-model kernel: positional terminal voltages + params
+pub fn ekv_ids(
+    vg: f64,
+    vd: f64,
+    vs: f64,
+    vth: f64,
+    beta: f64,
+    n: f64,
+    lambda: f64,
+    g_leak: f64,
+) -> IdsDerivs {
+    let vt = VT_300K;
+    let i_s = 2.0 * n * beta * vt * vt;
+    let vp = (vg - vth) / n;
+    let xf = (vp - vs) / (2.0 * vt);
+    let xr = (vp - vd) / (2.0 * vt);
+    let spf = softplus(xf);
+    let spr = softplus(xr);
+    let sgf = sigmoid(xf);
+    let sgr = sigmoid(xr);
+    let i_f = spf * spf;
+    let i_r = spr * spr;
+    let id0 = i_s * (i_f - i_r);
+
+    let vds = vd - vs;
+    let clm = 1.0 + lambda * vds.abs();
+    let dclm_dvd = lambda * vds.signum();
+
+    // d i_f / d vg = 2 spf sgf / (2 vt n); d i_f / d vs = -2 spf sgf / (2 vt)
+    let df_dvg = spf * sgf / (vt * n);
+    let dr_dvg = spr * sgr / (vt * n);
+    let df_dvs = -spf * sgf / vt;
+    let dr_dvd = -spr * sgr / vt;
+
+    let did0_dvg = i_s * (df_dvg - dr_dvg);
+    let did0_dvd = -i_s * dr_dvd; // note: d(i_f - i_r)/dvd = -dr_dvd
+    let did0_dvs = i_s * df_dvs;
+
+    IdsDerivs {
+        ids: id0 * clm + g_leak * vds,
+        d_vg: did0_dvg * clm,
+        d_vd: did0_dvd * clm + id0 * dclm_dvd + g_leak,
+        d_vs: did0_dvs * clm - id0 * dclm_dvd - g_leak,
+    }
+}
+
+/// Channel polarity of a MOS-family device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// n-channel: conducts when V_GS exceeds +V_TH.
+    N,
+    /// p-channel: conducts when V_GS is below −|V_TH|.
+    P,
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::N => write!(f, "n"),
+            Self::P => write!(f, "p"),
+        }
+    }
+}
+
+/// Parameters of a peripheral MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosfetParams {
+    /// Transconductance factor β = µCₒₓW/L (A/V²).
+    pub beta: f64,
+    /// Threshold voltage magnitude (V); positive for both polarities.
+    pub vth: f64,
+    /// Subthreshold slope factor n (dimensionless, ≥ 1).
+    pub n: f64,
+    /// Channel-length modulation λ (1/V).
+    pub lambda: f64,
+    /// OFF-state leakage conductance (S).
+    pub g_leak: f64,
+}
+
+impl MosfetParams {
+    /// A typical 40 nm logic nMOS/pMOS sized for array periphery
+    /// (transmission gates, pre-charge devices).
+    #[must_use]
+    pub fn logic_40nm() -> Self {
+        Self {
+            beta: 4.0e-4,
+            vth: 0.45,
+            n: 1.25,
+            lambda: 0.08,
+            g_leak: 1.0e-12,
+        }
+    }
+
+    /// A wide pre-charge transistor able to charge a 50 fF bitline
+    /// capacitor to 1.5 V within the 1 ns window used by ChgFe.
+    #[must_use]
+    pub fn precharge_40nm() -> Self {
+        Self {
+            beta: 2.0e-3,
+            vth: 0.45,
+            n: 1.25,
+            lambda: 0.06,
+            g_leak: 1.0e-12,
+        }
+    }
+}
+
+impl Default for MosfetParams {
+    fn default() -> Self {
+        Self::logic_40nm()
+    }
+}
+
+/// A peripheral MOSFET instance.
+///
+/// # Example
+///
+/// ```
+/// use fefet_device::mosfet::{Mosfet, MosfetParams, Polarity};
+///
+/// let m = Mosfet::new(MosfetParams::logic_40nm(), Polarity::N);
+/// let on = m.ids(1.1, 0.5, 0.0).ids;
+/// let off = m.ids(0.0, 0.5, 0.0).ids;
+/// assert!(on > 1e4 * off.abs());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mosfet {
+    params: MosfetParams,
+    polarity: Polarity,
+}
+
+impl Mosfet {
+    /// Creates a MOSFET with the given parameters and polarity.
+    #[must_use]
+    pub fn new(params: MosfetParams, polarity: Polarity) -> Self {
+        Self { params, polarity }
+    }
+
+    /// The device parameters.
+    #[must_use]
+    pub fn params(&self) -> &MosfetParams {
+        &self.params
+    }
+
+    /// The channel polarity.
+    #[must_use]
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// Drain current and derivatives at the given terminal voltages
+    /// (bulk-referenced). For a p-device the returned current keeps the
+    /// same sign convention (positive into the drain node), so an ON pMOS
+    /// with V_D < V_S reports a negative `ids`.
+    #[must_use]
+    pub fn ids(&self, vg: f64, vd: f64, vs: f64) -> IdsDerivs {
+        let p = &self.params;
+        match self.polarity {
+            Polarity::N => ekv_ids(vg, vd, vs, p.vth, p.beta, p.n, p.lambda, p.g_leak),
+            Polarity::P => {
+                // Source-referenced mirroring (bulk tied to source):
+                // Id_p(vg,vd,vs) = −f(vs−vg, vs−vd).
+                let d = ekv_ids(vs - vg, vs - vd, 0.0, p.vth, p.beta, p.n, p.lambda, p.g_leak);
+                IdsDerivs {
+                    ids: -d.ids,
+                    d_vg: d.d_vg,
+                    d_vd: d.d_vd,
+                    d_vs: -(d.d_vg + d.d_vd),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softplus_limits() {
+        assert!((softplus(50.0) - 50.0).abs() < 1e-9);
+        assert!(softplus(-50.0) > 0.0);
+        assert!(softplus(-50.0) < 1e-20);
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_is_symmetric() {
+        for &x in &[0.0, 0.5, 3.0, 12.0, 40.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nmos_on_off_ratio() {
+        let m = Mosfet::new(MosfetParams::logic_40nm(), Polarity::N);
+        let on = m.ids(1.1, 0.5, 0.0).ids;
+        let off = m.ids(0.0, 0.5, 0.0).ids;
+        assert!(on > 1.0e-5, "on current should be tens of µA, got {on}");
+        assert!(on / off.abs() > 1.0e4);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let n = Mosfet::new(MosfetParams::logic_40nm(), Polarity::N);
+        let p = Mosfet::new(MosfetParams::logic_40nm(), Polarity::P);
+        let idn = n.ids(1.1, 0.6, 0.0).ids;
+        let idp = p.ids(-1.1, -0.6, 0.0).ids;
+        assert!((idn + idp).abs() < 1e-15 + 1e-12 * idn.abs());
+    }
+
+    #[test]
+    fn current_is_antisymmetric_in_drain_source_swap() {
+        let m = Mosfet::new(MosfetParams::logic_40nm(), Polarity::N);
+        let fwd = m.ids(1.2, 0.3, 0.1).ids;
+        let rev = m.ids(1.2, 0.1, 0.3).ids;
+        assert!((fwd + rev).abs() < 1e-9 * fwd.abs().max(1e-12));
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let m = Mosfet::new(MosfetParams::logic_40nm(), Polarity::N);
+        assert!(m.ids(1.2, 0.4, 0.4).ids.abs() < 1e-15);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let m = Mosfet::new(MosfetParams::logic_40nm(), Polarity::N);
+        let (vg, vd, vs) = (0.9, 0.7, 0.1);
+        let h = 1e-7;
+        let base = m.ids(vg, vd, vs);
+        let d_vg = (m.ids(vg + h, vd, vs).ids - m.ids(vg - h, vd, vs).ids) / (2.0 * h);
+        let d_vd = (m.ids(vg, vd + h, vs).ids - m.ids(vg, vd - h, vs).ids) / (2.0 * h);
+        let d_vs = (m.ids(vg, vd, vs + h).ids - m.ids(vg, vd, vs - h).ids) / (2.0 * h);
+        assert!((base.d_vg - d_vg).abs() < 1e-5 * d_vg.abs().max(1e-9));
+        assert!((base.d_vd - d_vd).abs() < 1e-5 * d_vd.abs().max(1e-9));
+        assert!((base.d_vs - d_vs).abs() < 1e-5 * d_vs.abs().max(1e-9));
+    }
+
+    #[test]
+    fn saturation_current_is_square_law() {
+        // In strong inversion and saturation, I_D ≈ β/(2n)·(V_GS−V_TH)².
+        let p = MosfetParams {
+            lambda: 0.0,
+            ..MosfetParams::logic_40nm()
+        };
+        let m = Mosfet::new(p, Polarity::N);
+        let ov = 0.5;
+        let id = m.ids(p.vth + ov, 1.2, 0.0).ids;
+        let expect = p.beta / (2.0 * p.n) * ov * ov;
+        assert!(
+            (id - expect).abs() < 0.15 * expect,
+            "id={id:.3e} expect={expect:.3e}"
+        );
+    }
+
+    #[test]
+    fn subthreshold_slope_is_exponential() {
+        let m = Mosfet::new(MosfetParams::logic_40nm(), Polarity::N);
+        let i1 = m.ids(0.15, 0.5, 0.0).ids;
+        let i2 = m.ids(0.25, 0.5, 0.0).ids;
+        // 100 mV of gate drive in subthreshold: expect ×e^(0.1/(n·vT)) ≈ ×22.
+        let ratio = i2 / i1;
+        assert!(ratio > 10.0 && ratio < 40.0, "ratio={ratio}");
+    }
+}

@@ -1,0 +1,396 @@
+//! Preisach-style ferroelectric hysteresis operator.
+//!
+//! The ferroelectric HfO₂ layer of a FeFET switches its polarization when
+//! the electric field across it crosses the (distributed) coercive field.
+//! The classic compact description — used by the experimentally calibrated
+//! model of Ni et al. (VLSI'18) that the paper simulates with — is a
+//! Preisach operator: an ensemble of elementary square hysterons whose
+//! switching thresholds follow a distribution centred on ±E_c.
+//!
+//! This module implements the *scaled-branch* formulation (equivalent to a
+//! Preisach operator with a logistic/`tanh` Everett function): the major
+//! loop is `P(E) = P_s · tanh((E ∓ E_c)/(2δ))` and every minor branch is an
+//! affine rescaling of the major branch that connects the most recent
+//! turning points. A turning-point stack provides the non-local memory
+//! (wiping-out property) of the Preisach model.
+//!
+//! Pulse-width dependence is modelled with the usual nucleation-limited
+//! logarithmic time acceleration: a pulse of width `t` and amplitude `E`
+//! acts like a static field `E · (1 + k_t · ln(t / t_ref))` (clamped to be
+//! non-negative), which captures the experimentally observed trade-off
+//! between write amplitude and write duration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the hysteresis loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreisachParams {
+    /// Saturation polarization `P_s` (C/m²). HfO₂ FeFETs: ~20 µC/cm² = 0.2 C/m².
+    pub p_sat: f64,
+    /// Mean coercive field `E_c` (V/m). HfO₂: ~1 MV/cm = 1e8 V/m.
+    pub e_coercive: f64,
+    /// Field-domain spread δ of the hysteron distribution (V/m).
+    pub spread: f64,
+    /// Logarithmic time-acceleration coefficient for pulse-width scaling.
+    pub time_coeff: f64,
+    /// Reference pulse width (s) at which `time_coeff` has no effect.
+    pub t_ref: f64,
+}
+
+impl PreisachParams {
+    /// Typical parameters for a 10 nm doped-HfO₂ ferroelectric layer as
+    /// used in the fabricated devices of the paper's Fig. 1(c).
+    #[must_use]
+    pub fn hfo2_10nm() -> Self {
+        Self {
+            p_sat: 0.20,
+            e_coercive: 1.0e8,
+            spread: 2.5e7,
+            time_coeff: 0.035,
+            t_ref: 1.0e-6,
+        }
+    }
+}
+
+impl Default for PreisachParams {
+    fn default() -> Self {
+        Self::hfo2_10nm()
+    }
+}
+
+/// A turning point of the applied-field history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct TurningPoint {
+    /// Field at the reversal (V/m).
+    field: f64,
+    /// Polarization at the reversal (C/m²).
+    polarization: f64,
+}
+
+/// Direction of field motion along a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Branch {
+    /// Field increasing: moving along an ascending branch towards +P_s.
+    Ascending,
+    /// Field decreasing: moving along a descending branch towards −P_s.
+    Descending,
+}
+
+/// Preisach hysteresis operator with minor-loop (turning-point) memory.
+///
+/// # Example
+///
+/// ```
+/// use fefet_device::preisach::{Preisach, PreisachParams};
+///
+/// let mut fe = Preisach::new(PreisachParams::hfo2_10nm());
+/// // A strong positive pulse saturates the layer "up"...
+/// fe.apply_field(3.0e8);
+/// fe.apply_field(0.0);
+/// let p_up = fe.polarization();
+/// // ...and a strong negative pulse flips it "down".
+/// fe.apply_field(-3.0e8);
+/// fe.apply_field(0.0);
+/// let p_down = fe.polarization();
+/// assert!(p_up > 0.0 && p_down < 0.0);
+/// assert!((p_up + p_down).abs() < 0.05 * p_up.abs());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preisach {
+    params: PreisachParams,
+    /// Current applied field (V/m).
+    field: f64,
+    /// Current polarization (C/m²).
+    polarization: f64,
+    /// Stack of past turning points (innermost last). Implements wiping-out.
+    history: Vec<TurningPoint>,
+    /// Direction of the branch currently being traversed.
+    branch: Branch,
+}
+
+impl Preisach {
+    /// Creates a new operator in the negatively saturated remnant state
+    /// (polarization = −P_r, field = 0), i.e. the erased state.
+    #[must_use]
+    pub fn new(params: PreisachParams) -> Self {
+        let p0 = params.p_sat * ((-params.e_coercive) / (2.0 * params.spread)).tanh();
+        Self {
+            params,
+            field: 0.0,
+            polarization: p0,
+            history: Vec::new(),
+            branch: Branch::Descending,
+        }
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &PreisachParams {
+        &self.params
+    }
+
+    /// Current polarization (C/m²).
+    #[must_use]
+    pub fn polarization(&self) -> f64 {
+        self.polarization
+    }
+
+    /// Normalized polarization in `[-1, 1]`.
+    #[must_use]
+    pub fn normalized_polarization(&self) -> f64 {
+        self.polarization / self.params.p_sat
+    }
+
+    /// Current applied field (V/m).
+    #[must_use]
+    pub fn field(&self) -> f64 {
+        self.field
+    }
+
+    /// Major-loop ascending branch: `P_s · tanh((E − E_c)/(2δ))`.
+    fn major_up(&self, e: f64) -> f64 {
+        self.params.p_sat * ((e - self.params.e_coercive) / (2.0 * self.params.spread)).tanh()
+    }
+
+    /// Major-loop descending branch: `P_s · tanh((E + E_c)/(2δ))`.
+    fn major_down(&self, e: f64) -> f64 {
+        self.params.p_sat * ((e + self.params.e_coercive) / (2.0 * self.params.spread)).tanh()
+    }
+
+    /// Evaluates the current branch at field `e`, rescaled so it passes
+    /// through the latest turning point and re-joins the major loop at
+    /// saturation (Miller-style scaled branch).
+    fn branch_value(&self, e: f64) -> f64 {
+        match self.branch {
+            Branch::Ascending => {
+                let base = self.major_up(e);
+                match self.history.last() {
+                    None => base,
+                    Some(tp) => {
+                        let at_tp = self.major_up(tp.field);
+                        // Scale the span between the turning point and +P_s.
+                        let denom = self.params.p_sat - at_tp;
+                        if denom.abs() < 1e-15 {
+                            base
+                        } else {
+                            let xi = (self.params.p_sat - tp.polarization) / denom;
+                            self.params.p_sat - xi * (self.params.p_sat - base)
+                        }
+                    }
+                }
+            }
+            Branch::Descending => {
+                let base = self.major_down(e);
+                match self.history.last() {
+                    None => base,
+                    Some(tp) => {
+                        let at_tp = self.major_down(tp.field);
+                        let denom = at_tp + self.params.p_sat;
+                        if denom.abs() < 1e-15 {
+                            base
+                        } else {
+                            let xi = (tp.polarization + self.params.p_sat) / denom;
+                            -self.params.p_sat + xi * (base + self.params.p_sat)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quasi-statically moves the applied field to `e` (V/m), updating the
+    /// polarization along the appropriate (minor-loop) branch.
+    pub fn apply_field(&mut self, e: f64) {
+        if (e - self.field).abs() < f64::EPSILON {
+            return;
+        }
+        let new_branch = if e > self.field {
+            Branch::Ascending
+        } else {
+            Branch::Descending
+        };
+        if new_branch != self.branch {
+            // Field reversal: push a turning point, switch branch.
+            self.history.push(TurningPoint {
+                field: self.field,
+                polarization: self.polarization,
+            });
+            self.branch = new_branch;
+        }
+        // Wiping-out: moving past an older turning point deletes it (and
+        // the one paired with it) from the memory.
+        while self.history.len() >= 2 {
+            let outer = self.history[self.history.len() - 2];
+            let wiped = match self.branch {
+                Branch::Ascending => e >= outer.field,
+                Branch::Descending => e <= outer.field,
+            };
+            if wiped {
+                self.history.pop();
+                self.history.pop();
+            } else {
+                break;
+            }
+        }
+        self.field = e;
+        self.polarization = self
+            .branch_value(e)
+            .clamp(-self.params.p_sat, self.params.p_sat);
+    }
+
+    /// Applies a voltage pulse of amplitude `v_pulse` across a ferroelectric
+    /// layer of thickness `t_fe` (m) for duration `width` (s), then returns
+    /// the field to zero. Returns the remnant polarization after the pulse.
+    ///
+    /// Pulse-width dependence uses logarithmic time acceleration (see
+    /// module docs); `width <= 0` is treated as `t_ref`.
+    pub fn apply_pulse(&mut self, v_pulse: f64, t_fe: f64, width: f64) -> f64 {
+        let e_raw = v_pulse / t_fe;
+        let w = if width > 0.0 { width } else { self.params.t_ref };
+        let accel = (1.0 + self.params.time_coeff * (w / self.params.t_ref).ln()).max(0.0);
+        self.apply_field(e_raw * accel);
+        self.apply_field(0.0);
+        self.polarization
+    }
+
+    /// Resets to the negatively saturated remnant state (full erase).
+    pub fn erase(&mut self) {
+        let sat = 10.0 * (self.params.e_coercive + 4.0 * self.params.spread);
+        self.apply_field(-sat);
+        self.apply_field(0.0);
+        self.history.clear();
+    }
+
+    /// Number of stored turning points (minor-loop memory depth).
+    #[must_use]
+    pub fn memory_depth(&self) -> usize {
+        self.history.len()
+    }
+}
+
+impl Default for Preisach {
+    fn default() -> Self {
+        Self::new(PreisachParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Preisach {
+        Preisach::new(PreisachParams::hfo2_10nm())
+    }
+
+    #[test]
+    fn starts_in_negative_remnant_state() {
+        let fe = fresh();
+        assert!(fe.polarization() < 0.0);
+        assert!(fe.normalized_polarization() > -1.0);
+    }
+
+    #[test]
+    fn positive_saturation_pulse_sets_positive_remnant() {
+        let mut fe = fresh();
+        let p = fe.apply_pulse(4.0, 1.0e-8, 1.0e-6);
+        assert!(p > 0.8 * fe.params().p_sat);
+    }
+
+    #[test]
+    fn hysteresis_loop_is_symmetric() {
+        let mut fe = fresh();
+        fe.apply_pulse(4.0, 1.0e-8, 1.0e-6);
+        let p_up = fe.polarization();
+        fe.apply_pulse(-4.0, 1.0e-8, 1.0e-6);
+        let p_down = fe.polarization();
+        assert!((p_up + p_down).abs() < 0.05 * p_up.abs());
+    }
+
+    #[test]
+    fn partial_pulse_gives_intermediate_state() {
+        let mut fe = fresh();
+        fe.erase();
+        // A pulse near the coercive field only partially switches.
+        let p_partial = fe.apply_pulse(1.05, 1.0e-8, 1.0e-6);
+        let mut fe2 = fresh();
+        fe2.erase();
+        let p_full = fe2.apply_pulse(4.0, 1.0e-8, 1.0e-6);
+        assert!(p_partial > -fe.params().p_sat);
+        assert!(p_partial < 0.95 * p_full);
+    }
+
+    #[test]
+    fn monotone_pulse_amplitude_gives_monotone_remnant() {
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..20 {
+            let v = 0.5 + 0.2 * f64::from(i);
+            let mut fe = fresh();
+            fe.erase();
+            let p = fe.apply_pulse(v, 1.0e-8, 1.0e-6);
+            assert!(
+                p >= last - 1e-12,
+                "remnant polarization must be monotone in pulse amplitude"
+            );
+            last = p;
+        }
+    }
+
+    #[test]
+    fn longer_pulse_switches_more() {
+        let mut fe_short = fresh();
+        fe_short.erase();
+        let p_short = fe_short.apply_pulse(1.1, 1.0e-8, 1.0e-7);
+        let mut fe_long = fresh();
+        fe_long.erase();
+        let p_long = fe_long.apply_pulse(1.1, 1.0e-8, 1.0e-5);
+        assert!(p_long > p_short);
+    }
+
+    #[test]
+    fn wiping_out_property() {
+        let mut fe = fresh();
+        fe.erase();
+        // Minor excursion...
+        fe.apply_field(0.8e8);
+        fe.apply_field(0.2e8);
+        assert!(fe.memory_depth() >= 1);
+        // ...wiped out by a larger excursion in the same direction.
+        fe.apply_field(2.0e8);
+        assert_eq!(fe.memory_depth(), 0);
+    }
+
+    #[test]
+    fn minor_loop_closes_on_itself() {
+        let mut fe = fresh();
+        fe.erase();
+        fe.apply_field(1.2e8);
+        let depth0 = fe.memory_depth();
+        let p0 = fe.polarization();
+        // Traverse a closed minor loop: down then back up to the same field.
+        fe.apply_field(0.6e8);
+        fe.apply_field(1.2e8);
+        let p1 = fe.polarization();
+        assert!((p0 - p1).abs() < 1e-3 * fe.params().p_sat);
+        assert_eq!(fe.memory_depth(), depth0);
+    }
+
+    #[test]
+    fn polarization_never_exceeds_saturation() {
+        let mut fe = fresh();
+        for &e in &[5.0e8, -7.0e8, 3.0e8, -1.0e8, 9.0e8] {
+            fe.apply_field(e);
+            assert!(fe.polarization().abs() <= fe.params().p_sat + 1e-12);
+        }
+    }
+
+    #[test]
+    fn erase_is_idempotent() {
+        let mut fe = fresh();
+        fe.apply_pulse(4.0, 1.0e-8, 1e-6);
+        fe.erase();
+        let p1 = fe.polarization();
+        fe.erase();
+        let p2 = fe.polarization();
+        assert!((p1 - p2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! FeFET retention: threshold-voltage drift of programmed states.
+//!
+//! HfO₂ FeFETs lose part of their programmed polarization over time
+//! through depolarization fields and charge trapping; the standard
+//! empirical description is a logarithmic decay of the memory window,
+//! `ΔV_TH(t) = −k · V_prog_depth · log10(1 + t/t₀)`, with intermediate
+//! MLC states drifting toward the window centre. The paper assumes fresh
+//! states; this module is the extension needed to study *how long* the
+//! paper's accuracy numbers hold — drift shifts the binary-weighted
+//! current ladder and therefore the MAC transfer curve.
+
+use crate::fefet::FeFet;
+use serde::{Deserialize, Serialize};
+
+/// Retention model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionParams {
+    /// Fraction of the programmed V_TH excursion lost per decade of time.
+    pub loss_per_decade: f64,
+    /// Reference time t₀ (s) at which drift begins to accumulate.
+    pub t0: f64,
+    /// The V_TH toward which states relax (the window centre).
+    pub vth_center: f64,
+}
+
+impl RetentionParams {
+    /// Typical 10-year-capable HfO₂ FeFET retention: ~2 % of the
+    /// programmed depth per decade past 1 s.
+    #[must_use]
+    pub fn hfo2_typical() -> Self {
+        Self {
+            loss_per_decade: 0.02,
+            t0: 1.0,
+            vth_center: 1.0,
+        }
+    }
+
+    /// A degraded corner (weak anneal / high trap density): 6 % per
+    /// decade.
+    #[must_use]
+    pub fn hfo2_degraded() -> Self {
+        Self {
+            loss_per_decade: 0.06,
+            t0: 1.0,
+            vth_center: 1.0,
+        }
+    }
+}
+
+impl Default for RetentionParams {
+    fn default() -> Self {
+        Self::hfo2_typical()
+    }
+}
+
+/// The drifted threshold voltage of a state programmed to `vth_fresh`
+/// after `elapsed` seconds.
+///
+/// States relax toward [`RetentionParams::vth_center`] by
+/// `loss_per_decade · |vth_fresh − centre|` per decade; drift never
+/// crosses the centre.
+///
+/// # Panics
+///
+/// Panics if `elapsed` is negative.
+#[must_use]
+pub fn drifted_vth(vth_fresh: f64, elapsed: f64, params: &RetentionParams) -> f64 {
+    assert!(elapsed >= 0.0, "elapsed time must be non-negative");
+    if elapsed == 0.0 {
+        return vth_fresh;
+    }
+    let decades = (1.0 + elapsed / params.t0).log10();
+    let depth = vth_fresh - params.vth_center;
+    let retained = (1.0 - params.loss_per_decade * decades).max(0.0);
+    params.vth_center + depth * retained
+}
+
+/// Applies retention drift to a device in place (uses the behavioural
+/// V_TH override). Returns the new threshold.
+pub fn age_device(device: &mut FeFet, elapsed: f64, params: &RetentionParams) -> f64 {
+    let fresh = device.vth();
+    let aged = drifted_vth(fresh, elapsed, params);
+    device.set_vth(aged);
+    aged
+}
+
+/// Time (s) until a programmed state's drift reaches `budget_v` volts,
+/// or `None` if it never does within `10^max_decades · t0`.
+#[must_use]
+pub fn time_to_drift(
+    vth_fresh: f64,
+    budget_v: f64,
+    params: &RetentionParams,
+    max_decades: f64,
+) -> Option<f64> {
+    assert!(budget_v > 0.0);
+    let depth = (vth_fresh - params.vth_center).abs();
+    if depth == 0.0 || params.loss_per_decade == 0.0 {
+        return None;
+    }
+    // |drift| = depth · loss · log10(1 + t/t0) = budget.
+    let decades = budget_v / (depth * params.loss_per_decade);
+    if decades > max_decades {
+        return None;
+    }
+    Some(params.t0 * (10f64.powf(decades) - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fefet::{FeFetParams, Polarity};
+
+    #[test]
+    fn zero_elapsed_is_identity() {
+        let p = RetentionParams::hfo2_typical();
+        assert_eq!(drifted_vth(0.35, 0.0, &p), 0.35);
+    }
+
+    #[test]
+    fn drift_moves_toward_center_from_both_sides() {
+        let p = RetentionParams::hfo2_typical();
+        let low = drifted_vth(0.35, 1.0e5, &p);
+        let high = drifted_vth(1.77, 1.0e5, &p);
+        assert!(low > 0.35 && low < p.vth_center);
+        assert!(high < 1.77 && high > p.vth_center);
+    }
+
+    #[test]
+    fn drift_is_monotone_in_time() {
+        let p = RetentionParams::hfo2_typical();
+        let mut last = 0.35;
+        for k in 0..8 {
+            let t = 10f64.powi(k);
+            let v = drifted_vth(0.35, t, &p);
+            assert!(v >= last, "t={t}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn ten_year_drift_is_small_for_typical_corner() {
+        let p = RetentionParams::hfo2_typical();
+        let ten_years = 10.0 * 365.25 * 24.0 * 3600.0;
+        let v = drifted_vth(0.35, ten_years, &p);
+        // ~8.5 decades × 2% ≈ 17% of the 0.65 V depth ≈ 0.11 V.
+        assert!((v - 0.35).abs() < 0.15, "10-year drift {}", v - 0.35);
+    }
+
+    #[test]
+    fn degraded_corner_drifts_faster() {
+        let t = 1.0e6;
+        let typ = drifted_vth(0.35, t, &RetentionParams::hfo2_typical());
+        let bad = drifted_vth(0.35, t, &RetentionParams::hfo2_degraded());
+        assert!(bad > typ);
+    }
+
+    #[test]
+    fn drift_never_crosses_center() {
+        let p = RetentionParams::hfo2_degraded();
+        let v = drifted_vth(0.35, 1.0e30, &p);
+        assert!(v <= p.vth_center + 1e-12);
+    }
+
+    #[test]
+    fn age_device_updates_vth() {
+        let mut d = FeFet::new(FeFetParams::nfefet_40nm(), Polarity::N);
+        d.set_vth(0.35);
+        let aged = age_device(&mut d, 1.0e6, &RetentionParams::hfo2_typical());
+        assert!((d.vth() - aged).abs() < 1e-12);
+        assert!(aged > 0.35);
+    }
+
+    #[test]
+    fn time_to_drift_inverts_drifted_vth() {
+        let p = RetentionParams::hfo2_typical();
+        let budget = 0.05;
+        let t = time_to_drift(0.35, budget, &p, 12.0).expect("within horizon");
+        let v = drifted_vth(0.35, t, &p);
+        assert!(((v - 0.35).abs() - budget).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_drift_none_for_center_state() {
+        let p = RetentionParams::hfo2_typical();
+        assert!(time_to_drift(p.vth_center, 0.05, &p, 12.0).is_none());
+    }
+}

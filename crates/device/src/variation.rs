@@ -1,0 +1,371 @@
+//! Device-to-device threshold-voltage variability.
+//!
+//! The paper assumes each programmed FeFET V_TH state carries Gaussian
+//! variability with σ = 40 mV (after Soliman et al., IEDM'20), and all
+//! Monte-Carlo experiments (Figs. 7 and 8) perturb the programmed states
+//! with this distribution. This module centralizes the sampling so that
+//! every experiment is deterministic under an explicit seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// The paper's per-state threshold-voltage standard deviation (V).
+pub const SIGMA_VTH_PAPER: f64 = 0.040;
+
+/// Gaussian V_TH variability model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationParams {
+    /// Standard deviation of the per-device V_TH perturbation (V).
+    pub sigma_vth: f64,
+    /// Standard deviation of relative resistor mismatch (fraction), applied
+    /// to the drain resistors of CurFe `1nFeFET1R` cells.
+    pub sigma_r_rel: f64,
+    /// Standard deviation of relative capacitor mismatch (fraction),
+    /// applied to ChgFe bitline capacitors.
+    pub sigma_c_rel: f64,
+}
+
+impl VariationParams {
+    /// The variability assumed by the paper: σ(V_TH) = 40 mV; passive
+    /// mismatch of 1 % for resistors and 0.5 % for MOM capacitors (typical
+    /// for 40 nm back-end passives).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            sigma_vth: SIGMA_VTH_PAPER,
+            sigma_r_rel: 0.01,
+            sigma_c_rel: 0.005,
+        }
+    }
+
+    /// An idealized corner with no variability at all; useful for
+    /// separating quantization error from device noise.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            sigma_vth: 0.0,
+            sigma_r_rel: 0.0,
+            sigma_c_rel: 0.0,
+        }
+    }
+
+    /// Scales every σ by `factor` (for sensitivity sweeps).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            sigma_vth: self.sigma_vth * factor,
+            sigma_r_rel: self.sigma_r_rel * factor,
+            sigma_c_rel: self.sigma_c_rel * factor,
+        }
+    }
+}
+
+impl Default for VariationParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A seeded sampler of device perturbations.
+///
+/// # Example
+///
+/// ```
+/// use fefet_device::variation::{VariationParams, VariationSampler};
+///
+/// let mut s = VariationSampler::new(VariationParams::paper(), 42);
+/// let dv = s.vth_offset();
+/// assert!(dv.abs() < 0.4); // ten sigma
+/// // Re-seeding reproduces the stream.
+/// let mut s2 = VariationSampler::new(VariationParams::paper(), 42);
+/// assert_eq!(dv.to_bits(), s2.vth_offset().to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VariationSampler {
+    params: VariationParams,
+    rng: StdRng,
+    vth_dist: Normal<f64>,
+    r_dist: Normal<f64>,
+    c_dist: Normal<f64>,
+}
+
+impl VariationSampler {
+    /// Creates a sampler with an explicit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any σ in `params` is negative or non-finite (a programming
+    /// error, caught eagerly per C-VALIDATE).
+    #[must_use]
+    pub fn new(params: VariationParams, seed: u64) -> Self {
+        assert!(
+            params.sigma_vth >= 0.0 && params.sigma_vth.is_finite(),
+            "sigma_vth must be a finite non-negative number"
+        );
+        assert!(params.sigma_r_rel >= 0.0 && params.sigma_r_rel.is_finite());
+        assert!(params.sigma_c_rel >= 0.0 && params.sigma_c_rel.is_finite());
+        Self {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            vth_dist: Normal::new(0.0, params.sigma_vth.max(f64::MIN_POSITIVE))
+                .expect("validated above"),
+            r_dist: Normal::new(0.0, params.sigma_r_rel.max(f64::MIN_POSITIVE))
+                .expect("validated above"),
+            c_dist: Normal::new(0.0, params.sigma_c_rel.max(f64::MIN_POSITIVE))
+                .expect("validated above"),
+        }
+    }
+
+    /// The variability parameters.
+    #[must_use]
+    pub fn params(&self) -> &VariationParams {
+        &self.params
+    }
+
+    /// Samples a V_TH offset (V) for one device/state.
+    pub fn vth_offset(&mut self) -> f64 {
+        if self.params.sigma_vth == 0.0 {
+            0.0
+        } else {
+            self.vth_dist.sample(&mut self.rng)
+        }
+    }
+
+    /// Samples a multiplicative resistor mismatch factor (≈ 1).
+    pub fn r_factor(&mut self) -> f64 {
+        if self.params.sigma_r_rel == 0.0 {
+            1.0
+        } else {
+            1.0 + self.r_dist.sample(&mut self.rng)
+        }
+    }
+
+    /// Samples a multiplicative capacitor mismatch factor (≈ 1).
+    pub fn c_factor(&mut self) -> f64 {
+        if self.params.sigma_c_rel == 0.0 {
+            1.0
+        } else {
+            1.0 + self.c_dist.sample(&mut self.rng)
+        }
+    }
+
+    /// Forks an independent sampler for a sub-experiment (e.g. one Monte
+    /// Carlo trial) so trials can be parallelized deterministically.
+    pub fn fork(&mut self) -> Self {
+        let seed = self.rng.gen::<u64>();
+        Self::new(self.params, seed)
+    }
+}
+
+/// Summary statistics of a sample, used by the Monte-Carlo histograms of
+/// Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Computes statistics over `values`. Returns `Default::default()` for
+    /// an empty slice.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            count: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Coefficient of variation σ/|µ| (returns infinity when the mean is 0).
+    #[must_use]
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.std_dev / self.mean.abs()
+        }
+    }
+}
+
+/// A fixed-bin histogram for reproducing Fig. 7's current distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    out_of_range: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            out_of_range: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() || v < self.lo || v >= self.hi {
+            self.out_of_range += 1;
+            return;
+        }
+        let idx = ((v - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations that fell outside `[lo, hi)`.
+    #[must_use]
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Total in-range observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_deterministic_under_seed() {
+        let mut a = VariationSampler::new(VariationParams::paper(), 7);
+        let mut b = VariationSampler::new(VariationParams::paper(), 7);
+        for _ in 0..100 {
+            assert_eq!(a.vth_offset().to_bits(), b.vth_offset().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = VariationSampler::new(VariationParams::paper(), 1);
+        let mut b = VariationSampler::new(VariationParams::paper(), 2);
+        let same = (0..32).filter(|_| a.vth_offset() == b.vth_offset()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn zero_sigma_yields_exact_values() {
+        let mut s = VariationSampler::new(VariationParams::none(), 3);
+        for _ in 0..10 {
+            assert_eq!(s.vth_offset(), 0.0);
+            assert_eq!(s.r_factor(), 1.0);
+            assert_eq!(s.c_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn empirical_sigma_matches_parameter() {
+        let mut s = VariationSampler::new(VariationParams::paper(), 11);
+        let vals: Vec<f64> = (0..20_000).map(|_| s.vth_offset()).collect();
+        let stats = SampleStats::from_values(&vals);
+        assert!(stats.mean.abs() < 0.002);
+        assert!((stats.std_dev - SIGMA_VTH_PAPER).abs() < 0.002);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = VariationSampler::new(VariationParams::paper(), 5);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let v1: Vec<f64> = (0..16).map(|_| c1.vth_offset()).collect();
+        let v2: Vec<f64> = (0..16).map(|_| c2.vth_offset()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn histogram_bins_and_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.5, 1.5, 1.6, 9.99, -1.0, 10.0]);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.out_of_range(), 2);
+        assert_eq!(h.total(), 4);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_stats_on_known_data() {
+        let stats = SampleStats::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.count, 4);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert!((stats.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 4.0);
+    }
+
+    #[test]
+    fn empty_stats_default() {
+        let stats = SampleStats::from_values(&[]);
+        assert_eq!(stats.count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram needs at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,960 @@
+//! IMC-macro-backed quantized inference — the machinery behind the
+//! paper's Fig. 10 (accuracy vs ADC resolution / precision / design).
+//!
+//! A trained float network (flat [`Sequential`], e.g. VGG8) is converted
+//! into a [`QNetwork`]: convolutions and linear layers execute on a
+//! *statistical macro model* that applies exactly the error mechanisms of
+//! the hardware —
+//!
+//! 1. weight quantization to 4-/8-bit 2's complement and H4B/L4B
+//!    splitting,
+//! 2. activation quantization to 1–8-bit unsigned, processed bit-serially,
+//! 3. 32-row partial-sum chunking (the macro's accumulation depth),
+//! 4. per-cycle Gaussian analog noise with the per-bit-significance
+//!    relative current spreads measured from the behavioural cell models
+//!    (CurFe: resistor-limited, tight; ChgFe: V_TH-slope-limited, wide),
+//! 5. 2CM/N2CM SAR ADC quantization per chunk, then digital nibble
+//!    combining and input shift-add.
+//!
+//! The statistical model runs at matmul speed; its noise constants are
+//! validated against the cycle-accurate [`imc_core`] bank models by the
+//! integration tests.
+
+use crate::layers::{BatchNorm2d, Conv2d, Layer, Linear};
+use crate::models::Sequential;
+use crate::quant::{quantize_activations, quantize_weights, QuantizedWeights};
+use crate::tensor::{matmul_parallel, Tensor};
+use imc_core::adc::{h4b_adc, l4b_adc, SarAdc};
+use imc_core::weights::SplitWeight;
+
+/// Which macro design executes the MACs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImcDesign {
+    /// Current-mode (TIA) design.
+    CurFe,
+    /// Charge-mode (charge-sharing) design.
+    ChgFe,
+}
+
+/// Noise constants: relative 1-σ current spread per intra-nibble bit
+/// significance (index 0–3) and for the sign column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseProfile {
+    /// Relative σ of the bit-`j` cell current.
+    pub rel_sigma: [f64; 4],
+    /// Relative σ of the sign-column current.
+    pub rel_sigma_sign: f64,
+}
+
+impl NoiseProfile {
+    /// CurFe: the drain resistor dominates, so the spread is essentially
+    /// the 1 % resistor mismatch (Fig. 7(a)).
+    #[must_use]
+    pub fn curfe() -> Self {
+        Self {
+            rel_sigma: [0.012; 4],
+            rel_sigma_sign: 0.012,
+        }
+    }
+
+    /// ChgFe: σ(I)/I = 2·σ(V_TH)/OV_j with the √2 overdrive ladder of the
+    /// paper configuration, so the LSB cell is the noisiest (Fig. 7(b)).
+    #[must_use]
+    pub fn chgfe() -> Self {
+        let cfg = imc_core::config::ChgFeConfig::paper();
+        let sigma = cfg.variation.sigma_vth;
+        let s = |j: usize| 2.0 * sigma / (cfg.ladder.v_read - cfg.ladder.vth_on[j]);
+        Self {
+            rel_sigma: [s(0), s(1), s(2), s(3)],
+            rel_sigma_sign: s(3),
+        }
+    }
+
+    /// The profile of a design.
+    #[must_use]
+    pub fn for_design(design: ImcDesign) -> Self {
+        match design {
+            ImcDesign::CurFe => Self::curfe(),
+            ImcDesign::ChgFe => Self::chgfe(),
+        }
+    }
+}
+
+/// Hardware configuration of the statistical executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImcConfig {
+    /// The macro design.
+    pub design: ImcDesign,
+    /// ADC resolution (bits).
+    pub adc_bits: u32,
+    /// Activation precision (1–8 bits).
+    pub input_bits: u32,
+    /// Weight precision (4 or 8 bits).
+    pub weight_bits: u32,
+    /// Accumulation rows per chunk (the macro's 32).
+    pub rows: usize,
+    /// Noise seed (deterministic).
+    pub seed: u64,
+    /// Scale on the noise profile (0 disables device noise).
+    pub noise_scale: f64,
+    /// Fraction of the device σ that re-rolls every read cycle
+    /// (cycle-to-cycle read noise); the rest is a static program-time
+    /// perturbation, the physically dominant component.
+    pub read_noise_fraction: f64,
+}
+
+impl ImcConfig {
+    /// The paper's operating point: 5-bit ADC, 32 rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_bits` is not 4 or 8.
+    #[must_use]
+    pub fn paper(design: ImcDesign, input_bits: u32, weight_bits: u32) -> Self {
+        assert!(weight_bits == 4 || weight_bits == 8, "weights are 4 or 8 bit");
+        Self {
+            design,
+            adc_bits: 5,
+            input_bits,
+            weight_bits,
+            rows: 32,
+            seed: 0x0FEF_E7A0,
+            noise_scale: 1.0,
+            read_noise_fraction: 0.15,
+        }
+    }
+}
+
+/// SplitMix64 + Box-Muller: a tiny deterministic Gaussian stream (fast
+/// enough for millions of draws per image).
+#[derive(Debug, Clone)]
+struct GaussStream {
+    state: u64,
+    spare: Option<f64>,
+}
+
+impl GaussStream {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed,
+            spare: None,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn normal(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        let u1 = self.uniform().max(1e-300);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
+        self.spare = Some(r * s);
+        r * c
+    }
+}
+
+/// Per-weight lookup: nibble unit values and per-cycle noise variances.
+#[derive(Debug, Clone)]
+struct WeightPlanes {
+    /// `[chunks][rows_c × oc]` high-nibble unit matrices.
+    hi: Vec<Tensor>,
+    /// Low-nibble unit matrices (zero in 4-bit mode).
+    lo: Vec<Tensor>,
+    /// Per-cell variance matrices (high block).
+    var_h: Vec<Tensor>,
+    /// Per-cell variance matrices (low block).
+    var_l: Vec<Tensor>,
+    /// Rows in each chunk.
+    chunk_rows: Vec<usize>,
+    out_features: usize,
+}
+
+fn build_planes(qw: &QuantizedWeights, cfg: &ImcConfig) -> WeightPlanes {
+    let noise = NoiseProfile::for_design(cfg.design);
+    // Device-to-device variation is sampled ONCE at program time: it
+    // perturbs the stored unit values statically. Only
+    // `read_noise_fraction` of the σ re-rolls per cycle (see imc_matmul).
+    let mut program_gauss = GaussStream::new(cfg.seed ^ 0x5EED_CAFE);
+    let static_frac = (1.0 - cfg.read_noise_fraction).max(0.0) * cfg.noise_scale;
+    let [oc, fan] = qw.shape;
+    let rows = cfg.rows;
+    let n_chunks = fan.div_ceil(rows);
+    let mut hi = Vec::with_capacity(n_chunks);
+    let mut lo = Vec::with_capacity(n_chunks);
+    let mut var_h = Vec::with_capacity(n_chunks);
+    let mut var_l = Vec::with_capacity(n_chunks);
+    let mut chunk_rows = Vec::with_capacity(n_chunks);
+    for c in 0..n_chunks {
+        let r0 = c * rows;
+        let r1 = (r0 + rows).min(fan);
+        let rc = r1 - r0;
+        chunk_rows.push(rc);
+        let mut th = Tensor::zeros(&[rc, oc]);
+        let mut tl = Tensor::zeros(&[rc, oc]);
+        let mut vh = Tensor::zeros(&[rc, oc]);
+        let mut vl = Tensor::zeros(&[rc, oc]);
+        for r in r0..r1 {
+            for o in 0..oc {
+                let w = qw.q[o * fan + r];
+                let (h_units, l_units, varh, varl) = cell_stats(w, cfg.weight_bits, &noise);
+                let idx = (r - r0) * oc + o;
+                let dh = static_frac * varh.sqrt() * program_gauss.normal();
+                let dl = static_frac * varl.sqrt() * program_gauss.normal();
+                th.data_mut()[idx] = (h_units as f64 + dh) as f32;
+                tl.data_mut()[idx] = (l_units as f64 + dl) as f32;
+                vh.data_mut()[idx] = varh as f32;
+                vl.data_mut()[idx] = varl as f32;
+            }
+        }
+        hi.push(th);
+        lo.push(tl);
+        var_h.push(vh);
+        var_l.push(vl);
+    }
+    WeightPlanes {
+        hi,
+        lo,
+        var_h,
+        var_l,
+        chunk_rows,
+        out_features: oc,
+    }
+}
+
+/// Unit values and current-noise variances contributed by one stored
+/// weight when its row is activated.
+fn cell_stats(w: i8, weight_bits: u32, noise: &NoiseProfile) -> (i32, i32, f64, f64) {
+    let (hi_nib, lo_nib) = if weight_bits == 8 {
+        let sw = SplitWeight::split(w);
+        (sw.high.value(), Some(sw.low.value()))
+    } else {
+        (w, None)
+    };
+    // High nibble: bits 0–2 positive, bit 3 (sign) negative.
+    let hb = imc_core::weights::SignedNibble::new(hi_nib).bits();
+    let mut varh = 0.0;
+    for (j, &b) in hb.iter().enumerate().take(3) {
+        if b {
+            varh += (noise.rel_sigma[j] * f64::from(1u32 << j)).powi(2);
+        }
+    }
+    if hb[3] {
+        varh += (noise.rel_sigma_sign * 8.0).powi(2);
+    }
+    let (l_units, varl) = match lo_nib {
+        None => (0, 0.0),
+        Some(l) => {
+            let lb = imc_core::weights::UnsignedNibble::new(l).bits();
+            let mut v = 0.0;
+            for (j, &b) in lb.iter().enumerate() {
+                if b {
+                    v += (noise.rel_sigma[j] * f64::from(1u32 << j)).powi(2);
+                }
+            }
+            (i32::from(l), v)
+        }
+    };
+    (i32::from(hi_nib), l_units, varh, varl)
+}
+
+/// Runs the IMC MAC for a batch of activation rows against a weight
+/// plane set: `acts_codes` is `[positions, fan]` (integer codes as f32),
+/// output is `[positions, oc]` in integer MAC units.
+#[allow(clippy::needless_range_loop)] // flat index shared across five planes
+fn imc_matmul(
+    acts_codes: &Tensor,
+    planes: &WeightPlanes,
+    adcs: &(SarAdc, SarAdc),
+    cfg: &ImcConfig,
+    gauss: &mut GaussStream,
+) -> Tensor {
+    let positions = acts_codes.shape()[0];
+    let fan = acts_codes.shape()[1];
+    let oc = planes.out_features;
+    let (adc_h, adc_l) = adcs;
+    let mut acc = Tensor::zeros(&[positions, oc]);
+    let threads = crate::layers::worker_threads();
+
+    for t in 0..cfg.input_bits {
+        // Bit-plane of the activations.
+        let mut xb = Tensor::zeros(&[positions, fan]);
+        {
+            let src = acts_codes.data();
+            let dst = xb.data_mut();
+            for i in 0..src.len() {
+                let code = src[i] as u32;
+                dst[i] = f32::from((code >> t) & 1 != 0);
+            }
+        }
+        let weight = f64::from(1u32 << t);
+        let mut r0 = 0usize;
+        for (ci, &rc) in planes.chunk_rows.iter().enumerate() {
+            // Slice the bit-plane columns for this chunk.
+            let mut xc = Tensor::zeros(&[positions, rc]);
+            {
+                let src = xb.data();
+                let dst = xc.data_mut();
+                for p in 0..positions {
+                    dst[p * rc..(p + 1) * rc]
+                        .copy_from_slice(&src[p * fan + r0..p * fan + r0 + rc]);
+                }
+            }
+            let h_id = matmul_parallel(&xc, &planes.hi[ci], threads);
+            let l_id = matmul_parallel(&xc, &planes.lo[ci], threads);
+            let vh = matmul_parallel(&xc, &planes.var_h[ci], threads);
+            let vl = matmul_parallel(&xc, &planes.var_l[ci], threads);
+            let ad = acc.data_mut();
+            for i in 0..positions * oc {
+                let read_scale = cfg.noise_scale * cfg.read_noise_fraction;
+                let noise_h = if read_scale > 0.0 {
+                    read_scale * f64::from(vh.data()[i]).max(0.0).sqrt() * gauss.normal()
+                } else {
+                    0.0
+                };
+                let h_units = adc_h.read_units(f64::from(h_id.data()[i]) + noise_h);
+                let combined = if cfg.weight_bits == 8 {
+                    let noise_l = if read_scale > 0.0 {
+                        read_scale * f64::from(vl.data()[i]).max(0.0).sqrt() * gauss.normal()
+                    } else {
+                        0.0
+                    };
+                    let l_units = adc_l.read_units(f64::from(l_id.data()[i]) + noise_l);
+                    16.0 * h_units + l_units
+                } else {
+                    h_units
+                };
+                ad[i] += (combined * weight) as f32;
+            }
+            r0 += rc;
+        }
+    }
+    acc
+}
+
+/// Runs the ideal (noise-free, conversion-free) chunked MAC and records
+/// the largest |H4B| and L4B chunk partial sums — used by the reference-
+/// bank range calibration.
+#[allow(clippy::needless_range_loop)] // flat index shared across planes
+fn ideal_matmul(
+    acts_codes: &Tensor,
+    planes: &WeightPlanes,
+    cfg: &ImcConfig,
+    max_units: &mut (f64, f64),
+) -> Tensor {
+    let positions = acts_codes.shape()[0];
+    let fan = acts_codes.shape()[1];
+    let oc = planes.out_features;
+    let threads = crate::layers::worker_threads();
+    let mut acc = Tensor::zeros(&[positions, oc]);
+    for t in 0..cfg.input_bits {
+        let mut xb = Tensor::zeros(&[positions, fan]);
+        {
+            let src = acts_codes.data();
+            let dst = xb.data_mut();
+            for i in 0..src.len() {
+                let code = src[i] as u32;
+                dst[i] = f32::from((code >> t) & 1 != 0);
+            }
+        }
+        let weight = f64::from(1u32 << t);
+        let mut r0 = 0usize;
+        for (ci, &rc) in planes.chunk_rows.iter().enumerate() {
+            let mut xc = Tensor::zeros(&[positions, rc]);
+            {
+                let src = xb.data();
+                let dst = xc.data_mut();
+                for p in 0..positions {
+                    dst[p * rc..(p + 1) * rc]
+                        .copy_from_slice(&src[p * fan + r0..p * fan + r0 + rc]);
+                }
+            }
+            let h_id = matmul_parallel(&xc, &planes.hi[ci], threads);
+            let l_id = matmul_parallel(&xc, &planes.lo[ci], threads);
+            let ad = acc.data_mut();
+            for i in 0..positions * oc {
+                let h = f64::from(h_id.data()[i]);
+                let l = f64::from(l_id.data()[i]);
+                max_units.0 = max_units.0.max(h.abs());
+                max_units.1 = max_units.1.max(l);
+                let combined = if cfg.weight_bits == 8 { 16.0 * h + l } else { h };
+                ad[i] += (combined * weight) as f32;
+            }
+            r0 += rc;
+        }
+    }
+    acc
+}
+
+/// A quantized network layer.
+#[derive(Debug)]
+enum QLayer {
+    Conv {
+        planes: WeightPlanes,
+        adcs: (SarAdc, SarAdc),
+        w_scale: f32,
+        bias: Vec<f32>,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        in_ch: usize,
+        out_ch: usize,
+    },
+    Linear {
+        planes: WeightPlanes,
+        adcs: (SarAdc, SarAdc),
+        w_scale: f32,
+        bias: Vec<f32>,
+    },
+    /// Folded eval-mode batch norm: per-channel `a·x + b`.
+    Affine { a: Vec<f32>, b: Vec<f32> },
+    Relu,
+    MaxPool2,
+    GlobalAvgPool,
+    Flatten,
+}
+
+/// Builds the calibrated ADC pair for a layer from observed chunk ranges.
+fn calibrated_adcs(cfg: &ImcConfig, max_units: (f64, f64), margin: f64) -> (SarAdc, SarAdc) {
+    use imc_core::adc::AdcMode;
+    let worst_h = 8.0 * cfg.rows as f64;
+    let worst_l = 15.0 * cfg.rows as f64;
+    let h = (max_units.0 * (1.0 + margin)).clamp(1.0, worst_h);
+    let l = (max_units.1 * (1.0 + margin)).clamp(1.0, worst_l);
+    (
+        SarAdc::new(cfg.adc_bits, AdcMode::TwosComplement, 0.0, 1.0, (-h, h)),
+        SarAdc::new(cfg.adc_bits, AdcMode::Unsigned, 0.0, 1.0, (0.0, l)),
+    )
+}
+
+fn default_adcs(cfg: &ImcConfig) -> (SarAdc, SarAdc) {
+    (
+        h4b_adc(cfg.adc_bits, cfg.rows, 0.0, 1.0),
+        l4b_adc(cfg.adc_bits, cfg.rows, 0.0, 1.0),
+    )
+}
+
+/// A quantized, IMC-executed network.
+#[derive(Debug)]
+pub struct QNetwork {
+    layers: Vec<QLayer>,
+    cfg: ImcConfig,
+}
+
+impl QNetwork {
+    /// Converts a trained **flat** [`Sequential`] (conv/BN/ReLU/pool/
+    /// flatten/linear layers, e.g. [`crate::models::vgg8`]) into an
+    /// IMC-executed quantized network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains an unsupported layer type (nested
+    /// blocks are not supported by the converter).
+    #[must_use]
+    pub fn from_sequential(net: &Sequential, cfg: ImcConfig) -> Self {
+        let mut layers = Vec::new();
+        for l in net.layers() {
+            let any = l.as_any();
+            if let Some(conv) = any.downcast_ref::<Conv2d>() {
+                let qw = quantize_weights(&conv.weight.value, cfg.weight_bits);
+                let planes = build_planes(&qw, &cfg);
+                let (in_ch, out_ch) = conv.channels();
+                layers.push(QLayer::Conv {
+                    planes,
+                    adcs: default_adcs(&cfg),
+                    w_scale: qw.scale,
+                    bias: conv.bias.value.data().to_vec(),
+                    k: conv.kernel(),
+                    stride: conv.stride(),
+                    pad: conv.padding(),
+                    in_ch,
+                    out_ch,
+                });
+            } else if let Some(lin) = any.downcast_ref::<Linear>() {
+                let qw = quantize_weights(&lin.weight.value, cfg.weight_bits);
+                let planes = build_planes(&qw, &cfg);
+                layers.push(QLayer::Linear {
+                    planes,
+                    adcs: default_adcs(&cfg),
+                    w_scale: qw.scale,
+                    bias: lin.bias.value.data().to_vec(),
+                });
+            } else if let Some(bn) = any.downcast_ref::<BatchNorm2d>() {
+                let (a, b) = bn.affine_eval();
+                layers.push(QLayer::Affine { a, b });
+            } else {
+                match l.name() {
+                    "relu" => layers.push(QLayer::Relu),
+                    "maxpool2" => layers.push(QLayer::MaxPool2),
+                    "gavgpool" => layers.push(QLayer::GlobalAvgPool),
+                    "flatten" => layers.push(QLayer::Flatten),
+                    other => panic!("unsupported layer in IMC conversion: {other}"),
+                }
+            }
+        }
+        Self { layers, cfg }
+    }
+
+    /// The hardware configuration.
+    #[must_use]
+    pub fn config(&self) -> &ImcConfig {
+        &self.cfg
+    }
+
+    /// Programs the reference banks: runs a noise-free calibration pass
+    /// over `x` recording the actual per-layer chunk partial-sum ranges,
+    /// then narrows each layer's 2CM/N2CM ADC references to cover them
+    /// (plus `margin`, e.g. 0.25 = 25 %).
+    ///
+    /// This mirrors real macro bring-up — the paper's reference bank
+    /// generates programmable ADC references (Section 3.1, after
+    /// [6, 8, 10]) — and is what makes a 5-bit conversion usable: sized to
+    /// the worst case (±8·32 units) its LSB would dwarf the typical
+    /// partial sums of a trained network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not NCHW.
+    pub fn calibrate(&mut self, x: &Tensor, margin: f64) {
+        let cfg = self.cfg;
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = match layer {
+                QLayer::Conv {
+                    planes,
+                    adcs,
+                    w_scale,
+                    bias,
+                    k,
+                    stride,
+                    pad,
+                    in_ch,
+                    out_ch,
+                } => {
+                    let (n, c, h, w) = nchw(&cur);
+                    assert_eq!(c, *in_ch);
+                    let qa = quantize_activations(&cur, cfg.input_bits);
+                    let codes = Tensor::from_vec(
+                        &[n, c, h, w],
+                        qa.q.iter().map(|&v| v as f32).collect(),
+                    );
+                    let (cols, (oh, ow)) = im2col_codes(&codes, *k, *stride, *pad);
+                    let mut max_units = (0.0, 0.0);
+                    let units = ideal_matmul(&cols, planes, &cfg, &mut max_units);
+                    *adcs = calibrated_adcs(&cfg, max_units, margin);
+                    // Rearrange + dequantize like the real path.
+                    let mut out = Tensor::zeros(&[n, *out_ch, oh, ow]);
+                    let od = out.data_mut();
+                    let ud = units.data();
+                    for ni in 0..n {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let row = ((ni * oh + oy) * ow + ox) * *out_ch;
+                                for o in 0..*out_ch {
+                                    od[((ni * *out_ch + o) * oh + oy) * ow + ox] =
+                                        ud[row + o] * *w_scale * qa.scale + bias[o];
+                                }
+                            }
+                        }
+                    }
+                    out
+                }
+                QLayer::Linear {
+                    planes,
+                    adcs,
+                    w_scale,
+                    bias,
+                } => {
+                    let qa = quantize_activations(&cur, cfg.input_bits);
+                    let n = cur.shape()[0];
+                    let f = cur.len() / n;
+                    let codes =
+                        Tensor::from_vec(&[n, f], qa.q.iter().map(|&v| v as f32).collect());
+                    let mut max_units = (0.0, 0.0);
+                    let units = ideal_matmul(&codes, planes, &cfg, &mut max_units);
+                    *adcs = calibrated_adcs(&cfg, max_units, margin);
+                    let oc = planes.out_features;
+                    let mut out = units;
+                    let od = out.data_mut();
+                    for i in 0..n {
+                        for o in 0..oc {
+                            od[i * oc + o] = od[i * oc + o] * *w_scale * qa.scale + bias[o];
+                        }
+                    }
+                    out
+                }
+                other => {
+                    // Stateless layers: reuse the inference path.
+                    let mut gauss = GaussStream::new(0);
+                    Self::run_stateless(other, &cur, &mut gauss)
+                }
+            };
+        }
+    }
+
+    /// Runs quantized inference on a float NCHW batch, returning logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut gauss = GaussStream::new(self.cfg.seed);
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = self.run_layer(layer, &cur, &mut gauss);
+        }
+        cur
+    }
+
+    /// Stateless (non-MAC) layers shared by inference and calibration.
+    fn run_stateless(layer: &QLayer, x: &Tensor, _gauss: &mut GaussStream) -> Tensor {
+        match layer {
+            QLayer::Affine { a, b } => {
+                let (n, c, h, w) = nchw(x);
+                assert_eq!(c, a.len());
+                let mut out = x.clone();
+                let od = out.data_mut();
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * h * w;
+                        for v in &mut od[base..base + h * w] {
+                            *v = a[ci] * *v + b[ci];
+                        }
+                    }
+                }
+                out
+            }
+            QLayer::Relu => {
+                let mut out = x.clone();
+                for v in out.data_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                out
+            }
+            QLayer::MaxPool2 => {
+                let mut p = crate::layers::MaxPool2::new();
+                p.forward(x, false)
+            }
+            QLayer::GlobalAvgPool => {
+                let mut p = crate::layers::GlobalAvgPool::new();
+                p.forward(x, false)
+            }
+            QLayer::Flatten => {
+                let n = x.shape()[0];
+                let rest: usize = x.shape()[1..].iter().product();
+                x.clone().reshape(&[n, rest])
+            }
+            QLayer::Conv { .. } | QLayer::Linear { .. } => {
+                unreachable!("MAC layers are handled by the caller")
+            }
+        }
+    }
+
+    fn run_layer(&self, layer: &QLayer, x: &Tensor, gauss: &mut GaussStream) -> Tensor {
+        match layer {
+            QLayer::Conv {
+                planes,
+                adcs,
+                w_scale,
+                bias,
+                k,
+                stride,
+                pad,
+                in_ch,
+                out_ch,
+            } => {
+                let (n, c, h, w) = nchw(x);
+                assert_eq!(c, *in_ch);
+                let qa = quantize_activations(x, self.cfg.input_bits);
+                let codes = Tensor::from_vec(
+                    &[n, c, h, w],
+                    qa.q.iter().map(|&v| v as f32).collect(),
+                );
+                let (cols, (oh, ow)) = im2col_codes(&codes, *k, *stride, *pad);
+                let units = imc_matmul(&cols, planes, adcs, &self.cfg, gauss);
+                // Dequantize: MAC = units · w_scale · x_scale + bias.
+                let mut out = Tensor::zeros(&[n, *out_ch, oh, ow]);
+                let od = out.data_mut();
+                let ud = units.data();
+                for ni in 0..n {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let row = ((ni * oh + oy) * ow + ox) * out_ch;
+                            for o in 0..*out_ch {
+                                od[((ni * out_ch + o) * oh + oy) * ow + ox] =
+                                    ud[row + o] * w_scale * qa.scale + bias[o];
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            QLayer::Linear {
+                planes,
+                adcs,
+                w_scale,
+                bias,
+            } => {
+                let qa = quantize_activations(x, self.cfg.input_bits);
+                let n = x.shape()[0];
+                let f = x.len() / n;
+                let codes =
+                    Tensor::from_vec(&[n, f], qa.q.iter().map(|&v| v as f32).collect());
+                let units = imc_matmul(&codes, planes, adcs, &self.cfg, gauss);
+                let oc = planes.out_features;
+                let mut out = units;
+                let od = out.data_mut();
+                for i in 0..n {
+                    for o in 0..oc {
+                        od[i * oc + o] = od[i * oc + o] * w_scale * qa.scale + bias[o];
+                    }
+                }
+                out
+            }
+            other => Self::run_stateless(other, x, gauss),
+        }
+    }
+
+    /// Classification accuracy over (a prefix of) a dataset.
+    #[must_use]
+    pub fn accuracy(&self, data: &crate::dataset::Dataset, max_samples: usize) -> f64 {
+        let n = data.len().min(max_samples);
+        let mut correct = 0usize;
+        let batch = 16usize;
+        let mut i = 0;
+        while i < n {
+            let hi = (i + batch).min(n);
+            let idx: Vec<usize> = (i..hi).collect();
+            let (x, y) = data.batch(&idx);
+            let logits = self.forward(&x);
+            let c = logits.shape()[1];
+            for (bi, &label) in y.iter().enumerate() {
+                let row = &logits.data()[bi * c..(bi + 1) * c];
+                let pred = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(j, _)| j)
+                    .expect("non-empty");
+                if pred == label {
+                    correct += 1;
+                }
+            }
+            i = hi;
+        }
+        correct as f64 / n as f64
+    }
+}
+
+fn nchw(x: &Tensor) -> (usize, usize, usize, usize) {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "expected NCHW, got {s:?}");
+    (s[0], s[1], s[2], s[3])
+}
+
+/// im2col on integer activation codes stored as f32.
+fn im2col_codes(x: &Tensor, k: usize, stride: usize, pad: usize) -> (Tensor, (usize, usize)) {
+    let (n, c, h, w) = nchw(x);
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    let mut cols = Tensor::zeros(&[n * oh * ow, c * k * k]);
+    let xd = x.data();
+    let cd = cols.data_mut();
+    let row_len = c * k * k;
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * row_len;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            cd[row + (ci * k + ky) * k + kx] =
+                                xd[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (cols, (oh, ow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::vgg8;
+
+    fn tiny_net() -> Sequential {
+        vgg8(10, 4, 11)
+    }
+
+    #[test]
+    fn conversion_covers_vgg8() {
+        let net = tiny_net();
+        let q = QNetwork::from_sequential(&net, ImcConfig::paper(ImcDesign::CurFe, 4, 8));
+        assert_eq!(q.layers.len(), net.len());
+    }
+
+    #[test]
+    fn high_precision_noiseless_imc_matches_float_forward() {
+        let mut net = tiny_net();
+        let x = Tensor::full(&[1, 3, 32, 32], 0.5);
+        // Warm the BN running stats so eval mode is meaningful.
+        for _ in 0..4 {
+            let _ = net.forward(&x, true);
+        }
+        let y_float = net.forward(&x, false);
+        let mut cfg = ImcConfig::paper(ImcDesign::CurFe, 8, 8);
+        cfg.adc_bits = 12;
+        cfg.noise_scale = 0.0;
+        let q = QNetwork::from_sequential(&net, cfg);
+        let y_q = q.forward(&x);
+        // Logit ordering should be preserved; magnitudes near.
+        assert_eq!(y_float.shape(), y_q.shape());
+        let rel: f32 = y_float
+            .data()
+            .iter()
+            .zip(y_q.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / y_float.data().iter().map(|v| v.abs()).sum::<f32>().max(1e-3);
+        assert!(rel < 0.25, "relative deviation {rel}");
+    }
+
+    #[test]
+    fn noise_changes_outputs_deterministically() {
+        let net = tiny_net();
+        let x = Tensor::full(&[1, 3, 32, 32], 0.3);
+        let cfg = ImcConfig::paper(ImcDesign::ChgFe, 4, 8);
+        let q = QNetwork::from_sequential(&net, cfg);
+        let y1 = q.forward(&x);
+        let y2 = q.forward(&x);
+        assert_eq!(y1.data(), y2.data(), "same seed ⇒ same outputs");
+        let mut cfg2 = cfg;
+        cfg2.seed += 1;
+        let q2 = QNetwork::from_sequential(&net, cfg2);
+        let y3 = q2.forward(&x);
+        assert_ne!(y1.data(), y3.data(), "different seed ⇒ different noise");
+    }
+
+    #[test]
+    fn chgfe_noise_is_larger_than_curfe() {
+        // Same network/input: the ChgFe profile must perturb logits more.
+        let net = tiny_net();
+        let x = Tensor::full(&[1, 3, 32, 32], 0.4);
+        let clean_cfg = {
+            let mut c = ImcConfig::paper(ImcDesign::CurFe, 4, 8);
+            c.adc_bits = 12;
+            c.noise_scale = 0.0;
+            c
+        };
+        let clean = QNetwork::from_sequential(&net, clean_cfg).forward(&x);
+        let dev = |design| {
+            let mut cfg = ImcConfig::paper(design, 4, 8);
+            cfg.adc_bits = 12; // isolate device noise from ADC quantization
+            let y = QNetwork::from_sequential(&net, cfg).forward(&x);
+            y.data()
+                .iter()
+                .zip(clean.data())
+                .map(|(a, b)| f64::from((a - b).powi(2)))
+                .sum::<f64>()
+        };
+        let cur = dev(ImcDesign::CurFe);
+        let chg = dev(ImcDesign::ChgFe);
+        assert!(chg > 2.0 * cur, "ChgFe dev {chg:.3e} vs CurFe {cur:.3e}");
+    }
+
+    #[test]
+    fn coarser_adc_degrades_fidelity() {
+        let net = tiny_net();
+        let x = Tensor::full(&[1, 3, 32, 32], 0.45);
+        let reference = {
+            let mut cfg = ImcConfig::paper(ImcDesign::CurFe, 4, 8);
+            cfg.adc_bits = 12;
+            cfg.noise_scale = 0.0;
+            QNetwork::from_sequential(&net, cfg).forward(&x)
+        };
+        let dev = |bits| {
+            let mut cfg = ImcConfig::paper(ImcDesign::CurFe, 4, 8);
+            cfg.adc_bits = bits;
+            cfg.noise_scale = 0.0;
+            let y = QNetwork::from_sequential(&net, cfg).forward(&x);
+            y.data()
+                .iter()
+                .zip(reference.data())
+                .map(|(a, b)| f64::from((a - b).powi(2)))
+                .sum::<f64>()
+        };
+        let d3 = dev(3);
+        let d5 = dev(5);
+        let d7 = dev(7);
+        assert!(d3 > d5, "3-bit dev {d3:.3e} should exceed 5-bit {d5:.3e}");
+        assert!(d5 > d7 * 0.5, "5-bit {d5:.3e} vs 7-bit {d7:.3e}");
+    }
+
+    #[test]
+    fn calibration_tightens_the_quantizer_and_improves_fidelity() {
+        let mut net = tiny_net();
+        let x = Tensor::full(&[1, 3, 32, 32], 0.5);
+        for _ in 0..4 {
+            let _ = net.forward(&x, true);
+        }
+        let reference = net.forward(&x, false);
+        let fidelity = |calibrate: bool| {
+            let mut cfg = ImcConfig::paper(ImcDesign::CurFe, 4, 8);
+            cfg.noise_scale = 0.0;
+            let mut q = QNetwork::from_sequential(&net, cfg);
+            if calibrate {
+                q.calibrate(&x, 0.25);
+            }
+            let y = q.forward(&x);
+            y.data()
+                .iter()
+                .zip(reference.data())
+                .map(|(a, b)| f64::from((a - b).powi(2)))
+                .sum::<f64>()
+        };
+        let raw = fidelity(false);
+        let cal = fidelity(true);
+        assert!(
+            cal < raw * 0.5,
+            "calibrated 5-bit dev {cal:.3e} should beat uncalibrated {raw:.3e}"
+        );
+    }
+
+    #[test]
+    fn cell_stats_match_weight_split() {
+        let noise = NoiseProfile::curfe();
+        let (h, l, vh, vl) = cell_stats(-1, 8, &noise);
+        assert_eq!(h, -1);
+        assert_eq!(l, 15);
+        assert!(vh > 0.0 && vl > 0.0);
+        let (h4, l4, _, v4) = cell_stats(-8, 4, &noise);
+        assert_eq!(h4, -8);
+        assert_eq!(l4, 0);
+        assert_eq!(v4, 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # neural
+//!
+//! A minimal from-scratch DNN framework — the workspace's stand-in for
+//! the training/inference stack behind the paper's Fig. 10 accuracy
+//! study:
+//!
+//! * [`tensor`] — owned f32 tensors with (parallel) GEMM.
+//! * [`layers`] — conv2d (im2col), linear, batch-norm, ReLU, pooling,
+//!   with explicit backprop.
+//! * [`models`] — VGG8 and ResNet18-style builders plus the full-size
+//!   layer-shape tables used by the system estimator.
+//! * [`train`] — SGD + momentum, cross-entropy, cosine schedule.
+//! * [`quant`] — unsigned activation / 2's-complement weight quantization.
+//! * [`augment`] — flip/crop batch augmentation (the CIFAR recipe).
+//! * [`checkpoint`] — save/restore of trained parameters + BN statistics.
+//! * [`dataset`] — deterministic synthetic CIFAR10-like / ImageNet-like
+//!   generators (the datasets themselves are not redistributable here;
+//!   see `DESIGN.md` for the substitution rationale).
+//! * [`imc_exec`] — quantized inference where every MAC runs through a
+//!   statistical model of the CurFe/ChgFe macros (chunking, per-cycle
+//!   device noise, 2CM/N2CM ADC quantization, bit-serial shift-add).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod augment;
+pub mod checkpoint;
+pub mod dataset;
+pub mod imc_exec;
+pub mod layers;
+pub mod models;
+pub mod quant;
+pub mod tensor;
+pub mod train;

@@ -1,0 +1,490 @@
+//! Network containers and the paper's two benchmark architectures:
+//! VGG8 and a ResNet18-style residual network.
+//!
+//! Widths are scaled relative to the originals so the from-scratch Rust
+//! training loop stays tractable on the synthetic datasets (documented in
+//! `DESIGN.md`); the *layer structure* — depth, kernel sizes, striding,
+//! residual wiring — matches, which is what the system-level mapping
+//! (Figs. 11/12) consumes.
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2, Param, Relu,
+};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A linear stack of layers.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layers (for structural inspection, e.g. layer shapes).
+    #[must_use]
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (checkpoint restore).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A ResNet basic block: two 3×3 conv+BN with identity (or 1×1-projected)
+/// shortcut.
+#[derive(Debug)]
+pub struct BasicBlock {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu_out: Relu,
+    cached_sum: Option<(Tensor, Tensor)>,
+}
+
+impl BasicBlock {
+    /// Creates a basic block `in_ch → out_ch` with the given stride.
+    #[must_use]
+    pub fn new(in_ch: usize, out_ch: usize, stride: usize, rng: &mut StdRng) -> Self {
+        let main = Sequential::new()
+            .push(Conv2d::new(in_ch, out_ch, 3, stride, 1, rng))
+            .push(BatchNorm2d::new(out_ch))
+            .push(Relu::new())
+            .push(Conv2d::new(out_ch, out_ch, 3, 1, 1, rng))
+            .push(BatchNorm2d::new(out_ch));
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            Some(
+                Sequential::new()
+                    .push(Conv2d::new(in_ch, out_ch, 1, stride, 0, rng))
+                    .push(BatchNorm2d::new(out_ch)),
+            )
+        } else {
+            None
+        };
+        Self {
+            main,
+            shortcut,
+            relu_out: Relu::new(),
+            cached_sum: None,
+        }
+    }
+}
+
+impl BasicBlock {
+    /// Mutable access to every child layer (main path, shortcut, output
+    /// ReLU) for checkpoint walking.
+    pub fn children_mut(&mut self) -> Vec<&mut dyn Layer> {
+        let mut out: Vec<&mut dyn Layer> = vec![&mut self.main];
+        if let Some(s) = &mut self.shortcut {
+            out.push(s);
+        }
+        out.push(&mut self.relu_out);
+        out
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let main = self.main.forward(x, train);
+        let short = match &mut self.shortcut {
+            Some(s) => s.forward(x, train),
+            None => x.clone(),
+        };
+        let mut sum = main.clone();
+        sum.add_assign(&short);
+        if train {
+            self.cached_sum = Some((main, short));
+        }
+        self.relu_out.forward(&sum, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _ = self.cached_sum.take();
+        let g_sum = self.relu_out.backward(grad_out);
+        let g_main = self.main.backward(&g_sum);
+        let g_short = match &mut self.shortcut {
+            Some(s) => s.backward(&g_sum),
+            None => g_sum,
+        };
+        let mut g = g_main;
+        g.add_assign(&g_short);
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.main.params_mut();
+        if let Some(s) = &mut self.shortcut {
+            p.extend(s.params_mut());
+        }
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "basicblock"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Builds the VGG8 network of the paper's Fig. 10 experiment
+/// (6 conv + 2 FC), on 3×32×32 inputs, `classes` outputs.
+///
+/// `width` scales the channel counts (the paper's VGG8 uses 128 base
+/// channels; `width = 32` is the tractable default for the synthetic
+/// data).
+#[must_use]
+pub fn vgg8(classes: usize, width: usize, seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w1 = width;
+    let w2 = width * 2;
+    let w3 = width * 4;
+    Sequential::new()
+        // Block 1: 32×32 → 16×16
+        .push(Conv2d::new(3, w1, 3, 1, 1, &mut rng))
+        .push(BatchNorm2d::new(w1))
+        .push(Relu::new())
+        .push(Conv2d::new(w1, w1, 3, 1, 1, &mut rng))
+        .push(BatchNorm2d::new(w1))
+        .push(Relu::new())
+        .push(MaxPool2::new())
+        // Block 2: 16×16 → 8×8
+        .push(Conv2d::new(w1, w2, 3, 1, 1, &mut rng))
+        .push(BatchNorm2d::new(w2))
+        .push(Relu::new())
+        .push(Conv2d::new(w2, w2, 3, 1, 1, &mut rng))
+        .push(BatchNorm2d::new(w2))
+        .push(Relu::new())
+        .push(MaxPool2::new())
+        // Block 3: 8×8 → 4×4
+        .push(Conv2d::new(w2, w3, 3, 1, 1, &mut rng))
+        .push(BatchNorm2d::new(w3))
+        .push(Relu::new())
+        .push(Conv2d::new(w3, w3, 3, 1, 1, &mut rng))
+        .push(BatchNorm2d::new(w3))
+        .push(Relu::new())
+        .push(MaxPool2::new())
+        // Classifier
+        .push(Flatten::new())
+        .push(Linear::new(w3 * 4 * 4, w3, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(w3, classes, &mut rng))
+}
+
+/// Builds a ResNet18-style network (8 basic blocks, `[2,2,2,2]` layout) on
+/// 3×32×32 inputs. `width` is the stem channel count (the original uses
+/// 64).
+#[must_use]
+pub fn resnet18(classes: usize, width: usize, seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = width;
+    let mut net = Sequential::new()
+        .push(Conv2d::new(3, w, 3, 1, 1, &mut rng))
+        .push(BatchNorm2d::new(w))
+        .push(Relu::new());
+    let stages: [(usize, usize); 4] = [(w, 1), (w * 2, 2), (w * 4, 2), (w * 8, 2)];
+    let mut in_ch = w;
+    for (out_ch, stride) in stages {
+        net.push_boxed(Box::new(BasicBlock::new(in_ch, out_ch, stride, &mut rng)));
+        net.push_boxed(Box::new(BasicBlock::new(out_ch, out_ch, 1, &mut rng)));
+        in_ch = out_ch;
+    }
+    net.push_boxed(Box::new(GlobalAvgPool::new()));
+    net.push_boxed(Box::new(Linear::new(in_ch, classes, &mut rng)));
+    net
+}
+
+/// Static description of one MAC-heavy layer (conv or FC) — what the
+/// system-level estimator needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerShape {
+    /// Human-readable name (`conv1`, `layer3.0.conv2`, `fc`, ...).
+    pub name: String,
+    /// Input channels (or features).
+    pub in_ch: usize,
+    /// Output channels (or features).
+    pub out_ch: usize,
+    /// Kernel size (1 for FC).
+    pub kernel: usize,
+    /// Output spatial positions (H·W products; 1 for FC).
+    pub out_positions: usize,
+}
+
+impl LayerShape {
+    /// MACs needed for one inference of this layer.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        (self.in_ch * self.kernel * self.kernel) as u64
+            * self.out_ch as u64
+            * self.out_positions as u64
+    }
+
+    /// Weight count.
+    #[must_use]
+    pub fn weight_count(&self) -> u64 {
+        (self.in_ch * self.kernel * self.kernel * self.out_ch) as u64
+    }
+}
+
+/// The layer shapes of the full-width ResNet18 on `input` = 32 (CIFAR10)
+/// or 224 (ImageNet) — used by the Figs. 11/12 system estimates, which
+/// need the *original* network dimensions, not the reduced training
+/// widths.
+///
+/// # Panics
+///
+/// Panics if `input_hw` is not divisible by 8 (the three striding stages).
+#[must_use]
+pub fn resnet18_shapes(input_hw: usize, classes: usize) -> Vec<LayerShape> {
+    assert!(input_hw.is_multiple_of(8), "input must survive three stride-2 stages");
+    let mut shapes = Vec::new();
+    // CIFAR-style stem (3×3 s1) for 32-px inputs; ImageNet stem (7×7 s2 +
+    // pool) for larger inputs.
+    let (mut hw, stem_k) = if input_hw >= 64 {
+        (input_hw / 4, 7)
+    } else {
+        (input_hw, 3)
+    };
+    shapes.push(LayerShape {
+        name: "conv1".into(),
+        in_ch: 3,
+        out_ch: 64,
+        kernel: stem_k,
+        out_positions: hw * hw,
+    });
+    let stages: [(usize, usize, &str); 4] = [
+        (64, 1, "layer1"),
+        (128, 2, "layer2"),
+        (256, 2, "layer3"),
+        (512, 2, "layer4"),
+    ];
+    let mut in_ch = 64;
+    for (out_ch, stride, name) in stages {
+        for b in 0..2usize {
+            let s = if b == 0 { stride } else { 1 };
+            if s == 2 {
+                hw /= 2;
+            }
+            shapes.push(LayerShape {
+                name: format!("{name}.{b}.conv1"),
+                in_ch,
+                out_ch,
+                kernel: 3,
+                out_positions: hw * hw,
+            });
+            shapes.push(LayerShape {
+                name: format!("{name}.{b}.conv2"),
+                in_ch: out_ch,
+                out_ch,
+                kernel: 3,
+                out_positions: hw * hw,
+            });
+            if b == 0 && (s != 1 || in_ch != out_ch) {
+                shapes.push(LayerShape {
+                    name: format!("{name}.{b}.downsample"),
+                    in_ch,
+                    out_ch,
+                    kernel: 1,
+                    out_positions: hw * hw,
+                });
+            }
+            in_ch = out_ch;
+        }
+    }
+    shapes.push(LayerShape {
+        name: "fc".into(),
+        in_ch: 512,
+        out_ch: classes,
+        kernel: 1,
+        out_positions: 1,
+    });
+    shapes
+}
+
+/// The layer shapes of the full-width VGG8 on 32-px inputs.
+#[must_use]
+pub fn vgg8_shapes(classes: usize) -> Vec<LayerShape> {
+    let w = [128usize, 256, 512];
+    let mut shapes = Vec::new();
+    let dims = [(32usize, 3usize, w[0]), (32, w[0], w[0])];
+    let mut push = |name: &str, hw: usize, ic: usize, oc: usize, k: usize| {
+        shapes.push(LayerShape {
+            name: name.into(),
+            in_ch: ic,
+            out_ch: oc,
+            kernel: k,
+            out_positions: hw * hw,
+        });
+    };
+    let _ = dims;
+    push("conv1_1", 32, 3, w[0], 3);
+    push("conv1_2", 32, w[0], w[0], 3);
+    push("conv2_1", 16, w[0], w[1], 3);
+    push("conv2_2", 16, w[1], w[1], 3);
+    push("conv3_1", 8, w[1], w[2], 3);
+    push("conv3_2", 8, w[2], w[2], 3);
+    shapes.push(LayerShape {
+        name: "fc1".into(),
+        in_ch: w[2] * 16,
+        out_ch: 1024,
+        kernel: 1,
+        out_positions: 1,
+    });
+    shapes.push(LayerShape {
+        name: "fc2".into(),
+        in_ch: 1024,
+        out_ch: classes,
+        kernel: 1,
+        out_positions: 1,
+    });
+    shapes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg8_forward_shape() {
+        let mut net = vgg8(10, 8, 1);
+        let x = Tensor::zeros(&[2, 3, 32, 32]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn resnet18_forward_shape() {
+        let mut net = resnet18(10, 8, 1);
+        let x = Tensor::zeros(&[1, 3, 32, 32]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn resnet_backward_runs_and_produces_input_grad() {
+        let mut net = resnet18(4, 4, 2);
+        let x = Tensor::full(&[1, 3, 32, 32], 0.1);
+        let y = net.forward(&x, true);
+        let g = net.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert!(g.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn basic_block_identity_shortcut_when_shapes_match() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = BasicBlock::new(8, 8, 1, &mut rng);
+        assert!(b.shortcut.is_none());
+        let b2 = BasicBlock::new(8, 16, 2, &mut rng);
+        assert!(b2.shortcut.is_some());
+    }
+
+    #[test]
+    fn resnet18_shapes_match_reference_macs() {
+        // Full ResNet18 on 224-px ImageNet ≈ 1.82 GMAC.
+        let shapes = resnet18_shapes(224, 1000);
+        let total: u64 = shapes.iter().map(LayerShape::macs).sum();
+        let gmac = total as f64 / 1e9;
+        assert!(
+            (gmac - 1.82).abs() < 0.15,
+            "ResNet18-224 = {gmac:.3} GMAC (expected ≈1.82)"
+        );
+        // 20 conv layers + 1 fc + 3 downsamples = 21 entries... count:
+        assert_eq!(shapes.len(), 1 + 16 + 3 + 1);
+    }
+
+    #[test]
+    fn resnet18_cifar_shapes_are_smaller() {
+        let c = resnet18_shapes(32, 10);
+        let i = resnet18_shapes(224, 1000);
+        let cm: u64 = c.iter().map(LayerShape::macs).sum();
+        let im: u64 = i.iter().map(LayerShape::macs).sum();
+        assert!(im > 3 * cm);
+    }
+
+    #[test]
+    fn vgg8_shapes_weight_count() {
+        let s = vgg8_shapes(10);
+        assert_eq!(s.len(), 8);
+        let total_w: u64 = s.iter().map(LayerShape::weight_count).sum();
+        assert!(total_w > 10_000_000, "VGG8 has >10M weights, got {total_w}");
+    }
+
+    #[test]
+    fn params_are_exposed_for_training() {
+        let mut net = vgg8(10, 4, 5);
+        let n_params = net.params_mut().len();
+        // 6 conv (w+b) + 6 bn (γ+β) + 2 fc (w+b) = 28 tensors.
+        assert_eq!(n_params, 28);
+    }
+}

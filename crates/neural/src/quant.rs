@@ -1,0 +1,200 @@
+//! Uniform quantization: unsigned activations, 2's-complement weights.
+//!
+//! Matches the macro's data formats: 1–8-bit unsigned inputs processed
+//! bit-serially and 4-/8-bit signed weights split into H4B/L4B nibbles.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A quantized activation tensor: `x ≈ q · scale`, `q ∈ [0, 2^bits − 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedActivations {
+    /// Quantized codes.
+    pub q: Vec<u32>,
+    /// Dequantization scale.
+    pub scale: f32,
+    /// Bit width.
+    pub bits: u32,
+    /// Original shape.
+    pub shape: Vec<usize>,
+}
+
+/// A quantized weight matrix: `w ≈ q · scale`, `q ∈ [−2^(b−1), 2^(b−1)−1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedWeights {
+    /// Quantized codes (i8 covers up to 8-bit weights).
+    pub q: Vec<i8>,
+    /// Dequantization scale.
+    pub scale: f32,
+    /// Bit width (4 or 8 for the macros).
+    pub bits: u32,
+    /// `[rows, cols]` shape (rows = output channels).
+    pub shape: [usize; 2],
+}
+
+/// Quantizes non-negative activations to `bits` unsigned levels with a
+/// max-calibrated scale.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `1..=8` or any value is negative.
+#[must_use]
+pub fn quantize_activations(x: &Tensor, bits: u32) -> QuantizedActivations {
+    assert!((1..=8).contains(&bits), "activation precision 1..=8");
+    let max = x.data().iter().copied().fold(0.0f32, f32::max);
+    assert!(
+        x.data().iter().all(|&v| v >= 0.0),
+        "activations must be non-negative (post-ReLU / normalized inputs)"
+    );
+    let levels = (1u32 << bits) - 1;
+    let scale = if max > 0.0 { max / levels as f32 } else { 1.0 };
+    let q = x
+        .data()
+        .iter()
+        .map(|&v| ((v / scale).round() as u32).min(levels))
+        .collect();
+    QuantizedActivations {
+        q,
+        scale,
+        bits,
+        shape: x.shape().to_vec(),
+    }
+}
+
+/// Quantizes a `[rows, cols]` weight matrix to `bits` signed levels,
+/// symmetric around zero.
+///
+/// # Panics
+///
+/// Panics if `bits` is not 2..=8 or the tensor is not 2-D.
+#[must_use]
+pub fn quantize_weights(w: &Tensor, bits: u32) -> QuantizedWeights {
+    assert!((2..=8).contains(&bits), "weight precision 2..=8");
+    assert_eq!(w.shape().len(), 2, "weights must be [rows, cols]");
+    let max = w.data().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+    let pos_levels = (1i32 << (bits - 1)) - 1;
+    let scale = if max > 0.0 {
+        max / pos_levels as f32
+    } else {
+        1.0
+    };
+    let lo = -(1i32 << (bits - 1));
+    let q = w
+        .data()
+        .iter()
+        .map(|&v| ((v / scale).round() as i32).clamp(lo, pos_levels) as i8)
+        .collect();
+    QuantizedWeights {
+        q,
+        scale,
+        bits,
+        shape: [w.shape()[0], w.shape()[1]],
+    }
+}
+
+impl QuantizedActivations {
+    /// Dequantizes back to floats.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            &self.shape,
+            self.q.iter().map(|&v| v as f32 * self.scale).collect(),
+        )
+    }
+}
+
+impl QuantizedWeights {
+    /// Dequantizes back to floats.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            &[self.shape[0], self.shape[1]],
+            self.q.iter().map(|&v| f32::from(v) * self.scale).collect(),
+        )
+    }
+
+    /// Row `r` of the quantized matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[i8] {
+        let c = self.shape[1];
+        &self.q[r * c..(r + 1) * c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_round_trip_error_is_bounded() {
+        let x = Tensor::from_vec(&[8], vec![0.0, 0.1, 0.25, 0.4, 0.55, 0.7, 0.9, 1.0]);
+        for bits in [2u32, 4, 8] {
+            let q = quantize_activations(&x, bits);
+            let d = q.dequantize();
+            let half_step = q.scale / 2.0;
+            for (a, b) in x.data().iter().zip(d.data()) {
+                assert!((a - b).abs() <= half_step + 1e-7, "{bits}-bit: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_round_trip_error_is_bounded() {
+        let w = Tensor::from_vec(&[2, 3], vec![-1.0, -0.3, 0.0, 0.2, 0.77, 1.0]);
+        for bits in [4u32, 8] {
+            let q = quantize_weights(&w, bits);
+            let d = q.dequantize();
+            for (a, b) in w.data().iter().zip(d.data()) {
+                assert!((a - b).abs() <= q.scale / 2.0 + 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_codes_respect_twos_complement_range() {
+        let w = Tensor::from_vec(&[1, 4], vec![-5.0, 5.0, -2.5, 0.0]);
+        let q = quantize_weights(&w, 4);
+        assert!(q.q.iter().all(|&v| (-8..=7).contains(&v)));
+        // The most negative code −8 only appears via clamping (symmetric
+        // scale maps −max to −7).
+        assert_eq!(q.q[0], -7);
+        assert_eq!(q.q[1], 7);
+    }
+
+    #[test]
+    fn higher_precision_reduces_error() {
+        let w = Tensor::from_vec(&[1, 64], (0..64).map(|i| (i as f32 * 0.37).sin()).collect());
+        let err = |bits| {
+            let q = quantize_weights(&w, bits);
+            let d = q.dequantize();
+            w.data()
+                .iter()
+                .zip(d.data())
+                .map(|(a, b)| (a - b).abs() as f64)
+                .sum::<f64>()
+        };
+        assert!(err(4) > err(6));
+        assert!(err(6) > err(8));
+    }
+
+    #[test]
+    fn all_zero_inputs_are_handled() {
+        let x = Tensor::zeros(&[4]);
+        let q = quantize_activations(&x, 4);
+        assert!(q.q.iter().all(|&v| v == 0));
+        let w = Tensor::zeros(&[2, 2]);
+        let qw = quantize_weights(&w, 4);
+        assert!(qw.q.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_activations_rejected() {
+        let x = Tensor::from_vec(&[2], vec![-0.5, 0.5]);
+        let _ = quantize_activations(&x, 4);
+    }
+}

@@ -1,0 +1,360 @@
+//! A minimal owned `f32` tensor with the operations the DNN layers need.
+//!
+//! Row-major, shape-checked, no views — simplicity over generality. The
+//! hot path (matrix multiply for conv-as-im2col and linear layers) has a
+//! cache-friendly ikj loop and an optional thread-parallel driver.
+
+use serde::{Deserialize, Serialize};
+
+/// An owned dense tensor of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor needs at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension");
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor from data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` doesn't match the shape.
+    #[must_use]
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length must match shape"
+        );
+        assert!(!shape.is_empty());
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Filled with a constant.
+    #[must_use]
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        let mut t = Self::zeros(shape);
+        t.data.fill(v);
+        t
+    }
+
+    /// The shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable data slice.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on element-count mismatch.
+    #[must_use]
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape must preserve element count"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// `self += s · other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, s: f32, other: &Self) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Mean of all elements.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Index of the maximum element (first on ties).
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut bv = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > bv {
+                bv = v;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// `C = A(m×k) · B(k×n)`, row-major. Cache-friendly ikj ordering.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible.
+#[must_use]
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions must agree ({k} vs {k2})");
+    assert_eq!(a.shape().len(), 2);
+    assert_eq!(b.shape().len(), 2);
+    let mut c = Tensor::zeros(&[m, n]);
+    matmul_into(a.data(), b.data(), c.data_mut(), m, k, n);
+    c
+}
+
+/// Raw-slice matmul kernel used by both the serial and parallel paths.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Thread-parallel matmul: splits the rows of `A` across up to
+/// `threads` workers with crossbeam scoped threads. Falls back to the
+/// serial kernel for small problems.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible.
+#[must_use]
+pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    assert_eq!(k, b.shape()[0]);
+    let work = m * k * n;
+    if threads <= 1 || work < 1 << 18 {
+        return matmul(a, b);
+    }
+    let mut c = Tensor::zeros(&[m, n]);
+    let rows_per = m.div_ceil(threads);
+    {
+        let a_data = a.data();
+        let b_data = b.data();
+        let chunks: Vec<(usize, &mut [f32])> = c
+            .data_mut()
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .collect();
+        crossbeam::thread::scope(|s| {
+            for (ci, chunk) in chunks {
+                let row0 = ci * rows_per;
+                let rows = chunk.len() / n;
+                let a_slice = &a_data[row0 * k..(row0 + rows) * k];
+                s.spawn(move |_| {
+                    matmul_into(a_slice, b_data, chunk, rows, k, n);
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+    }
+    c
+}
+
+/// `C = Aᵀ(m×k→k×m) · B(m×n)` — used by backprop without materializing
+/// the transpose.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible.
+#[must_use]
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    assert_eq!(m, b.shape()[0], "A rows must equal B rows");
+    let mut c = Tensor::zeros(&[k, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let brow = &bd[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A(m×k) · Bᵀ(n×k→k×n)`.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible.
+#[must_use]
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions must agree");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            cd[i * n + j] = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        let m = 64;
+        let k = 48;
+        let n = 40;
+        let a = Tensor::from_vec(
+            &[m, k],
+            (0..m * k).map(|i| ((i * 37) % 97) as f32 * 0.01).collect(),
+        );
+        let b = Tensor::from_vec(
+            &[k, n],
+            (0..k * n).map(|i| ((i * 53) % 89) as f32 * 0.02 - 0.5).collect(),
+        );
+        let c1 = matmul(&a, &b);
+        let c2 = matmul_parallel(&a, &b, 4);
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_products_match_explicit() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[2, 2], vec![1., 0., 2., 1.]);
+        // Aᵀ·B: (3×2)·(2×2)
+        let c = matmul_at_b(&a, &b);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data()[0], 1.0 * 1.0 + 4.0 * 2.0);
+        // A·Bᵀ with B as (n×k): B2 is 2 rows of length 3.
+        let b2 = Tensor::from_vec(&[2, 3], vec![1., 1., 1., 0., 1., 0.]);
+        let d = matmul_a_bt(&a, &b2);
+        assert_eq!(d.shape(), &[2, 2]);
+        assert_eq!(d.data()[0], 6.0);
+        assert_eq!(d.data()[1], 2.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).reshape(&[3, 2]);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data()[4], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape must preserve")]
+    fn bad_reshape_panics() {
+        let _ = Tensor::zeros(&[2, 3]).reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn argmax_and_mean() {
+        let t = Tensor::from_vec(&[4], vec![0.1, 3.0, -1.0, 3.0]);
+        assert_eq!(t.argmax(), 1);
+        assert!((t.mean() - 1.275).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::full(&[3], 1.0);
+        let b = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+}

@@ -1,0 +1,306 @@
+//! AC small-signal analysis.
+//!
+//! Linearizes the circuit at its DC operating point and solves
+//! `(G + jωC)·x = b` across a frequency sweep, where `b` applies a
+//! unit-magnitude AC excitation to one chosen voltage source. Used to
+//! check the readout bandwidth of the IMC front-ends (e.g. that the CurFe
+//! TIA settles within the 5 ns cycle).
+//!
+//! The complex system is solved as its real 2N×2N block equivalent
+//! `[[G, −ωC], [ωC, G]]` with the crate's LU.
+
+use crate::dc::{op, NewtonOptions};
+use crate::linalg::{LuFactors, Matrix};
+use crate::netlist::{Element, Netlist, NodeId};
+use crate::stamps::{assemble, branch_indices, initial_cap_states, StampMode, GMIN_DEFAULT};
+use crate::SimError;
+
+/// A complex phasor as `(re, im)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Phasor {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Phasor {
+    /// Magnitude.
+    #[must_use]
+    pub fn magnitude(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    #[must_use]
+    pub fn phase(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+}
+
+/// The AC response at one frequency: node phasors (ground excluded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcPoint {
+    /// Frequency (Hz).
+    pub freq: f64,
+    /// Node voltage phasors; index `i` is node `i + 1`.
+    pub nodes: Vec<Phasor>,
+}
+
+impl AcPoint {
+    /// Phasor of `node` (ground → 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is out of range.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> Phasor {
+        if node.0 == 0 {
+            Phasor::default()
+        } else {
+            self.nodes[node.0 - 1]
+        }
+    }
+}
+
+/// Runs an AC sweep: the voltage source at element index `ac_source`
+/// gets a unit AC magnitude; all other independent sources are at AC
+/// zero (their DC values only set the operating point).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the DC operating point fails or a frequency
+/// point is singular.
+///
+/// # Panics
+///
+/// Panics if `ac_source` is not a voltage-source element.
+pub fn ac_sweep(
+    netlist: &Netlist,
+    ac_source: usize,
+    freqs: &[f64],
+) -> Result<Vec<AcPoint>, SimError> {
+    assert!(
+        matches!(netlist.elements()[ac_source], Element::VSource { .. }),
+        "ac_source must index a voltage source"
+    );
+    // 1. DC operating point (linearization point).
+    let op0 = op(netlist, false, &NewtonOptions::default())?;
+    let n = netlist.unknown_count();
+    let nv = netlist.node_count() - 1;
+
+    // 2. Small-signal G: one more assembly at the OP — the companion
+    //    linearization IS the Jacobian. Clear the rhs; we build our own.
+    let mut g = Matrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    let caps = initial_cap_states(netlist);
+    assemble(
+        netlist,
+        StampMode::Dc { enforce_ic: false },
+        &op0.x,
+        &caps,
+        GMIN_DEFAULT,
+        &mut g,
+        &mut rhs,
+    );
+
+    // 3. Capacitance matrix.
+    let mut c = Matrix::zeros(n, n);
+    for e in netlist.elements() {
+        if let Element::Capacitor { a, b, farads, .. } = e {
+            let idx = |nd: &NodeId| if nd.0 == 0 { None } else { Some(nd.0 - 1) };
+            if let Some(i) = idx(a) {
+                c.add(i, i, *farads);
+                if let Some(j) = idx(b) {
+                    c.add(i, j, -*farads);
+                }
+            }
+            if let Some(j) = idx(b) {
+                c.add(j, j, *farads);
+                if let Some(i) = idx(a) {
+                    c.add(j, i, -*farads);
+                }
+            }
+        }
+    }
+
+    // 4. AC excitation: unit magnitude on the chosen source's branch row.
+    let branches = branch_indices(netlist);
+    let row = branches[ac_source].expect("voltage source has a branch");
+    let mut b_ac = vec![0.0; 2 * n];
+    b_ac[row] = 1.0;
+
+    // 5. Sweep.
+    let mut out = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let w = 2.0 * std::f64::consts::PI * f;
+        let mut big = Matrix::zeros(2 * n, 2 * n);
+        for r in 0..n {
+            for cc in 0..n {
+                let gv = g[(r, cc)];
+                if gv != 0.0 {
+                    big[(r, cc)] = gv;
+                    big[(n + r, n + cc)] = gv;
+                }
+                let cv = c[(r, cc)] * w;
+                if cv != 0.0 {
+                    big[(r, n + cc)] = -cv;
+                    big[(n + r, cc)] = cv;
+                }
+            }
+        }
+        let lu = LuFactors::factor(big).map_err(|e| SimError::Singular {
+            column: e.column,
+            context: format!("ac point at {f:.3e} Hz"),
+        })?;
+        let x = lu.solve(&b_ac);
+        let nodes = (0..nv)
+            .map(|i| Phasor {
+                re: x[i],
+                im: x[n + i],
+            })
+            .collect();
+        out.push(AcPoint { freq: f, nodes });
+    }
+    Ok(out)
+}
+
+/// Logarithmically spaced frequency points.
+///
+/// # Panics
+///
+/// Panics if bounds are non-positive or `points < 2`.
+#[must_use]
+pub fn log_freqs(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
+    assert!(f_lo > 0.0 && f_hi > f_lo, "need a positive ascending range");
+    assert!(points >= 2);
+    let l0 = f_lo.log10();
+    let l1 = f_hi.log10();
+    (0..points)
+        .map(|i| 10f64.powf(l0 + (l1 - l0) * i as f64 / (points - 1) as f64))
+        .collect()
+}
+
+/// Extracts the −3 dB bandwidth of `node` from a sweep (first frequency
+/// where the magnitude falls below `1/√2` of the lowest-frequency value),
+/// or `None` if it never rolls off within the sweep.
+#[must_use]
+pub fn bandwidth_3db(points: &[AcPoint], node: NodeId) -> Option<f64> {
+    let dc_mag = points.first()?.voltage(node).magnitude();
+    let target = dc_mag / std::f64::consts::SQRT_2;
+    let mut prev: Option<(f64, f64)> = None;
+    for p in points {
+        let m = p.voltage(node).magnitude();
+        if m < target {
+            if let Some((f0, m0)) = prev {
+                // Log-linear interpolation between the straddling points.
+                let t = (m0 - target) / (m0 - m);
+                return Some(f0 * (p.freq / f0).powf(t));
+            }
+            return Some(p.freq);
+        }
+        prev = Some((p.freq, m));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Netlist, GROUND};
+
+    #[test]
+    fn rc_lowpass_matches_analytic() {
+        // R = 1 kΩ, C = 1 nF → f_3dB = 1/(2πRC) ≈ 159.2 kHz.
+        let mut n = Netlist::new();
+        let a = n.node();
+        let out = n.node();
+        let src = n.vdc(a, GROUND, 0.0);
+        n.resistor(a, out, 1.0e3);
+        n.capacitor(out, GROUND, 1.0e-9, None);
+        let freqs = log_freqs(1.0e3, 1.0e8, 120);
+        let pts = ac_sweep(&n, src, &freqs).expect("linear circuit");
+        // Check |H| at a few points.
+        for p in &pts {
+            let wrc = 2.0 * std::f64::consts::PI * p.freq * 1.0e3 * 1.0e-9;
+            let expect = 1.0 / (1.0 + wrc * wrc).sqrt();
+            let got = p.voltage(out).magnitude();
+            assert!(
+                (got - expect).abs() < 0.01,
+                "f={:.3e}: |H|={got:.4} vs {expect:.4}",
+                p.freq
+            );
+        }
+        let bw = bandwidth_3db(&pts, out).expect("rolls off");
+        assert!(
+            (bw - 159.2e3).abs() < 8.0e3,
+            "f_3dB = {bw:.3e} (expect 159 kHz)"
+        );
+    }
+
+    #[test]
+    fn phase_approaches_minus_90_degrees() {
+        let mut n = Netlist::new();
+        let a = n.node();
+        let out = n.node();
+        let src = n.vdc(a, GROUND, 0.0);
+        n.resistor(a, out, 1.0e3);
+        n.capacitor(out, GROUND, 1.0e-9, None);
+        let pts = ac_sweep(&n, src, &[1.0e8]).expect("linear");
+        let ph = pts[0].voltage(out).phase().to_degrees();
+        assert!(ph < -80.0, "phase at 100 MHz = {ph:.1} deg");
+    }
+
+    #[test]
+    fn resistive_divider_is_flat() {
+        let mut n = Netlist::new();
+        let a = n.node();
+        let mid = n.node();
+        let src = n.vdc(a, GROUND, 1.0);
+        n.resistor(a, mid, 1.0e3);
+        n.resistor(mid, GROUND, 1.0e3);
+        let pts = ac_sweep(&n, src, &log_freqs(1.0, 1.0e9, 10)).expect("linear");
+        for p in &pts {
+            assert!((p.voltage(mid).magnitude() - 0.5).abs() < 1e-6);
+        }
+        assert!(bandwidth_3db(&pts, mid).is_none());
+    }
+
+    #[test]
+    fn tia_bandwidth_with_input_capacitance() {
+        // TIA with a *single-pole* op-amp (gain 10⁴, GBW 5 GHz: VCVS into
+        // an internal RC) + 8.33 kΩ feedback, with 100 fF of bitline
+        // capacitance at the virtual ground. The closed-loop bandwidth
+        // must exceed 1/(5 ns) ≈ 200 MHz for the paper's cycle time.
+        let mut n = Netlist::new();
+        let vin = n.node();
+        let inv = n.node();
+        let core = n.node();
+        let out = n.node();
+        let src = n.vdc(vin, GROUND, 0.0);
+        // Source resistance models the cell impedance (the parallel
+        // combination of the block's drain resistors; 100 kΩ worst case).
+        n.resistor(vin, inv, 1.0e5);
+        n.capacitor(inv, GROUND, 100.0e-15, None);
+        // Single-pole op-amp: A = 1e4, pole at GBW/A = 500 kHz.
+        n.vcvs(core, GROUND, GROUND, inv, 1.0e4);
+        n.resistor(core, out, 1.0e4);
+        n.capacitor(out, GROUND, 31.8e-12, None);
+        n.resistor(inv, out, 8.333e3);
+        let pts = ac_sweep(&n, src, &log_freqs(1.0e5, 1.0e11, 160)).expect("tia");
+        let bw = bandwidth_3db(&pts, out).expect("single-pole loop rolls off");
+        assert!(
+            bw > 2.0e8,
+            "TIA bandwidth {bw:.3e} Hz must exceed the 5 ns cycle's 200 MHz"
+        );
+        assert!(bw < 1.0e10, "sanity: finite GBW limits the loop ({bw:.3e})");
+    }
+
+    #[test]
+    fn log_freqs_spacing() {
+        let f = log_freqs(1.0, 1.0e3, 4);
+        assert_eq!(f.len(), 4);
+        assert!((f[1] - 10.0).abs() < 1e-9);
+        assert!((f[3] - 1000.0).abs() < 1e-6);
+    }
+}

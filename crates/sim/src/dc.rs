@@ -1,0 +1,252 @@
+//! DC operating-point analysis: Newton–Raphson with damping and gmin
+//! stepping.
+
+use crate::linalg::{LuFactors, Matrix};
+use crate::netlist::Netlist;
+use crate::stamps::{assemble, initial_cap_states, CapState, StampMode, GMIN_DEFAULT};
+use crate::SimError;
+
+/// Options controlling the Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Absolute node-voltage convergence tolerance (V).
+    pub v_abstol: f64,
+    /// Relative convergence tolerance.
+    pub reltol: f64,
+    /// Maximum Newton iterations per solve.
+    pub max_iter: usize,
+    /// Maximum per-iteration node-voltage update magnitude (V); larger
+    /// updates are clipped (damping).
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            v_abstol: 1.0e-9,
+            reltol: 1.0e-6,
+            max_iter: 300,
+            max_step: 0.3,
+        }
+    }
+}
+
+/// Result of a DC operating-point solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpPoint {
+    /// The MNA solution vector (node voltages then branch currents).
+    pub x: Vec<f64>,
+    /// Newton iterations used (summed over gmin steps).
+    pub iterations: usize,
+    /// The gmin that was active for the final solve.
+    pub gmin: f64,
+}
+
+impl OpPoint {
+    /// Voltage of `node` (0 V for ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index exceeds the solution length.
+    #[must_use]
+    pub fn voltage(&self, node: crate::netlist::NodeId) -> f64 {
+        if node.0 == 0 {
+            0.0
+        } else {
+            self.x[node.0 - 1]
+        }
+    }
+}
+
+/// Runs Newton iterations at a fixed stamp mode until convergence.
+///
+/// Returns `(x, iterations)`.
+pub(crate) fn newton_solve(
+    netlist: &Netlist,
+    mode: StampMode,
+    cap_states: &[CapState],
+    gmin: f64,
+    x0: &[f64],
+    opts: &NewtonOptions,
+) -> Result<(Vec<f64>, usize), SimError> {
+    let n = netlist.unknown_count();
+    let nv = netlist.node_count() - 1;
+    let mut x = x0.to_vec();
+    let mut mat = Matrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    for it in 1..=opts.max_iter {
+        assemble(netlist, mode, &x, cap_states, gmin, &mut mat, &mut rhs);
+        let lu = LuFactors::factor(mat.clone()).map_err(|e| SimError::Singular {
+            column: e.column,
+            context: "newton iteration".to_owned(),
+        })?;
+        let x_new = lu.solve(&rhs);
+        // Damped update on node voltages; branch currents move freely.
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let dx = x_new[i] - x[i];
+            if i < nv {
+                worst = worst.max(dx.abs() / (1.0 + x_new[i].abs()));
+                x[i] += dx.clamp(-opts.max_step, opts.max_step);
+            } else {
+                x[i] = x_new[i];
+            }
+        }
+        if worst <= opts.v_abstol + opts.reltol {
+            return Ok((x, it));
+        }
+    }
+    Err(SimError::NoConvergence {
+        iterations: opts.max_iter,
+        context: "dc newton".to_owned(),
+    })
+}
+
+/// Computes the DC operating point of `netlist`.
+///
+/// Capacitors are treated as open circuits unless `enforce_ic` is set, in
+/// which case declared initial conditions are held by stiff companions
+/// (used to seed transient analyses).
+///
+/// Falls back to gmin stepping (starting at 1 mS and relaxing to
+/// [`GMIN_DEFAULT`]) when plain Newton fails.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoConvergence`] if gmin stepping also fails, or
+/// [`SimError::Singular`] for a structurally defective circuit.
+pub fn op(netlist: &Netlist, enforce_ic: bool, opts: &NewtonOptions) -> Result<OpPoint, SimError> {
+    let mode = StampMode::Dc { enforce_ic };
+    let caps = initial_cap_states(netlist);
+    let x0 = vec![0.0; netlist.unknown_count()];
+    match newton_solve(netlist, mode, &caps, GMIN_DEFAULT, &x0, opts) {
+        Ok((x, iterations)) => Ok(OpPoint {
+            x,
+            iterations,
+            gmin: GMIN_DEFAULT,
+        }),
+        Err(_) => {
+            // gmin stepping: solve with a heavy shunt, then relax.
+            let mut x = x0;
+            let mut total_iter = 0;
+            let mut gmin = 1.0e-3;
+            loop {
+                let (x_new, it) = newton_solve(netlist, mode, &caps, gmin, &x, opts)?;
+                x = x_new;
+                total_iter += it;
+                if gmin <= GMIN_DEFAULT {
+                    return Ok(OpPoint {
+                        x,
+                        iterations: total_iter,
+                        gmin,
+                    });
+                }
+                gmin = (gmin * 0.01).max(GMIN_DEFAULT);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Netlist, GROUND};
+    use fefet_device::fefet::{FeFet, FeFetParams};
+    use fefet_device::mosfet::{Mosfet, MosfetParams, Polarity};
+
+    #[test]
+    fn resistive_divider_op() {
+        let mut n = Netlist::new();
+        let a = n.node();
+        let b = n.node();
+        n.vdc(a, GROUND, 1.0);
+        n.resistor(a, b, 2000.0);
+        n.resistor(b, GROUND, 1000.0);
+        let op = op(&n, false, &NewtonOptions::default()).expect("linear circuit");
+        assert!((op.voltage(b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_connected_mosfet_converges() {
+        // Vdd — R — drain=gate MOSFET to ground: a classic nonlinear OP.
+        let mut n = Netlist::new();
+        let vdd = n.node();
+        let d = n.node();
+        n.vdc(vdd, GROUND, 1.1);
+        n.resistor(vdd, d, 10_000.0);
+        n.mosfet(d, d, GROUND, Mosfet::new(MosfetParams::logic_40nm(), Polarity::N));
+        let op = op(&n, false, &NewtonOptions::default()).expect("must converge");
+        let v = op.voltage(d);
+        assert!(v > 0.3 && v < 1.0, "diode-connected node at {v} V");
+    }
+
+    #[test]
+    fn fefet_resistor_cell_current_is_resistor_limited() {
+        // The CurFe 1nFeFET1R story: ON FeFET in series with 5 MΩ between
+        // 0.5 V (bitline) and ground; current ≈ 0.5/5M = 100 nA.
+        let mut n = Netlist::new();
+        let bl = n.node();
+        let mid = n.node();
+        let wl = n.node();
+        n.vdc(bl, GROUND, 0.5);
+        n.vdc(wl, GROUND, 1.2);
+        n.resistor(bl, mid, 5.0e6);
+        let mut dev = FeFet::new(FeFetParams::nfefet_40nm(), fefet_device::fefet::Polarity::N);
+        dev.set_vth(0.35);
+        n.fefet(mid, wl, GROUND, dev);
+        let op = op(&n, false, &NewtonOptions::default()).expect("must converge");
+        // Current through the 5 MΩ resistor:
+        let i = (op.voltage(bl) - op.voltage(mid)) / 5.0e6;
+        assert!(
+            (i - 1.0e-7).abs() < 5.0e-9,
+            "cell current {i:.3e} A, expected ≈100 nA"
+        );
+    }
+
+    #[test]
+    fn opamp_follower() {
+        let mut n = Netlist::new();
+        let inp = n.node();
+        let out = n.node();
+        n.vdc(inp, GROUND, 0.42);
+        n.opamp(out, inp, out); // unity follower: V− tied to output.
+        n.resistor(out, GROUND, 1.0e5);
+        let op = op(&n, false, &NewtonOptions::default()).expect("linear");
+        assert!((op.voltage(out) - 0.42).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tia_holds_virtual_ground() {
+        // Transimpedance amp: current 1 µA into the inverting node, V+ at
+        // 0.5 V, feedback 10 kΩ → Vout = 0.5 − i·Rf ... with our current
+        // convention, check Vout − Vcm = −i·Rf.
+        let mut n = Netlist::new();
+        let vcm = n.node();
+        let inv = n.node();
+        let out = n.node();
+        n.vdc(vcm, GROUND, 0.5);
+        n.opamp(out, vcm, inv);
+        n.resistor(inv, out, 1.0e4);
+        n.isource(inv, GROUND, crate::netlist::Source::Dc(1.0e-6));
+        let op = op(&n, false, &NewtonOptions::default()).expect("linear");
+        assert!((op.voltage(inv) - 0.5).abs() < 1e-3, "virtual ground");
+        // 1 µA drawn *out of* the inverting node flows in from the output
+        // through Rf: Vout = Vinv + i·Rf = 0.51 V.
+        assert!(
+            (op.voltage(out) - 0.51).abs() < 1e-3,
+            "vout = {}",
+            op.voltage(out)
+        );
+    }
+
+    #[test]
+    fn floating_node_is_held_by_gmin() {
+        let mut n = Netlist::new();
+        let a = n.node();
+        let _floating = n.node();
+        n.vdc(a, GROUND, 1.0);
+        n.resistor(a, GROUND, 1000.0);
+        let op = op(&n, false, &NewtonOptions::default()).expect("gmin holds it");
+        assert!(op.x[1].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,121 @@
+//! # analog-sim
+//!
+//! A small modified-nodal-analysis (MNA) analog circuit simulator — the
+//! workspace's stand-in for the Cadence Spectre flow used by the paper's
+//! circuit-level validation (Figs. 3, 6, 7, 8).
+//!
+//! Features:
+//!
+//! * [`netlist`] — circuit builder: R, C, V/I sources, scheduled switches,
+//!   MOSFETs, FeFETs (device models from [`fefet_device`]), and VCVS
+//!   (high-gain op-amps / TIAs).
+//! * [`dc`] — Newton–Raphson operating point with damping and gmin
+//!   stepping.
+//! * [`ac`] — small-signal frequency sweeps at the operating point
+//!   (readout bandwidth checks).
+//! * [`transient`] — fixed-step backward-Euler / trapezoidal integration.
+//! * [`measure`] — source energy/power measurements over transients.
+//! * [`montecarlo`] — deterministic seeded batch runs.
+//! * [`waveform`] — trace storage with interpolation and measurement
+//!   helpers.
+//! * [`linalg`] — dense LU with partial pivoting (no external BLAS).
+//! * [`spice`] — SPICE-deck export for cross-checking in ngspice/Spectre.
+//!
+//! ## Example: a resistive divider operating point
+//!
+//! ```
+//! use analog_sim::netlist::{Netlist, GROUND};
+//! use analog_sim::dc::{op, NewtonOptions};
+//!
+//! # fn main() -> Result<(), analog_sim::SimError> {
+//! let mut n = Netlist::new();
+//! let a = n.node();
+//! let out = n.named_node("out");
+//! n.vdc(a, GROUND, 1.0);
+//! n.resistor(a, out, 1_000.0);
+//! n.resistor(out, GROUND, 3_000.0);
+//! let op = op(&n, false, &NewtonOptions::default())?;
+//! assert!((op.voltage(out) - 0.75).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod ac;
+pub mod dc;
+pub mod linalg;
+pub mod measure;
+pub mod montecarlo;
+pub mod netlist;
+pub mod spice;
+pub mod stamps;
+pub mod transient;
+pub mod waveform;
+
+/// Errors produced by analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Newton iteration failed to converge.
+    NoConvergence {
+        /// Iterations attempted.
+        iterations: usize,
+        /// Where the failure occurred (analysis / time step).
+        context: String,
+    },
+    /// The MNA matrix was singular — usually a floating subcircuit or a
+    /// voltage-source loop.
+    Singular {
+        /// Pivot column at which factorization broke down.
+        column: usize,
+        /// Where the failure occurred.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoConvergence {
+                iterations,
+                context,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} iterations ({context})"
+            ),
+            Self::Singular { column, context } => write!(
+                f,
+                "singular MNA matrix at column {column} ({context}); check for floating nodes or source loops"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_contextfully() {
+        let e = SimError::NoConvergence {
+            iterations: 10,
+            context: "unit test".into(),
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("unit test"));
+        let s = SimError::Singular {
+            column: 3,
+            context: "dc".into(),
+        };
+        assert!(s.to_string().contains("column 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

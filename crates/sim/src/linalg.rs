@@ -1,0 +1,348 @@
+//! Dense linear algebra: LU factorization with partial pivoting.
+//!
+//! The circuits simulated in this workspace (IMC bank columns, TIA loops,
+//! charge-sharing networks) have at most a few hundred MNA unknowns, so a
+//! dense solver is simpler and fast enough; no external BLAS dependency is
+//! needed.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resets every entry to zero (reusing the allocation).
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `v` to entry `(r, c)` — the fundamental MNA "stamp" operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self[(r, c)] += v;
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // indexed math over two arrays
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Error produced when a linear system cannot be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Pivot column at which elimination broke down.
+    pub column: usize,
+}
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is singular or numerically rank-deficient at column {}",
+            self.column
+        )
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// LU factorization (in place) with partial pivoting and row
+/// equilibration (each row pre-scaled by its max magnitude, which keeps
+/// MNA systems mixing mega-ohm conductances with unit voltage-source
+/// rows well conditioned).
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    pivots: Vec<usize>,
+    row_scale: Vec<f64>,
+}
+
+impl LuFactors {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot smaller than `1e-300` in
+    /// magnitude is encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn factor(mut a: Matrix) -> Result<Self, SingularMatrixError> {
+        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
+        let n = a.rows;
+        // Row equilibration: scale each row to unit max magnitude.
+        let mut row_scale = vec![1.0; n];
+        for r in 0..n {
+            let mut m = 0.0f64;
+            for c in 0..n {
+                m = m.max(a[(r, c)].abs());
+            }
+            if m > 0.0 {
+                let s = 1.0 / m;
+                row_scale[r] = s;
+                for c in 0..n {
+                    a[(r, c)] *= s;
+                }
+            }
+        }
+        let mut pivots = vec![0usize; n];
+        for k in 0..n {
+            // Partial pivot: largest |a[i][k]| for i >= k.
+            let mut p = k;
+            let mut max = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < 1e-300 {
+                return Err(SingularMatrixError { column: k });
+            }
+            pivots[k] = p;
+            if p != k {
+                for c in 0..n {
+                    let tmp = a[(k, c)];
+                    a[(k, c)] = a[(p, c)];
+                    a[(p, c)] = tmp;
+                }
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / pivot;
+                a[(i, k)] = factor;
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        let akc = a[(k, c)];
+                        a[(i, c)] -= factor * akc;
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            lu: a,
+            pivots,
+            row_scale,
+        })
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix size.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // LU substitution indexes x and lu together
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n);
+        let mut x: Vec<f64> = b
+            .iter()
+            .zip(&self.row_scale)
+            .map(|(v, s)| v * s)
+            .collect();
+        // Apply the full permutation first: `factor` swaps entire rows
+        // (including already-stored multipliers), so the stored L/U equal
+        // the factorization of P*A_scaled and the rhs must be permuted
+        // up front, not interleaved with substitution.
+        for k in 0..n {
+            let p = self.pivots[k];
+            if p != k {
+                x.swap(k, p);
+            }
+        }
+        // Forward substitution (L has unit diagonal).
+        for k in 0..n {
+            let xk = x[k];
+            if xk != 0.0 {
+                for i in (k + 1)..n {
+                    x[i] -= self.lu[(i, k)] * xk;
+                }
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut s = x[k];
+            for c in (k + 1)..n {
+                s -= self.lu[(k, c)] * x[c];
+            }
+            x[k] = s / self.lu[(k, k)];
+        }
+        x
+    }
+}
+
+/// Convenience: solve `A x = b` in one call.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if `a` is singular.
+pub fn solve(a: Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+    Ok(LuFactors::factor(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&[f64]]) -> Matrix {
+        let mut m = Matrix::zeros(rows.len(), rows[0].len());
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn solves_identity() {
+        let b = vec![1.0, 2.0, 3.0];
+        let x = solve(Matrix::identity(3), &b).expect("identity is regular");
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(a, &[5.0, 10.0]).expect("regular");
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(a, &[2.0, 3.0]).expect("needs pivoting");
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = solve(a, &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err.column, 1);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn random_like_system_round_trips() {
+        // A x = b, with x known: check residual.
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        // Deterministic pseudo-random fill (LCG), diagonally boosted.
+        let mut state: u64 = 0x243F_6A88_85A3_08D3;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] = next();
+            }
+            a[(r, r)] += 8.0;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve(a, &b).expect("diagonally dominant");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8, "xi={xi} ti={ti}");
+        }
+    }
+
+    #[test]
+    fn lu_factors_are_reusable() {
+        let a = from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let lu = LuFactors::factor(a).expect("regular");
+        let x1 = lu.solve(&[1.0, 0.0]);
+        let x2 = lu.solve(&[0.0, 1.0]);
+        // Columns of the inverse.
+        assert!((x1[0] - 3.0 / 11.0).abs() < 1e-12);
+        assert!((x2[1] - 4.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_size_matrix_panics() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

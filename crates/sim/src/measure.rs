@@ -1,0 +1,108 @@
+//! Measurements over transient waveforms: source energy and average
+//! power — the SPICE-side cross-check for the behavioural energy models.
+
+use crate::netlist::{Element, Netlist};
+use crate::stamps::branch_indices;
+use crate::waveform::Waveform;
+
+/// Energy delivered *by* the voltage source at element index `source`
+/// over the recorded transient (J).
+///
+/// MNA defines the branch current as flowing into the source's positive
+/// terminal, so a delivering source carries a negative branch current and
+/// the delivered energy is `−∫ v(t)·i_branch(t) dt`.
+///
+/// # Panics
+///
+/// Panics if `source` does not index a voltage source, or the waveform
+/// was recorded without branch currents.
+#[must_use]
+pub fn source_energy(netlist: &Netlist, wave: &Waveform, source: usize) -> f64 {
+    let Element::VSource {
+        source: ref wave_src,
+        ..
+    } = netlist.elements()[source]
+    else {
+        panic!("element {source} is not a voltage source");
+    };
+    let branches = branch_indices(netlist);
+    let row = branches[source].expect("voltage source has a branch");
+    // Branch indices are offsets into the full MNA vector; the waveform
+    // stores them relative to the node block.
+    let nv = netlist.node_count() - 1;
+    let local = row - nv;
+    wave.integrate(|k| {
+        let t = wave.times()[k];
+        let v = wave_src.value_at(t);
+        let i = wave.branch_current_at(local, k);
+        -v * i
+    })
+}
+
+/// Average power delivered by the source over the run (W).
+///
+/// # Panics
+///
+/// Same conditions as [`source_energy`]; additionally panics on an empty
+/// waveform.
+#[must_use]
+pub fn source_average_power(netlist: &Netlist, wave: &Waveform, source: usize) -> f64 {
+    assert!(wave.len() >= 2, "need at least two samples");
+    let span = wave.times()[wave.len() - 1] - wave.times()[0];
+    source_energy(netlist, wave, source) / span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Netlist, GROUND};
+    use crate::transient::{transient, TransientOptions};
+
+    #[test]
+    fn resistive_load_energy_matches_v2_over_r() {
+        // 1 V across 1 kΩ for 1 µs: E = V²/R · t = 1 nJ.
+        let mut n = Netlist::new();
+        let a = n.node();
+        let src = n.vdc(a, GROUND, 1.0);
+        n.resistor(a, GROUND, 1.0e3);
+        let w = transient(&n, &TransientOptions::new(1.0e-6, 100)).expect("linear");
+        let e = source_energy(&n, &w, src);
+        assert!(
+            (e - 1.0e-9).abs() < 0.02e-9,
+            "measured {e:.3e} J, expected 1 nJ"
+        );
+        let p = source_average_power(&n, &w, src);
+        assert!((p - 1.0e-3).abs() < 0.02e-3);
+    }
+
+    #[test]
+    fn capacitor_charge_energy_is_half_cv2_plus_resistor_loss() {
+        // Charging C through R from a step source: the source delivers
+        // C·V² total (half stored, half burned in R).
+        let mut n = Netlist::new();
+        let a = n.node();
+        let out = n.node();
+        let src = n.vdc(a, GROUND, 1.0);
+        n.resistor(a, out, 1.0e3);
+        n.capacitor(out, GROUND, 1.0e-9, Some(0.0));
+        // 10 τ so the charge completes.
+        let w = transient(&n, &TransientOptions::new(1.0e-5, 2000).with_ic()).expect("rc");
+        let e = source_energy(&n, &w, src);
+        let expect = 1.0e-9; // C·V² = 1e-9 · 1²
+        assert!(
+            (e - expect).abs() < 0.05 * expect,
+            "measured {e:.3e} J, expected C·V² = {expect:.3e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a voltage source")]
+    fn wrong_element_kind_panics() {
+        let mut n = Netlist::new();
+        let a = n.node();
+        let r = n.resistor(a, GROUND, 1.0e3);
+        n.vdc(a, GROUND, 1.0);
+        let w = transient(&n, &TransientOptions::new(1.0e-6, 10)).expect("ok");
+        let _ = source_energy(&n, &w, r);
+    }
+}

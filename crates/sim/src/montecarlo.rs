@@ -1,0 +1,124 @@
+//! Monte-Carlo batch running.
+//!
+//! Circuit-level Monte Carlo (paper Figs. 7 and 8) re-builds the netlist
+//! per trial with perturbed device parameters, runs an analysis, and
+//! extracts a scalar measurement. This module provides the deterministic
+//! trial plumbing; the perturbation itself lives in the caller's factory
+//! closure (typically via [`fefet_device::variation::VariationSampler`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SimError;
+
+/// Outcome of a Monte-Carlo batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McResult {
+    /// Successful trial measurements, in trial order (failed trials are
+    /// skipped but counted).
+    pub values: Vec<f64>,
+    /// Number of trials whose analysis failed to converge.
+    pub failures: usize,
+}
+
+impl McResult {
+    /// Mean of the successful trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every trial failed.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        assert!(!self.values.is_empty(), "no successful trials");
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation of the successful trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every trial failed.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64)
+            .sqrt()
+    }
+}
+
+/// Runs `trials` Monte-Carlo evaluations.
+///
+/// `trial_fn` receives a per-trial seed derived deterministically from
+/// `seed` and returns the scalar measurement for that trial.
+///
+/// Trials that return `Err` are counted in [`McResult::failures`] rather
+/// than aborting the batch: a handful of non-converged corners should not
+/// kill a 1000-trial histogram, and the failure count makes the loss
+/// visible (no silent truncation).
+pub fn run_trials<F>(trials: usize, seed: u64, mut trial_fn: F) -> McResult
+where
+    F: FnMut(u64) -> Result<f64, SimError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(trials);
+    let mut failures = 0;
+    for _ in 0..trials {
+        let trial_seed = rng.gen::<u64>();
+        match trial_fn(trial_seed) {
+            Ok(v) => values.push(v),
+            Err(_) => failures += 1,
+        }
+    }
+    McResult { values, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_are_deterministic() {
+        let f = |s: u64| Ok((s % 1000) as f64);
+        let a = run_trials(50, 9, f);
+        let b = run_trials(50, 9, f);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.failures, 0);
+    }
+
+    #[test]
+    fn failures_are_counted_not_fatal() {
+        let mut k = 0;
+        let r = run_trials(10, 1, |s| {
+            k += 1;
+            if k % 3 == 0 {
+                Err(SimError::NoConvergence {
+                    iterations: 1,
+                    context: "test".into(),
+                })
+            } else {
+                Ok(s as f64)
+            }
+        });
+        assert_eq!(r.failures, 3);
+        assert_eq!(r.values.len(), 7);
+    }
+
+    #[test]
+    fn stats_on_constant_values() {
+        let r = run_trials(20, 2, |_| Ok(4.0));
+        assert!((r.mean() - 4.0).abs() < 1e-12);
+        assert!(r.std_dev() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no successful trials")]
+    fn mean_of_empty_panics() {
+        let r = run_trials(3, 0, |_| {
+            Err(SimError::NoConvergence {
+                iterations: 0,
+                context: "test".into(),
+            })
+        });
+        let _ = r.mean();
+    }
+}

@@ -1,0 +1,513 @@
+//! Circuit netlist representation and builder.
+//!
+//! A [`Netlist`] is a flat list of [`Element`]s connecting [`NodeId`]s.
+//! Node 0 is always ground. Elements carry their own device models
+//! (from [`fefet_device`]) so that Monte-Carlo perturbations are applied
+//! per instance.
+
+use fefet_device::fefet::FeFet;
+use fefet_device::mosfet::Mosfet;
+
+/// A circuit node. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// The ground node (reference, 0 V).
+pub const GROUND: NodeId = NodeId(0);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == 0 {
+            write!(f, "gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// An independent source waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// Constant value.
+    Dc(f64),
+    /// Trapezoidal pulse: `v0` before `t_delay`, ramp to `v1` over
+    /// `t_rise`, hold for `t_width`, ramp back over `t_fall`.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the rising edge (s).
+        t_delay: f64,
+        /// Rise time (s).
+        t_rise: f64,
+        /// Pulse width at `v1` (s).
+        t_width: f64,
+        /// Fall time (s).
+        t_fall: f64,
+    },
+    /// Piece-wise linear `(time, value)` points; constant extrapolation
+    /// outside the listed range. Points must be sorted by time.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Source {
+    /// Evaluates the source at time `t` (s). For DC analyses pass
+    /// `t = 0.0`.
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Self::Dc(v) => *v,
+            Self::Pulse {
+                v0,
+                v1,
+                t_delay,
+                t_rise,
+                t_width,
+                t_fall,
+            } => {
+                let t1 = *t_delay;
+                let t2 = t1 + t_rise.max(1e-15);
+                let t3 = t2 + t_width;
+                let t4 = t3 + t_fall.max(1e-15);
+                if t <= t1 {
+                    *v0
+                } else if t < t2 {
+                    v0 + (v1 - v0) * (t - t1) / (t2 - t1)
+                } else if t <= t3 {
+                    *v1
+                } else if t < t4 {
+                    v1 + (v0 - v1) * (t - t3) / (t4 - t3)
+                } else {
+                    *v0
+                }
+            }
+            Self::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+        }
+    }
+}
+
+/// A switch schedule: `(time, closed)` transitions, sorted by time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchSchedule {
+    /// Initial state before the first transition.
+    pub initial_closed: bool,
+    /// Sorted `(time, closed)` transitions.
+    pub transitions: Vec<(f64, bool)>,
+}
+
+impl SwitchSchedule {
+    /// A switch that never changes state.
+    #[must_use]
+    pub fn always(closed: bool) -> Self {
+        Self {
+            initial_closed: closed,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// State at time `t`.
+    #[must_use]
+    pub fn closed_at(&self, t: f64) -> bool {
+        let mut state = self.initial_closed;
+        for &(tt, s) in &self.transitions {
+            if t >= tt {
+                state = s;
+            } else {
+                break;
+            }
+        }
+        state
+    }
+}
+
+/// A circuit element.
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance (Ω), must be > 0.
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance (F), must be > 0.
+        farads: f64,
+        /// Initial voltage `v(a) − v(b)` applied at `t = 0`.
+        ic: Option<f64>,
+    },
+    /// Independent voltage source; `pos − neg = value`.
+    VSource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Waveform.
+        source: Source,
+    },
+    /// Independent current source pushing current out of `from`, into `to`
+    /// (through the external circuit the current flows `to → from`... the
+    /// convention here: a positive value drives conventional current into
+    /// node `to`).
+    ISource {
+        /// Node the current is drawn from.
+        from: NodeId,
+        /// Node the current is injected into.
+        to: NodeId,
+        /// Waveform (A).
+        source: Source,
+    },
+    /// Time-scheduled switch, modelled as a two-state resistor.
+    Switch {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Closed-state resistance (Ω).
+        r_on: f64,
+        /// Open-state resistance (Ω).
+        r_off: f64,
+        /// On/off schedule.
+        schedule: SwitchSchedule,
+    },
+    /// MOSFET (periphery).
+    Mosfet {
+        /// Drain.
+        d: NodeId,
+        /// Gate.
+        g: NodeId,
+        /// Source.
+        s: NodeId,
+        /// Device model instance.
+        dev: Mosfet,
+    },
+    /// FeFET (storage cell).
+    FeFet {
+        /// Drain.
+        d: NodeId,
+        /// Gate.
+        g: NodeId,
+        /// Source.
+        s: NodeId,
+        /// Device model instance (carries its programmed V_TH).
+        dev: Box<FeFet>,
+    },
+    /// Voltage-controlled voltage source (ideal op-amp building block):
+    /// `v(out_p) − v(out_n) = gain · (v(in_p) − v(in_n))`.
+    Vcvs {
+        /// Positive output terminal.
+        out_p: NodeId,
+        /// Negative output terminal.
+        out_n: NodeId,
+        /// Positive control input.
+        in_p: NodeId,
+        /// Negative control input.
+        in_n: NodeId,
+        /// Voltage gain.
+        gain: f64,
+    },
+}
+
+/// A complete circuit.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    node_labels: Vec<Option<String>>,
+    elements: Vec<Element>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist (ground pre-allocated).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            node_labels: vec![Some("gnd".to_owned())],
+            elements: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh node.
+    pub fn node(&mut self) -> NodeId {
+        self.node_labels.push(None);
+        NodeId(self.node_labels.len() - 1)
+    }
+
+    /// Allocates a fresh node with a label (for waveform lookup).
+    pub fn named_node(&mut self, label: impl Into<String>) -> NodeId {
+        self.node_labels.push(Some(label.into()));
+        NodeId(self.node_labels.len() - 1)
+    }
+
+    /// Finds a node by label.
+    #[must_use]
+    pub fn find_node(&self, label: &str) -> Option<NodeId> {
+        self.node_labels
+            .iter()
+            .position(|l| l.as_deref() == Some(label))
+            .map(NodeId)
+    }
+
+    /// Label of `node`, if any.
+    #[must_use]
+    pub fn label(&self, node: NodeId) -> Option<&str> {
+        self.node_labels.get(node.0).and_then(|l| l.as_deref())
+    }
+
+    /// Number of nodes including ground.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// The elements.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Mutable access to the elements (used by Monte-Carlo perturbation).
+    pub fn elements_mut(&mut self) -> &mut [Element] {
+        &mut self.elements
+    }
+
+    fn check_node(&self, n: NodeId) {
+        assert!(
+            n.0 < self.node_labels.len(),
+            "node {n} does not belong to this netlist"
+        );
+    }
+
+    /// Adds a resistor. Returns the element index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms <= 0` or a node is foreign.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> usize {
+        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        self.check_node(a);
+        self.check_node(b);
+        self.push(Element::Resistor { a, b, ohms })
+    }
+
+    /// Adds a capacitor (optionally with an initial condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads <= 0` or a node is foreign.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64, ic: Option<f64>) -> usize {
+        assert!(farads > 0.0 && farads.is_finite(), "capacitance must be positive");
+        self.check_node(a);
+        self.check_node(b);
+        self.push(Element::Capacitor { a, b, farads, ic })
+    }
+
+    /// Adds an independent voltage source.
+    pub fn vsource(&mut self, pos: NodeId, neg: NodeId, source: Source) -> usize {
+        self.check_node(pos);
+        self.check_node(neg);
+        self.push(Element::VSource { pos, neg, source })
+    }
+
+    /// Adds a DC voltage source.
+    pub fn vdc(&mut self, pos: NodeId, neg: NodeId, volts: f64) -> usize {
+        self.vsource(pos, neg, Source::Dc(volts))
+    }
+
+    /// Adds an independent current source driving current into `to`.
+    pub fn isource(&mut self, from: NodeId, to: NodeId, source: Source) -> usize {
+        self.check_node(from);
+        self.check_node(to);
+        self.push(Element::ISource { from, to, source })
+    }
+
+    /// Adds a scheduled switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resistances are not positive.
+    pub fn switch(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        r_on: f64,
+        r_off: f64,
+        schedule: SwitchSchedule,
+    ) -> usize {
+        assert!(r_on > 0.0 && r_off > 0.0, "switch resistances must be positive");
+        self.check_node(a);
+        self.check_node(b);
+        self.push(Element::Switch {
+            a,
+            b,
+            r_on,
+            r_off,
+            schedule,
+        })
+    }
+
+    /// Adds a MOSFET.
+    pub fn mosfet(&mut self, d: NodeId, g: NodeId, s: NodeId, dev: Mosfet) -> usize {
+        self.check_node(d);
+        self.check_node(g);
+        self.check_node(s);
+        self.push(Element::Mosfet { d, g, s, dev })
+    }
+
+    /// Adds a FeFET.
+    pub fn fefet(&mut self, d: NodeId, g: NodeId, s: NodeId, dev: FeFet) -> usize {
+        self.check_node(d);
+        self.check_node(g);
+        self.check_node(s);
+        self.push(Element::FeFet {
+            d,
+            g,
+            s,
+            dev: Box::new(dev),
+        })
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    pub fn vcvs(
+        &mut self,
+        out_p: NodeId,
+        out_n: NodeId,
+        in_p: NodeId,
+        in_n: NodeId,
+        gain: f64,
+    ) -> usize {
+        for n in [out_p, out_n, in_p, in_n] {
+            self.check_node(n);
+        }
+        self.push(Element::Vcvs {
+            out_p,
+            out_n,
+            in_p,
+            in_n,
+            gain,
+        })
+    }
+
+    /// Adds an ideal-ish op-amp (high-gain VCVS) with output node `out`,
+    /// inputs `in_p`/`in_n`. Returns the element index.
+    pub fn opamp(&mut self, out: NodeId, in_p: NodeId, in_n: NodeId) -> usize {
+        self.vcvs(out, GROUND, in_p, in_n, 1.0e4)
+    }
+
+    fn push(&mut self, e: Element) -> usize {
+        self.elements.push(e);
+        self.elements.len() - 1
+    }
+
+    /// Number of extra branch-current unknowns (V sources + VCVS).
+    #[must_use]
+    pub fn branch_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VSource { .. } | Element::Vcvs { .. }))
+            .count()
+    }
+
+    /// Total MNA unknowns: `node_count − 1` voltages plus branch currents.
+    #[must_use]
+    pub fn unknown_count(&self) -> usize {
+        self.node_count() - 1 + self.branch_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_source_shape() {
+        let s = Source::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            t_delay: 1.0,
+            t_rise: 1.0,
+            t_width: 2.0,
+            t_fall: 1.0,
+        };
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert!((s.value_at(1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value_at(3.0), 1.0);
+        assert!((s.value_at(4.5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value_at(10.0), 0.0);
+    }
+
+    #[test]
+    fn pwl_source_interpolates_and_clamps() {
+        let s = Source::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)]);
+        assert_eq!(s.value_at(-1.0), 0.0);
+        assert!((s.value_at(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(s.value_at(2.0), 2.0);
+        assert_eq!(s.value_at(5.0), 2.0);
+    }
+
+    #[test]
+    fn switch_schedule_transitions() {
+        let sch = SwitchSchedule {
+            initial_closed: false,
+            transitions: vec![(1.0, true), (2.0, false)],
+        };
+        assert!(!sch.closed_at(0.5));
+        assert!(sch.closed_at(1.0));
+        assert!(sch.closed_at(1.5));
+        assert!(!sch.closed_at(2.5));
+    }
+
+    #[test]
+    fn netlist_counts_unknowns() {
+        let mut n = Netlist::new();
+        let a = n.node();
+        let b = n.named_node("out");
+        n.vdc(a, GROUND, 1.0);
+        n.resistor(a, b, 1000.0);
+        n.resistor(b, GROUND, 1000.0);
+        assert_eq!(n.node_count(), 3);
+        assert_eq!(n.branch_count(), 1);
+        assert_eq!(n.unknown_count(), 3);
+        assert_eq!(n.find_node("out"), Some(b));
+        assert_eq!(n.label(b), Some("out"));
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn negative_resistance_rejected() {
+        let mut n = Netlist::new();
+        let a = n.node();
+        n.resistor(a, GROUND, -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_node_rejected() {
+        let mut n = Netlist::new();
+        n.resistor(NodeId(99), GROUND, 10.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! SPICE netlist export.
+//!
+//! Dumps a [`Netlist`] as a SPICE-compatible deck so circuits built with
+//! this crate can be cross-checked in an external simulator (ngspice,
+//! Spectre). Nonlinear devices are emitted as `.model`-referenced
+//! MOSFETs with their threshold voltages baked in; FeFETs appear as
+//! level-1 MOSFETs at their *programmed* V_TH (the polarization state is
+//! frozen at export time, which is exactly the read-mode abstraction the
+//! IMC analyses use).
+
+use crate::netlist::{Element, Netlist, NodeId, Source};
+use fefet_device::mosfet::Polarity;
+use std::fmt::Write as _;
+
+/// Renders a node for SPICE (`0` is ground).
+fn node(n: NodeId) -> String {
+    if n.0 == 0 {
+        "0".to_owned()
+    } else {
+        format!("N{}", n.0)
+    }
+}
+
+fn source(s: &Source) -> String {
+    match s {
+        Source::Dc(v) => format!("DC {v}"),
+        Source::Pulse {
+            v0,
+            v1,
+            t_delay,
+            t_rise,
+            t_width,
+            t_fall,
+        } => format!("PULSE({v0} {v1} {t_delay} {t_rise} {t_fall} {t_width})"),
+        Source::Pwl(points) => {
+            let mut out = "PWL(".to_owned();
+            for (t, v) in points {
+                let _ = write!(out, "{t} {v} ");
+            }
+            out.trim_end().to_owned() + ")"
+        }
+    }
+}
+
+/// Exports the netlist as a SPICE deck with a title line and `.end`.
+///
+/// Switches are exported at their *initial* state as fixed resistors (a
+/// comment records the schedule); time-varying switches need the native
+/// transient engine or a behavioural switch model in the target
+/// simulator.
+#[must_use]
+pub fn to_spice(netlist: &Netlist, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "* {title}");
+    let _ = writeln!(s, "* exported by analog-sim");
+    let mut models: Vec<String> = Vec::new();
+    let mut model_id = 0usize;
+    for (i, e) in netlist.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms } => {
+                let _ = writeln!(s, "R{i} {} {} {ohms}", node(*a), node(*b));
+            }
+            Element::Capacitor { a, b, farads, ic } => {
+                let ic_str = ic.map_or(String::new(), |v| format!(" IC={v}"));
+                let _ = writeln!(s, "C{i} {} {} {farads}{ic_str}", node(*a), node(*b));
+            }
+            Element::VSource { pos, neg, source: src } => {
+                let _ = writeln!(s, "V{i} {} {} {}", node(*pos), node(*neg), source(src));
+            }
+            Element::ISource { from, to, source: src } => {
+                // SPICE current sources push current from node+ to node−
+                // through the source; our convention injects into `to`.
+                let _ = writeln!(s, "I{i} {} {} {}", node(*from), node(*to), source(src));
+            }
+            Element::Switch {
+                a,
+                b,
+                r_on,
+                r_off,
+                schedule,
+            } => {
+                let r = if schedule.closed_at(0.0) { r_on } else { r_off };
+                let _ = writeln!(
+                    s,
+                    "R{i} {} {} {r} ; switch, initial state ({} transitions)",
+                    node(*a),
+                    node(*b),
+                    schedule.transitions.len()
+                );
+            }
+            Element::Mosfet { d, g, s: src, dev } => {
+                model_id += 1;
+                let mname = format!("M_MOD{model_id}");
+                let p = dev.params();
+                let (mtype, vto) = match dev.polarity() {
+                    Polarity::N => ("NMOS", p.vth),
+                    Polarity::P => ("PMOS", -p.vth),
+                };
+                models.push(format!(
+                    ".model {mname} {mtype} (LEVEL=1 VTO={vto} KP={} LAMBDA={})",
+                    p.beta, p.lambda
+                ));
+                let b = match dev.polarity() {
+                    Polarity::N => "0".to_owned(),
+                    Polarity::P => node(*src),
+                };
+                let _ = writeln!(
+                    s,
+                    "M{i} {} {} {} {b} {mname} W=1u L=1u",
+                    node(*d),
+                    node(*g),
+                    node(*src)
+                );
+            }
+            Element::FeFet { d, g, s: src, dev } => {
+                model_id += 1;
+                let mname = format!("MFE_MOD{model_id}");
+                let p = dev.params();
+                let (mtype, vto) = match dev.polarity() {
+                    Polarity::N => ("NMOS", dev.vth()),
+                    Polarity::P => ("PMOS", -dev.vth()),
+                };
+                models.push(format!(
+                    ".model {mname} {mtype} (LEVEL=1 VTO={vto} KP={} LAMBDA={}) ; FeFET @ programmed state",
+                    p.beta, p.lambda
+                ));
+                let b = match dev.polarity() {
+                    Polarity::N => "0".to_owned(),
+                    Polarity::P => node(*src),
+                };
+                let _ = writeln!(
+                    s,
+                    "M{i} {} {} {} {b} {mname} W=1u L=1u",
+                    node(*d),
+                    node(*g),
+                    node(*src)
+                );
+            }
+            Element::Vcvs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                gain,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "E{i} {} {} {} {} {gain}",
+                    node(*out_p),
+                    node(*out_n),
+                    node(*in_p),
+                    node(*in_n)
+                );
+            }
+        }
+    }
+    for m in models {
+        let _ = writeln!(s, "{m}");
+    }
+    let _ = writeln!(s, ".end");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Netlist, SwitchSchedule, GROUND};
+    use fefet_device::fefet::{FeFet, FeFetParams};
+    use fefet_device::mosfet::{Mosfet, MosfetParams};
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.node();
+        let b = n.node();
+        n.vdc(a, GROUND, 1.0);
+        n.resistor(a, b, 1000.0);
+        n.capacitor(b, GROUND, 1e-12, Some(0.5));
+        n.switch(a, b, 100.0, 1e9, SwitchSchedule::always(true));
+        n.mosfet(b, a, GROUND, Mosfet::new(MosfetParams::logic_40nm(), Polarity::N));
+        let mut fe = FeFet::new(FeFetParams::nfefet_40nm(), Polarity::N);
+        fe.set_vth(0.35);
+        n.fefet(b, a, GROUND, fe);
+        n.opamp(b, a, GROUND);
+        n
+    }
+
+    #[test]
+    fn deck_contains_every_element_kind() {
+        let deck = to_spice(&sample(), "unit test");
+        assert!(deck.starts_with("* unit test"));
+        assert!(deck.contains("V0 N1 0 DC 1"));
+        assert!(deck.contains("R1 N1 N2 1000"));
+        assert!(deck.contains("IC=0.5"));
+        assert!(deck.contains("E6"));
+        assert!(deck.contains(".model M_MOD1 NMOS"));
+        assert!(deck.contains("VTO=0.35"));
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn switch_exports_initial_state_resistance() {
+        let deck = to_spice(&sample(), "t");
+        assert!(deck.contains("N1 N2 100 ; switch"));
+    }
+
+    #[test]
+    fn fefet_array_slice_exports() {
+        use fefet_device::variation::{VariationParams, VariationSampler};
+        // A representative FeFET-bearing netlist (the full Fig. 3 circuit
+        // export is covered by the workspace integration tests, since
+        // imc-core depends on this crate).
+        let mut n = Netlist::new();
+        let mut s = VariationSampler::new(VariationParams::none(), 0);
+        let wl = n.node();
+        n.vdc(wl, GROUND, 1.35);
+        for _ in 0..8 {
+            let d = n.node();
+            let mut fe = FeFet::new(FeFetParams::nfefet_40nm(), Polarity::N);
+            fe.set_vth(0.35 + s.vth_offset());
+            n.fefet(d, wl, GROUND, fe);
+        }
+        let deck = to_spice(&n, "row");
+        // One instance reference plus one .model line per device.
+        assert_eq!(deck.matches("MFE_MOD").count(), 8 * 2);
+    }
+}

@@ -1,0 +1,475 @@
+//! MNA matrix assembly: element stamps and Newton companion models.
+//!
+//! The solver works with the standard modified-nodal-analysis unknown
+//! vector `x = [v₁ … v_{N−1}, i_b1 … i_bM]` (node voltages excluding
+//! ground, then branch currents of voltage-defined elements). Nonlinear
+//! devices are stamped as their Newton linearized companion: conductances
+//! `∂I/∂v` plus an equivalent current source `I(x₀) − Σ (∂I/∂v)·v₀`.
+
+use crate::linalg::Matrix;
+use crate::netlist::{Element, Netlist, NodeId};
+
+/// Minimum conductance from every node to ground (convergence aid).
+pub const GMIN_DEFAULT: f64 = 1.0e-12;
+
+/// Conductance used to enforce capacitor initial conditions during the
+/// operating-point solve.
+pub const G_IC_ENFORCE: f64 = 1.0e3;
+
+/// Integration scheme for the transient companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integration {
+    /// Backward Euler: robust, first order.
+    BackwardEuler,
+    /// Trapezoidal: second order, may ring on discontinuities.
+    Trapezoidal,
+}
+
+/// What kind of analysis the stamps are being assembled for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StampMode {
+    /// DC operating point: capacitors open (or IC-enforced), time frozen.
+    Dc {
+        /// Whether capacitor initial conditions are enforced with a large
+        /// conductance (used for the `t = 0` solve that seeds a transient).
+        enforce_ic: bool,
+    },
+    /// One transient step of size `h` ending at time `t`.
+    Transient {
+        /// Step size (s).
+        h: f64,
+        /// Time at the *end* of the step (s).
+        t: f64,
+        /// Integration scheme.
+        scheme: Integration,
+    },
+}
+
+impl StampMode {
+    /// The time at which sources/switches are evaluated.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        match self {
+            Self::Dc { .. } => 0.0,
+            Self::Transient { t, .. } => *t,
+        }
+    }
+}
+
+/// Maps elements to their branch-current unknown indices.
+#[must_use]
+pub fn branch_indices(netlist: &Netlist) -> Vec<Option<usize>> {
+    let mut next = netlist.node_count() - 1;
+    netlist
+        .elements()
+        .iter()
+        .map(|e| {
+            if matches!(e, Element::VSource { .. } | Element::Vcvs { .. }) {
+                let idx = next;
+                next += 1;
+                Some(idx)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Per-capacitor dynamic state carried between transient steps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CapState {
+    /// Capacitor voltage `v(a) − v(b)` at the previous accepted step.
+    pub v_prev: f64,
+    /// Capacitor current at the previous accepted step (for trapezoidal).
+    pub i_prev: f64,
+}
+
+/// Assembles the MNA system `A·x = z` for one Newton iteration.
+///
+/// * `x_guess` — current iterate (used to linearize FETs).
+/// * `cap_states` — previous-step capacitor voltages/currents, one entry
+///   per element (ignored for non-capacitors).
+/// * `gmin` — conductance added from every node to ground.
+///
+/// # Panics
+///
+/// Panics if the output matrix/rhs sizes don't match the netlist.
+#[allow(clippy::too_many_lines)]
+pub fn assemble(
+    netlist: &Netlist,
+    mode: StampMode,
+    x_guess: &[f64],
+    cap_states: &[CapState],
+    gmin: f64,
+    mat: &mut Matrix,
+    rhs: &mut [f64],
+) {
+    let n_unknowns = netlist.unknown_count();
+    assert_eq!(mat.rows(), n_unknowns);
+    assert_eq!(rhs.len(), n_unknowns);
+    assert_eq!(cap_states.len(), netlist.elements().len());
+    mat.clear();
+    rhs.fill(0.0);
+
+    let nv = netlist.node_count() - 1;
+    let idx = |n: NodeId| -> Option<usize> {
+        if n.0 == 0 {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    };
+    let v_of = |n: NodeId, x: &[f64]| -> f64 {
+        match idx(n) {
+            None => 0.0,
+            Some(i) => x[i],
+        }
+    };
+
+    // gmin to ground from every node.
+    for i in 0..nv {
+        mat.add(i, i, gmin);
+    }
+
+    let branches = branch_indices(netlist);
+    let time = mode.time();
+
+    // Helper closures implemented as local fns to appease the borrow
+    // checker around `mat`/`rhs`.
+    macro_rules! stamp_g {
+        ($a:expr, $b:expr, $g:expr) => {{
+            let (a, b, g) = ($a, $b, $g);
+            if let Some(i) = idx(a) {
+                mat.add(i, i, g);
+                if let Some(j) = idx(b) {
+                    mat.add(i, j, -g);
+                }
+            }
+            if let Some(j) = idx(b) {
+                mat.add(j, j, g);
+                if let Some(i) = idx(a) {
+                    mat.add(j, i, -g);
+                }
+            }
+        }};
+    }
+    macro_rules! stamp_i {
+        // Current `i` flowing out of node `from` and into node `to`.
+        ($from:expr, $to:expr, $i:expr) => {{
+            let (from, to, i) = ($from, $to, $i);
+            if let Some(k) = idx(to) {
+                rhs[k] += i;
+            }
+            if let Some(k) = idx(from) {
+                rhs[k] -= i;
+            }
+        }};
+    }
+
+    for (ei, element) in netlist.elements().iter().enumerate() {
+        match element {
+            Element::Resistor { a, b, ohms } => {
+                stamp_g!(*a, *b, 1.0 / ohms);
+            }
+            Element::Switch {
+                a,
+                b,
+                r_on,
+                r_off,
+                schedule,
+            } => {
+                let r = if schedule.closed_at(time) { *r_on } else { *r_off };
+                stamp_g!(*a, *b, 1.0 / r);
+            }
+            Element::Capacitor { a, b, farads, ic } => match mode {
+                StampMode::Dc { enforce_ic } => {
+                    if enforce_ic {
+                        if let Some(v0) = ic {
+                            // Large conductance + current source forcing
+                            // v(a) − v(b) ≈ v0.
+                            stamp_g!(*a, *b, G_IC_ENFORCE);
+                            stamp_i!(*b, *a, G_IC_ENFORCE * v0);
+                        }
+                    }
+                    // Otherwise: open circuit in DC.
+                }
+                StampMode::Transient { h, scheme, .. } => {
+                    let st = cap_states[ei];
+                    match scheme {
+                        Integration::BackwardEuler => {
+                            let g = farads / h;
+                            stamp_g!(*a, *b, g);
+                            stamp_i!(*b, *a, g * st.v_prev);
+                        }
+                        Integration::Trapezoidal => {
+                            let g = 2.0 * farads / h;
+                            stamp_g!(*a, *b, g);
+                            stamp_i!(*b, *a, g * st.v_prev + st.i_prev);
+                        }
+                    }
+                }
+            },
+            Element::ISource { from, to, source } => {
+                stamp_i!(*from, *to, source.value_at(time));
+            }
+            Element::VSource { pos, neg, source } => {
+                let j = branches[ei].expect("vsource has a branch");
+                if let Some(i) = idx(*pos) {
+                    mat.add(i, j, 1.0);
+                    mat.add(j, i, 1.0);
+                }
+                if let Some(i) = idx(*neg) {
+                    mat.add(i, j, -1.0);
+                    mat.add(j, i, -1.0);
+                }
+                rhs[j] += source.value_at(time);
+            }
+            Element::Vcvs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                gain,
+            } => {
+                let j = branches[ei].expect("vcvs has a branch");
+                if let Some(i) = idx(*out_p) {
+                    mat.add(i, j, 1.0);
+                    mat.add(j, i, 1.0);
+                }
+                if let Some(i) = idx(*out_n) {
+                    mat.add(i, j, -1.0);
+                    mat.add(j, i, -1.0);
+                }
+                if let Some(i) = idx(*in_p) {
+                    mat.add(j, i, -gain);
+                }
+                if let Some(i) = idx(*in_n) {
+                    mat.add(j, i, *gain);
+                }
+            }
+            Element::Mosfet { d, g, s, dev } => {
+                let (vg, vd, vs) = (v_of(*g, x_guess), v_of(*d, x_guess), v_of(*s, x_guess));
+                let lin = dev.ids(vg, vd, vs);
+                stamp_fet(
+                    mat, rhs, &idx, *d, *g, *s, vg, vd, vs, lin.ids, lin.d_vg, lin.d_vd, lin.d_vs,
+                );
+            }
+            Element::FeFet { d, g, s, dev } => {
+                let (vg, vd, vs) = (v_of(*g, x_guess), v_of(*d, x_guess), v_of(*s, x_guess));
+                let lin = dev.ids(vg, vd, vs);
+                stamp_fet(
+                    mat, rhs, &idx, *d, *g, *s, vg, vd, vs, lin.ids, lin.d_vg, lin.d_vd, lin.d_vs,
+                );
+            }
+        }
+    }
+}
+
+/// Stamps a linearized FET: drain current `ids` with partials, companion
+/// current source `ieq = ids − gm·vg − gd·vd − gs·vs`.
+#[allow(clippy::too_many_arguments)]
+fn stamp_fet(
+    mat: &mut Matrix,
+    rhs: &mut [f64],
+    idx: &dyn Fn(NodeId) -> Option<usize>,
+    d: NodeId,
+    g: NodeId,
+    s: NodeId,
+    vg: f64,
+    vd: f64,
+    vs: f64,
+    ids: f64,
+    gm: f64,
+    gd: f64,
+    gs: f64,
+) {
+    let ieq = ids - gm * vg - gd * vd - gs * vs;
+    // KCL at drain: +I leaves the drain node (current d→s counted positive
+    // into the channel at the drain).
+    if let Some(di) = idx(d) {
+        if let Some(gi) = idx(g) {
+            mat.add(di, gi, gm);
+        }
+        mat.add(di, di, gd);
+        if let Some(si) = idx(s) {
+            mat.add(di, si, gs);
+        }
+        rhs[di] -= ieq;
+    }
+    if let Some(si) = idx(s) {
+        if let Some(gi) = idx(g) {
+            mat.add(si, gi, -gm);
+        }
+        if let Some(di) = idx(d) {
+            mat.add(si, di, -gd);
+        }
+        mat.add(si, si, -gs);
+        rhs[si] += ieq;
+    }
+}
+
+/// Recomputes the capacitor voltages/currents after an accepted solution,
+/// updating `cap_states` in place.
+pub fn update_cap_states(
+    netlist: &Netlist,
+    mode: StampMode,
+    x: &[f64],
+    cap_states: &mut [CapState],
+) {
+    let v_of = |n: NodeId| -> f64 {
+        if n.0 == 0 {
+            0.0
+        } else {
+            x[n.0 - 1]
+        }
+    };
+    for (ei, element) in netlist.elements().iter().enumerate() {
+        if let Element::Capacitor { a, b, farads, .. } = element {
+            let v_now = v_of(*a) - v_of(*b);
+            let st = &mut cap_states[ei];
+            match mode {
+                StampMode::Dc { .. } => {
+                    st.v_prev = v_now;
+                    st.i_prev = 0.0;
+                }
+                StampMode::Transient { h, scheme, .. } => {
+                    let i_now = match scheme {
+                        Integration::BackwardEuler => farads / h * (v_now - st.v_prev),
+                        Integration::Trapezoidal => {
+                            2.0 * farads / h * (v_now - st.v_prev) - st.i_prev
+                        }
+                    };
+                    st.v_prev = v_now;
+                    st.i_prev = i_now;
+                }
+            }
+        }
+    }
+}
+
+/// Seeds capacitor states from declared initial conditions (used before a
+/// transient when `uic`-style start is requested).
+#[must_use]
+pub fn initial_cap_states(netlist: &Netlist) -> Vec<CapState> {
+    netlist
+        .elements()
+        .iter()
+        .map(|e| match e {
+            Element::Capacitor { ic: Some(v0), .. } => CapState {
+                v_prev: *v0,
+                i_prev: 0.0,
+            },
+            _ => CapState::default(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::solve;
+    use crate::netlist::{Netlist, Source, GROUND};
+
+    #[test]
+    fn divider_assembles_and_solves() {
+        let mut n = Netlist::new();
+        let a = n.node();
+        let b = n.node();
+        n.vdc(a, GROUND, 2.0);
+        n.resistor(a, b, 1000.0);
+        n.resistor(b, GROUND, 1000.0);
+        let nu = n.unknown_count();
+        let mut mat = Matrix::zeros(nu, nu);
+        let mut rhs = vec![0.0; nu];
+        let caps = vec![CapState::default(); n.elements().len()];
+        assemble(
+            &n,
+            StampMode::Dc { enforce_ic: false },
+            &vec![0.0; nu],
+            &caps,
+            GMIN_DEFAULT,
+            &mut mat,
+            &mut rhs,
+        );
+        let x = solve(mat, &rhs).expect("regular");
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isource_direction_convention() {
+        // 1 mA into node b through 1 kΩ to ground: v(b) = +1 V.
+        let mut n = Netlist::new();
+        let b = n.node();
+        n.isource(GROUND, b, Source::Dc(1.0e-3));
+        n.resistor(b, GROUND, 1000.0);
+        let nu = n.unknown_count();
+        let mut mat = Matrix::zeros(nu, nu);
+        let mut rhs = vec![0.0; nu];
+        let caps = vec![CapState::default(); n.elements().len()];
+        assemble(
+            &n,
+            StampMode::Dc { enforce_ic: false },
+            &vec![0.0; nu],
+            &caps,
+            GMIN_DEFAULT,
+            &mut mat,
+            &mut rhs,
+        );
+        let x = solve(mat, &rhs).expect("regular");
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        // in = 0.5 V, gain 4 → out = 2 V.
+        let mut n = Netlist::new();
+        let i = n.node();
+        let o = n.node();
+        n.vdc(i, GROUND, 0.5);
+        n.vcvs(o, GROUND, i, GROUND, 4.0);
+        n.resistor(o, GROUND, 1.0e4);
+        let nu = n.unknown_count();
+        let mut mat = Matrix::zeros(nu, nu);
+        let mut rhs = vec![0.0; nu];
+        let caps = vec![CapState::default(); n.elements().len()];
+        assemble(
+            &n,
+            StampMode::Dc { enforce_ic: false },
+            &vec![0.0; nu],
+            &caps,
+            GMIN_DEFAULT,
+            &mut mat,
+            &mut rhs,
+        );
+        let x = solve(mat, &rhs).expect("regular");
+        assert!((x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacitor_open_in_dc() {
+        // Cap in series: node floats to source only through gmin; the far
+        // side of a divider sees no current.
+        let mut n = Netlist::new();
+        let a = n.node();
+        let b = n.node();
+        n.vdc(a, GROUND, 1.0);
+        n.capacitor(a, b, 1e-12, None);
+        n.resistor(b, GROUND, 1000.0);
+        let nu = n.unknown_count();
+        let mut mat = Matrix::zeros(nu, nu);
+        let mut rhs = vec![0.0; nu];
+        let caps = vec![CapState::default(); n.elements().len()];
+        assemble(
+            &n,
+            StampMode::Dc { enforce_ic: false },
+            &vec![0.0; nu],
+            &caps,
+            GMIN_DEFAULT,
+            &mut mat,
+            &mut rhs,
+        );
+        let x = solve(mat, &rhs).expect("regular");
+        assert!(x[1].abs() < 1e-6, "node across open cap should sit at 0");
+    }
+}

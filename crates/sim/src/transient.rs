@@ -1,0 +1,500 @@
+//! Transient analysis: fixed-step implicit integration with a Newton solve
+//! per step.
+
+use crate::dc::{newton_solve, op, NewtonOptions};
+use crate::netlist::Netlist;
+use crate::stamps::{initial_cap_states, update_cap_states, Integration, StampMode, GMIN_DEFAULT};
+use crate::waveform::Waveform;
+use crate::SimError;
+
+/// Transient analysis configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Stop time (s).
+    pub t_stop: f64,
+    /// Fixed step (s).
+    pub dt: f64,
+    /// Integration scheme.
+    pub scheme: Integration,
+    /// Use declared capacitor initial conditions instead of solving the
+    /// DC operating point first (`uic`-style start).
+    pub use_ic: bool,
+    /// Newton options per step.
+    pub newton: NewtonOptions,
+}
+
+impl TransientOptions {
+    /// A backward-Euler run of `t_stop` seconds in `steps` equal steps,
+    /// starting from the DC operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop <= 0` or `steps == 0`.
+    #[must_use]
+    pub fn new(t_stop: f64, steps: usize) -> Self {
+        assert!(t_stop > 0.0, "stop time must be positive");
+        assert!(steps > 0, "need at least one step");
+        Self {
+            t_stop,
+            dt: t_stop / steps as f64,
+            scheme: Integration::BackwardEuler,
+            use_ic: false,
+            newton: NewtonOptions::default(),
+        }
+    }
+
+    /// Same, but starting from declared capacitor initial conditions.
+    #[must_use]
+    pub fn with_ic(mut self) -> Self {
+        self.use_ic = true;
+        self
+    }
+
+    /// Switches to trapezoidal integration.
+    #[must_use]
+    pub fn trapezoidal(mut self) -> Self {
+        self.scheme = Integration::Trapezoidal;
+        self
+    }
+}
+
+/// Runs a transient analysis and records every node voltage at every step
+/// (including `t = 0`).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the initial operating point or any step fails
+/// to converge.
+pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Waveform, SimError> {
+    let nv = netlist.node_count() - 1;
+    let mut cap_states = initial_cap_states(netlist);
+
+    // Initial solution at t = 0.
+    let op0 = op(netlist, opts.use_ic, &opts.newton)?;
+    let mut x = op0.x;
+    if opts.use_ic {
+        // Keep declared ICs authoritative: states were seeded above, and
+        // the enforce_ic OP already pinned the cap voltages.
+    } else {
+        update_cap_states(
+            netlist,
+            StampMode::Dc { enforce_ic: false },
+            &x,
+            &mut cap_states,
+        );
+    }
+
+    let mut wave = Waveform::new();
+    wave.push_full(0.0, x[..nv].to_vec(), x[nv..].to_vec());
+
+    let steps = (opts.t_stop / opts.dt).round() as usize;
+    for k in 1..=steps {
+        let t = opts.dt * k as f64;
+        // The first step always uses backward Euler: trapezoidal needs a
+        // consistent previous-step current, which is unknown at t = 0.
+        let scheme = if k == 1 {
+            Integration::BackwardEuler
+        } else {
+            opts.scheme
+        };
+        let mode = StampMode::Transient {
+            h: opts.dt,
+            t,
+            scheme,
+        };
+        let (x_new, _) = newton_solve(netlist, mode, &cap_states, GMIN_DEFAULT, &x, &opts.newton)
+            .map_err(|e| match e {
+            SimError::NoConvergence { iterations, .. } => SimError::NoConvergence {
+                iterations,
+                context: format!("transient step at t = {t:.3e} s"),
+            },
+            other => other,
+        })?;
+        x = x_new;
+        update_cap_states(netlist, mode, &x, &mut cap_states);
+        wave.push_full(t, x[..nv].to_vec(), x[nv..].to_vec());
+    }
+    Ok(wave)
+}
+
+
+/// Options for the adaptive-step transient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Stop time (s).
+    pub t_stop: f64,
+    /// Initial step (s).
+    pub dt_initial: f64,
+    /// Smallest allowed step (s).
+    pub dt_min: f64,
+    /// Largest allowed step (s).
+    pub dt_max: f64,
+    /// Per-step node-voltage change that triggers step shrinking (V).
+    pub dv_max: f64,
+    /// Integration scheme.
+    pub scheme: Integration,
+    /// Use declared capacitor initial conditions.
+    pub use_ic: bool,
+    /// Newton options per step.
+    pub newton: NewtonOptions,
+}
+
+impl AdaptiveOptions {
+    /// Sensible defaults for nanosecond-scale IMC circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop <= 0`.
+    #[must_use]
+    pub fn new(t_stop: f64) -> Self {
+        assert!(t_stop > 0.0, "stop time must be positive");
+        Self {
+            t_stop,
+            dt_initial: t_stop / 1000.0,
+            dt_min: t_stop / 1.0e7,
+            dt_max: t_stop / 50.0,
+            dv_max: 0.05,
+            scheme: Integration::BackwardEuler,
+            use_ic: false,
+            newton: NewtonOptions::default(),
+        }
+    }
+
+    /// Same, starting from declared capacitor initial conditions.
+    #[must_use]
+    pub fn with_ic(mut self) -> Self {
+        self.use_ic = true;
+        self
+    }
+}
+
+/// Collects the time breakpoints of the netlist's sources and switches
+/// inside `(0, t_stop)`: steps are forced to land on them so edges are
+/// never stepped over.
+#[must_use]
+pub fn breakpoints(netlist: &Netlist, t_stop: f64) -> Vec<f64> {
+    use crate::netlist::{Element, Source};
+    let mut pts = Vec::new();
+    let mut push = |t: f64| {
+        if t > 0.0 && t < t_stop {
+            pts.push(t);
+        }
+    };
+    for e in netlist.elements() {
+        match e {
+            Element::VSource { source, .. } | Element::ISource { source, .. } => match source {
+                Source::Dc(_) => {}
+                Source::Pulse {
+                    t_delay,
+                    t_rise,
+                    t_width,
+                    t_fall,
+                    ..
+                } => {
+                    push(*t_delay);
+                    push(t_delay + t_rise);
+                    push(t_delay + t_rise + t_width);
+                    push(t_delay + t_rise + t_width + t_fall);
+                }
+                Source::Pwl(points) => {
+                    for (t, _) in points {
+                        push(*t);
+                    }
+                }
+            },
+            Element::Switch { schedule, .. } => {
+                for (t, _) in &schedule.transitions {
+                    push(*t);
+                }
+            }
+            _ => {}
+        }
+    }
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    pts.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+    pts
+}
+
+/// Runs an adaptive-step transient: the step shrinks on Newton failure or
+/// fast voltage slew and grows on easy steps, and always lands exactly on
+/// source/switch breakpoints.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the initial operating point fails, or a step
+/// fails to converge even at `dt_min`.
+pub fn transient_adaptive(
+    netlist: &Netlist,
+    opts: &AdaptiveOptions,
+) -> Result<Waveform, SimError> {
+    let nv = netlist.node_count() - 1;
+    let mut cap_states = initial_cap_states(netlist);
+    let op0 = op(netlist, opts.use_ic, &opts.newton)?;
+    let mut x = op0.x;
+    if !opts.use_ic {
+        update_cap_states(
+            netlist,
+            StampMode::Dc { enforce_ic: false },
+            &x,
+            &mut cap_states,
+        );
+    }
+    let mut wave = Waveform::new();
+    wave.push(0.0, x[..nv].to_vec());
+
+    let bps = breakpoints(netlist, opts.t_stop);
+    let mut bp_iter = bps.iter().copied().peekable();
+    let mut t = 0.0f64;
+    let mut dt = opts.dt_initial.clamp(opts.dt_min, opts.dt_max);
+    let mut first_step = true;
+    while t < opts.t_stop - 1e-18 {
+        // Land on the next breakpoint or the stop time.
+        let mut target = t + dt;
+        while let Some(&bp) = bp_iter.peek() {
+            if bp <= t + 1e-18 {
+                bp_iter.next();
+            } else {
+                if target > bp {
+                    target = bp;
+                }
+                break;
+            }
+        }
+        if target > opts.t_stop {
+            target = opts.t_stop;
+        }
+        let h = target - t;
+        let scheme = if first_step {
+            Integration::BackwardEuler
+        } else {
+            opts.scheme
+        };
+        let mode = StampMode::Transient {
+            h,
+            t: target,
+            scheme,
+        };
+        match newton_solve(netlist, mode, &cap_states, GMIN_DEFAULT, &x, &opts.newton) {
+            Ok((x_new, iters)) => {
+                let dv = x_new[..nv]
+                    .iter()
+                    .zip(&x[..nv])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                if dv > opts.dv_max && h > opts.dt_min * 1.001 {
+                    // Too fast: redo with a smaller step.
+                    dt = (h / 2.0).max(opts.dt_min);
+                    continue;
+                }
+                x = x_new;
+                update_cap_states(netlist, mode, &x, &mut cap_states);
+                t = target;
+                wave.push(t, x[..nv].to_vec());
+                first_step = false;
+                // Grow on easy steps.
+                dt = if iters <= 6 && dv < opts.dv_max / 4.0 {
+                    (h * 1.6).min(opts.dt_max)
+                } else {
+                    h.min(opts.dt_max)
+                };
+                dt = dt.max(opts.dt_min);
+            }
+            Err(e) => {
+                if h <= opts.dt_min * 1.001 {
+                    return Err(e);
+                }
+                dt = (h / 2.0).max(opts.dt_min);
+            }
+        }
+    }
+    Ok(wave)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Netlist, Source, SwitchSchedule, GROUND};
+
+
+    #[test]
+    fn adaptive_matches_fixed_step_on_rc() {
+        let build = || {
+            let mut n = Netlist::new();
+            let src = n.node();
+            let out = n.node();
+            n.vdc(src, GROUND, 1.0);
+            n.resistor(src, out, 1.0e3);
+            n.capacitor(out, GROUND, 1.0e-9, Some(0.0));
+            (n, out)
+        };
+        let (n1, out1) = build();
+        let fixed = transient(&n1, &TransientOptions::new(5.0e-6, 5000).with_ic()).expect("ok");
+        let (n2, out2) = build();
+        let adaptive = transient_adaptive(&n2, &AdaptiveOptions::new(5.0e-6).with_ic()).expect("ok");
+        for &t in &[0.5e-6, 1.0e-6, 3.0e-6] {
+            let a = fixed.voltage(out1, t).expect("in range");
+            let b = adaptive.voltage(out2, t).expect("in range");
+            assert!((a - b).abs() < 0.02, "t={t:.1e}: fixed {a:.4} vs adaptive {b:.4}");
+        }
+        // The adaptive run should use far fewer points.
+        assert!(adaptive.len() < fixed.len() / 3, "{} vs {}", adaptive.len(), fixed.len());
+    }
+
+    #[test]
+    fn adaptive_lands_on_switch_breakpoints() {
+        let mut n = Netlist::new();
+        let top = n.node();
+        n.capacitor(top, GROUND, 50.0e-15, Some(1.5));
+        n.switch(
+            top,
+            GROUND,
+            1.0e4,
+            1.0e12,
+            SwitchSchedule {
+                initial_closed: false,
+                transitions: vec![(1.0e-6, true)],
+            },
+        );
+        let w = transient_adaptive(&n, &AdaptiveOptions::new(3.0e-6).with_ic()).expect("ok");
+        // A sample exists exactly at the transition time.
+        assert!(
+            w.times().iter().any(|&t| (t - 1.0e-6).abs() < 1e-15),
+            "breakpoint missed"
+        );
+        assert!((w.voltage(top, 0.99e-6).expect("in range") - 1.5).abs() < 0.01);
+        assert!(w.final_voltage(top).abs() < 0.02);
+    }
+
+    #[test]
+    fn breakpoints_collects_pulse_edges() {
+        let mut n = Netlist::new();
+        let a = n.node();
+        n.vsource(
+            a,
+            GROUND,
+            Source::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                t_delay: 1.0e-9,
+                t_rise: 0.1e-9,
+                t_width: 2.0e-9,
+                t_fall: 0.1e-9,
+            },
+        );
+        n.resistor(a, GROUND, 1e3);
+        let bps = breakpoints(&n, 10.0e-9);
+        assert_eq!(bps.len(), 4);
+        assert!((bps[0] - 1.0e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        // 1 V step into RC, τ = 1 µs: v(t) = 1 − exp(−t/τ).
+        let mut n = Netlist::new();
+        let src = n.node();
+        let out = n.named_node("out");
+        n.vsource(
+            src,
+            GROUND,
+            Source::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                t_delay: 0.0,
+                t_rise: 1e-12,
+                t_width: 1.0,
+                t_fall: 1e-12,
+            },
+        );
+        n.resistor(src, out, 1.0e3);
+        n.capacitor(out, GROUND, 1.0e-9, Some(0.0));
+        let w = transient(
+            &n,
+            &TransientOptions::new(5.0e-6, 2000).with_ic(),
+        )
+        .expect("rc converges");
+        let tau = 1.0e-6;
+        for &t in &[0.5e-6, 1.0e-6, 2.0e-6, 4.0e-6] {
+            let v = w.voltage(out, t).expect("in range");
+            let expect = 1.0 - (-t / tau).exp();
+            assert!(
+                (v - expect).abs() < 0.01,
+                "t={t:.1e}: v={v:.4} expect={expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_be() {
+        let build = || {
+            let mut n = Netlist::new();
+            let src = n.node();
+            let out = n.node();
+            n.vdc(src, GROUND, 1.0);
+            n.resistor(src, out, 1.0e3);
+            n.capacitor(out, GROUND, 1.0e-9, Some(0.0));
+            (n, out)
+        };
+        let t_eval = 1.0e-6;
+        let expect = 1.0 - (-t_eval / 1.0e-6_f64).exp();
+        let (n1, out1) = build();
+        let be = transient(&n1, &TransientOptions::new(2.0e-6, 40).with_ic())
+            .expect("be")
+            .voltage(out1, t_eval)
+            .expect("in range");
+        let (n2, out2) = build();
+        let tr = transient(
+            &n2,
+            &TransientOptions::new(2.0e-6, 40).with_ic().trapezoidal(),
+        )
+        .expect("trap")
+        .voltage(out2, t_eval)
+        .expect("in range");
+        assert!(
+            (tr - expect).abs() < (be - expect).abs(),
+            "trap err {:.2e} vs BE err {:.2e}",
+            (tr - expect).abs(),
+            (be - expect).abs()
+        );
+    }
+
+    #[test]
+    fn switched_discharge() {
+        // Cap pre-charged to 1.5 V, switch closes at t = 1 µs onto a
+        // resistor: exponential discharge afterwards.
+        let mut n = Netlist::new();
+        let top = n.node();
+        n.capacitor(top, GROUND, 50.0e-15, Some(1.5));
+        n.switch(
+            top,
+            GROUND,
+            1.0e4,
+            1.0e12,
+            SwitchSchedule {
+                initial_closed: false,
+                transitions: vec![(1.0e-6, true)],
+            },
+        );
+        let w = transient(&n, &TransientOptions::new(3.0e-6, 600).with_ic()).expect("ok");
+        let before = w.voltage(top, 0.9e-6).expect("in range");
+        assert!((before - 1.5).abs() < 0.02, "held at {before}");
+        // τ = 10 kΩ · 50 fF = 0.5 ns ≪ 2 µs: fully discharged at the end.
+        let after = w.final_voltage(top);
+        assert!(after.abs() < 0.01, "discharged to {after}");
+    }
+
+    #[test]
+    fn capacitor_charge_sharing_halves_voltage() {
+        // Two equal caps, one at 1 V, one at 0, connected at t=0 by a
+        // small resistance: both settle at 0.5 V. This is the ChgFe
+        // shift-add mechanism in miniature.
+        let mut n = Netlist::new();
+        let a = n.node();
+        let b = n.node();
+        n.capacitor(a, GROUND, 50.0e-15, Some(1.0));
+        n.capacitor(b, GROUND, 50.0e-15, Some(0.0));
+        n.switch(a, b, 1.0e3, 1.0e12, SwitchSchedule::always(true));
+        let w = transient(&n, &TransientOptions::new(5.0e-9, 500).with_ic()).expect("ok");
+        assert!((w.final_voltage(a) - 0.5).abs() < 0.01);
+        assert!((w.final_voltage(b) - 0.5).abs() < 0.01);
+    }
+}

@@ -1,0 +1,217 @@
+//! Transient waveform storage and measurement helpers.
+
+use crate::netlist::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Sampled node voltages over a transient run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Waveform {
+    /// Sample times (s), strictly increasing.
+    times: Vec<f64>,
+    /// `data[k]` is the full node-voltage vector at `times[k]`
+    /// (node 0 = ground omitted; index `i` is node `i + 1`).
+    data: Vec<Vec<f64>>,
+    /// `branches[k]` holds the branch currents of voltage-defined
+    /// elements at `times[k]` (empty when not recorded).
+    branches: Vec<Vec<f64>>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not increase or the vector length changes.
+    pub fn push(&mut self, t: f64, node_voltages: Vec<f64>) {
+        self.push_full(t, node_voltages, Vec::new());
+    }
+
+    /// Appends a sample including the branch currents of voltage-defined
+    /// elements (V sources, VCVS), in [`branch_indices`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not increase or the node count changes.
+    ///
+    /// [`branch_indices`]: crate::stamps::branch_indices
+    pub fn push_full(&mut self, t: f64, node_voltages: Vec<f64>, branch_currents: Vec<f64>) {
+        if let Some(&last) = self.times.last() {
+            assert!(t > last, "time must be strictly increasing");
+            assert_eq!(
+                self.data[0].len(),
+                node_voltages.len(),
+                "node count changed mid-waveform"
+            );
+        }
+        self.times.push(t);
+        self.data.push(node_voltages);
+        self.branches.push(branch_currents);
+    }
+
+    /// The branch current of voltage-defined element `branch` at sample
+    /// `k` (0.0 when currents were not recorded).
+    #[must_use]
+    pub fn branch_current_at(&self, branch: usize, k: usize) -> f64 {
+        self.branches
+            .get(k)
+            .and_then(|b| b.get(branch))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Trapezoidal integral of `f(k)` over the sample times — the basis
+    /// for energy measurements.
+    #[must_use]
+    pub fn integrate(&self, f: impl Fn(usize) -> f64) -> f64 {
+        let mut acc = 0.0;
+        for k in 1..self.times.len() {
+            let dt = self.times[k] - self.times[k - 1];
+            acc += 0.5 * (f(k) + f(k - 1)) * dt;
+        }
+        acc
+    }
+
+    /// Sample times.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the waveform holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The voltage trace of one node across all samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range (ground returns all zeros).
+    #[must_use]
+    pub fn trace(&self, node: NodeId) -> Vec<f64> {
+        if node.0 == 0 {
+            return vec![0.0; self.times.len()];
+        }
+        self.data.iter().map(|row| row[node.0 - 1]).collect()
+    }
+
+    /// Voltage of `node` at sample `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn voltage_at(&self, node: NodeId, k: usize) -> f64 {
+        if node.0 == 0 {
+            0.0
+        } else {
+            self.data[k][node.0 - 1]
+        }
+    }
+
+    /// Linearly interpolated voltage of `node` at time `t`.
+    ///
+    /// Returns `None` outside the simulated interval or for an empty
+    /// waveform.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId, t: f64) -> Option<f64> {
+        if self.times.is_empty() || t < self.times[0] || t > *self.times.last()? {
+            return None;
+        }
+        let i = match self
+            .times
+            .binary_search_by(|v| v.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => return Some(self.voltage_at(node, i)),
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[i - 1], self.times[i]);
+        let (v0, v1) = (self.voltage_at(node, i - 1), self.voltage_at(node, i));
+        Some(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+    }
+
+    /// Final (last-sample) voltage of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty waveform.
+    #[must_use]
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        assert!(!self.is_empty(), "waveform has no samples");
+        self.voltage_at(node, self.len() - 1)
+    }
+
+    /// Time at which `node` first crosses `level` (with linear
+    /// interpolation), or `None` if it never does.
+    #[must_use]
+    pub fn cross_time(&self, node: NodeId, level: f64) -> Option<f64> {
+        for k in 1..self.len() {
+            let v0 = self.voltage_at(node, k - 1);
+            let v1 = self.voltage_at(node, k);
+            if (v0 < level) != (v1 < level) && v1 != v0 {
+                let f = (level - v0) / (v1 - v0);
+                return Some(self.times[k - 1] + f * (self.times[k] - self.times[k - 1]));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        let mut w = Waveform::new();
+        for k in 0..=10 {
+            let t = f64::from(k) * 0.1;
+            w.push(t, vec![t, 1.0 - t]);
+        }
+        w
+    }
+
+    #[test]
+    fn trace_and_interpolation() {
+        let w = ramp();
+        assert_eq!(w.len(), 11);
+        let tr = w.trace(NodeId(1));
+        assert!((tr[5] - 0.5).abs() < 1e-12);
+        assert!((w.voltage(NodeId(2), 0.25).expect("in range") - 0.75).abs() < 1e-12);
+        assert_eq!(w.voltage(NodeId(1), 2.0), None);
+    }
+
+    #[test]
+    fn ground_is_zero() {
+        let w = ramp();
+        assert!(w.trace(NodeId(0)).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cross_time_interpolates() {
+        let w = ramp();
+        let t = w.cross_time(NodeId(1), 0.55).expect("crosses");
+        assert!((t - 0.55).abs() < 1e-9);
+        assert_eq!(w.cross_time(NodeId(1), 5.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_time_rejected() {
+        let mut w = Waveform::new();
+        w.push(0.0, vec![0.0]);
+        w.push(0.0, vec![0.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based solver tests: random linear networks must satisfy KCL
+//! and match analytic reductions.
+
+use analog_sim::dc::{op, NewtonOptions};
+use analog_sim::linalg::{solve, Matrix};
+use analog_sim::netlist::{Netlist, GROUND};
+use proptest::prelude::*;
+
+proptest! {
+    /// A random resistor ladder driven by a source: the solved node
+    /// voltages must be monotonically decreasing along the ladder and
+    /// bounded by the source value.
+    #[test]
+    fn resistor_ladder_voltages_are_monotone(
+        rungs in proptest::collection::vec(10.0f64..1.0e6, 2..10),
+        v_src in 0.1f64..10.0,
+    ) {
+        let mut n = Netlist::new();
+        let top = n.node();
+        n.vdc(top, GROUND, v_src);
+        let mut prev = top;
+        let mut nodes = Vec::new();
+        for r in &rungs {
+            let next = n.node();
+            n.resistor(prev, next, *r);
+            nodes.push(next);
+            prev = next;
+        }
+        n.resistor(prev, GROUND, 1000.0);
+        let sol = op(&n, false, &NewtonOptions::default()).expect("linear network");
+        let mut last = v_src;
+        for node in nodes {
+            let v = sol.voltage(node);
+            prop_assert!(v <= last + 1e-9, "voltage must fall along the ladder");
+            prop_assert!(v >= -1e-9);
+            last = v;
+        }
+    }
+
+    /// Two resistors in parallel equal their analytic combination.
+    #[test]
+    fn parallel_resistors_combine(r1 in 10.0f64..1e6, r2 in 10.0f64..1e6) {
+        let mut n = Netlist::new();
+        let a = n.node();
+        let b = n.node();
+        n.vdc(a, GROUND, 1.0);
+        n.resistor(a, b, 1000.0);
+        n.resistor(b, GROUND, r1);
+        n.resistor(b, GROUND, r2);
+        let sol = op(&n, false, &NewtonOptions::default()).expect("linear");
+        let rp = r1 * r2 / (r1 + r2);
+        let expect = rp / (rp + 1000.0);
+        prop_assert!((sol.voltage(b) - expect).abs() < 1e-6);
+    }
+
+    /// LU solve of diagonally dominant random systems has small residual.
+    #[test]
+    fn lu_residual_is_small(
+        seed in 0u64..1000,
+        n in 2usize..20,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] = next();
+            }
+            a[(r, r)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(a.clone(), &b).expect("diagonally dominant");
+        let ax = a.mul_vec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8);
+        }
+    }
+}

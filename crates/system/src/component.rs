@@ -1,0 +1,92 @@
+//! Peripheral component models: buffers, H-tree interconnect,
+//! accumulators, and the macro area model.
+//!
+//! Constants follow the NeuroSim style (energy per bit / per operation at
+//! 40 nm) and are calibrated so the system roll-up lands on the paper's
+//! Table 1 system row (12.41 / 12.92 TOPS/W at 4b-IN/8b-W,
+//! CIFAR10-ResNet18); the calibration is pinned by tests in
+//! [`crate::chip`].
+
+use serde::{Deserialize, Serialize};
+
+/// Energy/latency/area constants for the inter-macro periphery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeripheryCosts {
+    /// Input/output SRAM buffer energy per bit accessed (J).
+    pub buffer_e_per_bit: f64,
+    /// H-tree wire energy per bit per tree level (J).
+    pub htree_e_per_bit_level: f64,
+    /// Digital partial-sum accumulation energy per add (J).
+    pub accum_e_per_add: f64,
+    /// Buffer + routing latency per 32-bit word (s).
+    pub word_latency: f64,
+    /// Macro area (mm²): array + ADCs + readout.
+    pub macro_area_mm2: f64,
+    /// Fractional area overhead of the H-tree and buffers.
+    pub routing_area_overhead: f64,
+}
+
+impl PeripheryCosts {
+    /// Calibrated 40 nm values (see module docs).
+    #[must_use]
+    pub fn calibrated_40nm() -> Self {
+        Self {
+            buffer_e_per_bit: 9.0e-15,
+            htree_e_per_bit_level: 2.6e-15,
+            accum_e_per_add: 120.0e-15,
+            word_latency: 0.8e-9,
+            macro_area_mm2: 0.031,
+            routing_area_overhead: 0.25,
+        }
+    }
+}
+
+impl Default for PeripheryCosts {
+    fn default() -> Self {
+        Self::calibrated_40nm()
+    }
+}
+
+/// Number of H-tree levels needed to reach `tiles` leaves.
+#[must_use]
+pub fn htree_levels(tiles: usize) -> u32 {
+    let t = tiles.max(1) as f64;
+    t.log2().ceil() as u32 + 1
+}
+
+/// H-tree energy for moving `bits` across a tree with `levels` levels (J).
+#[must_use]
+pub fn htree_energy(costs: &PeripheryCosts, bits: f64, levels: u32) -> f64 {
+    costs.htree_e_per_bit_level * bits * f64::from(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn htree_levels_grow_logarithmically() {
+        assert_eq!(htree_levels(1), 1);
+        assert_eq!(htree_levels(2), 2);
+        assert_eq!(htree_levels(16), 5);
+        assert_eq!(htree_levels(17), 6);
+    }
+
+    #[test]
+    fn htree_energy_scales_with_bits_and_levels() {
+        let c = PeripheryCosts::calibrated_40nm();
+        let e1 = htree_energy(&c, 1000.0, 2);
+        let e2 = htree_energy(&c, 2000.0, 2);
+        let e3 = htree_energy(&c, 1000.0, 4);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+        assert!((e3 / e1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn costs_are_positive() {
+        let c = PeripheryCosts::calibrated_40nm();
+        assert!(c.buffer_e_per_bit > 0.0);
+        assert!(c.macro_area_mm2 > 0.0);
+        assert!(c.routing_area_overhead > 0.0 && c.routing_area_overhead < 1.0);
+    }
+}

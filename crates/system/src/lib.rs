@@ -1,0 +1,20 @@
+//! # system-perf
+//!
+//! A NeuroSim-style system-level estimator for IMC accelerators: maps DNN
+//! layers onto 128×128 CurFe/ChgFe macros (H-tree interconnect, buffers,
+//! partial-sum accumulation) and rolls up per-layer energy, latency and
+//! area into chip metrics (TOPS/W, FPS, mm²) — the machinery behind the
+//! paper's Figs. 11/12 and Table 1 system row.
+//!
+//! * [`mapping`] — layer → macro tiling.
+//! * [`component`] — buffer/H-tree/accumulator cost models.
+//! * [`chip`] — the roll-up ([`chip::evaluate`]).
+//! * [`report`] — text rendering of breakdowns and sweeps.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod chip;
+pub mod component;
+pub mod mapping;
+pub mod report;

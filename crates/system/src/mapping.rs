@@ -1,0 +1,164 @@
+//! Mapping DNN layers onto 128×128 IMC macros.
+//!
+//! A macro stores a `[128 rows × 16 columns]` tile of 8-bit weights
+//! (16 banks × 8 bit-columns wide; 4 stacked 32-row block pairs deep) and
+//! processes one 32-row group per cycle — the paper's "partial parallel
+//! mode for 32 input parallelism". In 4-bit weight mode the H4B and L4B
+//! carry independent weights, doubling the columns per macro to 32.
+
+use neural::models::LayerShape;
+use serde::{Deserialize, Serialize};
+
+/// Macro tiling geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroTile {
+    /// Weight rows per macro (input-vector span).
+    pub rows: usize,
+    /// Rows processed per cycle (input parallelism).
+    pub rows_per_cycle: usize,
+    /// 8-bit weight columns per macro.
+    pub cols_w8: usize,
+}
+
+impl MacroTile {
+    /// The paper's 128×128 macro.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            rows: 128,
+            rows_per_cycle: 32,
+            cols_w8: 16,
+        }
+    }
+
+    /// Output columns available at the given weight precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight_bits` is 4 or 8.
+    #[must_use]
+    pub fn cols(&self, weight_bits: u32) -> usize {
+        match weight_bits {
+            8 => self.cols_w8,
+            4 => self.cols_w8 * 2,
+            other => panic!("weight precision must be 4 or 8 bits, got {other}"),
+        }
+    }
+}
+
+impl Default for MacroTile {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// How one layer maps onto macros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerMapping {
+    /// Macro tiles along the input (fan) dimension.
+    pub row_tiles: usize,
+    /// Macro tiles along the output-channel dimension.
+    pub col_tiles: usize,
+    /// 32-row groups sequenced per tile per output position.
+    pub row_groups: usize,
+    /// Total macros for this layer (weights resident on chip).
+    pub macros: usize,
+    /// Macro cycles per output position per input bit (per tile the
+    /// row groups are sequential; tiles run in parallel).
+    pub cycles_per_position_bit: usize,
+}
+
+/// Maps `layer` onto macros at the given weight precision.
+#[must_use]
+pub fn map_layer(layer: &LayerShape, tile: MacroTile, weight_bits: u32) -> LayerMapping {
+    let fan = layer.in_ch * layer.kernel * layer.kernel;
+    let row_tiles = fan.div_ceil(tile.rows);
+    let col_tiles = layer.out_ch.div_ceil(tile.cols(weight_bits));
+    let last_tile_rows = fan - (row_tiles - 1) * tile.rows;
+    let row_groups_full = tile.rows / tile.rows_per_cycle;
+    let row_groups_last = last_tile_rows.div_ceil(tile.rows_per_cycle);
+    // Worst (deepest) tile bounds the sequential depth.
+    let row_groups = if row_tiles > 1 {
+        row_groups_full
+    } else {
+        row_groups_last
+    };
+    LayerMapping {
+        row_tiles,
+        col_tiles,
+        row_groups,
+        macros: row_tiles * col_tiles,
+        cycles_per_position_bit: row_groups,
+    }
+}
+
+/// Total active macro-cycles of one inference of `layer` (summed over all
+/// tiles, positions, and input bits) — the quantity that multiplies the
+/// per-cycle macro energy.
+#[must_use]
+pub fn layer_macro_cycles(layer: &LayerShape, m: &LayerMapping, input_bits: u32) -> u64 {
+    // Every tile runs `row_groups` cycles per position per input bit;
+    // tiles are spatially parallel but each burns its own energy.
+    m.macros as u64
+        * layer.out_positions as u64
+        * u64::from(input_bits)
+        * m.row_groups as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(in_ch: usize, out_ch: usize, k: usize, pos: usize) -> LayerShape {
+        LayerShape {
+            name: "t".into(),
+            in_ch,
+            out_ch,
+            kernel: k,
+            out_positions: pos,
+        }
+    }
+
+    #[test]
+    fn small_layer_fits_one_macro() {
+        // fan = 27 ≤ 128, oc = 16 ≤ 16.
+        let m = map_layer(&layer(3, 16, 3, 1024), MacroTile::paper(), 8);
+        assert_eq!(m.macros, 1);
+        assert_eq!(m.row_groups, 1, "27 rows fit one 32-row group");
+    }
+
+    #[test]
+    fn large_layer_tiles_both_dimensions() {
+        // conv3x3 256→256: fan = 2304 → 18 row tiles; 256/16 = 16 col tiles.
+        let m = map_layer(&layer(256, 256, 3, 64), MacroTile::paper(), 8);
+        assert_eq!(m.row_tiles, 18);
+        assert_eq!(m.col_tiles, 16);
+        assert_eq!(m.macros, 288);
+        assert_eq!(m.row_groups, 4);
+    }
+
+    #[test]
+    fn four_bit_weights_halve_column_tiles() {
+        let l = layer(64, 64, 3, 256);
+        let m8 = map_layer(&l, MacroTile::paper(), 8);
+        let m4 = map_layer(&l, MacroTile::paper(), 4);
+        assert_eq!(m8.col_tiles, 4);
+        assert_eq!(m4.col_tiles, 2);
+        assert_eq!(m4.macros * 2, m8.macros);
+    }
+
+    #[test]
+    fn macro_cycles_scale_with_input_bits() {
+        let l = layer(64, 64, 3, 256);
+        let m = map_layer(&l, MacroTile::paper(), 8);
+        let c4 = layer_macro_cycles(&l, &m, 4);
+        let c8 = layer_macro_cycles(&l, &m, 8);
+        assert_eq!(c8, 2 * c4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 4 or 8")]
+    fn odd_weight_precision_rejected() {
+        let _ = MacroTile::paper().cols(6);
+    }
+}

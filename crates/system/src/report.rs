@@ -1,0 +1,114 @@
+//! Text rendering of system reports (the rows/series the paper's figures
+//! show).
+
+use crate::chip::SystemReport;
+use std::fmt::Write as _;
+
+/// Formats the per-layer energy/latency breakdown (Fig. 12 content) as an
+/// aligned text table.
+#[must_use]
+pub fn layer_breakdown_table(report: &SystemReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<22} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "layer", "MMACs", "macros", "E_macro(µJ)", "E_buf(µJ)", "E_net(µJ)", "E_dig(µJ)", "lat(µs)"
+    );
+    for l in &report.layers {
+        let _ = writeln!(
+            s,
+            "{:<22} {:>10.2} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            l.name,
+            l.macs as f64 / 1e6,
+            l.macros,
+            l.energy_macro * 1e6,
+            l.energy_buffer * 1e6,
+            l.energy_htree * 1e6,
+            l.energy_digital * 1e6,
+            l.latency * 1e6,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "TOTAL: {:.3} µJ, {:.3} µs, {:.2} TOPS/W, {:.1} FPS, {:.1} mm²",
+        report.total_energy * 1e6,
+        report.total_latency * 1e6,
+        report.tops_per_watt,
+        report.fps,
+        report.area_mm2,
+    );
+    s
+}
+
+/// One row of a Fig. 11-style precision sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// `(input bits, weight bits)`.
+    pub precision: (u32, u32),
+    /// System energy efficiency (TOPS/W).
+    pub tops_per_watt: f64,
+    /// Throughput (FPS).
+    pub fps: f64,
+    /// Area (mm²).
+    pub area_mm2: f64,
+}
+
+/// Renders a sweep as an aligned table.
+#[must_use]
+pub fn sweep_table(rows: &[SweepRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>12} {:>12} {:>12} {:>10}",
+        "precision", "TOPS/W", "FPS", "mm²"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>9}b/{}b {:>12.2} {:>12.1} {:>10.1}",
+            r.precision.0, r.precision.1, r.tops_per_watt, r.fps, r.area_mm2
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{evaluate, Design, SystemConfig};
+    use neural::models::resnet18_shapes;
+
+    #[test]
+    fn breakdown_table_mentions_every_layer() {
+        let r = evaluate(
+            &resnet18_shapes(32, 10),
+            &SystemConfig::paper(Design::CurFe, 4, 8),
+        );
+        let t = layer_breakdown_table(&r);
+        for l in &r.layers {
+            assert!(t.contains(&l.name), "missing {}", l.name);
+        }
+        assert!(t.contains("TOTAL"));
+    }
+
+    #[test]
+    fn sweep_table_renders_rows() {
+        let rows = vec![
+            SweepRow {
+                precision: (4, 8),
+                tops_per_watt: 12.4,
+                fps: 100.0,
+                area_mm2: 50.0,
+            },
+            SweepRow {
+                precision: (8, 8),
+                tops_per_watt: 6.3,
+                fps: 50.0,
+                area_mm2: 50.0,
+            },
+        ];
+        let t = sweep_table(&rows);
+        assert!(t.contains("12.40"));
+        assert!(t.contains("8b/8b"));
+    }
+}

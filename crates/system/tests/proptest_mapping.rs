@@ -1,0 +1,55 @@
+//! Property-based tests of the layer→macro mapping invariants.
+
+use neural::models::LayerShape;
+use proptest::prelude::*;
+use system_perf::mapping::{layer_macro_cycles, map_layer, MacroTile};
+
+proptest! {
+    /// The tiling always provides enough capacity for the layer's weights.
+    #[test]
+    fn capacity_covers_weights(
+        in_ch in 1usize..600,
+        out_ch in 1usize..600,
+        kernel in prop_oneof![Just(1usize), Just(3), Just(7)],
+    ) {
+        let l = LayerShape {
+            name: "t".into(),
+            in_ch,
+            out_ch,
+            kernel,
+            out_positions: 16,
+        };
+        let tile = MacroTile::paper();
+        for wb in [4u32, 8] {
+            let m = map_layer(&l, tile, wb);
+            let cap = m.macros * tile.rows * tile.cols(wb);
+            prop_assert!(cap as u64 >= l.weight_count(),
+                "capacity {cap} < weights {}", l.weight_count());
+            prop_assert!(m.row_groups >= 1 && m.row_groups <= 4);
+        }
+    }
+
+    /// Macro-cycles scale exactly linearly in input bits and positions.
+    #[test]
+    fn cycles_scale_linearly(
+        in_ch in 1usize..300,
+        out_ch in 1usize..300,
+        positions in 1usize..2000,
+        bits in 1u32..=8,
+    ) {
+        let mk = |pos| LayerShape {
+            name: "t".into(),
+            in_ch,
+            out_ch,
+            kernel: 3,
+            out_positions: pos,
+        };
+        let tile = MacroTile::paper();
+        let m = map_layer(&mk(positions), tile, 8);
+        let c1 = layer_macro_cycles(&mk(positions), &m, bits);
+        let c2 = layer_macro_cycles(&mk(positions * 2), &m, bits);
+        prop_assert_eq!(c2, 2 * c1);
+        let cb = layer_macro_cycles(&mk(positions), &m, 1);
+        prop_assert_eq!(c1, u64::from(bits) * cb);
+    }
+}

@@ -1,0 +1,35 @@
+//! End-to-end DNN flow: train a small VGG8 on the synthetic CIFAR10-like
+//! dataset, then run inference with every MAC executed on the CurFe and
+//! ChgFe macro models (quantization + ADC + device noise) — a compact
+//! version of the paper's Fig. 10 experiment.
+//!
+//! Run with `cargo run --release --example dnn_inference` (a debug build
+//! trains very slowly).
+
+use fefet_imc::nn::dataset::cifar10_like;
+use fefet_imc::nn::imc_exec::{ImcConfig, ImcDesign, QNetwork};
+use fefet_imc::nn::models::vgg8;
+use fefet_imc::nn::train::{evaluate, fit, SgdConfig};
+
+fn main() {
+    let train_set = cifar10_like(150, 42);
+    let test_set = cifar10_like(20, 43);
+    let mut net = vgg8(10, 8, 7);
+    println!("training VGG8 (width 8) on {} synthetic images ...", train_set.len());
+    let _ = fit(&mut net, &train_set, &test_set, 6, 32, SgdConfig::default(), 1);
+    let baseline = evaluate(&mut net, &test_set, 32);
+    println!("fp32 baseline accuracy: {:.1}%", baseline * 100.0);
+
+    for design in [ImcDesign::CurFe, ImcDesign::ChgFe] {
+        for adc_bits in [4u32, 5, 6] {
+            let mut cfg = ImcConfig::paper(design, 4, 8);
+            cfg.adc_bits = adc_bits;
+            let mut q = QNetwork::from_sequential(&net, cfg);
+            let (calib, _) = train_set.batch(&(0..16).collect::<Vec<_>>());
+            q.calibrate(&calib, 0.25);
+            let acc = q.accuracy(&test_set, 100);
+            println!("{design:?} @4b-IN/8b-W, {adc_bits}-bit ADC: {:.1}% (drop {:.1}%)",
+                acc * 100.0, (baseline - acc) * 100.0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # fefet-imc
+//!
+//! Umbrella crate for the Rust reproduction of *"Energy Efficient Dual
+//! Designs of FeFET-Based Analog In-Memory Computing with Inherent
+//! Shift-Add Capability"* (DAC 2024).
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`device`] — FeFET/MOSFET compact models ([`fefet_device`]).
+//! * [`sim`] — MNA analog circuit simulator ([`analog_sim`]).
+//! * [`imc`] — the CurFe/ChgFe IMC macros ([`imc_core`]).
+//! * [`baselines`] — shift-add baseline macros and SOTA data ([`imc_baselines`]).
+//! * [`nn`] — mini DNN framework with IMC-backed execution ([`neural`]).
+//! * [`system`] — NeuroSim-like system estimator ([`system_perf`]).
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory and experiment index.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use analog_sim as sim;
+pub use fefet_device as device;
+pub use imc_baselines as baselines;
+pub use imc_core as imc;
+pub use neural as nn;
+pub use system_perf as system;

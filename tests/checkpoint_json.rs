@@ -1,0 +1,26 @@
+//! Checkpoints survive a real JSON serialization round trip.
+
+use fefet_imc::nn::checkpoint::{load, save, Checkpoint};
+use fefet_imc::nn::models::vgg8;
+use fefet_imc::nn::tensor::Tensor;
+use neural::layers::Layer;
+
+#[test]
+fn checkpoint_json_round_trip_preserves_outputs() {
+    let mut a = vgg8(10, 4, 5);
+    let x = Tensor::full(&[2, 3, 32, 32], 0.35);
+    for _ in 0..2 {
+        let _ = a.forward(&x, true);
+    }
+    let y_a = a.forward(&x, false);
+    let ckpt = save(&mut a);
+    let json = serde_json::to_string(&ckpt).expect("serializes");
+    assert!(json.len() > 1000, "non-trivial checkpoint");
+    let restored: Checkpoint = serde_json::from_str(&json).expect("deserializes");
+    let mut b = vgg8(10, 4, 999);
+    load(&mut b, &restored);
+    let y_b = b.forward(&x, false);
+    for (p, q) in y_a.data().iter().zip(y_b.data()) {
+        assert!((p - q).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,73 @@
+//! The SPICE-level row circuits and the fast behavioural bank models must
+//! agree — this is what makes the behavioural Figs. 8/9/10 trustworthy.
+
+use analog_sim::transient::{transient, TransientOptions};
+use fefet_imc::device::variation::{VariationParams, VariationSampler};
+use fefet_imc::imc::circuit::{chgfe_row_circuit, curfe_row_circuit};
+use fefet_imc::imc::config::{ChgFeConfig, CurFeConfig};
+use fefet_imc::imc::curfe::CurFeBlockPair;
+use fefet_imc::imc::chgfe::ChgFeBlockPair;
+
+fn one_hot(idx: usize) -> Vec<bool> {
+    (0..32).map(|r| r == idx).collect()
+}
+
+#[test]
+fn curfe_circuit_matches_behavioral_for_several_weights() {
+    let cfg = CurFeConfig::paper();
+    for &w in &[-1i8, 0x55, -128, 127, 0x0F] {
+        // Behavioural path.
+        let mut s = VariationSampler::new(VariationParams::none(), 0);
+        let mut weights = vec![0i8; 32];
+        weights[0] = w;
+        let bp = CurFeBlockPair::program(&cfg, &weights, &mut s);
+        let beh = bp.partial_mac(&one_hot(0));
+        // Circuit path.
+        let mut s = VariationSampler::new(VariationParams::none(), 0);
+        let circ = curfe_row_circuit(&cfg, w, &mut s);
+        let wave = transient(&circ.netlist, &TransientOptions::new(circ.t_stop, 400))
+            .expect("transient converges");
+        let v_h4 = wave.voltage(circ.out_h4, 2.5e-9).expect("in range");
+        let v_l4 = wave.voltage(circ.out_l4, 2.5e-9).expect("in range");
+        let tol = 1.5e-3; // volts; ~2 units
+        assert!(
+            (v_h4 - beh.v_h4).abs() < tol,
+            "w={w}: circuit H4 {v_h4:.5} vs behavioural {:.5}",
+            beh.v_h4
+        );
+        assert!(
+            (v_l4 - beh.v_l4).abs() < tol,
+            "w={w}: circuit L4 {v_l4:.5} vs behavioural {:.5}",
+            beh.v_l4
+        );
+    }
+}
+
+#[test]
+fn chgfe_circuit_matches_behavioral_for_several_weights() {
+    let cfg = ChgFeConfig::paper();
+    for &w in &[-1i8, 0x77, -128] {
+        let mut s = VariationSampler::new(VariationParams::none(), 0);
+        let mut weights = vec![0i8; 32];
+        weights[0] = w;
+        let bp = ChgFeBlockPair::program(&cfg, &weights, &mut s);
+        let beh = bp.partial_mac(&one_hot(0));
+        let mut s = VariationSampler::new(VariationParams::none(), 0);
+        let circ = chgfe_row_circuit(&cfg, w, &mut s);
+        let wave = transient(&circ.netlist, &TransientOptions::new(circ.t_stop, 700).with_ic())
+            .expect("transient converges");
+        let v_h4 = wave.final_voltage(circ.bl[4]);
+        let v_l4 = wave.final_voltage(circ.bl[0]);
+        let tol = 1.5 * cfg.unit_delta_v();
+        assert!(
+            (v_h4 - beh.v_h4).abs() < tol,
+            "w={w}: circuit H4 {v_h4:.5} vs behavioural {:.5}",
+            beh.v_h4
+        );
+        assert!(
+            (v_l4 - beh.v_l4).abs() < tol,
+            "w={w}: circuit L4 {v_l4:.5} vs behavioural {:.5}",
+            beh.v_l4
+        );
+    }
+}

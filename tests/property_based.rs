@@ -1,0 +1,96 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use fefet_imc::device::preisach::{Preisach, PreisachParams};
+use fefet_imc::imc::adc::{l4b_adc, SarAdc};
+use fefet_imc::imc::weights::{input_bit_slice, InputPrecision, SplitWeight};
+use proptest::prelude::*;
+
+proptest! {
+    /// Weight split/combine is the identity on all of i8.
+    #[test]
+    fn split_combine_identity(w in any::<i8>()) {
+        prop_assert_eq!(SplitWeight::split(w).combine(), w);
+    }
+
+    /// The nibble decomposition satisfies Eq. 1: w = 16·high + low.
+    #[test]
+    fn split_satisfies_eq1(w in any::<i8>()) {
+        let s = SplitWeight::split(w);
+        prop_assert_eq!(
+            i32::from(w),
+            16 * i32::from(s.high.value()) + i32::from(s.low.value())
+        );
+    }
+
+    /// Bit-serial reconstruction: Σ 2^t·bit_t(x) = x for any precision.
+    #[test]
+    fn bit_serial_identity(bits in 1u32..=8, x in 0u32..256) {
+        let p = InputPrecision::new(bits);
+        let x = x & p.max_value();
+        let mut acc = 0u32;
+        for t in p.bit_positions() {
+            let slice = input_bit_slice(&[x], p, t);
+            acc += u32::from(slice[0]) << t;
+        }
+        prop_assert_eq!(acc, x);
+    }
+
+    /// ADC monotonicity: higher input voltage never yields a lower code.
+    #[test]
+    fn adc_is_monotone(v1 in -1.0f64..2.0, v2 in -1.0f64..2.0) {
+        let adc: SarAdc = l4b_adc(5, 32, 0.0, 1.0e-3);
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(adc.convert(lo) <= adc.convert(hi));
+    }
+
+    /// ADC quantization error within the representable range is bounded
+    /// by half an LSB.
+    #[test]
+    fn adc_error_bounded(units in 0.0f64..465.0) {
+        let adc = l4b_adc(5, 32, 0.0, 1.0);
+        let rec = adc.read_units(units);
+        prop_assert!((rec - units).abs() <= adc.units_per_lsb() / 2.0 + 1e-9);
+    }
+
+    /// Preisach polarization is always bounded by saturation and remnant
+    /// states have |P| ≤ P_s regardless of the field history.
+    #[test]
+    fn preisach_bounded(fields in proptest::collection::vec(-5.0e8f64..5.0e8, 1..20)) {
+        let mut fe = Preisach::new(PreisachParams::hfo2_10nm());
+        for f in fields {
+            fe.apply_field(f);
+            prop_assert!(fe.polarization().abs() <= fe.params().p_sat + 1e-12);
+        }
+        fe.apply_field(0.0);
+        prop_assert!(fe.polarization().abs() <= fe.params().p_sat);
+    }
+
+    /// Monotone pulse trains produce monotone remnant polarization
+    /// (the foundation of ISPP write-verify).
+    #[test]
+    fn preisach_ispp_monotone(steps in 2usize..12) {
+        let mut fe = Preisach::new(PreisachParams::hfo2_10nm());
+        fe.erase();
+        let mut last = f64::NEG_INFINITY;
+        for k in 0..steps {
+            let v = 0.5 + 0.2 * k as f64;
+            let p = fe.apply_pulse(v, 1.0e-8, 1.0e-7);
+            prop_assert!(p >= last - 1e-12);
+            last = p;
+        }
+    }
+
+    /// Activation quantization round-trips within half a step.
+    #[test]
+    fn activation_quant_bounded(vals in proptest::collection::vec(0.0f32..4.0, 1..64), bits in 1u32..=8) {
+        use fefet_imc::nn::quant::quantize_activations;
+        use fefet_imc::nn::tensor::Tensor;
+        let n = vals.len();
+        let t = Tensor::from_vec(&[n], vals.clone());
+        let q = quantize_activations(&t, bits);
+        let d = q.dequantize();
+        for (a, b) in vals.iter().zip(d.data()) {
+            prop_assert!((a - b).abs() <= q.scale / 2.0 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Retention drift end-to-end: aging the ChgFe MLC states skews the MAC
+//! transfer, while CurFe barely moves — the deployment-lifetime story.
+
+use fefet_imc::device::retention::{drifted_vth, RetentionParams};
+use fefet_imc::device::variation::{VariationParams, VariationSampler};
+use fefet_imc::imc::chgfe::ChgFeBlockPair;
+use fefet_imc::imc::config::{ChgFeConfig, CurFeConfig};
+use fefet_imc::imc::curfe::CurFeBlockPair;
+
+const TEN_YEARS: f64 = 10.0 * 365.25 * 24.0 * 3600.0;
+
+fn aged_chgfe(elapsed: f64) -> ChgFeConfig {
+    let ret = RetentionParams::hfo2_typical();
+    let mut cfg = ChgFeConfig::paper();
+    cfg.variation = VariationParams::none();
+    for v in &mut cfg.ladder.vth_on {
+        *v = drifted_vth(*v, elapsed, &ret);
+    }
+    cfg.pfet_vth_on = drifted_vth(cfg.pfet_vth_on, elapsed, &ret);
+    cfg
+}
+
+#[test]
+fn chgfe_mac_skews_after_ten_years() {
+    let weights = vec![0x77i8; 32];
+    let active = vec![true; 32];
+    let fresh_cfg = aged_chgfe(0.0);
+    let aged_cfg = aged_chgfe(TEN_YEARS);
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let fresh = ChgFeBlockPair::program(&fresh_cfg, &weights, &mut s);
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let aged = ChgFeBlockPair::program(&aged_cfg, &weights, &mut s);
+    let u_fresh = (fresh.partial_mac(&active).v_l4 - fresh_cfg.v_pre) / fresh.volts_per_unit();
+    let u_aged = (aged.partial_mac(&active).v_l4 - aged_cfg.v_pre) / aged.volts_per_unit();
+    // Ten years of drift must visibly move the transfer (> 2 ADC LSBs of
+    // 15 units) — the refresh requirement of the retention ablation.
+    assert!(
+        (u_fresh - u_aged).abs() > 10.0,
+        "fresh {u_fresh:.1} vs aged {u_aged:.1} units"
+    );
+}
+
+#[test]
+fn curfe_mac_is_immune_to_the_same_drift() {
+    let ret = RetentionParams::hfo2_typical();
+    let weights = vec![0x77i8; 32];
+    let active = vec![true; 32];
+    let mut cfg = CurFeConfig::paper();
+    cfg.variation = VariationParams::none();
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let fresh = CurFeBlockPair::program(&cfg, &weights, &mut s);
+    let mut aged_cfg = cfg.clone();
+    aged_cfg.slc.vth_low = drifted_vth(aged_cfg.slc.vth_low, TEN_YEARS, &ret);
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let aged = CurFeBlockPair::program(&aged_cfg, &weights, &mut s);
+    let u_fresh = (fresh.partial_mac(&active).v_l4 - cfg.v_cm) / fresh.volts_per_unit();
+    let u_aged = (aged.partial_mac(&active).v_l4 - cfg.v_cm) / aged.volts_per_unit();
+    assert!(
+        (u_fresh - u_aged).abs() < 2.0,
+        "CurFe moved {:.2} units over ten years",
+        (u_fresh - u_aged).abs()
+    );
+}

@@ -1,0 +1,31 @@
+//! The validation circuits export to complete SPICE decks.
+
+use fefet_imc::device::variation::{VariationParams, VariationSampler};
+use fefet_imc::imc::circuit::{chgfe_row_circuit, curfe_row_circuit};
+use fefet_imc::imc::config::{ChgFeConfig, CurFeConfig};
+use fefet_imc::sim::spice::to_spice;
+
+#[test]
+fn curfe_fig3_circuit_exports_complete_deck() {
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let c = curfe_row_circuit(&CurFeConfig::paper(), -1, &mut s);
+    let deck = to_spice(&c.netlist, "CurFe Fig.3 row slice");
+    assert!(deck.contains("PULSE("), "wordline pulse present");
+    // Eight FeFET instances + two op-amps + two feedback resistors.
+    assert_eq!(deck.matches(".model MFE_MOD").count(), 8);
+    assert_eq!(deck.matches("\nE").count(), 2);
+    assert!(deck.trim_end().ends_with(".end"));
+}
+
+#[test]
+fn chgfe_fig6_circuit_exports_complete_deck() {
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let c = chgfe_row_circuit(&ChgFeConfig::paper(), -1, &mut s);
+    let deck = to_spice(&c.netlist, "ChgFe Fig.6 row slice");
+    // Eight bitline capacitors with initial conditions.
+    assert_eq!(deck.matches("IC=0").count(), 8);
+    // Seven nFeFETs + one pFeFET.
+    assert_eq!(deck.matches(".model MFE_MOD").count(), 8);
+    assert!(deck.contains("PMOS"), "sign cell is a pFeFET");
+    assert!(deck.contains("NMOS"));
+}
