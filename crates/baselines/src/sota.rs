@@ -235,8 +235,14 @@ mod tests {
     #[test]
     fn headline_ratios_match_the_abstract() {
         let r = headline_ratios();
-        assert!((r.vs_sram_circuit - 1.56).abs() < 0.01, "1.56× vs [10]: {r:?}");
-        assert!((r.vs_reram_circuit - 2.22).abs() < 0.01, "2.22× vs [16]: {r:?}");
+        assert!(
+            (r.vs_sram_circuit - 1.56).abs() < 0.01,
+            "1.56× vs [10]: {r:?}"
+        );
+        assert!(
+            (r.vs_reram_circuit - 2.22).abs() < 0.01,
+            "2.22× vs [16]: {r:?}"
+        );
         assert!((r.vs_yue_system - 1.37).abs() < 0.01, "1.37× vs [9]: {r:?}");
     }
 

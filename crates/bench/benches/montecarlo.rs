@@ -1,0 +1,55 @@
+//! Criterion benches: serial vs pooled Monte-Carlo batches — the Fig. 7
+//! histogram kernel and the generic `run_trials`/`run_trials_par` pair.
+
+use analog_sim::montecarlo::{run_trials, run_trials_par};
+use analog_sim::SimError;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fefet_device::variation::{VariationParams, VariationSampler};
+use imc_core::cell::CurFeCell;
+use imc_core::config::CurFeConfig;
+use imc_core::mc::curfe_on_currents;
+
+/// One Fig. 7(a) trial: program a perturbed `1nFeFET1R` cell and read its
+/// ON current (a scalar Newton solve per read).
+fn fig7_trial(cfg: &CurFeConfig, seed: u64) -> Result<f64, SimError> {
+    let mut s = VariationSampler::new(VariationParams::paper(), seed);
+    let cell = CurFeCell::program(cfg.fefet, &cfg.slc, true, cfg.drain_resistance(0), &mut s);
+    Ok(cell.current(cfg.v_cm, 0.0, cfg.v_wl, true))
+}
+
+fn bench_run_trials(c: &mut Criterion) {
+    let cfg = CurFeConfig::paper();
+    c.bench_function("fig7_mc_run_trials_serial_256", |b| {
+        b.iter(|| {
+            let r = run_trials(256, 1, |s| fig7_trial(&cfg, s));
+            // Non-panicking stats: a non-converged batch reports None
+            // instead of aborting the bench.
+            assert!(r.try_mean().is_some());
+            r
+        });
+    });
+    c.bench_function("fig7_mc_run_trials_pooled_256", |b| {
+        b.iter(|| {
+            let r = run_trials_par(256, 1, |s| fig7_trial(&cfg, s));
+            assert!(r.try_std_dev().is_some());
+            r
+        });
+    });
+}
+
+fn bench_bank_batch(c: &mut Criterion) {
+    let cfg = CurFeConfig::paper();
+    c.bench_function("fig7_mc_bank_batch_256", |b| {
+        b.iter(|| curfe_on_currents(&cfg, VariationParams::paper(), 0, 256, 1));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_run_trials, bench_bank_batch
+}
+criterion_main!(benches);

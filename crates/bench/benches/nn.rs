@@ -4,17 +4,42 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use neural::imc_exec::{ImcConfig, ImcDesign, QNetwork};
 use neural::models::{resnet18_shapes, vgg8};
-use neural::tensor::{matmul, matmul_parallel, Tensor};
+use neural::tensor::{matmul, matmul_blocked, matmul_parallel, Tensor};
 use system_perf::chip::{evaluate, Design, SystemConfig};
 
 fn bench_matmul(c: &mut Criterion) {
-    let a = Tensor::from_vec(&[128, 256], (0..128 * 256).map(|i| (i % 97) as f32 * 0.01).collect());
-    let b = Tensor::from_vec(&[256, 64], (0..256 * 64).map(|i| (i % 89) as f32 * 0.02).collect());
+    let a = Tensor::from_vec(
+        &[128, 256],
+        (0..128 * 256).map(|i| (i % 97) as f32 * 0.01).collect(),
+    );
+    let b = Tensor::from_vec(
+        &[256, 64],
+        (0..256 * 64).map(|i| (i % 89) as f32 * 0.02).collect(),
+    );
     c.bench_function("matmul_128x256x64", |bch| {
         bch.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)));
     });
+    c.bench_function("matmul_blocked_128x256x64", |bch| {
+        bch.iter(|| matmul_blocked(std::hint::black_box(&a), std::hint::black_box(&b)));
+    });
     c.bench_function("matmul_parallel_128x256x64", |bch| {
         bch.iter(|| matmul_parallel(std::hint::black_box(&a), std::hint::black_box(&b), 4));
+    });
+    // im2col-shaped operands (VGG8 conv on 32×32 inputs): tall-skinny A
+    // against a wide B — the shape the blocked kernel targets.
+    let a2 = Tensor::from_vec(
+        &[1024, 288],
+        (0..1024 * 288).map(|i| (i % 101) as f32 * 0.01).collect(),
+    );
+    let b2 = Tensor::from_vec(
+        &[288, 64],
+        (0..288 * 64).map(|i| (i % 83) as f32 * 0.02).collect(),
+    );
+    c.bench_function("matmul_im2col_1024x288x64", |bch| {
+        bch.iter(|| matmul(std::hint::black_box(&a2), std::hint::black_box(&b2)));
+    });
+    c.bench_function("matmul_im2col_pooled_1024x288x64", |bch| {
+        bch.iter(|| matmul_parallel(std::hint::black_box(&a2), std::hint::black_box(&b2), 4));
     });
 }
 

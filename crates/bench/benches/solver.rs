@@ -28,7 +28,11 @@ fn bench_transient(c: &mut Criterion) {
     });
     c.bench_function("chgfe_row_transient_fig6", |b| {
         b.iter(|| {
-            transient(&chg.netlist, &TransientOptions::new(chg.t_stop, 700).with_ic()).expect("ok")
+            transient(
+                &chg.netlist,
+                &TransientOptions::new(chg.t_stop, 700).with_ic(),
+            )
+            .expect("ok")
         });
     });
 }

@@ -7,7 +7,10 @@ use imc_core::energy::{Activity, WeightBits};
 fn main() {
     println!("=== Ablation: columns per ADC (digital shift-add baseline) ===\n");
     let a = Activity::average();
-    println!("{:>14} {:>16} {:>16}", "cols per ADC", "TOPS/W @(8b,8b)", "GOPS @(8b,8b)");
+    println!(
+        "{:>14} {:>16} {:>16}",
+        "cols per ADC", "TOPS/W @(8b,8b)", "GOPS @(8b,8b)"
+    );
     for cols in [1u32, 2, 4, 8] {
         let mut m = DigitalShiftAddModel::paper();
         m.cols_per_adc = cols;

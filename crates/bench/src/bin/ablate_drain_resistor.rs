@@ -9,7 +9,10 @@ fn main() {
     println!("=== Ablation: 1nFeFET1R drain resistor vs bare 1nFeFET ===\n");
     let cfg = CurFeConfig::paper();
     const N: usize = 500;
-    println!("{:>24} {:>14} {:>12}", "configuration", "mean I (A)", "sigma/mean");
+    println!(
+        "{:>24} {:>14} {:>12}",
+        "configuration", "mean I (A)", "sigma/mean"
+    );
     // With the resistor (paper design).
     let mut s = VariationSampler::new(VariationParams::paper(), 3);
     let with_r: Vec<f64> = (0..N)
@@ -19,23 +22,36 @@ fn main() {
         })
         .collect();
     let st = SampleStats::from_values(&with_r);
-    println!("{:>24} {:>14.3e} {:>11.2}%", "1nFeFET1R (0.625 MOhm)", st.mean, 100.0 * st.coefficient_of_variation());
+    println!(
+        "{:>24} {:>14.3e} {:>11.2}%",
+        "1nFeFET1R (0.625 MOhm)",
+        st.mean,
+        100.0 * st.coefficient_of_variation()
+    );
 
     // Without: the FeFET's own saturation current carries the full Vth
     // variation (like the ChgFe cells, but without their calibrated ladder).
     let mut s2 = VariationSampler::new(VariationParams::paper(), 3);
     let bare: Vec<f64> = (0..N)
         .map(|_| {
-            let mut d = fefet_device::fefet::FeFet::new(cfg.fefet, fefet_device::fefet::Polarity::N);
+            let mut d =
+                fefet_device::fefet::FeFet::new(cfg.fefet, fefet_device::fefet::Polarity::N);
             d.set_vth(cfg.slc.vth_low + s2.vth_offset());
             let _ = s2.r_factor();
             d.ids(cfg.v_wl, cfg.v_cm, 0.0).ids
         })
         .collect();
     let st2 = SampleStats::from_values(&bare);
-    println!("{:>24} {:>14.3e} {:>11.2}%", "bare 1nFeFET", st2.mean, 100.0 * st2.coefficient_of_variation());
-    println!("\nThe resistor clamps sigma/mean by {:.0}x — the robustness the paper trades", 
-        st2.coefficient_of_variation() / st.coefficient_of_variation());
+    println!(
+        "{:>24} {:>14.3e} {:>11.2}%",
+        "bare 1nFeFET",
+        st2.mean,
+        100.0 * st2.coefficient_of_variation()
+    );
+    println!(
+        "\nThe resistor clamps sigma/mean by {:.0}x — the robustness the paper trades",
+        st2.coefficient_of_variation() / st.coefficient_of_variation()
+    );
     println!("against the TIA's bias energy (CurFe is the robust design, ChgFe the");
     println!("efficient one; see Fig. 10's accuracy gap).");
 }

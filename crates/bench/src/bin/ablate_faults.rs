@@ -9,7 +9,9 @@ use imc_core::weights::InputPrecision;
 fn main() {
     println!("=== Ablation: stuck-cell faults vs MAC fidelity (CurFe grid) ===\n");
     let (rows, cols) = (128usize, 4usize);
-    let weights: Vec<i8> = (0..rows * cols).map(|i| ((i * 37) % 251) as u8 as i8).collect();
+    let weights: Vec<i8> = (0..rows * cols)
+        .map(|i| ((i * 37) % 251) as u8 as i8)
+        .collect();
     let inputs: Vec<u32> = (0..rows).map(|i| (i as u32 * 7) % 16).collect();
     let gross: f64 = (0..cols)
         .map(|c| {
@@ -19,8 +21,15 @@ fn main() {
         })
         .sum::<f64>()
         / cols as f64;
-    println!("{:>14} {:>12} {:>16} {:>18}", "defect rate", "faults", "mean |err|", "err / gross (%)");
-    for rate in [0.0, 1e-4, 5e-4, 2e-3, 1e-2] {
+    println!(
+        "{:>14} {:>12} {:>16} {:>18}",
+        "defect rate", "faults", "mean |err|", "err / gross (%)"
+    );
+    // Each defect rate is an independent program-and-MAC experiment with
+    // its own fault-map seed, so the rates run concurrently on the shared
+    // pool and print in sweep order afterwards.
+    let rates = [0.0, 1e-4, 5e-4, 2e-3, 1e-2];
+    let rows_out = par_exec::par_map(&rates, |&rate| {
         let model = FaultModel {
             p_stuck_on: rate / 2.0,
             p_stuck_off: rate / 2.0,
@@ -36,10 +45,11 @@ fn main() {
             .map(|(h, i)| (h - *i as f64).abs())
             .sum::<f64>()
             / cols as f64;
+        (map.len(), err)
+    });
+    for (&rate, &(faults, err)) in rates.iter().zip(&rows_out) {
         println!(
-            "{rate:>14.0e} {:>12} {:>16.1} {:>18.2}",
-            map.len(),
-            err,
+            "{rate:>14.0e} {faults:>12} {err:>16.1} {:>18.2}",
             100.0 * err / gross
         );
     }

@@ -16,7 +16,10 @@ fn main() {
     let qcfg = ChgFeConfig::paper();
     let ret = RetentionParams::hfo2_typical();
     let mut s = VariationSampler::new(VariationParams::none(), 0);
-    println!("{:>12} {:>16} {:>16} {:>16}", "time (s)", "CurFe I/I0", "ChgFe LSB I/I0", "ChgFe MSB I/I0");
+    println!(
+        "{:>12} {:>16} {:>16} {:>16}",
+        "time (s)", "CurFe I/I0", "ChgFe LSB I/I0", "ChgFe MSB I/I0"
+    );
     let i0_cur = CurFeCell::program(ccfg.fefet, &ccfg.slc, true, ccfg.r_base, &mut s)
         .current(ccfg.v_cm, 0.0, ccfg.v_wl, true);
     let i0_lsb = ChgFeCell::program_data(qcfg.nfefet, &qcfg.ladder, 0, true, &mut s)

@@ -12,15 +12,27 @@ fn main() {
     let inherent = CurFeEnergyModel::paper();
     let analog = AnalogShiftAddModel::paper();
     let digital = DigitalShiftAddModel::paper();
-    println!("{:>10} {:>22} {:>22} {:>16}", "xb-IN", "organization", "TOPS/W @(x,8b)", "rel. GOPS");
+    println!(
+        "{:>10} {:>22} {:>22} {:>16}",
+        "xb-IN", "organization", "TOPS/W @(x,8b)", "rel. GOPS"
+    );
     for ib in [1u32, 4, 8] {
         let rows: [(&str, f64, f64); 3] = [
-            ("inherent (ours)", inherent.tops_per_watt(ib, WeightBits::W8, a),
-                inherent.throughput_ops(ib, WeightBits::W8)),
-            ("analog shift-add", analog.tops_per_watt(ib, WeightBits::W8, a),
-                analog.throughput_ops(ib, WeightBits::W8)),
-            ("digital shift-add", digital.tops_per_watt(ib, WeightBits::W8, a),
-                digital.throughput_ops(ib, WeightBits::W8)),
+            (
+                "inherent (ours)",
+                inherent.tops_per_watt(ib, WeightBits::W8, a),
+                inherent.throughput_ops(ib, WeightBits::W8),
+            ),
+            (
+                "analog shift-add",
+                analog.tops_per_watt(ib, WeightBits::W8, a),
+                analog.throughput_ops(ib, WeightBits::W8),
+            ),
+            (
+                "digital shift-add",
+                digital.tops_per_watt(ib, WeightBits::W8, a),
+                digital.throughput_ops(ib, WeightBits::W8),
+            ),
         ];
         let base_tp = rows[0].2;
         for (name, eff, tp) in rows {

@@ -7,9 +7,15 @@ fn main() {
     println!("=== Ablation: input-sparsity performance scaling ===\n");
     let cur = CurFeEnergyModel::paper();
     let chg = ChgFeEnergyModel::paper();
-    println!("{:>14} {:>16} {:>16}", "input zeros", "CurFe TOPS/W", "ChgFe TOPS/W");
+    println!(
+        "{:>14} {:>16} {:>16}",
+        "input zeros", "CurFe TOPS/W", "ChgFe TOPS/W"
+    );
     for s in [0.0, 0.3, 0.6, 0.8, 0.9, 0.95] {
-        let sm = SparsityModel { input_sparsity: s, nonzero_bit_density: 0.5 };
+        let sm = SparsityModel {
+            input_sparsity: s,
+            nonzero_bit_density: 0.5,
+        };
         println!(
             "{:>13}% {:>16.2} {:>16.2}",
             (s * 100.0) as u32,

@@ -9,15 +9,30 @@ use neural::train::{evaluate, fit, SgdConfig};
 
 fn main() {
     let quick = std::env::var("ABLATE_QUICK").is_ok();
-    let (per_class, epochs, width, eval_n) = if quick { (40, 4, 8, 100) } else { (80, 6, 12, 150) };
+    let (per_class, epochs, width, eval_n) = if quick {
+        (40, 4, 8, 100)
+    } else {
+        (80, 6, 12, 150)
+    };
     let train_set = cifar10_like(per_class, 42);
     let test_set = cifar10_like(30, 43);
     let mut net = vgg8(10, width, 7);
-    let _ = fit(&mut net, &train_set, &test_set, epochs, 32, SgdConfig::default(), 1);
+    let _ = fit(
+        &mut net,
+        &train_set,
+        &test_set,
+        epochs,
+        32,
+        SgdConfig::default(),
+        1,
+    );
     let baseline = evaluate(&mut net, &test_set, 32);
     println!("=== Ablation: accuracy vs sigma(Vth) scale (VGG8, 5-bit ADC, 4b/4b) ===");
     println!("fp32 baseline: {:.1}%\n", baseline * 100.0);
-    println!("{:>14} {:>14} {:>14}", "sigma scale", "CurFe (%)", "ChgFe (%)");
+    println!(
+        "{:>14} {:>14} {:>14}",
+        "sigma scale", "CurFe (%)", "ChgFe (%)"
+    );
     for scale in [0.0, 0.5, 1.0, 2.0, 4.0] {
         let acc = |design| {
             let mut cfg = ImcConfig::paper(design, 4, 4);
@@ -25,9 +40,15 @@ fn main() {
             let mut q = QNetwork::from_sequential(&net, cfg);
             let (calib, _) = train_set.batch(&(0..32).collect::<Vec<_>>());
             q.calibrate(&calib, 0.25);
+            // The noisy-MAC evaluation itself fans out per batch on the
+            // shared pool (see `QNetwork::accuracy`).
             q.accuracy(&test_set, eval_n) * 100.0
         };
-        println!("{scale:>13}x {:>14.1} {:>14.1}", acc(ImcDesign::CurFe), acc(ImcDesign::ChgFe));
+        println!(
+            "{scale:>13}x {:>14.1} {:>14.1}",
+            acc(ImcDesign::CurFe),
+            acc(ImcDesign::ChgFe)
+        );
     }
     println!("\nExpected: CurFe degrades far more slowly with sigma — the 1R current");
     println!("limiter decouples the cell current from Vth; ChgFe's current-encoded MLC");

@@ -18,10 +18,20 @@ fn main() {
             d.vth(),
             vth.map_or("n/a".to_owned(), |v| format!("{v:.3} V"))
         );
-        println!("{}", imc_bench::series_table(
-            &format!("Id-Vg, state {i}"), "Vg (V)", "Id (A)",
-            &curve.x.iter().zip(&curve.y).map(|(&x, &y)| (x, y)).collect::<Vec<_>>(),
-        ));
+        println!(
+            "{}",
+            imc_bench::series_table(
+                &format!("Id-Vg, state {i}"),
+                "Vg (V)",
+                "Id (A)",
+                &curve
+                    .x
+                    .iter()
+                    .zip(&curve.y)
+                    .map(|(&x, &y)| (x, y))
+                    .collect::<Vec<_>>(),
+            )
+        );
     }
     println!("Expected shape: four monotone Id-Vg curves shifted by the MLC Vth states,");
     println!("matching the measured family of the paper's Fig. 1(c).");

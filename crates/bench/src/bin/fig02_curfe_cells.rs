@@ -12,7 +12,10 @@ fn main() {
     println!("=== Fig. 2(f): CurFe cell0-cell7 transfer curves ===\n");
     let cfg = CurFeConfig::paper();
     let mut s = VariationSampler::new(VariationParams::none(), 0);
-    println!("{:>8} {:>12} {:>14} {:>14}", "cell", "R_drain", "I_on (A)", "target (A)");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14}",
+        "cell", "R_drain", "I_on (A)", "target (A)"
+    );
     for col in 0..8usize {
         let (j, v_sl, v_gate) = if col < 4 {
             (col, 0.0, cfg.v_wl)
@@ -28,7 +31,10 @@ fn main() {
         } else {
             cfg.unit_current() * f64::from(1u32 << j)
         };
-        println!("{col:>8} {:>12.3e} {i:>14.4e} {target:>14.4e}", cfg.drain_resistance(j));
+        println!(
+            "{col:>8} {:>12.3e} {i:>14.4e} {target:>14.4e}",
+            cfg.drain_resistance(j)
+        );
     }
     println!("\nGate sweep of cell0 ('1' vs '0'):");
     for bit in [true, false] {
@@ -39,8 +45,15 @@ fn main() {
                 (vg, cell.current(cfg.v_cm, 0.0, vg, true))
             })
             .collect();
-        println!("{}", imc_bench::series_table(
-            &format!("cell0 bit={}", u8::from(bit)), "Vg (V)", "I (A)", &series));
+        println!(
+            "{}",
+            imc_bench::series_table(
+                &format!("cell0 bit={}", u8::from(bit)),
+                "Vg (V)",
+                "I (A)",
+                &series
+            )
+        );
     }
     println!("Expected: binary-weighted ON plateaus (resistor-limited), cell7 negative.");
 }

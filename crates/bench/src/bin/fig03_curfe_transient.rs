@@ -13,8 +13,8 @@ fn main() {
     let cfg = CurFeConfig::paper();
     let mut s = VariationSampler::new(VariationParams::none(), 0);
     let c = curfe_row_circuit(&cfg, -1, &mut s);
-    let w = transient(&c.netlist, &TransientOptions::new(c.t_stop, 400))
-        .expect("transient converges");
+    let w =
+        transient(&c.netlist, &TransientOptions::new(c.t_stop, 400)).expect("transient converges");
     let pts = 40;
     let series_h: Vec<(f64, f64)> = (0..=pts)
         .map(|k| {
@@ -28,14 +28,23 @@ fn main() {
             (t * 1e9, w.voltage(c.out_l4, t).unwrap_or(f64::NAN))
         })
         .collect();
-    println!("{}", imc_bench::series_table("V_CurFe-H4 (Fig. 3c)", "t (ns)", "V (V)", &series_h));
-    println!("{}", imc_bench::series_table("V_CurFe-L4 (Fig. 3c)", "t (ns)", "V (V)", &series_l));
+    println!(
+        "{}",
+        imc_bench::series_table("V_CurFe-H4 (Fig. 3c)", "t (ns)", "V (V)", &series_h)
+    );
+    println!(
+        "{}",
+        imc_bench::series_table("V_CurFe-L4 (Fig. 3c)", "t (ns)", "V (V)", &series_l)
+    );
 
     let t_meas = 2.5e-9;
     let v_h4 = w.voltage(c.out_h4, t_meas).expect("in range");
     let v_l4 = w.voltage(c.out_l4, t_meas).expect("in range");
     let i_h4 = (v_h4 - cfg.v_cm) / cfg.r_out;
     let i_l4 = (v_l4 - cfg.v_cm) / cfg.r_out;
-    println!("{}", imc_bench::compare_row("I_H4 (nA)", i_h4 * 1e9, -100.0));
+    println!(
+        "{}",
+        imc_bench::compare_row("I_H4 (nA)", i_h4 * 1e9, -100.0)
+    );
     println!("{}", imc_bench::compare_row("I_L4 (uA)", i_l4 * 1e6, 1.5));
 }

@@ -10,17 +10,28 @@ fn main() {
     println!("=== Fig. 5: ChgFe MLC cell transfer curves ===\n");
     let cfg = ChgFeConfig::paper();
     let mut s = VariationSampler::new(VariationParams::none(), 0);
-    println!("{:>8} {:>10} {:>14} {:>14}", "cell", "Vth (V)", "I_on (A)", "target (A)");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14}",
+        "cell", "Vth (V)", "I_on (A)", "target (A)"
+    );
     for j in 0..4usize {
         let cell = ChgFeCell::program_data(cfg.nfefet, &cfg.ladder, j, true, &mut s);
         let i = cell.bitline_current(cfg.v_pre, cfg.v_wl, cfg.vdd_q, true);
         let target = cfg.unit_current() * f64::from(1u32 << j);
-        println!("{:>8} {:>10.3} {i:>14.4e} {target:>14.4e}", format!("bit{j}"), cfg.ladder.vth_on[j]);
+        println!(
+            "{:>8} {:>10.3} {i:>14.4e} {target:>14.4e}",
+            format!("bit{j}"),
+            cfg.ladder.vth_on[j]
+        );
     }
     let sign = ChgFeCell::program_sign(cfg.pfefet, cfg.pfet_vth_on, cfg.pfet_vth_off, true, &mut s);
     let i_sign = sign.bitline_current(cfg.v_pre, cfg.v_wls_low, cfg.vdd_q, true);
-    println!("{:>8} {:>10.3} {i_sign:>14.4e} {:>14.4e}  (charges the bitline)",
-        "sign", cfg.pfet_vth_on, -cfg.unit_current() * 8.0);
+    println!(
+        "{:>8} {:>10.3} {i_sign:>14.4e} {:>14.4e}  (charges the bitline)",
+        "sign",
+        cfg.pfet_vth_on,
+        -cfg.unit_current() * 8.0
+    );
 
     println!("\nGate sweeps (Fig. 5b): one curve per significance");
     for j in 0..4usize {
@@ -31,7 +42,10 @@ fn main() {
                 (vg, cell.bitline_current(cfg.v_pre, vg, cfg.vdd_q, true))
             })
             .collect();
-        println!("{}", imc_bench::series_table(&format!("nFeFET bit{j}"), "Vg (V)", "I (A)", &series));
+        println!(
+            "{}",
+            imc_bench::series_table(&format!("nFeFET bit{j}"), "Vg (V)", "I (A)", &series)
+        );
     }
     println!("Expected: x2 current steps between states; sign-cell |I| = cell3's.");
 }

@@ -22,7 +22,10 @@ fn main() {
                 (t * 1e9, w.voltage(node, t).unwrap_or(f64::NAN))
             })
             .collect();
-        println!("{}", imc_bench::series_table(label, "t (ns)", "V (V)", &series));
+        println!(
+            "{}",
+            imc_bench::series_table(label, "t (ns)", "V (V)", &series)
+        );
     }
     let dv = cfg.unit_delta_v();
     let t_after = c.t_input_end + 0.02e-9;
@@ -34,6 +37,20 @@ fn main() {
     let v_l4 = w.final_voltage(c.bl[0]);
     let v_h4 = w.final_voltage(c.bl[4]);
     println!("\nAfter charge sharing (/4, Eq. 5/6):");
-    println!("{}", imc_bench::compare_row("V_L4 units (15 expected)", (cfg.v_pre - v_l4) / dv * 4.0, 15.0));
-    println!("{}", imc_bench::compare_row("V_H4 units (-1 expected)", (cfg.v_pre - v_h4) / dv * 4.0, -1.0));
+    println!(
+        "{}",
+        imc_bench::compare_row(
+            "V_L4 units (15 expected)",
+            (cfg.v_pre - v_l4) / dv * 4.0,
+            15.0
+        )
+    );
+    println!(
+        "{}",
+        imc_bench::compare_row(
+            "V_H4 units (-1 expected)",
+            (cfg.v_pre - v_h4) / dv * 4.0,
+            -1.0
+        )
+    );
 }

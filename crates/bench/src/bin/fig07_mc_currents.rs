@@ -4,47 +4,48 @@
 //! mismatch. (b) ChgFe: the V_TH-set saturation currents spread with
 //! 2σ/OV_j, widest for the LSB state.
 
-use fefet_device::variation::{Histogram, SampleStats, VariationParams, VariationSampler};
+use fefet_device::variation::{Histogram, SampleStats, VariationParams};
 use imc_bench::ascii_histogram;
-use imc_core::cell::{ChgFeCell, CurFeCell};
 use imc_core::config::{ChgFeConfig, CurFeConfig};
+use imc_core::mc::{chgfe_state_currents, curfe_on_currents};
 
 const TRIALS: usize = 1000;
 
 fn main() {
-    println!("=== Fig. 7: Monte-Carlo ON-current histograms (N = {TRIALS}, sigma_Vth = 40 mV) ===\n");
+    println!(
+        "=== Fig. 7: Monte-Carlo ON-current histograms (N = {TRIALS}, sigma_Vth = 40 mV) ===\n"
+    );
     let ccfg = CurFeConfig::paper();
     let qcfg = ChgFeConfig::paper();
+    let params = VariationParams::paper();
 
     println!("--- (a) CurFe I_CurFe0..I_CurFe3 ---");
     for j in 0..4usize {
-        let mut s = VariationSampler::new(VariationParams::paper(), 100 + j as u64);
-        let vals: Vec<f64> = (0..TRIALS)
-            .map(|_| {
-                let cell = CurFeCell::program(ccfg.fefet, &ccfg.slc, true, ccfg.drain_resistance(j), &mut s);
-                cell.current(ccfg.v_cm, 0.0, ccfg.v_wl, true)
-            })
-            .collect();
+        // Batch API: per-trial seeds derived serially, trials run on the
+        // shared worker pool, results in trial order (deterministic).
+        let vals = curfe_on_currents(&ccfg, params, j, TRIALS, 100 + j as u64);
         let st = SampleStats::from_values(&vals);
         let mut h = Histogram::new(st.mean * 0.8, st.mean * 1.2, 25);
         h.extend(vals.iter().copied());
-        println!("I_CurFe{j}: mean {:.3e} A, sigma/mean = {:.2}%", st.mean, 100.0 * st.coefficient_of_variation());
+        println!(
+            "I_CurFe{j}: mean {:.3e} A, sigma/mean = {:.2}%",
+            st.mean,
+            100.0 * st.coefficient_of_variation()
+        );
         println!("{}", ascii_histogram(&format!("I_CurFe{j}"), &h, "A"));
     }
 
     println!("--- (b) ChgFe I_ChgFe0..I_ChgFe3 ---");
     for j in 0..4usize {
-        let mut s = VariationSampler::new(VariationParams::paper(), 200 + j as u64);
-        let vals: Vec<f64> = (0..TRIALS)
-            .map(|_| {
-                let cell = ChgFeCell::program_data(qcfg.nfefet, &qcfg.ladder, j, true, &mut s);
-                cell.bitline_current(qcfg.v_pre, qcfg.v_wl, qcfg.vdd_q, true)
-            })
-            .collect();
+        let vals = chgfe_state_currents(&qcfg, params, j, TRIALS, 200 + j as u64);
         let st = SampleStats::from_values(&vals);
         let mut h = Histogram::new(0.0, st.mean * 2.5, 25);
         h.extend(vals.iter().copied());
-        println!("I_ChgFe{j}: mean {:.3e} A, sigma/mean = {:.2}%", st.mean, 100.0 * st.coefficient_of_variation());
+        println!(
+            "I_ChgFe{j}: mean {:.3e} A, sigma/mean = {:.2}%",
+            st.mean,
+            100.0 * st.coefficient_of_variation()
+        );
         println!("{}", ascii_histogram(&format!("I_ChgFe{j}"), &h, "A"));
     }
     println!("Expected shape: CurFe spreads ~1% (resistor-limited); ChgFe spreads tens of");

@@ -28,17 +28,25 @@ fn main() {
             let mut xs = Vec::new();
             let mut ys = Vec::new();
             println!("--- {design} {block}: target = k rows x value ---");
-            println!("{:>6} {:>12} {:>12} {:>10}", "ideal", "mean units", "sigma", "err");
+            println!(
+                "{:>6} {:>12} {:>12} {:>10}",
+                "ideal", "mean units", "sigma", "err"
+            );
             for &k in &sweep_points() {
-                let ideal = if block == "H4B" { k as f64 * f64::from(val_h) } else { k as f64 * f64::from(val_l) };
-                let mut outs = Vec::new();
-                for mc in 0..MC {
+                let ideal = if block == "H4B" {
+                    k as f64 * f64::from(val_h)
+                } else {
+                    k as f64 * f64::from(val_l)
+                };
+                // Each MC repeat already seeds its own sampler, so the
+                // pooled map is bit-identical to the old serial loop.
+                let outs = par_exec::par_map_indexed(MC, |mc| {
                     let mut s = VariationSampler::new(VariationParams::paper(), 7000 + mc as u64);
                     let nibbles: Vec<(SignedNibble, UnsignedNibble)> = (0..32)
                         .map(|_| (SignedNibble::new(val_h), UnsignedNibble::new(val_l)))
                         .collect();
                     let active: Vec<bool> = (0..32).map(|r| r < k).collect();
-                    let units = if is_curfe {
+                    if is_curfe {
                         let bp = CurFeBlockPair::program_nibbles(&ccfg, &nibbles, &mut s);
                         let out = bp.partial_mac(&active);
                         let v = if block == "H4B" { out.v_h4 } else { out.v_l4 };
@@ -48,11 +56,15 @@ fn main() {
                         let out = bp.partial_mac(&active);
                         let v = if block == "H4B" { out.v_h4 } else { out.v_l4 };
                         (v - qcfg.v_pre) / bp.volts_per_unit()
-                    };
-                    outs.push(units);
-                }
+                    }
+                });
                 let st = SampleStats::from_values(&outs);
-                println!("{ideal:>6.0} {:>12.2} {:>12.3} {:>10.2}", st.mean, st.std_dev, st.mean - ideal);
+                println!(
+                    "{ideal:>6.0} {:>12.2} {:>12.3} {:>10.2}",
+                    st.mean,
+                    st.std_dev,
+                    st.mean - ideal
+                );
                 xs.push(ideal);
                 ys.push(st.mean);
             }

@@ -8,7 +8,10 @@ fn main() {
     let a = Activity::average();
     let cur = CurFeEnergyModel::paper();
     let chg = ChgFeEnergyModel::paper();
-    println!("{:>10} {:>16} {:>16}", "xb-IN/yb-W", "CurFe (TOPS/W)", "ChgFe (TOPS/W)");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "xb-IN/yb-W", "CurFe (TOPS/W)", "ChgFe (TOPS/W)"
+    );
     for wb in [WeightBits::W4, WeightBits::W8] {
         for ib in [1u32, 2, 4, 8] {
             println!(
@@ -23,7 +26,10 @@ fn main() {
     println!("\nPer-cycle energy breakdown (whole macro):");
     let cb = cur.cycle_breakdown(a);
     let qb = chg.cycle_breakdown(a);
-    println!("{:>14} {:>12} {:>12}", "component", "CurFe (pJ)", "ChgFe (pJ)");
+    println!(
+        "{:>14} {:>12} {:>12}",
+        "component", "CurFe (pJ)", "ChgFe (pJ)"
+    );
     for (name, c, q) in [
         ("array", cb.array, qb.array),
         ("frontend", cb.frontend, qb.frontend),
@@ -35,10 +41,22 @@ fn main() {
     ] {
         println!("{name:>14} {:>12.3} {:>12.3}", c * 1e12, q * 1e12);
     }
-    println!("\nAnchors: {}", imc_bench::compare_row(
-        "CurFe @(8b,8b)", cur.tops_per_watt(8, WeightBits::W8, a), 12.18));
-    println!("         {}", imc_bench::compare_row(
-        "ChgFe @(8b,8b)", chg.tops_per_watt(8, WeightBits::W8, a), 14.47));
+    println!(
+        "\nAnchors: {}",
+        imc_bench::compare_row(
+            "CurFe @(8b,8b)",
+            cur.tops_per_watt(8, WeightBits::W8, a),
+            12.18
+        )
+    );
+    println!(
+        "         {}",
+        imc_bench::compare_row(
+            "ChgFe @(8b,8b)",
+            chg.tops_per_watt(8, WeightBits::W8, a),
+            14.47
+        )
+    );
     println!("\nExpected shape: efficiency falls ~1/input-bits; 4-bit weights double it;");
     println!("ChgFe above CurFe at every point (TIA bias vs pre-charge energy).");
 }

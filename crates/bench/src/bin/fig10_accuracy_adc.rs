@@ -20,19 +20,36 @@ fn main() {
         (150, 50, 6, 8, 300)
     };
     println!("=== Fig. 10: accuracy vs ADC resolution and precision (VGG8, CIFAR10-like) ===");
-    println!("(training {} images, width {width}, {epochs} epochs{})\n",
-        per_class_train * 10, if quick { ", QUICK mode" } else { "" });
+    println!(
+        "(training {} images, width {width}, {epochs} epochs{})\n",
+        per_class_train * 10,
+        if quick { ", QUICK mode" } else { "" }
+    );
 
     let train_set = cifar10_like(per_class_train, 42);
     let test_set = cifar10_like(per_class_test, 43);
     let mut net = vgg8(10, width, 7);
     let t0 = std::time::Instant::now();
-    let _ = fit(&mut net, &train_set, &test_set, epochs, 32, SgdConfig::default(), 1);
+    let _ = fit(
+        &mut net,
+        &train_set,
+        &test_set,
+        epochs,
+        32,
+        SgdConfig::default(),
+        1,
+    );
     let baseline = evaluate(&mut net, &test_set, 32);
-    println!("fp32 baseline accuracy: {:.1}% (paper baseline: 92%), trained in {:.0?}\n",
-        baseline * 100.0, t0.elapsed());
+    println!(
+        "fp32 baseline accuracy: {:.1}% (paper baseline: 92%), trained in {:.0?}\n",
+        baseline * 100.0,
+        t0.elapsed()
+    );
 
-    println!("{:<8} {:>10} {:>10} {:>14} {:>14}", "design", "adc bits", "in/w bits", "accuracy (%)", "drop (%)");
+    println!(
+        "{:<8} {:>10} {:>10} {:>14} {:>14}",
+        "design", "adc bits", "in/w bits", "accuracy (%)", "drop (%)"
+    );
     for design in [ImcDesign::CurFe, ImcDesign::ChgFe] {
         // (a) ADC resolution sweep at 4b/4b.
         for adc_bits in [3u32, 4, 5, 6, 7] {
@@ -42,8 +59,14 @@ fn main() {
             let (calib, _) = train_set.batch(&(0..32).collect::<Vec<_>>());
             q.calibrate(&calib, 0.25);
             let acc = q.accuracy(&test_set, eval_n);
-            println!("{:<8} {:>10} {:>10} {:>14.1} {:>14.1}",
-                format!("{design:?}"), adc_bits, "4/4", acc * 100.0, (baseline - acc) * 100.0);
+            println!(
+                "{:<8} {:>10} {:>10} {:>14.1} {:>14.1}",
+                format!("{design:?}"),
+                adc_bits,
+                "4/4",
+                acc * 100.0,
+                (baseline - acc) * 100.0
+            );
         }
         // (b) precision sweep at 5-bit ADC.
         for (ib, wb) in [(2u32, 4u32), (4, 4), (4, 8), (8, 8)] {
@@ -52,8 +75,14 @@ fn main() {
             let (calib, _) = train_set.batch(&(0..32).collect::<Vec<_>>());
             q.calibrate(&calib, 0.25);
             let acc = q.accuracy(&test_set, eval_n);
-            println!("{:<8} {:>10} {:>10} {:>14.1} {:>14.1}",
-                format!("{design:?}"), 5, format!("{ib}/{wb}"), acc * 100.0, (baseline - acc) * 100.0);
+            println!(
+                "{:<8} {:>10} {:>10} {:>14.1} {:>14.1}",
+                format!("{design:?}"),
+                5,
+                format!("{ib}/{wb}"),
+                acc * 100.0,
+                (baseline - acc) * 100.0
+            );
         }
     }
     println!("\nExpected shape: accuracy collapses below 5-bit ADC and saturates above it");

@@ -8,7 +8,10 @@ use system_perf::report::{sweep_table, SweepRow};
 
 fn main() {
     println!("=== Fig. 11: system performance, ResNet18 ===\n");
-    for (ds_name, hw, classes) in [("CIFAR10-like", 32usize, 10usize), ("ImageNet-like", 224, 1000)] {
+    for (ds_name, hw, classes) in [
+        ("CIFAR10-like", 32usize, 10usize),
+        ("ImageNet-like", 224, 1000),
+    ] {
         let shapes = resnet18_shapes(hw, classes);
         for design in [Design::CurFe, Design::ChgFe] {
             let mut rows = Vec::new();
@@ -25,10 +28,22 @@ fn main() {
             println!("{}", sweep_table(&rows));
         }
     }
-    let cur = evaluate(&resnet18_shapes(32, 10), &SystemConfig::paper(Design::CurFe, 4, 8));
-    let chg = evaluate(&resnet18_shapes(32, 10), &SystemConfig::paper(Design::ChgFe, 4, 8));
+    let cur = evaluate(
+        &resnet18_shapes(32, 10),
+        &SystemConfig::paper(Design::CurFe, 4, 8),
+    );
+    let chg = evaluate(
+        &resnet18_shapes(32, 10),
+        &SystemConfig::paper(Design::ChgFe, 4, 8),
+    );
     println!("Anchors (CIFAR10-ResNet18 @4b-IN/8b-W):");
-    println!("{}", imc_bench::compare_row("CurFe system TOPS/W", cur.tops_per_watt, 12.41));
-    println!("{}", imc_bench::compare_row("ChgFe system TOPS/W", chg.tops_per_watt, 12.92));
+    println!(
+        "{}",
+        imc_bench::compare_row("CurFe system TOPS/W", cur.tops_per_watt, 12.41)
+    );
+    println!(
+        "{}",
+        imc_bench::compare_row("ChgFe system TOPS/W", chg.tops_per_watt, 12.92)
+    );
     println!("\nExpected: ChgFe higher efficiency, CurFe higher throughput, similar area.");
 }

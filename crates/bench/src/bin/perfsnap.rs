@@ -1,0 +1,163 @@
+//! Machine-readable performance snapshot.
+//!
+//! Times the workspace's three hot kernels — the Fig. 7/8 Monte-Carlo
+//! batches, the im2col matmul, and the MNA transient solver — and writes
+//! `BENCH_pr1.json` so later PRs have a perf trajectory to regress
+//! against. Pass an output path as the first argument to override the
+//! default.
+
+use std::time::Instant;
+
+use analog_sim::montecarlo::{run_trials, run_trials_par};
+use analog_sim::transient::{transient, TransientOptions};
+use analog_sim::SimError;
+use fefet_device::variation::{VariationParams, VariationSampler};
+use imc_core::cell::CurFeCell;
+use imc_core::chgfe::ChgFeBlockPair;
+use imc_core::circuit::curfe_row_circuit;
+use imc_core::config::{ChgFeConfig, CurFeConfig};
+use imc_core::weights::{SignedNibble, UnsignedNibble};
+use neural::tensor::{matmul, matmul_blocked, matmul_parallel, Tensor};
+use serde::Serialize;
+
+/// Serial-vs-pooled wall-clock pair (seconds) for one kernel.
+#[derive(Serialize)]
+struct Pair {
+    serial_s: f64,
+    pooled_s: f64,
+    speedup: f64,
+}
+
+/// The snapshot schema written to `BENCH_pr1.json`.
+#[derive(Serialize)]
+struct Snapshot {
+    /// Worker-pool width actually in effect (`FEFET_IMC_THREADS` or
+    /// `available_parallelism`); speedups scale with this.
+    threads: usize,
+    /// Fig. 7 kernel: 1000 CurFe ON-current MC trials.
+    fig7_mc_1000: Pair,
+    /// Fig. 8 kernel: 60 MC repeats of a 32-row block-pair partial MAC.
+    fig8_mac_mc60: Pair,
+    /// Serial ikj matmul on im2col-shaped 1024x288x64 operands.
+    matmul_serial_gflops: f64,
+    /// Cache-blocked single-thread kernel on the same operands.
+    matmul_blocked_gflops: f64,
+    /// Pooled kernel (thread hint 4) on the same operands.
+    matmul_pooled_gflops: f64,
+    /// Fixed-step transient on the Fig. 3 CurFe row circuit.
+    transient_steps_per_s: f64,
+}
+
+/// Best-of-`reps` wall clock of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn fig7_trial(cfg: &CurFeConfig, seed: u64) -> Result<f64, SimError> {
+    let mut s = VariationSampler::new(VariationParams::paper(), seed);
+    let cell = CurFeCell::program(cfg.fefet, &cfg.slc, true, cfg.drain_resistance(0), &mut s);
+    Ok(cell.current(cfg.v_cm, 0.0, cfg.v_wl, true))
+}
+
+fn fig8_repeat(cfg: &ChgFeConfig, mc: usize) -> f64 {
+    let mut s = VariationSampler::new(VariationParams::paper(), 7000 + mc as u64);
+    let nibbles: Vec<(SignedNibble, UnsignedNibble)> = (0..32)
+        .map(|_| (SignedNibble::new(7), UnsignedNibble::new(0)))
+        .collect();
+    let active: Vec<bool> = (0..32).map(|r| r < 16).collect();
+    let bp = ChgFeBlockPair::program_nibbles(cfg, &nibbles, &mut s);
+    let out = bp.partial_mac(&active);
+    (out.v_h4 - cfg.v_pre) / bp.volts_per_unit()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr1.json".to_owned());
+    let ccfg = CurFeConfig::paper();
+    let qcfg = ChgFeConfig::paper();
+
+    // --- Fig. 7 Monte-Carlo kernel -------------------------------------
+    let serial = time_best(3, || {
+        let r = run_trials(1000, 1, |s| fig7_trial(&ccfg, s));
+        match r.try_mean() {
+            Some(_) => {}
+            None => eprintln!("fig7 batch: every trial failed to converge"),
+        }
+    });
+    let pooled = time_best(3, || {
+        let r = run_trials_par(1000, 1, |s| fig7_trial(&ccfg, s));
+        if r.try_std_dev().is_none() {
+            eprintln!("fig7 pooled batch: every trial failed to converge");
+        }
+    });
+    let fig7 = Pair {
+        serial_s: serial,
+        pooled_s: pooled,
+        speedup: serial / pooled,
+    };
+
+    // --- Fig. 8 MAC-linearity kernel -----------------------------------
+    let serial = time_best(3, || {
+        let outs: Vec<f64> = (0..60).map(|mc| fig8_repeat(&qcfg, mc)).collect();
+        assert_eq!(outs.len(), 60);
+    });
+    let pooled = time_best(3, || {
+        let outs = par_exec::par_map_indexed(60, |mc| fig8_repeat(&qcfg, mc));
+        assert_eq!(outs.len(), 60);
+    });
+    let fig8 = Pair {
+        serial_s: serial,
+        pooled_s: pooled,
+        speedup: serial / pooled,
+    };
+
+    // --- im2col matmul ---------------------------------------------------
+    let a = Tensor::from_vec(
+        &[1024, 288],
+        (0..1024 * 288).map(|i| (i % 101) as f32 * 0.01).collect(),
+    );
+    let b = Tensor::from_vec(
+        &[288, 64],
+        (0..288 * 64).map(|i| (i % 83) as f32 * 0.02).collect(),
+    );
+    let flops = 2.0 * 1024.0 * 288.0 * 64.0;
+    let gflops = |t: f64| flops / t / 1.0e9;
+    let t_serial = time_best(5, || {
+        std::hint::black_box(matmul(&a, &b));
+    });
+    let t_blocked = time_best(5, || {
+        std::hint::black_box(matmul_blocked(&a, &b));
+    });
+    let t_pooled = time_best(5, || {
+        std::hint::black_box(matmul_parallel(&a, &b, 4));
+    });
+
+    // --- transient solver ------------------------------------------------
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let circ = curfe_row_circuit(&ccfg, -1, &mut s);
+    let steps = 400usize;
+    let t_tr = time_best(3, || {
+        transient(&circ.netlist, &TransientOptions::new(circ.t_stop, steps)).expect("converges");
+    });
+
+    let snap = Snapshot {
+        threads: par_exec::threads(),
+        fig7_mc_1000: fig7,
+        fig8_mac_mc60: fig8,
+        matmul_serial_gflops: gflops(t_serial),
+        matmul_blocked_gflops: gflops(t_blocked),
+        matmul_pooled_gflops: gflops(t_pooled),
+        transient_steps_per_s: steps as f64 / t_tr,
+    };
+    let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
+    println!("{json}");
+    println!("\nwrote {out_path} (pool width {})", snap.threads);
+}

@@ -56,19 +56,60 @@ fn main() {
     let anchors = vec![
         anchor("fig3", "I_H4 (nA)", -100.0, i_h4 * 1e9),
         anchor("fig3", "I_L4 (uA)", 1.5, i_l4 * 1e6),
-        anchor("fig9/table1", "CurFe circuit TOPS/W @(8b,8b)", 12.18,
-            cur.tops_per_watt(8, WeightBits::W8, a)),
-        anchor("fig9/table1", "ChgFe circuit TOPS/W @(8b,8b)", 14.47,
-            chg.tops_per_watt(8, WeightBits::W8, a)),
-        anchor("fig11/table1", "CurFe system TOPS/W @(4b,8b)", 12.41, sys_cur.tops_per_watt),
-        anchor("fig11/table1", "ChgFe system TOPS/W @(4b,8b)", 12.92, sys_chg.tops_per_watt),
-        anchor("table1", "vs SRAM [10] (tabulated)", 1.56, ratios.vs_sram_circuit),
-        anchor("table1", "vs ReRAM [16] (tabulated)", 2.22, ratios.vs_reram_circuit),
-        anchor("table1", "vs Yue [9] system (tabulated)", 1.37, ratios.vs_yue_system),
-        anchor("ablate_shift_add", "digital baseline TOPS/W @(8b,8b)", 2.7,
-            DigitalShiftAddModel::paper().tops_per_watt(8, WeightBits::W8, a)),
-        anchor("ablate_shift_add", "analog baseline TOPS/W @(8b,8b)", 10.4,
-            AnalogShiftAddModel::paper().tops_per_watt(8, WeightBits::W8, a)),
+        anchor(
+            "fig9/table1",
+            "CurFe circuit TOPS/W @(8b,8b)",
+            12.18,
+            cur.tops_per_watt(8, WeightBits::W8, a),
+        ),
+        anchor(
+            "fig9/table1",
+            "ChgFe circuit TOPS/W @(8b,8b)",
+            14.47,
+            chg.tops_per_watt(8, WeightBits::W8, a),
+        ),
+        anchor(
+            "fig11/table1",
+            "CurFe system TOPS/W @(4b,8b)",
+            12.41,
+            sys_cur.tops_per_watt,
+        ),
+        anchor(
+            "fig11/table1",
+            "ChgFe system TOPS/W @(4b,8b)",
+            12.92,
+            sys_chg.tops_per_watt,
+        ),
+        anchor(
+            "table1",
+            "vs SRAM [10] (tabulated)",
+            1.56,
+            ratios.vs_sram_circuit,
+        ),
+        anchor(
+            "table1",
+            "vs ReRAM [16] (tabulated)",
+            2.22,
+            ratios.vs_reram_circuit,
+        ),
+        anchor(
+            "table1",
+            "vs Yue [9] system (tabulated)",
+            1.37,
+            ratios.vs_yue_system,
+        ),
+        anchor(
+            "ablate_shift_add",
+            "digital baseline TOPS/W @(8b,8b)",
+            2.7,
+            DigitalShiftAddModel::paper().tops_per_watt(8, WeightBits::W8, a),
+        ),
+        anchor(
+            "ablate_shift_add",
+            "analog baseline TOPS/W @(8b,8b)",
+            10.4,
+            AnalogShiftAddModel::paper().tops_per_watt(8, WeightBits::W8, a),
+        ),
     ];
 
     let json = serde_json::to_string_pretty(&anchors).expect("serializes");

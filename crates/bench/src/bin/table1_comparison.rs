@@ -32,20 +32,45 @@ fn main() {
     let a = Activity::average();
     let cur = CurFeEnergyModel::paper().tops_per_watt(8, WeightBits::W8, a);
     let chg = ChgFeEnergyModel::paper().tops_per_watt(8, WeightBits::W8, a);
-    println!("{}", imc_bench::compare_row("CurFe circuit @(8b,8b)", cur, 12.18));
-    println!("{}", imc_bench::compare_row("ChgFe circuit @(8b,8b)", chg, 14.47));
+    println!(
+        "{}",
+        imc_bench::compare_row("CurFe circuit @(8b,8b)", cur, 12.18)
+    );
+    println!(
+        "{}",
+        imc_bench::compare_row("ChgFe circuit @(8b,8b)", chg, 14.47)
+    );
     let shapes = resnet18_shapes(32, 10);
     let sys_cur = evaluate(&shapes, &SystemConfig::paper(Design::CurFe, 4, 8)).tops_per_watt;
     let sys_chg = evaluate(&shapes, &SystemConfig::paper(Design::ChgFe, 4, 8)).tops_per_watt;
-    println!("{}", imc_bench::compare_row("CurFe system @(4b,8b)", sys_cur, 12.41));
-    println!("{}", imc_bench::compare_row("ChgFe system @(4b,8b)", sys_chg, 12.92));
+    println!(
+        "{}",
+        imc_bench::compare_row("CurFe system @(4b,8b)", sys_cur, 12.41)
+    );
+    println!(
+        "{}",
+        imc_bench::compare_row("ChgFe system @(4b,8b)", sys_chg, 12.92)
+    );
 
     let r = headline_ratios();
     println!("\n--- headline ratios (from tabulated data) ---");
-    println!("vs best SRAM [10] (circuit):  {:.2}x (paper: 1.56x)", r.vs_sram_circuit);
-    println!("vs best ReRAM [16] (circuit): {:.2}x (paper: 2.22x)", r.vs_reram_circuit);
-    println!("vs Yue [9] (system):          {:.2}x (paper: 1.37x)", r.vs_yue_system);
+    println!(
+        "vs best SRAM [10] (circuit):  {:.2}x (paper: 1.56x)",
+        r.vs_sram_circuit
+    );
+    println!(
+        "vs best ReRAM [16] (circuit): {:.2}x (paper: 2.22x)",
+        r.vs_reram_circuit
+    );
+    println!(
+        "vs Yue [9] (system):          {:.2}x (paper: 1.37x)",
+        r.vs_yue_system
+    );
     println!("\n--- headline ratios (from OUR models) ---");
-    println!("ChgFe/[10]: {:.2}x   ChgFe/[16]: {:.2}x   sys ChgFe/[9]: {:.2}x",
-        chg / 9.26, chg / 6.53, sys_chg / 9.40);
+    println!(
+        "ChgFe/[10]: {:.2}x   ChgFe/[16]: {:.2}x   sys ChgFe/[9]: {:.2}x",
+        chg / 9.26,
+        chg / 6.53,
+        sys_chg / 9.40
+    );
 }

@@ -8,7 +8,10 @@ use analog_sim::netlist::{Netlist, GROUND};
 fn main() {
     println!("=== Readout bandwidth: CurFe TIA vs bitline capacitance ===\n");
     println!("(single-pole op-amp: gain 1e4, GBW 5 GHz; feedback 8.333 kOhm)\n");
-    println!("{:>14} {:>16} {:>18}", "C_BL (fF)", "f_3dB (MHz)", "settles in 5 ns?");
+    println!(
+        "{:>14} {:>16} {:>18}",
+        "C_BL (fF)", "f_3dB (MHz)", "settles in 5 ns?"
+    );
     for c_ff in [20.0, 50.0, 100.0, 200.0, 500.0, 1000.0] {
         let mut n = Netlist::new();
         let vin = n.node();
@@ -26,7 +29,11 @@ fn main() {
         let bw = bandwidth_3db(&pts, out).unwrap_or(f64::INFINITY);
         // 5 tau settling within 5 ns requires f_3dB > 5/(2*pi*5ns) = 159 MHz.
         let ok = bw > 1.59e8;
-        println!("{c_ff:>14} {:>16.1} {:>18}", bw / 1e6, if ok { "yes" } else { "NO" });
+        println!(
+            "{c_ff:>14} {:>16.1} {:>18}",
+            bw / 1e6,
+            if ok { "yes" } else { "NO" }
+        );
     }
     println!("\nAt the paper's ~100 fF-scale bitline loading the TIA settles with margin;");
     println!("past ~1 pF the 5 ns cycle would need a faster op-amp — the kind of");

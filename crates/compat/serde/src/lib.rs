@@ -1,0 +1,489 @@
+//! Offline drop-in for the subset of `serde` this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! a tiny self-describing replacement: [`Serialize`] lowers a value into
+//! a [`Value`] tree and [`Deserialize`] rebuilds it. The derive macros
+//! (re-exported from the sibling `serde_derive` stub) generate those two
+//! impls for plain structs and fieldless/tuple enums — exactly the shapes
+//! appearing in this repository. `serde_json` (also vendored) renders and
+//! parses the tree.
+//!
+//! This is **not** wire-compatible with upstream serde's trait system,
+//! but the derive + `serde_json::{to_string, to_string_pretty, from_str}`
+//! surface used by the workspace behaves identically (externally-tagged
+//! enums, field-name objects, transparent newtypes).
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A self-describing value tree (the JSON data model plus integer
+/// fidelity).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats and `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of field name → value.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error produced when a [`Value`] cannot be interpreted as the requested
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with a message.
+    #[must_use]
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Self::Null => "null",
+            Self::Bool(_) => "bool",
+            Self::Int(_) | Self::UInt(_) => "integer",
+            Self::Float(_) => "float",
+            Self::Str(_) => "string",
+            Self::Array(_) => "array",
+            Self::Object(_) => "object",
+        }
+    }
+
+    /// Looks up a field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an object or lacks the field.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Self::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The elements of an array.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an array.
+    pub fn items(&self) -> Result<&[Value], Error> {
+        match self {
+            Self::Array(items) => Ok(items),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// Element `i` of an array.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an array or is too short.
+    pub fn item(&self, i: usize) -> Result<&Value, Error> {
+        self.items()?
+            .get(i)
+            .ok_or_else(|| Error::msg(format!("array too short: no element {i}")))
+    }
+
+    /// The string content.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Self::Str(s) => Ok(s),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// The value as a signed integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-numeric or out-of-range values.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Self::Int(v) => Ok(*v),
+            Self::UInt(v) => {
+                i64::try_from(*v).map_err(|_| Error::msg(format!("integer {v} out of i64 range")))
+            }
+            Self::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Ok(*f as i64),
+            other => Err(Error::msg(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-numeric or negative values.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Self::Int(v) => {
+                u64::try_from(*v).map_err(|_| Error::msg(format!("integer {v} is negative")))
+            }
+            Self::UInt(v) => Ok(*v),
+            Self::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f < 1.9e19 => Ok(*f as u64),
+            other => Err(Error::msg(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a float (`null` maps to NaN, mirroring serde_json's
+    /// treatment of non-finite floats).
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-numeric values.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Self::Int(v) => Ok(*v as f64),
+            Self::UInt(v) => Ok(*v as f64),
+            Self::Float(f) => Ok(*f),
+            Self::Null => Ok(f64::NAN),
+            other => Err(Error::msg(format!("expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// The boolean content.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Self::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+/// Lowers a value into the [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `v` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the tree does not match the expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = v.as_u64()?;
+        usize::try_from(raw).map_err(|_| Error::msg(format!("{raw} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = v.as_i64()?;
+        isize::try_from(raw).map_err(|_| Error::msg(format!("{raw} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(f64::from(*self))
+        } else {
+            Value::Null
+        }
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_str()?.to_owned())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string. Upstream serde deserializes `&'de str`
+    /// zero-copy; this stub's value tree is transient, so `&'static str`
+    /// fields (citation tables) are backed by a one-off leak instead.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::leak(v.as_str()?.to_owned().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str()?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.items()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.items()?;
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($name::from_value(v.item($idx)?)?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<K: ToString + std::str::FromStr + std::hash::Hash + Eq, V: Serialize> Serialize
+    for HashMap<K, V>
+{
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: ToString + std::str::FromStr + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_round_trips() {
+        assert_eq!(i8::from_value(&42i8.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1i32, "x".to_owned());
+        assert_eq!(<(i32, String)>::from_value(&t.to_value()).unwrap(), t);
+        let o: Option<f32> = None;
+        assert_eq!(Option::<f32>::from_value(&o.to_value()).unwrap(), None);
+        let a = [1.0f64, 2.0];
+        assert_eq!(<[f64; 2]>::from_value(&a.to_value()).unwrap(), a);
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert!(v.field("a").is_ok());
+        assert!(v.field("b").unwrap_err().0.contains("missing field"));
+    }
+}

@@ -1,0 +1,333 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stub.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote` — the build
+//! container has no registry access). The parser understands exactly the
+//! shapes this workspace derives on:
+//!
+//! * named-field structs (`struct Foo { a: T, b: U }`)
+//! * tuple / newtype structs (`struct Nib(i8)`)
+//! * unit structs
+//! * enums with unit and tuple variants (externally tagged, like serde)
+//!
+//! Generics and struct-variant enums are rejected with a compile error
+//! rather than silently miscompiled.
+
+#![deny(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    /// Variant name and tuple arity (0 = unit variant).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error literal parses")
+}
+
+/// Consumes a leading run of `#[...]` attributes.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        tokens.next(); // the [...] group
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility qualifier.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Splits a field-list body on top-level commas, tracking `<`/`>` depth so
+/// commas inside generic arguments (e.g. `Vec<(String, f32)>`) don't
+/// split. Groups are atomic token trees, so parens/brackets need no
+/// tracking.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut angle = 0i32;
+    let mut in_field = false;
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                in_field = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_field {
+            in_field = true;
+            fields += 1;
+        }
+    }
+    fields
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => names.push(name.to_string()),
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in struct body")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        };
+        let mut arity = 0usize;
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_tuple_fields(g.stream());
+                tokens.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "struct variant `{name}` is not supported by the serde stub"
+                ));
+            }
+            _ => {}
+        }
+        variants.push((name, arity));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(other) => return Err(format!("expected `,` between variants, got `{other}`")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the serde stub"
+        ));
+    }
+    let shape = match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_enum_variants(g.stream())?)
+        }
+        (k, t) => return Err(format!("unsupported item shape: `{k}` followed by {t:?}")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    ),
+                    1 => format!(
+                        "Self::{v}(f0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(f0))])"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "Self::{v}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                             ::serde::Value::Array(::std::vec![{}]))])",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn to_value(&self) -> ::serde::Value {{ {body} }}\
+         }}",
+        name = p.name
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_owned()
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(v.item({i})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok(Self({}))", inits.join(", "))
+        }
+        Shape::Unit => "::std::result::Result::Ok(Self)".to_owned(),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok(Self::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| {
+                    let inits: Vec<String> = if *arity == 1 {
+                        vec!["::serde::Deserialize::from_value(inner)?".to_owned()]
+                    } else {
+                        (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(inner.item({i})?)?"))
+                            .collect()
+                    };
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok(Self::{v}({})),",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\
+                   ::serde::Value::Str(s) => match s.as_str() {{\
+                     {unit_arms}\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                       ::std::format!(\"unknown variant `{{other}}`\"))),\
+                   }},\
+                   ::serde::Value::Object(fields) if fields.len() == 1 => {{\
+                     let (tag, inner) = &fields[0];\
+                     match tag.as_str() {{\
+                       {tagged_arms}\
+                       other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"unknown variant `{{other}}`\"))),\
+                     }}\
+                   }}\
+                   other => ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"unexpected enum representation: {{:?}}\", other))),\
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                tagged_arms = tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+           fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+         }}",
+        name = p.name
+    )
+}
+
+/// Derives the stub `serde::Serialize` (value-tree lowering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(p) => gen_serialize(&p)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the stub `serde::Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(p) => gen_deserialize(&p)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -53,7 +53,10 @@ impl SarAdc {
         volts_per_unit: f64,
         unit_range: (f64, f64),
     ) -> Self {
-        assert!((1..=12).contains(&bits), "ADC resolution must be 1..=12 bits");
+        assert!(
+            (1..=12).contains(&bits),
+            "ADC resolution must be 1..=12 bits"
+        );
         assert!(volts_per_unit != 0.0 && volts_per_unit.is_finite());
         assert!(unit_range.1 > unit_range.0, "unit range must be non-empty");
         Self {
@@ -155,7 +158,13 @@ pub fn h4b_adc(bits: u32, rows: usize, v_zero: f64, volts_per_unit: f64) -> SarA
 #[must_use]
 pub fn l4b_adc(bits: u32, rows: usize, v_zero: f64, volts_per_unit: f64) -> SarAdc {
     let r = rows as f64;
-    SarAdc::new(bits, AdcMode::Unsigned, v_zero, volts_per_unit, (0.0, 15.0 * r))
+    SarAdc::new(
+        bits,
+        AdcMode::Unsigned,
+        v_zero,
+        volts_per_unit,
+        (0.0, 15.0 * r),
+    )
 }
 
 #[cfg(test)]
@@ -239,7 +248,6 @@ mod tests {
         let v_low = 1.5 - 300.0 * 1.0e-3 * 1.0; // 300 units discharged
         assert!(adc.convert(v_low) > adc.convert(1.5));
     }
-
 
     #[test]
     fn offset_shifts_every_threshold_together() {

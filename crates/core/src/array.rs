@@ -189,7 +189,10 @@ impl<D: BankDesign> ImcMacro<D> {
     /// Panics if `adc_bits` is outside `1..=12`.
     #[must_use]
     pub fn new(design: D, adc_bits: u32, seed: u64) -> Self {
-        assert!((1..=12).contains(&adc_bits), "ADC resolution must be 1..=12");
+        assert!(
+            (1..=12).contains(&adc_bits),
+            "ADC resolution must be 1..=12"
+        );
         let g = design.geometry();
         let variation = VariationSampler::new(
             // The design configs carry the variation corner; reach it via
@@ -475,7 +478,10 @@ mod tests {
         m.program_bank_nibbles(0, 0, &nibbles);
         let stored = m.stored_weights(0, 0).expect("programmed");
         for (s, (h, l)) in stored.iter().zip(&nibbles) {
-            assert_eq!(i16::from(*s), i16::from(h.value()) * 16 + i16::from(l.value()));
+            assert_eq!(
+                i16::from(*s),
+                i16::from(h.value()) * 16 + i16::from(l.value())
+            );
         }
     }
 }

@@ -228,13 +228,8 @@ mod tests {
         let cfg = CurFeConfig::paper();
         let mut s = quiet();
         for j in 0..4 {
-            let cell = CurFeCell::program(
-                cfg.fefet,
-                &cfg.slc,
-                true,
-                cfg.drain_resistance(j),
-                &mut s,
-            );
+            let cell =
+                CurFeCell::program(cfg.fefet, &cfg.slc, true, cfg.drain_resistance(j), &mut s);
             let i = cell.current(cfg.v_cm, 0.0, cfg.v_wl, true);
             let expect = cfg.unit_current() * f64::from(1u32 << j);
             assert!(
@@ -315,13 +310,8 @@ mod tests {
     fn chgfe_sign_cell_charges_and_matches_msb_magnitude() {
         let cfg = ChgFeConfig::paper();
         let mut s = quiet();
-        let sign = ChgFeCell::program_sign(
-            cfg.pfefet,
-            cfg.pfet_vth_on,
-            cfg.pfet_vth_off,
-            true,
-            &mut s,
-        );
+        let sign =
+            ChgFeCell::program_sign(cfg.pfefet, cfg.pfet_vth_on, cfg.pfet_vth_off, true, &mut s);
         let i_sign = sign.bitline_current(cfg.v_pre, cfg.v_wls_low, cfg.vdd_q, true);
         assert!(i_sign < 0.0, "sign cell must charge the bitline");
         let msb = ChgFeCell::program_data(cfg.nfefet, &cfg.ladder, 3, true, &mut s);
@@ -344,13 +334,21 @@ mod tests {
         let mut cur = Vec::new();
         let mut chg = Vec::new();
         for _ in 0..300 {
-            let c = CurFeCell::program(ccfg.fefet, &ccfg.slc, true, ccfg.drain_resistance(3), &mut s1);
+            let c = CurFeCell::program(
+                ccfg.fefet,
+                &ccfg.slc,
+                true,
+                ccfg.drain_resistance(3),
+                &mut s1,
+            );
             cur.push(c.current(ccfg.v_cm, 0.0, ccfg.v_wl, true));
             let q = ChgFeCell::program_data(qcfg.nfefet, &qcfg.ladder, 3, true, &mut s2);
             chg.push(q.bitline_current(qcfg.v_pre, qcfg.v_wl, qcfg.vdd_q, true));
         }
-        let cv_cur = fefet_device::variation::SampleStats::from_values(&cur).coefficient_of_variation();
-        let cv_chg = fefet_device::variation::SampleStats::from_values(&chg).coefficient_of_variation();
+        let cv_cur =
+            fefet_device::variation::SampleStats::from_values(&cur).coefficient_of_variation();
+        let cv_chg =
+            fefet_device::variation::SampleStats::from_values(&chg).coefficient_of_variation();
         assert!(
             cv_chg > 3.0 * cv_cur,
             "CV ChgFe {cv_chg:.4} should dwarf CV CurFe {cv_cur:.4}"

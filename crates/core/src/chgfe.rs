@@ -93,7 +93,13 @@ impl ChgFeBlockPair {
                 let mut row: Vec<ChgFeCell> = Vec::with_capacity(8);
                 for col in 0..8 {
                     let cell = if col < 4 {
-                        ChgFeCell::program_data(config.nfefet, &config.ladder, col, lo[col], sampler)
+                        ChgFeCell::program_data(
+                            config.nfefet,
+                            &config.ladder,
+                            col,
+                            lo[col],
+                            sampler,
+                        )
                     } else if col < 7 {
                         ChgFeCell::program_data(
                             config.nfefet,
@@ -331,7 +337,10 @@ mod tests {
         // The residual comes from channel-length modulation during the
         // discharge: about 0.5 % of full scale, matching the small
         // curvature visible in the paper Fig. 8(c)/(d).
-        assert!(worst < 3.0, "worst deviation {worst:.3} units (errs {errs:?})");
+        assert!(
+            worst < 3.0,
+            "worst deviation {worst:.3} units (errs {errs:?})"
+        );
     }
 
     #[test]
@@ -391,7 +400,11 @@ mod tests {
             stats.mean
         );
         // Noisier than CurFe but within a few ADC LSBs (15 units at 5 b).
-        assert!(stats.std_dev > 0.5 && stats.std_dev < 20.0, "σ = {:.2}", stats.std_dev);
+        assert!(
+            stats.std_dev > 0.5 && stats.std_dev < 20.0,
+            "σ = {:.2}",
+            stats.std_dev
+        );
     }
 
     #[test]

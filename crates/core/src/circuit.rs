@@ -235,7 +235,11 @@ pub fn chgfe_row_circuit(
             n.fefet(bl, wl, GROUND, dev);
         } else {
             let mut dev = FeFet::new(cfg.pfefet, Polarity::P);
-            let vth = if hi[3] { cfg.pfet_vth_on } else { cfg.pfet_vth_off };
+            let vth = if hi[3] {
+                cfg.pfet_vth_on
+            } else {
+                cfg.pfet_vth_off
+            };
             dev.set_vth(vth + sampler.vth_offset());
             n.fefet(bl, wls, vddq, dev);
         }
@@ -266,7 +270,6 @@ pub fn chgfe_row_circuit(
         t_stop,
     }
 }
-
 
 /// Like [`chgfe_row_circuit`], but with *real pMOS pre-charge transistors*
 /// instead of ideal switches: each bitline is charged through a
@@ -344,7 +347,10 @@ pub fn chgfe_row_circuit_with_pct(
             bl,
             pct_clk,
             vpre,
-            Mosfet::new(MosfetParams::precharge_40nm(), fefet_device::mosfet::Polarity::P),
+            Mosfet::new(
+                MosfetParams::precharge_40nm(),
+                fefet_device::mosfet::Polarity::P,
+            ),
         );
         if col < 7 {
             let (bit, j) = if col < 4 {
@@ -357,7 +363,11 @@ pub fn chgfe_row_circuit_with_pct(
             n.fefet(bl, wl, GROUND, dev);
         } else {
             let mut dev = FeFet::new(cfg.pfefet, Polarity::P);
-            let vth = if hi[3] { cfg.pfet_vth_on } else { cfg.pfet_vth_off };
+            let vth = if hi[3] {
+                cfg.pfet_vth_on
+            } else {
+                cfg.pfet_vth_off
+            };
             dev.set_vth(vth + sampler.vth_offset());
             n.fefet(bl, wls, vddq, dev);
         }
@@ -422,7 +432,10 @@ mod tests {
         let c = curfe_row_circuit(&cfg, 0x7F, &mut quiet());
         let w = transient(&c.netlist, &TransientOptions::new(c.t_stop, 400)).expect("ok");
         let v_inv = w.voltage(c.inv_l4, 2.5e-9).expect("in range");
-        assert!((v_inv - cfg.v_cm).abs() < 5.0e-3, "virtual ground at {v_inv}");
+        assert!(
+            (v_inv - cfg.v_cm).abs() < 5.0e-3,
+            "virtual ground at {v_inv}"
+        );
     }
 
     #[test]
@@ -438,7 +451,10 @@ mod tests {
         let v_pre_end = w
             .voltage(c.bl[0], c.t_precharge_end * 0.98)
             .expect("in range");
-        assert!((v_pre_end - cfg.v_pre).abs() < 0.02, "precharged to {v_pre_end}");
+        assert!(
+            (v_pre_end - cfg.v_pre).abs() < 0.02,
+            "precharged to {v_pre_end}"
+        );
         // After the input window, BL3 dropped ~8× the BL0 drop.
         let t_after = c.t_input_end + 0.02e-9;
         let d0 = cfg.v_pre - w.voltage(c.bl[0], t_after).expect("in range");
@@ -468,7 +484,6 @@ mod tests {
             "V_H4 = {v_h4:.4} vs {expect_h4:.4}"
         );
     }
-
 
     #[test]
     fn pct_variant_precharges_within_budget() {
@@ -501,8 +516,7 @@ mod tests {
     fn chgfe_weight_zero_keeps_bitlines_quiet() {
         let cfg = ChgFeConfig::paper();
         let c = chgfe_row_circuit(&cfg, 0, &mut quiet());
-        let w = transient(&c.netlist, &TransientOptions::new(c.t_stop, 500).with_ic())
-            .expect("ok");
+        let w = transient(&c.netlist, &TransientOptions::new(c.t_stop, 500).with_ic()).expect("ok");
         for i in 0..8 {
             let v = w.final_voltage(c.bl[i]);
             assert!(

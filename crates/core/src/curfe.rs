@@ -241,7 +241,11 @@ impl CurFeBlockPair {
                 rows += 1;
             }
             for cell in row {
-                total += if *on { cell.i_active.abs() } else { cell.i_inactive.abs() };
+                total += if *on {
+                    cell.i_active.abs()
+                } else {
+                    cell.i_inactive.abs()
+                };
             }
         }
         CycleActivity {

@@ -296,8 +296,7 @@ impl ChgFeEnergyModel {
                 * self.config.vdd_q;
         // PCT clocking (every bitline, every cycle) + TG charge-share
         // control.
-        let frontend =
-            banks * 8.0 * self.pct_gate_cap * self.pct_swing * self.pct_swing;
+        let frontend = banks * 8.0 * self.pct_gate_cap * self.pct_swing * self.pct_swing;
         let adc = banks * 2.0 * self.periphery.adc_energy(self.adc_bits);
         let wordline = banks
             * rows
@@ -350,7 +349,6 @@ impl Default for ChgFeEnergyModel {
         Self::paper()
     }
 }
-
 
 /// Dynamic input-sparsity optimization, after the performance-scaling
 /// scheme of Yue et al. (ISSCC'20) — the Table 1 footnote "with sparse
@@ -457,7 +455,6 @@ impl ChgFeEnergyModel {
     }
 }
 
-
 /// Programming (weight-update) cost of a block pair, estimated through
 /// the ISPP write-verify model of [`fefet_device::programming`].
 ///
@@ -489,12 +486,7 @@ pub fn curfe_write_cost(weights: &[i8]) -> WriteCost {
     let mut out = WriteCost::default();
     for &w in weights {
         let sw = crate::weights::SplitWeight::split(w);
-        let bits: Vec<bool> = sw
-            .low
-            .bits()
-            .into_iter()
-            .chain(sw.high.bits())
-            .collect();
+        let bits: Vec<bool> = sw.low.bits().into_iter().chain(sw.high.bits()).collect();
         for bit in bits {
             let mut d = FeFet::new(params, Polarity::N);
             let rep = program_slc(&mut d, bit, &states, &cfg);
@@ -536,7 +528,11 @@ pub fn chgfe_write_cost(weights: &[i8]) -> WriteCost {
         }
         // Sign cell: pFeFET, mirrored write polarity handled by the device.
         let mut d = FeFet::new(qcfg.pfefet, Polarity::P);
-        let target = if hi[3] { qcfg.pfet_vth_on } else { qcfg.pfet_vth_off };
+        let target = if hi[3] {
+            qcfg.pfet_vth_on
+        } else {
+            qcfg.pfet_vth_off
+        };
         let rep = program_vth(&mut d, target, &cfg);
         out.pulses += rep.pulses as u64;
         out.energy += rep.energy;
@@ -617,9 +613,7 @@ mod tests {
         // Section 4.2: ChgFe throughput < CurFe (longer MAC cycle).
         let cur = CurFeEnergyModel::paper();
         let chg = ChgFeEnergyModel::paper();
-        assert!(
-            cur.throughput_ops(8, WeightBits::W8) > chg.throughput_ops(8, WeightBits::W8)
-        );
+        assert!(cur.throughput_ops(8, WeightBits::W8) > chg.throughput_ops(8, WeightBits::W8));
     }
 
     #[test]
@@ -627,7 +621,11 @@ mod tests {
         let mut m = CurFeEnergyModel::paper();
         m.adc_bits = 10;
         let b = m.cycle_breakdown(Activity::average());
-        assert!(b.adc > b.total() * 0.5, "10-bit ADC share {}", b.adc / b.total());
+        assert!(
+            b.adc > b.total() * 0.5,
+            "10-bit ADC share {}",
+            b.adc / b.total()
+        );
     }
 
     #[test]
@@ -636,7 +634,6 @@ mod tests {
         let sum = b.array + b.frontend + b.adc + b.wordline + b.accumulator + b.other;
         assert!((b.total() - sum).abs() < 1e-18);
     }
-
 
     #[test]
     fn write_cost_scales_with_weight_count() {
@@ -664,7 +661,11 @@ mod tests {
         let cycle = CurFeEnergyModel::paper()
             .cycle_breakdown(Activity::average())
             .total();
-        assert!(cost.energy > 2.0 * cycle, "write {:.3e} vs cycle {cycle:.3e}", cost.energy);
+        assert!(
+            cost.energy > 2.0 * cycle,
+            "write {:.3e} vs cycle {cycle:.3e}",
+            cost.energy
+        );
     }
 
     #[test]
@@ -672,7 +673,10 @@ mod tests {
         let m = CurFeEnergyModel::paper();
         let dense = m.sparse_tops_per_watt(4, WeightBits::W8, 0.5, SparsityModel::dense());
         let base = m.tops_per_watt(4, WeightBits::W8, Activity::average());
-        assert!((dense - base).abs() / base < 1e-6, "dense sparse-model = baseline");
+        assert!(
+            (dense - base).abs() / base < 1e-6,
+            "dense sparse-model = baseline"
+        );
         let mut last = dense;
         for s in [0.3, 0.6, 0.9] {
             let e = m.sparse_tops_per_watt(

@@ -42,13 +42,19 @@ impl<D: BankDesign> MacroGrid<D> {
     ///
     /// Panics if the matrix is empty or `weights.len() != rows * cols`.
     #[must_use]
-    pub fn program(design: D, adc_bits: u32, weights: &[i8], rows: usize, cols: usize, seed: u64) -> Self {
+    pub fn program(
+        design: D,
+        adc_bits: u32,
+        weights: &[i8],
+        rows: usize,
+        cols: usize,
+        seed: u64,
+    ) -> Self {
         assert!(rows > 0 && cols > 0, "weight matrix must be non-empty");
         assert_eq!(weights.len(), rows * cols, "weights must fill the matrix");
         let block_rows = design.geometry().rows;
         let row_chunks = rows.div_ceil(block_rows);
-        let mut sampler =
-            VariationSampler::new(crate::array::design_variation(&design), seed);
+        let mut sampler = VariationSampler::new(crate::array::design_variation(&design), seed);
         let mut blocks = Vec::with_capacity(row_chunks);
         for chunk in 0..row_chunks {
             let mut row_of_blocks = Vec::with_capacity(cols);

@@ -55,5 +55,6 @@ pub mod curfe;
 pub mod energy;
 pub mod faults;
 pub mod grid;
+pub mod mc;
 pub mod reference;
 pub mod weights;

@@ -1,0 +1,112 @@
+//! Monte-Carlo batch sampling over the behavioural cell banks.
+//!
+//! The MC callers (the Fig. 7 histogram bench, variation ablations) need
+//! thousands of independently perturbed cell programmings per state. This
+//! module is the bank-level batch API: per-trial sampler seeds are
+//! pre-derived **serially** from the batch seed (the same construction as
+//! `analog_sim::montecarlo::run_trials`), the trials run concurrently on
+//! the shared `par_exec` pool, and the measurements come back in trial
+//! order — so a batch is deterministic under its seed at any thread
+//! count.
+
+use fefet_device::variation::{VariationParams, VariationSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cell::{ChgFeCell, CurFeCell};
+use crate::config::{ChgFeConfig, CurFeConfig};
+
+/// Runs `trials` independent perturbation trials on the worker pool.
+///
+/// Each trial gets a fresh [`VariationSampler`] seeded from a serially
+/// pre-derived per-trial seed, so the batch is reproducible regardless of
+/// how the trials are scheduled. Results are returned in trial order.
+pub fn sample_batch<F>(params: VariationParams, trials: usize, seed: u64, trial_fn: F) -> Vec<f64>
+where
+    F: Fn(&mut VariationSampler) -> f64 + Sync,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seeds: Vec<u64> = (0..trials).map(|_| rng.gen::<u64>()).collect();
+    par_exec::par_map(&seeds, |&trial_seed| {
+        let mut sampler = VariationSampler::new(params, trial_seed);
+        trial_fn(&mut sampler)
+    })
+}
+
+/// Monte-Carlo batch of CurFe ON-state read currents at drain-resistor
+/// significance `j` (Fig. 7(a)).
+///
+/// Each trial programs a fresh `1nFeFET1R` cell with bit = 1 under the
+/// given variability and measures the BL→SL current at the paper's read
+/// condition.
+#[must_use]
+pub fn curfe_on_currents(
+    cfg: &CurFeConfig,
+    params: VariationParams,
+    j: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    sample_batch(params, trials, seed, |s| {
+        let cell = CurFeCell::program(cfg.fefet, &cfg.slc, true, cfg.drain_resistance(j), s);
+        cell.current(cfg.v_cm, 0.0, cfg.v_wl, true)
+    })
+}
+
+/// Monte-Carlo batch of ChgFe data-cell read currents at intra-nibble
+/// significance `level` (Fig. 7(b)).
+///
+/// Each trial programs a fresh MLC data cell storing a 1 at `level` and
+/// measures its bitline current at the precharged read condition.
+#[must_use]
+pub fn chgfe_state_currents(
+    cfg: &ChgFeConfig,
+    params: VariationParams,
+    level: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    sample_batch(params, trials, seed, |s| {
+        let cell = ChgFeCell::program_data(cfg.nfefet, &cfg.ladder, level, true, s);
+        cell.bitline_current(cfg.v_pre, cfg.v_wl, cfg.vdd_q, true)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic_under_seed() {
+        let cfg = CurFeConfig::paper();
+        let a = curfe_on_currents(&cfg, VariationParams::paper(), 0, 64, 7);
+        let b = curfe_on_currents(&cfg, VariationParams::paper(), 0, 64, 7);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_seed_derivation() {
+        // The pool must not change which sampler seed trial t receives.
+        let cfg = ChgFeConfig::paper();
+        let par = chgfe_state_currents(&cfg, VariationParams::paper(), 1, 32, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for v in &par {
+            let mut s = VariationSampler::new(VariationParams::paper(), rng.gen::<u64>());
+            let cell = ChgFeCell::program_data(cfg.nfefet, &cfg.ladder, 1, true, &mut s);
+            let serial = cell.bitline_current(cfg.v_pre, cfg.v_wl, cfg.vdd_q, true);
+            assert_eq!(v.to_bits(), serial.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_variation_collapses_the_spread() {
+        let cfg = CurFeConfig::paper();
+        let vals = curfe_on_currents(&cfg, VariationParams::none(), 0, 16, 1);
+        for v in &vals {
+            assert_eq!(v.to_bits(), vals[0].to_bits());
+        }
+    }
+}

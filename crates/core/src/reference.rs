@@ -13,7 +13,11 @@ use serde::{Deserialize, Serialize};
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn ideal_mac(inputs: &[u32], weights: &[i8]) -> i64 {
-    assert_eq!(inputs.len(), weights.len(), "inputs and weights must pair up");
+    assert_eq!(
+        inputs.len(),
+        weights.len(),
+        "inputs and weights must pair up"
+    );
     inputs
         .iter()
         .zip(weights)
@@ -87,7 +91,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
     let syy: f64 = y.iter().map(|b| (b - my).powi(2)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (slope, intercept, r2)
 }
 

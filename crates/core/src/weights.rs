@@ -83,7 +83,12 @@ impl UnsignedNibble {
     /// Reconstructs from the bit pattern.
     #[must_use]
     pub fn from_bits(bits: [bool; 4]) -> Self {
-        Self(u8::from(bits[0]) + 2 * u8::from(bits[1]) + 4 * u8::from(bits[2]) + 8 * u8::from(bits[3]))
+        Self(
+            u8::from(bits[0])
+                + 2 * u8::from(bits[1])
+                + 4 * u8::from(bits[2])
+                + 8 * u8::from(bits[3]),
+        )
     }
 }
 
@@ -162,7 +167,10 @@ impl InputPrecision {
     /// Panics unless `1 <= bits <= 8`.
     #[must_use]
     pub fn new(bits: u32) -> Self {
-        assert!((1..=8).contains(&bits), "input precision must be 1..=8 bits");
+        assert!(
+            (1..=8).contains(&bits),
+            "input precision must be 1..=8 bits"
+        );
         Self(bits)
     }
 

@@ -72,7 +72,10 @@ pub fn window_factor(cycles: f64, p: &EnduranceParams) -> f64 {
 /// Panics unless `0 < budget < 1`.
 #[must_use]
 pub fn cycles_to_window(budget: f64, p: &EnduranceParams) -> Option<f64> {
-    assert!(budget > 0.0 && budget < 1.0, "budget is a fraction in (0, 1)");
+    assert!(
+        budget > 0.0 && budget < 1.0,
+        "budget is a fraction in (0, 1)"
+    );
     // Past wake-up, window ≈ (1 + gain) · (1 − fpd · log10(c/onset)).
     // Solve (1 + gain)(1 − fpd·d) = budget for decades d.
     let d = (1.0 - budget / (1.0 + p.wakeup_gain)) / p.fatigue_per_decade;
@@ -152,7 +155,10 @@ mod tests {
         // One program + years of reads: the window stays essentially
         // pristine (reads don't cycle the ferroelectric).
         let sessions = update_sessions(0.8, &p()).expect("finite");
-        assert!(sessions > 1_000_000, "≥10⁶ weight updates before 80% window");
+        assert!(
+            sessions > 1_000_000,
+            "≥10⁶ weight updates before 80% window"
+        );
     }
 
     #[test]

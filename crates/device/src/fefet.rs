@@ -158,7 +158,8 @@ impl FeFet {
     /// magnitude |V_TH| used in the mirrored I-V evaluation.
     #[must_use]
     pub fn vth(&self) -> f64 {
-        self.vth_override.unwrap_or_else(|| self.vth_from_polarization())
+        self.vth_override
+            .unwrap_or_else(|| self.vth_from_polarization())
     }
 
     /// Threshold voltage derived from the ferroelectric polarization.

@@ -222,7 +222,16 @@ impl Mosfet {
             Polarity::P => {
                 // Source-referenced mirroring (bulk tied to source):
                 // Id_p(vg,vd,vs) = −f(vs−vg, vs−vd).
-                let d = ekv_ids(vs - vg, vs - vd, 0.0, p.vth, p.beta, p.n, p.lambda, p.g_leak);
+                let d = ekv_ids(
+                    vs - vg,
+                    vs - vd,
+                    0.0,
+                    p.vth,
+                    p.beta,
+                    p.n,
+                    p.lambda,
+                    p.g_leak,
+                );
                 IdsDerivs {
                     ids: -d.ids,
                     d_vg: d.d_vg,

@@ -246,7 +246,11 @@ impl Preisach {
     /// module docs); `width <= 0` is treated as `t_ref`.
     pub fn apply_pulse(&mut self, v_pulse: f64, t_fe: f64, width: f64) -> f64 {
         let e_raw = v_pulse / t_fe;
-        let w = if width > 0.0 { width } else { self.params.t_ref };
+        let w = if width > 0.0 {
+            width
+        } else {
+            self.params.t_ref
+        };
         let accel = (1.0 + self.params.time_coeff * (w / self.params.t_ref).ln()).max(0.0);
         self.apply_field(e_raw * accel);
         self.apply_field(0.0);

@@ -237,7 +237,12 @@ impl MlcCurrentLadder {
 }
 
 /// Programs a device to an SLC state and verifies.
-pub fn program_slc(device: &mut FeFet, bit: bool, states: &SlcStates, cfg: &IsppConfig) -> WriteReport {
+pub fn program_slc(
+    device: &mut FeFet,
+    bit: bool,
+    states: &SlcStates,
+    cfg: &IsppConfig,
+) -> WriteReport {
     program_vth(device, states.vth_for(bit), cfg)
 }
 

@@ -1,0 +1,388 @@
+//! Shared worker-pool execution layer for the whole workspace.
+//!
+//! Every parallel kernel in the workspace — Monte-Carlo trial fan-out,
+//! pooled matmul, per-image network evaluation — runs on one persistent
+//! process-wide pool ([`pool`]) instead of spawning scoped threads per
+//! call. Work is distributed by atomic index claiming, and the caller
+//! participates in its own job, so a job always makes progress even when
+//! every worker is busy (this also makes nested parallelism
+//! deadlock-free: the innermost caller can finish its job alone).
+//!
+//! # Determinism
+//!
+//! [`par_map`] and friends return results **in input order**, whatever
+//! interleaving the workers ran. A pure per-item function therefore
+//! yields bit-identical output to a serial loop at any thread count —
+//! the property the Monte-Carlo layer (`analog_sim::montecarlo`) and the
+//! pooled matmul build on.
+//!
+//! # Sizing
+//!
+//! The pool holds `threads() - 1` workers (the caller is the final
+//! executor). [`threads`] honours the `FEFET_IMC_THREADS` environment
+//! variable when set to a positive integer and otherwise uses
+//! [`std::thread::available_parallelism`].
+
+#![deny(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Environment variable overriding the pool width.
+pub const THREADS_ENV: &str = "FEFET_IMC_THREADS";
+
+/// The execution width: `FEFET_IMC_THREADS` if set to a positive
+/// integer, else [`std::thread::available_parallelism`] (1 if unknown).
+#[must_use]
+pub fn threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// One unit of queued work: a type-erased `Fn(usize)` plus the claiming
+/// and completion state. The closure lives on the submitting caller's
+/// stack; `Pool::run` does not return until every item has finished, so
+/// the raw pointer never outlives its referent while dereferenced.
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    /// Next unclaimed item index.
+    next: AtomicUsize,
+    total: usize,
+    /// Items claimed but not yet finished plus items unclaimed.
+    pending: AtomicUsize,
+    /// First panic payload from any item, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `data` points at a closure that is `Sync` (enforced by the
+// generic bound on `Pool::run`) and outlives the job (the submitting
+// caller blocks until `pending == 0`).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    ready: Condvar,
+}
+
+/// A persistent worker pool executing indexed jobs.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+/// The process-wide pool, created on first use with [`threads`]`() - 1`
+/// workers. The width is fixed for the process lifetime; later changes
+/// to `FEFET_IMC_THREADS` only affect how callers *partition* work.
+pub fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(threads().saturating_sub(1)))
+}
+
+impl Pool {
+    /// Builds a pool with `workers` background threads (0 is valid: all
+    /// jobs then run entirely on the calling thread).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("par-exec-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+        Self { shared, workers }
+    }
+
+    /// Number of background worker threads (the caller adds one more
+    /// executor on top of this).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(i)` for every `i in 0..total` across the pool and the
+    /// calling thread, returning when all items have finished.
+    ///
+    /// # Panics
+    ///
+    /// If any item panics, the first payload is re-thrown here after the
+    /// remaining items finish.
+    pub fn run<F: Fn(usize) + Sync>(&self, total: usize, f: F) {
+        if total == 0 {
+            return;
+        }
+        unsafe fn call<F: Fn(usize)>(data: *const (), i: usize) {
+            (*data.cast::<F>())(i);
+        }
+        let job = Arc::new(Job {
+            data: std::ptr::addr_of!(f).cast(),
+            call: call::<F>,
+            next: AtomicUsize::new(0),
+            total,
+            pending: AtomicUsize::new(total),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+
+        if self.workers > 0 && total > 1 {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.push_back(Arc::clone(&job));
+            drop(queue);
+            self.shared.ready.notify_all();
+        }
+
+        execute(&self.shared, &job);
+
+        // Wait for items claimed by workers that are still in flight.
+        let mut done = job.done.lock().expect("job latch poisoned");
+        while !*done {
+            done = job.done_cv.wait(done).expect("job latch poisoned");
+        }
+        drop(done);
+
+        let payload = job.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Claims and runs items of `job` until none remain, then unlinks the
+/// job from the queue so idle workers stop seeing it.
+fn execute(shared: &Shared, job: &Arc<Job>) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.total {
+            // Guard against (theoretical) wrap-around from idle claims.
+            job.next.store(job.total, Ordering::Relaxed);
+            break;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, i) }));
+        if let Err(payload) = outcome {
+            let mut slot = job.panic.lock().expect("panic slot poisoned");
+            slot.get_or_insert(payload);
+        }
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = job.done.lock().expect("job latch poisoned");
+            *done = true;
+            job.done_cv.notify_all();
+        }
+    }
+    let mut queue = shared.queue.lock().expect("pool queue poisoned");
+    queue.retain(|queued| !Arc::ptr_eq(queued, job));
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.front() {
+                    break Arc::clone(job);
+                }
+                queue = shared.ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        execute(shared, &job);
+    }
+}
+
+/// A write-once result slot shared across workers. Distinct indices are
+/// written by distinct items, so the aliasing is disjoint.
+struct Slot<T>(UnsafeCell<MaybeUninit<T>>);
+
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Applies `f` to every element of `items` on the shared pool, returning
+/// the results **in input order**.
+///
+/// Equivalent to `items.iter().map(f).collect()` for pure `f`, at any
+/// thread count.
+pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Applies `f` to every index in `0..total` on the shared pool,
+/// returning the results in index order.
+pub fn par_map_indexed<U: Send, F: Fn(usize) -> U + Sync>(total: usize, f: F) -> Vec<U> {
+    let slots: Vec<Slot<U>> = (0..total)
+        .map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit())))
+        .collect();
+    pool().run(total, |i| {
+        let value = f(i);
+        // SAFETY: each index is claimed exactly once, so this is the
+        // only writer of slot `i`, and no reader exists until `run`
+        // returns.
+        unsafe {
+            (*slots[i].0.get()).write(value);
+        }
+    });
+    slots
+        .into_iter()
+        // SAFETY: `run` returned without panicking, so every slot was
+        // initialised by its item.
+        .map(|s| unsafe { s.0.into_inner().assume_init() })
+        .collect()
+}
+
+/// Runs `f(i)` for every `i in 0..total` on the shared pool with no
+/// result collection (the closure communicates through its captures,
+/// e.g. disjoint `&mut` chunks pre-split by the caller).
+pub fn par_for_each_index<F: Fn(usize) + Sync>(total: usize, f: F) {
+    pool().run(total, f);
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` (the last may be
+/// shorter) and runs `f(chunk_index, chunk)` for each on the shared
+/// pool. The mutable chunks are disjoint, so items never alias.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn par_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: F,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let total_len = data.len();
+    let chunks = total_len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    pool().run(chunks, |i| {
+        let start = i * chunk_len;
+        let len = chunk_len.min(total_len - start);
+        // SAFETY: chunk `i` covers exactly [start, start + len), ranges
+        // for distinct `i` are disjoint, and `data` outlives `run`.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        f(i, chunk);
+    });
+}
+
+/// A raw pointer that may cross thread boundaries; safety is argued at
+/// each use site (disjoint index ranges).
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor taking `&self`, so closures capture the whole `Sync`
+    /// wrapper rather than (with 2021 disjoint capture) the bare field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = par_map(&items, |&x| x * 3 + 1);
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_indexed_matches_serial_at_any_width() {
+        for workers in [0, 1, 3] {
+            let local = Pool::new(workers);
+            let slots: Vec<Slot<usize>> = (0..257)
+                .map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit())))
+                .collect();
+            local.run(257, |i| unsafe {
+                (*slots[i].0.get()).write(i * i);
+            });
+            for (i, s) in slots.into_iter().enumerate() {
+                assert_eq!(unsafe { s.0.into_inner().assume_init() }, i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool().run(counters.len(), |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_jobs_complete() {
+        let outer = par_map_indexed(8, |i| {
+            let inner = par_map_indexed(50, |j| (i * 50 + j) as u64);
+            inner.iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..8)
+            .map(|i| (0..50).map(|j| (i * 50 + j) as u64).sum())
+            .collect();
+        assert_eq!(outer, expect);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element_once() {
+        let mut data = vec![0u32; 1003];
+        par_chunks_mut(&mut data, 64, |ci, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v += (ci * 64 + off) as u32 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_job_is_a_no_op() {
+        let out: Vec<u8> = par_map_indexed(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = catch_unwind(|| {
+            pool().run(64, |i| assert!(i != 13, "boom"));
+        });
+        assert!(result.is_err());
+        // The pool stays usable afterwards.
+        let out = par_map_indexed(16, |i| i + 1);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_env_override_parses() {
+        // Only exercises the parser: the global pool width is fixed at
+        // first use, so this does not resize anything.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(threads(), 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert_eq!(threads(), default_threads());
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(threads(), default_threads());
+    }
+}

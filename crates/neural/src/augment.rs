@@ -145,10 +145,7 @@ mod tests {
         };
         // A batch of identical images: across seeds, at least one draw
         // must differ between the two batch slots.
-        let x = Tensor::from_vec(
-            &[2, 1, 1, 3],
-            vec![1., 2., 3., 1., 2., 3.],
-        );
+        let x = Tensor::from_vec(&[2, 1, 1, 3], vec![1., 2., 3., 1., 2., 3.]);
         let mut differs = false;
         for seed in 0..16 {
             let mut rng = StdRng::seed_from_u64(seed);

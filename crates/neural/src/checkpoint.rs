@@ -49,7 +49,11 @@ pub fn load(net: &mut dyn Layer, ckpt: &Checkpoint) {
         params.len()
     );
     for (p, data) in params.into_iter().zip(&ckpt.params) {
-        assert_eq!(p.value.len(), data.len(), "parameter tensor length mismatch");
+        assert_eq!(
+            p.value.len(),
+            data.len(),
+            "parameter tensor length mismatch"
+        );
         p.value.data_mut().copy_from_slice(data);
     }
     let mut idx = 0usize;
@@ -70,13 +74,19 @@ pub fn load(net: &mut dyn Layer, ckpt: &Checkpoint) {
 fn collect_bn(layer: &mut dyn Layer, f: &mut dyn FnMut(&BatchNorm2d)) {
     // Sequential and BasicBlock expose children only through their own
     // state; recurse via as_any on the concrete containers.
-    if let Some(seq) = layer.as_any_mut().downcast_mut::<crate::models::Sequential>() {
+    if let Some(seq) = layer
+        .as_any_mut()
+        .downcast_mut::<crate::models::Sequential>()
+    {
         for l in seq.layers_mut() {
             collect_bn(l.as_mut(), f);
         }
         return;
     }
-    if let Some(block) = layer.as_any_mut().downcast_mut::<crate::models::BasicBlock>() {
+    if let Some(block) = layer
+        .as_any_mut()
+        .downcast_mut::<crate::models::BasicBlock>()
+    {
         for l in block.children_mut() {
             collect_bn(l, f);
         }
@@ -88,13 +98,19 @@ fn collect_bn(layer: &mut dyn Layer, f: &mut dyn FnMut(&BatchNorm2d)) {
 }
 
 fn collect_bn_mut(layer: &mut dyn Layer, f: &mut dyn FnMut(&mut BatchNorm2d)) {
-    if let Some(seq) = layer.as_any_mut().downcast_mut::<crate::models::Sequential>() {
+    if let Some(seq) = layer
+        .as_any_mut()
+        .downcast_mut::<crate::models::Sequential>()
+    {
         for l in seq.layers_mut() {
             collect_bn_mut(l.as_mut(), f);
         }
         return;
     }
-    if let Some(block) = layer.as_any_mut().downcast_mut::<crate::models::BasicBlock>() {
+    if let Some(block) = layer
+        .as_any_mut()
+        .downcast_mut::<crate::models::BasicBlock>()
+    {
         for l in block.children_mut() {
             collect_bn_mut(l, f);
         }

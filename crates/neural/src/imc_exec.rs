@@ -111,7 +111,10 @@ impl ImcConfig {
     /// Panics if `weight_bits` is not 4 or 8.
     #[must_use]
     pub fn paper(design: ImcDesign, input_bits: u32, weight_bits: u32) -> Self {
-        assert!(weight_bits == 4 || weight_bits == 8, "weights are 4 or 8 bit");
+        assert!(
+            weight_bits == 4 || weight_bits == 8,
+            "weights are 4 or 8 bit"
+        );
         Self {
             design,
             adc_bits: 5,
@@ -389,7 +392,11 @@ fn ideal_matmul(
                 let l = f64::from(l_id.data()[i]);
                 max_units.0 = max_units.0.max(h.abs());
                 max_units.1 = max_units.1.max(l);
-                let combined = if cfg.weight_bits == 8 { 16.0 * h + l } else { h };
+                let combined = if cfg.weight_bits == 8 {
+                    16.0 * h + l
+                } else {
+                    h
+                };
                 ad[i] += (combined * weight) as f32;
             }
             r0 += rc;
@@ -419,7 +426,10 @@ enum QLayer {
         bias: Vec<f32>,
     },
     /// Folded eval-mode batch norm: per-channel `a·x + b`.
-    Affine { a: Vec<f32>, b: Vec<f32> },
+    Affine {
+        a: Vec<f32>,
+        b: Vec<f32>,
+    },
     Relu,
     MaxPool2,
     GlobalAvgPool,
@@ -546,10 +556,8 @@ impl QNetwork {
                     let (n, c, h, w) = nchw(&cur);
                     assert_eq!(c, *in_ch);
                     let qa = quantize_activations(&cur, cfg.input_bits);
-                    let codes = Tensor::from_vec(
-                        &[n, c, h, w],
-                        qa.q.iter().map(|&v| v as f32).collect(),
-                    );
+                    let codes =
+                        Tensor::from_vec(&[n, c, h, w], qa.q.iter().map(|&v| v as f32).collect());
                     let (cols, (oh, ow)) = im2col_codes(&codes, *k, *stride, *pad);
                     let mut max_units = (0.0, 0.0);
                     let units = ideal_matmul(&cols, planes, &cfg, &mut max_units);
@@ -580,8 +588,7 @@ impl QNetwork {
                     let qa = quantize_activations(&cur, cfg.input_bits);
                     let n = cur.shape()[0];
                     let f = cur.len() / n;
-                    let codes =
-                        Tensor::from_vec(&[n, f], qa.q.iter().map(|&v| v as f32).collect());
+                    let codes = Tensor::from_vec(&[n, f], qa.q.iter().map(|&v| v as f32).collect());
                     let mut max_units = (0.0, 0.0);
                     let units = ideal_matmul(&codes, planes, &cfg, &mut max_units);
                     *adcs = calibrated_adcs(&cfg, max_units, margin);
@@ -681,10 +688,8 @@ impl QNetwork {
                 let (n, c, h, w) = nchw(x);
                 assert_eq!(c, *in_ch);
                 let qa = quantize_activations(x, self.cfg.input_bits);
-                let codes = Tensor::from_vec(
-                    &[n, c, h, w],
-                    qa.q.iter().map(|&v| v as f32).collect(),
-                );
+                let codes =
+                    Tensor::from_vec(&[n, c, h, w], qa.q.iter().map(|&v| v as f32).collect());
                 let (cols, (oh, ow)) = im2col_codes(&codes, *k, *stride, *pad);
                 let units = imc_matmul(&cols, planes, adcs, &self.cfg, gauss);
                 // Dequantize: MAC = units · w_scale · x_scale + bias.
@@ -713,8 +718,7 @@ impl QNetwork {
                 let qa = quantize_activations(x, self.cfg.input_bits);
                 let n = x.shape()[0];
                 let f = x.len() / n;
-                let codes =
-                    Tensor::from_vec(&[n, f], qa.q.iter().map(|&v| v as f32).collect());
+                let codes = Tensor::from_vec(&[n, f], qa.q.iter().map(|&v| v as f32).collect());
                 let units = imc_matmul(&codes, planes, adcs, &self.cfg, gauss);
                 let oc = planes.out_features;
                 let mut out = units;
@@ -731,18 +735,25 @@ impl QNetwork {
     }
 
     /// Classification accuracy over (a prefix of) a dataset.
+    ///
+    /// Batches are evaluated concurrently on the shared `par_exec` pool.
+    /// Each [`forward`](Self::forward) call starts its own noise stream
+    /// from `cfg.seed`, so batches are independent and the result is
+    /// bit-identical to a serial evaluation at any thread count.
     #[must_use]
     pub fn accuracy(&self, data: &crate::dataset::Dataset, max_samples: usize) -> f64 {
         let n = data.len().min(max_samples);
-        let mut correct = 0usize;
         let batch = 16usize;
-        let mut i = 0;
-        while i < n {
-            let hi = (i + batch).min(n);
-            let idx: Vec<usize> = (i..hi).collect();
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(batch)
+            .map(|i| (i, (i + batch).min(n)))
+            .collect();
+        let corrects = par_exec::par_map(&ranges, |&(lo, hi)| {
+            let idx: Vec<usize> = (lo..hi).collect();
             let (x, y) = data.batch(&idx);
             let logits = self.forward(&x);
             let c = logits.shape()[1];
+            let mut correct = 0usize;
             for (bi, &label) in y.iter().enumerate() {
                 let row = &logits.data()[bi * c..(bi + 1) * c];
                 let pred = row
@@ -755,9 +766,9 @@ impl QNetwork {
                     correct += 1;
                 }
             }
-            i = hi;
-        }
-        correct as f64 / n as f64
+            correct
+        });
+        corrects.iter().sum::<usize>() as f64 / n as f64
     }
 }
 
@@ -840,7 +851,12 @@ mod tests {
             .zip(y_q.data())
             .map(|(a, b)| (a - b).abs())
             .sum::<f32>()
-            / y_float.data().iter().map(|v| v.abs()).sum::<f32>().max(1e-3);
+            / y_float
+                .data()
+                .iter()
+                .map(|v| v.abs())
+                .sum::<f32>()
+                .max(1e-3);
         assert!(rel < 0.25, "relative deviation {rel}");
     }
 

@@ -107,7 +107,14 @@ impl Conv2d {
     ///
     /// Panics if any dimension is zero.
     #[must_use]
-    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0);
         let fan_in = in_ch * k * k;
         Self {
@@ -252,8 +259,7 @@ impl Layer for Conv2d {
                 for ox in 0..ow {
                     let row = ((ni * oh + oy) * ow + ox) * self.out_ch;
                     for oc in 0..self.out_ch {
-                        od[((ni * self.out_ch + oc) * oh + oy) * ow + ox] =
-                            o2[row + oc] + bias[oc];
+                        od[((ni * self.out_ch + oc) * oh + oy) * ow + ox] = o2[row + oc] + bias[oc];
                     }
                 }
             }
@@ -269,7 +275,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("backward requires a train forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("backward requires a train forward");
         let [n, _, _, _] = cache.in_shape;
         let (oh, ow) = cache.out_hw;
         // Rearrange grad [n, oc, oh, ow] → [rows, oc].
@@ -380,7 +389,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache.take().expect("backward requires a train forward");
+        let x = self
+            .cache
+            .take()
+            .expect("backward requires a train forward");
         // dW = gᵀ·x, db = Σ, dx = g·W.
         let dw = matmul_at_b(grad_out, &x);
         self.weight.grad.add_assign(&dw);
@@ -503,7 +515,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let s = self.in_shape.take().expect("backward requires a train forward");
+        let s = self
+            .in_shape
+            .take()
+            .expect("backward requires a train forward");
         grad_out.clone().reshape(&s)
     }
 
@@ -572,7 +587,10 @@ impl Layer for MaxPool2 {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let arg = self.argmax.take().expect("backward requires a train forward");
+        let arg = self
+            .argmax
+            .take()
+            .expect("backward requires a train forward");
         let [n, c, h, w] = self.in_shape.take().expect("cached");
         let mut dx = Tensor::zeros(&[n, c, h, w]);
         let dd = dx.data_mut();
@@ -669,7 +687,10 @@ impl Dropout {
     /// Panics unless `0 <= p < 1`.
     #[must_use]
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         use rand::SeedableRng;
         Self {
             p,
@@ -821,7 +842,10 @@ impl Layer for BatchNorm2d {
                 let mut v = 0.0f32;
                 for ni in 0..n {
                     let base = (ni * c + ci) * plane;
-                    v += xd[base..base + plane].iter().map(|x| (x - m).powi(2)).sum::<f32>();
+                    v += xd[base..base + plane]
+                        .iter()
+                        .map(|x| (x - m).powi(2))
+                        .sum::<f32>();
                 }
                 v /= count;
                 self.running_mean[ci] =
@@ -858,7 +882,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("backward requires a train forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("backward requires a train forward");
         let [n, c, h, w] = cache.shape;
         let plane = h * w;
         let count = (n * plane) as f32;
@@ -883,8 +910,7 @@ impl Layer for BatchNorm2d {
             for ni in 0..n {
                 let base = (ni * c + ci) * plane;
                 for i in base..base + plane {
-                    dd[i] = gamma * inv_std / count
-                        * (count * g[i] - db - xh[i] * dg);
+                    dd[i] = gamma * inv_std / count * (count * g[i] - db - xh[i] * dg);
                 }
             }
         }
@@ -1002,10 +1028,7 @@ mod tests {
     #[test]
     fn maxpool_forwards_max_and_routes_gradient() {
         let mut p = MaxPool2::new();
-        let x = Tensor::from_vec(
-            &[1, 1, 2, 2],
-            vec![1.0, 5.0, 3.0, 2.0],
-        );
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
         let y = p.forward(&x, true);
         assert_eq!(y.data(), &[5.0]);
         let dx = p.backward(&Tensor::full(&[1, 1, 1, 1], 2.0));

@@ -81,7 +81,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -306,7 +309,10 @@ impl LayerShape {
 /// Panics if `input_hw` is not divisible by 8 (the three striding stages).
 #[must_use]
 pub fn resnet18_shapes(input_hw: usize, classes: usize) -> Vec<LayerShape> {
-    assert!(input_hw.is_multiple_of(8), "input must survive three stride-2 stages");
+    assert!(
+        input_hw.is_multiple_of(8),
+        "input must survive three stride-2 stages"
+    );
     let mut shapes = Vec::new();
     // CIFAR-style stem (3×3 s1) for 32-px inputs; ImageNet stem (7×7 s2 +
     // pool) for larger inputs.

@@ -2,7 +2,11 @@
 //!
 //! Row-major, shape-checked, no views — simplicity over generality. The
 //! hot path (matrix multiply for conv-as-im2col and linear layers) has a
-//! cache-friendly ikj loop and an optional thread-parallel driver.
+//! cache-friendly ikj loop, a cache-blocked kernel for large operands,
+//! and a thread-parallel driver on the shared `par_exec` worker pool.
+//! All three produce **bit-identical** results: every kernel accumulates
+//! each output element in ascending-`k` order, so f32 rounding is the
+//! same regardless of blocking or thread count.
 
 use serde::{Deserialize, Serialize};
 
@@ -190,9 +194,82 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
     }
 }
 
-/// Thread-parallel matmul: splits the rows of `A` across up to
-/// `threads` workers with crossbeam scoped threads. Falls back to the
-/// serial kernel for small problems.
+/// `k`-dimension tile for the blocked kernel: a `KC × NC` panel of `B`
+/// (128 KiB at f32) stays resident in L2 while a row strip of `A`
+/// streams past.
+const BLOCK_K: usize = 256;
+/// `n`-dimension tile for the blocked kernel.
+const BLOCK_N: usize = 128;
+
+/// Cache-blocked matmul kernel, tiled over `n` then `k`.
+///
+/// For each output element the `k` tiles are visited in ascending order
+/// and rows within a tile in ascending order, so the accumulation
+/// sequence — and therefore the f32 result — is **bit-identical** to the
+/// plain ikj kernel in [`matmul`].
+pub(crate) fn matmul_blocked_into(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let mut jb = 0;
+    while jb < n {
+        let jend = (jb + BLOCK_N).min(n);
+        let mut kb = 0;
+        while kb < k {
+            let kend = (kb + BLOCK_K).min(k);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let crow = &mut c[i * n + jb..i * n + jend];
+                for (kk, &av) in arow[kb..kend].iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[(kb + kk) * n + jb..(kb + kk) * n + jend];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+            kb = kend;
+        }
+        jb = jend;
+    }
+}
+
+/// `C = A(m×k) · B(k×n)` through the cache-blocked kernel. Bit-identical
+/// to [`matmul`]; faster once `B` outgrows L2 (large im2col products).
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible.
+#[must_use]
+pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions must agree ({k} vs {k2})");
+    let mut c = Tensor::zeros(&[m, n]);
+    matmul_blocked_into(a.data(), b.data(), c.data_mut(), m, k, n);
+    c
+}
+
+/// Work threshold (`m·k·n` multiply-adds) below which the parallel
+/// driver stays serial: fan-out overhead dominates under ~2ⁱ⁸ MACs.
+const PARALLEL_WORK_MIN: usize = 1 << 18;
+
+/// Thread-parallel matmul on the shared `par_exec` worker pool: the rows
+/// of `C` are split into up to `threads` contiguous chunks, each chunk
+/// computed with the cache-blocked kernel. Falls back to the serial
+/// kernel for small problems.
+///
+/// Results are bit-identical to [`matmul`] at every `threads` value:
+/// row partitioning does not reorder any per-element accumulation.
 ///
 /// # Panics
 ///
@@ -203,31 +280,19 @@ pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     let n = b.shape()[1];
     assert_eq!(k, b.shape()[0]);
     let work = m * k * n;
-    if threads <= 1 || work < 1 << 18 {
+    if threads <= 1 || work < PARALLEL_WORK_MIN {
         return matmul(a, b);
     }
     let mut c = Tensor::zeros(&[m, n]);
-    let rows_per = m.div_ceil(threads);
-    {
-        let a_data = a.data();
-        let b_data = b.data();
-        let chunks: Vec<(usize, &mut [f32])> = c
-            .data_mut()
-            .chunks_mut(rows_per * n)
-            .enumerate()
-            .collect();
-        crossbeam::thread::scope(|s| {
-            for (ci, chunk) in chunks {
-                let row0 = ci * rows_per;
-                let rows = chunk.len() / n;
-                let a_slice = &a_data[row0 * k..(row0 + rows) * k];
-                s.spawn(move |_| {
-                    matmul_into(a_slice, b_data, chunk, rows, k, n);
-                });
-            }
-        })
-        .expect("worker threads do not panic");
-    }
+    let rows_per = m.div_ceil(threads.min(m));
+    let a_data = a.data();
+    let b_data = b.data();
+    par_exec::par_chunks_mut(c.data_mut(), rows_per * n, |ci, chunk| {
+        let row0 = ci * rows_per;
+        let rows = chunk.len() / n;
+        let a_slice = &a_data[row0 * k..(row0 + rows) * k];
+        matmul_blocked_into(a_slice, b_data, chunk, rows, k, n);
+    });
     c
 }
 
@@ -305,7 +370,9 @@ mod tests {
         );
         let b = Tensor::from_vec(
             &[k, n],
-            (0..k * n).map(|i| ((i * 53) % 89) as f32 * 0.02 - 0.5).collect(),
+            (0..k * n)
+                .map(|i| ((i * 53) % 89) as f32 * 0.02 - 0.5)
+                .collect(),
         );
         let c1 = matmul(&a, &b);
         let c2 = matmul_parallel(&a, &b, 4);

@@ -64,11 +64,7 @@ pub fn sgd_step(net: &mut dyn Layer, cfg: &SgdConfig) {
     for p in net.params_mut() {
         // momentum = µ·momentum + (grad + wd·w); w -= lr·momentum.
         let n = p.value.len();
-        let (v, g, m) = (
-            p.value.data_mut(),
-            p.grad.data_mut(),
-            p.momentum.data_mut(),
-        );
+        let (v, g, m) = (p.value.data_mut(), p.grad.data_mut(), p.momentum.data_mut());
         for i in 0..n {
             let grad = g[i] + cfg.weight_decay * v[i];
             m[i] = cfg.momentum * m[i] + grad;
@@ -206,9 +202,9 @@ pub fn fit(
 mod tests {
     use super::*;
     use crate::dataset::{cifar10_like, generate, GenParams};
+    use crate::layers::Flatten;
     use crate::layers::{Linear, Relu};
     use crate::models::Sequential;
-    use crate::layers::Flatten;
 
     #[test]
     fn cross_entropy_of_uniform_logits_is_log_c() {

@@ -58,38 +58,71 @@ impl OpPoint {
     }
 }
 
-/// Runs Newton iterations at a fixed stamp mode until convergence.
+/// Reusable scratch buffers for [`newton_solve`]: the MNA matrix, the
+/// right-hand side, the LU factor storage, and the solve output.
+///
+/// Newton runs factor an `n × n` system every iteration; without reuse
+/// that is two `O(n²)` allocations (matrix clone + factor storage) per
+/// iteration, multiplied by thousands of timesteps in a transient run.
+/// One workspace per analysis amortises all of it.
+pub(crate) struct NewtonWorkspace {
+    mat: Matrix,
+    rhs: Vec<f64>,
+    lu: LuFactors,
+    x_new: Vec<f64>,
+}
+
+impl NewtonWorkspace {
+    /// Workspace for an `n`-unknown MNA system.
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            mat: Matrix::zeros(n, n),
+            rhs: vec![0.0; n],
+            lu: LuFactors::workspace(n),
+            x_new: vec![0.0; n],
+        }
+    }
+}
+
+/// Runs Newton iterations at a fixed stamp mode until convergence,
+/// reusing `ws` for every matrix/vector buffer.
 ///
 /// Returns `(x, iterations)`.
-pub(crate) fn newton_solve(
+pub(crate) fn newton_solve_ws(
     netlist: &Netlist,
     mode: StampMode,
     cap_states: &[CapState],
     gmin: f64,
     x0: &[f64],
     opts: &NewtonOptions,
+    ws: &mut NewtonWorkspace,
 ) -> Result<(Vec<f64>, usize), SimError> {
-    let n = netlist.unknown_count();
     let nv = netlist.node_count() - 1;
     let mut x = x0.to_vec();
-    let mut mat = Matrix::zeros(n, n);
-    let mut rhs = vec![0.0; n];
     for it in 1..=opts.max_iter {
-        assemble(netlist, mode, &x, cap_states, gmin, &mut mat, &mut rhs);
-        let lu = LuFactors::factor(mat.clone()).map_err(|e| SimError::Singular {
+        assemble(
+            netlist,
+            mode,
+            &x,
+            cap_states,
+            gmin,
+            &mut ws.mat,
+            &mut ws.rhs,
+        );
+        ws.lu.factor_from(&ws.mat).map_err(|e| SimError::Singular {
             column: e.column,
             context: "newton iteration".to_owned(),
         })?;
-        let x_new = lu.solve(&rhs);
+        ws.lu.solve_into(&ws.rhs, &mut ws.x_new);
         // Damped update on node voltages; branch currents move freely.
         let mut worst = 0.0f64;
-        for i in 0..n {
-            let dx = x_new[i] - x[i];
+        for (i, (xi, &xn)) in x.iter_mut().zip(&ws.x_new).enumerate() {
+            let dx = xn - *xi;
             if i < nv {
-                worst = worst.max(dx.abs() / (1.0 + x_new[i].abs()));
-                x[i] += dx.clamp(-opts.max_step, opts.max_step);
+                worst = worst.max(dx.abs() / (1.0 + xn.abs()));
+                *xi += dx.clamp(-opts.max_step, opts.max_step);
             } else {
-                x[i] = x_new[i];
+                *xi = xn;
             }
         }
         if worst <= opts.v_abstol + opts.reltol {
@@ -119,7 +152,9 @@ pub fn op(netlist: &Netlist, enforce_ic: bool, opts: &NewtonOptions) -> Result<O
     let mode = StampMode::Dc { enforce_ic };
     let caps = initial_cap_states(netlist);
     let x0 = vec![0.0; netlist.unknown_count()];
-    match newton_solve(netlist, mode, &caps, GMIN_DEFAULT, &x0, opts) {
+    // One workspace shared by the plain attempt and every gmin step.
+    let mut ws = NewtonWorkspace::new(netlist.unknown_count());
+    match newton_solve_ws(netlist, mode, &caps, GMIN_DEFAULT, &x0, opts, &mut ws) {
         Ok((x, iterations)) => Ok(OpPoint {
             x,
             iterations,
@@ -131,7 +166,7 @@ pub fn op(netlist: &Netlist, enforce_ic: bool, opts: &NewtonOptions) -> Result<O
             let mut total_iter = 0;
             let mut gmin = 1.0e-3;
             loop {
-                let (x_new, it) = newton_solve(netlist, mode, &caps, gmin, &x, opts)?;
+                let (x_new, it) = newton_solve_ws(netlist, mode, &caps, gmin, &x, opts, &mut ws)?;
                 x = x_new;
                 total_iter += it;
                 if gmin <= GMIN_DEFAULT {
@@ -174,7 +209,12 @@ mod tests {
         let d = n.node();
         n.vdc(vdd, GROUND, 1.1);
         n.resistor(vdd, d, 10_000.0);
-        n.mosfet(d, d, GROUND, Mosfet::new(MosfetParams::logic_40nm(), Polarity::N));
+        n.mosfet(
+            d,
+            d,
+            GROUND,
+            Mosfet::new(MosfetParams::logic_40nm(), Polarity::N),
+        );
         let op = op(&n, false, &NewtonOptions::default()).expect("must converge");
         let v = op.voltage(d);
         assert!(v > 0.3 && v < 1.0, "diode-connected node at {v} V");

@@ -134,6 +134,25 @@ pub struct LuFactors {
 }
 
 impl LuFactors {
+    /// Pre-sized factor storage for repeated [`factor_from`] calls
+    /// (Newton iterations, transient timesteps). Not usable for
+    /// [`solve`] until a factorization has been stored.
+    ///
+    /// [`factor_from`]: LuFactors::factor_from
+    /// [`solve`]: LuFactors::solve
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn workspace(n: usize) -> Self {
+        Self {
+            lu: Matrix::zeros(n, n),
+            pivots: vec![0usize; n],
+            row_scale: vec![1.0; n],
+        }
+    }
+
     /// Factorizes a square matrix.
     ///
     /// # Errors
@@ -144,11 +163,46 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if the matrix is not square.
-    pub fn factor(mut a: Matrix) -> Result<Self, SingularMatrixError> {
+    pub fn factor(a: Matrix) -> Result<Self, SingularMatrixError> {
         assert_eq!(a.rows, a.cols, "LU requires a square matrix");
         let n = a.rows;
+        let mut f = Self {
+            lu: a,
+            pivots: vec![0usize; n],
+            row_scale: vec![1.0; n],
+        };
+        f.factor_in_place()?;
+        Ok(f)
+    }
+
+    /// Re-factorizes from `a`, reusing this workspace's matrix, pivot,
+    /// and scale allocations — the hot path for Newton loops, which
+    /// otherwise clone the MNA matrix every iteration. Resizes the
+    /// workspace if `a` has a different dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if elimination breaks down; the
+    /// workspace then holds no valid factorization but may be reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factor_from(&mut self, a: &Matrix) -> Result<(), SingularMatrixError> {
+        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
+        if self.lu.rows != a.rows || self.lu.cols != a.cols {
+            *self = Self::workspace(a.rows);
+        }
+        self.lu.data.copy_from_slice(&a.data);
+        self.row_scale.fill(1.0);
+        self.factor_in_place()
+    }
+
+    /// Equilibrated partial-pivot elimination over `self.lu`.
+    fn factor_in_place(&mut self) -> Result<(), SingularMatrixError> {
+        let a = &mut self.lu;
+        let n = a.rows;
         // Row equilibration: scale each row to unit max magnitude.
-        let mut row_scale = vec![1.0; n];
         for r in 0..n {
             let mut m = 0.0f64;
             for c in 0..n {
@@ -156,13 +210,12 @@ impl LuFactors {
             }
             if m > 0.0 {
                 let s = 1.0 / m;
-                row_scale[r] = s;
+                self.row_scale[r] = s;
                 for c in 0..n {
                     a[(r, c)] *= s;
                 }
             }
         }
-        let mut pivots = vec![0usize; n];
         for k in 0..n {
             // Partial pivot: largest |a[i][k]| for i >= k.
             let mut p = k;
@@ -177,7 +230,7 @@ impl LuFactors {
             if max < 1e-300 {
                 return Err(SingularMatrixError { column: k });
             }
-            pivots[k] = p;
+            self.pivots[k] = p;
             if p != k {
                 for c in 0..n {
                     let tmp = a[(k, c)];
@@ -197,11 +250,7 @@ impl LuFactors {
                 }
             }
         }
-        Ok(Self {
-            lu: a,
-            pivots,
-            row_scale,
-        })
+        Ok(())
     }
 
     /// Solves `A x = b` using the stored factors.
@@ -210,15 +259,23 @@ impl LuFactors {
     ///
     /// Panics if `b.len()` does not match the matrix size.
     #[must_use]
-    #[allow(clippy::needless_range_loop)] // LU substitution indexes x and lu together
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A x = b` into `x`, reusing its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix size.
+    #[allow(clippy::needless_range_loop)] // LU substitution indexes x and lu together
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) {
         let n = self.lu.rows;
         assert_eq!(b.len(), n);
-        let mut x: Vec<f64> = b
-            .iter()
-            .zip(&self.row_scale)
-            .map(|(v, s)| v * s)
-            .collect();
+        x.clear();
+        x.extend(b.iter().zip(&self.row_scale).map(|(v, s)| v * s));
         // Apply the full permutation first: `factor` swaps entire rows
         // (including already-stored multipliers), so the stored L/U equal
         // the factorization of P*A_scaled and the rhs must be permuted
@@ -246,7 +303,6 @@ impl LuFactors {
             }
             x[k] = s / self.lu[(k, k)];
         }
-        x
     }
 }
 
@@ -312,7 +368,9 @@ mod tests {
         // Deterministic pseudo-random fill (LCG), diagonally boosted.
         let mut state: u64 = 0x243F_6A88_85A3_08D3;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for r in 0..n {

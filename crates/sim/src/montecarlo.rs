@@ -29,8 +29,7 @@ impl McResult {
     /// Panics if every trial failed.
     #[must_use]
     pub fn mean(&self) -> f64 {
-        assert!(!self.values.is_empty(), "no successful trials");
-        self.values.iter().sum::<f64>() / self.values.len() as f64
+        self.try_mean().expect("no successful trials")
     }
 
     /// Population standard deviation of the successful trials.
@@ -40,9 +39,27 @@ impl McResult {
     /// Panics if every trial failed.
     #[must_use]
     pub fn std_dev(&self) -> f64 {
-        let m = self.mean();
-        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64)
-            .sqrt()
+        self.try_std_dev().expect("no successful trials")
+    }
+
+    /// Mean of the successful trials, or `None` if every trial failed.
+    #[must_use]
+    pub fn try_mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Population standard deviation of the successful trials, or `None`
+    /// if every trial failed.
+    #[must_use]
+    pub fn try_std_dev(&self) -> Option<f64> {
+        let m = self.try_mean()?;
+        Some(
+            (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64)
+                .sqrt(),
+        )
     }
 }
 
@@ -65,6 +82,37 @@ where
     for _ in 0..trials {
         let trial_seed = rng.gen::<u64>();
         match trial_fn(trial_seed) {
+            Ok(v) => values.push(v),
+            Err(_) => failures += 1,
+        }
+    }
+    McResult { values, failures }
+}
+
+/// Parallel [`run_trials`] on the shared `par_exec` worker pool.
+///
+/// The per-trial seeds are pre-derived serially with exactly the same
+/// generator stream as [`run_trials`], the trials run concurrently, and
+/// the outcomes are folded back **in trial order**. For a pure
+/// `trial_fn` the result is therefore **bit-identical** to
+/// [`run_trials`] at any thread count — same `values` (same order, same
+/// f64 bits) and same `failures` — which keeps every paper figure
+/// reproducible while the wall-clock drops by the pool width.
+///
+/// `trial_fn` must be `Fn + Sync` rather than `FnMut`: trials may not
+/// share mutable state, which is exactly what trial independence (and
+/// bit-identity) requires.
+pub fn run_trials_par<F>(trials: usize, seed: u64, trial_fn: F) -> McResult
+where
+    F: Fn(u64) -> Result<f64, SimError> + Sync,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seeds: Vec<u64> = (0..trials).map(|_| rng.gen::<u64>()).collect();
+    let outcomes = par_exec::par_map(&seeds, |&trial_seed| trial_fn(trial_seed));
+    let mut values = Vec::with_capacity(trials);
+    let mut failures = 0;
+    for outcome in outcomes {
+        match outcome {
             Ok(v) => values.push(v),
             Err(_) => failures += 1,
         }
@@ -108,6 +156,60 @@ mod tests {
         let r = run_trials(20, 2, |_| Ok(4.0));
         assert!((r.mean() - 4.0).abs() < 1e-12);
         assert!(r.std_dev() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // A trial function exercising real floating-point work, so any
+        // reordering would show up in the bits.
+        let trial = |s: u64| {
+            let x = (s % 10_000) as f64 * 1e-4;
+            Ok((x.sin() * 3.7 + x.sqrt()).ln_1p())
+        };
+        let serial = run_trials(500, 42, trial);
+        let parallel = run_trials_par(500, 42, trial);
+        assert_eq!(serial.failures, parallel.failures);
+        assert_eq!(serial.values.len(), parallel.values.len());
+        for (a, b) in serial.values.iter().zip(&parallel.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_mixed_failures() {
+        // Failure pattern depends on the seed (deterministic per trial),
+        // so serial and parallel must fail the *same* trials.
+        let trial = |s: u64| {
+            if s % 5 == 0 {
+                Err(SimError::NoConvergence {
+                    iterations: 7,
+                    context: "mc test".into(),
+                })
+            } else {
+                Ok(s as f64 * 1e-19)
+            }
+        };
+        let serial = run_trials(300, 7, trial);
+        let parallel = run_trials_par(300, 7, trial);
+        assert_eq!(serial, parallel);
+        assert!(parallel.failures > 0, "seed must exercise the Err path");
+        assert!(!parallel.values.is_empty());
+    }
+
+    #[test]
+    fn try_stats_return_none_on_all_failures() {
+        let r = run_trials_par(4, 0, |_| {
+            Err(SimError::NoConvergence {
+                iterations: 0,
+                context: "test".into(),
+            })
+        });
+        assert_eq!(r.failures, 4);
+        assert_eq!(r.try_mean(), None);
+        assert_eq!(r.try_std_dev(), None);
+        let ok = run_trials_par(4, 0, |_| Ok(2.0));
+        assert_eq!(ok.try_mean(), Some(2.0));
+        assert_eq!(ok.try_std_dev(), Some(0.0));
     }
 
     #[test]

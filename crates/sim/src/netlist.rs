@@ -308,7 +308,10 @@ impl Netlist {
     ///
     /// Panics if `ohms <= 0` or a node is foreign.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> usize {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
         self.check_node(a);
         self.check_node(b);
         self.push(Element::Resistor { a, b, ohms })
@@ -320,7 +323,10 @@ impl Netlist {
     ///
     /// Panics if `farads <= 0` or a node is foreign.
     pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64, ic: Option<f64>) -> usize {
-        assert!(farads > 0.0 && farads.is_finite(), "capacitance must be positive");
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitance must be positive"
+        );
         self.check_node(a);
         self.check_node(b);
         self.push(Element::Capacitor { a, b, farads, ic })
@@ -358,7 +364,10 @@ impl Netlist {
         r_off: f64,
         schedule: SwitchSchedule,
     ) -> usize {
-        assert!(r_on > 0.0 && r_off > 0.0, "switch resistances must be positive");
+        assert!(
+            r_on > 0.0 && r_off > 0.0,
+            "switch resistances must be positive"
+        );
         self.check_node(a);
         self.check_node(b);
         self.push(Element::Switch {

@@ -64,10 +64,18 @@ pub fn to_spice(netlist: &Netlist, title: &str) -> String {
                 let ic_str = ic.map_or(String::new(), |v| format!(" IC={v}"));
                 let _ = writeln!(s, "C{i} {} {} {farads}{ic_str}", node(*a), node(*b));
             }
-            Element::VSource { pos, neg, source: src } => {
+            Element::VSource {
+                pos,
+                neg,
+                source: src,
+            } => {
                 let _ = writeln!(s, "V{i} {} {} {}", node(*pos), node(*neg), source(src));
             }
-            Element::ISource { from, to, source: src } => {
+            Element::ISource {
+                from,
+                to,
+                source: src,
+            } => {
                 // SPICE current sources push current from node+ to node−
                 // through the source; our convention injects into `to`.
                 let _ = writeln!(s, "I{i} {} {} {}", node(*from), node(*to), source(src));
@@ -176,7 +184,12 @@ mod tests {
         n.resistor(a, b, 1000.0);
         n.capacitor(b, GROUND, 1e-12, Some(0.5));
         n.switch(a, b, 100.0, 1e9, SwitchSchedule::always(true));
-        n.mosfet(b, a, GROUND, Mosfet::new(MosfetParams::logic_40nm(), Polarity::N));
+        n.mosfet(
+            b,
+            a,
+            GROUND,
+            Mosfet::new(MosfetParams::logic_40nm(), Polarity::N),
+        );
         let mut fe = FeFet::new(FeFetParams::nfefet_40nm(), Polarity::N);
         fe.set_vth(0.35);
         n.fefet(b, a, GROUND, fe);

@@ -178,7 +178,11 @@ pub fn assemble(
                 r_off,
                 schedule,
             } => {
-                let r = if schedule.closed_at(time) { *r_on } else { *r_off };
+                let r = if schedule.closed_at(time) {
+                    *r_on
+                } else {
+                    *r_off
+                };
                 stamp_g!(*a, *b, 1.0 / r);
             }
             Element::Capacitor { a, b, farads, ic } => match mode {

@@ -1,7 +1,7 @@
 //! Transient analysis: fixed-step implicit integration with a Newton solve
 //! per step.
 
-use crate::dc::{newton_solve, op, NewtonOptions};
+use crate::dc::{newton_solve_ws, op, NewtonOptions, NewtonWorkspace};
 use crate::netlist::Netlist;
 use crate::stamps::{initial_cap_states, update_cap_states, Integration, StampMode, GMIN_DEFAULT};
 use crate::waveform::Waveform;
@@ -88,6 +88,8 @@ pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Waveform,
     wave.push_full(0.0, x[..nv].to_vec(), x[nv..].to_vec());
 
     let steps = (opts.t_stop / opts.dt).round() as usize;
+    // One Newton workspace reused across every timestep.
+    let mut ws = NewtonWorkspace::new(netlist.unknown_count());
     for k in 1..=steps {
         let t = opts.dt * k as f64;
         // The first step always uses backward Euler: trapezoidal needs a
@@ -102,8 +104,16 @@ pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Waveform,
             t,
             scheme,
         };
-        let (x_new, _) = newton_solve(netlist, mode, &cap_states, GMIN_DEFAULT, &x, &opts.newton)
-            .map_err(|e| match e {
+        let (x_new, _) = newton_solve_ws(
+            netlist,
+            mode,
+            &cap_states,
+            GMIN_DEFAULT,
+            &x,
+            &opts.newton,
+            &mut ws,
+        )
+        .map_err(|e| match e {
             SimError::NoConvergence { iterations, .. } => SimError::NoConvergence {
                 iterations,
                 context: format!("transient step at t = {t:.3e} s"),
@@ -116,7 +126,6 @@ pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Waveform,
     }
     Ok(wave)
 }
-
 
 /// Options for the adaptive-step transient.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -223,10 +232,7 @@ pub fn breakpoints(netlist: &Netlist, t_stop: f64) -> Vec<f64> {
 ///
 /// Returns [`SimError`] if the initial operating point fails, or a step
 /// fails to converge even at `dt_min`.
-pub fn transient_adaptive(
-    netlist: &Netlist,
-    opts: &AdaptiveOptions,
-) -> Result<Waveform, SimError> {
+pub fn transient_adaptive(netlist: &Netlist, opts: &AdaptiveOptions) -> Result<Waveform, SimError> {
     let nv = netlist.node_count() - 1;
     let mut cap_states = initial_cap_states(netlist);
     let op0 = op(netlist, opts.use_ic, &opts.newton)?;
@@ -247,6 +253,8 @@ pub fn transient_adaptive(
     let mut t = 0.0f64;
     let mut dt = opts.dt_initial.clamp(opts.dt_min, opts.dt_max);
     let mut first_step = true;
+    // One Newton workspace reused across every accepted and retried step.
+    let mut ws = NewtonWorkspace::new(netlist.unknown_count());
     while t < opts.t_stop - 1e-18 {
         // Land on the next breakpoint or the stop time.
         let mut target = t + dt;
@@ -274,7 +282,15 @@ pub fn transient_adaptive(
             t: target,
             scheme,
         };
-        match newton_solve(netlist, mode, &cap_states, GMIN_DEFAULT, &x, &opts.newton) {
+        match newton_solve_ws(
+            netlist,
+            mode,
+            &cap_states,
+            GMIN_DEFAULT,
+            &x,
+            &opts.newton,
+            &mut ws,
+        ) {
             Ok((x_new, iters)) => {
                 let dv = x_new[..nv]
                     .iter()
@@ -315,7 +331,6 @@ mod tests {
     use super::*;
     use crate::netlist::{Netlist, Source, SwitchSchedule, GROUND};
 
-
     #[test]
     fn adaptive_matches_fixed_step_on_rc() {
         let build = || {
@@ -330,14 +345,23 @@ mod tests {
         let (n1, out1) = build();
         let fixed = transient(&n1, &TransientOptions::new(5.0e-6, 5000).with_ic()).expect("ok");
         let (n2, out2) = build();
-        let adaptive = transient_adaptive(&n2, &AdaptiveOptions::new(5.0e-6).with_ic()).expect("ok");
+        let adaptive =
+            transient_adaptive(&n2, &AdaptiveOptions::new(5.0e-6).with_ic()).expect("ok");
         for &t in &[0.5e-6, 1.0e-6, 3.0e-6] {
             let a = fixed.voltage(out1, t).expect("in range");
             let b = adaptive.voltage(out2, t).expect("in range");
-            assert!((a - b).abs() < 0.02, "t={t:.1e}: fixed {a:.4} vs adaptive {b:.4}");
+            assert!(
+                (a - b).abs() < 0.02,
+                "t={t:.1e}: fixed {a:.4} vs adaptive {b:.4}"
+            );
         }
         // The adaptive run should use far fewer points.
-        assert!(adaptive.len() < fixed.len() / 3, "{} vs {}", adaptive.len(), fixed.len());
+        assert!(
+            adaptive.len() < fixed.len() / 3,
+            "{} vs {}",
+            adaptive.len(),
+            fixed.len()
+        );
     }
 
     #[test]
@@ -407,11 +431,8 @@ mod tests {
         );
         n.resistor(src, out, 1.0e3);
         n.capacitor(out, GROUND, 1.0e-9, Some(0.0));
-        let w = transient(
-            &n,
-            &TransientOptions::new(5.0e-6, 2000).with_ic(),
-        )
-        .expect("rc converges");
+        let w =
+            transient(&n, &TransientOptions::new(5.0e-6, 2000).with_ic()).expect("rc converges");
         let tau = 1.0e-6;
         for &t in &[0.5e-6, 1.0e-6, 2.0e-6, 4.0e-6] {
             let v = w.voltage(out, t).expect("in range");

@@ -166,12 +166,10 @@ pub fn evaluate(layers: &[LayerShape], cfg: &SystemConfig) -> SystemReport {
         let oc = layer.out_ch as f64;
         // Buffers: inputs re-read per column-tile; partial sums written
         // and read back once per row group.
-        let input_bits_moved =
-            positions * fan * f64::from(cfg.input_bits) * m.col_tiles as f64;
+        let input_bits_moved = positions * fan * f64::from(cfg.input_bits) * m.col_tiles as f64;
         let psum_words = positions * oc * (m.row_tiles * m.row_groups) as f64;
         let psum_bits_moved = 2.0 * psum_words * f64::from(cfg.psum_bits);
-        let energy_buffer =
-            (input_bits_moved + psum_bits_moved) * cfg.periphery.buffer_e_per_bit;
+        let energy_buffer = (input_bits_moved + psum_bits_moved) * cfg.periphery.buffer_e_per_bit;
         // Interconnect: inputs descend the tree, partial sums ascend.
         let energy_htree = htree_energy(
             &cfg.periphery,
@@ -187,10 +185,7 @@ pub fn evaluate(layers: &[LayerShape], cfg: &SystemConfig) -> SystemReport {
         let energy = energy_macro + energy_buffer + energy_htree + energy_digital;
         // Latency: positions sequenced through the deepest tile, plus one
         // word-latency pipeline fill per row group.
-        let latency = positions
-            * f64::from(cfg.input_bits)
-            * m.row_groups as f64
-            * t_cycle
+        let latency = positions * f64::from(cfg.input_bits) * m.row_groups as f64 * t_cycle
             + m.row_groups as f64 * cfg.periphery.word_latency;
 
         total_energy += energy;
@@ -223,7 +218,6 @@ pub fn evaluate(layers: &[LayerShape], cfg: &SystemConfig) -> SystemReport {
         tops: ops / total_latency / 1.0e12,
     }
 }
-
 
 /// Hardware-utilization statistics of a mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -279,11 +273,7 @@ pub fn utilization(layers: &[LayerShape], cfg: &SystemConfig) -> Utilization {
 #[must_use]
 pub fn evaluate_pipelined(layers: &[LayerShape], cfg: &SystemConfig) -> SystemReport {
     let mut r = evaluate(layers, cfg);
-    let bottleneck = r
-        .layers
-        .iter()
-        .map(|l| l.latency)
-        .fold(0.0f64, f64::max);
+    let bottleneck = r.layers.iter().map(|l| l.latency).fold(0.0f64, f64::max);
     let ops = 2.0 * r.total_macs as f64;
     r.fps = 1.0 / bottleneck;
     r.tops = ops / bottleneck / 1.0e12;
@@ -302,13 +292,17 @@ mod tests {
         resnet18_shapes(32, 10)
     }
 
-
     #[test]
     fn pipelined_throughput_beats_sequential() {
         let cfg = SystemConfig::paper(Design::CurFe, 4, 8);
         let seq = evaluate(&cifar_resnet(), &cfg);
         let pipe = evaluate_pipelined(&cifar_resnet(), &cfg);
-        assert!(pipe.fps > 2.0 * seq.fps, "pipe {} vs seq {}", pipe.fps, seq.fps);
+        assert!(
+            pipe.fps > 2.0 * seq.fps,
+            "pipe {} vs seq {}",
+            pipe.fps,
+            seq.fps
+        );
         assert!((pipe.total_energy - seq.total_energy).abs() < 1e-12);
         assert!((pipe.tops_per_watt - seq.tops_per_watt).abs() < 1e-9);
     }
@@ -317,8 +311,11 @@ mod tests {
     fn utilization_is_a_sane_fraction() {
         let cfg = SystemConfig::paper(Design::CurFe, 4, 8);
         let u = utilization(&cifar_resnet(), &cfg);
-        assert!(u.cell_utilization > 0.4 && u.cell_utilization <= 1.0,
-            "utilization {:.3}", u.cell_utilization);
+        assert!(
+            u.cell_utilization > 0.4 && u.cell_utilization <= 1.0,
+            "utilization {:.3}",
+            u.cell_utilization
+        );
         assert!(u.stored_weights > 10_000_000, "ResNet18 ~11M weights");
         assert!(u.capacity_weights >= u.stored_weights);
     }
@@ -332,10 +329,7 @@ mod tests {
 
     #[test]
     fn curfe_system_efficiency_matches_table1() {
-        let r = evaluate(
-            &cifar_resnet(),
-            &SystemConfig::paper(Design::CurFe, 4, 8),
-        );
+        let r = evaluate(&cifar_resnet(), &SystemConfig::paper(Design::CurFe, 4, 8));
         assert!(
             (r.tops_per_watt - PAPER_CURFE_SYS).abs() < 0.08 * PAPER_CURFE_SYS,
             "CurFe system: {:.2} TOPS/W vs paper {PAPER_CURFE_SYS}",
@@ -345,10 +339,7 @@ mod tests {
 
     #[test]
     fn chgfe_system_efficiency_matches_table1() {
-        let r = evaluate(
-            &cifar_resnet(),
-            &SystemConfig::paper(Design::ChgFe, 4, 8),
-        );
+        let r = evaluate(&cifar_resnet(), &SystemConfig::paper(Design::ChgFe, 4, 8));
         assert!(
             (r.tops_per_watt - PAPER_CHGFE_SYS).abs() < 0.08 * PAPER_CHGFE_SYS,
             "ChgFe system: {:.2} TOPS/W vs paper {PAPER_CHGFE_SYS}",
@@ -376,7 +367,10 @@ mod tests {
     fn efficiency_falls_with_input_precision() {
         let mut last = f64::INFINITY;
         for bits in [1u32, 2, 4, 8] {
-            let r = evaluate(&cifar_resnet(), &SystemConfig::paper(Design::CurFe, bits, 8));
+            let r = evaluate(
+                &cifar_resnet(),
+                &SystemConfig::paper(Design::CurFe, bits, 8),
+            );
             assert!(r.tops_per_watt < last);
             last = r.tops_per_watt;
         }
@@ -409,11 +403,7 @@ mod tests {
             &resnet18_shapes(224, 1000),
             &SystemConfig::paper(Design::CurFe, 4, 4),
         );
-        let max_latency = r
-            .layers
-            .iter()
-            .map(|l| l.latency)
-            .fold(0.0f64, f64::max);
+        let max_latency = r.layers.iter().map(|l| l.latency).fold(0.0f64, f64::max);
         let first_conv = &r.layers[0];
         assert!(
             first_conv.latency > 0.3 * max_latency,

@@ -99,10 +99,7 @@ pub fn map_layer(layer: &LayerShape, tile: MacroTile, weight_bits: u32) -> Layer
 pub fn layer_macro_cycles(layer: &LayerShape, m: &LayerMapping, input_bits: u32) -> u64 {
     // Every tile runs `row_groups` cycles per position per input bit;
     // tiles are spatially parallel but each burns its own energy.
-    m.macros as u64
-        * layer.out_positions as u64
-        * u64::from(input_bits)
-        * m.row_groups as u64
+    m.macros as u64 * layer.out_positions as u64 * u64::from(input_bits) * m.row_groups as u64
 }
 
 #[cfg(test)]

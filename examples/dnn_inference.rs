@@ -15,8 +15,19 @@ fn main() {
     let train_set = cifar10_like(150, 42);
     let test_set = cifar10_like(20, 43);
     let mut net = vgg8(10, 8, 7);
-    println!("training VGG8 (width 8) on {} synthetic images ...", train_set.len());
-    let _ = fit(&mut net, &train_set, &test_set, 6, 32, SgdConfig::default(), 1);
+    println!(
+        "training VGG8 (width 8) on {} synthetic images ...",
+        train_set.len()
+    );
+    let _ = fit(
+        &mut net,
+        &train_set,
+        &test_set,
+        6,
+        32,
+        SgdConfig::default(),
+        1,
+    );
     let baseline = evaluate(&mut net, &test_set, 32);
     println!("fp32 baseline accuracy: {:.1}%", baseline * 100.0);
 
@@ -28,8 +39,11 @@ fn main() {
             let (calib, _) = train_set.batch(&(0..16).collect::<Vec<_>>());
             q.calibrate(&calib, 0.25);
             let acc = q.accuracy(&test_set, 100);
-            println!("{design:?} @4b-IN/8b-W, {adc_bits}-bit ADC: {:.1}% (drop {:.1}%)",
-                acc * 100.0, (baseline - acc) * 100.0);
+            println!(
+                "{design:?} @4b-IN/8b-W, {adc_bits}-bit ADC: {:.1}% (drop {:.1}%)",
+                acc * 100.0,
+                (baseline - acc) * 100.0
+            );
         }
     }
 }

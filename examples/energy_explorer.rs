@@ -9,33 +9,54 @@ use fefet_imc::imc::energy::{Activity, ChgFeEnergyModel, CurFeEnergyModel, Weigh
 fn main() {
     println!("== precision sweep (5-bit ADC, 50% activity) ==");
     let a = Activity::average();
-    println!("{:>10} {:>14} {:>14} {:>9}", "in/w bits", "CurFe TOPS/W", "ChgFe TOPS/W", "ChgFe/CurFe");
+    println!(
+        "{:>10} {:>14} {:>14} {:>9}",
+        "in/w bits", "CurFe TOPS/W", "ChgFe TOPS/W", "ChgFe/CurFe"
+    );
     for wb in [WeightBits::W4, WeightBits::W8] {
         for ib in [1u32, 2, 4, 6, 8] {
             let c = CurFeEnergyModel::paper().tops_per_watt(ib, wb, a);
             let q = ChgFeEnergyModel::paper().tops_per_watt(ib, wb, a);
-            println!("{:>7}b/{}b {c:>14.2} {q:>14.2} {:>9.2}", ib, wb.bits(), q / c);
+            println!(
+                "{:>7}b/{}b {c:>14.2} {q:>14.2} {:>9.2}",
+                ib,
+                wb.bits(),
+                q / c
+            );
         }
     }
 
     println!("\n== ADC resolution sweep @(8b,8b) ==");
-    println!("{:>10} {:>14} {:>14}", "ADC bits", "CurFe TOPS/W", "ChgFe TOPS/W");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "ADC bits", "CurFe TOPS/W", "ChgFe TOPS/W"
+    );
     for bits in 3..=8u32 {
         let mut c = CurFeEnergyModel::paper();
         c.adc_bits = bits;
         let mut q = ChgFeEnergyModel::paper();
         q.adc_bits = bits;
-        println!("{bits:>10} {:>14.2} {:>14.2}",
+        println!(
+            "{bits:>10} {:>14.2} {:>14.2}",
             c.tops_per_watt(8, WeightBits::W8, a),
-            q.tops_per_watt(8, WeightBits::W8, a));
+            q.tops_per_watt(8, WeightBits::W8, a)
+        );
     }
 
     println!("\n== activity sensitivity @(8b,8b) ==");
-    println!("{:>18} {:>14} {:>14}", "input density", "CurFe TOPS/W", "ChgFe TOPS/W");
+    println!(
+        "{:>18} {:>14} {:>14}",
+        "input density", "CurFe TOPS/W", "ChgFe TOPS/W"
+    );
     for d in [0.1, 0.25, 0.5, 0.75, 0.9] {
-        let act = Activity { input_density: d, weight_density: 0.5 };
-        println!("{d:>18} {:>14.2} {:>14.2}",
+        let act = Activity {
+            input_density: d,
+            weight_density: 0.5,
+        };
+        println!(
+            "{d:>18} {:>14.2} {:>14.2}",
             CurFeEnergyModel::paper().tops_per_watt(8, WeightBits::W8, act),
-            ChgFeEnergyModel::paper().tops_per_watt(8, WeightBits::W8, act));
+            ChgFeEnergyModel::paper().tops_per_watt(8, WeightBits::W8, act)
+        );
     }
 }

@@ -26,8 +26,11 @@ fn main() {
     let ideal = ideal_mac(&inputs, &weights);
     println!("hardware MAC : {:.1}", out.value);
     println!("ideal MAC    : {ideal}");
-    println!("|error|      : {:.1} (quantization bound: {:.1})",
-        (out.value - ideal as f64).abs(), out.error_bound);
+    println!(
+        "|error|      : {:.1} (quantization bound: {:.1})",
+        (out.value - ideal as f64).abs(),
+        out.error_bound
+    );
 
     // 4. What does it cost? The calibrated circuit-level energy model:
     let e = CurFeEnergyModel::paper();

@@ -16,8 +16,16 @@ fn main() {
 
     for scale in [0.5, 1.0, 2.0] {
         let var = VariationParams::paper().scaled(scale);
-        let ccfg = { let mut c = CurFeConfig::paper(); c.variation = var; c };
-        let qcfg = { let mut c = ChgFeConfig::paper(); c.variation = var; c };
+        let ccfg = {
+            let mut c = CurFeConfig::paper();
+            c.variation = var;
+            c
+        };
+        let qcfg = {
+            let mut c = ChgFeConfig::paper();
+            c.variation = var;
+            c
+        };
         let mut cur_err = Vec::new();
         let mut chg_err = Vec::new();
         for t in 0..trials {

@@ -3,10 +3,10 @@
 
 use analog_sim::transient::{transient, TransientOptions};
 use fefet_imc::device::variation::{VariationParams, VariationSampler};
+use fefet_imc::imc::chgfe::ChgFeBlockPair;
 use fefet_imc::imc::circuit::{chgfe_row_circuit, curfe_row_circuit};
 use fefet_imc::imc::config::{ChgFeConfig, CurFeConfig};
 use fefet_imc::imc::curfe::CurFeBlockPair;
-use fefet_imc::imc::chgfe::ChgFeBlockPair;
 
 fn one_hot(idx: usize) -> Vec<bool> {
     (0..32).map(|r| r == idx).collect()
@@ -54,8 +54,11 @@ fn chgfe_circuit_matches_behavioral_for_several_weights() {
         let beh = bp.partial_mac(&one_hot(0));
         let mut s = VariationSampler::new(VariationParams::none(), 0);
         let circ = chgfe_row_circuit(&cfg, w, &mut s);
-        let wave = transient(&circ.netlist, &TransientOptions::new(circ.t_stop, 700).with_ic())
-            .expect("transient converges");
+        let wave = transient(
+            &circ.netlist,
+            &TransientOptions::new(circ.t_stop, 700).with_ic(),
+        )
+        .expect("transient converges");
         let v_h4 = wave.final_voltage(circ.bl[4]);
         let v_l4 = wave.final_voltage(circ.bl[0]);
         let tol = 1.5 * cfg.unit_delta_v();

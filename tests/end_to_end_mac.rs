@@ -22,8 +22,12 @@ fn curfe_macro_tracks_ideal_across_many_patterns() {
     let mut hw = Vec::new();
     let mut ideal = Vec::new();
     for trial in 0..12u64 {
-        let weights: Vec<i8> = (0..32).map(|i| ((i * 17 + trial as usize * 41) % 256) as u8 as i8).collect();
-        let inputs: Vec<u32> = (0..32).map(|i| ((i * 7 + trial as usize) % 16) as u32).collect();
+        let weights: Vec<i8> = (0..32)
+            .map(|i| ((i * 17 + trial as usize * 41) % 256) as u8 as i8)
+            .collect();
+        let inputs: Vec<u32> = (0..32)
+            .map(|i| ((i * 7 + trial as usize) % 16) as u32)
+            .collect();
         m.program_bank(0, 0, &weights);
         let out = m.mac(0, 0, &inputs, InputPrecision::new(4));
         let id = ideal_mac(&inputs, &weights);
@@ -40,15 +44,23 @@ fn curfe_macro_tracks_ideal_across_many_patterns() {
     // The quantization error is zero-mean across patterns: the RMS over
     // trials stays well below the worst-case bound.
     let stats = MacErrorStats::compare(&hw, &ideal, 32.0 * 127.0 * 15.0);
-    assert!(stats.normalized_rms < 0.03, "normalized RMS {:.4}", stats.normalized_rms);
+    assert!(
+        stats.normalized_rms < 0.03,
+        "normalized RMS {:.4}",
+        stats.normalized_rms
+    );
 }
 
 #[test]
 fn chgfe_macro_tracks_ideal_across_many_patterns() {
     let mut m = ChgFeMacro::paper(13);
     for trial in 0..6u64 {
-        let weights: Vec<i8> = (0..32).map(|i| ((i * 31 + trial as usize * 7) % 256) as u8 as i8).collect();
-        let inputs: Vec<u32> = (0..32).map(|i| ((i * 5 + trial as usize) % 16) as u32).collect();
+        let weights: Vec<i8> = (0..32)
+            .map(|i| ((i * 31 + trial as usize * 7) % 256) as u8 as i8)
+            .collect();
+        let inputs: Vec<u32> = (0..32)
+            .map(|i| ((i * 5 + trial as usize) % 16) as u32)
+            .collect();
         m.program_bank(0, 0, &weights);
         let out = m.mac(0, 0, &inputs, InputPrecision::new(4));
         let id = ideal_mac(&inputs, &weights) as f64;
@@ -82,10 +94,16 @@ fn input_precision_scaling_preserves_value() {
     let o6 = m.mac(0, 0, &inputs, InputPrecision::new(6));
     let ideal = ideal_mac(&inputs, &weights) as f64;
     let g = gross(&inputs, &weights).max(1.0);
-    assert!((o3.value - ideal).abs() <= o3.error_bound + 0.02 * g,
-        "3-bit: {} vs {ideal}", o3.value);
-    assert!((o6.value - ideal).abs() <= o6.error_bound + 0.02 * g,
-        "6-bit: {} vs {ideal}", o6.value);
+    assert!(
+        (o3.value - ideal).abs() <= o3.error_bound + 0.02 * g,
+        "3-bit: {} vs {ideal}",
+        o3.value
+    );
+    assert!(
+        (o6.value - ideal).abs() <= o6.error_bound + 0.02 * g,
+        "6-bit: {} vs {ideal}",
+        o6.value
+    );
 }
 
 #[test]
@@ -93,7 +111,12 @@ fn four_bit_nibble_mode_runs_independent_channels() {
     use fefet_imc::imc::weights::{SignedNibble, UnsignedNibble};
     let mut m = CurFeMacro::paper(5);
     let nibbles: Vec<(SignedNibble, UnsignedNibble)> = (0..32)
-        .map(|i| (SignedNibble::new((i % 16) as i8 - 8), UnsignedNibble::new((i % 16) as u8)))
+        .map(|i| {
+            (
+                SignedNibble::new((i % 16) as i8 - 8),
+                UnsignedNibble::new((i % 16) as u8),
+            )
+        })
         .collect();
     m.program_bank_nibbles(0, 0, &nibbles);
     let stored = m.stored_weights(0, 0).expect("programmed");

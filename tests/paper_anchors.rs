@@ -29,8 +29,16 @@ fn system_level_efficiency_anchors() {
     let shapes = resnet18_shapes(32, 10);
     let cur = evaluate(&shapes, &SystemConfig::paper(Design::CurFe, 4, 8));
     let chg = evaluate(&shapes, &SystemConfig::paper(Design::ChgFe, 4, 8));
-    assert!((cur.tops_per_watt - 12.41).abs() / 12.41 < 0.08, "{:.2}", cur.tops_per_watt);
-    assert!((chg.tops_per_watt - 12.92).abs() / 12.92 < 0.08, "{:.2}", chg.tops_per_watt);
+    assert!(
+        (cur.tops_per_watt - 12.41).abs() / 12.41 < 0.08,
+        "{:.2}",
+        cur.tops_per_watt
+    );
+    assert!(
+        (chg.tops_per_watt - 12.92).abs() / 12.92 < 0.08,
+        "{:.2}",
+        chg.tops_per_watt
+    );
     // Our ChgFe system beats Yue et al.'s 9.40 by ≈the paper's 1.37x.
     let ratio = chg.tops_per_watt / 9.40;
     assert!((ratio - 1.37).abs() < 0.15, "system ratio {ratio:.2}");

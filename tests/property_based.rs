@@ -94,3 +94,73 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Parallel/blocked matmul kernels vs the serial reference (PR 1).
+// ---------------------------------------------------------------------------
+
+/// Deterministic pseudo-random tensor fill (LCG; no rand dependency needed
+/// inside the strategy body).
+fn lcg_tensor(shape: &[usize], seed: u64) -> fefet_imc::nn::tensor::Tensor {
+    use fefet_imc::nn::tensor::Tensor;
+    let len: usize = shape.iter().product();
+    let mut s = seed | 1;
+    let data: Vec<f32> = (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Small signed values, including exact zeros so the kernels'
+            // shared skip-zero fast path is exercised.
+            ((s >> 33) % 17) as f32 - 8.0
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+proptest! {
+    /// The cache-blocked kernel accumulates each output element in the
+    /// same ascending-k order as the serial kernel, so the results must
+    /// agree to exact f32 bit equality on arbitrary (small, ragged) dims.
+    #[test]
+    fn blocked_matmul_is_bit_identical(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        use fefet_imc::nn::tensor::{matmul, matmul_blocked};
+        let a = lcg_tensor(&[m, k], seed);
+        let b = lcg_tensor(&[k, n], seed.wrapping_add(1));
+        let serial = matmul(&a, &b);
+        let blocked = matmul_blocked(&a, &b);
+        for (x, y) in serial.data().iter().zip(blocked.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// The pooled parallel kernel partitions output rows but never
+    /// reorders the per-element accumulation, so any thread count must
+    /// reproduce the serial result bit-for-bit. Dims are chosen large
+    /// enough (m·k·n ≥ 2^18) to cross the parallel work threshold.
+    #[test]
+    fn pooled_matmul_is_bit_identical(
+        m in 64usize..96,
+        k in 64usize..96,
+        n in 64usize..96,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        use fefet_imc::nn::tensor::{matmul, matmul_parallel};
+        let a = lcg_tensor(&[m, k], seed);
+        let b = lcg_tensor(&[k, n], seed.wrapping_add(1));
+        let serial = matmul(&a, &b);
+        let pooled = matmul_parallel(&a, &b, threads);
+        for (x, y) in serial.data().iter().zip(pooled.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

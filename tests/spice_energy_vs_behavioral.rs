@@ -14,7 +14,7 @@ use fefet_imc::sim::transient::{transient, TransientOptions};
 fn curfe_supply_energy_matches_behavioral_current_budget() {
     let cfg = CurFeConfig::paper();
     let weight = 0x33i8; // bits on in both nibbles
-    // SPICE path: energy delivered by VDD_i (element 1: built after vcm).
+                         // SPICE path: energy delivered by VDD_i (element 1: built after vcm).
     let mut s = VariationSampler::new(VariationParams::none(), 0);
     let circ = curfe_row_circuit(&cfg, weight, &mut s);
     let wave = transient(&circ.netlist, &TransientOptions::new(circ.t_stop, 800))

@@ -15,7 +15,9 @@ fn behavioral_grid_matches_ideal_with_no_variation_and_fine_adc() {
     let mut cfg = CurFeConfig::paper();
     cfg.variation = VariationParams::none();
     let (rows, cols) = (96usize, 4usize);
-    let w: Vec<i8> = (0..rows * cols).map(|i| ((i * 23) % 200) as u8 as i8).collect();
+    let w: Vec<i8> = (0..rows * cols)
+        .map(|i| ((i * 23) % 200) as u8 as i8)
+        .collect();
     let x: Vec<u32> = (0..rows).map(|i| (i as u32 * 5) % 16).collect();
     let g: CurFeGrid = MacroGrid::program(cfg, 10, &w, rows, cols, 0);
     let hw = g.mac(&x, InputPrecision::new(4));
