@@ -1,0 +1,459 @@
+//! `loadgen` — open-loop load generator for `imc-serve`.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]
+//!         [--qps N] [--duration-s N] [--conns N] [--out PATH]
+//!         [--smoke] [--stop-server]
+//! ```
+//!
+//! Replays MNIST-shaped traffic at a target QPS. Without `--addr` it
+//! spawns an in-process server on an ephemeral port (same binary, no
+//! setup). Pacing is **open-loop**: requests are sent on a fixed
+//! schedule regardless of response latency, so an overloaded server
+//! exhibits real queueing and shed behaviour instead of the client
+//! backing off.
+//!
+//! Every response is verified **bit-for-bit**: the client rebuilds the
+//! identical synthetic model from `(design, seed)` and precomputes the
+//! expected logits for its input pool, so any divergence — batching,
+//! scheduling, serialization — is an `incorrect` count and a non-zero
+//! exit. Results land in `BENCH_pr2.json` (p50/p95/p99 latency, achieved
+//! QPS, shed rate).
+//!
+//! `--smoke` is the CI mode: short run, low rate, non-zero exit unless
+//! at least one response completed and all were correct.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use imc_serve::model::{parse_design, ServeModel, DEFAULT_SEED};
+use imc_serve::protocol::{read_response, write_request, InferRequest, Request, Response};
+use imc_serve::{serve, Client, ServeConfig};
+use neural::imc_exec::ImcDesign;
+use serde::Serialize;
+
+/// Distinct inputs cycled through by the generator (shared pool keeps
+/// the expected-logits precompute cheap while still exercising varied
+/// activations).
+const INPUT_POOL: usize = 64;
+
+struct Args {
+    addr: Option<String>,
+    design: ImcDesign,
+    seed: u64,
+    qps: u64,
+    duration_s: f64,
+    conns: usize,
+    out: String,
+    smoke: bool,
+    stop_server: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let usage = "usage: loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]\n\
+                 \x20              [--qps N] [--duration-s N] [--conns N] [--out PATH]\n\
+                 \x20              [--smoke] [--stop-server]";
+    let mut args = Args {
+        addr: None,
+        design: ImcDesign::ChgFe,
+        seed: DEFAULT_SEED,
+        qps: 2000,
+        duration_s: 5.0,
+        conns: 4,
+        out: "BENCH_pr2.json".to_owned(),
+        smoke: false,
+        stop_server: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{usage}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--design" => args.design = parse_design(&value("--design")?)?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--qps" => args.qps = value("--qps")?.parse().map_err(|e| format!("--qps: {e}"))?,
+            "--duration-s" => {
+                args.duration_s = value("--duration-s")?
+                    .parse()
+                    .map_err(|e| format!("--duration-s: {e}"))?;
+            }
+            "--conns" => {
+                args.conns = value("--conns")?
+                    .parse()
+                    .map_err(|e| format!("--conns: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--smoke" => {
+                args.smoke = true;
+                args.qps = 200;
+                args.duration_s = 2.0;
+            }
+            "--stop-server" => args.stop_server = true,
+            "--help" | "-h" => return Err(usage.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{usage}")),
+        }
+    }
+    if args.qps == 0 || args.conns == 0 || args.duration_s <= 0.0 {
+        return Err("--qps, --conns, and --duration-s must be positive".to_owned());
+    }
+    Ok(args)
+}
+
+/// The report schema written to `BENCH_pr2.json`.
+#[derive(Serialize)]
+struct Report {
+    design: String,
+    qps_target: u64,
+    qps_achieved: f64,
+    duration_s: f64,
+    conns: usize,
+    sent: u64,
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    incorrect: u64,
+    shed_rate: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// Per-connection outcome counters plus the raw latency samples.
+#[derive(Default)]
+struct ConnResult {
+    sent: u64,
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    incorrect: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Deterministic input pool: `INPUT_POOL` flat vectors in [0, 1), varied
+/// enough to touch different activation patterns.
+fn build_inputs(features: usize) -> Vec<Vec<f32>> {
+    (0..INPUT_POOL)
+        .map(|k| {
+            (0..features)
+                .map(|i| {
+                    let phase = (k * 31 + 7) as f32;
+                    ((i as f32 * 0.37 + phase).sin() * 0.5 + 0.5).clamp(0.0, 1.0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One connection's open-loop run: a sender thread paces requests on a
+/// fixed schedule while this thread receives and verifies responses.
+#[allow(clippy::too_many_arguments)]
+fn run_connection(
+    addr: &str,
+    conn_idx: usize,
+    total_conns: usize,
+    qps: u64,
+    duration: Duration,
+    inputs: &Arc<Vec<Vec<f32>>>,
+    expected: &Arc<Vec<Vec<f32>>>,
+    global_sent: &AtomicU64,
+) -> Result<ConnResult, String> {
+    let writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    writer.set_nodelay(true).ok();
+    let mut reader = writer
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    // Drain window after the send phase ends.
+    reader.set_read_timeout(Some(Duration::from_secs(10))).ok();
+
+    // id → send time, shared with the sender. ids are globally unique:
+    // conn_idx + k * total_conns.
+    let in_flight: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let mut sender = Some({
+        let mut writer = writer;
+        let in_flight = Arc::clone(&in_flight);
+        let inputs = Arc::clone(inputs);
+        let sent_counter = Arc::new(AtomicU64::new(0));
+        let sent_out = Arc::clone(&sent_counter);
+        let per_conn_qps = (qps as f64 / total_conns as f64).max(1.0);
+        let interval = Duration::from_secs_f64(1.0 / per_conn_qps);
+        let handle = std::thread::spawn(move || -> u64 {
+            let start = Instant::now();
+            let mut k = 0u64;
+            loop {
+                let due = start + interval.mul_f64(k as f64);
+                let now = Instant::now();
+                if now < due {
+                    std::thread::sleep(due - now);
+                }
+                if start.elapsed() >= duration {
+                    break;
+                }
+                let id = conn_idx as u64 + k * total_conns as u64;
+                let input = &inputs[(id as usize) % INPUT_POOL];
+                in_flight.lock().unwrap().insert(id, Instant::now());
+                let req = Request::Infer(InferRequest {
+                    id,
+                    input: input.clone(),
+                });
+                if write_request(&mut writer, &req).is_err() {
+                    in_flight.lock().unwrap().remove(&id);
+                    break;
+                }
+                sent_out.fetch_add(1, Ordering::Relaxed);
+                k += 1;
+            }
+            sent_counter.load(Ordering::Relaxed)
+        });
+        handle
+    });
+
+    let mut res = ConnResult::default();
+    // Receive until every sent request is answered (or the drain timeout
+    // fires). The sender's final count isn't known until it joins, so
+    // first drain optimistically, then join and finish.
+    let mut answered = 0u64;
+    let mut sender_done: Option<u64> = None;
+    loop {
+        if let Some(total) = sender_done {
+            if answered >= total {
+                break;
+            }
+        } else if sender
+            .as_ref()
+            .is_some_and(std::thread::JoinHandle::is_finished)
+        {
+            let total = sender
+                .take()
+                .expect("sender present")
+                .join()
+                .map_err(|_| "sender panicked".to_owned())?;
+            res.sent = total;
+            global_sent.fetch_add(total, Ordering::Relaxed);
+            sender_done = Some(total);
+            continue;
+        }
+        match read_response(&mut reader) {
+            Ok(Some(Response::Output(r))) => {
+                answered += 1;
+                let sent_at = in_flight.lock().unwrap().remove(&r.id);
+                if let Some(t0) = sent_at {
+                    res.latencies_us.push(t0.elapsed().as_micros() as u64);
+                }
+                let exp = &expected[(r.id as usize) % INPUT_POOL];
+                let bits_equal = r.logits.len() == exp.len()
+                    && r.logits
+                        .iter()
+                        .zip(exp.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if bits_equal {
+                    res.completed += 1;
+                } else {
+                    res.incorrect += 1;
+                }
+            }
+            Ok(Some(Response::Shed(r))) => {
+                answered += 1;
+                in_flight.lock().unwrap().remove(&r.id);
+                res.shed += 1;
+            }
+            Ok(Some(Response::Error(_))) => {
+                answered += 1;
+                res.errors += 1;
+            }
+            Ok(Some(_)) => {}  // Pong/Stats/ShuttingDown: not expected here
+            Ok(None) => break, // server closed
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Drain window expired with requests still unanswered.
+                break;
+            }
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+    if let Some(h) = sender.take() {
+        let total = h.join().map_err(|_| "sender panicked".to_owned())?;
+        res.sent = total;
+        global_sent.fetch_add(total, Ordering::Relaxed);
+    }
+    Ok(res)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The verification oracle: the exact model the server runs (same
+    // design, same seed ⇒ identical weights and noise streams).
+    eprintln!(
+        "loadgen: building {:?} oracle (seed {:#x})...",
+        args.design, args.seed
+    );
+    let oracle = ServeModel::synthetic(args.design, args.seed);
+    let inputs = Arc::new(build_inputs(oracle.input_features()));
+    let expected: Arc<Vec<Vec<f32>>> =
+        Arc::new(inputs.iter().map(|x| oracle.infer_one(x)).collect());
+
+    // Target: an external server, or an in-process one on an ephemeral
+    // port (spawned with the same oracle weights).
+    let mut local = None;
+    let addr = match &args.addr {
+        Some(a) => a.clone(),
+        None => {
+            let handle = serve(
+                "127.0.0.1:0",
+                Arc::new(ServeModel::synthetic(args.design, args.seed)),
+                &ServeConfig::default(),
+            )
+            .expect("bind in-process server");
+            let a = handle.addr().to_string();
+            eprintln!("loadgen: in-process server on {a}");
+            local = Some(handle);
+            a
+        }
+    };
+
+    let duration = Duration::from_secs_f64(args.duration_s);
+    eprintln!(
+        "loadgen: {} qps for {:.1}s over {} connection(s) against {addr}",
+        args.qps, args.duration_s, args.conns
+    );
+    let t0 = Instant::now();
+    let global_sent = Arc::new(AtomicU64::new(0));
+    let results: Vec<Result<ConnResult, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.conns)
+            .map(|c| {
+                let addr = addr.as_str();
+                let inputs = &inputs;
+                let expected = &expected;
+                let global_sent = &global_sent;
+                s.spawn(move || {
+                    run_connection(
+                        addr,
+                        c,
+                        args.conns,
+                        args.qps,
+                        duration,
+                        inputs,
+                        expected,
+                        global_sent,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut sent = 0u64;
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    let mut errors = 0u64;
+    let mut incorrect = 0u64;
+    let mut lat: Vec<u64> = Vec::new();
+    let mut conn_failures = 0usize;
+    for r in results {
+        match r {
+            Ok(c) => {
+                sent += c.sent;
+                completed += c.completed;
+                shed += c.shed;
+                errors += c.errors;
+                incorrect += c.incorrect;
+                lat.extend(c.latencies_us);
+            }
+            Err(e) => {
+                eprintln!("loadgen: connection failed: {e}");
+                conn_failures += 1;
+            }
+        }
+    }
+    lat.sort_unstable();
+
+    if args.stop_server && conn_failures < args.conns {
+        match Client::connect(addr.as_str()).and_then(|mut c| c.shutdown()) {
+            Ok(()) => eprintln!("loadgen: server acknowledged shutdown"),
+            Err(e) => eprintln!("loadgen: shutdown request failed: {e}"),
+        }
+    }
+    if let Some(handle) = local {
+        handle.shutdown_flag().trigger();
+        handle.join();
+    }
+
+    let report = Report {
+        design: format!("{:?}", args.design),
+        qps_target: args.qps,
+        qps_achieved: completed as f64 / wall,
+        duration_s: wall,
+        conns: args.conns,
+        sent,
+        completed,
+        shed,
+        errors,
+        incorrect,
+        shed_rate: if sent > 0 {
+            shed as f64 / sent as f64
+        } else {
+            0.0
+        },
+        p50_us: quantile(&lat, 0.50),
+        p95_us: quantile(&lat, 0.95),
+        p99_us: quantile(&lat, 0.99),
+        max_us: lat.last().copied().unwrap_or(0),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, format!("{json}\n")).expect("write report");
+    println!("{json}");
+    println!("\nwrote {}", args.out);
+
+    let verified_ok = incorrect == 0 && errors == 0 && conn_failures == 0;
+    if args.smoke {
+        if verified_ok && completed > 0 {
+            println!("smoke: OK ({completed} responses, all bit-exact)");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "smoke: FAILED (completed={completed} incorrect={incorrect} errors={errors} conn_failures={conn_failures})"
+            );
+            ExitCode::FAILURE
+        }
+    } else if verified_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "loadgen: FAILED (incorrect={incorrect} errors={errors} conn_failures={conn_failures})"
+        );
+        ExitCode::FAILURE
+    }
+}

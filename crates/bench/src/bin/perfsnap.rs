@@ -86,15 +86,14 @@ fn main() {
     // --- Fig. 7 Monte-Carlo kernel -------------------------------------
     let serial = time_best(3, || {
         let r = run_trials(1000, 1, |s| fig7_trial(&ccfg, s));
-        match r.try_mean() {
-            Some(_) => {}
-            None => eprintln!("fig7 batch: every trial failed to converge"),
+        if let Err(e) = r.try_mean() {
+            eprintln!("fig7 batch: {e}");
         }
     });
     let pooled = time_best(3, || {
         let r = run_trials_par(1000, 1, |s| fig7_trial(&ccfg, s));
-        if r.try_std_dev().is_none() {
-            eprintln!("fig7 pooled batch: every trial failed to converge");
+        if let Err(e) = r.try_std_dev() {
+            eprintln!("fig7 pooled batch: {e}");
         }
     });
     let fig7 = Pair {

@@ -2,72 +2,83 @@
 //! `results.json` summary (paper anchor vs measured) — the artifact
 //! behind EXPERIMENTS.md. The two training-based experiments (Fig. 10 and
 //! the variation ablation) are skipped here; run their binaries directly.
+//!
+//! Each experiment section runs under `catch_unwind`, so one broken
+//! model cannot silently take down the whole sweep: every section that
+//! fails is reported, the survivors still land in `results.json`, and
+//! the process exits non-zero. Before exiting, the written JSON is
+//! parsed back to guarantee the artifact is machine-readable.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
 
 use imc_baselines::analog::AnalogShiftAddModel;
 use imc_baselines::digital::DigitalShiftAddModel;
 use imc_baselines::sota::headline_ratios;
 use imc_core::energy::{Activity, ChgFeEnergyModel, CurFeEnergyModel, WeightBits};
 use neural::models::resnet18_shapes;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use system_perf::chip::{evaluate, Design, SystemConfig};
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Anchor {
-    experiment: &'static str,
-    quantity: &'static str,
+    experiment: String,
+    quantity: String,
     paper: f64,
     measured: f64,
     ratio: f64,
 }
 
-fn anchor(experiment: &'static str, quantity: &'static str, paper: f64, measured: f64) -> Anchor {
+fn anchor(experiment: &str, quantity: &str, paper: f64, measured: f64) -> Anchor {
     Anchor {
-        experiment,
-        quantity,
+        experiment: experiment.to_owned(),
+        quantity: quantity.to_owned(),
         paper,
         measured,
         ratio: measured / paper,
     }
 }
 
-fn main() {
-    let a = Activity::average();
-    let cur = CurFeEnergyModel::paper();
-    let chg = ChgFeEnergyModel::paper();
-    let shapes = resnet18_shapes(32, 10);
-    let sys_cur = evaluate(&shapes, &SystemConfig::paper(Design::CurFe, 4, 8));
-    let sys_chg = evaluate(&shapes, &SystemConfig::paper(Design::ChgFe, 4, 8));
-    let ratios = headline_ratios();
-
-    // Fig. 3 anchors via the behavioural bank.
-    let (i_h4, i_l4) = {
-        use fefet_device::variation::{VariationParams, VariationSampler};
-        use imc_core::config::CurFeConfig;
-        use imc_core::curfe::CurFeBlockPair;
-        let cfg = CurFeConfig::paper();
-        let mut s = VariationSampler::new(VariationParams::none(), 0);
-        let mut w = vec![0i8; 32];
-        w[0] = -1;
-        let bp = CurFeBlockPair::program(&cfg, &w, &mut s);
-        let active: Vec<bool> = (0..32).map(|r| r == 0).collect();
-        bp.block_currents(&active)
-    };
-
-    let anchors = vec![
+fn fig3_anchors() -> Vec<Anchor> {
+    use fefet_device::variation::{VariationParams, VariationSampler};
+    use imc_core::config::CurFeConfig;
+    use imc_core::curfe::CurFeBlockPair;
+    let cfg = CurFeConfig::paper();
+    let mut s = VariationSampler::new(VariationParams::none(), 0);
+    let mut w = vec![0i8; 32];
+    w[0] = -1;
+    let bp = CurFeBlockPair::program(&cfg, &w, &mut s);
+    let active: Vec<bool> = (0..32).map(|r| r == 0).collect();
+    let (i_h4, i_l4) = bp.block_currents(&active);
+    vec![
         anchor("fig3", "I_H4 (nA)", -100.0, i_h4 * 1e9),
         anchor("fig3", "I_L4 (uA)", 1.5, i_l4 * 1e6),
+    ]
+}
+
+fn fig9_circuit_anchors() -> Vec<Anchor> {
+    let a = Activity::average();
+    vec![
         anchor(
             "fig9/table1",
             "CurFe circuit TOPS/W @(8b,8b)",
             12.18,
-            cur.tops_per_watt(8, WeightBits::W8, a),
+            CurFeEnergyModel::paper().tops_per_watt(8, WeightBits::W8, a),
         ),
         anchor(
             "fig9/table1",
             "ChgFe circuit TOPS/W @(8b,8b)",
             14.47,
-            chg.tops_per_watt(8, WeightBits::W8, a),
+            ChgFeEnergyModel::paper().tops_per_watt(8, WeightBits::W8, a),
         ),
+    ]
+}
+
+fn fig11_system_anchors() -> Vec<Anchor> {
+    let shapes = resnet18_shapes(32, 10);
+    let sys_cur = evaluate(&shapes, &SystemConfig::paper(Design::CurFe, 4, 8));
+    let sys_chg = evaluate(&shapes, &SystemConfig::paper(Design::ChgFe, 4, 8));
+    vec![
         anchor(
             "fig11/table1",
             "CurFe system TOPS/W @(4b,8b)",
@@ -80,6 +91,12 @@ fn main() {
             12.92,
             sys_chg.tops_per_watt,
         ),
+    ]
+}
+
+fn table1_sota_anchors() -> Vec<Anchor> {
+    let ratios = headline_ratios();
+    vec![
         anchor(
             "table1",
             "vs SRAM [10] (tabulated)",
@@ -98,6 +115,12 @@ fn main() {
             1.37,
             ratios.vs_yue_system,
         ),
+    ]
+}
+
+fn shift_add_ablation_anchors() -> Vec<Anchor> {
+    let a = Activity::average();
+    vec![
         anchor(
             "ablate_shift_add",
             "digital baseline TOPS/W @(8b,8b)",
@@ -110,7 +133,37 @@ fn main() {
             10.4,
             AnalogShiftAddModel::paper().tops_per_watt(8, WeightBits::W8, a),
         ),
+    ]
+}
+
+/// One independently-failable experiment section.
+type Section = (&'static str, fn() -> Vec<Anchor>);
+
+fn main() -> ExitCode {
+    let sections: Vec<Section> = vec![
+        ("fig3", fig3_anchors),
+        ("fig9_circuit", fig9_circuit_anchors),
+        ("fig11_system", fig11_system_anchors),
+        ("table1_sota", table1_sota_anchors),
+        ("ablate_shift_add", shift_add_ablation_anchors),
     ];
+
+    let mut anchors = Vec::new();
+    let mut failed = Vec::new();
+    for (name, run) in sections {
+        match catch_unwind(AssertUnwindSafe(run)) {
+            Ok(mut a) => anchors.append(&mut a),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                eprintln!("run_all: section `{name}` FAILED: {msg}");
+                failed.push(name);
+            }
+        }
+    }
 
     let json = serde_json::to_string_pretty(&anchors).expect("serializes");
     let path = "results.json";
@@ -125,4 +178,37 @@ fn main() {
         worst = worst.max((an.ratio - 1.0).abs() + 1.0);
     }
     println!("\nworst |ratio-1|: {:.3}", worst - 1.0);
+
+    // Validate the artifact parses back before claiming success — a
+    // results.json that downstream tooling cannot read is a failure even
+    // if every section ran.
+    let reread = std::fs::read_to_string(path).expect("just wrote it");
+    match serde_json::from_str::<Vec<Anchor>>(&reread) {
+        Ok(parsed) if parsed.len() == anchors.len() => {
+            println!("{path} validated ({} anchors parse back)", parsed.len());
+        }
+        Ok(parsed) => {
+            eprintln!(
+                "run_all: {path} round trip lost anchors ({} written, {} parsed)",
+                anchors.len(),
+                parsed.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("run_all: {path} does not parse back: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "run_all: {} section(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        ExitCode::FAILURE
+    }
 }

@@ -95,6 +95,17 @@ pub fn pool() -> &'static Pool {
     POOL.get_or_init(|| Pool::new(threads().saturating_sub(1)))
 }
 
+/// Eagerly builds the process-wide pool and returns the execution width
+/// (workers + the calling thread).
+///
+/// Long-lived services call this at startup so the worker threads are
+/// spawned before the first request arrives, instead of folding the
+/// spawn cost into the first request's latency. Calling it again (or
+/// after any other pool use) is a cheap no-op.
+pub fn warmup() -> usize {
+    pool().workers() + 1
+}
+
 impl Pool {
     /// Builds a pool with `workers` background threads (0 is valid: all
     /// jobs then run entirely on the calling thread).
@@ -372,6 +383,14 @@ mod tests {
         // The pool stays usable afterwards.
         let out = par_map_indexed(16, |i| i + 1);
         assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn warmup_reports_the_execution_width_and_is_idempotent() {
+        let w = warmup();
+        assert!(w >= 1);
+        assert_eq!(w, warmup());
+        assert_eq!(w, pool().workers() + 1);
     }
 
     #[test]

@@ -734,6 +734,47 @@ impl QNetwork {
         }
     }
 
+    /// Batch-friendly inference for serving: evaluates every sample of a
+    /// batch **independently**, each with its own noise stream seeded
+    /// from `cfg.seed`, and fans the samples out across the shared
+    /// `par_exec` pool.
+    ///
+    /// Unlike [`forward`](Self::forward) — whose single Gaussian stream
+    /// makes a sample's noise depend on its batch position — each output
+    /// row here is **bit-identical** to `forward` on that sample alone
+    /// (`[1, ...]`), whatever the batch composition or thread count. That
+    /// is the property a dynamic batcher needs: coalescing requests must
+    /// never change any individual response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or its layer sequence rejects the shape.
+    #[must_use]
+    pub fn forward_each(&self, x: &Tensor) -> Tensor {
+        let n = x.shape()[0];
+        assert!(n > 0, "forward_each needs at least one sample");
+        let sample_shape: Vec<usize> = std::iter::once(1)
+            .chain(x.shape()[1..].iter().copied())
+            .collect();
+        let stride = x.len() / n;
+        let outs = par_exec::par_map_indexed(n, |i| {
+            let xi = Tensor::from_vec(
+                &sample_shape,
+                x.data()[i * stride..(i + 1) * stride].to_vec(),
+            );
+            self.forward(&xi)
+        });
+        let per = outs[0].len();
+        let mut shape = outs[0].shape().to_vec();
+        shape[0] = n;
+        let mut data = Vec::with_capacity(n * per);
+        for o in &outs {
+            assert_eq!(o.len(), per, "ragged per-sample outputs");
+            data.extend_from_slice(o.data());
+        }
+        Tensor::from_vec(&shape, data)
+    }
+
     /// Classification accuracy over (a prefix of) a dataset.
     ///
     /// Batches are evaluated concurrently on the shared `par_exec` pool.
@@ -959,6 +1000,31 @@ mod tests {
             cal < raw * 0.5,
             "calibrated 5-bit dev {cal:.3e} should beat uncalibrated {raw:.3e}"
         );
+    }
+
+    #[test]
+    fn forward_each_rows_are_bit_identical_to_single_sample_forward() {
+        // ChgFe with full noise: the strongest test of per-sample stream
+        // isolation. Batched `forward` would interleave one stream across
+        // rows; `forward_each` must not.
+        let net = crate::models::mlp(48, 16, 10, 5);
+        let cfg = ImcConfig::paper(ImcDesign::ChgFe, 4, 8);
+        let q = QNetwork::from_sequential(&net, cfg);
+        let n = 7;
+        let x = Tensor::from_vec(
+            &[n, 48],
+            (0..n * 48).map(|i| (i % 29) as f32 / 29.0).collect(),
+        );
+        let batched = q.forward_each(&x);
+        assert_eq!(batched.shape(), &[n, 10]);
+        for i in 0..n {
+            let xi = Tensor::from_vec(&[1, 48], x.data()[i * 48..(i + 1) * 48].to_vec());
+            let yi = q.forward(&xi);
+            let row = &batched.data()[i * 10..(i + 1) * 10];
+            for (a, b) in row.iter().zip(yi.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} diverged");
+            }
+        }
     }
 
     #[test]

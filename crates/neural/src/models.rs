@@ -244,6 +244,22 @@ pub fn vgg8(classes: usize, width: usize, seed: u64) -> Sequential {
         .push(Linear::new(w3, classes, &mut rng))
 }
 
+/// Builds a plain two-layer MLP (`features → hidden → classes` with one
+/// ReLU) on flat `[N, features]` inputs.
+///
+/// This is the serving stack's default model shape: an MNIST-sized
+/// `mlp(784, 64, 10, seed)` runs fully on the IMC statistical executor
+/// (both layers are `Linear`, so every MAC goes through the macro model)
+/// while staying cheap enough for >1k inferences/s.
+#[must_use]
+pub fn mlp(features: usize, hidden: usize, classes: usize, seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new()
+        .push(Linear::new(features, hidden, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(hidden, classes, &mut rng))
+}
+
 /// Builds a ResNet18-style network (8 basic blocks, `[2,2,2,2]` layout) on
 /// 3×32×32 inputs. `width` is the stem channel count (the original uses
 /// 64).

@@ -1,0 +1,155 @@
+//! `imc-serve` — the batched FeFET-IMC inference server.
+//!
+//! ```text
+//! imc-serve [--addr HOST:PORT] [--design curfe|chgfe] [--checkpoint PATH]
+//!           [--banks N] [--max-batch N] [--max-wait-us N]
+//!           [--queue-depth N] [--seed N]
+//! ```
+//!
+//! Serves the MNIST-shaped MLP (784 → 64 → 10) on the chosen analog
+//! macro design. Without `--checkpoint` the weights are the
+//! deterministic synthetic set derived from `--seed`, which lets
+//! `loadgen` rebuild the identical model locally and verify every
+//! response bit-for-bit. Stop with ctrl-c / SIGTERM or a `Shutdown`
+//! control request; either way the server drains all admitted work
+//! before exiting and prints a final stats summary.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use imc_serve::model::{parse_design, ServeModel, DEFAULT_SEED};
+use imc_serve::{install_signal_handlers, serve, ServeConfig};
+use neural::imc_exec::ImcDesign;
+
+struct Args {
+    addr: String,
+    design: ImcDesign,
+    checkpoint: Option<String>,
+    seed: u64,
+    cfg: ServeConfig,
+}
+
+fn usage() -> String {
+    "usage: imc-serve [--addr HOST:PORT] [--design curfe|chgfe] [--checkpoint PATH]\n\
+     \x20                [--banks N] [--max-batch N] [--max-wait-us N]\n\
+     \x20                [--queue-depth N] [--seed N]"
+        .to_owned()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7411".to_owned(),
+        design: ImcDesign::ChgFe,
+        checkpoint: None,
+        seed: DEFAULT_SEED,
+        cfg: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--design" => args.design = parse_design(&value("--design")?)?,
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--banks" => {
+                args.cfg.banks = value("--banks")?
+                    .parse()
+                    .map_err(|e| format!("--banks: {e}"))?;
+            }
+            "--max-batch" => {
+                args.cfg.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--max-wait-us" => {
+                let us: u64 = value("--max-wait-us")?
+                    .parse()
+                    .map_err(|e| format!("--max-wait-us: {e}"))?;
+                args.cfg.max_wait = Duration::from_micros(us);
+            }
+            "--queue-depth" => {
+                args.cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if args.cfg.banks == 0 || args.cfg.max_batch == 0 || args.cfg.queue_depth == 0 {
+        return Err("--banks, --max-batch, and --queue-depth must be positive".to_owned());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let model = match &args.checkpoint {
+        Some(path) => match ServeModel::from_checkpoint(path, args.design) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("imc-serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ServeModel::synthetic(args.design, args.seed),
+    };
+    let model = Arc::new(model);
+
+    install_signal_handlers();
+    let handle = match serve(args.addr.as_str(), Arc::clone(&model), &args.cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("imc-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "imc-serve listening on {} ({:?}, {}->{} features, {} banks, batch<={} wait<={}us queue<={})",
+        handle.addr(),
+        model.design(),
+        model.input_features(),
+        model.classes(),
+        args.cfg.banks,
+        args.cfg.max_batch,
+        args.cfg.max_wait.as_micros(),
+        args.cfg.queue_depth,
+    );
+
+    // Park until the latch trips (signal or Shutdown control request).
+    let flag = handle.shutdown_flag();
+    while !flag.is_set() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("imc-serve: shutting down, draining admitted work...");
+    let metrics = handle.metrics_handle();
+    handle.join();
+    let snap = metrics.snapshot(0);
+    println!(
+        "imc-serve: done. admitted={} completed={} shed={} batches={} errors={} p50={}us p99={}us",
+        snap.admitted,
+        snap.completed,
+        snap.shed,
+        snap.batches,
+        snap.protocol_errors,
+        snap.request_latency.p50_us,
+        snap.request_latency.p99_us,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,104 @@
+//! A minimal blocking client for the serve protocol — used by the load
+//! generator, the integration tests, and anyone scripting against a
+//! running `imc-serve`.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_response, write_request, InferRequest, Request, Response, StatsReply};
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    /// Sends a request frame without waiting for the response (pipelined
+    /// use: pair with [`recv`](Self::recv)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_request(&mut self.stream, req)
+    }
+
+    /// Receives the next response frame (`None` on clean server close).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse errors.
+    pub fn recv(&mut self) -> io::Result<Option<Response>> {
+        read_response(&mut self.stream)
+    }
+
+    /// Round-trips one inference request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; fails if the connection closes early.
+    pub fn infer(&mut self, id: u64, input: Vec<f32>) -> io::Result<Response> {
+        self.send(&Request::Infer(InferRequest { id, input }))?;
+        self.recv()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// Fetches a statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected response variant.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Some(Response::Stats(s)) => Ok(s),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Stats, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends the graceful-shutdown control request and waits for the ack.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected response variant.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Some(Response::ShuttingDown) => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected ShuttingDown, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected response variant.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Some(Response::Pong) => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Pong, got {other:?}"),
+            )),
+        }
+    }
+}

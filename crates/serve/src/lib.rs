@@ -1,0 +1,58 @@
+//! `imc-serve` — a batched inference service over the FeFET analog
+//! in-memory-computing statistical models.
+//!
+//! The crate turns the repo's offline evaluation stack
+//! (`neural::imc_exec::QNetwork` running on the CurFe / ChgFe macro
+//! models) into a long-running TCP service:
+//!
+//! ```text
+//!  clients ──frames──▶ connection threads ──▶ AdmissionQueue (bounded)
+//!                                                   │ flush on size/deadline
+//!                                                   ▼
+//!                                             batcher thread
+//!                                                   │ least-loaded dispatch
+//!                                                   ▼
+//!                                   BankScheduler: 16 bank workers
+//!                                                   │ QNetwork::forward_each
+//!                                                   ▼
+//!                                       replies + latency histograms
+//! ```
+//!
+//! Layer by layer:
+//!
+//! * [`protocol`] — length-prefixed JSON framing and the request/response
+//!   types.
+//! * [`batcher`] — the bounded admission queue with deadline-based
+//!   dynamic batching; overflow is shed immediately (backpressure).
+//! * [`scheduler`] — least-loaded dispatch across per-bank workers,
+//!   mirroring the paper's 16-bank macro organisation.
+//! * [`model`] — the served [`model::ServeModel`]: synthetic
+//!   deterministic weights or a `neural::checkpoint` restore.
+//! * [`metrics`] — lock-free log-linear latency histograms and
+//!   service counters behind the `Stats` control request.
+//! * [`server`] — ties it together: [`server::serve`] returns a
+//!   [`server::ServerHandle`] for graceful shutdown.
+//! * [`client`] — a small blocking client (used by `loadgen` and the
+//!   integration tests).
+//! * [`shutdown`] — the cooperative shutdown latch and Unix signal
+//!   hookup.
+//!
+//! Batching never changes answers: the batch entry point
+//! (`QNetwork::forward_each`) gives every sample its own noise stream,
+//! so each response is bit-identical to running that input alone.
+
+#![deny(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod metrics;
+pub mod model;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod shutdown;
+
+pub use client::Client;
+pub use model::ServeModel;
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use shutdown::{install_signal_handlers, ShutdownFlag};

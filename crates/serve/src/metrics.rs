@@ -1,0 +1,283 @@
+//! Service metrics: lock-free counters and log-linear latency histograms.
+//!
+//! Recording sits on the response path, so everything is atomic —
+//! recording never takes a lock. Snapshots ([`Metrics::snapshot`]) fold
+//! the histograms into p50/p95/p99 summaries for the `Stats` control
+//! request.
+//!
+//! The histogram uses HDR-style log-linear buckets: each power-of-two
+//! octave of microseconds is split into [`SUB_BUCKETS`] linear
+//! sub-buckets, bounding the relative quantile error at
+//! `1/SUB_BUCKETS` (6.25 %) across nine decades of latency without a
+//! per-observation allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::protocol::{BankStats, LatencySummary, StatsReply};
+
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: usize = 16;
+/// Number of octaves: values up to 2^36 µs (~19 hours) bucket exactly,
+/// larger ones clamp into the final bucket.
+const OCTAVES: usize = 37;
+
+/// A fixed-size log-linear histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+/// Bucket index for a value: octave = position of the highest set bit,
+/// sub-bucket = the next `log2(SUB_BUCKETS)` bits below it.
+fn bucket_index(us: u64) -> usize {
+    if us < SUB_BUCKETS as u64 {
+        // First octaves collapse: values below SUB_BUCKETS are exact.
+        return us as usize;
+    }
+    let msb = 63 - us.leading_zeros() as usize;
+    let shift = msb - SUB_BUCKETS.trailing_zeros() as usize;
+    let sub = ((us >> shift) as usize) & (SUB_BUCKETS - 1);
+    let octave = (msb + 1 - SUB_BUCKETS.trailing_zeros() as usize).min(OCTAVES - 1);
+    octave * SUB_BUCKETS + sub
+}
+
+/// Upper-bound value represented by a bucket (what quantiles report).
+fn bucket_value(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = index / SUB_BUCKETS;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let shift = octave - 1;
+    ((SUB_BUCKETS as u64 + sub + 1) << shift) - 1
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..OCTAVES * SUB_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (microseconds).
+    pub fn record(&self, us: u64) {
+        let idx = bucket_index(us).min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds the histogram into a percentile summary. Quantiles report a
+    /// bucket upper bound, so they over-estimate by at most
+    /// `1/SUB_BUCKETS` relative.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return LatencySummary {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0,
+                p95_us: 0,
+                p99_us: 0,
+                max_us: 0,
+            };
+        }
+        let quantile = |q: f64| -> u64 {
+            // Rank of the q-th quantile, 1-based, clamped into range.
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_value(i);
+                }
+            }
+            bucket_value(counts.len() - 1)
+        };
+        let max_us = counts.iter().rposition(|&c| c > 0).map_or(0, bucket_value);
+        LatencySummary {
+            count: total,
+            mean_us: self.sum_us.load(Ordering::Relaxed) as f64 / total as f64,
+            p50_us: quantile(0.50),
+            p95_us: quantile(0.95),
+            p99_us: quantile(0.99),
+            max_us,
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-bank dispatch counters.
+#[derive(Debug, Default)]
+pub struct BankCounters {
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Requests executed.
+    pub requests: AtomicU64,
+}
+
+/// All service counters and histograms, shared across threads.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests admitted into the queue.
+    pub admitted: AtomicU64,
+    /// Requests with a response written.
+    pub completed: AtomicU64,
+    /// Requests shed by backpressure or shutdown.
+    pub shed: AtomicU64,
+    /// Unparseable frames / invalid requests.
+    pub protocol_errors: AtomicU64,
+    /// Batches dispatched.
+    pub batches: AtomicU64,
+    /// End-to-end request latency (admission → response ready).
+    pub request_latency: LatencyHistogram,
+    /// Bank execution latency per batch.
+    pub batch_latency: LatencyHistogram,
+    /// Per-bank counters, indexed by bank id.
+    pub banks: Vec<BankCounters>,
+    started: Instant,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for `banks` banks.
+    #[must_use]
+    pub fn new(banks: usize) -> Self {
+        Self {
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            request_latency: LatencyHistogram::new(),
+            batch_latency: LatencyHistogram::new(),
+            banks: (0..banks).map(|_| BankCounters::default()).collect(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Folds everything into a wire-format snapshot. `queue_depth` is
+    /// sampled by the caller (the metrics layer doesn't own the queue).
+    #[must_use]
+    pub fn snapshot(&self, queue_depth: usize) -> StatsReply {
+        let uptime = self.started.elapsed();
+        let completed = self.completed.load(Ordering::Relaxed);
+        StatsReply {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_depth,
+            throughput_rps: completed as f64 / uptime.as_secs_f64().max(1e-9),
+            uptime_ms: uptime.as_millis() as u64,
+            request_latency: self.request_latency.summary(),
+            batch_latency: self.batch_latency.summary(),
+            banks: self
+                .banks
+                .iter()
+                .enumerate()
+                .map(|(bank, c)| BankStats {
+                    bank,
+                    batches: c.batches.load(Ordering::Relaxed),
+                    requests: c.requests.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_bucket_exactly() {
+        for us in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_value(bucket_index(us)), us);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_tight() {
+        let mut last = 0;
+        for us in [20u64, 100, 999, 10_000, 123_456, 9_999_999, 1 << 39] {
+            let idx = bucket_index(us);
+            let upper = bucket_value(idx);
+            assert!(upper >= us, "upper {upper} < value {us}");
+            // Relative error bound: 1/SUB_BUCKETS.
+            assert!(
+                (upper - us) as f64 <= us as f64 / SUB_BUCKETS as f64 + 1.0,
+                "bucket for {us} too coarse ({upper})"
+            );
+            assert!(idx >= last);
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_land_within_bucket_error() {
+        let h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(us);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        let close = |got: u64, want: f64| {
+            let rel = (got as f64 - want).abs() / want;
+            assert!(rel < 0.08, "quantile {got} vs expected {want}");
+        };
+        close(s.p50_us, 500.0);
+        close(s.p95_us, 950.0);
+        close(s.p99_us, 990.0);
+        close(s.max_us, 1000.0);
+        assert!((s.mean_us - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        let s = LatencyHistogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.mean_us, 0.0);
+    }
+
+    #[test]
+    fn snapshot_carries_bank_counters() {
+        let m = Metrics::new(3);
+        m.banks[1].batches.fetch_add(2, Ordering::Relaxed);
+        m.banks[1].requests.fetch_add(9, Ordering::Relaxed);
+        m.completed.fetch_add(9, Ordering::Relaxed);
+        let s = m.snapshot(5);
+        assert_eq!(s.queue_depth, 5);
+        assert_eq!(s.banks.len(), 3);
+        assert_eq!(s.banks[1].batches, 2);
+        assert_eq!(s.banks[1].requests, 9);
+        assert!(s.throughput_rps > 0.0);
+    }
+}

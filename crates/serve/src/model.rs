@@ -1,0 +1,208 @@
+//! The served model: a quantized [`QNetwork`] running on the CurFe or
+//! ChgFe statistical macro executor, wrapped with the shape metadata the
+//! protocol layer needs.
+//!
+//! Two construction paths:
+//!
+//! * [`ServeModel::synthetic`] — a deterministic MNIST-shaped MLP
+//!   (784 → 64 → 10). Both server and load generator can build the exact
+//!   same instance from `(design, seed)`, which is what lets `loadgen`
+//!   verify responses bit-for-bit against local execution without
+//!   shipping weights.
+//! * [`ServeModel::from_checkpoint`] — the same architecture with
+//!   trained weights restored from a `neural::checkpoint` JSON file.
+
+use neural::checkpoint::{load, Checkpoint};
+use neural::imc_exec::{ImcConfig, ImcDesign, QNetwork};
+use neural::models::{mlp, Sequential};
+use neural::tensor::Tensor;
+
+/// Input features of the MNIST-shaped default model (28 × 28).
+pub const MNIST_FEATURES: usize = 784;
+/// Hidden width of the default model.
+pub const DEFAULT_HIDDEN: usize = 64;
+/// Output classes of the default model.
+pub const DEFAULT_CLASSES: usize = 10;
+/// Default weight-init seed (shared by server and loadgen so both sides
+/// materialize identical weights).
+pub const DEFAULT_SEED: u64 = 0x5E44_E001;
+
+/// A quantized network plus its serving metadata.
+pub struct ServeModel {
+    net: QNetwork,
+    features: usize,
+    classes: usize,
+    design: ImcDesign,
+}
+
+/// Parses a design name (`curfe` / `chgfe`, case-insensitive).
+///
+/// # Errors
+///
+/// Returns the unrecognized name.
+pub fn parse_design(s: &str) -> Result<ImcDesign, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "curfe" => Ok(ImcDesign::CurFe),
+        "chgfe" => Ok(ImcDesign::ChgFe),
+        other => Err(format!("unknown design `{other}` (expected curfe|chgfe)")),
+    }
+}
+
+impl ServeModel {
+    fn quantize(seq: &Sequential, design: ImcDesign, features: usize, classes: usize) -> Self {
+        // The paper operating point: 4-bit activations, 8-bit weights,
+        // 5-bit ADC, 32-row chunks, full device noise.
+        let cfg = ImcConfig::paper(design, 4, 8);
+        Self {
+            net: QNetwork::from_sequential(seq, cfg),
+            features,
+            classes,
+            design,
+        }
+    }
+
+    /// Builds the deterministic MNIST-shaped default model.
+    #[must_use]
+    pub fn synthetic(design: ImcDesign, seed: u64) -> Self {
+        let seq = mlp(MNIST_FEATURES, DEFAULT_HIDDEN, DEFAULT_CLASSES, seed);
+        Self::quantize(&seq, design, MNIST_FEATURES, DEFAULT_CLASSES)
+    }
+
+    /// Restores the default architecture from a checkpoint JSON file
+    /// (written by serializing [`Checkpoint`] with `serde_json`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable files, malformed JSON, or a checkpoint whose
+    /// shapes don't match the MNIST MLP architecture.
+    pub fn from_checkpoint(path: &str, design: ImcDesign) -> Result<Self, String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint {path}: {e}"))?;
+        let ckpt: Checkpoint = serde_json::from_str(&json)
+            .map_err(|e| format!("cannot parse checkpoint {path}: {e}"))?;
+        let mut seq = mlp(
+            MNIST_FEATURES,
+            DEFAULT_HIDDEN,
+            DEFAULT_CLASSES,
+            DEFAULT_SEED,
+        );
+        let restore = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            load(&mut seq, &ckpt);
+        }));
+        if restore.is_err() {
+            return Err(format!(
+                "checkpoint {path} does not match the {MNIST_FEATURES}→{DEFAULT_HIDDEN}→{DEFAULT_CLASSES} MLP architecture"
+            ));
+        }
+        Ok(Self::quantize(
+            &seq,
+            design,
+            MNIST_FEATURES,
+            DEFAULT_CLASSES,
+        ))
+    }
+
+    /// Expected flat input length per request.
+    #[must_use]
+    pub fn input_features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of output classes (logits per response).
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Which macro design executes the MACs.
+    #[must_use]
+    pub fn design(&self) -> ImcDesign {
+        self.design
+    }
+
+    /// The underlying quantized network (for direct single-input
+    /// execution, e.g. loadgen verification).
+    #[must_use]
+    pub fn network(&self) -> &QNetwork {
+        &self.net
+    }
+
+    /// Runs a `[n, features]` batch, one independent noise stream per
+    /// sample — each output row bit-identical to
+    /// [`QNetwork::forward`] on that row alone.
+    #[must_use]
+    pub fn infer_batch(&self, x: &Tensor) -> Tensor {
+        self.net.forward_each(x)
+    }
+
+    /// Runs one flat input directly (the reference path batching must
+    /// reproduce bit-for-bit).
+    #[must_use]
+    pub fn infer_one(&self, input: &[f32]) -> Vec<f32> {
+        let x = Tensor::from_vec(&[1, self.features], input.to_vec());
+        self.net.forward(&x).data().to_vec()
+    }
+}
+
+impl std::fmt::Debug for ServeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeModel")
+            .field("features", &self.features)
+            .field("classes", &self.classes)
+            .field("design", &self.design)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_design_accepts_both_cases() {
+        assert_eq!(parse_design("CurFe").unwrap(), ImcDesign::CurFe);
+        assert_eq!(parse_design("chgfe").unwrap(), ImcDesign::ChgFe);
+        assert!(parse_design("sram").is_err());
+    }
+
+    #[test]
+    fn batch_rows_match_single_inference_bits() {
+        let m = ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED);
+        let a: Vec<f32> = (0..MNIST_FEATURES)
+            .map(|i| (i % 17) as f32 / 17.0)
+            .collect();
+        let b: Vec<f32> = (0..MNIST_FEATURES).map(|i| (i % 5) as f32 / 5.0).collect();
+        let mut data = a.clone();
+        data.extend_from_slice(&b);
+        let batch = Tensor::from_vec(&[2, MNIST_FEATURES], data);
+        let out = m.infer_batch(&batch);
+        assert_eq!(out.shape(), &[2, DEFAULT_CLASSES]);
+        for (row, input) in [(0usize, &a), (1usize, &b)] {
+            let direct = m.infer_one(input);
+            let got = &out.data()[row * DEFAULT_CLASSES..(row + 1) * DEFAULT_CLASSES];
+            for (x, y) in got.iter().zip(&direct) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_weights() {
+        let mut seq = mlp(MNIST_FEATURES, DEFAULT_HIDDEN, DEFAULT_CLASSES, 777);
+        let ckpt = neural::checkpoint::save(&mut seq);
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join("imc_serve_ckpt_test.json");
+        std::fs::write(&path, &json).unwrap();
+        let m = ServeModel::from_checkpoint(path.to_str().unwrap(), ImcDesign::CurFe).unwrap();
+        // Same weights quantized the same way as building from `seq`
+        // directly: outputs must agree bitwise.
+        let direct = ServeModel::quantize(&seq, ImcDesign::CurFe, MNIST_FEATURES, DEFAULT_CLASSES);
+        let input: Vec<f32> = (0..MNIST_FEATURES)
+            .map(|i| (i % 11) as f32 / 11.0)
+            .collect();
+        assert_eq!(m.infer_one(&input), direct.infer_one(&input));
+        std::fs::remove_file(&path).ok();
+        assert!(ServeModel::from_checkpoint("/nonexistent/ckpt.json", ImcDesign::CurFe).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message — in both directions — is one *frame*: a 4-byte
+//! big-endian `u32` payload length followed by exactly that many bytes of
+//! UTF-8 JSON. Frames larger than [`MAX_FRAME_BYTES`] are rejected so a
+//! corrupt length prefix cannot make the server allocate gigabytes.
+//!
+//! The JSON bodies are the externally-tagged [`Request`] / [`Response`]
+//! enums (the encoding the offline serde stub produces): a unit variant
+//! renders as its name (`"Stats"`), a payload variant as a one-field
+//! object (`{"Infer": {...}}`).
+//!
+//! f32 payloads survive the round trip bit-exactly for finite values:
+//! the writer prints the shortest `f64` representation of the widened
+//! float and the parser narrows it back.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on a frame payload (16 MiB) — far above any legal request
+/// (a 784-feature MNIST-shaped input is a few KiB of JSON) but small
+/// enough that a garbage length prefix fails fast.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// One inference request: an `id` chosen by the client (echoed back in
+/// the matching [`InferReply`] / [`ShedReply`]) and the flat input
+/// vector, row-major, matching the served model's `input_features`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferRequest {
+    /// Client-chosen correlation id.
+    pub id: u64,
+    /// Flat input features in `[0, 1]`.
+    pub input: Vec<f32>,
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Run one inference (may be shed under backpressure).
+    Infer(InferRequest),
+    /// Return a [`StatsReply`] snapshot.
+    Stats,
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Begin graceful shutdown: drain in-flight batches, then exit.
+    Shutdown,
+}
+
+/// Successful inference result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Raw logits, bit-identical to `QNetwork::forward` on this input.
+    pub logits: Vec<f32>,
+    /// Argmax class of the logits.
+    pub class: usize,
+    /// Which simulated bank executed the batch containing this request.
+    pub bank: usize,
+    /// Size of the batch this request was coalesced into.
+    pub batch: usize,
+    /// Time spent in the admission queue + batcher (µs).
+    pub queue_us: u64,
+    /// Time spent executing on the bank (µs, shared by the batch).
+    pub service_us: u64,
+}
+
+/// Backpressure response: the request was not executed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShedReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Why the request was shed (`queue full`, `shutting down`).
+    pub reason: String,
+}
+
+/// Latency distribution summary (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Mean (µs).
+    pub mean_us: f64,
+    /// Median (µs).
+    pub p50_us: u64,
+    /// 95th percentile (µs).
+    pub p95_us: u64,
+    /// 99th percentile (µs).
+    pub p99_us: u64,
+    /// Largest observation (µs, bucket-rounded).
+    pub max_us: u64,
+}
+
+/// Per-bank scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// Bank index.
+    pub bank: usize,
+    /// Batches executed on this bank.
+    pub batches: u64,
+    /// Requests executed on this bank.
+    pub requests: u64,
+}
+
+/// Server statistics snapshot (`Stats` control request).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Requests admitted to the queue so far.
+    pub admitted: u64,
+    /// Requests completed (responses written).
+    pub completed: u64,
+    /// Requests shed by backpressure.
+    pub shed: u64,
+    /// Malformed frames / JSON errors seen.
+    pub protocol_errors: u64,
+    /// Batches dispatched to banks.
+    pub batches: u64,
+    /// Current admission-queue depth.
+    pub queue_depth: usize,
+    /// Completed requests per second since startup.
+    pub throughput_rps: f64,
+    /// Uptime (ms).
+    pub uptime_ms: u64,
+    /// End-to-end request latency (admission → response ready).
+    pub request_latency: LatencySummary,
+    /// Per-batch service latency (bank execution only).
+    pub batch_latency: LatencySummary,
+    /// Per-bank dispatch counters.
+    pub banks: Vec<BankStats>,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Successful inference.
+    Output(InferReply),
+    /// Backpressure: request not executed.
+    Shed(ShedReply),
+    /// Statistics snapshot.
+    Stats(StatsReply),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Acknowledgement of [`Request::Shutdown`]; the server drains and
+    /// exits after sending this.
+    ShuttingDown,
+    /// The request could not be parsed or was otherwise invalid.
+    Error(String),
+}
+
+/// Writes one frame (length prefix + JSON payload).
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails if the payload exceeds
+/// [`MAX_FRAME_BYTES`].
+pub fn write_frame<W: Write>(w: &mut W, json: &str) -> io::Result<()> {
+    let len = u32::try_from(json.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(json.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection between messages).
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails on an oversized length prefix, a
+/// truncated payload, or non-UTF-8 bytes.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+/// Serializes and writes a [`Response`] frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from [`write_frame`].
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    let json = serde_json::to_string(resp).expect("response serializes");
+    write_frame(w, &json)
+}
+
+/// Serializes and writes a [`Request`] frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from [`write_frame`].
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    let json = serde_json::to_string(req).expect("request serializes");
+    write_frame(w, &json)
+}
+
+/// Reads and parses one [`Response`] frame (`Ok(None)` on clean EOF).
+///
+/// # Errors
+///
+/// Propagates frame I/O errors; fails on JSON that is not a `Response`.
+pub fn read_response<R: Read>(r: &mut R) -> io::Result<Option<Response>> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(json) => serde_json::from_str(&json)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("hello"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+        // EOF inside the length prefix is also an error.
+        let mut short = &[0u8, 0][..];
+        assert!(read_frame(&mut short).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let bytes = (MAX_FRAME_BYTES + 1).to_be_bytes();
+        let mut r = &bytes[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let reqs = [
+            Request::Infer(InferRequest {
+                id: 42,
+                input: vec![0.0, 0.25, 1.0, 0.1234567],
+            }),
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            let json = serde_json::to_string(req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_with_f32_bit_fidelity() {
+        let logits = vec![1.5e-7f32, -3.25, 0.1, f32::MIN_POSITIVE, 1234.5678];
+        let resp = Response::Output(InferReply {
+            id: 7,
+            logits: logits.clone(),
+            class: 4,
+            bank: 11,
+            batch: 32,
+            queue_us: 1500,
+            service_us: 800,
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        match back {
+            Response::Output(r) => {
+                for (a, b) in r.logits.iter().zip(&logits) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Bank-aware batch scheduler.
+//!
+//! The paper's chip instantiates 16 independent banks (the 128×128 macro
+//! is 16 banks × 8 bit-columns wide); a bank is the natural unit of
+//! concurrent batch execution, so the scheduler models each as a
+//! dedicated worker thread with its own FIFO of batches. Dispatch is
+//! **least-loaded**: a new batch goes to the bank with the fewest
+//! outstanding requests (queued + executing), ties broken by lowest bank
+//! index — deterministic under serial dispatch, and naturally spreading
+//! load when a slow batch stalls one bank.
+//!
+//! Bank workers execute batches through an executor closure supplied at
+//! construction (the server wires model execution, reply writing, and
+//! metrics in there), so the scheduling policy is testable in isolation.
+//!
+//! Shutdown is graceful by construction: [`BankScheduler::shutdown`]
+//! closes the bank queues and joins the workers, and each worker drains
+//! its remaining batches before exiting — accepted work is never dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::batcher::Pending;
+
+struct BankState<R> {
+    queue: VecDeque<Vec<Pending<R>>>,
+    closed: bool,
+}
+
+struct Bank<R> {
+    state: Mutex<BankState<R>>,
+    ready: Condvar,
+    /// Requests queued on or executing in this bank.
+    outstanding: AtomicUsize,
+}
+
+/// Dispatches batches across per-bank worker threads.
+pub struct BankScheduler<R> {
+    banks: Vec<Arc<Bank<R>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<R: Send + 'static> BankScheduler<R> {
+    /// Spawns `banks` worker threads. Each executed batch is handed to
+    /// `executor(bank_index, batch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or a worker thread cannot be spawned.
+    #[must_use]
+    pub fn new<F>(banks: usize, executor: F) -> Self
+    where
+        F: Fn(usize, Vec<Pending<R>>) + Send + Sync + 'static,
+    {
+        assert!(banks > 0, "need at least one bank");
+        let executor = Arc::new(executor);
+        let banks: Vec<Arc<Bank<R>>> = (0..banks)
+            .map(|_| {
+                Arc::new(Bank {
+                    state: Mutex::new(BankState {
+                        queue: VecDeque::new(),
+                        closed: false,
+                    }),
+                    ready: Condvar::new(),
+                    outstanding: AtomicUsize::new(0),
+                })
+            })
+            .collect();
+        let workers = banks
+            .iter()
+            .enumerate()
+            .map(|(i, bank)| {
+                let bank = Arc::clone(bank);
+                let executor = Arc::clone(&executor);
+                std::thread::Builder::new()
+                    .name(format!("imc-bank-{i}"))
+                    .spawn(move || loop {
+                        let batch = {
+                            let mut st = bank.state.lock().expect("bank queue poisoned");
+                            loop {
+                                if let Some(batch) = st.queue.pop_front() {
+                                    break batch;
+                                }
+                                if st.closed {
+                                    return;
+                                }
+                                st = bank.ready.wait(st).expect("bank queue poisoned");
+                            }
+                        };
+                        let n = batch.len();
+                        executor(i, batch);
+                        bank.outstanding.fetch_sub(n, Ordering::Release);
+                    })
+                    .expect("spawn bank worker")
+            })
+            .collect();
+        Self { banks, workers }
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Queues `batch` on the least-loaded bank and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`shutdown`](Self::shutdown) (the batcher
+    /// is always stopped first).
+    pub fn dispatch(&self, batch: Vec<Pending<R>>) -> usize {
+        let n = batch.len();
+        let (idx, bank) = self
+            .banks
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, b)| b.outstanding.load(Ordering::Acquire))
+            .expect("at least one bank");
+        bank.outstanding.fetch_add(n, Ordering::AcqRel);
+        let mut st = bank.state.lock().expect("bank queue poisoned");
+        assert!(!st.closed, "dispatch after shutdown");
+        st.queue.push_back(batch);
+        drop(st);
+        bank.ready.notify_one();
+        idx
+    }
+
+    /// Outstanding requests (queued + executing) across all banks.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.banks
+            .iter()
+            .map(|b| b.outstanding.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Closes every bank queue and joins the workers; each worker drains
+    /// its queued batches before exiting.
+    pub fn shutdown(self) {
+        for bank in &self.banks {
+            let mut st = bank.state.lock().expect("bank queue poisoned");
+            st.closed = true;
+            drop(st);
+            bank.ready.notify_all();
+        }
+        for w in self.workers {
+            w.join().expect("bank worker panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
+
+    fn batch(ids: &[u64]) -> Vec<Pending<u64>> {
+        ids.iter()
+            .map(|&id| Pending {
+                id,
+                input: Vec::new(),
+                enqueued: Instant::now(),
+                reply: id,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_dispatched_request_executes_exactly_once() {
+        let total = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&total);
+        let sched = BankScheduler::new(4, move |_bank, b: Vec<Pending<u64>>| {
+            for req in &b {
+                t.fetch_add(req.id, Ordering::Relaxed);
+            }
+        });
+        let mut expect = 0u64;
+        for i in 0..50u64 {
+            let ids = [i * 2 + 1, i * 2 + 2];
+            expect += ids.iter().sum::<u64>();
+            sched.dispatch(batch(&ids));
+        }
+        sched.shutdown();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn dispatch_prefers_the_least_loaded_bank() {
+        // Bank workers that block until released, so outstanding counts
+        // are observable.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let sched = BankScheduler::new(2, move |_bank, _b: Vec<Pending<u64>>| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        // First batch (3 requests) → bank 0; second (1) → bank 1;
+        // third (1) must also go to bank 1 (1 < 3 outstanding).
+        assert_eq!(sched.dispatch(batch(&[1, 2, 3])), 0);
+        assert_eq!(sched.dispatch(batch(&[4])), 1);
+        assert_eq!(sched.dispatch(batch(&[5])), 1);
+        assert_eq!(sched.in_flight(), 5);
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_batches() {
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        let sched = BankScheduler::new(1, move |_bank, b: Vec<Pending<u64>>| {
+            std::thread::sleep(Duration::from_millis(5));
+            d.fetch_add(b.len() as u64, Ordering::Relaxed);
+        });
+        for _ in 0..10 {
+            sched.dispatch(batch(&[1, 2]));
+        }
+        sched.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 20, "no accepted work dropped");
+    }
+}

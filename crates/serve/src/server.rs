@@ -1,0 +1,475 @@
+//! The TCP server: connection handling, admission, batching, dispatch,
+//! and graceful shutdown.
+//!
+//! Thread topology (for a `banks = B` config):
+//!
+//! ```text
+//! accept loop ─┬─ conn thread ──┐ try_enqueue      ┌─ bank worker 0
+//!              ├─ conn thread ──┼──► admission ──► batcher ─► least-loaded
+//!              └─ ...           ┘    queue (bounded)  thread   dispatch ─► bank worker B-1
+//! ```
+//!
+//! * Connection threads parse frames and either answer control requests
+//!   inline or admit inference requests to the bounded queue. A full
+//!   queue produces an immediate `Shed` response on the same connection.
+//! * The batcher thread drains the queue with flush-on-size-or-deadline
+//!   semantics and hands batches to the bank scheduler.
+//! * Bank workers execute batches on the shared `par_exec` pool (one
+//!   noise-isolated stream per sample) and write responses back through
+//!   each request's connection handle.
+//!
+//! Shutdown (control request or SIGINT/SIGTERM): the accept loop stops,
+//! the admission queue closes (new requests shed as `shutting down`),
+//! the batcher drains what was admitted, the banks finish every
+//! dispatched batch, and only then does [`ServerHandle::join`] return —
+//! accepted work is never dropped.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use neural::tensor::Tensor;
+
+use crate::batcher::{AdmissionQueue, Pending};
+use crate::metrics::Metrics;
+use crate::model::ServeModel;
+use crate::protocol::{write_response, InferReply, Request, Response, ShedReply, MAX_FRAME_BYTES};
+use crate::scheduler::BankScheduler;
+use crate::shutdown::ShutdownFlag;
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Simulated banks executing batches concurrently — the paper chip
+    /// has 16 (`system_perf::mapping::MacroTile::paper`: 16 banks × 8
+    /// bit-columns).
+    pub banks: usize,
+    /// Dynamic batcher: flush when this many requests have coalesced.
+    pub max_batch: usize,
+    /// Dynamic batcher: flush when the oldest queued request has waited
+    /// this long.
+    pub max_wait: Duration,
+    /// Admission queue capacity; requests beyond it are shed.
+    pub queue_depth: usize,
+    /// Artificial per-batch service delay. Zero in production; tests use
+    /// it to force queue buildup deterministically.
+    pub service_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            banks: 16,
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 1024,
+            service_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A live connection's write half, shared by its reader thread and every
+/// bank worker holding one of its pending requests.
+type Conn = Arc<Mutex<TcpStream>>;
+
+/// Writes a response on a connection; I/O errors are counted, not fatal
+/// (the client may have gone away — the server must keep running).
+fn send(conn: &Conn, resp: &Response, metrics: &Metrics) {
+    let mut stream = conn.lock().expect("connection writer poisoned");
+    if write_response(&mut *stream, resp).is_err() {
+        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: ShutdownFlag,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_thread: Option<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    queue: Arc<AdmissionQueue<Conn>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown latch (share it with a signal installer or trip it
+    /// directly).
+    #[must_use]
+    pub fn shutdown_flag(&self) -> ShutdownFlag {
+        self.shutdown.clone()
+    }
+
+    /// The live metrics (snapshot with `metrics().snapshot(depth)`).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// An owned handle to the metrics — outlives [`join`](Self::join),
+    /// so callers can snapshot final counts after the drain completes.
+    #[must_use]
+    pub fn metrics_handle(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Current admission-queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Requests the server stop and blocks until every accepted request
+    /// has been answered and all service threads have exited.
+    pub fn join(mut self) {
+        self.shutdown.trigger();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread panicked");
+        }
+        if let Some(t) = self.batcher_thread.take() {
+            t.join().expect("batcher thread panicked");
+        }
+    }
+}
+
+/// Starts the service on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+/// port) and returns once the listener is bound and all worker threads
+/// are running.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound.
+///
+/// # Panics
+///
+/// Panics if worker threads cannot be spawned.
+pub fn serve<A: ToSocketAddrs>(
+    addr: A,
+    model: Arc<ServeModel>,
+    cfg: &ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    // Spawn the pool before the first request so its cost is not billed
+    // to the first batch's latency.
+    par_exec::warmup();
+
+    let shutdown = ShutdownFlag::new();
+    let metrics = Arc::new(Metrics::new(cfg.banks));
+    let queue: Arc<AdmissionQueue<Conn>> = Arc::new(AdmissionQueue::new(cfg.queue_depth));
+
+    // --- bank executor ---------------------------------------------------
+    let scheduler = {
+        let model = Arc::clone(&model);
+        let metrics = Arc::clone(&metrics);
+        let delay = cfg.service_delay;
+        BankScheduler::new(cfg.banks, move |bank, batch: Vec<Pending<Conn>>| {
+            execute_batch(bank, batch, &model, &metrics, delay);
+        })
+    };
+
+    // --- batcher thread ---------------------------------------------------
+    let batcher_thread = {
+        let queue = Arc::clone(&queue);
+        let max_batch = cfg.max_batch;
+        let max_wait = cfg.max_wait;
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name("imc-batcher".into())
+            .spawn(move || {
+                while let Some(batch) = queue.next_batch(max_batch, max_wait) {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    metrics.batches.fetch_add(1, Ordering::Relaxed);
+                    scheduler.dispatch(batch);
+                }
+                // Queue closed and drained: wind the banks down, letting
+                // them finish everything already dispatched.
+                scheduler.shutdown();
+            })
+            .expect("spawn batcher thread")
+    };
+
+    // --- accept loop ------------------------------------------------------
+    let accept_thread = {
+        let shutdown = shutdown.clone();
+        let queue = Arc::clone(&queue);
+        let metrics = Arc::clone(&metrics);
+        let model = Arc::clone(&model);
+        std::thread::Builder::new()
+            .name("imc-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &shutdown, &queue, &metrics, &model);
+                // Stop admitting; the batcher drains and exits.
+                queue.close();
+            })
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        batcher_thread: Some(batcher_thread),
+        metrics,
+        queue,
+    })
+}
+
+/// Poll interval of the non-blocking accept loop — bounds shutdown
+/// latency without a self-pipe.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &ShutdownFlag,
+    queue: &Arc<AdmissionQueue<Conn>>,
+    metrics: &Arc<Metrics>,
+    model: &Arc<ServeModel>,
+) {
+    while !shutdown.is_set() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nodelay(true).ok();
+                let queue = Arc::clone(queue);
+                let metrics = Arc::clone(metrics);
+                let model = Arc::clone(model);
+                let shutdown = shutdown.clone();
+                std::thread::Builder::new()
+                    .name("imc-conn".into())
+                    .spawn(move || {
+                        connection_loop(stream, &queue, &metrics, &model, &shutdown);
+                    })
+                    .expect("spawn connection thread");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Reads `buf` fully from a timeout-bearing stream. Timeouts are benign
+/// *between* frames (`allow_idle` and nothing read yet → `Ok(false)`);
+/// once any byte of the current unit has arrived, a timeout just means
+/// "keep waiting" — resuming from scratch would desync the framing.
+/// Returns `Ok(true)` when filled, `Ok(false)` on clean idle EOF/
+/// shutdown before the first byte.
+fn read_full(
+    reader: &mut TcpStream,
+    buf: &mut [u8],
+    allow_idle: bool,
+    shutdown: &ShutdownFlag,
+) -> std::io::Result<bool> {
+    use std::io::Read;
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && allow_idle => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.is_set() && filled == 0 && allow_idle {
+                    return Ok(false);
+                }
+                if shutdown.is_set() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "shutdown during a partial frame",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, waking periodically (via the stream's read timeout)
+/// to notice shutdown on idle connections. `Ok(None)` = clean end.
+fn read_frame_or_shutdown(
+    reader: &mut TcpStream,
+    shutdown: &ShutdownFlag,
+) -> std::io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    if !read_full(reader, &mut len_buf, true, shutdown)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_full(reader, &mut payload, false, shutdown)?;
+    String::from_utf8(payload).map(Some).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame payload is not UTF-8",
+        )
+    })
+}
+
+/// Reads frames off one connection until EOF, error, or shutdown.
+fn connection_loop(
+    stream: TcpStream,
+    queue: &AdmissionQueue<Conn>,
+    metrics: &Metrics,
+    model: &ServeModel,
+    shutdown: &ShutdownFlag,
+) {
+    let writer: Conn = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    }));
+    // A read timeout lets the reader notice shutdown even on an idle
+    // connection (the client keeping it open is not a liveness hazard).
+    let mut reader = stream;
+    reader
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+
+    loop {
+        let frame = match read_frame_or_shutdown(&mut reader, shutdown) {
+            Ok(Some(json)) => json,
+            Ok(None) => return, // clean EOF or idle shutdown
+            Err(_) => {
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let request: Request = match serde_json::from_str(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send(&writer, &Response::Error(e.to_string()), metrics);
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => send(&writer, &Response::Pong, metrics),
+            Request::Stats => {
+                let snap = metrics.snapshot(queue.depth());
+                send(&writer, &Response::Stats(snap), metrics);
+            }
+            Request::Shutdown => {
+                send(&writer, &Response::ShuttingDown, metrics);
+                shutdown.trigger();
+            }
+            Request::Infer(req) => {
+                if req.input.len() != model.input_features() {
+                    metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    send(
+                        &writer,
+                        &Response::Error(format!(
+                            "input has {} features, model expects {}",
+                            req.input.len(),
+                            model.input_features()
+                        )),
+                        metrics,
+                    );
+                    continue;
+                }
+                let pending = Pending {
+                    id: req.id,
+                    input: req.input,
+                    enqueued: Instant::now(),
+                    reply: Arc::clone(&writer),
+                };
+                match queue.try_enqueue(pending) {
+                    Ok(()) => {
+                        metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err((rejected, why)) => {
+                        metrics.shed.fetch_add(1, Ordering::Relaxed);
+                        send(
+                            &writer,
+                            &Response::Shed(ShedReply {
+                                id: rejected.id,
+                                reason: why.reason().to_owned(),
+                            }),
+                            metrics,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one batch on a bank: assemble the input tensor, execute with
+/// per-sample noise isolation, write each response, record latencies.
+fn execute_batch(
+    bank: usize,
+    batch: Vec<Pending<Conn>>,
+    model: &ServeModel,
+    metrics: &Metrics,
+    service_delay: Duration,
+) {
+    let n = batch.len();
+    let features = model.input_features();
+    let classes = model.classes();
+    let mut data = Vec::with_capacity(n * features);
+    for req in &batch {
+        data.extend_from_slice(&req.input);
+    }
+    let x = Tensor::from_vec(&[n, features], data);
+
+    let t0 = Instant::now();
+    if !service_delay.is_zero() {
+        std::thread::sleep(service_delay);
+    }
+    let logits = model.infer_batch(&x);
+    let service_us = t0.elapsed().as_micros() as u64;
+    metrics.batch_latency.record(service_us);
+    metrics.banks[bank].batches.fetch_add(1, Ordering::Relaxed);
+    metrics.banks[bank]
+        .requests
+        .fetch_add(n as u64, Ordering::Relaxed);
+
+    for (i, req) in batch.iter().enumerate() {
+        let row = &logits.data()[i * classes..(i + 1) * classes];
+        let class = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map_or(0, |(j, _)| j);
+        let queue_us = t0.duration_since(req.enqueued).as_micros() as u64;
+        let resp = Response::Output(InferReply {
+            id: req.id,
+            logits: row.to_vec(),
+            class,
+            bank,
+            batch: n,
+            queue_us,
+            service_us,
+        });
+        send(&req.reply, &resp, metrics);
+        metrics
+            .request_latency
+            .record(req.enqueued.elapsed().as_micros() as u64);
+        metrics.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -21,42 +21,86 @@ pub struct McResult {
     pub failures: usize,
 }
 
+/// Error returned when a statistic is requested over a batch with no
+/// successful trials — either every trial failed to converge or zero
+/// trials were run in the first place. The message distinguishes the two
+/// so a bench log makes the cause obvious.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoSuccessfulTrials {
+    /// How many trials failed to converge in the batch.
+    pub failures: usize,
+}
+
+impl std::fmt::Display for NoSuccessfulTrials {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.failures == 0 {
+            write!(
+                f,
+                "no successful trials: the Monte-Carlo batch ran zero trials"
+            )
+        } else {
+            write!(
+                f,
+                "no successful trials: all {} trial(s) failed to converge",
+                self.failures
+            )
+        }
+    }
+}
+
+impl std::error::Error for NoSuccessfulTrials {}
+
 impl McResult {
     /// Mean of the successful trials.
     ///
     /// # Panics
     ///
-    /// Panics if every trial failed.
+    /// Panics if there are no successful trials.
     #[must_use]
     pub fn mean(&self) -> f64 {
-        self.try_mean().expect("no successful trials")
+        match self.try_mean() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Population standard deviation of the successful trials.
     ///
     /// # Panics
     ///
-    /// Panics if every trial failed.
+    /// Panics if there are no successful trials.
     #[must_use]
     pub fn std_dev(&self) -> f64 {
-        self.try_std_dev().expect("no successful trials")
-    }
-
-    /// Mean of the successful trials, or `None` if every trial failed.
-    #[must_use]
-    pub fn try_mean(&self) -> Option<f64> {
-        if self.values.is_empty() {
-            return None;
+        match self.try_std_dev() {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
-        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
     }
 
-    /// Population standard deviation of the successful trials, or `None`
-    /// if every trial failed.
-    #[must_use]
-    pub fn try_std_dev(&self) -> Option<f64> {
+    /// Mean of the successful trials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoSuccessfulTrials`] (never NaN) when the batch holds no
+    /// successful values — all-failed or zero-trial inputs.
+    pub fn try_mean(&self) -> Result<f64, NoSuccessfulTrials> {
+        if self.values.is_empty() {
+            return Err(NoSuccessfulTrials {
+                failures: self.failures,
+            });
+        }
+        Ok(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Population standard deviation of the successful trials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoSuccessfulTrials`] (never NaN) when the batch holds no
+    /// successful values — all-failed or zero-trial inputs.
+    pub fn try_std_dev(&self) -> Result<f64, NoSuccessfulTrials> {
         let m = self.try_mean()?;
-        Some(
+        Ok(
             (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64)
                 .sqrt(),
         )
@@ -180,7 +224,7 @@ mod tests {
         // Failure pattern depends on the seed (deterministic per trial),
         // so serial and parallel must fail the *same* trials.
         let trial = |s: u64| {
-            if s % 5 == 0 {
+            if s.is_multiple_of(5) {
                 Err(SimError::NoConvergence {
                     iterations: 7,
                     context: "mc test".into(),
@@ -205,11 +249,26 @@ mod tests {
             })
         });
         assert_eq!(r.failures, 4);
-        assert_eq!(r.try_mean(), None);
-        assert_eq!(r.try_std_dev(), None);
+        let err = r.try_mean().unwrap_err();
+        assert_eq!(err.failures, 4);
+        assert!(err.to_string().contains("all 4 trial(s) failed"));
+        assert!(r.try_std_dev().is_err());
         let ok = run_trials_par(4, 0, |_| Ok(2.0));
-        assert_eq!(ok.try_mean(), Some(2.0));
-        assert_eq!(ok.try_std_dev(), Some(0.0));
+        assert_eq!(ok.try_mean(), Ok(2.0));
+        assert_eq!(ok.try_std_dev(), Ok(0.0));
+    }
+
+    #[test]
+    fn try_stats_describe_zero_trial_batches() {
+        // Zero trials run at all: no failures, still a descriptive error
+        // (and never a NaN).
+        let r = run_trials(0, 1, |s| Ok(s as f64));
+        assert_eq!(r.failures, 0);
+        assert!(r.values.is_empty());
+        let err = r.try_mean().unwrap_err();
+        assert_eq!(err.failures, 0);
+        assert!(err.to_string().contains("zero trials"));
+        assert_eq!(r.try_std_dev().unwrap_err(), err);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! End-to-end tests of the `imc-serve` inference service: a real server
+//! on an ephemeral port, a real TCP client, and the two properties the
+//! service guarantees — responses bit-identical to direct `QNetwork`
+//! execution regardless of batching, and explicit shed (never a hang)
+//! when the admission queue overflows.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use imc_serve::model::{ServeModel, DEFAULT_SEED, MNIST_FEATURES};
+use imc_serve::protocol::{InferRequest, Request, Response};
+use imc_serve::{serve, Client, ServeConfig};
+use neural::imc_exec::ImcDesign;
+
+fn test_input(k: usize) -> Vec<f32> {
+    (0..MNIST_FEATURES)
+        .map(|i| ((i * (k + 3)) % 23) as f32 / 23.0)
+        .collect()
+}
+
+/// Joins the handle on a helper thread so a drain bug fails the test
+/// instead of hanging the harness forever.
+fn join_with_deadline(handle: imc_serve::ServerHandle) {
+    let j = std::thread::spawn(move || handle.join());
+    let t0 = std::time::Instant::now();
+    while !j.is_finished() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "server join did not complete within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    j.join().expect("join thread panicked");
+}
+
+#[test]
+fn batched_responses_are_bit_identical_to_direct_execution() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let cfg = ServeConfig {
+        banks: 4,
+        max_batch: 8,
+        max_wait: Duration::from_millis(5),
+        queue_depth: 64,
+        service_delay: Duration::ZERO,
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    client.ping().expect("ping");
+
+    // Pipeline a burst so the dynamic batcher actually coalesces
+    // requests; bit-identity must hold regardless of batch composition.
+    const N: usize = 12;
+    for id in 0..N as u64 {
+        client
+            .send(&Request::Infer(InferRequest {
+                id,
+                input: test_input(id as usize),
+            }))
+            .expect("send");
+    }
+    let mut got = 0usize;
+    let mut saw_multi_request_batch = false;
+    for _ in 0..N {
+        match client.recv().expect("recv").expect("open stream") {
+            Response::Output(r) => {
+                let direct = model.infer_one(&test_input(r.id as usize));
+                assert_eq!(r.logits.len(), direct.len());
+                for (a, b) in r.logits.iter().zip(&direct) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "request {} diverged from direct execution",
+                        r.id
+                    );
+                }
+                let expected_class = direct
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                assert_eq!(r.class, expected_class);
+                assert!(r.bank < cfg.banks);
+                saw_multi_request_batch |= r.batch > 1;
+                got += 1;
+            }
+            other => panic!("expected Output, got {other:?}"),
+        }
+    }
+    assert_eq!(got, N);
+    assert!(
+        saw_multi_request_batch,
+        "a pipelined burst of {N} should coalesce at least once"
+    );
+
+    // Stats reflect the completed work.
+    let stats = client.stats().expect("stats");
+    assert!(stats.admitted >= N as u64);
+    assert!(stats.completed >= N as u64);
+    assert_eq!(stats.request_latency.count, stats.completed);
+    assert!(stats.banks.iter().map(|b| b.requests).sum::<u64>() >= N as u64);
+
+    // Graceful shutdown by control request; join must drain and return.
+    client.shutdown().expect("shutdown ack");
+    join_with_deadline(handle);
+}
+
+#[test]
+fn queue_overflow_sheds_explicitly_and_answers_every_request() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::CurFe, DEFAULT_SEED));
+    // A tiny admission queue and a long flush deadline: the batcher holds
+    // admitted requests in the queue, so a pipelined burst overflows it
+    // deterministically.
+    let cfg = ServeConfig {
+        banks: 1,
+        max_batch: 64,
+        max_wait: Duration::from_millis(500),
+        queue_depth: 4,
+        service_delay: Duration::ZERO,
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    const N: usize = 12;
+    for id in 0..N as u64 {
+        client
+            .send(&Request::Infer(InferRequest {
+                id,
+                input: test_input(0),
+            }))
+            .expect("send");
+    }
+    let mut outputs = 0usize;
+    let mut sheds = 0usize;
+    for _ in 0..N {
+        match client.recv().expect("recv").expect("open stream") {
+            Response::Output(r) => {
+                // Shed or not, served answers stay bit-exact.
+                let direct = model.infer_one(&test_input(0));
+                for (a, b) in r.logits.iter().zip(&direct) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                outputs += 1;
+            }
+            Response::Shed(s) => {
+                assert_eq!(s.reason, "queue full");
+                sheds += 1;
+            }
+            other => panic!("expected Output or Shed, got {other:?}"),
+        }
+    }
+    assert_eq!(outputs + sheds, N, "every request gets exactly one answer");
+    assert!(sheds > 0, "a burst past queue_depth must shed");
+    assert!(
+        outputs >= cfg.queue_depth,
+        "requests admitted before overflow still complete"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.shed, sheds as u64);
+    assert_eq!(stats.completed, outputs as u64);
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn malformed_and_mis_sized_requests_get_error_responses() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let handle = serve("127.0.0.1:0", model, &ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Wrong feature count → explicit protocol error, connection stays up.
+    client
+        .send(&Request::Infer(InferRequest {
+            id: 1,
+            input: vec![0.5; 3],
+        }))
+        .expect("send");
+    match client.recv().expect("recv").expect("open") {
+        Response::Error(msg) => assert!(msg.contains("features"), "got: {msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    client.ping().expect("connection survives a bad request");
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
