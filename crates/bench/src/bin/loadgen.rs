@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]
-//!         [--qps N] [--duration-s N] [--conns N] [--out PATH]
-//!         [--smoke] [--stop-server]
+//!         [--image PATH] [--qps N] [--duration-s N] [--conns N]
+//!         [--out PATH] [--smoke] [--stop-server]
 //! ```
 //!
 //! Replays MNIST-shaped traffic at a target QPS. Without `--addr` it
@@ -14,11 +14,13 @@
 //! backing off.
 //!
 //! Every response is verified **bit-for-bit**: the client rebuilds the
-//! identical synthetic model from `(design, seed)` and precomputes the
-//! expected logits for its input pool, so any divergence — batching,
-//! scheduling, serialization — is an `incorrect` count and a non-zero
-//! exit. Results land in `BENCH_pr2.json` (p50/p95/p99 latency, achieved
-//! QPS, shed rate).
+//! identical synthetic model from `(design, seed)` — or, with `--image`,
+//! reconstructs the compiled chip image's effective network — and
+//! precomputes the expected logits for its input pool, so any divergence
+//! — batching, scheduling, serialization, or a server not actually
+//! serving the image — is an `incorrect` count and a non-zero exit.
+//! Results land in `BENCH_pr2.json` (p50/p95/p99 latency, achieved QPS,
+//! shed rate).
 //!
 //! `--smoke` is the CI mode: short run, low rate, non-zero exit unless
 //! at least one response completed and all were correct.
@@ -44,6 +46,7 @@ const INPUT_POOL: usize = 64;
 struct Args {
     addr: Option<String>,
     design: ImcDesign,
+    image: Option<String>,
     seed: u64,
     qps: u64,
     duration_s: f64,
@@ -55,11 +58,12 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let usage = "usage: loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]\n\
-                 \x20              [--qps N] [--duration-s N] [--conns N] [--out PATH]\n\
-                 \x20              [--smoke] [--stop-server]";
+                 \x20              [--image PATH] [--qps N] [--duration-s N] [--conns N]\n\
+                 \x20              [--out PATH] [--smoke] [--stop-server]";
     let mut args = Args {
         addr: None,
         design: ImcDesign::ChgFe,
+        image: None,
         seed: DEFAULT_SEED,
         qps: 2000,
         duration_s: 5.0,
@@ -77,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--addr" => args.addr = Some(value("--addr")?),
             "--design" => args.design = parse_design(&value("--design")?)?,
+            "--image" => args.image = Some(value("--image")?),
             "--seed" => {
                 args.seed = value("--seed")?
                     .parse()
@@ -311,12 +316,28 @@ fn main() -> ExitCode {
     };
 
     // The verification oracle: the exact model the server runs (same
-    // design, same seed ⇒ identical weights and noise streams).
-    eprintln!(
-        "loadgen: building {:?} oracle (seed {:#x})...",
-        args.design, args.seed
-    );
-    let oracle = ServeModel::synthetic(args.design, args.seed);
+    // design, same seed ⇒ identical weights and noise streams; with
+    // --image, the same compiled effective network).
+    let build_model = || -> Result<ServeModel, String> {
+        match &args.image {
+            Some(path) => ServeModel::from_image(path, None),
+            None => Ok(ServeModel::synthetic(args.design, args.seed)),
+        }
+    };
+    match &args.image {
+        Some(path) => eprintln!("loadgen: building oracle from image {path}..."),
+        None => eprintln!(
+            "loadgen: building {:?} oracle (seed {:#x})...",
+            args.design, args.seed
+        ),
+    }
+    let oracle = match build_model() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let inputs = Arc::new(build_inputs(oracle.input_features()));
     let expected: Arc<Vec<Vec<f32>>> =
         Arc::new(inputs.iter().map(|x| oracle.infer_one(x)).collect());
@@ -327,9 +348,16 @@ fn main() -> ExitCode {
     let addr = match &args.addr {
         Some(a) => a.clone(),
         None => {
+            let server_model = match build_model() {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("loadgen: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let handle = serve(
                 "127.0.0.1:0",
-                Arc::new(ServeModel::synthetic(args.design, args.seed)),
+                Arc::new(server_model),
                 &ServeConfig::default(),
             )
             .expect("bind in-process server");
@@ -412,7 +440,7 @@ fn main() -> ExitCode {
     }
 
     let report = Report {
-        design: format!("{:?}", args.design),
+        design: format!("{:?}", oracle.design()),
         qps_target: args.qps,
         qps_achieved: completed as f64 / wall,
         duration_s: wall,

@@ -3,8 +3,11 @@
 //! Times the workspace's three hot kernels — the Fig. 7/8 Monte-Carlo
 //! batches, the im2col matmul, and the MNA transient solver — and writes
 //! `BENCH_pr1.json` so later PRs have a perf trajectory to regress
-//! against. Pass an output path as the first argument to override the
-//! default.
+//! against. Also runs one `imc-compile` pipeline on a mid-sized MLP and
+//! writes the per-pass wall times (placement, programming, remap, wear,
+//! predict) plus the programmed-cells/s throughput to `BENCH_pr3.json`.
+//! Pass output paths as the first and second arguments to override the
+//! defaults.
 
 use std::time::Instant;
 
@@ -12,6 +15,9 @@ use analog_sim::montecarlo::{run_trials, run_trials_par};
 use analog_sim::transient::{transient, TransientOptions};
 use analog_sim::SimError;
 use fefet_device::variation::{VariationParams, VariationSampler};
+use imc_compile::image::MlpArch;
+use imc_compile::pipeline::{compile, CompileOptions};
+use imc_compile::wear::WearLedger;
 use imc_core::cell::CurFeCell;
 use imc_core::chgfe::ChgFeBlockPair;
 use imc_core::circuit::curfe_row_circuit;
@@ -48,6 +54,39 @@ struct Snapshot {
     transient_steps_per_s: f64,
 }
 
+/// The compile-pipeline snapshot written to `BENCH_pr3.json`.
+#[derive(Serialize)]
+struct CompileSnapshot {
+    /// Worker-pool width in effect during the programming pass.
+    threads: usize,
+    /// Model compiled for the measurement.
+    arch: String,
+    /// Macro design targeted.
+    design: String,
+    /// Per-cell stuck-fault rate injected (exercises the remap pass).
+    fault_rate: f64,
+    /// Every `stride`-th cell was physically ISPP-programmed.
+    program_stride: usize,
+    /// Placement pass wall time (s).
+    placement_s: f64,
+    /// Programming pass wall time (s) — the dominant cost.
+    programming_s: f64,
+    /// Fault-aware remap pass wall time (s).
+    remap_s: f64,
+    /// Wear/retention pass wall time (s).
+    wear_s: f64,
+    /// Probe prediction + scoring wall time (s).
+    predict_s: f64,
+    /// Cells physically programmed.
+    programmed_cells: u64,
+    /// Programming throughput (cells/s).
+    programmed_cells_per_s: f64,
+    /// Total ISPP pulses issued.
+    ispp_pulses: u64,
+    /// Manifest oracle agreement of the compiled image.
+    oracle_agreement: f64,
+}
+
 /// Best-of-`reps` wall clock of `f`, in seconds.
 fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
@@ -76,10 +115,49 @@ fn fig8_repeat(cfg: &ChgFeConfig, mc: usize) -> f64 {
     (out.v_h4 - cfg.v_pre) / bp.volts_per_unit()
 }
 
+/// Compiles a mid-sized MLP once and reports per-pass wall times.
+fn compile_snapshot() -> CompileSnapshot {
+    let arch = MlpArch {
+        features: 256,
+        hidden: 32,
+        classes: 10,
+    };
+    let mut opts = CompileOptions::new(arch, neural::imc_exec::ImcDesign::ChgFe);
+    opts.fault_model = imc_core::faults::FaultModel {
+        p_stuck_on: 1e-3,
+        p_stuck_off: 1e-3,
+    };
+    // Subsample the ISPP statistics so the snapshot stays seconds-scale;
+    // throughput is still per *programmed* cell, so it's stride-fair.
+    opts.program.stride = 4;
+    opts.probe_count = 32;
+    let mut ledger = WearLedger::fresh(opts.geometry.banks);
+    let out = compile(&opts, &mut ledger).expect("compile succeeds");
+    CompileSnapshot {
+        threads: par_exec::threads(),
+        arch: format!("{}x{}x{}", arch.features, arch.hidden, arch.classes),
+        design: out.image.imc.design.clone(),
+        fault_rate: 2e-3,
+        program_stride: opts.program.stride,
+        placement_s: out.timings.placement_s,
+        programming_s: out.timings.programming_s,
+        remap_s: out.timings.remap_s,
+        wear_s: out.timings.wear_s,
+        predict_s: out.timings.predict_s,
+        programmed_cells: out.totals.cells,
+        programmed_cells_per_s: out.totals.cells as f64 / out.timings.programming_s.max(1e-12),
+        ispp_pulses: out.totals.pulses,
+        oracle_agreement: out.image.manifest.oracle_agreement,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_pr1.json".to_owned());
+    let compile_out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_pr3.json".to_owned());
     let ccfg = CurFeConfig::paper();
     let qcfg = ChgFeConfig::paper();
 
@@ -159,4 +237,11 @@ fn main() {
     std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
     println!("{json}");
     println!("\nwrote {out_path} (pool width {})", snap.threads);
+
+    // --- compile pipeline ------------------------------------------------
+    let csnap = compile_snapshot();
+    let json = serde_json::to_string_pretty(&csnap).expect("compile snapshot serializes");
+    std::fs::write(&compile_out_path, format!("{json}\n")).expect("write compile snapshot");
+    println!("{json}");
+    println!("\nwrote {compile_out_path}");
 }

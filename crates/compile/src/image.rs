@@ -1,0 +1,509 @@
+//! The versioned, serialized chip-image artifact and its manifest.
+//!
+//! A [`ChipImage`] is everything a server needs to reproduce the compiled
+//! chip *exactly*: the architecture, the executor settings, the effective
+//! (post-remap, post-fault) weight codes per layer, the placement table,
+//! and a manifest of what compilation did (program stats, fault ledger,
+//! wear, refresh schedule, predicted probe outputs). Loading the image and
+//! calling [`ChipImage::to_network`] yields a `QNetwork` bit-identical to
+//! the one the compiler used for its predictions.
+
+use crate::CompileError;
+use neural::imc_exec::{ImcConfig, ImcDesign, QNetwork};
+use neural::models::{mlp, LayerShape, Sequential};
+use neural::quant::QuantizedWeights;
+use serde::{Deserialize, Serialize};
+
+/// Current on-disk format version; bumped on breaking manifest changes.
+pub const IMAGE_FORMAT_VERSION: u32 = 1;
+
+/// The MLP architecture a chip image carries (the serving default shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpArch {
+    /// Input features.
+    pub features: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl MlpArch {
+    /// Builds the float network with the given weight-init seed.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Sequential {
+        mlp(self.features, self.hidden, self.classes, seed)
+    }
+
+    /// The MAC-layer shapes, in network order (what `system_perf::mapping`
+    /// consumes).
+    #[must_use]
+    pub fn layer_shapes(&self) -> Vec<LayerShape> {
+        vec![
+            LayerShape {
+                name: "fc1".into(),
+                in_ch: self.features,
+                out_ch: self.hidden,
+                kernel: 1,
+                out_positions: 1,
+            },
+            LayerShape {
+                name: "fc2".into(),
+                in_ch: self.hidden,
+                out_ch: self.classes,
+                kernel: 1,
+                out_positions: 1,
+            },
+        ]
+    }
+}
+
+/// Serializable mirror of [`ImcConfig`] (the design is stored by name —
+/// the offline serde stubs do not derive on cross-crate enums).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImcSettings {
+    /// `"CurFe"` or `"ChgFe"`.
+    pub design: String,
+    /// ADC resolution (bits).
+    pub adc_bits: u32,
+    /// Activation precision (bits).
+    pub input_bits: u32,
+    /// Weight precision (bits).
+    pub weight_bits: u32,
+    /// Accumulation rows per chunk.
+    pub rows: usize,
+    /// Noise seed.
+    pub seed: u64,
+    /// Noise-profile scale.
+    pub noise_scale: f64,
+    /// Cycle-to-cycle fraction of the device σ.
+    pub read_noise_fraction: f64,
+}
+
+impl ImcSettings {
+    /// Captures an executor config.
+    #[must_use]
+    pub fn from_config(cfg: &ImcConfig) -> Self {
+        Self {
+            design: format!("{:?}", cfg.design),
+            adc_bits: cfg.adc_bits,
+            input_bits: cfg.input_bits,
+            weight_bits: cfg.weight_bits,
+            rows: cfg.rows,
+            seed: cfg.seed,
+            noise_scale: cfg.noise_scale,
+            read_noise_fraction: cfg.read_noise_fraction,
+        }
+    }
+
+    /// Reconstructs the executor config.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown design name.
+    pub fn to_config(&self) -> Result<ImcConfig, CompileError> {
+        let design = match self.design.as_str() {
+            "CurFe" => ImcDesign::CurFe,
+            "ChgFe" => ImcDesign::ChgFe,
+            other => {
+                return Err(CompileError::BadImage(format!(
+                    "unknown design `{other}` in image"
+                )))
+            }
+        };
+        Ok(ImcConfig {
+            design,
+            adc_bits: self.adc_bits,
+            input_bits: self.input_bits,
+            weight_bits: self.weight_bits,
+            rows: self.rows,
+            seed: self.seed,
+            noise_scale: self.noise_scale,
+            read_noise_fraction: self.read_noise_fraction,
+        })
+    }
+}
+
+/// One MAC layer of the image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerImage {
+    /// Layer name (`fc1`, `fc2`, ...).
+    pub name: String,
+    /// The **effective** codes the analog array realizes after remapping
+    /// and residual faults — what the executor must be built from.
+    pub effective: QuantizedWeights,
+    /// The codes actually driven into the cells by the programming pass
+    /// (pre-fault; differs from `effective` only on clamped weights under
+    /// residual stuck cells).
+    pub stored: Vec<i8>,
+    /// Bias values (float, digital domain).
+    pub bias: Vec<f32>,
+}
+
+/// Where one weight tile of one layer physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementEntry {
+    /// MAC-layer index.
+    pub layer: usize,
+    /// Row tile (along the fan/input dimension, 128 rows each).
+    pub row_tile: usize,
+    /// Column tile (along the output dimension, 16 w8-columns each).
+    pub col_tile: usize,
+    /// Physical bank holding the tile.
+    pub bank: usize,
+    /// Time-multiplex slot within the bank (0 = resident; >0 means the
+    /// bank is reprogrammed between rounds because demand exceeded the
+    /// bank count).
+    pub slot: usize,
+}
+
+/// The full placement table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PlacementTable {
+    /// Rows per tile (128).
+    pub tile_rows: usize,
+    /// 8-bit weight columns per tile (16).
+    pub tile_cols_w8: usize,
+    /// Physical banks on the chip.
+    pub banks: usize,
+    /// Spare w8 columns per bank (beyond the logical 16).
+    pub spare_cols_w8: usize,
+    /// One entry per (layer, row_tile, col_tile), in deterministic order.
+    pub entries: Vec<PlacementEntry>,
+}
+
+impl PlacementTable {
+    /// Number of time-multiplex rounds needed (1 = fully resident).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.entries.iter().map(|e| e.slot + 1).max().unwrap_or(1)
+    }
+}
+
+/// Aggregated ISPP statistics for one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct BankProgramStats {
+    /// Bank index.
+    pub bank: usize,
+    /// Cells physically programmed (after sampling stride).
+    pub cells: u64,
+    /// Total ISPP pulses.
+    pub pulses: u64,
+    /// Worst single-cell pulse count.
+    pub max_pulses: u64,
+    /// Cells whose verify loop did not converge.
+    pub unconverged: u64,
+    /// Mean |achieved − target| V_TH over programmed cells (V).
+    pub mean_abs_residual_v: f64,
+    /// Worst |achieved − target| (V).
+    pub max_abs_residual_v: f64,
+    /// Total write energy (J).
+    pub energy_j: f64,
+}
+
+/// One column relocated onto a spare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelocatedColumn {
+    /// MAC-layer index.
+    pub layer: usize,
+    /// Row tile of the faulty column.
+    pub row_tile: usize,
+    /// Output channel (column) within the layer.
+    pub out_col: usize,
+    /// Bank providing the spare.
+    pub spare_bank: usize,
+    /// Spare slot index within that bank.
+    pub spare_col: usize,
+    /// Stuck cells the relocation dodged.
+    pub stuck_cells: usize,
+}
+
+/// One weight clamped in place because no clean spare was left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClampedWeight {
+    /// MAC-layer index.
+    pub layer: usize,
+    /// Flat weight index within the layer.
+    pub index: usize,
+    /// The code quantization wanted.
+    pub intended: i8,
+    /// The code actually driven into the cells.
+    pub stored: i8,
+    /// What the faulty cells make the array read back.
+    pub effective: i8,
+}
+
+/// Everything the fault-aware remapping pass did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultLedger {
+    /// Fault-map seed.
+    pub seed: u64,
+    /// Stuck-on probability per cell.
+    pub p_stuck_on: f64,
+    /// Stuck-off probability per cell.
+    pub p_stuck_off: f64,
+    /// Faulty cells drawn across all layers.
+    pub total_faults: usize,
+    /// Whether relocation + clamping ran at all (false = faults applied
+    /// raw, the ablation baseline).
+    pub remap_enabled: bool,
+    /// Spare columns available chip-wide.
+    pub spares_total: usize,
+    /// Spares that tested clean (usable).
+    pub spares_clean: usize,
+    /// Columns moved onto spares.
+    pub relocated: Vec<RelocatedColumn>,
+    /// Weights clamped under residual faults.
+    pub clamped: Vec<ClampedWeight>,
+    /// Faulty cells left in active (non-relocated) columns.
+    pub residual_faulty_cells: usize,
+}
+
+/// Wear state of one bank after this compile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearSummary {
+    /// Bank index.
+    pub bank: usize,
+    /// Lifetime program/erase cycles (including this compile).
+    pub cycles: u64,
+    /// Relative memory window at that cycle count (1.0 = pristine).
+    pub window_factor: f64,
+}
+
+/// Refresh requirement of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefreshEntry {
+    /// Bank index.
+    pub bank: usize,
+    /// The programmed V_TH state that drifts out of budget first.
+    pub limiting_vth: f64,
+    /// Reprogram interval (s); `None` = no refresh needed within the
+    /// 12-decade horizon.
+    pub interval_s: Option<f64>,
+    /// First refresh deadline (s), staggered across banks so the chip
+    /// never refreshes everything at once.
+    pub first_refresh_s: Option<f64>,
+}
+
+/// The human- and machine-readable compile record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Manifest {
+    /// Free-form model description.
+    pub model: String,
+    /// Total logical weights placed.
+    pub total_weights: u64,
+    /// Macro tiles used.
+    pub tiles: usize,
+    /// Banks touched.
+    pub banks_used: usize,
+    /// Time-multiplex rounds (1 = resident).
+    pub slots: usize,
+    /// Per-bank ISPP statistics.
+    pub program: Vec<BankProgramStats>,
+    /// Every 1/`program_stride`-th cell was physically programmed (1 =
+    /// all; larger strides sample the statistics for speed).
+    pub program_stride: usize,
+    /// What remapping did.
+    pub faults: FaultLedger,
+    /// Per-bank wear after this compile.
+    pub wear: Vec<WearSummary>,
+    /// Per-bank refresh schedule.
+    pub refresh: Vec<RefreshEntry>,
+    /// Probe-set seed (inputs are regenerated deterministically).
+    pub probe_seed: u64,
+    /// Number of probe inputs.
+    pub probe_count: usize,
+    /// Predicted logits of the compiled (effective) network on the probe
+    /// set — the served outputs must match these bit-for-bit.
+    pub predicted_logits: Vec<Vec<f32>>,
+    /// Argmax agreement between the compiled network and the fault-free
+    /// oracle on the probe set.
+    pub oracle_agreement: f64,
+    /// `1 − oracle_agreement`: the accuracy the faults are expected to
+    /// cost.
+    pub expected_accuracy_delta: f64,
+}
+
+/// The deployable artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipImage {
+    /// Format version ([`IMAGE_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Network architecture.
+    pub arch: MlpArch,
+    /// Weight-init seed of the float network (provenance; the effective
+    /// codes and biases below are authoritative).
+    pub weight_seed: u64,
+    /// Executor settings.
+    pub imc: ImcSettings,
+    /// MAC layers, in network order.
+    pub layers: Vec<LayerImage>,
+    /// Placement table.
+    pub placement: PlacementTable,
+    /// Compile record.
+    pub manifest: Manifest,
+}
+
+impl ChipImage {
+    /// Structural validation: version, layer shapes vs architecture,
+    /// placement/probe consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::BadImage`] describing the first violation.
+    pub fn validate(&self) -> Result<(), CompileError> {
+        if self.version != IMAGE_FORMAT_VERSION {
+            return Err(CompileError::BadImage(format!(
+                "format version {} (this build reads {})",
+                self.version, IMAGE_FORMAT_VERSION
+            )));
+        }
+        let shapes = self.arch.layer_shapes();
+        if self.layers.len() != shapes.len() {
+            return Err(CompileError::BadImage(format!(
+                "{} layers for a {}-layer architecture",
+                self.layers.len(),
+                shapes.len()
+            )));
+        }
+        for (li, (layer, shape)) in self.layers.iter().zip(&shapes).enumerate() {
+            let want = [shape.out_ch, shape.in_ch];
+            if layer.effective.shape != want {
+                return Err(CompileError::BadImage(format!(
+                    "layer {li} shape {:?} != architecture {want:?}",
+                    layer.effective.shape
+                )));
+            }
+            if layer.stored.len() != layer.effective.q.len() {
+                return Err(CompileError::BadImage(format!(
+                    "layer {li} stored/effective length mismatch"
+                )));
+            }
+            if layer.bias.len() != shape.out_ch {
+                return Err(CompileError::BadImage(format!(
+                    "layer {li} bias length {} != {}",
+                    layer.bias.len(),
+                    shape.out_ch
+                )));
+            }
+        }
+        if self.manifest.predicted_logits.len() != self.manifest.probe_count {
+            return Err(CompileError::BadImage(
+                "predicted logits don't cover the probe set".into(),
+            ));
+        }
+        self.imc.to_config().map(|_| ())
+    }
+
+    /// Rebuilds the executor exactly as the compiler ran it: same config,
+    /// same effective codes, same biases ⇒ bit-identical `forward`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the image is invalid.
+    pub fn to_network(&self) -> Result<QNetwork, CompileError> {
+        self.validate()?;
+        let cfg = self.imc.to_config()?;
+        let mut seq = self.arch.build(self.weight_seed);
+        // Biases live in the digital domain; restore them on the float net
+        // so conversion picks them up.
+        let mut li = 0usize;
+        for l in seq.layers_mut() {
+            if let Some(lin) = l.as_any_mut().downcast_mut::<neural::layers::Linear>() {
+                lin.bias
+                    .value
+                    .data_mut()
+                    .copy_from_slice(&self.layers[li].bias);
+                li += 1;
+            }
+        }
+        let layers = &self.layers;
+        Ok(QNetwork::from_sequential_with(&seq, cfg, |i, _original| {
+            layers[i].effective.clone()
+        }))
+    }
+
+    /// Serializes to pretty JSON and writes `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &str) -> Result<(), CompileError> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| CompileError::Io(format!("serialize image: {e}")))?;
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| CompileError::Io(format!("write {path}: {e}")))
+    }
+
+    /// Loads and validates an image from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable files, malformed JSON, or invariant violations.
+    pub fn load(path: &str) -> Result<Self, CompileError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CompileError::Io(format!("read {path}: {e}")))?;
+        let img: Self = serde_json::from_str(&json)
+            .map_err(|e| CompileError::BadImage(format!("parse {path}: {e}")))?;
+        img.validate()?;
+        Ok(img)
+    }
+
+    /// Structural differences between two images, as human-readable lines
+    /// (empty = images are equivalent for serving purposes).
+    #[must_use]
+    pub fn diff(&self, other: &Self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.version != other.version {
+            out.push(format!("version: {} vs {}", self.version, other.version));
+        }
+        if self.arch != other.arch {
+            out.push(format!("arch: {:?} vs {:?}", self.arch, other.arch));
+        }
+        if self.imc != other.imc {
+            out.push("imc settings differ".into());
+        }
+        if self.placement != other.placement {
+            out.push(format!(
+                "placement: {} vs {} entries (or table geometry differs)",
+                self.placement.entries.len(),
+                other.placement.entries.len()
+            ));
+        }
+        for (i, (a, b)) in self.layers.iter().zip(&other.layers).enumerate() {
+            if a.effective != b.effective {
+                let n = a
+                    .effective
+                    .q
+                    .iter()
+                    .zip(&b.effective.q)
+                    .filter(|(x, y)| x != y)
+                    .count();
+                out.push(format!("layer {i} effective codes: {n} differ"));
+            }
+            if a.stored != b.stored {
+                out.push(format!("layer {i} stored codes differ"));
+            }
+            if a.bias != b.bias {
+                out.push(format!("layer {i} biases differ"));
+            }
+        }
+        if self.layers.len() != other.layers.len() {
+            out.push(format!(
+                "layer count: {} vs {}",
+                self.layers.len(),
+                other.layers.len()
+            ));
+        }
+        if self.manifest.faults.total_faults != other.manifest.faults.total_faults {
+            out.push(format!(
+                "fault count: {} vs {}",
+                self.manifest.faults.total_faults, other.manifest.faults.total_faults
+            ));
+        }
+        if self.manifest.predicted_logits != other.manifest.predicted_logits {
+            out.push("predicted logits differ".into());
+        }
+        out
+    }
+}

@@ -1,0 +1,64 @@
+//! `imc-compile` — the model-to-chip compiler.
+//!
+//! The macros of the paper only compute correctly once weights are
+//! *physically* on chip: nibbles placed across banks, V_TH states written
+//! by ISPP write-verify, stuck cells steered around, wear and retention
+//! budgeted. This crate is the bridge between the device-physics layers
+//! (`fefet-device`, `imc-core`, `system-perf`) and the serving layer
+//! (`imc-serve`): it compiles a quantized [`neural::imc_exec::QNetwork`]
+//! checkpoint into a versioned, deployable [`image::ChipImage`].
+//!
+//! The pipeline ([`pipeline::compile`]) runs five passes:
+//!
+//! 1. **Placement** ([`placement`]) — map each layer's weight matrix onto
+//!    the 128×128×16-bank geometry via [`system_perf::mapping`],
+//!    spilling multi-tile layers deterministically across the least-worn
+//!    banks (time-multiplexed slots when demand exceeds the bank count).
+//! 2. **Programming** ([`programming`]) — per cell, run ISPP write-verify
+//!    ([`fefet_device::programming`]) under sampled V_TH variation,
+//!    recording pulse counts, write energy and residual V_TH error.
+//! 3. **Fault-aware remapping** ([`remap`]) — consume a seeded
+//!    [`imc_core::faults::FaultMap`], relocate weight columns containing
+//!    stuck cells to spare columns, and fall back to sign-aware weight
+//!    clamping when spares run out.
+//! 4. **Wear/retention** ([`wear`]) — account program/erase cycles per
+//!    bank against [`fefet_device::endurance`] and emit a refresh
+//!    schedule from [`fefet_device::retention`].
+//! 5. **Image emission** ([`image`]) — serialize a versioned
+//!    [`image::ChipImage`] whose manifest carries the placement table,
+//!    per-bank program stats, the fault ledger, predicted probe logits
+//!    and the expected accuracy delta. `imc-serve --image` loads it and
+//!    serves outputs bit-identical to the compiler's predictions.
+
+pub mod image;
+pub mod pipeline;
+pub mod placement;
+pub mod programming;
+pub mod remap;
+pub mod wear;
+
+/// Errors surfaced by compilation or image loading.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The network contains a layer kind the chip compiler cannot place.
+    UnsupportedLayer(String),
+    /// The fault model failed validation.
+    InvalidFaultModel(String),
+    /// An image file could not be read, parsed, or fails its invariants.
+    BadImage(String),
+    /// File I/O failed.
+    Io(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnsupportedLayer(s) => write!(f, "unsupported layer: {s}"),
+            Self::InvalidFaultModel(s) => write!(f, "invalid fault model: {s}"),
+            Self::BadImage(s) => write!(f, "bad chip image: {s}"),
+            Self::Io(s) => write!(f, "i/o error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,424 @@
+//! The compile driver: checkpoint → five passes → [`ChipImage`].
+//!
+//! [`compile`] wires the passes together and — crucially for the serving
+//! contract — *predicts* the chip's outputs on a deterministic probe set
+//! using the exact executor a server reconstructs from the image
+//! ([`ChipImage::to_network`]). The predicted logits go into the
+//! manifest; `imc-serve --image` must reproduce them bit-for-bit, which
+//! is what `loadgen --image` checks. The probe set also scores the image
+//! against a fault-free oracle (same weights, no stuck cells), giving the
+//! manifest's expected accuracy delta.
+
+use crate::image::{ChipImage, ImcSettings, LayerImage, Manifest, MlpArch, IMAGE_FORMAT_VERSION};
+use crate::placement::{place, ChipGeometry};
+use crate::programming::{program_pass, ProgramOptions, ProgramTotals};
+use crate::remap::{remap_pass, RemapOptions};
+use crate::wear::{wear_pass, WearLedger};
+use crate::CompileError;
+use fefet_device::endurance::EnduranceParams;
+use fefet_device::retention::RetentionParams;
+use imc_core::faults::FaultModel;
+use neural::checkpoint::{load, Checkpoint};
+use neural::imc_exec::{ImcConfig, ImcDesign, QNetwork};
+use neural::layers::Linear;
+use neural::quant::{quantize_weights, QuantizedWeights};
+use neural::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Default weight-init seed — matches `imc-serve`'s synthetic model so a
+/// default-compiled image serves the same network family.
+pub const DEFAULT_WEIGHT_SEED: u64 = 0x5E44_E001;
+
+/// Everything the compile driver needs.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Network architecture.
+    pub arch: MlpArch,
+    /// Weight-init seed of the float network.
+    pub weight_seed: u64,
+    /// Optional `neural::checkpoint` JSON with trained weights.
+    pub checkpoint: Option<String>,
+    /// Macro design.
+    pub design: ImcDesign,
+    /// Chip geometry.
+    pub geometry: ChipGeometry,
+    /// Programming-pass options (ISPP, variation, stride).
+    pub program: ProgramOptions,
+    /// Per-cell fault probabilities.
+    pub fault_model: FaultModel,
+    /// Fault-map seed.
+    pub fault_seed: u64,
+    /// Run relocation + clamping (false = ablation baseline: faults land
+    /// raw on the weights).
+    pub remap: bool,
+    /// Endurance corner for the wear pass.
+    pub endurance: EnduranceParams,
+    /// Retention corner for the refresh schedule.
+    pub retention: RetentionParams,
+    /// Probe-set seed.
+    pub probe_seed: u64,
+    /// Probe-set size.
+    pub probe_count: usize,
+    /// Free-form model description for the manifest.
+    pub model_name: String,
+}
+
+impl CompileOptions {
+    /// Sensible defaults: fresh paper chip, paper programming conditions,
+    /// no faults, typical HfO₂ wear/retention corners, 64 probes.
+    #[must_use]
+    pub fn new(arch: MlpArch, design: ImcDesign) -> Self {
+        Self {
+            arch,
+            weight_seed: DEFAULT_WEIGHT_SEED,
+            checkpoint: None,
+            design,
+            geometry: ChipGeometry::paper(),
+            program: ProgramOptions::paper(0xC0_FFEE),
+            fault_model: FaultModel::none(),
+            fault_seed: 42,
+            remap: true,
+            endurance: EnduranceParams::hfo2_typical(),
+            retention: RetentionParams::hfo2_typical(),
+            probe_seed: 0x0B5E_55ED,
+            probe_count: 64,
+            model_name: format!(
+                "mlp {}x{}x{} ({design:?})",
+                arch.features, arch.hidden, arch.classes
+            ),
+        }
+    }
+}
+
+/// Wall-clock seconds per pass (what `perfsnap` reports).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PassTimings {
+    /// Placement pass.
+    pub placement_s: f64,
+    /// Programming pass (the dominant cost).
+    pub programming_s: f64,
+    /// Fault-aware remapping pass.
+    pub remap_s: f64,
+    /// Wear/retention pass.
+    pub wear_s: f64,
+    /// Probe prediction + scoring.
+    pub predict_s: f64,
+}
+
+/// What [`compile`] returns.
+pub struct CompileOutput {
+    /// The deployable image.
+    pub image: ChipImage,
+    /// Per-pass wall times.
+    pub timings: PassTimings,
+    /// Chip-wide programming totals.
+    pub totals: ProgramTotals,
+}
+
+/// The deterministic probe set: `count` inputs of `features` values in
+/// `[0, 1)`, regenerable from the seed alone (both compiler and verifier
+/// call this).
+#[must_use]
+pub fn probe_inputs(features: usize, count: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 40) & 0xFF_FFFF) as f32 / (1u64 << 24) as f32
+    };
+    (0..count)
+        .map(|_| (0..features).map(|_| next()).collect())
+        .collect()
+}
+
+/// Index of the largest logit (ties break low, matching a hardware
+/// priority encoder).
+#[must_use]
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Extracts per-layer intended codes and biases from the float network.
+fn quantize_layers(
+    seq: &mut neural::models::Sequential,
+    weight_bits: u32,
+    expected: usize,
+) -> Result<(Vec<QuantizedWeights>, Vec<Vec<f32>>), CompileError> {
+    let mut intended = Vec::new();
+    let mut biases = Vec::new();
+    for l in seq.layers_mut() {
+        if let Some(lin) = l.as_any_mut().downcast_mut::<Linear>() {
+            intended.push(quantize_weights(&lin.weight.value, weight_bits));
+            biases.push(lin.bias.value.data().to_vec());
+        }
+    }
+    if intended.len() != expected {
+        return Err(CompileError::UnsupportedLayer(format!(
+            "found {} Linear layers, architecture declares {expected} \
+             (only MLPs compile today)",
+            intended.len()
+        )));
+    }
+    Ok((intended, biases))
+}
+
+/// Compiles a model into a deployable chip image, charging `ledger` with
+/// this image's program/erase cycles.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on an invalid fault model, a checkpoint that
+/// doesn't fit the architecture, or an architecture the compiler cannot
+/// place.
+pub fn compile(
+    opts: &CompileOptions,
+    ledger: &mut WearLedger,
+) -> Result<CompileOutput, CompileError> {
+    let cfg = ImcConfig::paper(opts.design, 4, 8);
+    let shapes = opts.arch.layer_shapes();
+
+    // Float network, optionally with trained weights restored.
+    let mut seq = opts.arch.build(opts.weight_seed);
+    if let Some(path) = &opts.checkpoint {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| CompileError::Io(format!("{path}: {e}")))?;
+        let ckpt: Checkpoint = serde_json::from_str(&json)
+            .map_err(|e| CompileError::BadImage(format!("checkpoint {path}: {e}")))?;
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            load(&mut seq, &ckpt);
+        }));
+        if ok.is_err() {
+            return Err(CompileError::BadImage(format!(
+                "checkpoint {path} does not fit a {} architecture",
+                opts.model_name
+            )));
+        }
+    }
+    let (intended, biases) = quantize_layers(&mut seq, cfg.weight_bits, shapes.len())?;
+
+    // Pass 1 — placement.
+    let t = Instant::now();
+    let (placement, mappings) = place(&shapes, &opts.geometry, &ledger.cycles, cfg.weight_bits);
+    let mut timings = PassTimings {
+        placement_s: t.elapsed().as_secs_f64(),
+        ..PassTimings::default()
+    };
+    debug_assert_eq!(
+        placement.entries.len(),
+        mappings.iter().map(|m| m.macros).sum::<usize>()
+    );
+
+    // Pass 3 runs before pass 2 on purpose: programming drives the
+    // *stored* codes, which remapping decides (clamped weights are stored
+    // clamped; relocated columns store their intended codes on spares).
+    let t = Instant::now();
+    let remapped = remap_pass(
+        &intended,
+        &placement,
+        &RemapOptions {
+            model: opts.fault_model,
+            seed: opts.fault_seed,
+            enable: opts.remap,
+        },
+    )?;
+    timings.remap_s = t.elapsed().as_secs_f64();
+
+    // Pass 2 — ISPP programming of the stored codes.
+    let t = Instant::now();
+    let dims: Vec<[usize; 2]> = shapes.iter().map(|s| [s.out_ch, s.in_ch]).collect();
+    let (bank_stats, totals) = program_pass(
+        &remapped.stored,
+        &dims,
+        &placement,
+        opts.design,
+        cfg.weight_bits,
+        &opts.program,
+    );
+    timings.programming_s = t.elapsed().as_secs_f64();
+
+    // Pass 4 — wear accounting + refresh schedule.
+    let t = Instant::now();
+    let (wear, refresh) = wear_pass(
+        &placement,
+        opts.design,
+        &opts.endurance,
+        &opts.retention,
+        ledger,
+    );
+    timings.wear_s = t.elapsed().as_secs_f64();
+
+    // Pass 5 — image assembly and probe prediction.
+    let layers: Vec<LayerImage> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| LayerImage {
+            name: s.name.clone(),
+            effective: QuantizedWeights {
+                q: remapped.effective[i].clone(),
+                scale: intended[i].scale,
+                bits: intended[i].bits,
+                shape: intended[i].shape,
+            },
+            stored: remapped.stored[i].clone(),
+            bias: biases[i].clone(),
+        })
+        .collect();
+    let banks_used = {
+        let mut seen = vec![false; placement.banks];
+        placement.entries.iter().for_each(|e| seen[e.bank] = true);
+        seen.iter().filter(|&&b| b).count()
+    };
+    let mut image = ChipImage {
+        version: IMAGE_FORMAT_VERSION,
+        arch: opts.arch,
+        weight_seed: opts.weight_seed,
+        imc: ImcSettings::from_config(&cfg),
+        layers,
+        placement,
+        manifest: Manifest {
+            model: opts.model_name.clone(),
+            total_weights: shapes.iter().map(|s| s.weight_count()).sum(),
+            tiles: mappings.iter().map(|m| m.macros).sum(),
+            banks_used,
+            slots: 1,
+            program: bank_stats,
+            program_stride: opts.program.stride,
+            faults: remapped.ledger,
+            wear,
+            refresh,
+            probe_seed: opts.probe_seed,
+            // Filled in below once predictions exist (validate() ties the
+            // probe count to the predicted logits).
+            probe_count: 0,
+            predicted_logits: Vec::new(),
+            oracle_agreement: 1.0,
+            expected_accuracy_delta: 0.0,
+        },
+    };
+    image.manifest.slots = image.placement.slots();
+
+    let t = Instant::now();
+    let compiled = image.to_network()?;
+    let oracle = QNetwork::from_sequential_with(&seq, cfg, |i, _| intended[i].clone());
+    let probes = probe_inputs(opts.arch.features, opts.probe_count, opts.probe_seed);
+    let mut agree = 0usize;
+    for p in &probes {
+        let x = Tensor::from_vec(&[1, opts.arch.features], p.clone());
+        let got = compiled.forward(&x).data().to_vec();
+        let want = oracle.forward(&x).data().to_vec();
+        if argmax(&got) == argmax(&want) {
+            agree += 1;
+        }
+        image.manifest.predicted_logits.push(got);
+    }
+    image.manifest.probe_count = probes.len();
+    image.manifest.oracle_agreement = if probes.is_empty() {
+        1.0
+    } else {
+        agree as f64 / probes.len() as f64
+    };
+    image.manifest.expected_accuracy_delta = 1.0 - image.manifest.oracle_agreement;
+    timings.predict_s = t.elapsed().as_secs_f64();
+
+    image.validate()?;
+    Ok(CompileOutput {
+        image,
+        timings,
+        totals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CompileOptions {
+        let mut o = CompileOptions::new(
+            MlpArch {
+                features: 24,
+                hidden: 12,
+                classes: 6,
+            },
+            ImcDesign::CurFe,
+        );
+        o.program.stride = 64; // keep debug-mode ISPP cheap
+        o.probe_count = 16;
+        o
+    }
+
+    #[test]
+    fn fault_free_compile_matches_the_oracle_exactly() {
+        let opts = tiny();
+        let mut ledger = WearLedger::fresh(opts.geometry.banks);
+        let out = compile(&opts, &mut ledger).unwrap();
+        assert_eq!(out.image.manifest.oracle_agreement, 1.0);
+        assert_eq!(out.image.manifest.expected_accuracy_delta, 0.0);
+        assert_eq!(out.image.manifest.predicted_logits.len(), 16);
+        assert!(out.totals.cells > 0);
+        // The ledger was charged.
+        assert!(ledger.cycles.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn predictions_are_reproducible_from_the_image() {
+        let opts = tiny();
+        let mut ledger = WearLedger::fresh(opts.geometry.banks);
+        let out = compile(&opts, &mut ledger).unwrap();
+        let net = out.image.to_network().unwrap();
+        let probes = probe_inputs(24, 16, opts.probe_seed);
+        for (p, want) in probes.iter().zip(&out.image.manifest.predicted_logits) {
+            let x = Tensor::from_vec(&[1, 24], p.clone());
+            assert_eq!(&net.forward(&x).data().to_vec(), want, "bit-identical");
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let opts = tiny();
+        let mut l1 = WearLedger::fresh(16);
+        let mut l2 = WearLedger::fresh(16);
+        let a = compile(&opts, &mut l1).unwrap();
+        let b = compile(&opts, &mut l2).unwrap();
+        assert_eq!(a.image, b.image);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn remap_beats_raw_faults_on_the_same_seed() {
+        let mut opts = tiny();
+        opts.design = ImcDesign::ChgFe;
+        opts.fault_model = imc_core::faults::FaultModel {
+            p_stuck_on: 0.004,
+            p_stuck_off: 0.004,
+        };
+        let mut l1 = WearLedger::fresh(16);
+        let with = compile(&opts, &mut l1).unwrap();
+        opts.remap = false;
+        let mut l2 = WearLedger::fresh(16);
+        let without = compile(&opts, &mut l2).unwrap();
+        assert!(
+            with.image.manifest.oracle_agreement >= without.image.manifest.oracle_agreement,
+            "remap {} vs raw {}",
+            with.image.manifest.oracle_agreement,
+            without.image.manifest.oracle_agreement
+        );
+        assert!(with.image.manifest.faults.total_faults > 0);
+    }
+
+    #[test]
+    fn probe_inputs_are_stable_and_bounded() {
+        let a = probe_inputs(8, 4, 7);
+        let b = probe_inputs(8, 4, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, probe_inputs(8, 4, 8));
+        assert!(a.iter().flatten().all(|&v| (0.0..1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Pass 1 — placement: layers onto the 128×128×16-bank chip.
+//!
+//! Each layer is tiled by [`system_perf::mapping::map_layer`] into
+//! `row_tiles × col_tiles` macro tiles; the tiles are then dealt across
+//! banks in a deterministic wear-aware round-robin. Banks are visited
+//! least-worn first (ties broken by index), and when demand exceeds the
+//! bank count the deal wraps into the next time-multiplex *slot* — the
+//! chip reprograms between rounds, which the wear pass accounts for.
+//!
+//! Spare columns sit **outside** the logical 16 w8 columns of a bank, so
+//! none of the `map_layer` arithmetic changes; they exist purely as
+//! relocation targets for the fault pass.
+
+use crate::image::{PlacementEntry, PlacementTable};
+use neural::models::LayerShape;
+use system_perf::mapping::{map_layer, LayerMapping, MacroTile};
+
+/// Physical chip geometry the compiler targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipGeometry {
+    /// Number of physical banks (the paper's macro organisation: 16).
+    pub banks: usize,
+    /// Per-bank tile geometry.
+    pub tile: MacroTile,
+    /// Spare w8 columns per bank, beyond the logical columns.
+    pub spare_cols_w8: usize,
+}
+
+impl ChipGeometry {
+    /// The paper's chip: 16 banks of 128×128 with 2 spare columns each.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            banks: 16,
+            tile: MacroTile::paper(),
+            spare_cols_w8: 2,
+        }
+    }
+}
+
+impl Default for ChipGeometry {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Places `shapes` on `geom`, dealing tiles across banks in ascending
+/// wear order (`bank_wear[b]` = lifetime P/E cycles; pass zeros for a
+/// fresh chip). Returns the placement table plus the per-layer mappings.
+///
+/// # Panics
+///
+/// Panics if `geom.banks == 0` or `bank_wear.len() != geom.banks`.
+#[must_use]
+pub fn place(
+    shapes: &[LayerShape],
+    geom: &ChipGeometry,
+    bank_wear: &[u64],
+    weight_bits: u32,
+) -> (PlacementTable, Vec<LayerMapping>) {
+    assert!(geom.banks > 0, "a chip needs at least one bank");
+    assert_eq!(bank_wear.len(), geom.banks, "one wear counter per bank");
+    // Least-worn banks take tiles first; index breaks ties so the order
+    // is deterministic whatever the ledger contents.
+    let mut order: Vec<usize> = (0..geom.banks).collect();
+    order.sort_by_key(|&b| (bank_wear[b], b));
+
+    let mut entries = Vec::new();
+    let mut mappings = Vec::with_capacity(shapes.len());
+    let mut dealt = 0usize;
+    for (layer, shape) in shapes.iter().enumerate() {
+        let m = map_layer(shape, geom.tile, weight_bits);
+        for row_tile in 0..m.row_tiles {
+            for col_tile in 0..m.col_tiles {
+                entries.push(PlacementEntry {
+                    layer,
+                    row_tile,
+                    col_tile,
+                    bank: order[dealt % geom.banks],
+                    slot: dealt / geom.banks,
+                });
+                dealt += 1;
+            }
+        }
+        mappings.push(m);
+    }
+    (
+        PlacementTable {
+            tile_rows: geom.tile.rows,
+            tile_cols_w8: geom.tile.cols_w8,
+            banks: geom.banks,
+            spare_cols_w8: geom.spare_cols_w8,
+            entries,
+        },
+        mappings,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fc(in_ch: usize, out_ch: usize) -> LayerShape {
+        LayerShape {
+            name: "fc".into(),
+            in_ch,
+            out_ch,
+            kernel: 1,
+            out_positions: 1,
+        }
+    }
+
+    #[test]
+    fn small_model_is_resident() {
+        let shapes = [fc(100, 16), fc(16, 10)];
+        let (t, m) = place(&shapes, &ChipGeometry::paper(), &[0; 16], 8);
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.slots(), 1);
+        assert_eq!(m[0].macros, 1);
+        // Fresh chip: tiles land on banks 0, 1.
+        assert_eq!(t.entries[0].bank, 0);
+        assert_eq!(t.entries[1].bank, 1);
+    }
+
+    #[test]
+    fn wear_reorders_the_deal() {
+        let shapes = [fc(100, 16)];
+        let mut wear = [0u64; 16];
+        wear[0] = 100; // bank 0 is tired
+        let (t, _) = place(&shapes, &ChipGeometry::paper(), &wear, 8);
+        assert_eq!(t.entries[0].bank, 1, "least-worn bank wins the tile");
+    }
+
+    #[test]
+    fn oversubscription_wraps_into_slots() {
+        // 18 row tiles × 16 col tiles = 288 tiles on 16 banks → 18 slots.
+        let shapes = [fc(2304, 256)];
+        let (t, m) = place(&shapes, &ChipGeometry::paper(), &[0; 16], 8);
+        assert_eq!(m[0].macros, 288);
+        assert_eq!(t.entries.len(), 288);
+        assert_eq!(t.slots(), 18);
+        // Every bank carries exactly 18 tiles.
+        for b in 0..16 {
+            assert_eq!(t.entries.iter().filter(|e| e.bank == b).count(), 18);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let shapes = [fc(784, 64), fc(64, 10)];
+        let a = place(&shapes, &ChipGeometry::paper(), &[0; 16], 8);
+        let b = place(&shapes, &ChipGeometry::paper(), &[0; 16], 8);
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Pass 3 — fault-aware remapping: spares first, sign-aware clamping after.
+//!
+//! A seeded [`FaultMap`] pins cells stuck-on/off. Faults cluster by
+//! *column* (one output channel within one 128-row tile) because that is
+//! the physical relocation unit: a bank's spare w8 columns can host a
+//! whole column's worth of nibbles. The pass:
+//!
+//! 1. samples per-layer fault maps and per-spare defect maps from the
+//!    same model (spares are silicon too),
+//! 2. relocates each faulty column to a clean spare — same bank
+//!    preferred, any bank otherwise,
+//! 3. when spares run out, clamps each faulty weight *in place*: among
+//!    all 256 storable codes it picks the one whose faulty read-back
+//!    lands closest to the intended code, preferring candidates that
+//!    preserve the sign (a flipped sign column is the worst-case ±128
+//!    error of the ladder in [`FaultMap::worst_case_weight_error`]).
+//!
+//! The output is a `(stored, effective)` code pair per layer: `stored` is
+//! driven by the programming pass, `effective` is what the array computes
+//! with — and what the served network must be built from.
+
+use crate::image::{ClampedWeight, FaultLedger, PlacementTable, RelocatedColumn};
+use crate::CompileError;
+use imc_core::faults::{apply_cell_fault, FaultKind, FaultMap, FaultModel};
+use neural::quant::QuantizedWeights;
+use std::collections::{BTreeMap, HashMap};
+
+/// Remapping-pass configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemapOptions {
+    /// Per-cell fault probabilities.
+    pub model: FaultModel,
+    /// Fault-map seed (layer maps and spare defect maps derive from it).
+    pub seed: u64,
+    /// `false` runs the ablation baseline: faults applied raw, no
+    /// relocation or clamping.
+    pub enable: bool,
+}
+
+/// What the pass produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemapResult {
+    /// Codes to drive into the cells, per layer.
+    pub stored: Vec<Vec<i8>>,
+    /// Codes the array effectively computes with, per layer.
+    pub effective: Vec<Vec<i8>>,
+    /// The ledger for the manifest.
+    pub ledger: FaultLedger,
+}
+
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Applies a weight's fault list to a candidate stored code.
+fn read_back(stored: i8, faults: &[(usize, FaultKind)]) -> i8 {
+    faults
+        .iter()
+        .fold(stored, |w, &(cell, kind)| apply_cell_fault(w, cell, kind))
+}
+
+/// Sign-aware clamp: the storable code whose faulty read-back is closest
+/// to `intended`, preferring sign-preserving candidates, then the least
+/// storage perturbation.
+fn clamp_code(intended: i8, faults: &[(usize, FaultKind)]) -> (i8, i8) {
+    let want_sign = intended.signum();
+    let mut best: Option<(i8, i8, (i32, u8, i32))> = None;
+    for cand in i8::MIN..=i8::MAX {
+        let eff = read_back(cand, faults);
+        let err = (i32::from(eff) - i32::from(intended)).abs();
+        let sign_miss = u8::from(want_sign != 0 && eff.signum() == -want_sign);
+        let churn = (i32::from(cand) - i32::from(intended)).abs();
+        let score = (err, sign_miss, churn);
+        if best.as_ref().is_none_or(|(_, _, s)| score < *s) {
+            best = Some((cand, eff, score));
+        }
+    }
+    let (stored, eff, _) = best.expect("256 candidates");
+    (stored, eff)
+}
+
+/// A spare column site and its (model-sampled) defect map.
+struct Spare {
+    bank: usize,
+    idx: usize,
+    /// Faulty row indices (any cell) within the 128-row column.
+    faulty_rows: Vec<usize>,
+    used: bool,
+}
+
+impl Spare {
+    fn clean_for(&self, rows_used: usize) -> bool {
+        !self.used && self.faulty_rows.iter().all(|&r| r >= rows_used)
+    }
+}
+
+/// Runs the remapping pass.
+///
+/// `intended[l]` is layer `l`'s quantized weight matrix.
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvalidFaultModel`] if the fault probabilities
+/// fail [`FaultModel::validate`].
+pub fn remap_pass(
+    intended: &[QuantizedWeights],
+    placement: &PlacementTable,
+    opts: &RemapOptions,
+) -> Result<RemapResult, CompileError> {
+    opts.model
+        .validate()
+        .map_err(|e| CompileError::InvalidFaultModel(e.to_string()))?;
+
+    let tile_rows = placement.tile_rows;
+    // Weights are 8-bit on chip.
+    let tile_cols = placement.tile_cols_w8;
+    // (layer, row_tile, col_tile) → bank, for same-bank spare preference.
+    let tile_bank: HashMap<(usize, usize, usize), usize> = placement
+        .entries
+        .iter()
+        .map(|e| ((e.layer, e.row_tile, e.col_tile), e.bank))
+        .collect();
+
+    // Spare defect maps: spares are cells like any other.
+    const SPARE_SALT: u64 = 0x5A5A_0001;
+    let mut spares: Vec<Spare> = Vec::new();
+    for bank in 0..placement.banks {
+        for idx in 0..placement.spare_cols_w8 {
+            let site = (bank * placement.spare_cols_w8 + idx) as u64;
+            let map = FaultMap::sample(tile_rows, &opts.model, mix(opts.seed ^ SPARE_SALT, site));
+            let mut faulty_rows: Vec<usize> = map.faults.iter().map(|&(r, _, _)| r).collect();
+            faulty_rows.dedup();
+            spares.push(Spare {
+                bank,
+                idx,
+                faulty_rows,
+                used: false,
+            });
+        }
+    }
+    let spares_total = spares.len();
+
+    let mut stored = Vec::with_capacity(intended.len());
+    let mut effective = Vec::with_capacity(intended.len());
+    let mut ledger = FaultLedger {
+        seed: opts.seed,
+        p_stuck_on: opts.model.p_stuck_on,
+        p_stuck_off: opts.model.p_stuck_off,
+        remap_enabled: opts.enable,
+        spares_total,
+        ..FaultLedger::default()
+    };
+
+    for (layer, qw) in intended.iter().enumerate() {
+        let [_oc, fan] = qw.shape;
+        let map = FaultMap::sample(qw.q.len(), &opts.model, mix(opts.seed, layer as u64));
+        ledger.total_faults += map.len();
+
+        let mut st = qw.q.clone();
+        let mut eff;
+        if !opts.enable {
+            eff = Vec::new();
+            map.apply_into(&st, &mut eff);
+            stored.push(st);
+            effective.push(eff);
+            ledger.residual_faulty_cells += map.len();
+            continue;
+        }
+        eff = st.clone();
+
+        // Group faults by weight, then by physical column.
+        let mut by_weight: HashMap<usize, Vec<(usize, FaultKind)>> = HashMap::new();
+        for &(w, cell, kind) in &map.faults {
+            by_weight.entry(w).or_default().push((cell, kind));
+        }
+        // Column key (row_tile, out_col) → faulty weight indices; BTreeMap
+        // keeps relocation order deterministic.
+        let mut by_column: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for &w in by_weight.keys() {
+            let (o, r) = (w / fan, w % fan);
+            by_column.entry((r / tile_rows, o)).or_default().push(w);
+        }
+
+        for ((row_tile, out_col), weights) in by_column {
+            let rows_used = (fan - row_tile * tile_rows).min(tile_rows);
+            let home_bank = tile_bank
+                .get(&(layer, row_tile, out_col / tile_cols))
+                .copied();
+            // Same-bank spare first, then any clean spare.
+            let pick = spares
+                .iter()
+                .position(|s| Some(s.bank) == home_bank && s.clean_for(rows_used))
+                .or_else(|| spares.iter().position(|s| s.clean_for(rows_used)));
+            if let Some(si) = pick {
+                spares[si].used = true;
+                let stuck: usize = weights.iter().map(|w| by_weight[w].len()).sum();
+                ledger.relocated.push(RelocatedColumn {
+                    layer,
+                    row_tile,
+                    out_col,
+                    spare_bank: spares[si].bank,
+                    spare_col: spares[si].idx,
+                    stuck_cells: stuck,
+                });
+                // Relocated nibbles live on clean cells: intended codes
+                // survive untouched in both stored and effective.
+            } else {
+                for w in weights {
+                    let faults = &by_weight[&w];
+                    let (s_code, e_code) = clamp_code(st[w], faults);
+                    ledger.clamped.push(ClampedWeight {
+                        layer,
+                        index: w,
+                        intended: st[w],
+                        stored: s_code,
+                        effective: e_code,
+                    });
+                    st[w] = s_code;
+                    eff[w] = e_code;
+                    ledger.residual_faulty_cells += faults.len();
+                }
+            }
+        }
+        stored.push(st);
+        effective.push(eff);
+    }
+    ledger.spares_clean = spares
+        .iter()
+        .filter(|s| s.used || s.faulty_rows.is_empty())
+        .count();
+    Ok(RemapResult {
+        stored,
+        effective,
+        ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::PlacementEntry;
+
+    fn placement(banks: usize, spares: usize) -> PlacementTable {
+        PlacementTable {
+            tile_rows: 128,
+            tile_cols_w8: 16,
+            banks,
+            spare_cols_w8: spares,
+            entries: vec![PlacementEntry {
+                layer: 0,
+                row_tile: 0,
+                col_tile: 0,
+                bank: 0,
+                slot: 0,
+            }],
+        }
+    }
+
+    fn qw(oc: usize, fan: usize, seed: i8) -> QuantizedWeights {
+        QuantizedWeights {
+            q: (0..oc * fan)
+                .map(|i| (i as i8).wrapping_mul(7).wrapping_add(seed))
+                .collect(),
+            scale: 0.01,
+            bits: 8,
+            shape: [oc, fan],
+        }
+    }
+
+    #[test]
+    fn invalid_model_is_an_error_not_a_panic() {
+        let opts = RemapOptions {
+            model: FaultModel {
+                p_stuck_on: 1.5,
+                p_stuck_off: 0.0,
+            },
+            seed: 1,
+            enable: true,
+        };
+        let err = remap_pass(&[qw(4, 8, 0)], &placement(16, 2), &opts);
+        assert!(matches!(err, Err(CompileError::InvalidFaultModel(_))));
+    }
+
+    #[test]
+    fn no_faults_is_identity() {
+        let opts = RemapOptions {
+            model: FaultModel::none(),
+            seed: 1,
+            enable: true,
+        };
+        let w = qw(16, 64, 3);
+        let r = remap_pass(&[w.clone()], &placement(16, 2), &opts).unwrap();
+        assert_eq!(r.stored[0], w.q);
+        assert_eq!(r.effective[0], w.q);
+        assert!(r.ledger.relocated.is_empty() && r.ledger.clamped.is_empty());
+    }
+
+    #[test]
+    fn disabled_remap_applies_faults_raw() {
+        let model = FaultModel {
+            p_stuck_on: 0.01,
+            p_stuck_off: 0.01,
+        };
+        let opts = RemapOptions {
+            model,
+            seed: 7,
+            enable: false,
+        };
+        let w = qw(16, 64, 1);
+        let r = remap_pass(&[w.clone()], &placement(16, 2), &opts).unwrap();
+        assert_eq!(r.stored[0], w.q, "stored codes untouched");
+        let map = FaultMap::sample(w.q.len(), &model, mix(7, 0));
+        assert_eq!(r.effective[0], map.apply(&w.q));
+        assert!(!r.ledger.remap_enabled);
+    }
+
+    #[test]
+    fn relocation_restores_intended_codes() {
+        // Plenty of spares: every faulty column must relocate, so the
+        // effective codes equal the intended codes exactly.
+        let model = FaultModel {
+            p_stuck_on: 0.005,
+            p_stuck_off: 0.005,
+        };
+        let opts = RemapOptions {
+            model,
+            seed: 13,
+            enable: true,
+        };
+        let w = qw(4, 32, 2);
+        let r = remap_pass(&[w.clone()], &placement(16, 8), &opts).unwrap();
+        assert!(r.ledger.total_faults > 0, "need faults for this test");
+        if r.ledger.clamped.is_empty() {
+            assert_eq!(r.effective[0], w.q);
+            assert!(!r.ledger.relocated.is_empty());
+        }
+    }
+
+    #[test]
+    fn clamping_beats_raw_faults() {
+        // Zero spares: every faulty weight is clamped. The clamped
+        // effective error must never exceed the raw fault error.
+        let model = FaultModel {
+            p_stuck_on: 0.02,
+            p_stuck_off: 0.02,
+        };
+        let w = qw(16, 128, 5);
+        let raw = remap_pass(
+            &[w.clone()],
+            &placement(16, 0),
+            &RemapOptions {
+                model,
+                seed: 21,
+                enable: false,
+            },
+        )
+        .unwrap();
+        let fixed = remap_pass(
+            &[w.clone()],
+            &placement(16, 0),
+            &RemapOptions {
+                model,
+                seed: 21,
+                enable: true,
+            },
+        )
+        .unwrap();
+        assert!(!fixed.ledger.clamped.is_empty());
+        assert!(fixed.ledger.relocated.is_empty(), "no spares to use");
+        let err = |eff: &[i8]| -> i64 {
+            eff.iter()
+                .zip(&w.q)
+                .map(|(e, i)| (i64::from(*e) - i64::from(*i)).abs())
+                .sum()
+        };
+        let (e_raw, e_fix) = (err(&raw.effective[0]), err(&fixed.effective[0]));
+        assert!(e_fix <= e_raw, "clamped {e_fix} vs raw {e_raw}");
+        assert!(e_fix < e_raw, "with ±128 sign faults clamping must win");
+    }
+
+    #[test]
+    fn clamp_code_prefers_sign_preservation() {
+        // Sign cell stuck ON: intended +100 reads back as −28 raw, and no
+        // stored code can read back above −1 (high nibble ≤ −1). The
+        // clamp must find that best reachable code.
+        let faults = vec![(7usize, FaultKind::StuckOn)];
+        let (stored, eff) = clamp_code(100, &faults);
+        assert_eq!(read_back(stored, &faults), eff);
+        assert_eq!(eff, -1, "closest reachable read-back, got {eff}");
+        // When sign-preserving candidates exist, they win: low-nibble bit
+        // stuck ON keeps positive codes available for a positive intent.
+        let lo = vec![(0usize, FaultKind::StuckOn)];
+        let (s1, e1) = clamp_code(2, &lo);
+        assert_eq!(read_back(s1, &lo), e1);
+        assert!(e1 > 0, "sign preserved, got {e1}");
+        assert!((i32::from(e1) - 2).abs() <= 1);
+        // Stuck cells that already match the intended bits cost nothing.
+        let harmless = vec![(0usize, FaultKind::StuckOn)];
+        let (s2, e2) = clamp_code(1, &harmless);
+        assert_eq!((s2, e2), (1, 1));
+    }
+}

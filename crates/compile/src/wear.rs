@@ -1,0 +1,279 @@
+//! Pass 4 — wear accounting and the retention refresh schedule.
+//!
+//! Programming a tile is one program/erase cycle on every cell it
+//! touches; a chip that hosts models repeatedly accumulates wear. The
+//! compiler keeps a per-bank [`WearLedger`] across compilations (the
+//! placement pass already deals tiles least-worn-first against it), and
+//! this pass charges the current image's programming events to the
+//! ledger, reports each bank's remaining memory window via
+//! [`fefet_device::endurance::window_factor`], and derives a refresh
+//! schedule from [`fefet_device::retention`]: the V_TH drift budget is
+//! half the smallest inter-state gap of the design's ladder, and the
+//! limiting state is the one that burns that budget first. CurFe's SLC
+//! window is wide enough that typical-corner drift never crosses it
+//! (interval `None`); ChgFe's √2 ladder needs periodic reprogramming.
+
+use crate::image::{PlacementTable, RefreshEntry, WearSummary};
+use crate::CompileError;
+use fefet_device::endurance::{window_factor, EnduranceParams};
+use fefet_device::programming::{MlcCurrentLadder, SlcStates};
+use fefet_device::retention::{time_to_drift, RetentionParams};
+use neural::imc_exec::ImcDesign;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Search horizon for [`time_to_drift`] in decades past `t0` — 10¹² s
+/// (~30 kyr), far beyond any deployment.
+const MAX_DECADES: f64 = 12.0;
+
+/// Lifetime program/erase cycles per bank, persisted across compiles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearLedger {
+    /// `cycles[b]` = lifetime P/E cycles charged to bank `b`.
+    pub cycles: Vec<u64>,
+}
+
+impl WearLedger {
+    /// A pristine chip with `banks` banks.
+    #[must_use]
+    pub fn fresh(banks: usize) -> Self {
+        Self {
+            cycles: vec![0; banks],
+        }
+    }
+
+    /// Loads a ledger from JSON, or returns a fresh one if the file does
+    /// not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] on unreadable or malformed files, or if
+    /// the ledger's bank count disagrees with `banks`.
+    pub fn load_or_fresh(path: &Path, banks: usize) -> Result<Self, CompileError> {
+        if !path.exists() {
+            return Ok(Self::fresh(banks));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| CompileError::Io(e.to_string()))?;
+        let ledger: Self =
+            serde_json::from_str(&text).map_err(|e| CompileError::BadImage(e.to_string()))?;
+        if ledger.cycles.len() != banks {
+            return Err(CompileError::BadImage(format!(
+                "wear ledger tracks {} banks, chip has {banks}",
+                ledger.cycles.len()
+            )));
+        }
+        Ok(ledger)
+    }
+
+    /// Saves the ledger as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Io`] on write failure.
+    pub fn save(&self, path: &Path) -> Result<(), CompileError> {
+        let text = serde_json::to_string_pretty(self).expect("ledger serializes");
+        std::fs::write(path, text).map_err(|e| CompileError::Io(e.to_string()))
+    }
+}
+
+/// Every programmed V_TH state of a design's ladder.
+fn design_states(design: ImcDesign) -> Vec<f64> {
+    match design {
+        ImcDesign::CurFe => {
+            let s = SlcStates::paper();
+            vec![s.vth_low, s.vth_high]
+        }
+        ImcDesign::ChgFe => {
+            let l = MlcCurrentLadder::paper();
+            let mut v = l.vth_on.to_vec();
+            v.push(l.vth_off);
+            v
+        }
+    }
+}
+
+/// The drift budget: half the smallest gap between adjacent V_TH states,
+/// the point where a read could first mistake neighbouring levels.
+#[must_use]
+pub fn refresh_budget_v(design: ImcDesign) -> f64 {
+    let mut states = design_states(design);
+    states.sort_by(|a, b| a.partial_cmp(b).expect("finite V_TH"));
+    states
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::INFINITY, f64::min)
+        / 2.0
+}
+
+/// Runs the wear/retention pass.
+///
+/// Charges each bank one P/E cycle per tile placed on it, updates
+/// `ledger` in place, and returns the per-bank wear summaries plus the
+/// refresh schedule for the banks this image actually uses. First
+/// refresh times are staggered evenly across one interval so the chip
+/// never reprograms every bank at once.
+///
+/// # Panics
+///
+/// Panics if `ledger` tracks a different bank count than `placement`.
+pub fn wear_pass(
+    placement: &PlacementTable,
+    design: ImcDesign,
+    endurance: &EnduranceParams,
+    retention: &RetentionParams,
+    ledger: &mut WearLedger,
+) -> (Vec<WearSummary>, Vec<RefreshEntry>) {
+    assert_eq!(
+        ledger.cycles.len(),
+        placement.banks,
+        "ledger/placement bank count mismatch"
+    );
+    let mut programmed = vec![0u64; placement.banks];
+    for e in &placement.entries {
+        programmed[e.bank] += 1;
+    }
+    for (b, n) in programmed.iter().enumerate() {
+        ledger.cycles[b] += n;
+    }
+
+    let summaries: Vec<WearSummary> = (0..placement.banks)
+        .map(|bank| WearSummary {
+            bank,
+            cycles: ledger.cycles[bank],
+            window_factor: window_factor(ledger.cycles[bank] as f64, endurance),
+        })
+        .collect();
+
+    // Limiting state: the one whose drift eats the budget first.
+    let budget = refresh_budget_v(design);
+    let (limiting_vth, interval) = design_states(design)
+        .into_iter()
+        .map(|v| (v, time_to_drift(v, budget, retention, MAX_DECADES)))
+        .min_by(|(_, a), (_, b)| match (a, b) {
+            (Some(x), Some(y)) => x.partial_cmp(y).expect("finite drift time"),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        })
+        .expect("designs have at least one state");
+
+    let used: Vec<usize> = (0..placement.banks)
+        .filter(|&b| programmed[b] > 0)
+        .collect();
+    let n_used = used.len().max(1);
+    let schedule = used
+        .iter()
+        .enumerate()
+        .map(|(rank, &bank)| RefreshEntry {
+            bank,
+            limiting_vth,
+            interval_s: interval,
+            first_refresh_s: interval.map(|t| t * (rank as f64 + 1.0) / n_used as f64),
+        })
+        .collect();
+    (summaries, schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::PlacementEntry;
+
+    fn placement(tiles_on: &[usize]) -> PlacementTable {
+        PlacementTable {
+            tile_rows: 128,
+            tile_cols_w8: 16,
+            banks: 16,
+            spare_cols_w8: 2,
+            entries: tiles_on
+                .iter()
+                .enumerate()
+                .map(|(i, &bank)| PlacementEntry {
+                    layer: 0,
+                    row_tile: i,
+                    col_tile: 0,
+                    bank,
+                    slot: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn wear_accumulates_per_bank() {
+        let mut ledger = WearLedger::fresh(16);
+        ledger.cycles[3] = 100;
+        let (summ, _) = wear_pass(
+            &placement(&[3, 3, 5]),
+            ImcDesign::CurFe,
+            &EnduranceParams::hfo2_typical(),
+            &RetentionParams::hfo2_typical(),
+            &mut ledger,
+        );
+        assert_eq!(ledger.cycles[3], 102);
+        assert_eq!(ledger.cycles[5], 1);
+        assert_eq!(summ[3].cycles, 102);
+        // Far below fatigue onset: the window is pristine-or-better.
+        assert!(summ[3].window_factor >= 1.0);
+    }
+
+    #[test]
+    fn curfe_slc_needs_no_refresh() {
+        // The SLC window is ~1.4 V; half of it is far more drift than the
+        // typical corner produces within the horizon.
+        let mut ledger = WearLedger::fresh(16);
+        let (_, sched) = wear_pass(
+            &placement(&[0]),
+            ImcDesign::CurFe,
+            &EnduranceParams::hfo2_typical(),
+            &RetentionParams::hfo2_typical(),
+            &mut ledger,
+        );
+        assert_eq!(sched.len(), 1);
+        assert!(sched[0].interval_s.is_none());
+        assert!(sched[0].first_refresh_s.is_none());
+    }
+
+    #[test]
+    fn chgfe_ladder_needs_periodic_refresh() {
+        let mut ledger = WearLedger::fresh(16);
+        let (_, sched) = wear_pass(
+            &placement(&[0, 1]),
+            ImcDesign::ChgFe,
+            &EnduranceParams::hfo2_typical(),
+            &RetentionParams::hfo2_typical(),
+            &mut ledger,
+        );
+        assert_eq!(sched.len(), 2);
+        let t = sched[0].interval_s.expect("MLC ladder drifts out");
+        // The √2 ladder's tightest gap (~0.15 V) with a deep limiting
+        // state: days-scale, not seconds, not years.
+        assert!(t > 1.0e4 && t < 1.0e8, "interval {t} s");
+        // Staggered: bank 0 refreshes before bank 1, both within one t.
+        let f0 = sched[0].first_refresh_s.unwrap();
+        let f1 = sched[1].first_refresh_s.unwrap();
+        assert!(f0 < f1 && f1 <= t);
+    }
+
+    #[test]
+    fn ledger_round_trips_and_rejects_mismatch() {
+        let dir = std::env::temp_dir().join("imc_compile_wear_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.json");
+        let mut l = WearLedger::fresh(16);
+        l.cycles[7] = 42;
+        l.save(&path).unwrap();
+        let back = WearLedger::load_or_fresh(&path, 16).unwrap();
+        assert_eq!(back, l);
+        assert!(matches!(
+            WearLedger::load_or_fresh(&path, 8),
+            Err(CompileError::BadImage(_))
+        ));
+        let missing = dir.join("nope.json");
+        assert_eq!(
+            WearLedger::load_or_fresh(&missing, 4).unwrap(),
+            WearLedger::fresh(4)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

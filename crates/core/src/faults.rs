@@ -37,6 +37,39 @@ pub struct FaultModel {
     pub p_stuck_off: f64,
 }
 
+/// Why a [`FaultModel`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultError {
+    /// A probability is outside `[0, 1]` (or not finite).
+    ProbabilityOutOfRange {
+        /// Which field (`"p_stuck_on"` / `"p_stuck_off"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The two probabilities sum past 1, so a cell could be both stuck-on
+    /// and stuck-off.
+    SumExceedsOne {
+        /// `p_stuck_on + p_stuck_off`.
+        sum: f64,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ProbabilityOutOfRange { field, value } => {
+                write!(f, "fault probability {field} = {value} is outside [0, 1]")
+            }
+            Self::SumExceedsOne { sum } => {
+                write!(f, "fault probabilities sum to {sum} > 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 impl FaultModel {
     /// A typical mature-process defect rate: 0.05 % each.
     #[must_use]
@@ -58,13 +91,37 @@ impl FaultModel {
 
     /// Validates the probabilities.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultError`] if either probability is outside `[0, 1]`
+    /// (or not finite) or they sum past 1.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for (field, value) in [
+            ("p_stuck_on", self.p_stuck_on),
+            ("p_stuck_off", self.p_stuck_off),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(FaultError::ProbabilityOutOfRange { field, value });
+            }
+        }
+        let sum = self.p_stuck_on + self.p_stuck_off;
+        if sum > 1.0 {
+            return Err(FaultError::SumExceedsOne { sum });
+        }
+        Ok(())
+    }
+
+    /// Panicking shim kept for callers written against the pre-`Result`
+    /// API.
+    ///
     /// # Panics
     ///
-    /// Panics if either probability is outside `[0, 1]` or they sum past 1.
-    pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.p_stuck_on));
-        assert!((0.0..=1.0).contains(&self.p_stuck_off));
-        assert!(self.p_stuck_on + self.p_stuck_off <= 1.0);
+    /// Panics if [`validate`](Self::validate) returns an error.
+    #[deprecated(note = "use `validate()` and handle the Result")]
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid fault model: {e}");
+        }
     }
 }
 
@@ -108,7 +165,9 @@ impl FaultMap {
     /// Panics if the model probabilities are invalid.
     #[must_use]
     pub fn sample(n_weights: usize, model: &FaultModel, seed: u64) -> Self {
-        model.validate();
+        if let Err(e) = model.validate() {
+            panic!("invalid fault model: {e}");
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut faults = Vec::new();
         for w in 0..n_weights {
@@ -144,11 +203,25 @@ impl FaultMap {
     /// Panics if a fault references a weight index out of range.
     #[must_use]
     pub fn apply(&self, weights: &[i8]) -> Vec<i8> {
-        let mut out = weights.to_vec();
+        let mut out = Vec::new();
+        self.apply_into(weights, &mut out);
+        out
+    }
+
+    /// Applies the faults into a caller-provided buffer (cleared and
+    /// refilled), avoiding the per-call allocation of
+    /// [`apply`](Self::apply) — the shape Monte-Carlo fault-ablation
+    /// loops want.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault references a weight index out of range.
+    pub fn apply_into(&self, weights: &[i8], out: &mut Vec<i8>) {
+        out.clear();
+        out.extend_from_slice(weights);
         for &(w, cell, kind) in &self.faults {
             out[w] = apply_cell_fault(out[w], cell, kind);
         }
-        out
     }
 
     /// The worst-case weight error a single fault can cause at each cell
@@ -220,6 +293,53 @@ mod tests {
         assert!(map.is_empty());
         let w: Vec<i8> = (0..64).map(|i| i as i8).collect();
         assert_eq!(map.apply(&w), w);
+    }
+
+    #[test]
+    fn validate_flags_bad_probabilities() {
+        assert!(FaultModel::typical().validate().is_ok());
+        let neg = FaultModel {
+            p_stuck_on: -0.1,
+            p_stuck_off: 0.0,
+        };
+        assert!(matches!(
+            neg.validate(),
+            Err(FaultError::ProbabilityOutOfRange {
+                field: "p_stuck_on",
+                ..
+            })
+        ));
+        let fat = FaultModel {
+            p_stuck_on: 0.6,
+            p_stuck_off: 0.6,
+        };
+        assert!(matches!(
+            fat.validate(),
+            Err(FaultError::SumExceedsOne { .. })
+        ));
+        let nan = FaultModel {
+            p_stuck_on: 0.0,
+            p_stuck_off: f64::NAN,
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn apply_into_matches_apply_and_reuses_buffer() {
+        let model = FaultModel {
+            p_stuck_on: 0.02,
+            p_stuck_off: 0.02,
+        };
+        let map = FaultMap::sample(128, &model, 9);
+        assert!(!map.is_empty());
+        let w: Vec<i8> = (0..128).map(|i| (i as i8).wrapping_mul(3)).collect();
+        let mut buf = vec![0i8; 7]; // wrong size on purpose: must be refilled
+        map.apply_into(&w, &mut buf);
+        assert_eq!(buf, map.apply(&w));
+        // Reuse with different contents: no stale state.
+        let w2: Vec<i8> = w.iter().map(|v| v.wrapping_add(1)).collect();
+        map.apply_into(&w2, &mut buf);
+        assert_eq!(buf, map.apply(&w2));
     }
 
     #[test]

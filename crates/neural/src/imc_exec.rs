@@ -474,11 +474,48 @@ impl QNetwork {
     /// blocks are not supported by the converter).
     #[must_use]
     pub fn from_sequential(net: &Sequential, cfg: ImcConfig) -> Self {
+        Self::from_sequential_with(net, cfg, |_, qw| qw)
+    }
+
+    /// Like [`from_sequential`](Self::from_sequential), but routes every
+    /// MAC layer's freshly quantized weights through `override_weights`
+    /// before the noise planes are built. The closure receives the MAC
+    /// layer index (counting conv/linear layers only, in network order)
+    /// and must return a [`QuantizedWeights`] of the **same shape and bit
+    /// width** — typically the original codes with some entries replaced,
+    /// e.g. the effective stored codes of a compiled chip image after
+    /// fault-aware remapping.
+    ///
+    /// Because the noise-plane construction consumes the *returned* codes
+    /// with the same deterministic program-time Gaussian stream, two
+    /// networks built from the same `(cfg, effective codes, biases)` are
+    /// bit-identical in [`forward`](Self::forward) — the property the
+    /// compiler relies on to predict served outputs exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains an unsupported layer type, or if the
+    /// closure changes the weight shape or bit width.
+    #[must_use]
+    pub fn from_sequential_with(
+        net: &Sequential,
+        cfg: ImcConfig,
+        mut override_weights: impl FnMut(usize, QuantizedWeights) -> QuantizedWeights,
+    ) -> Self {
         let mut layers = Vec::new();
+        let mut mac_idx = 0usize;
+        let mut reweigh = |qw: QuantizedWeights| {
+            let (shape, bits) = (qw.shape, qw.bits);
+            let out = override_weights(mac_idx, qw);
+            assert_eq!(out.shape, shape, "weight override changed the shape");
+            assert_eq!(out.bits, bits, "weight override changed the bit width");
+            mac_idx += 1;
+            out
+        };
         for l in net.layers() {
             let any = l.as_any();
             if let Some(conv) = any.downcast_ref::<Conv2d>() {
-                let qw = quantize_weights(&conv.weight.value, cfg.weight_bits);
+                let qw = reweigh(quantize_weights(&conv.weight.value, cfg.weight_bits));
                 let planes = build_planes(&qw, &cfg);
                 let (in_ch, out_ch) = conv.channels();
                 layers.push(QLayer::Conv {
@@ -493,7 +530,7 @@ impl QNetwork {
                     out_ch,
                 });
             } else if let Some(lin) = any.downcast_ref::<Linear>() {
-                let qw = quantize_weights(&lin.weight.value, cfg.weight_bits);
+                let qw = reweigh(quantize_weights(&lin.weight.value, cfg.weight_bits));
                 let planes = build_planes(&qw, &cfg);
                 layers.push(QLayer::Linear {
                     planes,
@@ -1025,6 +1062,55 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "row {i} diverged");
             }
         }
+    }
+
+    #[test]
+    fn weight_override_identity_is_bit_identical() {
+        let net = crate::models::mlp(32, 12, 6, 21);
+        let cfg = ImcConfig::paper(ImcDesign::ChgFe, 4, 8);
+        let x = Tensor::from_vec(&[1, 32], (0..32).map(|i| (i % 13) as f32 / 13.0).collect());
+        let plain = QNetwork::from_sequential(&net, cfg).forward(&x);
+        let with = QNetwork::from_sequential_with(&net, cfg, |_, qw| qw).forward(&x);
+        for (a, b) in plain.data().iter().zip(with.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn weight_override_codes_change_outputs_deterministically() {
+        let net = crate::models::mlp(32, 12, 6, 21);
+        let cfg = ImcConfig::paper(ImcDesign::CurFe, 4, 8);
+        // Every input feature is strictly positive so a perturbed weight
+        // in the first layer is guaranteed to reach the logits.
+        let x = Tensor::from_vec(
+            &[1, 32],
+            (0..32).map(|i| (i % 7 + 1) as f32 / 8.0).collect(),
+        );
+        let flip = |i: usize, mut qw: QuantizedWeights| {
+            if i == 0 {
+                for q in &mut qw.q {
+                    *q = q.wrapping_add(16);
+                }
+            }
+            qw
+        };
+        let a = QNetwork::from_sequential_with(&net, cfg, flip).forward(&x);
+        let b = QNetwork::from_sequential_with(&net, cfg, flip).forward(&x);
+        assert_eq!(a.data(), b.data(), "same override ⇒ bit-identical");
+        let plain = QNetwork::from_sequential(&net, cfg).forward(&x);
+        assert_ne!(a.data(), plain.data(), "changed codes must show up");
+    }
+
+    #[test]
+    #[should_panic(expected = "changed the shape")]
+    fn weight_override_shape_change_rejected() {
+        let net = crate::models::mlp(8, 4, 2, 1);
+        let cfg = ImcConfig::paper(ImcDesign::CurFe, 4, 8);
+        let _ = QNetwork::from_sequential_with(&net, cfg, |_, mut qw| {
+            qw.q.push(0);
+            qw.shape[1] += 1;
+            qw
+        });
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! imc-serve [--addr HOST:PORT] [--design curfe|chgfe] [--checkpoint PATH]
-//!           [--banks N] [--max-batch N] [--max-wait-us N]
+//!           [--image PATH] [--banks N] [--max-batch N] [--max-wait-us N]
 //!           [--queue-depth N] [--seed N]
 //! ```
 //!
@@ -10,9 +10,11 @@
 //! macro design. Without `--checkpoint` the weights are the
 //! deterministic synthetic set derived from `--seed`, which lets
 //! `loadgen` rebuild the identical model locally and verify every
-//! response bit-for-bit. Stop with ctrl-c / SIGTERM or a `Shutdown`
-//! control request; either way the server drains all admitted work
-//! before exiting and prints a final stats summary.
+//! response bit-for-bit. With `--image` the model comes from a compiled
+//! `imc-compile` chip image instead (effective post-fault weights; the
+//! image fixes the architecture and design). Stop with ctrl-c / SIGTERM
+//! or a `Shutdown` control request; either way the server drains all
+//! admitted work before exiting and prints a final stats summary.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -24,15 +26,16 @@ use neural::imc_exec::ImcDesign;
 
 struct Args {
     addr: String,
-    design: ImcDesign,
+    design: Option<ImcDesign>,
     checkpoint: Option<String>,
+    image: Option<String>,
     seed: u64,
     cfg: ServeConfig,
 }
 
 fn usage() -> String {
     "usage: imc-serve [--addr HOST:PORT] [--design curfe|chgfe] [--checkpoint PATH]\n\
-     \x20                [--banks N] [--max-batch N] [--max-wait-us N]\n\
+     \x20                [--image PATH] [--banks N] [--max-batch N] [--max-wait-us N]\n\
      \x20                [--queue-depth N] [--seed N]"
         .to_owned()
 }
@@ -40,8 +43,9 @@ fn usage() -> String {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7411".to_owned(),
-        design: ImcDesign::ChgFe,
+        design: None,
         checkpoint: None,
+        image: None,
         seed: DEFAULT_SEED,
         cfg: ServeConfig::default(),
     };
@@ -53,8 +57,9 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
-            "--design" => args.design = parse_design(&value("--design")?)?,
+            "--design" => args.design = Some(parse_design(&value("--design")?)?),
             "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--image" => args.image = Some(value("--image")?),
             "--seed" => {
                 args.seed = value("--seed")?
                     .parse()
@@ -88,6 +93,9 @@ fn parse_args() -> Result<Args, String> {
     if args.cfg.banks == 0 || args.cfg.max_batch == 0 || args.cfg.queue_depth == 0 {
         return Err("--banks, --max-batch, and --queue-depth must be positive".to_owned());
     }
+    if args.image.is_some() && args.checkpoint.is_some() {
+        return Err("--image and --checkpoint are mutually exclusive".to_owned());
+    }
     Ok(args)
 }
 
@@ -100,15 +108,23 @@ fn main() -> ExitCode {
         }
     };
 
-    let model = match &args.checkpoint {
-        Some(path) => match ServeModel::from_checkpoint(path, args.design) {
+    let design = args.design.unwrap_or(ImcDesign::ChgFe);
+    let model = match (&args.image, &args.checkpoint) {
+        (Some(path), _) => match ServeModel::from_image(path, args.design) {
             Ok(m) => m,
             Err(e) => {
                 eprintln!("imc-serve: {e}");
                 return ExitCode::FAILURE;
             }
         },
-        None => ServeModel::synthetic(args.design, args.seed),
+        (None, Some(path)) => match ServeModel::from_checkpoint(path, design) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("imc-serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => ServeModel::synthetic(design, args.seed),
     };
     let model = Arc::new(model);
 

@@ -11,7 +11,12 @@
 //!   shipping weights.
 //! * [`ServeModel::from_checkpoint`] — the same architecture with
 //!   trained weights restored from a `neural::checkpoint` JSON file.
+//! * [`ServeModel::from_image`] — a compiled [`imc_compile`] chip image:
+//!   the executor is reconstructed from the image's effective (post-fault,
+//!   post-remap) weight codes, so served logits are bit-identical to the
+//!   predictions in the image manifest.
 
+use imc_compile::image::ChipImage;
 use neural::checkpoint::{load, Checkpoint};
 use neural::imc_exec::{ImcConfig, ImcDesign, QNetwork};
 use neural::models::{mlp, Sequential};
@@ -100,6 +105,37 @@ impl ServeModel {
             MNIST_FEATURES,
             DEFAULT_CLASSES,
         ))
+    }
+
+    /// Loads a compiled chip image and serves its effective network.
+    ///
+    /// The executor is rebuilt exactly as the compiler predicted it
+    /// ([`ChipImage::to_network`]), faults, remapping and all — responses
+    /// match the manifest's `predicted_logits` bit-for-bit on the image's
+    /// probe set.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable, malformed, or invalid images.
+    pub fn from_image(path: &str, design_override: Option<ImcDesign>) -> Result<Self, String> {
+        let image = ChipImage::load(path).map_err(|e| e.to_string())?;
+        let cfg = image.imc.to_config().map_err(|e| e.to_string())?;
+        if let Some(want) = design_override {
+            if want != cfg.design {
+                return Err(format!(
+                    "image {path} was compiled for {:?}, not {want:?} — recompile \
+                     instead of overriding the design",
+                    cfg.design
+                ));
+            }
+        }
+        let net = image.to_network().map_err(|e| e.to_string())?;
+        Ok(Self {
+            net,
+            features: image.arch.features,
+            classes: image.arch.classes,
+            design: cfg.design,
+        })
     }
 
     /// Expected flat input length per request.

@@ -1,0 +1,112 @@
+//! Edge cases of the layer→macro mapping the compiler's placement pass
+//! leans on: multi-tile spill in both dimensions, partial last tiles, and
+//! the 4-vs-8-bit column split, with `layer_macro_cycles` consistency
+//! checks throughout.
+
+use neural::models::LayerShape;
+use system_perf::mapping::{layer_macro_cycles, map_layer, MacroTile};
+
+fn fc(in_ch: usize, out_ch: usize) -> LayerShape {
+    LayerShape {
+        name: "fc".into(),
+        in_ch,
+        out_ch,
+        kernel: 1,
+        out_positions: 1,
+    }
+}
+
+/// The invariant the energy model depends on: total cycles = macros ×
+/// positions × input bits × row groups.
+fn assert_cycles_consistent(l: &LayerShape, weight_bits: u32, input_bits: u32) {
+    let m = map_layer(l, MacroTile::paper(), weight_bits);
+    let cycles = layer_macro_cycles(l, &m, input_bits);
+    assert_eq!(
+        cycles,
+        m.macros as u64 * l.out_positions as u64 * u64::from(input_bits) * m.row_groups as u64,
+        "cycle identity broken for {l:?} at w{weight_bits}/a{input_bits}"
+    );
+    assert_eq!(m.macros, m.row_tiles * m.col_tiles);
+    assert_eq!(m.cycles_per_position_bit, m.row_groups);
+}
+
+#[test]
+fn layer_wider_than_one_bank_spills_into_column_tiles() {
+    // 40 output channels over 16 w8 columns → 3 column tiles, the last
+    // holding only 8 channels. Row dimension stays single-tile.
+    let l = fc(100, 40);
+    let m = map_layer(&l, MacroTile::paper(), 8);
+    assert_eq!(m.row_tiles, 1);
+    assert_eq!(m.col_tiles, 3);
+    assert_eq!(m.macros, 3);
+    // 100 rows need 4 of the 32-row groups.
+    assert_eq!(m.row_groups, 4);
+    assert_cycles_consistent(&l, 8, 4);
+}
+
+#[test]
+fn layer_taller_than_128_rows_spills_into_row_tiles() {
+    // fan 300 → 3 row tiles (128 + 128 + 44). Multi-row-tile layers
+    // sequence the full 4 row groups: the deepest tile bounds the
+    // pipeline, even though the last tile only holds 44 live rows.
+    let l = fc(300, 10);
+    let m = map_layer(&l, MacroTile::paper(), 8);
+    assert_eq!(m.row_tiles, 3);
+    assert_eq!(m.col_tiles, 1);
+    assert_eq!(m.macros, 3);
+    assert_eq!(m.row_groups, 4, "full depth, not the 2 groups of 44 rows");
+    assert_cycles_consistent(&l, 8, 4);
+}
+
+#[test]
+fn exact_tile_boundaries_do_not_overallocate() {
+    // fan = 256 = 2×128 exactly, oc = 32 = 2×16 exactly.
+    let l = fc(256, 32);
+    let m = map_layer(&l, MacroTile::paper(), 8);
+    assert_eq!((m.row_tiles, m.col_tiles, m.macros), (2, 2, 4));
+    assert_eq!(m.row_groups, 4);
+    // One row more tips both counts.
+    let m1 = map_layer(&fc(257, 33), MacroTile::paper(), 8);
+    assert_eq!((m1.row_tiles, m1.col_tiles, m1.macros), (3, 3, 9));
+    assert_cycles_consistent(&l, 8, 8);
+}
+
+#[test]
+fn single_partial_tile_sequences_only_live_row_groups() {
+    // 33 rows in a single tile → 2 of the 4 groups are live.
+    let m = map_layer(&fc(33, 8), MacroTile::paper(), 8);
+    assert_eq!(m.row_tiles, 1);
+    assert_eq!(m.row_groups, 2);
+    // 32 rows exactly → 1 group; 1 row → still 1 group.
+    assert_eq!(map_layer(&fc(32, 8), MacroTile::paper(), 8).row_groups, 1);
+    assert_eq!(map_layer(&fc(1, 8), MacroTile::paper(), 8).row_groups, 1);
+    assert_cycles_consistent(&fc(33, 8), 8, 4);
+}
+
+#[test]
+fn four_bit_mode_doubles_columns_without_touching_rows() {
+    let l = fc(300, 40);
+    let m8 = map_layer(&l, MacroTile::paper(), 8);
+    let m4 = map_layer(&l, MacroTile::paper(), 4);
+    assert_eq!(m8.col_tiles, 3); // ceil(40/16)
+    assert_eq!(m4.col_tiles, 2); // ceil(40/32)
+    assert_eq!(m8.row_tiles, m4.row_tiles);
+    assert_eq!(m8.row_groups, m4.row_groups);
+    assert_cycles_consistent(&l, 4, 4);
+    // Cycles per position-bit are row-bound, so the 4-bit mapping saves
+    // macros (energy), not sequential depth.
+    assert_eq!(m8.cycles_per_position_bit, m4.cycles_per_position_bit);
+}
+
+#[test]
+#[should_panic(expected = "must be 4 or 8")]
+fn weight_bits_not_multiple_of_four_rejected() {
+    let _ = map_layer(&fc(100, 16), MacroTile::paper(), 6);
+}
+
+#[test]
+#[should_panic(expected = "must be 4 or 8")]
+fn weight_bits_twelve_rejected() {
+    // A multiple of 4 that still isn't a supported precision.
+    let _ = map_layer(&fc(100, 16), MacroTile::paper(), 12);
+}
