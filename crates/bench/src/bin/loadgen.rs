@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]
 //!         [--image PATH] [--qps N] [--duration-s N] [--conns N]
-//!         [--out PATH] [--smoke] [--stop-server]
+//!         [--out PATH] [--smoke] [--stop-server] [--obs-addr HOST:PORT]
 //! ```
 //!
 //! Replays MNIST-shaped traffic at a target QPS. Without `--addr` it
@@ -24,6 +24,15 @@
 //!
 //! `--smoke` is the CI mode: short run, low rate, non-zero exit unless
 //! at least one response completed and all were correct.
+//!
+//! `--obs-addr` serves the process-wide `imc-obs` registry over HTTP for
+//! the duration of the run (Prometheus text at `/metrics`, JSON at
+//! `/metrics.json`). So that a scrape during a short smoke run sees
+//! every instrumented layer — not just the serve path — the flag also
+//! runs a small warm-up first: one tiny `imc-compile` pipeline (compile
+//! pass spans), one DC operating-point solve (Newton counters), and a
+//! small Monte-Carlo batch (trial counters). After the run the shed /
+//! failure counters from the registry are printed alongside the report.
 
 use std::collections::HashMap;
 use std::net::TcpStream;
@@ -45,6 +54,7 @@ const INPUT_POOL: usize = 64;
 
 struct Args {
     addr: Option<String>,
+    obs_addr: Option<String>,
     design: ImcDesign,
     image: Option<String>,
     seed: u64,
@@ -59,9 +69,10 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let usage = "usage: loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]\n\
                  \x20              [--image PATH] [--qps N] [--duration-s N] [--conns N]\n\
-                 \x20              [--out PATH] [--smoke] [--stop-server]";
+                 \x20              [--out PATH] [--smoke] [--stop-server] [--obs-addr HOST:PORT]";
     let mut args = Args {
         addr: None,
+        obs_addr: None,
         design: ImcDesign::ChgFe,
         image: None,
         seed: DEFAULT_SEED,
@@ -80,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--addr" => args.addr = Some(value("--addr")?),
+            "--obs-addr" => args.obs_addr = Some(value("--obs-addr")?),
             "--design" => args.design = parse_design(&value("--design")?)?,
             "--image" => args.image = Some(value("--image")?),
             "--seed" => {
@@ -152,6 +164,39 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     }
     let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Touches every instrumented layer once so an `--obs-addr` scrape taken
+/// during a short run sees all the metric families, not just the serve
+/// path: a tiny compile (pass spans + programming counters), one DC
+/// operating point (Newton / LU counters), and a small MC batch (trial
+/// counters). Sized to finish well under a second.
+fn warm_metric_families() {
+    let arch = imc_compile::image::MlpArch {
+        features: 32,
+        hidden: 8,
+        classes: 4,
+    };
+    let mut opts = imc_compile::pipeline::CompileOptions::new(arch, ImcDesign::ChgFe);
+    opts.program.stride = 8;
+    opts.probe_count = 4;
+    let mut ledger = imc_compile::wear::WearLedger::fresh(opts.geometry.banks);
+    imc_compile::pipeline::compile(&opts, &mut ledger).expect("warm-up compile succeeds");
+
+    let cfg = imc_core::config::CurFeConfig::paper();
+    let mut s = fefet_device::variation::VariationSampler::new(
+        fefet_device::variation::VariationParams::none(),
+        0,
+    );
+    let circ = imc_core::circuit::curfe_row_circuit(&cfg, -1, &mut s);
+    analog_sim::dc::op(
+        &circ.netlist,
+        false,
+        &analog_sim::dc::NewtonOptions::default(),
+    )
+    .expect("warm-up op converges");
+
+    analog_sim::montecarlo::run_trials(32, 1, |seed| Ok(seed as f64 * 1e-9));
 }
 
 /// Deterministic input pool: `INPUT_POOL` flat vectors in [0, 1), varied
@@ -315,6 +360,24 @@ fn main() -> ExitCode {
         }
     };
 
+    // Observability endpoint for scrapers, alive for the whole run. The
+    // warm-up populates the non-serve metric families before the first
+    // scrape can land.
+    let _obs = match &args.obs_addr {
+        Some(addr) => match imc_obs::serve_http(addr) {
+            Ok(h) => {
+                eprintln!("loadgen: obs endpoint on http://{}/metrics", h.addr());
+                warm_metric_families();
+                Some(h)
+            }
+            Err(e) => {
+                eprintln!("loadgen: cannot bind obs endpoint {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     // The verification oracle: the exact model the server runs (same
     // design, same seed ⇒ identical weights and noise streams; with
     // --image, the same compiled effective network).
@@ -434,6 +497,7 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("loadgen: shutdown request failed: {e}"),
         }
     }
+    let local_server_ran = local.is_some();
     if let Some(handle) = local {
         handle.shutdown_flag().trigger();
         handle.join();
@@ -464,6 +528,33 @@ fn main() -> ExitCode {
     std::fs::write(&args.out, format!("{json}\n")).expect("write report");
     println!("{json}");
     println!("\nwrote {}", args.out);
+
+    // Server-side view of the same run, from the obs registry. Only
+    // meaningful when the server ran in this process; against an
+    // external --addr these counters stay at zero (scrape the server's
+    // own --obs-addr endpoint instead).
+    if local_server_ran {
+        let snap = imc_obs::registry().snapshot();
+        let c = |name: &str| snap.counter(name).unwrap_or(0);
+        println!(
+            "obs: server admitted={} completed={} shed={} protocol_errors={} batches={}",
+            c("imc_serve_admitted_total"),
+            c("imc_serve_completed_total"),
+            c("imc_serve_shed_total"),
+            c("imc_serve_protocol_errors_total"),
+            c("imc_serve_batches_total"),
+        );
+        let mc_failures = c("sim_mc_trial_failures_total");
+        if c("sim_mc_trials_total") > 0 {
+            println!(
+                "obs: mc trials={} failures={}",
+                c("sim_mc_trials_total"),
+                mc_failures
+            );
+        }
+    }
+
+    imc_obs::print_summary_if_env();
 
     let verified_ok = incorrect == 0 && errors == 0 && conn_failures == 0;
     if args.smoke {

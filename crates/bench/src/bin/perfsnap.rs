@@ -6,9 +6,14 @@
 //! against. Also runs one `imc-compile` pipeline on a mid-sized MLP and
 //! writes the per-pass wall times (placement, programming, remap, wear,
 //! predict) plus the programmed-cells/s throughput to `BENCH_pr3.json`.
-//! Pass output paths as the first and second arguments to override the
-//! defaults.
+//! Finally it exercises an in-process `imc-serve` instance and dumps the
+//! whole `imc-obs` registry view — serve latency quantiles, compile
+//! pass spans, MC trial throughput, pool utilization — to
+//! `BENCH_pr4.json`. Pass output paths as the first, second, and third
+//! arguments to override the defaults.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use analog_sim::montecarlo::{run_trials, run_trials_par};
@@ -23,6 +28,8 @@ use imc_core::chgfe::ChgFeBlockPair;
 use imc_core::circuit::curfe_row_circuit;
 use imc_core::config::{ChgFeConfig, CurFeConfig};
 use imc_core::weights::{SignedNibble, UnsignedNibble};
+use imc_serve::model::{ServeModel, DEFAULT_SEED};
+use imc_serve::{serve, Client, ServeConfig};
 use neural::tensor::{matmul, matmul_blocked, matmul_parallel, Tensor};
 use serde::Serialize;
 
@@ -85,6 +92,84 @@ struct CompileSnapshot {
     ispp_pulses: u64,
     /// Manifest oracle agreement of the compiled image.
     oracle_agreement: f64,
+}
+
+/// The observability snapshot written to `BENCH_pr4.json` — built from
+/// the `imc-obs` registry rather than ad-hoc timers, so it reports the
+/// same numbers a Prometheus scrape of a production bin would see.
+#[derive(Serialize)]
+struct ObsBenchSnapshot {
+    /// Worker-pool width in effect.
+    threads: usize,
+    /// Requests completed by the in-process serve exercise.
+    serve_completed: u64,
+    /// End-to-end request latency quantiles (µs) from
+    /// `imc_serve_request_latency_us`.
+    serve_p50_us: u64,
+    serve_p95_us: u64,
+    serve_p99_us: u64,
+    /// Median per-pass wall time (µs) from `span_us{span="pass.*"}`.
+    compile_pass_p50_us: BTreeMap<String, u64>,
+    /// Monte-Carlo trials recorded by `sim_mc_trials_total`.
+    mc_trials: u64,
+    /// MC trial failures (`sim_mc_trial_failures_total`).
+    mc_trial_failures: u64,
+    /// Trial throughput: trials / total batch wall time.
+    mc_trials_per_s: f64,
+    /// Jobs run on the shared pool (`par_exec_jobs_total`).
+    pool_jobs: u64,
+    /// Busy fraction of the pool (`par_exec_pool_utilization`).
+    pool_utilization: f64,
+    /// Newton iterations across every solve
+    /// (`sim_newton_iterations_total`).
+    newton_iterations: u64,
+}
+
+/// Runs a short burst of in-process serve traffic so the obs registry
+/// holds real request-latency quantiles, then folds the registry into
+/// the `BENCH_pr4.json` schema.
+fn obs_snapshot() -> ObsBenchSnapshot {
+    let model = Arc::new(ServeModel::synthetic(
+        neural::imc_exec::ImcDesign::ChgFe,
+        DEFAULT_SEED,
+    ));
+    let features = model.input_features();
+    let handle = serve("127.0.0.1:0", model, &ServeConfig::default()).expect("bind serve");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let input: Vec<f32> = (0..features).map(|i| (i % 17) as f32 / 17.0).collect();
+    for id in 0..256u64 {
+        client.infer(id, input.clone()).expect("infer");
+    }
+    handle.shutdown_flag().trigger();
+    handle.join();
+
+    let snap = imc_obs::registry().snapshot();
+    let serve_lat = snap
+        .histogram("imc_serve_request_latency_us")
+        .unwrap_or_default();
+    let mut compile_pass_p50_us = BTreeMap::new();
+    for pass in ["placement", "remap", "programming", "wear", "predict"] {
+        let name = format!("pass.{pass}");
+        if let Some(s) = snap.histogram_with("span_us", &[("span", name.as_str())]) {
+            compile_pass_p50_us.insert(pass.to_owned(), s.p50);
+        }
+    }
+    let mc_trials = snap.counter("sim_mc_trials_total").unwrap_or(0);
+    let mc_batch = snap.histogram("sim_mc_batch_us").unwrap_or_default();
+    ObsBenchSnapshot {
+        threads: par_exec::threads(),
+        serve_completed: snap.counter("imc_serve_completed_total").unwrap_or(0),
+        serve_p50_us: serve_lat.p50,
+        serve_p95_us: serve_lat.p95,
+        serve_p99_us: serve_lat.p99,
+        compile_pass_p50_us,
+        mc_trials,
+        mc_trial_failures: snap.counter("sim_mc_trial_failures_total").unwrap_or(0),
+        mc_trials_per_s: mc_trials as f64 / (mc_batch.sum as f64 / 1.0e6).max(1e-12),
+        pool_jobs: snap.counter("par_exec_jobs_total").unwrap_or(0),
+        pool_utilization: snap.gauge("par_exec_pool_utilization").unwrap_or(0.0),
+        newton_iterations: snap.counter("sim_newton_iterations_total").unwrap_or(0),
+    }
 }
 
 /// Best-of-`reps` wall clock of `f`, in seconds.
@@ -158,6 +243,9 @@ fn main() {
     let compile_out_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_pr3.json".to_owned());
+    let obs_out_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_pr4.json".to_owned());
     let ccfg = CurFeConfig::paper();
     let qcfg = ChgFeConfig::paper();
 
@@ -244,4 +332,15 @@ fn main() {
     std::fs::write(&compile_out_path, format!("{json}\n")).expect("write compile snapshot");
     println!("{json}");
     println!("\nwrote {compile_out_path}");
+
+    // --- obs registry view -----------------------------------------------
+    // Every section above already reported into the global registry
+    // (MC counters, compile spans, pool gauges); add serve traffic and
+    // dump the registry's own numbers.
+    let osnap = obs_snapshot();
+    let json = serde_json::to_string_pretty(&osnap).expect("obs snapshot serializes");
+    std::fs::write(&obs_out_path, format!("{json}\n")).expect("write obs snapshot");
+    println!("{json}");
+    println!("\nwrote {obs_out_path}");
+    imc_obs::print_summary_if_env();
 }

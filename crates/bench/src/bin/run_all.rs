@@ -56,6 +56,24 @@ fn fig3_anchors() -> Vec<Anchor> {
     ]
 }
 
+fn fig7_mc_anchors() -> Vec<Anchor> {
+    use analog_sim::montecarlo::run_trials_par;
+    use fefet_device::variation::{VariationParams, VariationSampler};
+    use imc_core::cell::CurFeCell;
+    use imc_core::config::CurFeConfig;
+    let cfg = CurFeConfig::paper();
+    // 1000 variation-sampled ON cells, pooled across the workers; the
+    // mean read current should sit on the paper's ≈100 nA ON anchor
+    // (0.5 V across 5 MΩ).
+    let res = run_trials_par(1000, 42, |seed| {
+        let mut s = VariationSampler::new(VariationParams::paper(), seed);
+        let cell = CurFeCell::program(cfg.fefet, &cfg.slc, true, cfg.drain_resistance(0), &mut s);
+        Ok(cell.current(cfg.v_cm, 0.0, cfg.v_wl, true))
+    });
+    let mean_na = res.try_mean().expect("fig7 MC has successful trials") * 1e9;
+    vec![anchor("fig7", "CurFe ON read current (nA)", 100.0, mean_na)]
+}
+
 fn fig9_circuit_anchors() -> Vec<Anchor> {
     let a = Activity::average();
     vec![
@@ -142,6 +160,7 @@ type Section = (&'static str, fn() -> Vec<Anchor>);
 fn main() -> ExitCode {
     let sections: Vec<Section> = vec![
         ("fig3", fig3_anchors),
+        ("fig7_mc", fig7_mc_anchors),
         ("fig9_circuit", fig9_circuit_anchors),
         ("fig11_system", fig11_system_anchors),
         ("table1_sota", table1_sota_anchors),
@@ -179,6 +198,19 @@ fn main() -> ExitCode {
     }
     println!("\nworst |ratio-1|: {:.3}", worst - 1.0);
 
+    // Shed / failure accounting from the obs registry: MC trial failures
+    // would otherwise fold silently into the trial totals above.
+    let snap = imc_obs::registry().snapshot();
+    let trials = snap.counter("sim_mc_trials_total").unwrap_or(0);
+    let trial_failures = snap.counter("sim_mc_trial_failures_total").unwrap_or(0);
+    println!(
+        "obs: mc trials={trials} failures={trial_failures} pool_jobs={}",
+        snap.counter("par_exec_jobs_total").unwrap_or(0)
+    );
+    if trial_failures > 0 {
+        eprintln!("run_all: {trial_failures} Monte-Carlo trial(s) failed (see counters above)");
+    }
+
     // Validate the artifact parses back before claiming success — a
     // results.json that downstream tooling cannot read is a failure even
     // if every section ran.
@@ -200,6 +232,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    imc_obs::print_summary_if_env();
 
     if failed.is_empty() {
         ExitCode::SUCCESS

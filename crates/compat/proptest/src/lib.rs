@@ -9,7 +9,8 @@
 //! Supported surface: `proptest! { ... }` with an optional
 //! `#![proptest_config(ProptestConfig::with_cases(n))]` header,
 //! `name in <range|any|Just|prop_oneof|collection::vec>` arguments,
-//! `prop_assert!`, `prop_assert_eq!`, and `prop_assert_ne!`.
+//! `Strategy::prop_map`, `prop_assert!`, `prop_assert_eq!`, and
+//! `prop_assert_ne!`.
 
 #![deny(missing_docs)]
 
@@ -29,6 +30,14 @@ pub mod strategy {
 
         /// Generates one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream's `prop_map`).
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
@@ -62,6 +71,20 @@ pub mod strategy {
         )*};
     }
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy applying a function to another strategy's values
+    /// ([`Strategy::prop_map`]).
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
 
     /// Strategy that always yields a clone of a fixed value.
     #[derive(Debug, Clone, Copy)]
@@ -434,6 +457,11 @@ mod tests {
         fn oneof_only_picks_listed(k in prop_oneof![Just(1usize), Just(3), Just(7)]) {
             prop_assert!(k == 1 || k == 3 || k == 7);
             prop_assert_ne!(k, 2);
+        }
+
+        #[test]
+        fn prop_map_applies_function(p in (0u32..8).prop_map(|b| 1u64 << b)) {
+            prop_assert!(p.is_power_of_two() && p <= 128);
         }
     }
 

@@ -304,6 +304,20 @@ impl Deserialize for f32 {
     }
 }
 
+// `Value` round-trips through itself, so callers can deserialize
+// arbitrary documents into the tree and walk them with the accessors
+// above (the stub's equivalent of upstream `serde_json::Value`).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -1,10 +1,12 @@
 //! Offline drop-in for the subset of `serde_json` this workspace uses:
 //! [`to_string`], [`to_string_pretty`], and [`from_str`], operating on the
-//! stub serde's [`Value`] tree.
+//! stub serde's [`Value`] tree ([`Value`] is re-exported here so callers
+//! can parse arbitrary documents, upstream-style).
 
 #![deny(missing_docs)]
 
-use serde::{Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
 /// Error from JSON parsing or value conversion.
 #[derive(Debug, Clone, PartialEq, Eq)]

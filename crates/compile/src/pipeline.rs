@@ -18,13 +18,13 @@ use crate::CompileError;
 use fefet_device::endurance::EnduranceParams;
 use fefet_device::retention::RetentionParams;
 use imc_core::faults::FaultModel;
+use imc_obs::{counter, span};
 use neural::checkpoint::{load, Checkpoint};
 use neural::imc_exec::{ImcConfig, ImcDesign, QNetwork};
 use neural::layers::Linear;
 use neural::quant::{quantize_weights, QuantizedWeights};
 use neural::tensor::Tensor;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Default weight-init seed — matches `imc-serve`'s synthetic model so a
 /// default-compiled image serves the same network family.
@@ -204,11 +204,15 @@ pub fn compile(
     }
     let (intended, biases) = quantize_layers(&mut seq, cfg.weight_bits, shapes.len())?;
 
-    // Pass 1 — placement.
-    let t = Instant::now();
+    counter!("imc_compile_runs_total", "Compile pipeline invocations").inc();
+
+    // Pass 1 — placement. Each pass is wrapped in an obs span, so pass
+    // timings land in `span_us{span="pass.*"}` for scrapers while the
+    // same wall times still populate `PassTimings` for perfsnap.
+    let t = span!("pass.placement");
     let (placement, mappings) = place(&shapes, &opts.geometry, &ledger.cycles, cfg.weight_bits);
     let mut timings = PassTimings {
-        placement_s: t.elapsed().as_secs_f64(),
+        placement_s: t.finish().as_secs_f64(),
         ..PassTimings::default()
     };
     debug_assert_eq!(
@@ -219,7 +223,7 @@ pub fn compile(
     // Pass 3 runs before pass 2 on purpose: programming drives the
     // *stored* codes, which remapping decides (clamped weights are stored
     // clamped; relocated columns store their intended codes on spares).
-    let t = Instant::now();
+    let t = span!("pass.remap");
     let remapped = remap_pass(
         &intended,
         &placement,
@@ -229,10 +233,10 @@ pub fn compile(
             enable: opts.remap,
         },
     )?;
-    timings.remap_s = t.elapsed().as_secs_f64();
+    timings.remap_s = t.finish().as_secs_f64();
 
     // Pass 2 — ISPP programming of the stored codes.
-    let t = Instant::now();
+    let t = span!("pass.programming");
     let dims: Vec<[usize; 2]> = shapes.iter().map(|s| [s.out_ch, s.in_ch]).collect();
     let (bank_stats, totals) = program_pass(
         &remapped.stored,
@@ -242,10 +246,21 @@ pub fn compile(
         cfg.weight_bits,
         &opts.program,
     );
-    timings.programming_s = t.elapsed().as_secs_f64();
+    timings.programming_s = t.finish().as_secs_f64();
+    counter!(
+        "imc_compile_programmed_cells_total",
+        "Cells physically programmed by ISPP write-verify"
+    )
+    .add(totals.cells);
+    counter!("imc_compile_ispp_pulses_total", "ISPP pulses issued").add(totals.pulses);
+    counter!(
+        "imc_compile_unconverged_cells_total",
+        "Cells whose ISPP never converged within the pulse budget"
+    )
+    .add(totals.unconverged);
 
     // Pass 4 — wear accounting + refresh schedule.
-    let t = Instant::now();
+    let t = span!("pass.wear");
     let (wear, refresh) = wear_pass(
         &placement,
         opts.design,
@@ -253,7 +268,7 @@ pub fn compile(
         &opts.retention,
         ledger,
     );
-    timings.wear_s = t.elapsed().as_secs_f64();
+    timings.wear_s = t.finish().as_secs_f64();
 
     // Pass 5 — image assembly and probe prediction.
     let layers: Vec<LayerImage> = shapes
@@ -305,7 +320,7 @@ pub fn compile(
     };
     image.manifest.slots = image.placement.slots();
 
-    let t = Instant::now();
+    let t = span!("pass.predict");
     let compiled = image.to_network()?;
     let oracle = QNetwork::from_sequential_with(&seq, cfg, |i, _| intended[i].clone());
     let probes = probe_inputs(opts.arch.features, opts.probe_count, opts.probe_seed);
@@ -326,7 +341,7 @@ pub fn compile(
         agree as f64 / probes.len() as f64
     };
     image.manifest.expected_accuracy_delta = 1.0 - image.manifest.oracle_agreement;
-    timings.predict_s = t.elapsed().as_secs_f64();
+    timings.predict_s = t.finish().as_secs_f64();
 
     image.validate()?;
     Ok(CompileOutput {
@@ -411,6 +426,30 @@ mod tests {
             without.image.manifest.oracle_agreement
         );
         assert!(with.image.manifest.faults.total_faults > 0);
+    }
+
+    #[test]
+    fn compile_reports_pass_spans_and_programming_counters() {
+        let before = imc_obs::registry().snapshot();
+        let cells0 = before
+            .counter("imc_compile_programmed_cells_total")
+            .unwrap_or(0);
+        let opts = tiny();
+        let mut ledger = WearLedger::fresh(opts.geometry.banks);
+        let out = compile(&opts, &mut ledger).unwrap();
+        let after = imc_obs::registry().snapshot();
+        assert_eq!(
+            after.counter("imc_compile_programmed_cells_total").unwrap(),
+            cells0 + out.totals.cells
+        );
+        assert!(after.counter("imc_compile_runs_total").unwrap() > 0);
+        for pass in ["placement", "remap", "programming", "wear", "predict"] {
+            let name = format!("pass.{pass}");
+            let s = after
+                .histogram_with("span_us", &[("span", name.as_str())])
+                .unwrap_or_else(|| panic!("span pass.{pass} missing"));
+            assert!(s.count > 0, "span pass.{pass} never recorded");
+        }
     }
 
     #[test]

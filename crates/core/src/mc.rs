@@ -10,6 +10,7 @@
 //! count.
 
 use fefet_device::variation::{VariationParams, VariationSampler};
+use imc_obs::{counter, histogram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,12 +26,24 @@ pub fn sample_batch<F>(params: VariationParams, trials: usize, seed: u64, trial_
 where
     F: Fn(&mut VariationSampler) -> f64 + Sync,
 {
+    let started = std::time::Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let seeds: Vec<u64> = (0..trials).map(|_| rng.gen::<u64>()).collect();
-    par_exec::par_map(&seeds, |&trial_seed| {
+    let out = par_exec::par_map(&seeds, |&trial_seed| {
         let mut sampler = VariationSampler::new(params, trial_seed);
         trial_fn(&mut sampler)
-    })
+    });
+    counter!(
+        "imc_mc_bank_trials_total",
+        "Behavioural bank-level Monte-Carlo trials run"
+    )
+    .add(trials as u64);
+    histogram!(
+        "imc_mc_bank_batch_us",
+        "Bank-level Monte-Carlo batch wall time in microseconds"
+    )
+    .record(started.elapsed().as_micros() as u64);
+    out
 }
 
 /// Monte-Carlo batch of CurFe ON-state read currents at drain-resistor

@@ -22,6 +22,16 @@
 //! executor). [`threads`] honours the `FEFET_IMC_THREADS` environment
 //! variable when set to a positive integer and otherwise uses
 //! [`std::thread::available_parallelism`].
+//!
+//! # Observability
+//!
+//! The pool reports into the global `imc-obs` registry:
+//! `par_exec_jobs_total` / `par_exec_items_total` (submission volume),
+//! `par_exec_job_us` (per-job wall latency), `par_exec_queue_depth`
+//! (jobs queued for workers), `par_exec_busy_ns_total` (executor time
+//! spent inside jobs), `par_exec_pool_size`, and
+//! `par_exec_pool_utilization` (busy time / pool-seconds since pool
+//! creation, refreshed after every job).
 
 #![deny(missing_docs)]
 
@@ -31,6 +41,9 @@ use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use imc_obs::{counter, gauge, histogram};
 
 /// Environment variable overriding the pool width.
 pub const THREADS_ENV: &str = "FEFET_IMC_THREADS";
@@ -85,6 +98,7 @@ struct Shared {
 pub struct Pool {
     shared: Arc<Shared>,
     workers: usize,
+    started: Instant,
 }
 
 /// The process-wide pool, created on first use with [`threads`]`() - 1`
@@ -122,7 +136,16 @@ impl Pool {
                 .spawn(move || worker_loop(&shared))
                 .expect("spawn pool worker");
         }
-        Self { shared, workers }
+        gauge!(
+            "par_exec_pool_size",
+            "Execution width of the most recently built pool (workers + caller)"
+        )
+        .set((workers + 1) as f64);
+        Self {
+            shared,
+            workers,
+            started: Instant::now(),
+        }
     }
 
     /// Number of background worker threads (the caller adds one more
@@ -143,6 +166,13 @@ impl Pool {
         if total == 0 {
             return;
         }
+        let job_started = Instant::now();
+        counter!("par_exec_jobs_total", "Jobs submitted to the worker pool").inc();
+        counter!(
+            "par_exec_items_total",
+            "Work items submitted across all pool jobs"
+        )
+        .add(total as u64);
         unsafe fn call<F: Fn(usize)>(data: *const (), i: usize) {
             (*data.cast::<F>())(i);
         }
@@ -160,6 +190,11 @@ impl Pool {
         if self.workers > 0 && total > 1 {
             let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
             queue.push_back(Arc::clone(&job));
+            gauge!(
+                "par_exec_queue_depth",
+                "Jobs currently visible to pool workers"
+            )
+            .set(queue.len() as f64);
             drop(queue);
             self.shared.ready.notify_all();
         }
@@ -173,6 +208,22 @@ impl Pool {
         }
         drop(done);
 
+        histogram!("par_exec_job_us", "Pool job wall latency in microseconds")
+            .record(job_started.elapsed().as_micros() as u64);
+        let pool_ns = self.started.elapsed().as_nanos() as f64 * (self.workers + 1) as f64;
+        if pool_ns > 0.0 {
+            let busy = counter!(
+                "par_exec_busy_ns_total",
+                "Executor nanoseconds spent inside pool jobs (workers + callers)"
+            )
+            .get() as f64;
+            gauge!(
+                "par_exec_pool_utilization",
+                "Busy fraction of the pool since creation (busy time / pool-seconds)"
+            )
+            .set((busy / pool_ns).min(1.0));
+        }
+
         let payload = job.panic.lock().expect("panic slot poisoned").take();
         if let Some(payload) = payload {
             resume_unwind(payload);
@@ -183,6 +234,7 @@ impl Pool {
 /// Claims and runs items of `job` until none remain, then unlinks the
 /// job from the queue so idle workers stop seeing it.
 fn execute(shared: &Shared, job: &Arc<Job>) {
+    let busy_started = Instant::now();
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.total {
@@ -201,8 +253,18 @@ fn execute(shared: &Shared, job: &Arc<Job>) {
             job.done_cv.notify_all();
         }
     }
+    counter!(
+        "par_exec_busy_ns_total",
+        "Executor nanoseconds spent inside pool jobs (workers + callers)"
+    )
+    .add(busy_started.elapsed().as_nanos() as u64);
     let mut queue = shared.queue.lock().expect("pool queue poisoned");
     queue.retain(|queued| !Arc::ptr_eq(queued, job));
+    gauge!(
+        "par_exec_queue_depth",
+        "Jobs currently visible to pool workers"
+    )
+    .set(queue.len() as f64);
 }
 
 fn worker_loop(shared: &Shared) {
@@ -391,6 +453,23 @@ mod tests {
         assert!(w >= 1);
         assert_eq!(w, warmup());
         assert_eq!(w, pool().workers() + 1);
+    }
+
+    #[test]
+    fn pool_metrics_advance_with_work() {
+        let before = imc_obs::registry().snapshot();
+        let jobs0 = before.counter("par_exec_jobs_total").unwrap_or(0);
+        let items0 = before.counter("par_exec_items_total").unwrap_or(0);
+        let out = par_map_indexed(321, |i| i as u64);
+        assert_eq!(out.len(), 321);
+        let after = imc_obs::registry().snapshot();
+        assert!(after.counter("par_exec_jobs_total").unwrap() > jobs0);
+        assert!(after.counter("par_exec_items_total").unwrap() >= items0 + 321);
+        assert!(after.histogram("par_exec_job_us").unwrap().count > 0);
+        assert!(after.counter("par_exec_busy_ns_total").unwrap() > 0);
+        let util = after.gauge("par_exec_pool_utilization").unwrap();
+        assert!((0.0..=1.0).contains(&util), "utilization {util}");
+        assert!(after.gauge("par_exec_pool_size").unwrap() >= 1.0);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! A tiny read-only HTTP/1.1 scrape endpoint over `std::net`.
+//!
+//! One background thread, non-blocking accept, one request per
+//! connection (`Connection: close`). Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition
+//! * `GET /metrics.json` — JSON snapshot
+//! * `GET /` — plain-text route listing
+//!
+//! This is deliberately *not* a web server: no keep-alive, no TLS, no
+//! request body handling. It exists so `curl`/Prometheus can scrape a
+//! running bin, matching the `--obs-addr` flag on `imc-serve` and
+//! `loadgen`.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::export::{json_snapshot, prometheus_text};
+use crate::registry::registry;
+
+/// A running scrape endpoint; shuts down on [`stop`](HttpHandle::stop)
+/// or drop.
+pub struct HttpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HttpHandle {
+    /// Local address the endpoint is bound to (useful with `:0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the serving thread to exit and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9100`, or port `0` for an ephemeral
+/// port) and serves the global registry until the handle is stopped or
+/// dropped.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_http(addr: &str) -> io::Result<HttpHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = thread::Builder::new()
+        .name("obs-http".into())
+        .spawn(move || accept_loop(&listener, &stop2))
+        .expect("spawn obs-http thread");
+    Ok(HttpHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrapes are rare and tiny, a second
+                // thread per connection would be overkill.
+                let _ = handle_connection(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until end of headers (or a small cap — we only need line 1).
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(method, path);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain",
+            "read-only endpoint\n".into(),
+        );
+    }
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            prometheus_text(&registry().snapshot()),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json",
+            json_snapshot(&registry().snapshot()),
+        ),
+        "/" => (
+            "200 OK",
+            "text/plain",
+            "imc-obs scrape endpoint\n  GET /metrics       Prometheus text\n  GET /metrics.json  JSON snapshot\n".into(),
+        ),
+        _ => ("404 Not Found", "text/plain", "unknown route\n".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_all_routes() {
+        registry()
+            .counter("http_test_total", "for the http test")
+            .inc();
+        let handle = serve_http("127.0.0.1:0").expect("bind");
+        let addr = handle.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("http_test_total"));
+
+        let (head, body) = get(addr, "/metrics.json");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"http_test_total\""));
+
+        let (head, _) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        handle.stop();
+        // After stop the port is released; a fresh bind succeeds.
+        let again = serve_http(&addr.to_string());
+        assert!(again.is_ok());
+    }
+}

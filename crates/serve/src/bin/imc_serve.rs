@@ -3,7 +3,7 @@
 //! ```text
 //! imc-serve [--addr HOST:PORT] [--design curfe|chgfe] [--checkpoint PATH]
 //!           [--image PATH] [--banks N] [--max-batch N] [--max-wait-us N]
-//!           [--queue-depth N] [--seed N]
+//!           [--queue-depth N] [--seed N] [--obs-addr HOST:PORT]
 //! ```
 //!
 //! Serves the MNIST-shaped MLP (784 → 64 → 10) on the chosen analog
@@ -15,6 +15,10 @@
 //! image fixes the architecture and design). Stop with ctrl-c / SIGTERM
 //! or a `Shutdown` control request; either way the server drains all
 //! admitted work before exiting and prints a final stats summary.
+//!
+//! `--obs-addr` additionally serves the process-wide `imc-obs` registry
+//! over HTTP (`GET /metrics` Prometheus text, `GET /metrics.json`) for
+//! scrapers — read-only and independent of the inference protocol.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,6 +30,7 @@ use neural::imc_exec::ImcDesign;
 
 struct Args {
     addr: String,
+    obs_addr: Option<String>,
     design: Option<ImcDesign>,
     checkpoint: Option<String>,
     image: Option<String>,
@@ -36,13 +41,14 @@ struct Args {
 fn usage() -> String {
     "usage: imc-serve [--addr HOST:PORT] [--design curfe|chgfe] [--checkpoint PATH]\n\
      \x20                [--image PATH] [--banks N] [--max-batch N] [--max-wait-us N]\n\
-     \x20                [--queue-depth N] [--seed N]"
+     \x20                [--queue-depth N] [--seed N] [--obs-addr HOST:PORT]"
         .to_owned()
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7411".to_owned(),
+        obs_addr: None,
         design: None,
         checkpoint: None,
         image: None,
@@ -57,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
+            "--obs-addr" => args.obs_addr = Some(value("--obs-addr")?),
             "--design" => args.design = Some(parse_design(&value("--design")?)?),
             "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
             "--image" => args.image = Some(value("--image")?),
@@ -129,6 +136,19 @@ fn main() -> ExitCode {
     let model = Arc::new(model);
 
     install_signal_handlers();
+    let _obs = match &args.obs_addr {
+        Some(addr) => match imc_obs::serve_http(addr) {
+            Ok(h) => {
+                println!("imc-serve: obs endpoint on http://{}/metrics", h.addr());
+                Some(h)
+            }
+            Err(e) => {
+                eprintln!("imc-serve: cannot bind obs endpoint {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let handle = match serve(args.addr.as_str(), Arc::clone(&model), &args.cfg) {
         Ok(h) => h,
         Err(e) => {
@@ -167,5 +187,6 @@ fn main() -> ExitCode {
         snap.request_latency.p50_us,
         snap.request_latency.p99_us,
     );
+    imc_obs::print_summary_if_env();
     ExitCode::SUCCESS
 }

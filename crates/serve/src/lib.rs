@@ -28,8 +28,9 @@
 //!   mirroring the paper's 16-bank macro organisation.
 //! * [`model`] — the served [`model::ServeModel`]: synthetic
 //!   deterministic weights or a `neural::checkpoint` restore.
-//! * [`metrics`] — lock-free log-linear latency histograms and
-//!   service counters behind the `Stats` control request.
+//! * [`metrics`] — service counters and latency histograms, backed by
+//!   the shared `imc-obs` registry (scrapeable via `--obs-addr`) and
+//!   folded into `Stats` control replies.
 //! * [`server`] — ties it together: [`server::serve`] returns a
 //!   [`server::ServerHandle`] for graceful shutdown.
 //! * [`client`] — a small blocking client (used by `loadgen` and the

@@ -1,85 +1,56 @@
-//! Service metrics: lock-free counters and log-linear latency histograms.
+//! Service metrics, backed by the shared `imc-obs` registry.
 //!
-//! Recording sits on the response path, so everything is atomic —
-//! recording never takes a lock. Snapshots ([`Metrics::snapshot`]) fold
-//! the histograms into p50/p95/p99 summaries for the `Stats` control
-//! request.
+//! Recording sits on the response path, so everything is lock-free —
+//! every handle is an `imc-obs` counter/gauge/histogram whose hot path
+//! is a single relaxed atomic op. Snapshots ([`Metrics::snapshot`])
+//! fold the histograms into p50/p95/p99 summaries for the `Stats`
+//! control request, with **exactly** the same bucket math as the
+//! original in-crate implementation (the log-linear histogram now lives
+//! in [`imc_obs::hist`]), so `Stats` replies are byte-identical across
+//! the migration — asserted by `tests/metrics_compat.rs`.
 //!
-//! The histogram uses HDR-style log-linear buckets: each power-of-two
-//! octave of microseconds is split into [`SUB_BUCKETS`] linear
-//! sub-buckets, bounding the relative quantile error at
-//! `1/SUB_BUCKETS` (6.25 %) across nine decades of latency without a
-//! per-observation allocation.
+//! Each [`Metrics`] instance owns fresh handles (tests run several
+//! servers per process and must not share counters) and *also*
+//! registers them into the global registry with replace semantics, so a
+//! scrape endpoint (`--obs-addr`) always reports the most recently
+//! started server.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+use imc_obs::{registry, Counter, Gauge, Histogram};
 
 use crate::protocol::{BankStats, LatencySummary, StatsReply};
 
-/// Linear sub-buckets per power-of-two octave.
-const SUB_BUCKETS: usize = 16;
-/// Number of octaves: values up to 2^36 µs (~19 hours) bucket exactly,
-/// larger ones clamp into the final bucket.
-const OCTAVES: usize = 37;
+/// Microsecond latency histogram with log-linear buckets.
+///
+/// The implementation moved to [`imc_obs::Histogram`]; this thin
+/// wrapper keeps the old `serve::metrics` API compiling. Unlike the
+/// obs handles, it is unregistered — values recorded here are invisible
+/// to exporters.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `imc_obs::Histogram` (registered via `imc_obs::histogram!`) instead"
+)]
+#[derive(Debug, Default)]
+pub struct LatencyHistogram(Histogram);
 
-/// A fixed-size log-linear histogram of microsecond latencies.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-/// Bucket index for a value: octave = position of the highest set bit,
-/// sub-bucket = the next `log2(SUB_BUCKETS)` bits below it.
-fn bucket_index(us: u64) -> usize {
-    if us < SUB_BUCKETS as u64 {
-        // First octaves collapse: values below SUB_BUCKETS are exact.
-        return us as usize;
-    }
-    let msb = 63 - us.leading_zeros() as usize;
-    let shift = msb - SUB_BUCKETS.trailing_zeros() as usize;
-    let sub = ((us >> shift) as usize) & (SUB_BUCKETS - 1);
-    let octave = (msb + 1 - SUB_BUCKETS.trailing_zeros() as usize).min(OCTAVES - 1);
-    octave * SUB_BUCKETS + sub
-}
-
-/// Upper-bound value represented by a bucket (what quantiles report).
-fn bucket_value(index: usize) -> u64 {
-    if index < SUB_BUCKETS {
-        return index as u64;
-    }
-    let octave = index / SUB_BUCKETS;
-    let sub = (index % SUB_BUCKETS) as u64;
-    let shift = octave - 1;
-    ((SUB_BUCKETS as u64 + sub + 1) << shift) - 1
-}
-
+#[allow(deprecated)]
 impl LatencyHistogram {
     /// Creates an empty histogram.
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            buckets: (0..OCTAVES * SUB_BUCKETS)
-                .map(|_| AtomicU64::new(0))
-                .collect(),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
+        Self(Histogram::new())
     }
 
     /// Records one observation (microseconds).
     pub fn record(&self, us: u64) {
-        let idx = bucket_index(us).min(self.buckets.len() - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.0.record(us);
     }
 
     /// Number of recorded observations.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.0.count()
     }
 
     /// Folds the histogram into a percentile summary. Quantiles report a
@@ -87,98 +58,141 @@ impl LatencyHistogram {
     /// `1/SUB_BUCKETS` relative.
     #[must_use]
     pub fn summary(&self) -> LatencySummary {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return LatencySummary {
-                count: 0,
-                mean_us: 0.0,
-                p50_us: 0,
-                p95_us: 0,
-                p99_us: 0,
-                max_us: 0,
-            };
-        }
-        let quantile = |q: f64| -> u64 {
-            // Rank of the q-th quantile, 1-based, clamped into range.
-            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-            let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    return bucket_value(i);
-                }
-            }
-            bucket_value(counts.len() - 1)
-        };
-        let max_us = counts.iter().rposition(|&c| c > 0).map_or(0, bucket_value);
-        LatencySummary {
-            count: total,
-            mean_us: self.sum_us.load(Ordering::Relaxed) as f64 / total as f64,
-            p50_us: quantile(0.50),
-            p95_us: quantile(0.95),
-            p99_us: quantile(0.99),
-            max_us,
-        }
+        to_latency_summary(&self.0.summary())
     }
 }
 
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
+/// Converts an obs histogram summary into the wire-format summary. The
+/// field-by-field copy is the whole migration: the quantile math is
+/// shared, so the wire values cannot drift.
+fn to_latency_summary(s: &imc_obs::Summary) -> LatencySummary {
+    LatencySummary {
+        count: s.count,
+        mean_us: s.mean,
+        p50_us: s.p50,
+        p95_us: s.p95,
+        p99_us: s.p99,
+        max_us: s.max,
     }
 }
 
 /// Per-bank dispatch counters.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BankCounters {
     /// Batches executed.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Requests executed.
-    pub requests: AtomicU64,
+    pub requests: Counter,
 }
 
 /// All service counters and histograms, shared across threads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Metrics {
     /// Requests admitted into the queue.
-    pub admitted: AtomicU64,
+    pub admitted: Counter,
     /// Requests with a response written.
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Requests shed by backpressure or shutdown.
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// Unparseable frames / invalid requests.
-    pub protocol_errors: AtomicU64,
+    pub protocol_errors: Counter,
     /// Batches dispatched.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// End-to-end request latency (admission → response ready).
-    pub request_latency: LatencyHistogram,
+    pub request_latency: Histogram,
     /// Bank execution latency per batch.
-    pub batch_latency: LatencyHistogram,
+    pub batch_latency: Histogram,
+    /// Admission-queue depth, sampled by the batcher (exporters only —
+    /// `Stats` replies carry the depth passed to [`Metrics::snapshot`]).
+    pub queue_depth: Gauge,
     /// Per-bank counters, indexed by bank id.
     pub banks: Vec<BankCounters>,
     started: Instant,
 }
 
 impl Metrics {
-    /// Creates zeroed metrics for `banks` banks.
+    /// Creates zeroed metrics for `banks` banks and publishes the
+    /// handles to the global obs registry (replacing any previous
+    /// server's — latest wins the scrape).
     #[must_use]
     pub fn new(banks: usize) -> Self {
-        Self {
-            admitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            protocol_errors: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            request_latency: LatencyHistogram::new(),
-            batch_latency: LatencyHistogram::new(),
+        let m = Self {
+            admitted: Counter::new(),
+            completed: Counter::new(),
+            shed: Counter::new(),
+            protocol_errors: Counter::new(),
+            batches: Counter::new(),
+            request_latency: Histogram::new(),
+            batch_latency: Histogram::new(),
+            queue_depth: Gauge::new(),
             banks: (0..banks).map(|_| BankCounters::default()).collect(),
             started: Instant::now(),
+        };
+        let r = registry();
+        r.insert_counter(
+            "imc_serve_admitted_total",
+            &[],
+            "Requests admitted into the queue",
+            &m.admitted,
+        );
+        r.insert_counter(
+            "imc_serve_completed_total",
+            &[],
+            "Requests with a response written",
+            &m.completed,
+        );
+        r.insert_counter(
+            "imc_serve_shed_total",
+            &[],
+            "Requests shed by backpressure or shutdown",
+            &m.shed,
+        );
+        r.insert_counter(
+            "imc_serve_protocol_errors_total",
+            &[],
+            "Unparseable frames / invalid requests",
+            &m.protocol_errors,
+        );
+        r.insert_counter(
+            "imc_serve_batches_total",
+            &[],
+            "Batches dispatched to banks",
+            &m.batches,
+        );
+        r.insert_histogram(
+            "imc_serve_request_latency_us",
+            &[],
+            "End-to-end request latency in microseconds (admission to response)",
+            &m.request_latency,
+        );
+        r.insert_histogram(
+            "imc_serve_batch_latency_us",
+            &[],
+            "Bank batch execution latency in microseconds",
+            &m.batch_latency,
+        );
+        r.insert_gauge(
+            "imc_serve_queue_depth",
+            &[],
+            "Admission-queue depth sampled at each batch",
+            &m.queue_depth,
+        );
+        for (bank, c) in m.banks.iter().enumerate() {
+            let id = bank.to_string();
+            r.insert_counter(
+                "imc_serve_bank_batches_total",
+                &[("bank", &id)],
+                "Batches executed per bank",
+                &c.batches,
+            );
+            r.insert_counter(
+                "imc_serve_bank_requests_total",
+                &[("bank", &id)],
+                "Requests executed per bank",
+                &c.requests,
+            );
         }
+        m
     }
 
     /// Folds everything into a wire-format snapshot. `queue_depth` is
@@ -186,26 +200,26 @@ impl Metrics {
     #[must_use]
     pub fn snapshot(&self, queue_depth: usize) -> StatsReply {
         let uptime = self.started.elapsed();
-        let completed = self.completed.load(Ordering::Relaxed);
+        let completed = self.completed.get();
         StatsReply {
-            admitted: self.admitted.load(Ordering::Relaxed),
+            admitted: self.admitted.get(),
             completed,
-            shed: self.shed.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
+            shed: self.shed.get(),
+            protocol_errors: self.protocol_errors.get(),
+            batches: self.batches.get(),
             queue_depth,
             throughput_rps: completed as f64 / uptime.as_secs_f64().max(1e-9),
             uptime_ms: uptime.as_millis() as u64,
-            request_latency: self.request_latency.summary(),
-            batch_latency: self.batch_latency.summary(),
+            request_latency: to_latency_summary(&self.request_latency.summary()),
+            batch_latency: to_latency_summary(&self.batch_latency.summary()),
             banks: self
                 .banks
                 .iter()
                 .enumerate()
                 .map(|(bank, c)| BankStats {
                     bank,
-                    batches: c.batches.load(Ordering::Relaxed),
-                    requests: c.requests.load(Ordering::Relaxed),
+                    batches: c.batches.get(),
+                    requests: c.requests.get(),
                 })
                 .collect(),
         }
@@ -216,68 +230,55 @@ impl Metrics {
 mod tests {
     use super::*;
 
+    // One test body: instances replace each other's slots in the global
+    // registry, so parallel tests would race on what "latest" means.
     #[test]
-    fn small_values_bucket_exactly() {
-        for us in 0..SUB_BUCKETS as u64 {
-            assert_eq!(bucket_value(bucket_index(us)), us);
-        }
-    }
-
-    #[test]
-    fn bucket_bounds_are_monotonic_and_tight() {
-        let mut last = 0;
-        for us in [20u64, 100, 999, 10_000, 123_456, 9_999_999, 1 << 39] {
-            let idx = bucket_index(us);
-            let upper = bucket_value(idx);
-            assert!(upper >= us, "upper {upper} < value {us}");
-            // Relative error bound: 1/SUB_BUCKETS.
-            assert!(
-                (upper - us) as f64 <= us as f64 / SUB_BUCKETS as f64 + 1.0,
-                "bucket for {us} too coarse ({upper})"
-            );
-            assert!(idx >= last);
-            last = idx;
-        }
-    }
-
-    #[test]
-    fn quantiles_land_within_bucket_error() {
-        let h = LatencyHistogram::new();
-        for us in 1..=1000u64 {
-            h.record(us);
-        }
-        let s = h.summary();
-        assert_eq!(s.count, 1000);
-        let close = |got: u64, want: f64| {
-            let rel = (got as f64 - want).abs() / want;
-            assert!(rel < 0.08, "quantile {got} vs expected {want}");
-        };
-        close(s.p50_us, 500.0);
-        close(s.p95_us, 950.0);
-        close(s.p99_us, 990.0);
-        close(s.max_us, 1000.0);
-        assert!((s.mean_us - 500.5).abs() < 1.0);
-    }
-
-    #[test]
-    fn empty_histogram_summarizes_to_zeros() {
-        let s = LatencyHistogram::new().summary();
-        assert_eq!(s.count, 0);
-        assert_eq!(s.p99_us, 0);
-        assert_eq!(s.mean_us, 0.0);
-    }
-
-    #[test]
-    fn snapshot_carries_bank_counters() {
+    fn instances_are_isolated_and_the_latest_wins_the_scrape() {
         let m = Metrics::new(3);
-        m.banks[1].batches.fetch_add(2, Ordering::Relaxed);
-        m.banks[1].requests.fetch_add(9, Ordering::Relaxed);
-        m.completed.fetch_add(9, Ordering::Relaxed);
+        m.banks[1].batches.add(2);
+        m.banks[1].requests.add(9);
+        m.completed.add(9);
         let s = m.snapshot(5);
         assert_eq!(s.queue_depth, 5);
         assert_eq!(s.banks.len(), 3);
         assert_eq!(s.banks[1].batches, 2);
         assert_eq!(s.banks[1].requests, 9);
         assert!(s.throughput_rps > 0.0);
+
+        // Fresh instances do not share counters.
+        let a = Metrics::new(1);
+        a.admitted.add(4);
+        let b = Metrics::new(1);
+        assert_eq!(b.admitted.get(), 0, "second server starts from zero");
+        assert_eq!(a.admitted.get(), 4, "first server's handle still live");
+        let snap = imc_obs::registry().snapshot();
+        assert_eq!(snap.counter("imc_serve_admitted_total"), Some(0));
+
+        // The latest instance is what the global registry scrapes.
+        let latest = Metrics::new(2);
+        latest.request_latency.record(120);
+        latest.banks[0].requests.inc();
+        let snap = imc_obs::registry().snapshot();
+        let lat = snap
+            .histogram("imc_serve_request_latency_us")
+            .expect("histogram registered");
+        assert_eq!(lat.count, 1);
+        assert_eq!(
+            snap.counter_with("imc_serve_bank_requests_total", &[("bank", "0")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_still_summarizes() {
+        let h = LatencyHistogram::new();
+        for us in 1..=100u64 {
+            h.record(us);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(h.count(), 100);
+        assert!(s.p50_us >= 45 && s.p50_us <= 55, "p50 {}", s.p50_us);
     }
 }

@@ -25,7 +25,6 @@
 //! accepted work is never dropped.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,7 +78,7 @@ type Conn = Arc<Mutex<TcpStream>>;
 fn send(conn: &Conn, resp: &Response, metrics: &Metrics) {
     let mut stream = conn.lock().expect("connection writer poisoned");
     if write_response(&mut *stream, resp).is_err() {
-        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        metrics.protocol_errors.inc();
     }
 }
 
@@ -190,7 +189,8 @@ pub fn serve<A: ToSocketAddrs>(
                     if batch.is_empty() {
                         continue;
                     }
-                    metrics.batches.fetch_add(1, Ordering::Relaxed);
+                    metrics.batches.inc();
+                    metrics.queue_depth.set(queue.depth() as f64);
                     scheduler.dispatch(batch);
                 }
                 // Queue closed and drained: wind the banks down, letting
@@ -356,14 +356,14 @@ fn connection_loop(
             Ok(Some(json)) => json,
             Ok(None) => return, // clean EOF or idle shutdown
             Err(_) => {
-                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.protocol_errors.inc();
                 return;
             }
         };
         let request: Request = match serde_json::from_str(&frame) {
             Ok(r) => r,
             Err(e) => {
-                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.protocol_errors.inc();
                 send(&writer, &Response::Error(e.to_string()), metrics);
                 continue;
             }
@@ -380,7 +380,7 @@ fn connection_loop(
             }
             Request::Infer(req) => {
                 if req.input.len() != model.input_features() {
-                    metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    metrics.protocol_errors.inc();
                     send(
                         &writer,
                         &Response::Error(format!(
@@ -400,10 +400,10 @@ fn connection_loop(
                 };
                 match queue.try_enqueue(pending) {
                     Ok(()) => {
-                        metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                        metrics.admitted.inc();
                     }
                     Err((rejected, why)) => {
-                        metrics.shed.fetch_add(1, Ordering::Relaxed);
+                        metrics.shed.inc();
                         send(
                             &writer,
                             &Response::Shed(ShedReply {
@@ -428,6 +428,7 @@ fn execute_batch(
     metrics: &Metrics,
     service_delay: Duration,
 ) {
+    let span = imc_obs::span!("serve.batch");
     let n = batch.len();
     let features = model.input_features();
     let classes = model.classes();
@@ -444,10 +445,8 @@ fn execute_batch(
     let logits = model.infer_batch(&x);
     let service_us = t0.elapsed().as_micros() as u64;
     metrics.batch_latency.record(service_us);
-    metrics.banks[bank].batches.fetch_add(1, Ordering::Relaxed);
-    metrics.banks[bank]
-        .requests
-        .fetch_add(n as u64, Ordering::Relaxed);
+    metrics.banks[bank].batches.inc();
+    metrics.banks[bank].requests.add(n as u64);
 
     for (i, req) in batch.iter().enumerate() {
         let row = &logits.data()[i * classes..(i + 1) * classes];
@@ -470,6 +469,7 @@ fn execute_batch(
         metrics
             .request_latency
             .record(req.enqueued.elapsed().as_micros() as u64);
-        metrics.completed.fetch_add(1, Ordering::Relaxed);
+        metrics.completed.inc();
     }
+    drop(span);
 }

@@ -1,5 +1,14 @@
 //! DC operating-point analysis: Newton–Raphson with damping and gmin
 //! stepping.
+//!
+//! Solver health reports into the global `imc-obs` registry:
+//! `sim_newton_solves_total` / `sim_newton_iterations_total` /
+//! `sim_newton_nonconverged_total` (convergence behaviour),
+//! `sim_lu_factor_ns` / `sim_lu_solve_ns` (where each iteration's time
+//! goes), and `sim_gmin_steps_total` (how often the fallback homotopy
+//! runs).
+
+use imc_obs::{counter, histogram};
 
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::Netlist;
@@ -99,7 +108,17 @@ pub(crate) fn newton_solve_ws(
 ) -> Result<(Vec<f64>, usize), SimError> {
     let nv = netlist.node_count() - 1;
     let mut x = x0.to_vec();
+    let iterations = counter!(
+        "sim_newton_iterations_total",
+        "Newton iterations across all DC/transient solves"
+    );
+    let factor_ns = histogram!("sim_lu_factor_ns", "LU factorization time in nanoseconds");
+    let solve_ns = histogram!(
+        "sim_lu_solve_ns",
+        "LU forward/back substitution time in nanoseconds"
+    );
     for it in 1..=opts.max_iter {
+        iterations.inc();
         assemble(
             netlist,
             mode,
@@ -109,11 +128,15 @@ pub(crate) fn newton_solve_ws(
             &mut ws.mat,
             &mut ws.rhs,
         );
+        let t0 = std::time::Instant::now();
         ws.lu.factor_from(&ws.mat).map_err(|e| SimError::Singular {
             column: e.column,
             context: "newton iteration".to_owned(),
         })?;
+        factor_ns.record(t0.elapsed().as_nanos() as u64);
+        let t0 = std::time::Instant::now();
         ws.lu.solve_into(&ws.rhs, &mut ws.x_new);
+        solve_ns.record(t0.elapsed().as_nanos() as u64);
         // Damped update on node voltages; branch currents move freely.
         let mut worst = 0.0f64;
         for (i, (xi, &xn)) in x.iter_mut().zip(&ws.x_new).enumerate() {
@@ -126,9 +149,19 @@ pub(crate) fn newton_solve_ws(
             }
         }
         if worst <= opts.v_abstol + opts.reltol {
+            counter!(
+                "sim_newton_solves_total",
+                "Converged Newton solves (one per gmin step or timestep)"
+            )
+            .inc();
             return Ok((x, it));
         }
     }
+    counter!(
+        "sim_newton_nonconverged_total",
+        "Newton solves that hit max_iter without converging"
+    )
+    .inc();
     Err(SimError::NoConvergence {
         iterations: opts.max_iter,
         context: "dc newton".to_owned(),
@@ -166,6 +199,11 @@ pub fn op(netlist: &Netlist, enforce_ic: bool, opts: &NewtonOptions) -> Result<O
             let mut total_iter = 0;
             let mut gmin = 1.0e-3;
             loop {
+                counter!(
+                    "sim_gmin_steps_total",
+                    "gmin homotopy steps taken after a plain Newton failure"
+                )
+                .inc();
                 let (x_new, it) = newton_solve_ws(netlist, mode, &caps, gmin, &x, opts, &mut ws)?;
                 x = x_new;
                 total_iter += it;

@@ -6,10 +6,28 @@
 //! trial plumbing; the perturbation itself lives in the caller's factory
 //! closure (typically via [`fefet_device::variation::VariationSampler`]).
 
+use imc_obs::{counter, histogram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::SimError;
+
+/// Records one finished batch into the global obs registry:
+/// `sim_mc_trials_total`, `sim_mc_trial_failures_total`, and the
+/// per-batch wall time `sim_mc_batch_us`.
+fn record_batch(trials: usize, failures: usize, started: std::time::Instant) {
+    counter!("sim_mc_trials_total", "Monte-Carlo trials run").add(trials as u64);
+    counter!(
+        "sim_mc_trial_failures_total",
+        "Monte-Carlo trials whose analysis failed to converge"
+    )
+    .add(failures as u64);
+    histogram!(
+        "sim_mc_batch_us",
+        "Monte-Carlo batch wall time in microseconds"
+    )
+    .record(started.elapsed().as_micros() as u64);
+}
 
 /// Outcome of a Monte-Carlo batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +138,7 @@ pub fn run_trials<F>(trials: usize, seed: u64, mut trial_fn: F) -> McResult
 where
     F: FnMut(u64) -> Result<f64, SimError>,
 {
+    let started = std::time::Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut values = Vec::with_capacity(trials);
     let mut failures = 0;
@@ -130,6 +149,7 @@ where
             Err(_) => failures += 1,
         }
     }
+    record_batch(trials, failures, started);
     McResult { values, failures }
 }
 
@@ -150,6 +170,7 @@ pub fn run_trials_par<F>(trials: usize, seed: u64, trial_fn: F) -> McResult
 where
     F: Fn(u64) -> Result<f64, SimError> + Sync,
 {
+    let started = std::time::Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let seeds: Vec<u64> = (0..trials).map(|_| rng.gen::<u64>()).collect();
     let outcomes = par_exec::par_map(&seeds, |&trial_seed| trial_fn(trial_seed));
@@ -161,6 +182,7 @@ where
             Err(_) => failures += 1,
         }
     }
+    record_batch(trials, failures, started);
     McResult { values, failures }
 }
 
