@@ -33,17 +33,32 @@
 //! pass spans), one DC operating-point solve (Newton counters), and a
 //! small Monte-Carlo batch (trial counters). After the run the shed /
 //! failure counters from the registry are printed alongside the report.
+//!
+//! `--chaos` turns the run into a resilience exercise: the in-process
+//! server gets a short frame deadline and a deliberate fail-point
+//! (`fail_input_sentinel`), a fault-injecting proxy
+//! ([`imc_bench::chaos`]) sits between the load connections and the
+//! server, and a probe client forces a worker panic through the
+//! sentinel and retries it with [`imc_serve::RetryPolicy`]. Exit
+//! criteria shift from "no connection ever failed" (faults *should*
+//! fail some connections) to "the server survived": at least one
+//! response completed, every completed response stayed bit-exact, the
+//! forced panic came back as a typed `Failed`, and a direct ping after
+//! the storm still answers. Requires the in-process server (no
+//! `--addr`), so the sentinel and fault plan are actually in place.
 
 use std::collections::HashMap;
+use std::io::Read;
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use imc_bench::chaos::{ChaosProxy, Fault};
 use imc_serve::model::{parse_design, ServeModel, DEFAULT_SEED};
 use imc_serve::protocol::{read_response, write_request, InferRequest, Request, Response};
-use imc_serve::{serve, Client, ServeConfig};
+use imc_serve::{serve, Client, ClientConfig, RetryPolicy, ServeConfig};
 use neural::imc_exec::ImcDesign;
 use serde::Serialize;
 
@@ -64,12 +79,21 @@ struct Args {
     out: String,
     smoke: bool,
     stop_server: bool,
+    chaos: bool,
+    chaos_seed: u64,
 }
+
+/// The chaos fail-point: no generated input starts with this value (the
+/// pool is clamped to [0, 1]), it passes admission validation (finite,
+/// ≥ 0), and the server panics any bank worker that sees it first —
+/// exercising panic isolation, typed `Failed` replies, and client retry.
+const CHAOS_SENTINEL: f32 = 2.0;
 
 fn parse_args() -> Result<Args, String> {
     let usage = "usage: loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]\n\
                  \x20              [--image PATH] [--qps N] [--duration-s N] [--conns N]\n\
-                 \x20              [--out PATH] [--smoke] [--stop-server] [--obs-addr HOST:PORT]";
+                 \x20              [--out PATH] [--smoke] [--stop-server] [--obs-addr HOST:PORT]\n\
+                 \x20              [--chaos] [--chaos-seed N]";
     let mut args = Args {
         addr: None,
         obs_addr: None,
@@ -82,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_pr2.json".to_owned(),
         smoke: false,
         stop_server: false,
+        chaos: false,
+        chaos_seed: 0xC4A0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,12 +143,25 @@ fn parse_args() -> Result<Args, String> {
                 args.duration_s = 2.0;
             }
             "--stop-server" => args.stop_server = true,
+            "--chaos" => args.chaos = true,
+            "--chaos-seed" => {
+                args.chaos_seed = value("--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{usage}")),
         }
     }
     if args.qps == 0 || args.conns == 0 || args.duration_s <= 0.0 {
         return Err("--qps, --conns, and --duration-s must be positive".to_owned());
+    }
+    if args.chaos && args.addr.is_some() {
+        return Err(
+            "--chaos requires the in-process server (the fault proxy and the panic \
+             fail-point wrap it); drop --addr"
+                .to_owned(),
+        );
     }
     Ok(args)
 }
@@ -140,6 +179,10 @@ struct Report {
     shed: u64,
     errors: u64,
     incorrect: u64,
+    /// Requests answered with a typed `Failed` (worker panic recovered).
+    failed: u64,
+    /// Connections refused with a typed `Busy` (connection cap).
+    busy: u64,
     shed_rate: f64,
     p50_us: u64,
     p95_us: u64,
@@ -155,6 +198,8 @@ struct ConnResult {
     shed: u64,
     errors: u64,
     incorrect: u64,
+    failed: u64,
+    busy: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -214,6 +259,32 @@ fn build_inputs(features: usize) -> Vec<Vec<f32>> {
         .collect()
 }
 
+/// Parses the next complete response frame out of `acc[*parse_from..]`,
+/// advancing `parse_from` past it (consumed bytes are compacted away
+/// once they pile up). `Ok(None)` means the buffer holds at most a
+/// partial frame — read more bytes and try again.
+fn next_buffered_response(
+    acc: &mut Vec<u8>,
+    parse_from: &mut usize,
+) -> std::io::Result<Option<Response>> {
+    let avail = &acc[*parse_from..];
+    if avail.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+    if avail.len() < 4 + len {
+        return Ok(None);
+    }
+    let mut cursor = &avail[..4 + len];
+    let resp = read_response(&mut cursor)?;
+    *parse_from += 4 + len;
+    if *parse_from > 1 << 16 {
+        acc.drain(..*parse_from);
+        *parse_from = 0;
+    }
+    Ok(resp)
+}
+
 /// One connection's open-loop run: a sender thread paces requests on a
 /// fixed schedule while this thread receives and verifies responses.
 #[allow(clippy::too_many_arguments)]
@@ -232,8 +303,15 @@ fn run_connection(
     let mut reader = writer
         .try_clone()
         .map_err(|e| format!("clone stream: {e}"))?;
-    // Drain window after the send phase ends.
-    reader.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    // Short read timeout = the receive loop's polling tick: it must
+    // re-check "has the sender finished and is everything answered?"
+    // regularly, or a reader that goes idle right as the sender ends
+    // blocks a full drain window for nothing. The actual post-send
+    // drain budget is DRAIN_WINDOW below.
+    reader
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    const DRAIN_WINDOW: Duration = Duration::from_secs(10);
 
     // id → send time, shared with the sender. ids are globally unique:
     // conn_idx + k * total_conns.
@@ -284,10 +362,22 @@ fn run_connection(
     // first drain optimistically, then join and finish.
     let mut answered = 0u64;
     let mut sender_done: Option<u64> = None;
+    let mut drain_deadline: Option<Instant> = None;
+    // Byte accumulator between the socket and the frame parser: the
+    // polling read timeout may fire mid-frame, and bytes a partial
+    // `read_response` already consumed would be lost — so raw reads land
+    // here and only complete frames are parsed out.
+    let mut acc: Vec<u8> = Vec::new();
+    let mut parse_from = 0usize;
+    let mut chunk = [0u8; 16384];
     loop {
         if let Some(total) = sender_done {
             if answered >= total {
                 break;
+            }
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_WINDOW);
+            if Instant::now() >= deadline {
+                break; // drain window expired with requests unanswered
             }
         } else if sender
             .as_ref()
@@ -303,7 +393,21 @@ fn run_connection(
             sender_done = Some(total);
             continue;
         }
-        match read_response(&mut reader) {
+        // Pull the next complete frame out of the accumulator, reading
+        // more bytes only when it can't supply one.
+        let next = match next_buffered_response(&mut acc, &mut parse_from) {
+            Err(e) => Err(e),
+            Ok(Some(r)) => Ok(Some(r)),
+            Ok(None) => match reader.read(&mut chunk) {
+                Ok(0) => Ok(None), // server closed
+                Ok(n) => {
+                    acc.extend_from_slice(&chunk[..n]);
+                    continue;
+                }
+                Err(e) => Err(e),
+            },
+        };
+        match next {
             Ok(Some(Response::Output(r))) => {
                 answered += 1;
                 let sent_at = in_flight.lock().unwrap().remove(&r.id);
@@ -331,14 +435,26 @@ fn run_connection(
                 answered += 1;
                 res.errors += 1;
             }
+            Ok(Some(Response::Failed(r))) => {
+                // A recovered worker panic failed this request with a
+                // typed response — expected under --chaos, never silent.
+                answered += 1;
+                in_flight.lock().unwrap().remove(&r.id);
+                res.failed += 1;
+            }
+            Ok(Some(Response::Busy(_))) => {
+                // The connection cap refused us before any request ran;
+                // nothing on this connection will be answered.
+                res.busy += 1;
+                break;
+            }
             Ok(Some(_)) => {}  // Pong/Stats/ShuttingDown: not expected here
             Ok(None) => break, // server closed
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Drain window expired with requests still unanswered.
-                break;
+                // Polling tick: loop back to the sender/drain checks.
             }
             Err(e) => return Err(format!("read: {e}")),
         }
@@ -418,17 +534,38 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let handle = serve(
-                "127.0.0.1:0",
-                Arc::new(server_model),
-                &ServeConfig::default(),
-            )
-            .expect("bind in-process server");
+            let mut cfg = ServeConfig::default();
+            if args.chaos {
+                // A deadline short enough that stalled half-frames are
+                // reclaimed within the run, and the deliberate panic
+                // fail-point the probe will trip.
+                cfg.frame_deadline = Duration::from_secs(2);
+                cfg.fail_input_sentinel = Some(CHAOS_SENTINEL);
+            }
+            let handle =
+                serve("127.0.0.1:0", Arc::new(server_model), &cfg).expect("bind in-process server");
             let a = handle.addr().to_string();
             eprintln!("loadgen: in-process server on {a}");
             local = Some(handle);
             a
         }
+    };
+
+    // Under --chaos the load connections dial a fault-injecting proxy;
+    // control traffic (probe, ping, shutdown) keeps the direct address.
+    let server_addr = addr.clone();
+    let mut proxy = None;
+    let addr = if args.chaos {
+        let upstream: std::net::SocketAddr = addr.parse().expect("server address parses");
+        let seed = args.chaos_seed;
+        let p = ChaosProxy::start(upstream, move |conn| Fault::seeded_mix(seed, conn))
+            .expect("start chaos proxy");
+        let a = p.addr().to_string();
+        eprintln!("loadgen: chaos proxy on {a} (seed {seed:#x})");
+        proxy = Some(p);
+        a
+    } else {
+        addr
     };
 
     let duration = Duration::from_secs_f64(args.duration_s);
@@ -471,6 +608,8 @@ fn main() -> ExitCode {
     let mut shed = 0u64;
     let mut errors = 0u64;
     let mut incorrect = 0u64;
+    let mut failed = 0u64;
+    let mut busy = 0u64;
     let mut lat: Vec<u64> = Vec::new();
     let mut conn_failures = 0usize;
     for r in results {
@@ -481,6 +620,8 @@ fn main() -> ExitCode {
                 shed += c.shed;
                 errors += c.errors;
                 incorrect += c.incorrect;
+                failed += c.failed;
+                busy += c.busy;
                 lat.extend(c.latencies_us);
             }
             Err(e) => {
@@ -491,8 +632,30 @@ fn main() -> ExitCode {
     }
     lat.sort_unstable();
 
+    // After the fault storm, prove the server is still healthy: force a
+    // worker panic through the sentinel fail-point (expect a typed
+    // `Failed` even through retries — the fail-point is deterministic),
+    // then ping, then check the panic counter advanced.
+    let chaos_ok = if args.chaos {
+        match chaos_probe(&server_addr, oracle.input_features()) {
+            Ok(()) => {
+                eprintln!("loadgen: chaos probe OK (typed Failed + post-panic ping)");
+                true
+            }
+            Err(e) => {
+                eprintln!("loadgen: chaos probe FAILED: {e}");
+                false
+            }
+        }
+    } else {
+        true
+    };
+    if let Some(p) = proxy.take() {
+        p.stop();
+    }
+
     if args.stop_server && conn_failures < args.conns {
-        match Client::connect(addr.as_str()).and_then(|mut c| c.shutdown()) {
+        match Client::connect(server_addr.as_str()).and_then(|mut c| c.shutdown()) {
             Ok(()) => eprintln!("loadgen: server acknowledged shutdown"),
             Err(e) => eprintln!("loadgen: shutdown request failed: {e}"),
         }
@@ -514,6 +677,8 @@ fn main() -> ExitCode {
         shed,
         errors,
         incorrect,
+        failed,
+        busy,
         shed_rate: if sent > 0 {
             shed as f64 / sent as f64
         } else {
@@ -544,6 +709,12 @@ fn main() -> ExitCode {
             c("imc_serve_protocol_errors_total"),
             c("imc_serve_batches_total"),
         );
+        println!(
+            "obs: resilience worker_panics={} conn_deadline_drops={} busy_rejects={}",
+            c("imc_serve_worker_panics_total"),
+            c("imc_serve_conn_deadline_drops_total"),
+            c("imc_serve_busy_rejects_total"),
+        );
         let mc_failures = c("sim_mc_trial_failures_total");
         if c("sim_mc_trials_total") > 0 {
             println!(
@@ -556,14 +727,28 @@ fn main() -> ExitCode {
 
     imc_obs::print_summary_if_env();
 
-    let verified_ok = incorrect == 0 && errors == 0 && conn_failures == 0;
+    // Under chaos, failed connections and typed failures are the point
+    // of the exercise; the pass criteria are survival-shaped instead:
+    // traffic still completed, every completed answer stayed bit-exact,
+    // and the probe confirmed recovery after a forced panic.
+    let verified_ok = if args.chaos {
+        incorrect == 0 && completed > 0 && chaos_ok
+    } else {
+        incorrect == 0 && errors == 0 && conn_failures == 0
+    };
     if args.smoke {
         if verified_ok && completed > 0 {
-            println!("smoke: OK ({completed} responses, all bit-exact)");
+            if args.chaos {
+                println!(
+                    "smoke: OK under chaos ({completed} bit-exact responses; failed={failed} busy={busy} conn_failures={conn_failures})"
+                );
+            } else {
+                println!("smoke: OK ({completed} responses, all bit-exact)");
+            }
             ExitCode::SUCCESS
         } else {
             eprintln!(
-                "smoke: FAILED (completed={completed} incorrect={incorrect} errors={errors} conn_failures={conn_failures})"
+                "smoke: FAILED (completed={completed} incorrect={incorrect} errors={errors} conn_failures={conn_failures} chaos_ok={chaos_ok})"
             );
             ExitCode::FAILURE
         }
@@ -571,8 +756,41 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "loadgen: FAILED (incorrect={incorrect} errors={errors} conn_failures={conn_failures})"
+            "loadgen: FAILED (incorrect={incorrect} errors={errors} conn_failures={conn_failures} chaos_ok={chaos_ok})"
         );
         ExitCode::FAILURE
     }
+}
+
+/// The post-storm health check behind `--chaos`: trip the sentinel
+/// fail-point (a deterministic worker panic), expect it back as a typed
+/// [`Response::Failed`] even through a retrying client, and confirm the
+/// server still answers a plain ping and counted the panics.
+fn chaos_probe(server_addr: &str, features: usize) -> Result<(), String> {
+    let mut c = Client::connect_with(server_addr, ClientConfig::default())
+        .map_err(|e| format!("probe connect: {e}"))?;
+    let mut input = vec![0.0f32; features];
+    input[0] = CHAOS_SENTINEL;
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(20),
+        jitter_seed: 1,
+    };
+    match c.infer_retry(0xC4A0_5EED, &input, &policy) {
+        Ok(Response::Failed(_)) => {}
+        Ok(other) => return Err(format!("expected Failed, got {other:?}")),
+        Err(e) => return Err(format!("probe infer: {e}")),
+    }
+    c.ping().map_err(|e| format!("post-panic ping: {e}"))?;
+    let panics = imc_obs::registry()
+        .snapshot()
+        .counter("imc_serve_worker_panics_total")
+        .unwrap_or(0);
+    if panics < 2 {
+        return Err(format!(
+            "worker_panics should count both probe attempts, got {panics}"
+        ));
+    }
+    Ok(())
 }

@@ -6,6 +6,8 @@
 
 #![deny(missing_docs)]
 
+pub mod chaos;
+
 use std::fmt::Write as _;
 
 /// Renders `(x, y)` series as an aligned two-column table with a header.

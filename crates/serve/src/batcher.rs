@@ -13,7 +13,7 @@
 //! pool); a lone request never waits more than `max_wait`.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A request admitted to the queue, carrying everything the bank worker
@@ -63,6 +63,20 @@ pub struct AdmissionQueue<R> {
 }
 
 impl<R> AdmissionQueue<R> {
+    /// Locks the state, recovering from a poisoned mutex.
+    ///
+    /// The queue only holds plain data (a `VecDeque` and a flag), every
+    /// mutation is a single push/pop/drain with no intermediate invalid
+    /// state, so a panic on some other thread while it held the lock
+    /// cannot leave the queue inconsistent — recovering the guard is
+    /// always sound here. Propagating the poison instead (the old
+    /// `.expect("admission queue poisoned")`) turned one panicked
+    /// producer into a panic in *every* connection thread and the
+    /// batcher, cascading a single bad request into a dead service.
+    fn lock(&self) -> MutexGuard<'_, State<R>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a queue admitting at most `capacity` requests.
     ///
     /// # Panics
@@ -89,7 +103,7 @@ impl<R> AdmissionQueue<R> {
     /// Returns the request back alongside the [`Rejected`] reason so the
     /// caller can shed it with the original id.
     pub fn try_enqueue(&self, req: Pending<R>) -> Result<(), (Pending<R>, Rejected)> {
-        let mut st = self.state.lock().expect("admission queue poisoned");
+        let mut st = self.lock();
         if st.closed {
             return Err((req, Rejected::ShuttingDown));
         }
@@ -105,18 +119,14 @@ impl<R> AdmissionQueue<R> {
     /// Current queue depth.
     #[must_use]
     pub fn depth(&self) -> usize {
-        self.state
-            .lock()
-            .expect("admission queue poisoned")
-            .queue
-            .len()
+        self.lock().queue.len()
     }
 
     /// Closes the queue: subsequent enqueues are rejected with
     /// [`Rejected::ShuttingDown`], and once drained, `next_batch` returns
     /// `None`.
     pub fn close(&self) {
-        let mut st = self.state.lock().expect("admission queue poisoned");
+        let mut st = self.lock();
         st.closed = true;
         drop(st);
         self.not_empty.notify_all();
@@ -129,7 +139,7 @@ impl<R> AdmissionQueue<R> {
     /// `max_wait`. After [`close`](Self::close), keeps returning the
     /// remaining queued requests (drain semantics) and only then `None`.
     pub fn next_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Pending<R>>> {
-        let mut st = self.state.lock().expect("admission queue poisoned");
+        let mut st = self.lock();
         // Wait for the first request (or close + empty → done).
         loop {
             if !st.queue.is_empty() {
@@ -138,12 +148,30 @@ impl<R> AdmissionQueue<R> {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).expect("admission queue poisoned");
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         // The flush deadline runs from the oldest request's admission, so
         // queue latency is bounded by max_wait even under trickle load.
-        let deadline = st.queue.front().expect("non-empty").enqueued + max_wait;
+        // A huge `max_wait` can overflow `Instant + Duration`; saturate
+        // to "no deadline" (flush only on size or close) instead of
+        // panicking the batcher thread.
+        let deadline = st
+            .queue
+            .front()
+            .expect("non-empty")
+            .enqueued
+            .checked_add(max_wait);
         while st.queue.len() < max_batch && !st.closed {
+            let Some(deadline) = deadline else {
+                st = self
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            };
             let now = Instant::now();
             let Some(left) = deadline
                 .checked_duration_since(now)
@@ -154,7 +182,7 @@ impl<R> AdmissionQueue<R> {
             let (guard, timeout) = self
                 .not_empty
                 .wait_timeout(st, left)
-                .expect("admission queue poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             st = guard;
             if timeout.timed_out() {
                 break;
@@ -232,6 +260,30 @@ mod tests {
         assert_eq!(batch.len(), 2);
         // ...then the stream ends rather than blocking forever.
         assert!(q.next_batch(64, Duration::from_secs(10)).is_none());
+    }
+
+    #[test]
+    fn huge_max_wait_saturates_to_no_deadline_instead_of_panicking() {
+        // `enqueued + Duration::MAX` would overflow `Instant` arithmetic
+        // and panic the batcher; with checked_add it degrades to "flush
+        // on size or close".
+        let q: Arc<AdmissionQueue<()>> = Arc::new(AdmissionQueue::new(16));
+        for i in 0..4 {
+            q.try_enqueue(pending(i)).unwrap();
+        }
+        // Size flush still works with no deadline.
+        let batch = q.next_batch(4, Duration::MAX).unwrap();
+        assert_eq!(batch.len(), 4);
+
+        // A partial batch under no deadline flushes on close, not never.
+        q.try_enqueue(pending(9)).unwrap();
+        let qc = Arc::clone(&q);
+        let h = std::thread::spawn(move || qc.next_batch(64, Duration::MAX));
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        let drained = h.join().expect("consumer thread").unwrap();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id, 9);
     }
 
     #[test]

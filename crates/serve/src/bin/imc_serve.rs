@@ -4,6 +4,7 @@
 //! imc-serve [--addr HOST:PORT] [--design curfe|chgfe] [--checkpoint PATH]
 //!           [--image PATH] [--banks N] [--max-batch N] [--max-wait-us N]
 //!           [--queue-depth N] [--seed N] [--obs-addr HOST:PORT]
+//!           [--max-conns N] [--frame-deadline-ms N] [--write-timeout-ms N]
 //! ```
 //!
 //! Serves the MNIST-shaped MLP (784 → 64 → 10) on the chosen analog
@@ -19,6 +20,12 @@
 //! `--obs-addr` additionally serves the process-wide `imc-obs` registry
 //! over HTTP (`GET /metrics` Prometheus text, `GET /metrics.json`) for
 //! scrapers — read-only and independent of the inference protocol.
+//!
+//! Resilience knobs (DESIGN.md §12): `--max-conns` caps concurrent
+//! connections (excess get a typed `Busy` reply), `--frame-deadline-ms`
+//! bounds how long a started request frame may stay incomplete before
+//! the connection is dropped, and `--write-timeout-ms` bounds each
+//! response write (0 disables either timeout).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -41,7 +48,8 @@ struct Args {
 fn usage() -> String {
     "usage: imc-serve [--addr HOST:PORT] [--design curfe|chgfe] [--checkpoint PATH]\n\
      \x20                [--image PATH] [--banks N] [--max-batch N] [--max-wait-us N]\n\
-     \x20                [--queue-depth N] [--seed N] [--obs-addr HOST:PORT]"
+     \x20                [--queue-depth N] [--seed N] [--obs-addr HOST:PORT]\n\
+     \x20                [--max-conns N] [--frame-deadline-ms N] [--write-timeout-ms N]"
         .to_owned()
 }
 
@@ -93,12 +101,45 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--queue-depth: {e}"))?;
             }
+            "--max-conns" => {
+                args.cfg.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--frame-deadline-ms" => {
+                let ms: u64 = value("--frame-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--frame-deadline-ms: {e}"))?;
+                args.cfg.frame_deadline = Duration::from_millis(ms);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?;
+                args.cfg.write_timeout = Duration::from_millis(ms);
+            }
+            // Chaos-testing fail-point (undocumented in usage on
+            // purpose): requests whose first feature bit-equals this
+            // value panic their bank worker. Lets an external harness
+            // exercise panic recovery against the real binary.
+            "--fail-sentinel" => {
+                let v: f32 = value("--fail-sentinel")?
+                    .parse()
+                    .map_err(|e| format!("--fail-sentinel: {e}"))?;
+                args.cfg.fail_input_sentinel = Some(v);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
-    if args.cfg.banks == 0 || args.cfg.max_batch == 0 || args.cfg.queue_depth == 0 {
-        return Err("--banks, --max-batch, and --queue-depth must be positive".to_owned());
+    if args.cfg.banks == 0
+        || args.cfg.max_batch == 0
+        || args.cfg.queue_depth == 0
+        || args.cfg.max_conns == 0
+    {
+        return Err(
+            "--banks, --max-batch, --queue-depth, and --max-conns must be positive".to_owned(),
+        );
     }
     if args.image.is_some() && args.checkpoint.is_some() {
         return Err("--image and --checkpoint are mutually exclusive".to_owned());

@@ -41,6 +41,16 @@
 //! Batching never changes answers: the batch entry point
 //! (`QNetwork::forward_each`) gives every sample its own noise stream,
 //! so each response is bit-identical to running that input alone.
+//!
+//! **Failure model** (DESIGN.md §12): one misbehaving client or request
+//! must never take the service down. Frames that stall mid-read are
+//! dropped at a configurable deadline, writers that stop draining time
+//! out and are marked dead, connections beyond `max_conns` get a typed
+//! `Busy`, a panicking bank worker fails only its own batch (typed
+//! `Failed` replies, worker recovery, `serve.worker_panics` counter),
+//! and poisoned internal locks are recovered instead of cascading.
+//! Clients opt into connect/request timeouts and idempotent
+//! bounded-backoff retry via [`ClientConfig`] / [`RetryPolicy`].
 
 #![deny(missing_docs)]
 
@@ -53,7 +63,7 @@ pub mod scheduler;
 pub mod server;
 pub mod shutdown;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig, RetryPolicy};
 pub use model::ServeModel;
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use shutdown::{install_signal_handlers, ShutdownFlag};

@@ -96,6 +96,15 @@ pub struct Metrics {
     pub shed: Counter,
     /// Unparseable frames / invalid requests.
     pub protocol_errors: Counter,
+    /// Bank-worker panics caught and recovered (each one failed its
+    /// whole batch with typed `Failed` responses).
+    pub worker_panics: Counter,
+    /// Connections dropped because a frame stayed incomplete past the
+    /// configured read deadline.
+    pub conn_deadline_drops: Counter,
+    /// Connections refused with a `Busy` response at the concurrent
+    /// connection cap.
+    pub busy_rejects: Counter,
     /// Batches dispatched.
     pub batches: Counter,
     /// End-to-end request latency (admission → response ready).
@@ -121,6 +130,9 @@ impl Metrics {
             completed: Counter::new(),
             shed: Counter::new(),
             protocol_errors: Counter::new(),
+            worker_panics: Counter::new(),
+            conn_deadline_drops: Counter::new(),
+            busy_rejects: Counter::new(),
             batches: Counter::new(),
             request_latency: Histogram::new(),
             batch_latency: Histogram::new(),
@@ -152,6 +164,24 @@ impl Metrics {
             &[],
             "Unparseable frames / invalid requests",
             &m.protocol_errors,
+        );
+        r.insert_counter(
+            "imc_serve_worker_panics_total",
+            &[],
+            "Bank-worker panics caught, failed as typed responses, and recovered",
+            &m.worker_panics,
+        );
+        r.insert_counter(
+            "imc_serve_conn_deadline_drops_total",
+            &[],
+            "Connections dropped for holding a frame incomplete past the read deadline",
+            &m.conn_deadline_drops,
+        );
+        r.insert_counter(
+            "imc_serve_busy_rejects_total",
+            &[],
+            "Connections refused with Busy at the concurrent-connection cap",
+            &m.busy_rejects,
         );
         r.insert_counter(
             "imc_serve_batches_total",

@@ -75,6 +75,29 @@ pub struct ShedReply {
     pub reason: String,
 }
 
+/// Connection-level backpressure: the server is at its concurrent
+/// connection cap and refused this connection before reading any
+/// request. Sent once, then the connection is closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusyReply {
+    /// Connections currently being served.
+    pub active: usize,
+    /// The configured `max_conns` cap.
+    pub limit: usize,
+}
+
+/// Execution failure for one admitted request (e.g. the bank worker
+/// panicked on its batch). Unlike [`Response::Error`], it carries the
+/// request id so pipelined clients can correlate — and because infer
+/// ids are client-chosen and idempotent, the request is safe to retry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// What went wrong (`worker panic`, ...).
+    pub reason: String,
+}
+
 /// Latency distribution summary (microseconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
@@ -146,6 +169,10 @@ pub enum Response {
     ShuttingDown,
     /// The request could not be parsed or was otherwise invalid.
     Error(String),
+    /// The server is at its connection cap; sent before closing.
+    Busy(BusyReply),
+    /// An admitted request failed during execution (safe to retry).
+    Failed(FailedReply),
 }
 
 /// Writes one frame (length prefix + JSON payload).
@@ -270,6 +297,59 @@ mod tests {
         assert!(read_frame(&mut r).is_err());
     }
 
+    /// A reader that interleaves `ErrorKind::Interrupted` failures and
+    /// single-byte reads — the worst-case syscall schedule a signal-heavy
+    /// host can produce.
+    struct InterruptedReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        calls: usize,
+    }
+
+    impl Read for InterruptedReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 2 == 1 {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn interrupted_single_byte_reads_still_assemble_the_frame() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, "{\"Ping\":null}").unwrap();
+        let mut r = InterruptedReader {
+            data: &framed,
+            pos: 0,
+            calls: 0,
+        };
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("{\"Ping\":null}")
+        );
+        // A second read hits the interrupted-then-EOF path cleanly.
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn partial_length_prefix_then_eof_is_an_error() {
+        for cut in 1..4usize {
+            let mut framed = Vec::new();
+            write_frame(&mut framed, "x").unwrap();
+            framed.truncate(cut);
+            let mut r = &framed[..];
+            let err = read_frame(&mut r).expect_err("truncated prefix must error");
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
     #[test]
     fn requests_round_trip_through_json() {
         let reqs = [
@@ -309,6 +389,25 @@ mod tests {
                 }
             }
             other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_and_failed_round_trip_through_json() {
+        let resps = [
+            Response::Busy(BusyReply {
+                active: 128,
+                limit: 128,
+            }),
+            Response::Failed(FailedReply {
+                id: 99,
+                reason: "worker panic".to_owned(),
+            }),
+        ];
+        for resp in &resps {
+            let json = serde_json::to_string(resp).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, resp);
         }
     }
 }

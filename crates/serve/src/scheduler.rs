@@ -16,10 +16,21 @@
 //! Shutdown is graceful by construction: [`BankScheduler::shutdown`]
 //! closes the bank queues and joins the workers, and each worker drains
 //! its remaining batches before exiting — accepted work is never dropped.
+//!
+//! Workers are **panic-isolated**: each batch executes under
+//! `catch_unwind`, so a panicking executor (a malformed request tripping
+//! a model assertion, say) loses only its own batch. The worker body
+//! respawns for the next batch on the same thread, and the reply routes
+//! of the lost batch — captured before execution — are handed to the
+//! `on_panic` callback so the server can answer those requests with a
+//! typed failure instead of leaving clients hanging. Bank-queue locks
+//! recover from poisoning for the same reason the admission queue does:
+//! the guarded state is plain data with no intermediate invalid states.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use crate::batcher::Pending;
@@ -42,20 +53,25 @@ pub struct BankScheduler<R> {
     workers: Vec<JoinHandle<()>>,
 }
 
-impl<R: Send + 'static> BankScheduler<R> {
+impl<R: Clone + Send + 'static> BankScheduler<R> {
     /// Spawns `banks` worker threads. Each executed batch is handed to
-    /// `executor(bank_index, batch)`.
+    /// `executor(bank_index, batch)`. If the executor panics, the batch's
+    /// reply routes (id + reply handle, captured before execution) are
+    /// handed to `on_panic(bank_index, routes)` and the worker keeps
+    /// serving subsequent batches.
     ///
     /// # Panics
     ///
     /// Panics if `banks` is zero or a worker thread cannot be spawned.
     #[must_use]
-    pub fn new<F>(banks: usize, executor: F) -> Self
+    pub fn new<F, P>(banks: usize, executor: F, on_panic: P) -> Self
     where
         F: Fn(usize, Vec<Pending<R>>) + Send + Sync + 'static,
+        P: Fn(usize, Vec<(u64, R)>) + Send + Sync + 'static,
     {
         assert!(banks > 0, "need at least one bank");
         let executor = Arc::new(executor);
+        let on_panic = Arc::new(on_panic);
         let banks: Vec<Arc<Bank<R>>> = (0..banks)
             .map(|_| {
                 Arc::new(Bank {
@@ -74,11 +90,12 @@ impl<R: Send + 'static> BankScheduler<R> {
             .map(|(i, bank)| {
                 let bank = Arc::clone(bank);
                 let executor = Arc::clone(&executor);
+                let on_panic = Arc::clone(&on_panic);
                 std::thread::Builder::new()
                     .name(format!("imc-bank-{i}"))
                     .spawn(move || loop {
                         let batch = {
-                            let mut st = bank.state.lock().expect("bank queue poisoned");
+                            let mut st = bank.state.lock().unwrap_or_else(PoisonError::into_inner);
                             loop {
                                 if let Some(batch) = st.queue.pop_front() {
                                     break batch;
@@ -86,12 +103,22 @@ impl<R: Send + 'static> BankScheduler<R> {
                                 if st.closed {
                                     return;
                                 }
-                                st = bank.ready.wait(st).expect("bank queue poisoned");
+                                st = bank.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
                             }
                         };
+                        // Captured up front so a panicking executor can
+                        // still have its requests answered.
+                        let routes: Vec<(u64, R)> =
+                            batch.iter().map(|p| (p.id, p.reply.clone())).collect();
                         let n = batch.len();
-                        executor(i, batch);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| executor(i, batch)));
                         bank.outstanding.fetch_sub(n, Ordering::Release);
+                        if outcome.is_err() {
+                            // The worker body respawns (next loop turn);
+                            // a panic in the panic handler itself must
+                            // not kill it either.
+                            let _ = catch_unwind(AssertUnwindSafe(|| on_panic(i, routes)));
+                        }
                     })
                     .expect("spawn bank worker")
             })
@@ -120,7 +147,7 @@ impl<R: Send + 'static> BankScheduler<R> {
             .min_by_key(|(_, b)| b.outstanding.load(Ordering::Acquire))
             .expect("at least one bank");
         bank.outstanding.fetch_add(n, Ordering::AcqRel);
-        let mut st = bank.state.lock().expect("bank queue poisoned");
+        let mut st = bank.state.lock().unwrap_or_else(PoisonError::into_inner);
         assert!(!st.closed, "dispatch after shutdown");
         st.queue.push_back(batch);
         drop(st);
@@ -138,16 +165,20 @@ impl<R: Send + 'static> BankScheduler<R> {
     }
 
     /// Closes every bank queue and joins the workers; each worker drains
-    /// its queued batches before exiting.
+    /// its queued batches before exiting. A worker thread that died
+    /// anyway (catch_unwind cannot intercept an abort) is not allowed to
+    /// panic the shutdown path on top.
     pub fn shutdown(self) {
         for bank in &self.banks {
-            let mut st = bank.state.lock().expect("bank queue poisoned");
+            let mut st = bank.state.lock().unwrap_or_else(PoisonError::into_inner);
             st.closed = true;
             drop(st);
             bank.ready.notify_all();
         }
         for w in self.workers {
-            w.join().expect("bank worker panicked");
+            if w.join().is_err() {
+                eprintln!("imc-serve: a bank worker thread died; its queue was abandoned");
+            }
         }
     }
 }
@@ -173,11 +204,15 @@ mod tests {
     fn every_dispatched_request_executes_exactly_once() {
         let total = Arc::new(AtomicU64::new(0));
         let t = Arc::clone(&total);
-        let sched = BankScheduler::new(4, move |_bank, b: Vec<Pending<u64>>| {
-            for req in &b {
-                t.fetch_add(req.id, Ordering::Relaxed);
-            }
-        });
+        let sched = BankScheduler::new(
+            4,
+            move |_bank, b: Vec<Pending<u64>>| {
+                for req in &b {
+                    t.fetch_add(req.id, Ordering::Relaxed);
+                }
+            },
+            |_bank, _routes| {},
+        );
         let mut expect = 0u64;
         for i in 0..50u64 {
             let ids = [i * 2 + 1, i * 2 + 2];
@@ -194,13 +229,17 @@ mod tests {
         // are observable.
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let g = Arc::clone(&gate);
-        let sched = BankScheduler::new(2, move |_bank, _b: Vec<Pending<u64>>| {
-            let (lock, cv) = &*g;
-            let mut open = lock.lock().unwrap();
-            while !*open {
-                open = cv.wait(open).unwrap();
-            }
-        });
+        let sched = BankScheduler::new(
+            2,
+            move |_bank, _b: Vec<Pending<u64>>| {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            },
+            |_bank, _routes| {},
+        );
         // First batch (3 requests) → bank 0; second (1) → bank 1;
         // third (1) must also go to bank 1 (1 < 3 outstanding).
         assert_eq!(sched.dispatch(batch(&[1, 2, 3])), 0);
@@ -217,14 +256,67 @@ mod tests {
     fn shutdown_drains_queued_batches() {
         let done = Arc::new(AtomicU64::new(0));
         let d = Arc::clone(&done);
-        let sched = BankScheduler::new(1, move |_bank, b: Vec<Pending<u64>>| {
-            std::thread::sleep(Duration::from_millis(5));
-            d.fetch_add(b.len() as u64, Ordering::Relaxed);
-        });
+        let sched = BankScheduler::new(
+            1,
+            move |_bank, b: Vec<Pending<u64>>| {
+                std::thread::sleep(Duration::from_millis(5));
+                d.fetch_add(b.len() as u64, Ordering::Relaxed);
+            },
+            |_bank, _routes| {},
+        );
         for _ in 0..10 {
             sched.dispatch(batch(&[1, 2]));
         }
         sched.shutdown();
         assert_eq!(done.load(Ordering::Relaxed), 20, "no accepted work dropped");
+    }
+
+    #[test]
+    fn panicking_batch_is_isolated_and_its_routes_reported() {
+        let executed = Arc::new(AtomicU64::new(0));
+        let failed_ids = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let e = Arc::clone(&executed);
+        let f = Arc::clone(&failed_ids);
+        let sched = BankScheduler::new(
+            1,
+            move |_bank, b: Vec<Pending<u64>>| {
+                if b.iter().any(|p| p.id == 666) {
+                    panic!("injected executor fault");
+                }
+                e.fetch_add(b.len() as u64, Ordering::Relaxed);
+            },
+            move |_bank, routes| {
+                f.lock().unwrap().extend(routes.iter().map(|(id, _)| *id));
+            },
+        );
+        sched.dispatch(batch(&[1, 2]));
+        sched.dispatch(batch(&[666, 3])); // whole batch lost to the panic
+        sched.dispatch(batch(&[4, 5])); // the same worker keeps going
+        sched.shutdown();
+        assert_eq!(executed.load(Ordering::Relaxed), 4);
+        assert_eq!(&*failed_ids.lock().unwrap(), &[666, 3]);
+    }
+
+    #[test]
+    fn outstanding_count_drains_even_through_panics() {
+        let sched = BankScheduler::new(
+            2,
+            |_bank, _b: Vec<Pending<u64>>| panic!("always fails"),
+            |_bank, _routes| {},
+        );
+        for _ in 0..8 {
+            sched.dispatch(batch(&[7, 8, 9]));
+        }
+        // Panicked batches must still release their outstanding counts,
+        // or least-loaded dispatch would permanently shun healthy banks.
+        let t0 = Instant::now();
+        while sched.in_flight() > 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "outstanding count leaked on panic"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.shutdown();
     }
 }

@@ -25,6 +25,7 @@
 //! accepted work is never dropped.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,7 +35,10 @@ use neural::tensor::Tensor;
 use crate::batcher::{AdmissionQueue, Pending};
 use crate::metrics::Metrics;
 use crate::model::ServeModel;
-use crate::protocol::{write_response, InferReply, Request, Response, ShedReply, MAX_FRAME_BYTES};
+use crate::protocol::{
+    write_response, BusyReply, FailedReply, InferReply, Request, Response, ShedReply,
+    MAX_FRAME_BYTES,
+};
 use crate::scheduler::BankScheduler;
 use crate::shutdown::ShutdownFlag;
 
@@ -52,9 +56,30 @@ pub struct ServeConfig {
     pub max_wait: Duration,
     /// Admission queue capacity; requests beyond it are shed.
     pub queue_depth: usize,
+    /// Once the first byte of a frame has arrived, the whole frame must
+    /// complete within this window or the connection is dropped (and
+    /// counted in `serve.conn_deadline_drops`). Without it, a client
+    /// that sends one byte of a length prefix parks an `imc-conn`
+    /// thread forever.
+    pub frame_deadline: Duration,
+    /// Write timeout on each connection's shared writer, so a client
+    /// that stops draining its socket cannot head-of-line block a bank
+    /// worker (and with it a whole batch) behind the connection mutex.
+    /// The first timed-out write marks the connection dead; later
+    /// responses to it are skipped instead of blocking again.
+    pub write_timeout: Duration,
+    /// Cap on concurrently served connections. Connections beyond it
+    /// receive a typed [`Response::Busy`] and are closed immediately
+    /// (counted in `serve.busy_rejects`).
+    pub max_conns: usize,
     /// Artificial per-batch service delay. Zero in production; tests use
     /// it to force queue buildup deterministically.
     pub service_delay: Duration,
+    /// Chaos fail-point: when set, any admitted request whose first
+    /// input feature equals this sentinel makes the executing bank
+    /// worker panic. Used by the chaos harness to prove panic isolation
+    /// and recovery end to end; `None` (the default) in production.
+    pub fail_input_sentinel: Option<f32>,
 }
 
 impl Default for ServeConfig {
@@ -64,21 +89,48 @@ impl Default for ServeConfig {
             max_batch: 64,
             max_wait: Duration::from_millis(2),
             queue_depth: 1024,
+            frame_deadline: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
+            max_conns: 1024,
             service_delay: Duration::ZERO,
+            fail_input_sentinel: None,
         }
     }
 }
 
+/// A connection's write half plus its liveness state. Once a write
+/// fails or times out mid-frame the stream's framing is unrecoverable,
+/// so the writer is marked dead and every later response to this
+/// connection is dropped without touching the socket — one stalled
+/// client costs each bank worker at most one write timeout.
+#[derive(Debug)]
+pub(crate) struct ConnWriter {
+    stream: TcpStream,
+    dead: bool,
+}
+
 /// A live connection's write half, shared by its reader thread and every
 /// bank worker holding one of its pending requests.
-type Conn = Arc<Mutex<TcpStream>>;
+type Conn = Arc<Mutex<ConnWriter>>;
 
 /// Writes a response on a connection; I/O errors are counted, not fatal
-/// (the client may have gone away — the server must keep running).
+/// (the client may have gone away — the server must keep running). A
+/// poisoned writer mutex is recovered, not propagated: the guarded
+/// stream is only ever written through `write_response`, which never
+/// panics, so the framing invariant cannot have been broken by whoever
+/// poisoned it.
 fn send(conn: &Conn, resp: &Response, metrics: &Metrics) {
-    let mut stream = conn.lock().expect("connection writer poisoned");
-    if write_response(&mut *stream, resp).is_err() {
+    let mut w = conn
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if w.dead {
+        return;
+    }
+    if write_response(&mut w.stream, resp).is_err() {
         metrics.protocol_errors.inc();
+        w.dead = true;
+        // Wake the connection's reader thread too (it sees EOF).
+        w.stream.shutdown(std::net::Shutdown::Both).ok();
     }
 }
 
@@ -126,14 +178,23 @@ impl ServerHandle {
     }
 
     /// Requests the server stop and blocks until every accepted request
-    /// has been answered and all service threads have exited.
+    /// has been answered and all service threads have exited. Service
+    /// threads that died of a panic are reported, not re-panicked — the
+    /// caller still gets its drain and final metrics.
     pub fn join(mut self) {
         self.shutdown.trigger();
         if let Some(t) = self.accept_thread.take() {
-            t.join().expect("accept thread panicked");
+            if t.join().is_err() {
+                eprintln!("imc-serve: accept thread panicked");
+                // The batcher only exits once the queue closes; do it on
+                // the accept thread's behalf so join still terminates.
+                self.queue.close();
+            }
         }
         if let Some(t) = self.batcher_thread.take() {
-            t.join().expect("batcher thread panicked");
+            if t.join().is_err() {
+                eprintln!("imc-serve: batcher thread panicked");
+            }
         }
     }
 }
@@ -170,10 +231,28 @@ pub fn serve<A: ToSocketAddrs>(
     let scheduler = {
         let model = Arc::clone(&model);
         let metrics = Arc::clone(&metrics);
+        let panic_metrics = Arc::clone(&metrics);
         let delay = cfg.service_delay;
-        BankScheduler::new(cfg.banks, move |bank, batch: Vec<Pending<Conn>>| {
-            execute_batch(bank, batch, &model, &metrics, delay);
-        })
+        let sentinel = cfg.fail_input_sentinel;
+        BankScheduler::new(
+            cfg.banks,
+            move |bank, batch: Vec<Pending<Conn>>| {
+                execute_batch(bank, batch, &model, &metrics, delay, sentinel);
+            },
+            move |_bank, routes: Vec<(u64, Conn)>| {
+                // A worker panicked away its whole batch: count it and
+                // answer every affected request with a typed, retryable
+                // failure instead of leaving the clients hanging.
+                panic_metrics.worker_panics.inc();
+                for (id, conn) in routes {
+                    let resp = Response::Failed(FailedReply {
+                        id,
+                        reason: "worker panic".to_owned(),
+                    });
+                    send(&conn, &resp, &panic_metrics);
+                }
+            },
+        )
     };
 
     // --- batcher thread ---------------------------------------------------
@@ -206,10 +285,11 @@ pub fn serve<A: ToSocketAddrs>(
         let queue = Arc::clone(&queue);
         let metrics = Arc::clone(&metrics);
         let model = Arc::clone(&model);
+        let cfg = cfg.clone();
         std::thread::Builder::new()
             .name("imc-accept".into())
             .spawn(move || {
-                accept_loop(&listener, &shutdown, &queue, &metrics, &model);
+                accept_loop(&listener, &shutdown, &queue, &metrics, &model, &cfg);
                 // Stop admitting; the batcher drains and exits.
                 queue.close();
             })
@@ -230,25 +310,59 @@ pub fn serve<A: ToSocketAddrs>(
 /// latency without a self-pipe.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
+/// Decrements the live-connection count when a connection thread exits,
+/// however it exits (including by panic — this is a `Drop` guard).
+struct ConnSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     shutdown: &ShutdownFlag,
     queue: &Arc<AdmissionQueue<Conn>>,
     metrics: &Arc<Metrics>,
     model: &Arc<ServeModel>,
+    cfg: &ServeConfig,
 ) {
+    let active = Arc::new(AtomicUsize::new(0));
     while !shutdown.is_set() {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
                 stream.set_nodelay(true).ok();
+                // Connection-level backpressure: at the cap, answer with
+                // a typed Busy and close, instead of accepting a reader
+                // thread we cannot afford. The write gets a short
+                // timeout so a malicious connector cannot stall the
+                // accept loop itself.
+                let now_active = active.load(Ordering::Acquire);
+                if now_active >= cfg.max_conns {
+                    metrics.busy_rejects.inc();
+                    stream
+                        .set_write_timeout(Some(Duration::from_millis(250)))
+                        .ok();
+                    let busy = Response::Busy(BusyReply {
+                        active: now_active,
+                        limit: cfg.max_conns,
+                    });
+                    let _ = write_response(&mut stream, &busy);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::AcqRel);
+                let slot = ConnSlot(Arc::clone(&active));
                 let queue = Arc::clone(queue);
                 let metrics = Arc::clone(metrics);
                 let model = Arc::clone(model);
                 let shutdown = shutdown.clone();
+                let cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name("imc-conn".into())
                     .spawn(move || {
-                        connection_loop(stream, &queue, &metrics, &model, &shutdown);
+                        let _slot = slot;
+                        connection_loop(stream, &queue, &metrics, &model, &shutdown, &cfg);
                     })
                     .expect("spawn connection thread");
             }
@@ -262,15 +376,20 @@ fn accept_loop(
 
 /// Reads `buf` fully from a timeout-bearing stream. Timeouts are benign
 /// *between* frames (`allow_idle` and nothing read yet → `Ok(false)`);
-/// once any byte of the current unit has arrived, a timeout just means
-/// "keep waiting" — resuming from scratch would desync the framing.
-/// Returns `Ok(true)` when filled, `Ok(false)` on clean idle EOF/
-/// shutdown before the first byte.
+/// once any byte of the current frame has arrived, the shared
+/// `frame_deadline` clock starts (set here on the 0→1 byte transition)
+/// and a stream timeout only means "keep waiting" until that deadline —
+/// resuming from scratch would desync the framing, so a frame that
+/// cannot complete in time fails with `ErrorKind::TimedOut` and the
+/// connection is dropped. Returns `Ok(true)` when filled, `Ok(false)`
+/// on clean idle EOF/shutdown before the first byte.
 fn read_full(
     reader: &mut TcpStream,
     buf: &mut [u8],
     allow_idle: bool,
     shutdown: &ShutdownFlag,
+    frame_deadline: &mut Option<Instant>,
+    deadline_after: Duration,
 ) -> std::io::Result<bool> {
     use std::io::Read;
     let mut filled = 0usize;
@@ -283,7 +402,15 @@ fn read_full(
                     "EOF inside a frame",
                 ))
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                if frame_deadline.is_none() {
+                    // First byte of this frame: the whole frame now has
+                    // `deadline_after` to finish. Saturate huge values
+                    // to "no deadline" instead of panicking.
+                    *frame_deadline = Instant::now().checked_add(deadline_after);
+                }
+                filled += n;
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -293,8 +420,14 @@ fn read_full(
                 }
                 if shutdown.is_set() {
                     return Err(std::io::Error::new(
-                        std::io::ErrorKind::TimedOut,
+                        std::io::ErrorKind::ConnectionAborted,
                         "shutdown during a partial frame",
+                    ));
+                }
+                if frame_deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "frame incomplete past the read deadline",
                     ));
                 }
             }
@@ -306,13 +439,26 @@ fn read_full(
 }
 
 /// Reads one frame, waking periodically (via the stream's read timeout)
-/// to notice shutdown on idle connections. `Ok(None)` = clean end.
+/// to notice shutdown on idle connections and to police the per-frame
+/// read deadline. `Ok(None)` = clean end; `ErrorKind::TimedOut` = the
+/// deadline fired mid-frame.
 fn read_frame_or_shutdown(
     reader: &mut TcpStream,
     shutdown: &ShutdownFlag,
+    deadline_after: Duration,
 ) -> std::io::Result<Option<String>> {
+    // One clock for the whole frame: starts at the first prefix byte,
+    // covers the payload too.
+    let mut frame_deadline: Option<Instant> = None;
     let mut len_buf = [0u8; 4];
-    if !read_full(reader, &mut len_buf, true, shutdown)? {
+    if !read_full(
+        reader,
+        &mut len_buf,
+        true,
+        shutdown,
+        &mut frame_deadline,
+        deadline_after,
+    )? {
         return Ok(None);
     }
     let len = u32::from_be_bytes(len_buf);
@@ -323,7 +469,14 @@ fn read_frame_or_shutdown(
         ));
     }
     let mut payload = vec![0u8; len as usize];
-    read_full(reader, &mut payload, false, shutdown)?;
+    read_full(
+        reader,
+        &mut payload,
+        false,
+        shutdown,
+        &mut frame_deadline,
+        deadline_after,
+    )?;
     String::from_utf8(payload).map(Some).map_err(|_| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -332,29 +485,47 @@ fn read_frame_or_shutdown(
     })
 }
 
-/// Reads frames off one connection until EOF, error, or shutdown.
+/// Reads frames off one connection until EOF, error, shutdown, or a
+/// frame-deadline drop.
 fn connection_loop(
     stream: TcpStream,
     queue: &AdmissionQueue<Conn>,
     metrics: &Metrics,
     model: &ServeModel,
     shutdown: &ShutdownFlag,
+    cfg: &ServeConfig,
 ) {
-    let writer: Conn = Arc::new(Mutex::new(match stream.try_clone() {
+    let write_half = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
+    };
+    // Bounded writes: a non-draining client errors out instead of
+    // holding the connection mutex (and a bank worker) indefinitely.
+    write_half
+        .set_write_timeout(duration_opt(cfg.write_timeout))
+        .ok();
+    let writer: Conn = Arc::new(Mutex::new(ConnWriter {
+        stream: write_half,
+        dead: false,
     }));
     // A read timeout lets the reader notice shutdown even on an idle
-    // connection (the client keeping it open is not a liveness hazard).
+    // connection (the client keeping it open is not a liveness hazard)
+    // and bounds how stale a frame-deadline check can be.
     let mut reader = stream;
     reader
         .set_read_timeout(Some(Duration::from_millis(200)))
         .ok();
 
     loop {
-        let frame = match read_frame_or_shutdown(&mut reader, shutdown) {
+        let frame = match read_frame_or_shutdown(&mut reader, shutdown, cfg.frame_deadline) {
             Ok(Some(json)) => json,
             Ok(None) => return, // clean EOF or idle shutdown
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                // Half a frame held past the deadline: drop the
+                // connection so its thread is reclaimed.
+                metrics.conn_deadline_drops.inc();
+                return;
+            }
             Err(_) => {
                 metrics.protocol_errors.inc();
                 return;
@@ -392,6 +563,24 @@ fn connection_loop(
                     );
                     continue;
                 }
+                // The executor's activation quantizer asserts inputs are
+                // non-negative; a NaN or negative feature would panic a
+                // bank worker. Reject exactly those at admission —
+                // catch_unwind downstream stays as defense in depth,
+                // not the first line.
+                if req.input.iter().any(|v| v.is_nan() || *v < 0.0) {
+                    metrics.protocol_errors.inc();
+                    send(
+                        &writer,
+                        &Response::Error(format!(
+                            "input for id {} has NaN or negative features \
+                             (expected values in [0, 1])",
+                            req.id
+                        )),
+                        metrics,
+                    );
+                    continue;
+                }
                 let pending = Pending {
                     id: req.id,
                     input: req.input,
@@ -419,6 +608,38 @@ fn connection_loop(
     }
 }
 
+/// Zero means "no timeout" to the socket API via `None` (passing a zero
+/// `Duration` to `set_write_timeout` is an error, not "disabled").
+fn duration_opt(d: Duration) -> Option<Duration> {
+    (!d.is_zero()).then_some(d)
+}
+
+/// Argmax under a total order that ranks every NaN below every non-NaN
+/// (and all NaNs equal), so non-finite logits — which the analog model
+/// can emit for extreme inputs — pick a deterministic class instead of
+/// panicking the bank worker (`partial_cmp(..).expect("finite logits")`
+/// was a remote kill). `f32::total_cmp` orders NaNs by sign bit, which
+/// would rank -NaN below -inf but +NaN above +inf; this explicit
+/// NaN-is-lowest rule keeps "any real logit beats a NaN". Ties keep the
+/// **last** maximal index, matching the `Iterator::max_by` call this
+/// replaces, so classes on finite rows are bit-for-bit unchanged.
+#[must_use]
+pub fn argmax_total(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (j, v) in row.iter().enumerate().skip(1) {
+        let cur = row[best];
+        let better = if v.is_nan() {
+            false // NaN never beats anything (all-NaN rows keep index 0)
+        } else {
+            cur.is_nan() || *v >= cur // any non-NaN beats NaN; ties → last
+        };
+        if better {
+            best = j;
+        }
+    }
+    best
+}
+
 /// Runs one batch on a bank: assemble the input tensor, execute with
 /// per-sample noise isolation, write each response, record latencies.
 fn execute_batch(
@@ -427,6 +648,7 @@ fn execute_batch(
     model: &ServeModel,
     metrics: &Metrics,
     service_delay: Duration,
+    fail_input_sentinel: Option<f32>,
 ) {
     let span = imc_obs::span!("serve.batch");
     let n = batch.len();
@@ -435,6 +657,16 @@ fn execute_batch(
     let mut data = Vec::with_capacity(n * features);
     for req in &batch {
         data.extend_from_slice(&req.input);
+    }
+    if let Some(sentinel) = fail_input_sentinel {
+        // Chaos fail-point: prove panic isolation with a real unwind
+        // through the real executor path.
+        assert!(
+            !batch
+                .iter()
+                .any(|req| req.input.first().map(|v| v.to_bits()) == Some(sentinel.to_bits())),
+            "injected chaos fault (fail_input_sentinel hit on bank {bank})"
+        );
     }
     let x = Tensor::from_vec(&[n, features], data);
 
@@ -450,11 +682,7 @@ fn execute_batch(
 
     for (i, req) in batch.iter().enumerate() {
         let row = &logits.data()[i * classes..(i + 1) * classes];
-        let class = row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-            .map_or(0, |(j, _)| j);
+        let class = argmax_total(row);
         let queue_us = t0.duration_since(req.enqueued).as_micros() as u64;
         let resp = Response::Output(InferReply {
             id: req.id,
@@ -465,11 +693,64 @@ fn execute_batch(
             queue_us,
             service_us,
         });
-        send(&req.reply, &resp, metrics);
+        // Count completion before the reply goes out: a client that
+        // pipelines `Stats` right behind its answered `Infer` must see
+        // the request already counted.
         metrics
             .request_latency
             .record(req.enqueued.elapsed().as_micros() as u64);
         metrics.completed.inc();
+        send(&req.reply, &resp, metrics);
     }
     drop(span);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_total_matches_partial_cmp_on_finite_rows() {
+        let rows: [&[f32]; 4] = [
+            &[0.0, 1.0, -2.0],
+            &[-5.0, -4.5, -9.0, -4.5],
+            &[3.25],
+            &[f32::MIN, f32::MAX, 0.0],
+        ];
+        for row in rows {
+            let reference = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map_or(0, |(j, _)| j);
+            assert_eq!(argmax_total(row), reference, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn argmax_total_treats_nan_as_lowest() {
+        assert_eq!(argmax_total(&[f32::NAN, 0.5, 0.1]), 1);
+        assert_eq!(argmax_total(&[0.1, f32::NAN, 0.5]), 2);
+        // Any real value beats NaN, even -inf and the most negative finite.
+        assert_eq!(argmax_total(&[f32::NAN, f32::NEG_INFINITY]), 1);
+        assert_eq!(argmax_total(&[-f32::NAN, f32::MIN]), 1);
+        // All-NaN rows pick a deterministic class (the first).
+        assert_eq!(argmax_total(&[f32::NAN, f32::NAN, f32::NAN]), 0);
+        // +inf wins over everything; ties keep the **last** index,
+        // matching `max_by` semantics on finite rows.
+        assert_eq!(argmax_total(&[f32::INFINITY, f32::NAN, f32::INFINITY]), 2);
+        assert!(!std::panic::catch_unwind(|| {
+            argmax_total(&[f32::NAN, 1.0, f32::NAN, f32::INFINITY])
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn zero_write_timeout_means_unbounded_not_error() {
+        assert_eq!(duration_opt(Duration::ZERO), None);
+        assert_eq!(
+            duration_opt(Duration::from_secs(5)),
+            Some(Duration::from_secs(5))
+        );
+    }
 }

@@ -44,6 +44,7 @@ fn generate_work() {
         max_wait: Duration::from_millis(2),
         queue_depth: 64,
         service_delay: Duration::ZERO,
+        ..ServeConfig::default()
     };
     let handle = serve("127.0.0.1:0", model, &cfg).expect("bind serve");
     let mut client = Client::connect(handle.addr()).expect("connect serve");

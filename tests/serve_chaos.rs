@@ -1,0 +1,421 @@
+//! Chaos tests for `imc-serve`: every fault class the hardening layer
+//! claims to survive, exercised against a real server — misbehaving
+//! bytes through the [`imc_bench::chaos`] proxy, raw-socket protocol
+//! abuse, forced worker panics through the config fail-point, and the
+//! connection cap. The invariant throughout: the server keeps serving,
+//! and requests not touched by a fault keep their bit-exact answers.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imc_bench::chaos::{ChaosProxy, Fault};
+use imc_serve::model::{ServeModel, DEFAULT_SEED, MNIST_FEATURES};
+use imc_serve::protocol::{write_request, Request, Response};
+use imc_serve::{serve, Client, ServeConfig, ServerHandle};
+use neural::imc_exec::ImcDesign;
+
+fn test_input(k: usize) -> Vec<f32> {
+    (0..MNIST_FEATURES)
+        .map(|i| ((i * (k + 3)) % 23) as f32 / 23.0)
+        .collect()
+}
+
+/// Joins the handle on a helper thread so a drain bug fails the test
+/// instead of hanging the harness forever.
+fn join_with_deadline(handle: ServerHandle) {
+    let j = std::thread::spawn(move || handle.join());
+    let t0 = Instant::now();
+    while !j.is_finished() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "server join did not complete within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    j.join().expect("join thread panicked");
+}
+
+/// Polls `cond` until it holds or `within` elapses.
+fn eventually(within: Duration, what: &str, mut cond: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() < within, "timed out waiting for: {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn assert_bit_exact(model: &ServeModel, r: &imc_serve::protocol::InferReply, k: usize) {
+    let direct = model.infer_one(&test_input(k));
+    assert_eq!(r.logits.len(), direct.len());
+    for (a, b) in r.logits.iter().zip(&direct) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "request {} diverged from direct execution",
+            r.id
+        );
+    }
+}
+
+#[test]
+fn corrupted_frames_leave_clean_connections_bit_exact() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &ServeConfig::default()).expect("bind");
+    // Connection 0 through the proxy is clean; connection 1 gets a bit
+    // flipped inside its first frame's JSON payload (stream byte 10 =
+    // payload byte 6 — the framing prefix stays intact, so the server
+    // sees a well-framed but unparseable request).
+    let proxy = ChaosProxy::start(handle.addr(), |conn| {
+        if conn == 0 {
+            Fault::None
+        } else {
+            Fault::CorruptAfter(10)
+        }
+    })
+    .expect("start proxy");
+    let proxy_addr = proxy.addr().to_string();
+
+    let mut clean = Client::connect(proxy_addr.as_str()).expect("clean connect");
+    clean.ping().expect("clean ping"); // pin connection index 0
+    let mut corrupt = Client::connect(proxy_addr.as_str()).expect("corrupt connect");
+
+    // The corrupted request comes back as a typed Error — not a hang,
+    // not a dead server — and the connection's framing survives.
+    match corrupt.infer(500, test_input(0)).expect("corrupt infer") {
+        Response::Error(_) => {}
+        other => panic!("expected Error for the corrupted frame, got {other:?}"),
+    }
+
+    // Clean traffic before, during, and after stays bit-exact.
+    for k in 0..6usize {
+        match clean.infer(k as u64, test_input(k)).expect("clean infer") {
+            Response::Output(r) => assert_bit_exact(&model, &r, k),
+            other => panic!("expected Output, got {other:?}"),
+        }
+    }
+    // The corrupt fault only fires once (byte 10 is long past); the same
+    // connection works again afterwards — the server never punished it
+    // beyond the one Error.
+    match corrupt.infer(501, test_input(1)).expect("later infer") {
+        Response::Output(r) => assert_bit_exact(&model, &r, 1),
+        other => panic!("expected Output, got {other:?}"),
+    }
+    assert!(handle.metrics().protocol_errors.get() >= 1);
+
+    drop(proxy);
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn client_vanishing_mid_frame_is_cleaned_up() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &ServeConfig::default()).expect("bind");
+    let metrics = handle.metrics_handle();
+
+    // Claim a 100-byte frame, deliver 10 bytes, vanish.
+    {
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        s.write_all(&100u32.to_be_bytes()).expect("prefix");
+        s.write_all(&[0x7B; 10]).expect("partial payload");
+    } // dropped: the server reads EOF inside the frame
+    eventually(Duration::from_secs(5), "mid-frame EOF counted", || {
+        metrics.protocol_errors.get() >= 1
+    });
+
+    // Nobody else noticed.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    match client.infer(1, test_input(2)).expect("infer") {
+        Response::Output(r) => assert_bit_exact(&model, &r, 2),
+        other => panic!("expected Output, got {other:?}"),
+    }
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn forced_worker_panic_returns_typed_failed_and_recovers() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let sentinel = 7.5f32;
+    let cfg = ServeConfig {
+        banks: 1, // one worker: recovery must happen in place
+        fail_input_sentinel: Some(sentinel),
+        ..ServeConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let mut poisoned = test_input(0);
+    poisoned[0] = sentinel;
+
+    // The panicking batch comes back as a typed Failed, not a hang.
+    match client.infer(66, poisoned.clone()).expect("infer") {
+        Response::Failed(f) => {
+            assert_eq!(f.id, 66);
+            assert!(f.reason.contains("panic"), "reason: {}", f.reason);
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(handle.metrics().worker_panics.get(), 1);
+
+    // The sole bank worker survived and still answers bit-exactly.
+    match client.infer(67, test_input(3)).expect("infer") {
+        Response::Output(r) => assert_bit_exact(&model, &r, 3),
+        other => panic!("expected Output, got {other:?}"),
+    }
+
+    // A retrying client sees the deterministic failure on every attempt
+    // and surfaces the final typed Failed (each attempt = one panic).
+    let policy = imc_serve::RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(10),
+        jitter_seed: 9,
+    };
+    match client.infer_retry(68, &poisoned, &policy).expect("retry") {
+        Response::Failed(f) => assert_eq!(f.id, 68),
+        other => panic!("expected Failed after retries, got {other:?}"),
+    }
+    assert_eq!(handle.metrics().worker_panics.get(), 3);
+
+    // Still healthy after three recoveries.
+    client.ping().expect("ping after panics");
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn stalled_half_frame_is_dropped_at_the_deadline_without_collateral() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let cfg = ServeConfig {
+        frame_deadline: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind");
+    let metrics = handle.metrics_handle();
+
+    // Two bytes of a length prefix, then silence with the socket open —
+    // the attack that used to park an imc-conn thread forever.
+    let mut stalled = TcpStream::connect(handle.addr()).expect("connect");
+    stalled.write_all(&[0x00, 0x00]).expect("half a prefix");
+
+    // Healthy traffic flows while the stalled connection ages out.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for k in 0..4usize {
+        match client.infer(k as u64, test_input(k)).expect("infer") {
+            Response::Output(r) => assert_bit_exact(&model, &r, k),
+            other => panic!("expected Output, got {other:?}"),
+        }
+    }
+
+    eventually(Duration::from_secs(5), "deadline drop counted", || {
+        metrics.conn_deadline_drops.get() >= 1
+    });
+    // The server actually closed the stalled socket, reclaiming its
+    // thread: the next read sees EOF (or a reset), never more data.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set timeout");
+    let mut buf = [0u8; 16];
+    match stalled.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("stalled connection unexpectedly received {n} bytes"),
+    }
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn slow_writer_finishing_under_the_deadline_is_served() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let cfg = ServeConfig {
+        frame_deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind");
+
+    // A Ping frame trickled out a few bytes at a time: slow, but always
+    // inside the deadline — the server must wait, not drop.
+    let mut frame = Vec::new();
+    write_request(&mut frame, &Request::Ping).expect("encode ping");
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    for chunk in frame.chunks(3) {
+        s.write_all(chunk).expect("trickle");
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    match imc_serve::protocol::read_response(&mut s).expect("read") {
+        Some(Response::Pong) => {}
+        other => panic!("expected Pong, got {other:?}"),
+    }
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_promptly() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    // Default 10s frame deadline: the rejection must NOT wait for it —
+    // an oversized claim is detectable the moment the prefix lands.
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &ServeConfig::default()).expect("bind");
+    let metrics = handle.metrics_handle();
+
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.write_all(&u32::MAX.to_be_bytes()).expect("huge prefix");
+    let t0 = Instant::now();
+    s.set_read_timeout(Some(Duration::from_secs(8))).ok();
+    let mut buf = [0u8; 16];
+    match s.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("expected the connection closed, got {n} bytes"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "oversized prefix should be rejected immediately, waited {:?}",
+        t0.elapsed()
+    );
+    eventually(Duration::from_secs(5), "oversize counted", || {
+        metrics.protocol_errors.get() >= 1
+    });
+
+    // The listener is unaffected.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.ping().expect("ping");
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn connection_cap_answers_busy_and_frees_slots() {
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let cfg = ServeConfig {
+        max_conns: 1,
+        ..ServeConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind");
+    let metrics = handle.metrics_handle();
+
+    let mut first = Client::connect(handle.addr()).expect("first connect");
+    first.ping().expect("first ping"); // the slot is definitely taken
+
+    // The second connection gets a typed Busy, unprompted, and close.
+    let mut second = Client::connect(handle.addr()).expect("second connect");
+    match second.recv().expect("recv busy") {
+        Some(Response::Busy(b)) => {
+            assert_eq!(b.limit, 1);
+            assert!(b.active >= 1);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert!(metrics.busy_rejects.get() >= 1);
+
+    // Dropping the first connection frees the slot (eventually — the
+    // conn thread must notice EOF), after which new clients are served.
+    drop(first);
+    eventually(
+        Duration::from_secs(5),
+        "slot freed for a new client",
+        || Client::connect(handle.addr()).is_ok_and(|mut c| c.ping().is_ok()),
+    );
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn seeded_chaos_mix_preserves_bit_exactness_for_untouched_requests() {
+    // The loadgen-style blend: several proxied connections, some faulted
+    // by the seeded mix, against a server with a short frame deadline.
+    // Every Output that does come back must match direct execution.
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::CurFe, DEFAULT_SEED));
+    let cfg = ServeConfig {
+        frame_deadline: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind");
+    let proxy =
+        ChaosProxy::start(handle.addr(), |conn| Fault::seeded_mix(0xDEAD, conn)).expect("proxy");
+    let proxy_addr = proxy.addr().to_string();
+
+    let mut outputs = 0usize;
+    for conn in 0..6usize {
+        let Ok(mut client) = Client::connect(proxy_addr.as_str()) else {
+            continue; // a faulted connection may die at any point
+        };
+        for k in 0..4usize {
+            let id = (conn * 10 + k) as u64;
+            // Requests through a faulted connection may error out or
+            // never come back — but they must never come back *wrong*.
+            let mut sock_dead = false;
+            match client.infer(id, test_input(k)) {
+                Ok(Response::Output(r)) => {
+                    assert_bit_exact(&model, &r, k);
+                    outputs += 1;
+                }
+                Ok(Response::Error(_) | Response::Shed(_) | Response::Failed(_)) => {}
+                Ok(other) => panic!("unexpected response {other:?}"),
+                Err(_) => sock_dead = true,
+            }
+            if sock_dead {
+                break;
+            }
+        }
+    }
+    assert!(
+        outputs >= 4,
+        "the seeded mix keeps clean connections; got only {outputs} outputs"
+    );
+
+    // After the storm: direct traffic is untouched.
+    let mut direct = Client::connect(handle.addr()).expect("connect");
+    match direct.infer(999, test_input(5)).expect("infer") {
+        Response::Output(r) => assert_bit_exact(&model, &r, 5),
+        other => panic!("expected Output, got {other:?}"),
+    }
+
+    drop(proxy);
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn resilience_counters_are_exported_over_http() {
+    // Starting a server registers the counter families; the obs HTTP
+    // endpoint must then expose all three resilience families to a
+    // Prometheus-style scrape.
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let handle = serve("127.0.0.1:0", model, &ServeConfig::default()).expect("bind");
+    let obs = imc_obs::serve_http("127.0.0.1:0").expect("bind obs");
+
+    let mut stream = TcpStream::connect(obs.addr()).expect("connect obs");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {}\r\n\r\n",
+        obs.addr()
+    )
+    .expect("write request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read scrape");
+
+    for family in [
+        "imc_serve_worker_panics_total",
+        "imc_serve_conn_deadline_drops_total",
+        "imc_serve_busy_rejects_total",
+    ] {
+        assert!(body.contains(family), "scrape is missing {family}");
+    }
+
+    obs.stop();
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}

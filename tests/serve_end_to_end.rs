@@ -42,6 +42,7 @@ fn batched_responses_are_bit_identical_to_direct_execution() {
         max_wait: Duration::from_millis(5),
         queue_depth: 64,
         service_delay: Duration::ZERO,
+        ..ServeConfig::default()
     };
     let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind ephemeral port");
     let mut client = Client::connect(handle.addr()).expect("connect");
@@ -118,6 +119,7 @@ fn queue_overflow_sheds_explicitly_and_answers_every_request() {
         max_wait: Duration::from_millis(500),
         queue_depth: 4,
         service_delay: Duration::ZERO,
+        ..ServeConfig::default()
     };
     let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind ephemeral port");
     let mut client = Client::connect(handle.addr()).expect("connect");
@@ -160,6 +162,82 @@ fn queue_overflow_sheds_explicitly_and_answers_every_request() {
     let stats = client.stats().expect("stats");
     assert_eq!(stats.shed, sheds as u64);
     assert_eq!(stats.completed, outputs as u64);
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn non_finite_logits_classify_instead_of_killing_the_worker() {
+    // Huge-but-finite positive features pass admission validation (they
+    // are valid `f32`s ≥ 0) yet overflow the analog dequantization into
+    // inf/NaN logits. The old response path ranked classes with
+    // `partial_cmp(..).expect("finite logits")`, so one such request
+    // panicked a bank worker; now `argmax_total` ranks NaN below every
+    // real logit and the request gets an ordinary bit-exact answer.
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let cfg = ServeConfig::default();
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let hot = vec![3.0e38f32; MNIST_FEATURES];
+    let direct = model.infer_one(&hot);
+    assert!(
+        direct.iter().any(|v| !v.is_finite()),
+        "test input must actually drive the logits non-finite, got {direct:?}"
+    );
+
+    match client.infer(99, hot.clone()).expect("infer") {
+        Response::Output(r) => {
+            // JSON has no inf/NaN literal: non-finite logits cross the
+            // wire as null and arrive as NaN. Finite ones stay bit-exact.
+            for (a, b) in r.logits.iter().zip(&direct) {
+                if b.is_finite() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "finite logits stay bit-exact");
+                } else {
+                    assert!(a.is_nan(), "non-finite logit should arrive as NaN");
+                }
+            }
+            // The class is ranked server-side from the true logits.
+            assert_eq!(r.class, imc_serve::server::argmax_total(&direct));
+        }
+        other => panic!("expected Output, got {other:?}"),
+    }
+
+    // The worker survived: a normal request still round-trips.
+    match client.infer(100, test_input(1)).expect("infer") {
+        Response::Output(r) => assert_eq!(r.id, 100),
+        other => panic!("expected Output, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.completed, 2);
+
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn nan_and_negative_features_are_rejected_at_admission() {
+    // NaN features would trip `quantize_activations`' non-negativity
+    // assertion inside a bank worker; the server rejects them (and
+    // negatives) with a typed Error before they reach the model.
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let handle = serve("127.0.0.1:0", model, &ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for bad in [f32::NAN, -1.0] {
+        let mut input = test_input(0);
+        input[7] = bad;
+        match client.infer(1, input).expect("infer") {
+            Response::Error(msg) => {
+                assert!(msg.contains("NaN or negative"), "got: {msg}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+    client
+        .ping()
+        .expect("connection survives rejected requests");
 
     handle.shutdown_flag().trigger();
     join_with_deadline(handle);
