@@ -4,6 +4,7 @@
 //! loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]
 //!         [--image PATH] [--qps N] [--duration-s N] [--conns N]
 //!         [--out PATH] [--smoke] [--stop-server] [--obs-addr HOST:PORT]
+//!         [--proto json|bin]
 //! ```
 //!
 //! Replays MNIST-shaped traffic at a target QPS. Without `--addr` it
@@ -11,7 +12,16 @@
 //! setup). Pacing is **open-loop**: requests are sent on a fixed
 //! schedule regardless of response latency, so an overloaded server
 //! exhibits real queueing and shed behaviour instead of the client
-//! backing off.
+//! backing off. Connections speak the `BIN1` binary protocol by
+//! default; `--proto json` keeps the legacy JSON framing for compat
+//! testing.
+//!
+//! Every sent request is accounted for in the report: answered
+//! (`completed`/`shed`/`errors`/`failed`/`incorrect`), still unanswered
+//! when the post-send drain window closed (`in_flight_at_stop`), or
+//! orphaned by a dead connection (`dropped`). `qps_achieved` divides
+//! completed responses by the completed-only wall time (first send to
+//! last answer), so drain-window idle time doesn't dilute it.
 //!
 //! Every response is verified **bit-for-bit**: the client rebuilds the
 //! identical synthetic model from `(design, seed)` — or, with `--image`,
@@ -58,7 +68,8 @@ use std::time::{Duration, Instant};
 use imc_bench::chaos::{ChaosProxy, Fault};
 use imc_serve::model::{parse_design, ServeModel, DEFAULT_SEED};
 use imc_serve::protocol::{read_response, write_request, InferRequest, Request, Response};
-use imc_serve::{serve, Client, ClientConfig, RetryPolicy, ServeConfig};
+use imc_serve::wire;
+use imc_serve::{serve, Client, ClientConfig, Proto, RetryPolicy, ServeConfig};
 use neural::imc_exec::ImcDesign;
 use serde::Serialize;
 
@@ -81,6 +92,7 @@ struct Args {
     stop_server: bool,
     chaos: bool,
     chaos_seed: u64,
+    proto: Proto,
 }
 
 /// The chaos fail-point: no generated input starts with this value (the
@@ -93,7 +105,7 @@ fn parse_args() -> Result<Args, String> {
     let usage = "usage: loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]\n\
                  \x20              [--image PATH] [--qps N] [--duration-s N] [--conns N]\n\
                  \x20              [--out PATH] [--smoke] [--stop-server] [--obs-addr HOST:PORT]\n\
-                 \x20              [--chaos] [--chaos-seed N]";
+                 \x20              [--chaos] [--chaos-seed N] [--proto json|bin]";
     let mut args = Args {
         addr: None,
         obs_addr: None,
@@ -108,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         stop_server: false,
         chaos: false,
         chaos_seed: 0xC4A0,
+        proto: Proto::Bin,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -149,6 +162,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--chaos-seed: {e}"))?;
             }
+            "--proto" => args.proto = value("--proto")?.parse()?,
             "--help" | "-h" => return Err(usage.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{usage}")),
         }
@@ -170,9 +184,16 @@ fn parse_args() -> Result<Args, String> {
 #[derive(Serialize)]
 struct Report {
     design: String,
+    /// Wire protocol the load connections spoke (`json` or `bin`).
+    proto: String,
     qps_target: u64,
+    /// Completed responses over the completed-only wall time (first send
+    /// to last response), so idle drain time doesn't dilute throughput.
     qps_achieved: f64,
     duration_s: f64,
+    /// First send to last received inference answer, the denominator of
+    /// `qps_achieved`.
+    completed_wall_s: f64,
     conns: usize,
     sent: u64,
     completed: u64,
@@ -183,6 +204,10 @@ struct Report {
     failed: u64,
     /// Connections refused with a typed `Busy` (connection cap).
     busy: u64,
+    /// Sent requests still unanswered when the drain window closed.
+    in_flight_at_stop: u64,
+    /// Sent requests orphaned by a dead connection (never answerable).
+    dropped: u64,
     shed_rate: f64,
     p50_us: u64,
     p95_us: u64,
@@ -200,6 +225,16 @@ struct ConnResult {
     incorrect: u64,
     failed: u64,
     busy: u64,
+    /// Sent requests still awaiting an answer when the post-send drain
+    /// window expired — the server may yet have answered them after we
+    /// stopped listening.
+    in_flight_at_stop: u64,
+    /// Sent requests that will never be answered: the connection closed
+    /// (or errored) with these outstanding.
+    dropped: u64,
+    /// When the last inference answer arrived, for completed-only
+    /// throughput (excludes idle drain time from `qps_achieved`).
+    last_response: Option<Instant>,
     latencies_us: Vec<u64>,
 }
 
@@ -262,21 +297,36 @@ fn build_inputs(features: usize) -> Vec<Vec<f32>> {
 /// Parses the next complete response frame out of `acc[*parse_from..]`,
 /// advancing `parse_from` past it (consumed bytes are compacted away
 /// once they pile up). `Ok(None)` means the buffer holds at most a
-/// partial frame — read more bytes and try again.
+/// partial frame — read more bytes and try again. JSON frames carry a
+/// big-endian length prefix, `BIN1` frames a little-endian one.
 fn next_buffered_response(
     acc: &mut Vec<u8>,
     parse_from: &mut usize,
+    proto: Proto,
 ) -> std::io::Result<Option<Response>> {
     let avail = &acc[*parse_from..];
     if avail.len() < 4 {
         return Ok(None);
     }
-    let len = u32::from_be_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+    let prefix: [u8; 4] = avail[..4].try_into().expect("4 bytes");
+    let len = match proto {
+        Proto::Json => u32::from_be_bytes(prefix),
+        Proto::Bin => u32::from_le_bytes(prefix),
+    };
+    if len > imc_serve::protocol::MAX_FRAME_BYTES {
+        return Err(wire::WireError::Oversized(len).into());
+    }
+    let len = len as usize;
     if avail.len() < 4 + len {
         return Ok(None);
     }
-    let mut cursor = &avail[..4 + len];
-    let resp = read_response(&mut cursor)?;
+    let resp = match proto {
+        Proto::Json => {
+            let mut cursor = &avail[..4 + len];
+            read_response(&mut cursor)?
+        }
+        Proto::Bin => Some(wire::decode_response(&avail[4..4 + len])?),
+    };
     *parse_from += 4 + len;
     if *parse_from > 1 << 16 {
         acc.drain(..*parse_from);
@@ -297,9 +347,13 @@ fn run_connection(
     inputs: &Arc<Vec<Vec<f32>>>,
     expected: &Arc<Vec<Vec<f32>>>,
     global_sent: &AtomicU64,
+    proto: Proto,
 ) -> Result<ConnResult, String> {
-    let writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     writer.set_nodelay(true).ok();
+    if proto == Proto::Bin {
+        wire::client_handshake(&mut writer).map_err(|e| format!("handshake {addr}: {e}"))?;
+    }
     let mut reader = writer
         .try_clone()
         .map_err(|e| format!("clone stream: {e}"))?;
@@ -328,6 +382,7 @@ fn run_connection(
         let handle = std::thread::spawn(move || -> u64 {
             let start = Instant::now();
             let mut k = 0u64;
+            let mut scratch: Vec<u8> = Vec::new();
             loop {
                 let due = start + interval.mul_f64(k as f64);
                 let now = Instant::now();
@@ -344,7 +399,11 @@ fn run_connection(
                     id,
                     input: input.clone(),
                 });
-                if write_request(&mut writer, &req).is_err() {
+                let wrote = match proto {
+                    Proto::Json => write_request(&mut writer, &req),
+                    Proto::Bin => wire::write_request(&mut writer, &req, &mut scratch),
+                };
+                if wrote.is_err() {
                     in_flight.lock().unwrap().remove(&id);
                     break;
                 }
@@ -370,6 +429,7 @@ fn run_connection(
     let mut acc: Vec<u8> = Vec::new();
     let mut parse_from = 0usize;
     let mut chunk = [0u8; 16384];
+    let mut drain_expired = false;
     loop {
         if let Some(total) = sender_done {
             if answered >= total {
@@ -377,6 +437,7 @@ fn run_connection(
             }
             let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_WINDOW);
             if Instant::now() >= deadline {
+                drain_expired = true;
                 break; // drain window expired with requests unanswered
             }
         } else if sender
@@ -395,7 +456,7 @@ fn run_connection(
         }
         // Pull the next complete frame out of the accumulator, reading
         // more bytes only when it can't supply one.
-        let next = match next_buffered_response(&mut acc, &mut parse_from) {
+        let next = match next_buffered_response(&mut acc, &mut parse_from, proto) {
             Err(e) => Err(e),
             Ok(Some(r)) => Ok(Some(r)),
             Ok(None) => match reader.read(&mut chunk) {
@@ -410,6 +471,7 @@ fn run_connection(
         match next {
             Ok(Some(Response::Output(r))) => {
                 answered += 1;
+                res.last_response = Some(Instant::now());
                 let sent_at = in_flight.lock().unwrap().remove(&r.id);
                 if let Some(t0) = sent_at {
                     res.latencies_us.push(t0.elapsed().as_micros() as u64);
@@ -463,6 +525,15 @@ fn run_connection(
         let total = h.join().map_err(|_| "sender panicked".to_owned())?;
         res.sent = total;
         global_sent.fetch_add(total, Ordering::Relaxed);
+    }
+    // Classify every sent-but-unanswered request: still waiting when the
+    // drain window closed (the server may have been about to answer), or
+    // orphaned by a connection that died (never answerable).
+    let leftovers = in_flight.lock().unwrap().len() as u64;
+    if drain_expired {
+        res.in_flight_at_stop = leftovers;
+    } else {
+        res.dropped = leftovers;
     }
     Ok(res)
 }
@@ -570,8 +641,8 @@ fn main() -> ExitCode {
 
     let duration = Duration::from_secs_f64(args.duration_s);
     eprintln!(
-        "loadgen: {} qps for {:.1}s over {} connection(s) against {addr}",
-        args.qps, args.duration_s, args.conns
+        "loadgen: {} qps for {:.1}s over {} connection(s) against {addr} (proto {})",
+        args.qps, args.duration_s, args.conns, args.proto
     );
     let t0 = Instant::now();
     let global_sent = Arc::new(AtomicU64::new(0));
@@ -592,6 +663,7 @@ fn main() -> ExitCode {
                         inputs,
                         expected,
                         global_sent,
+                        args.proto,
                     )
                 })
             })
@@ -610,6 +682,9 @@ fn main() -> ExitCode {
     let mut incorrect = 0u64;
     let mut failed = 0u64;
     let mut busy = 0u64;
+    let mut in_flight_at_stop = 0u64;
+    let mut dropped = 0u64;
+    let mut last_done: Option<Instant> = None;
     let mut lat: Vec<u64> = Vec::new();
     let mut conn_failures = 0usize;
     for r in results {
@@ -622,6 +697,9 @@ fn main() -> ExitCode {
                 incorrect += c.incorrect;
                 failed += c.failed;
                 busy += c.busy;
+                in_flight_at_stop += c.in_flight_at_stop;
+                dropped += c.dropped;
+                last_done = last_done.max(c.last_response);
                 lat.extend(c.latencies_us);
             }
             Err(e) => {
@@ -631,13 +709,20 @@ fn main() -> ExitCode {
         }
     }
     lat.sort_unstable();
+    // Throughput over the time responses were actually arriving: idle
+    // drain-window seconds after the last answer are accounting noise,
+    // not serving capacity.
+    let completed_wall = last_done
+        .map(|t| t.duration_since(t0).as_secs_f64())
+        .unwrap_or(wall)
+        .max(f64::EPSILON);
 
     // After the fault storm, prove the server is still healthy: force a
     // worker panic through the sentinel fail-point (expect a typed
     // `Failed` even through retries — the fail-point is deterministic),
     // then ping, then check the panic counter advanced.
     let chaos_ok = if args.chaos {
-        match chaos_probe(&server_addr, oracle.input_features()) {
+        match chaos_probe(&server_addr, oracle.input_features(), args.proto) {
             Ok(()) => {
                 eprintln!("loadgen: chaos probe OK (typed Failed + post-panic ping)");
                 true
@@ -668,9 +753,11 @@ fn main() -> ExitCode {
 
     let report = Report {
         design: format!("{:?}", oracle.design()),
+        proto: args.proto.to_string(),
         qps_target: args.qps,
-        qps_achieved: completed as f64 / wall,
+        qps_achieved: completed as f64 / completed_wall,
         duration_s: wall,
+        completed_wall_s: completed_wall,
         conns: args.conns,
         sent,
         completed,
@@ -679,6 +766,8 @@ fn main() -> ExitCode {
         incorrect,
         failed,
         busy,
+        in_flight_at_stop,
+        dropped,
         shed_rate: if sent > 0 {
             shed as f64 / sent as f64
         } else {
@@ -766,9 +855,13 @@ fn main() -> ExitCode {
 /// fail-point (a deterministic worker panic), expect it back as a typed
 /// [`Response::Failed`] even through a retrying client, and confirm the
 /// server still answers a plain ping and counted the panics.
-fn chaos_probe(server_addr: &str, features: usize) -> Result<(), String> {
-    let mut c = Client::connect_with(server_addr, ClientConfig::default())
-        .map_err(|e| format!("probe connect: {e}"))?;
+fn chaos_probe(server_addr: &str, features: usize, proto: Proto) -> Result<(), String> {
+    let cfg = ClientConfig {
+        proto,
+        ..ClientConfig::default()
+    };
+    let mut c =
+        Client::connect_with(server_addr, cfg).map_err(|e| format!("probe connect: {e}"))?;
     let mut input = vec![0.0f32; features];
     input[0] = CHAOS_SENTINEL;
     let policy = RetryPolicy {

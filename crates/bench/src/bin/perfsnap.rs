@@ -29,7 +29,10 @@ use imc_core::circuit::curfe_row_circuit;
 use imc_core::config::{ChgFeConfig, CurFeConfig};
 use imc_core::weights::{SignedNibble, UnsignedNibble};
 use imc_serve::model::{ServeModel, DEFAULT_SEED};
-use imc_serve::{serve, Client, ServeConfig};
+use imc_serve::protocol::{InferRequest, Request, Response};
+use imc_serve::{serve, wire, Client, ClientConfig, Proto, ServeConfig};
+use neural::imc_exec::{ImcConfig, ImcDesign, MacKernel, QNetwork};
+use neural::models::mlp;
 use neural::tensor::{matmul, matmul_blocked, matmul_parallel, Tensor};
 use serde::Serialize;
 
@@ -123,6 +126,171 @@ struct ObsBenchSnapshot {
     /// Newton iterations across every solve
     /// (`sim_newton_iterations_total`).
     newton_iterations: u64,
+}
+
+/// The MAC-kernel + wire-format snapshot written to `BENCH_pr6.json`.
+#[derive(Serialize)]
+struct Pr6Snapshot {
+    /// Worker-pool width in effect.
+    threads: usize,
+    /// Packed `u64` bit-plane kernel throughput on the serve MLP
+    /// (784→64→10, full noise), counting one multiply-accumulate per
+    /// weight per inference.
+    packed_kernel_gmacs: f64,
+    /// Deprecated per-plane f32 `matmul_parallel` kernel on the same
+    /// network and inputs.
+    scalar_kernel_gmacs: f64,
+    /// `packed / scalar` throughput ratio.
+    kernel_speedup: f64,
+    /// Packed-kernel wall time per single inference (µs).
+    packed_us_per_inf: f64,
+    /// JSON encode+decode round trip of a 784-feature `Infer` request
+    /// frame (ns/frame).
+    json_infer_roundtrip_ns: f64,
+    /// `BIN1` encode+decode of the same request frame (ns/frame).
+    bin_infer_roundtrip_ns: f64,
+    /// JSON encode+decode of a 10-logit `Output` response (ns/frame).
+    json_output_roundtrip_ns: f64,
+    /// `BIN1` encode+decode of the same response frame (ns/frame).
+    bin_output_roundtrip_ns: f64,
+    /// Wire protocol of the serving measurement below.
+    proto: String,
+    /// Closed-loop requests timed against the in-process server.
+    serve_requests: u64,
+    /// End-to-end single-connection serving throughput over `BIN1`.
+    inf_per_s: f64,
+    /// Client-observed end-to-end latency quantiles (µs).
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+/// Measures the packed vs scalar MAC kernels, the two wire encodings,
+/// and end-to-end `BIN1` serving for `BENCH_pr6.json`.
+fn pr6_snapshot() -> Pr6Snapshot {
+    // --- kernel: packed vs deprecated scalar on the serve MLP ----------
+    let seq = mlp(784, 64, 10, DEFAULT_SEED);
+    let cfg = ImcConfig::paper(ImcDesign::ChgFe, 4, 8);
+    let packed = QNetwork::from_sequential_kernel(&seq, cfg, MacKernel::Packed);
+    let scalar = QNetwork::from_sequential_kernel(&seq, cfg, MacKernel::Scalar);
+    let x = Tensor::from_vec(
+        &[1, 784],
+        (0..784).map(|i| (i % 17) as f32 / 17.0).collect(),
+    );
+    let macs_per_inf = (784 * 64 + 64 * 10) as f64;
+    let time_forward = |net: &QNetwork, iters: usize| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(net.forward(&x));
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    };
+    // Warm the plane caches and branch predictors before timing.
+    time_forward(&packed, 5);
+    time_forward(&scalar, 2);
+    let t_packed = time_forward(&packed, 200);
+    let t_scalar = time_forward(&scalar, 50);
+
+    // --- wire: JSON vs BIN1 encode+decode round trips ------------------
+    let req = Request::Infer(InferRequest {
+        id: 42,
+        input: x.data().to_vec(),
+    });
+    let resp = Response::Output(imc_serve::protocol::InferReply {
+        id: 42,
+        logits: (0..10).map(|i| i as f32 * 0.5 - 2.0).collect(),
+        class: 7,
+        bank: 3,
+        batch: 4,
+        queue_us: 120,
+        service_us: 240,
+    });
+    let json_req = time_best(5, || {
+        let mut buf = Vec::new();
+        for _ in 0..1000 {
+            buf.clear();
+            imc_serve::protocol::write_request(&mut buf, &req).expect("encode");
+            let text = std::str::from_utf8(&buf[4..]).expect("utf8");
+            let parsed: Request = serde_json::from_str(text).expect("decode");
+            std::hint::black_box(parsed);
+        }
+    }) / 1000.0;
+    let bin_req = time_best(5, || {
+        let mut buf = Vec::new();
+        for _ in 0..1000 {
+            wire::encode_request(&req, &mut buf);
+            let parsed = wire::decode_request(&buf[4..]).expect("decode");
+            std::hint::black_box(parsed);
+        }
+    }) / 1000.0;
+    let json_resp = time_best(5, || {
+        let mut buf = Vec::new();
+        for _ in 0..1000 {
+            buf.clear();
+            imc_serve::protocol::write_response(&mut buf, &resp).expect("encode");
+            let text = std::str::from_utf8(&buf[4..]).expect("utf8");
+            let parsed: Response = serde_json::from_str(text).expect("decode");
+            std::hint::black_box(parsed);
+        }
+    }) / 1000.0;
+    let bin_resp = time_best(5, || {
+        let mut buf = Vec::new();
+        for _ in 0..1000 {
+            wire::encode_response(&resp, &mut buf);
+            let parsed = wire::decode_response(&buf[4..]).expect("decode");
+            std::hint::black_box(parsed);
+        }
+    }) / 1000.0;
+
+    // --- serving: closed-loop single connection over BIN1 --------------
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let mut scfg = ServeConfig::default();
+    // Latency-optimal batching for a single closed-loop client: flush
+    // immediately instead of waiting for co-batchable traffic.
+    scfg.max_wait = std::time::Duration::ZERO;
+    let handle = serve("127.0.0.1:0", model, &scfg).expect("bind serve");
+    let ccfg = ClientConfig {
+        proto: Proto::Bin,
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(handle.addr(), ccfg).expect("connect");
+    let input: Vec<f32> = x.data().to_vec();
+    for id in 0..64u64 {
+        client.infer(id, input.clone()).expect("warmup infer");
+    }
+    let n = 2000u64;
+    let mut lat_us: Vec<u64> = Vec::with_capacity(n as usize);
+    let t0 = Instant::now();
+    for id in 0..n {
+        let t = Instant::now();
+        match client.infer(1000 + id, input.clone()).expect("infer") {
+            Response::Output(_) => lat_us.push(t.elapsed().as_micros() as u64),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    handle.shutdown_flag().trigger();
+    handle.join();
+    lat_us.sort_unstable();
+    let q = |f: f64| lat_us[((lat_us.len() - 1) as f64 * f).round() as usize];
+
+    Pr6Snapshot {
+        threads: par_exec::threads(),
+        packed_kernel_gmacs: macs_per_inf / t_packed / 1.0e9,
+        scalar_kernel_gmacs: macs_per_inf / t_scalar / 1.0e9,
+        kernel_speedup: t_scalar / t_packed,
+        packed_us_per_inf: t_packed * 1.0e6,
+        json_infer_roundtrip_ns: json_req * 1.0e9,
+        bin_infer_roundtrip_ns: bin_req * 1.0e9,
+        json_output_roundtrip_ns: json_resp * 1.0e9,
+        bin_output_roundtrip_ns: bin_resp * 1.0e9,
+        proto: Proto::Bin.to_string(),
+        serve_requests: n,
+        inf_per_s: n as f64 / wall,
+        p50_us: q(0.50),
+        p95_us: q(0.95),
+        p99_us: q(0.99),
+    }
 }
 
 /// Runs a short burst of in-process serve traffic so the obs registry
@@ -246,6 +414,9 @@ fn main() {
     let obs_out_path = std::env::args()
         .nth(3)
         .unwrap_or_else(|| "BENCH_pr4.json".to_owned());
+    let pr6_out_path = std::env::args()
+        .nth(4)
+        .unwrap_or_else(|| "BENCH_pr6.json".to_owned());
     let ccfg = CurFeConfig::paper();
     let qcfg = ChgFeConfig::paper();
 
@@ -342,5 +513,13 @@ fn main() {
     std::fs::write(&obs_out_path, format!("{json}\n")).expect("write obs snapshot");
     println!("{json}");
     println!("\nwrote {obs_out_path}");
+
+    // --- MAC kernel + wire format (runs last so its serve traffic does
+    // not leak into the BENCH_pr4 registry totals above) ----------------
+    let psnap = pr6_snapshot();
+    let json = serde_json::to_string_pretty(&psnap).expect("pr6 snapshot serializes");
+    std::fs::write(&pr6_out_path, format!("{json}\n")).expect("write pr6 snapshot");
+    println!("{json}");
+    println!("\nwrote {pr6_out_path}");
     imc_obs::print_summary_if_env();
 }

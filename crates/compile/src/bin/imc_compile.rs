@@ -271,6 +271,11 @@ fn cmd_inspect(mut f: Flags) -> Result<(), String> {
         "  probes: {} (seed {:#x}), oracle agreement {:.3}, expected accuracy delta {:.3}",
         m.probe_count, m.probe_seed, m.oracle_agreement, m.expected_accuracy_delta
     );
+    let pp = img.prepack().map_err(|e| e.to_string())?;
+    println!(
+        "  prepack: {} MAC layers, {} chunks, {} packed u64 words ({} B resident)",
+        pp.mac_layers, pp.chunks, pp.words, pp.bytes
+    );
     Ok(())
 }
 

@@ -423,6 +423,21 @@ impl ChipImage {
         }))
     }
 
+    /// Pre-packs the image's weight bit-planes into the process-wide
+    /// weight-stationary cache and reports the resident footprint.
+    ///
+    /// The cache is content-addressed on the effective codes, so a
+    /// served [`to_network`](Self::to_network) of the same image hits
+    /// the warmed entries instead of re-packing — and a *different*
+    /// image (new faults, new remap) misses by construction.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the image is invalid.
+    pub fn prepack(&self) -> Result<neural::imc_exec::PrepackSummary, CompileError> {
+        Ok(self.to_network()?.prepack())
+    }
+
     /// Serializes to pretty JSON and writes `path`.
     ///
     /// # Errors

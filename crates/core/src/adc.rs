@@ -97,12 +97,14 @@ impl SarAdc {
     }
 
     /// Units represented by one ADC LSB.
+    #[inline]
     #[must_use]
     pub fn units_per_lsb(&self) -> f64 {
         (self.unit_range.1 - self.unit_range.0) / f64::from(1u32 << self.bits)
     }
 
     /// The digital code range `(min, max)` of the mode.
+    #[inline]
     #[must_use]
     pub fn code_range(&self) -> (i32, i32) {
         match self.mode {
@@ -117,10 +119,16 @@ impl SarAdc {
     /// Converts a block output voltage to a digital code (SAR binary
     /// search is equivalent to uniform mid-tread quantization with
     /// clamping at the references).
+    #[inline]
     #[must_use]
     pub fn convert(&self, v: f64) -> i32 {
+        self.convert_with_lsb(v, self.units_per_lsb())
+    }
+
+    #[inline]
+    fn convert_with_lsb(&self, v: f64, lsb: f64) -> i32 {
         let units = (v - self.v_zero) / self.volts_per_unit + self.offset_units;
-        let code = (units / self.units_per_lsb()).round();
+        let code = (units / lsb).round();
         let (lo, hi) = self.code_range();
         if code.is_nan() {
             return 0;
@@ -129,15 +137,72 @@ impl SarAdc {
     }
 
     /// Reconstructs the unit count represented by a code.
+    #[inline]
     #[must_use]
     pub fn dequantize(&self, code: i32) -> f64 {
         f64::from(code) * self.units_per_lsb()
     }
 
-    /// Convenience: convert then dequantize.
+    /// Convenience: convert then dequantize. The LSB is computed once
+    /// and shared by both halves — this is the MAC hot path (two calls
+    /// per chunk conversion), and the shared value is bit-identical to
+    /// what `convert` and `dequantize` each derive on their own.
+    #[inline]
     #[must_use]
     pub fn read_units(&self, v: f64) -> f64 {
-        self.dequantize(self.convert(v))
+        let lsb = self.units_per_lsb();
+        f64::from(self.convert_with_lsb(v, lsb)) * lsb
+    }
+
+    /// Precomputes the read-path constants for MAC inner loops.
+    #[inline]
+    #[must_use]
+    pub fn reader(&self) -> AdcReader {
+        let (lo, hi) = self.code_range();
+        AdcReader {
+            v_zero: self.v_zero,
+            volts_per_unit: self.volts_per_unit,
+            offset_units: self.offset_units,
+            lsb: self.units_per_lsb(),
+            lo: i64::from(lo),
+            hi: i64::from(hi),
+        }
+    }
+}
+
+/// Hoisted read-path constants of a [`SarAdc`] (LSB, code range, and
+/// transfer parameters), so a MAC inner loop making millions of
+/// conversions per second pays none of the per-call derivations.
+/// [`AdcReader::read_units`] performs the exact floating-point
+/// operation sequence of [`SarAdc::read_units`] — results are
+/// bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct AdcReader {
+    v_zero: f64,
+    volts_per_unit: f64,
+    offset_units: f64,
+    lsb: f64,
+    lo: i64,
+    hi: i64,
+}
+
+impl AdcReader {
+    /// Converts a block output voltage to reconstructed unit counts,
+    /// bit-identical to [`SarAdc::read_units`] on the source ADC.
+    ///
+    /// `inline(always)` so feature-specialized MAC loops absorb the
+    /// `f64::round` and lower it to `roundsd` instead of a libm call.
+    #[inline(always)]
+    #[must_use]
+    pub fn read_units(&self, v: f64) -> f64 {
+        let units = (v - self.v_zero) / self.volts_per_unit + self.offset_units;
+        let code = (units / self.lsb).round();
+        let code = if code.is_nan() {
+            0
+        } else {
+            (code as i64).clamp(self.lo, self.hi) as i32
+        };
+        f64::from(code) * self.lsb
     }
 }
 

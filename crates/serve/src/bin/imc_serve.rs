@@ -208,6 +208,11 @@ fn main() -> ExitCode {
         args.cfg.max_wait.as_micros(),
         args.cfg.queue_depth,
     );
+    let pp = model.prepack();
+    println!(
+        "imc-serve: prepacked {} MAC layers ({} chunks, {} B of u64 bit-planes resident)",
+        pp.mac_layers, pp.chunks, pp.bytes
+    );
 
     // Park until the latch trips (signal or Shutdown control request).
     let flag = handle.shutdown_flag();

@@ -19,8 +19,9 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{read_response, write_request, InferRequest, Request, Response, StatsReply};
+use crate::wire::{self, Proto};
 
-/// Socket-level timeouts for a [`Client`].
+/// Socket-level timeouts and wire protocol for a [`Client`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClientConfig {
     /// TCP connect timeout (`None` = OS default).
@@ -29,6 +30,11 @@ pub struct ClientConfig {
     /// forever). Reads that exceed it surface `WouldBlock`/`TimedOut`
     /// errors, which [`Client::infer_retry`] treats as retryable.
     pub request_timeout: Option<Duration>,
+    /// Wire protocol: legacy JSON (default) or the negotiated `BIN1`
+    /// binary framing. With [`Proto::Bin`] the connect path performs
+    /// the magic+version handshake; a pre-handshake `Busy` from a full
+    /// server surfaces as `ConnectionRefused`.
+    pub proto: Proto,
 }
 
 impl Default for ClientConfig {
@@ -36,6 +42,7 @@ impl Default for ClientConfig {
         Self {
             connect_timeout: Some(Duration::from_secs(5)),
             request_timeout: Some(Duration::from_secs(30)),
+            proto: Proto::Json,
         }
     }
 }
@@ -110,6 +117,10 @@ pub struct Client {
     /// [`connect`]: Self::connect
     addrs: Vec<SocketAddr>,
     cfg: ClientConfig,
+    /// `BIN1` encode scratch and read arena, reused across requests so
+    /// steady-state round trips allocate nothing on the wire path.
+    scratch: Vec<u8>,
+    arena: Vec<u8>,
 }
 
 impl Client {
@@ -125,9 +136,16 @@ impl Client {
         let cfg = ClientConfig {
             connect_timeout: None,
             request_timeout: None,
+            proto: Proto::Json,
         };
         let stream = Self::open(&addrs, &cfg)?;
-        Ok(Self { stream, addrs, cfg })
+        Ok(Self {
+            stream,
+            addrs,
+            cfg,
+            scratch: Vec::new(),
+            arena: Vec::new(),
+        })
     }
 
     /// Connects with explicit connect/request timeouts.
@@ -139,7 +157,13 @@ impl Client {
     pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: ClientConfig) -> io::Result<Self> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         let stream = Self::open(&addrs, &cfg)?;
-        Ok(Self { stream, addrs, cfg })
+        Ok(Self {
+            stream,
+            addrs,
+            cfg,
+            scratch: Vec::new(),
+            arena: Vec::new(),
+        })
     }
 
     fn open(addrs: &[SocketAddr], cfg: &ClientConfig) -> io::Result<TcpStream> {
@@ -150,10 +174,13 @@ impl Client {
                 None => TcpStream::connect(a),
             };
             match attempt {
-                Ok(stream) => {
+                Ok(mut stream) => {
                     stream.set_nodelay(true).ok();
                     stream.set_read_timeout(cfg.request_timeout).ok();
                     stream.set_write_timeout(cfg.request_timeout).ok();
+                    if cfg.proto == Proto::Bin {
+                        wire::client_handshake(&mut stream)?;
+                    }
                     return Ok(stream);
                 }
                 Err(e) => last_err = Some(e),
@@ -182,7 +209,10 @@ impl Client {
     ///
     /// Propagates I/O errors.
     pub fn send(&mut self, req: &Request) -> io::Result<()> {
-        write_request(&mut self.stream, req)
+        match self.cfg.proto {
+            Proto::Json => write_request(&mut self.stream, req),
+            Proto::Bin => wire::write_request(&mut self.stream, req, &mut self.scratch),
+        }
     }
 
     /// Receives the next response frame (`None` on clean server close).
@@ -191,7 +221,10 @@ impl Client {
     ///
     /// Propagates I/O and parse errors.
     pub fn recv(&mut self) -> io::Result<Option<Response>> {
-        read_response(&mut self.stream)
+        match self.cfg.proto {
+            Proto::Json => read_response(&mut self.stream),
+            Proto::Bin => wire::read_response(&mut self.stream, &mut self.arena),
+        }
     }
 
     /// Round-trips one inference request.

@@ -22,6 +22,10 @@
 //!
 //! * [`protocol`] — length-prefixed JSON framing and the request/response
 //!   types.
+//! * [`wire`] — the negotiated `BIN1` binary framing (magic + version
+//!   hello, little-endian frames, raw f32 payloads) that the client,
+//!   server, and loadgen speak by default on the hot path; JSON stays
+//!   as the compat fallback.
 //! * [`batcher`] — the bounded admission queue with deadline-based
 //!   dynamic batching; overflow is shed immediately (backpressure).
 //! * [`scheduler`] — least-loaded dispatch across per-bank workers,
@@ -62,8 +66,10 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod shutdown;
+pub mod wire;
 
 pub use client::{Client, ClientConfig, RetryPolicy};
 pub use model::ServeModel;
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use shutdown::{install_signal_handlers, ShutdownFlag};
+pub use wire::Proto;

@@ -163,6 +163,14 @@ impl ServeModel {
         &self.net
     }
 
+    /// Packed weight-plane footprint (resident since construction — the
+    /// weight-stationary cache is warmed eagerly, so the first request
+    /// never pays packing cost).
+    #[must_use]
+    pub fn prepack(&self) -> neural::imc_exec::PrepackSummary {
+        self.net.prepack()
+    }
+
     /// Runs a `[n, features]` batch, one independent noise stream per
     /// sample — each output row bit-identical to
     /// [`QNetwork::forward`] on that row alone.

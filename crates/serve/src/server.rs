@@ -26,7 +26,7 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,7 @@ use crate::protocol::{
 };
 use crate::scheduler::BankScheduler;
 use crate::shutdown::ShutdownFlag;
+use crate::wire::{self, Proto};
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -98,27 +99,32 @@ impl Default for ServeConfig {
     }
 }
 
-/// A connection's write half plus its liveness state. Once a write
-/// fails or times out mid-frame the stream's framing is unrecoverable,
-/// so the writer is marked dead and every later response to this
-/// connection is dropped without touching the socket — one stalled
-/// client costs each bank worker at most one write timeout.
+/// A connection's write half plus its liveness state and negotiated
+/// framing. Once a write fails or times out mid-frame the stream's
+/// framing is unrecoverable, so the writer is marked dead and every
+/// later response to this connection is dropped without touching the
+/// socket — one stalled client costs each bank worker at most one
+/// write timeout. The `scratch` arena is reused for every `BIN1`
+/// response this connection ever writes, so steady-state encoding
+/// allocates nothing.
 #[derive(Debug)]
 pub(crate) struct ConnWriter {
     stream: TcpStream,
     dead: bool,
+    proto: Proto,
+    scratch: Vec<u8>,
 }
 
 /// A live connection's write half, shared by its reader thread and every
 /// bank worker holding one of its pending requests.
 type Conn = Arc<Mutex<ConnWriter>>;
 
-/// Writes a response on a connection; I/O errors are counted, not fatal
-/// (the client may have gone away — the server must keep running). A
-/// poisoned writer mutex is recovered, not propagated: the guarded
-/// stream is only ever written through `write_response`, which never
-/// panics, so the framing invariant cannot have been broken by whoever
-/// poisoned it.
+/// Writes a response on a connection in its negotiated framing; I/O
+/// errors are counted, not fatal (the client may have gone away — the
+/// server must keep running). A poisoned writer mutex is recovered, not
+/// propagated: the guarded stream is only ever written through the
+/// response encoders, which never panic, so the framing invariant
+/// cannot have been broken by whoever poisoned it.
 fn send(conn: &Conn, resp: &Response, metrics: &Metrics) {
     let mut w = conn
         .lock()
@@ -126,11 +132,50 @@ fn send(conn: &Conn, resp: &Response, metrics: &Metrics) {
     if w.dead {
         return;
     }
-    if write_response(&mut w.stream, resp).is_err() {
+    let ConnWriter {
+        stream,
+        proto,
+        scratch,
+        ..
+    } = &mut *w;
+    let wrote = match proto {
+        Proto::Json => write_response(stream, resp),
+        Proto::Bin => wire::write_response(stream, resp, scratch),
+    };
+    if wrote.is_err() {
         metrics.protocol_errors.inc();
         w.dead = true;
         // Wake the connection's reader thread too (it sees EOF).
         w.stream.shutdown(std::net::Shutdown::Both).ok();
+    }
+}
+
+/// Cap on pooled input buffers (a few KiB each at MNIST shapes).
+const INPUT_POOL_CAP: usize = 256;
+
+/// Process-wide recycle pool for inference input vectors: connection
+/// readers take, `execute_batch` (and the rejection paths) put back —
+/// at steady state no request allocates its input buffer.
+fn input_pool() -> &'static Mutex<Vec<Vec<f32>>> {
+    static POOL: OnceLock<Mutex<Vec<Vec<f32>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn pool_take() -> Vec<f32> {
+    input_pool()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pop()
+        .unwrap_or_default()
+}
+
+fn pool_put(mut v: Vec<f32>) {
+    v.clear();
+    let mut pool = input_pool()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if pool.len() < INPUT_POOL_CAP {
+        pool.push(v);
     }
 }
 
@@ -438,30 +483,16 @@ fn read_full(
     Ok(true)
 }
 
-/// Reads one frame, waking periodically (via the stream's read timeout)
-/// to notice shutdown on idle connections and to police the per-frame
-/// read deadline. `Ok(None)` = clean end; `ErrorKind::TimedOut` = the
-/// deadline fired mid-frame.
-fn read_frame_or_shutdown(
+/// Reads and validates a JSON frame payload whose big-endian length
+/// prefix has already been consumed (the shared `frame_deadline` clock
+/// keeps running across the two halves).
+fn read_json_payload(
     reader: &mut TcpStream,
+    len: u32,
     shutdown: &ShutdownFlag,
+    frame_deadline: &mut Option<Instant>,
     deadline_after: Duration,
-) -> std::io::Result<Option<String>> {
-    // One clock for the whole frame: starts at the first prefix byte,
-    // covers the payload too.
-    let mut frame_deadline: Option<Instant> = None;
-    let mut len_buf = [0u8; 4];
-    if !read_full(
-        reader,
-        &mut len_buf,
-        true,
-        shutdown,
-        &mut frame_deadline,
-        deadline_after,
-    )? {
-        return Ok(None);
-    }
-    let len = u32::from_be_bytes(len_buf);
+) -> std::io::Result<String> {
     if len > MAX_FRAME_BYTES {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -474,10 +505,10 @@ fn read_frame_or_shutdown(
         &mut payload,
         false,
         shutdown,
-        &mut frame_deadline,
+        frame_deadline,
         deadline_after,
     )?;
-    String::from_utf8(payload).map(Some).map_err(|_| {
+    String::from_utf8(payload).map_err(|_| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "frame payload is not UTF-8",
@@ -485,8 +516,108 @@ fn read_frame_or_shutdown(
     })
 }
 
+/// Classifies a reader-loop error: a mid-frame deadline drop is counted
+/// separately from protocol damage. Returns `true` always (callers
+/// return right after); split out so the JSON and BIN1 loops cannot
+/// drift apart on accounting.
+fn count_read_error(e: &std::io::Error, metrics: &Metrics) {
+    if e.kind() == std::io::ErrorKind::TimedOut {
+        // Half a frame held past the deadline: drop the connection so
+        // its thread is reclaimed.
+        metrics.conn_deadline_drops.inc();
+    } else {
+        metrics.protocol_errors.inc();
+    }
+}
+
+/// Handles one parsed request on behalf of either framing loop.
+/// Rejected or shed inference inputs are recycled into the input pool;
+/// admitted ones travel to `execute_batch`, which recycles them after
+/// tensor assembly.
+fn handle_request(
+    request: Request,
+    writer: &Conn,
+    queue: &AdmissionQueue<Conn>,
+    metrics: &Metrics,
+    model: &ServeModel,
+    shutdown: &ShutdownFlag,
+) {
+    match request {
+        Request::Ping => send(writer, &Response::Pong, metrics),
+        Request::Stats => {
+            let snap = metrics.snapshot(queue.depth());
+            send(writer, &Response::Stats(snap), metrics);
+        }
+        Request::Shutdown => {
+            send(writer, &Response::ShuttingDown, metrics);
+            shutdown.trigger();
+        }
+        Request::Infer(req) => {
+            if req.input.len() != model.input_features() {
+                metrics.protocol_errors.inc();
+                send(
+                    writer,
+                    &Response::Error(format!(
+                        "input has {} features, model expects {}",
+                        req.input.len(),
+                        model.input_features()
+                    )),
+                    metrics,
+                );
+                pool_put(req.input);
+                return;
+            }
+            // The executor's activation quantizer asserts inputs are
+            // non-negative; a NaN or negative feature would panic a
+            // bank worker. Reject exactly those at admission —
+            // catch_unwind downstream stays as defense in depth,
+            // not the first line.
+            if req.input.iter().any(|v| v.is_nan() || *v < 0.0) {
+                metrics.protocol_errors.inc();
+                send(
+                    writer,
+                    &Response::Error(format!(
+                        "input for id {} has NaN or negative features \
+                         (expected values in [0, 1])",
+                        req.id
+                    )),
+                    metrics,
+                );
+                pool_put(req.input);
+                return;
+            }
+            let pending = Pending {
+                id: req.id,
+                input: req.input,
+                enqueued: Instant::now(),
+                reply: Arc::clone(writer),
+            };
+            match queue.try_enqueue(pending) {
+                Ok(()) => {
+                    metrics.admitted.inc();
+                }
+                Err((rejected, why)) => {
+                    metrics.shed.inc();
+                    send(
+                        writer,
+                        &Response::Shed(ShedReply {
+                            id: rejected.id,
+                            reason: why.reason().to_owned(),
+                        }),
+                        metrics,
+                    );
+                    pool_put(rejected.input);
+                }
+            }
+        }
+    }
+}
+
 /// Reads frames off one connection until EOF, error, shutdown, or a
-/// frame-deadline drop.
+/// frame-deadline drop. The first four bytes decide the framing: the
+/// `BIN1` magic selects the binary protocol (version byte, then an
+/// echoed 5-byte ack), anything else is the opening big-endian length
+/// prefix of a JSON frame — so legacy clients negotiate nothing.
 fn connection_loop(
     stream: TcpStream,
     queue: &AdmissionQueue<Conn>,
@@ -507,6 +638,8 @@ fn connection_loop(
     let writer: Conn = Arc::new(Mutex::new(ConnWriter {
         stream: write_half,
         dead: false,
+        proto: Proto::Json,
+        scratch: Vec::new(),
     }));
     // A read timeout lets the reader notice shutdown even on an idle
     // connection (the client keeping it open is not a liveness hazard)
@@ -516,94 +649,232 @@ fn connection_loop(
         .set_read_timeout(Some(Duration::from_millis(200)))
         .ok();
 
-    loop {
-        let frame = match read_frame_or_shutdown(&mut reader, shutdown, cfg.frame_deadline) {
-            Ok(Some(json)) => json,
-            Ok(None) => return, // clean EOF or idle shutdown
-            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
-                // Half a frame held past the deadline: drop the
-                // connection so its thread is reclaimed.
-                metrics.conn_deadline_drops.inc();
+    // --- negotiation ---------------------------------------------------
+    let mut frame_deadline: Option<Instant> = None;
+    let mut prefix = [0u8; 4];
+    match read_full(
+        &mut reader,
+        &mut prefix,
+        true,
+        shutdown,
+        &mut frame_deadline,
+        cfg.frame_deadline,
+    ) {
+        Ok(true) => {}
+        Ok(false) => return, // clean EOF or idle shutdown
+        Err(e) => {
+            count_read_error(&e, metrics);
+            return;
+        }
+    }
+    if prefix == wire::MAGIC {
+        let mut ver = [0u8; 1];
+        match read_full(
+            &mut reader,
+            &mut ver,
+            false,
+            shutdown,
+            &mut frame_deadline,
+            cfg.frame_deadline,
+        ) {
+            Ok(_) => {}
+            Err(e) => {
+                count_read_error(&e, metrics);
                 return;
             }
-            Err(_) => {
+        }
+        {
+            let mut w = writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if ver[0] != wire::VERSION {
+                // Reject: echo the magic with version 0, then close.
                 metrics.protocol_errors.inc();
+                let mut nack = [0u8; 5];
+                nack[..4].copy_from_slice(&wire::MAGIC);
+                let _ = std::io::Write::write_all(&mut w.stream, &nack);
                 return;
+            }
+            let mut ack = [0u8; 5];
+            ack[..4].copy_from_slice(&wire::MAGIC);
+            ack[4] = wire::VERSION;
+            if std::io::Write::write_all(&mut w.stream, &ack).is_err() {
+                return;
+            }
+            w.proto = Proto::Bin;
+        }
+        imc_obs::counter!(
+            "imc_serve_bin_connections_total",
+            "Connections negotiated onto the BIN1 binary protocol"
+        )
+        .inc();
+        bin_loop(&mut reader, &writer, queue, metrics, model, shutdown, cfg);
+    } else {
+        imc_obs::counter!(
+            "imc_serve_json_connections_total",
+            "Connections speaking the legacy JSON protocol"
+        )
+        .inc();
+        json_loop(
+            &mut reader,
+            &writer,
+            u32::from_be_bytes(prefix),
+            frame_deadline,
+            queue,
+            metrics,
+            model,
+            shutdown,
+            cfg,
+        );
+    }
+}
+
+/// The legacy JSON frame loop. `first_len` / `first_deadline` carry the
+/// already-consumed opening length prefix out of negotiation.
+#[allow(clippy::too_many_arguments)]
+fn json_loop(
+    reader: &mut TcpStream,
+    writer: &Conn,
+    first_len: u32,
+    first_deadline: Option<Instant>,
+    queue: &AdmissionQueue<Conn>,
+    metrics: &Metrics,
+    model: &ServeModel,
+    shutdown: &ShutdownFlag,
+    cfg: &ServeConfig,
+) {
+    let mut pending = Some((first_len, first_deadline));
+    loop {
+        let frame = if let Some((len, mut deadline)) = pending.take() {
+            match read_json_payload(reader, len, shutdown, &mut deadline, cfg.frame_deadline) {
+                Ok(json) => json,
+                Err(e) => {
+                    count_read_error(&e, metrics);
+                    return;
+                }
+            }
+        } else {
+            let mut frame_deadline: Option<Instant> = None;
+            let mut len_buf = [0u8; 4];
+            match read_full(
+                reader,
+                &mut len_buf,
+                true,
+                shutdown,
+                &mut frame_deadline,
+                cfg.frame_deadline,
+            ) {
+                Ok(true) => {}
+                Ok(false) => return, // clean EOF or idle shutdown
+                Err(e) => {
+                    count_read_error(&e, metrics);
+                    return;
+                }
+            }
+            match read_json_payload(
+                reader,
+                u32::from_be_bytes(len_buf),
+                shutdown,
+                &mut frame_deadline,
+                cfg.frame_deadline,
+            ) {
+                Ok(json) => json,
+                Err(e) => {
+                    count_read_error(&e, metrics);
+                    return;
+                }
             }
         };
         let request: Request = match serde_json::from_str(&frame) {
             Ok(r) => r,
             Err(e) => {
                 metrics.protocol_errors.inc();
-                send(&writer, &Response::Error(e.to_string()), metrics);
+                send(writer, &Response::Error(e.to_string()), metrics);
                 continue;
             }
         };
-        match request {
-            Request::Ping => send(&writer, &Response::Pong, metrics),
-            Request::Stats => {
-                let snap = metrics.snapshot(queue.depth());
-                send(&writer, &Response::Stats(snap), metrics);
+        handle_request(request, writer, queue, metrics, model, shutdown);
+    }
+}
+
+/// The `BIN1` frame loop: one reused read arena and one pooled input
+/// spare for the connection's whole life — at steady state a request
+/// costs no allocations on the read path.
+fn bin_loop(
+    reader: &mut TcpStream,
+    writer: &Conn,
+    queue: &AdmissionQueue<Conn>,
+    metrics: &Metrics,
+    model: &ServeModel,
+    shutdown: &ShutdownFlag,
+    cfg: &ServeConfig,
+) {
+    let mut arena: Vec<u8> = Vec::new();
+    let mut spare: Vec<f32> = pool_take();
+    loop {
+        let mut frame_deadline: Option<Instant> = None;
+        let mut len_buf = [0u8; 4];
+        match read_full(
+            reader,
+            &mut len_buf,
+            true,
+            shutdown,
+            &mut frame_deadline,
+            cfg.frame_deadline,
+        ) {
+            Ok(true) => {}
+            Ok(false) => {
+                pool_put(spare);
+                return; // clean EOF or idle shutdown
             }
-            Request::Shutdown => {
-                send(&writer, &Response::ShuttingDown, metrics);
-                shutdown.trigger();
+            Err(e) => {
+                count_read_error(&e, metrics);
+                pool_put(spare);
+                return;
             }
-            Request::Infer(req) => {
-                if req.input.len() != model.input_features() {
-                    metrics.protocol_errors.inc();
-                    send(
-                        &writer,
-                        &Response::Error(format!(
-                            "input has {} features, model expects {}",
-                            req.input.len(),
-                            model.input_features()
-                        )),
-                        metrics,
-                    );
-                    continue;
-                }
-                // The executor's activation quantizer asserts inputs are
-                // non-negative; a NaN or negative feature would panic a
-                // bank worker. Reject exactly those at admission —
-                // catch_unwind downstream stays as defense in depth,
-                // not the first line.
-                if req.input.iter().any(|v| v.is_nan() || *v < 0.0) {
-                    metrics.protocol_errors.inc();
-                    send(
-                        &writer,
-                        &Response::Error(format!(
-                            "input for id {} has NaN or negative features \
-                             (expected values in [0, 1])",
-                            req.id
-                        )),
-                        metrics,
-                    );
-                    continue;
-                }
-                let pending = Pending {
-                    id: req.id,
-                    input: req.input,
-                    enqueued: Instant::now(),
-                    reply: Arc::clone(&writer),
-                };
-                match queue.try_enqueue(pending) {
-                    Ok(()) => {
-                        metrics.admitted.inc();
-                    }
-                    Err((rejected, why)) => {
-                        metrics.shed.inc();
-                        send(
-                            &writer,
-                            &Response::Shed(ShedReply {
-                                id: rejected.id,
-                                reason: why.reason().to_owned(),
-                            }),
-                            metrics,
-                        );
-                    }
-                }
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_FRAME_BYTES {
+            metrics.protocol_errors.inc();
+            send(
+                writer,
+                &Response::Error(wire::WireError::Oversized(len).to_string()),
+                metrics,
+            );
+            pool_put(spare);
+            return; // framing is unrecoverable
+        }
+        arena.clear();
+        arena.resize(len as usize, 0);
+        match read_full(
+            reader,
+            &mut arena,
+            false,
+            shutdown,
+            &mut frame_deadline,
+            cfg.frame_deadline,
+        ) {
+            Ok(_) => {}
+            Err(e) => {
+                count_read_error(&e, metrics);
+                pool_put(spare);
+                return;
             }
+        }
+        let request = match wire::decode_request_reusing(&arena, &mut spare) {
+            Ok(r) => r,
+            Err(e) => {
+                // Typed reject; framing itself is still aligned (the
+                // length prefix was honored), so the connection lives.
+                metrics.protocol_errors.inc();
+                send(writer, &Response::Error(e.to_string()), metrics);
+                continue;
+            }
+        };
+        let took_spare = matches!(request, Request::Infer(_));
+        handle_request(request, writer, queue, metrics, model, shutdown);
+        if took_spare {
+            spare = pool_take();
         }
     }
 }
@@ -644,7 +915,7 @@ pub fn argmax_total(row: &[f32]) -> usize {
 /// per-sample noise isolation, write each response, record latencies.
 fn execute_batch(
     bank: usize,
-    batch: Vec<Pending<Conn>>,
+    mut batch: Vec<Pending<Conn>>,
     model: &ServeModel,
     metrics: &Metrics,
     service_delay: Duration,
@@ -667,6 +938,11 @@ fn execute_batch(
                 .any(|req| req.input.first().map(|v| v.to_bits()) == Some(sentinel.to_bits())),
             "injected chaos fault (fail_input_sentinel hit on bank {bank})"
         );
+    }
+    // The inputs have been copied into the batch tensor; recycle their
+    // buffers so BIN1 connections keep allocation-free at steady state.
+    for req in &mut batch {
+        pool_put(std::mem::take(&mut req.input));
     }
     let x = Tensor::from_vec(&[n, features], data);
 

@@ -1,0 +1,144 @@
+//! Kernel equivalence suite (CI `perf` job): the packed `u64` bit-plane
+//! shift-add MAC kernel must reproduce the deprecated scalar
+//! `matmul_parallel` reference **exactly** (f32 bit equality) whenever
+//! noise is disabled — the integer pMACV, the ADC transfer, and the
+//! digital shift-add are all deterministic, so any divergence is a
+//! kernel bug, not a tolerance question.
+//!
+//! With noise enabled the two kernels draw from different generator
+//! sequences by design (documented in `neural::imc_exec::packed`), so
+//! cross-kernel agreement there is statistical and covered by the
+//! neural crate's unit tests; this suite pins the exact contract.
+
+use neural::imc_exec::{ImcConfig, ImcDesign, MacKernel, QNetwork};
+use neural::models::{mlp, Sequential};
+use neural::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Serve-model default weight seed (mirrors
+/// `imc_serve::model::DEFAULT_SEED` without linking the serve crate).
+const DEFAULT_SEED: u64 = 0x5E44_E001;
+
+fn noiseless(design: ImcDesign) -> ImcConfig {
+    let mut cfg = ImcConfig::paper(design, 4, 8);
+    cfg.noise_scale = 0.0;
+    cfg
+}
+
+/// Builds both kernels on the same float network and asserts bitwise
+/// identical logits for every input row.
+fn assert_kernels_bit_identical(seq: &Sequential, cfg: ImcConfig, x: &Tensor) {
+    let packed = QNetwork::from_sequential_kernel(seq, cfg, MacKernel::Packed);
+    let scalar = QNetwork::from_sequential_kernel(seq, cfg, MacKernel::Scalar);
+    let yp = packed.forward(x);
+    let ys = scalar.forward(x);
+    assert_eq!(yp.shape(), ys.shape());
+    for (i, (a, b)) in yp.data().iter().zip(ys.data()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "logit {i} diverged: packed {a} vs scalar {b}"
+        );
+    }
+}
+
+fn ramp_input(features: usize, phase: usize) -> Tensor {
+    Tensor::from_vec(
+        &[1, features],
+        (0..features)
+            .map(|i| ((i + phase) % 13) as f32 / 13.0)
+            .collect(),
+    )
+}
+
+#[test]
+fn kernels_bit_identical_on_seed_checkpoints() {
+    // The serve model's shape at its default seed plus fixed checkpoint
+    // seeds, both designs. Exact equality on every logit.
+    for &seed in &[DEFAULT_SEED, 0xA5A5, 0x1234_5678, 7] {
+        for design in [ImcDesign::CurFe, ImcDesign::ChgFe] {
+            let seq = mlp(64, 16, 10, seed);
+            assert_kernels_bit_identical(&seq, noiseless(design), &ramp_input(64, seed as usize));
+        }
+    }
+}
+
+#[test]
+fn kernels_bit_identical_on_the_serve_shape() {
+    // Full 784→64→10 MNIST shape at the serving seed — the exact
+    // network `imc-serve` runs, minus noise.
+    let seq = mlp(784, 64, 10, DEFAULT_SEED);
+    let x = ramp_input(784, 3);
+    assert_kernels_bit_identical(&seq, noiseless(ImcDesign::ChgFe), &x);
+}
+
+#[test]
+fn scalar_escape_hatch_env_selects_the_deprecated_path() {
+    // `FEFET_IMC_SCALAR_MAC=1` flips the default constructor onto the
+    // deprecated scalar path; its outputs must still agree with an
+    // explicit packed build at noise 0.
+    std::env::set_var("FEFET_IMC_SCALAR_MAC", "1");
+    let via_env = MacKernel::from_env();
+    std::env::remove_var("FEFET_IMC_SCALAR_MAC");
+    assert_eq!(via_env, MacKernel::Scalar);
+    assert_eq!(MacKernel::from_env(), MacKernel::Packed);
+
+    let seq = mlp(48, 12, 6, 0xE5C4);
+    let cfg = noiseless(ImcDesign::CurFe);
+    let scalar = QNetwork::from_sequential_kernel(&seq, cfg, via_env);
+    let packed = QNetwork::from_sequential_kernel(&seq, cfg, MacKernel::Packed);
+    let x = ramp_input(48, 1);
+    let (ys, yp) = (scalar.forward(&x), packed.forward(&x));
+    for (a, b) in ys.data().iter().zip(yp.data()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn forward_each_matches_forward_on_both_kernels() {
+    // Batched execution must be row-wise bit-identical to single-sample
+    // execution for both kernels (the serving bit-exactness contract).
+    let seq = mlp(32, 8, 4, 0xBEEF);
+    let cfg = ImcConfig::paper(ImcDesign::ChgFe, 4, 8); // full noise
+    for kernel in [MacKernel::Packed, MacKernel::Scalar] {
+        let net = QNetwork::from_sequential_kernel(&seq, cfg, kernel);
+        let rows: Vec<f32> = (0..3 * 32).map(|i| (i % 9) as f32 / 9.0).collect();
+        let batch = Tensor::from_vec(&[3, 32], rows.clone());
+        let out = net.forward_each(&batch);
+        for r in 0..3 {
+            let one = Tensor::from_vec(&[1, 32], rows[r * 32..(r + 1) * 32].to_vec());
+            let solo = net.forward(&one);
+            for (a, b) in out.data()[r * 4..(r + 1) * 4].iter().zip(solo.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "kernel {kernel:?} row {r}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random small architectures, seeds, inputs, and designs: the
+    /// packed kernel is bit-identical to the scalar reference at
+    /// noise 0, for both 2CM (CurFe) and N2CM-style (ChgFe) readout.
+    #[test]
+    fn packed_equals_scalar_reference_proptest(
+        features in 5usize..48,
+        hidden in 3usize..16,
+        classes in 2usize..6,
+        seed in any::<u64>(),
+        phase in 0usize..97,
+        chgfe in any::<bool>(),
+    ) {
+        let design = if chgfe { ImcDesign::ChgFe } else { ImcDesign::CurFe };
+        let seq = mlp(features, hidden, classes, seed);
+        let cfg = noiseless(design);
+        let packed = QNetwork::from_sequential_kernel(&seq, cfg, MacKernel::Packed);
+        let scalar = QNetwork::from_sequential_kernel(&seq, cfg, MacKernel::Scalar);
+        let x = ramp_input(features, phase);
+        let (yp, ys) = (packed.forward(&x), scalar.forward(&x));
+        for (a, b) in yp.data().iter().zip(ys.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

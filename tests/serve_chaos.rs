@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use imc_bench::chaos::{ChaosProxy, Fault};
 use imc_serve::model::{ServeModel, DEFAULT_SEED, MNIST_FEATURES};
 use imc_serve::protocol::{write_request, Request, Response};
-use imc_serve::{serve, Client, ServeConfig, ServerHandle};
+use imc_serve::{serve, Client, ClientConfig, Proto, ServeConfig, ServerHandle};
 use neural::imc_exec::ImcDesign;
 
 fn test_input(k: usize) -> Vec<f32> {
@@ -103,6 +103,130 @@ fn corrupted_frames_leave_clean_connections_bit_exact() {
         other => panic!("expected Output, got {other:?}"),
     }
     assert!(handle.metrics().protocol_errors.get() >= 1);
+
+    drop(proxy);
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn bin1_through_the_chaos_proxy_stays_bit_exact_and_errors_are_typed() {
+    // The binary protocol under the same byte-level abuse the JSON path
+    // survives. Stream layout on a BIN1 connection: 5 hello bytes, then
+    // a 4-byte LE length prefix, kind (1), id (8), count (4), payload.
+    // Corrupting stream byte 19 flips a bit inside the Infer frame's
+    // f32 *count* field — the length prefix stays intact, so the server
+    // sees a well-framed body whose declared count disagrees with its
+    // size: a typed decode error, never a desynced stream.
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &ServeConfig::default()).expect("bind");
+    let proxy = ChaosProxy::start(handle.addr(), |conn| {
+        if conn == 0 {
+            Fault::None
+        } else {
+            Fault::CorruptAfter(19)
+        }
+    })
+    .expect("start proxy");
+    let proxy_addr = proxy.addr().to_string();
+    let bin_cfg = || ClientConfig {
+        proto: Proto::Bin,
+        ..ClientConfig::default()
+    };
+
+    let mut clean = Client::connect_with(proxy_addr.as_str(), bin_cfg()).expect("clean connect");
+    clean.ping().expect("clean ping"); // pin connection index 0
+    let mut corrupt =
+        Client::connect_with(proxy_addr.as_str(), bin_cfg()).expect("corrupt connect");
+
+    // The corrupted frame comes back as a typed Error over BIN1.
+    match corrupt.infer(500, test_input(0)).expect("corrupt infer") {
+        Response::Error(_) => {}
+        other => panic!("expected Error for the corrupted frame, got {other:?}"),
+    }
+
+    // Clean BIN1 traffic through the same proxy stays bit-exact.
+    for k in 0..6usize {
+        match clean.infer(k as u64, test_input(k)).expect("clean infer") {
+            Response::Output(r) => assert_bit_exact(&model, &r, k),
+            other => panic!("expected Output, got {other:?}"),
+        }
+    }
+
+    // The fault fires once; afterwards the same connection serves
+    // bit-exact answers — framing survived the corrupt body.
+    match corrupt.infer(501, test_input(1)).expect("later infer") {
+        Response::Output(r) => assert_bit_exact(&model, &r, 1),
+        other => panic!("expected Output, got {other:?}"),
+    }
+    assert!(handle.metrics().protocol_errors.get() >= 1);
+
+    drop(proxy);
+    handle.shutdown_flag().trigger();
+    join_with_deadline(handle);
+}
+
+#[test]
+fn bin1_seeded_chaos_mix_preserves_bit_exactness_for_untouched_requests() {
+    // The loadgen chaos blend, speaking BIN1: faulted connections may
+    // die at any point (including during the handshake), but every
+    // Output that does arrive must match direct execution bit-for-bit.
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::CurFe, DEFAULT_SEED));
+    let cfg = ServeConfig {
+        frame_deadline: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind");
+    let proxy =
+        ChaosProxy::start(handle.addr(), |conn| Fault::seeded_mix(0xB1F1, conn)).expect("proxy");
+    let proxy_addr = proxy.addr().to_string();
+
+    let mut outputs = 0usize;
+    for conn in 0..6usize {
+        let Ok(mut client) = Client::connect_with(
+            proxy_addr.as_str(),
+            ClientConfig {
+                proto: Proto::Bin,
+                ..ClientConfig::default()
+            },
+        ) else {
+            continue; // handshake through a faulted connection may fail
+        };
+        for k in 0..4usize {
+            let id = (conn * 10 + k) as u64;
+            let mut sock_dead = false;
+            match client.infer(id, test_input(k)) {
+                Ok(Response::Output(r)) => {
+                    assert_bit_exact(&model, &r, k);
+                    outputs += 1;
+                }
+                Ok(Response::Error(_) | Response::Shed(_) | Response::Failed(_)) => {}
+                Ok(other) => panic!("unexpected response {other:?}"),
+                Err(_) => sock_dead = true,
+            }
+            if sock_dead {
+                break;
+            }
+        }
+    }
+    assert!(
+        outputs >= 4,
+        "the seeded mix keeps clean connections; got only {outputs} outputs"
+    );
+
+    // After the storm: direct BIN1 traffic is untouched.
+    let mut direct = Client::connect_with(
+        handle.addr(),
+        ClientConfig {
+            proto: Proto::Bin,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    match direct.infer(999, test_input(5)).expect("infer") {
+        Response::Output(r) => assert_bit_exact(&model, &r, 5),
+        other => panic!("expected Output, got {other:?}"),
+    }
 
     drop(proxy);
     handle.shutdown_flag().trigger();

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use imc_serve::model::{ServeModel, DEFAULT_SEED, MNIST_FEATURES};
 use imc_serve::protocol::{InferRequest, Request, Response};
-use imc_serve::{serve, Client, ServeConfig};
+use imc_serve::{serve, wire, Client, ClientConfig, Proto, ServeConfig};
 use neural::imc_exec::ImcDesign;
 
 fn test_input(k: usize) -> Vec<f32> {
@@ -104,6 +104,132 @@ fn batched_responses_are_bit_identical_to_direct_execution() {
 
     // Graceful shutdown by control request; join must drain and return.
     client.shutdown().expect("shutdown ack");
+    join_with_deadline(handle);
+}
+
+#[test]
+fn bin1_and_json_clients_interoperate_bit_exactly_on_one_server() {
+    // The negotiated BIN1 path and the JSON fallback share a server,
+    // banks, and batcher; both protocols must deliver the same
+    // bit-exact logits as direct `QNetwork` execution — encoding is
+    // transport, never arithmetic.
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let cfg = ServeConfig {
+        banks: 2,
+        max_batch: 8,
+        max_wait: Duration::from_millis(2),
+        ..ServeConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", Arc::clone(&model), &cfg).expect("bind");
+
+    let mut bin = Client::connect_with(
+        handle.addr(),
+        ClientConfig {
+            proto: Proto::Bin,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("bin connect + handshake");
+    let mut json = Client::connect(handle.addr()).expect("json connect");
+
+    bin.ping().expect("bin ping");
+    json.ping().expect("json ping");
+
+    // Pipeline a burst over BIN1 so the batcher coalesces; every reply
+    // must be bit-identical to direct execution.
+    const N: usize = 10;
+    for id in 0..N as u64 {
+        bin.send(&Request::Infer(InferRequest {
+            id,
+            input: test_input(id as usize),
+        }))
+        .expect("bin send");
+    }
+    for _ in 0..N {
+        match bin.recv().expect("bin recv").expect("open stream") {
+            Response::Output(r) => {
+                let direct = model.infer_one(&test_input(r.id as usize));
+                for (a, b) in r.logits.iter().zip(&direct) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "BIN1 request {} diverged", r.id);
+                }
+            }
+            other => panic!("expected Output, got {other:?}"),
+        }
+    }
+
+    // The same request over both protocols yields identical logits.
+    let probe = test_input(7);
+    let via_bin = match bin.infer(100, probe.clone()).expect("bin infer") {
+        Response::Output(r) => r.logits,
+        other => panic!("expected Output, got {other:?}"),
+    };
+    let via_json = match json.infer(101, probe).expect("json infer") {
+        Response::Output(r) => r.logits,
+        other => panic!("expected Output, got {other:?}"),
+    };
+    assert_eq!(via_bin.len(), via_json.len());
+    for (a, b) in via_bin.iter().zip(&via_json) {
+        assert_eq!(a.to_bits(), b.to_bits(), "protocols diverged on one input");
+    }
+
+    // Control-plane requests work over BIN1 too.
+    let stats = bin.stats().expect("bin stats");
+    assert!(stats.completed >= (N + 2) as u64);
+
+    // Typed errors cross the binary wire: a mis-sized input.
+    bin.send(&Request::Infer(InferRequest {
+        id: 200,
+        input: vec![0.25; 5],
+    }))
+    .expect("bin send bad");
+    match bin.recv().expect("recv").expect("open") {
+        Response::Error(msg) => assert!(msg.contains("features"), "got: {msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    bin.shutdown().expect("shutdown over BIN1");
+    join_with_deadline(handle);
+}
+
+#[test]
+fn bin1_version_mismatch_is_nacked_and_the_listener_survives() {
+    use std::io::{Read as _, Write as _};
+
+    let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
+    let handle = serve("127.0.0.1:0", model, &ServeConfig::default()).expect("bind");
+
+    // Speak the magic with an unsupported version: the server answers
+    // MAGIC + 0x00 (explicit nack) and closes — no hang, no JSON
+    // misinterpretation of the magic bytes.
+    let mut s = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let mut hello = wire::MAGIC.to_vec();
+    hello.push(wire::VERSION + 1);
+    s.write_all(&hello).expect("hello");
+    let mut ack = [0u8; 5];
+    s.read_exact(&mut ack).expect("nack bytes");
+    assert_eq!(&ack[..4], &wire::MAGIC);
+    assert_eq!(ack[4], 0, "expected version nack");
+    let mut rest = [0u8; 8];
+    match s.read(&mut rest) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("connection should close after nack, got {n} more bytes"),
+    }
+
+    // A correct client (and the JSON fallback) still work afterwards.
+    let mut bin = Client::connect_with(
+        handle.addr(),
+        ClientConfig {
+            proto: Proto::Bin,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("bin connect");
+    bin.ping().expect("bin ping after nack");
+    let mut json = Client::connect(handle.addr()).expect("json connect");
+    json.ping().expect("json ping after nack");
+
+    handle.shutdown_flag().trigger();
     join_with_deadline(handle);
 }
 
