@@ -66,10 +66,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use imc_bench::chaos::{ChaosProxy, Fault};
+use imc_fleet::{serve_fleet, FleetPlan, RouterConfig};
 use imc_serve::model::{parse_design, ServeModel, DEFAULT_SEED};
 use imc_serve::protocol::{read_response, write_request, InferRequest, Request, Response};
 use imc_serve::wire;
-use imc_serve::{serve, Client, ClientConfig, Proto, RetryPolicy, ServeConfig};
+use imc_serve::{serve, Client, ClientConfig, Proto, RetryPolicy, ServeConfig, ServerHandle};
 use neural::imc_exec::ImcDesign;
 use serde::Serialize;
 
@@ -79,7 +80,10 @@ use serde::Serialize;
 const INPUT_POOL: usize = 64;
 
 struct Args {
-    addr: Option<String>,
+    /// External target addresses (repeat `--addr`). Empty = spawn an
+    /// in-process server (or fleet). Load connections round-robin over
+    /// the addresses; `--stop-server` shuts down every one of them.
+    addrs: Vec<String>,
     obs_addr: Option<String>,
     design: ImcDesign,
     image: Option<String>,
@@ -93,6 +97,14 @@ struct Args {
     chaos: bool,
     chaos_seed: u64,
     proto: Proto,
+    /// In-process fleet: number of replica servers behind an `imc-fleet`
+    /// router (0 = no fleet).
+    fleet: usize,
+    /// Shard count for `--fleet` (1 = whole-model replication).
+    shards: usize,
+    /// With `--fleet`: hard-stop one replica this many ms into the run
+    /// (0 = never), proving failover keeps answers bit-exact mid-load.
+    kill_replica_ms: u64,
 }
 
 /// The chaos fail-point: no generated input starts with this value (the
@@ -102,12 +114,13 @@ struct Args {
 const CHAOS_SENTINEL: f32 = 2.0;
 
 fn parse_args() -> Result<Args, String> {
-    let usage = "usage: loadgen [--addr HOST:PORT] [--design curfe|chgfe] [--seed N]\n\
+    let usage = "usage: loadgen [--addr HOST:PORT ...] [--design curfe|chgfe] [--seed N]\n\
                  \x20              [--image PATH] [--qps N] [--duration-s N] [--conns N]\n\
                  \x20              [--out PATH] [--smoke] [--stop-server] [--obs-addr HOST:PORT]\n\
-                 \x20              [--chaos] [--chaos-seed N] [--proto json|bin]";
+                 \x20              [--chaos] [--chaos-seed N] [--proto json|bin]\n\
+                 \x20              [--fleet N] [--shards N] [--kill-replica-ms N]";
     let mut args = Args {
-        addr: None,
+        addrs: Vec::new(),
         obs_addr: None,
         design: ImcDesign::ChgFe,
         image: None,
@@ -121,6 +134,9 @@ fn parse_args() -> Result<Args, String> {
         chaos: false,
         chaos_seed: 0xC4A0,
         proto: Proto::Bin,
+        fleet: 0,
+        shards: 1,
+        kill_replica_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -129,7 +145,7 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("{name} needs a value\n{usage}"))
         };
         match flag.as_str() {
-            "--addr" => args.addr = Some(value("--addr")?),
+            "--addr" => args.addrs.push(value("--addr")?),
             "--obs-addr" => args.obs_addr = Some(value("--obs-addr")?),
             "--design" => args.design = parse_design(&value("--design")?)?,
             "--image" => args.image = Some(value("--image")?),
@@ -163,6 +179,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--chaos-seed: {e}"))?;
             }
             "--proto" => args.proto = value("--proto")?.parse()?,
+            "--fleet" => {
+                args.fleet = value("--fleet")?
+                    .parse()
+                    .map_err(|e| format!("--fleet: {e}"))?;
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--kill-replica-ms" => {
+                args.kill_replica_ms = value("--kill-replica-ms")?
+                    .parse()
+                    .map_err(|e| format!("--kill-replica-ms: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{usage}")),
         }
@@ -170,12 +201,27 @@ fn parse_args() -> Result<Args, String> {
     if args.qps == 0 || args.conns == 0 || args.duration_s <= 0.0 {
         return Err("--qps, --conns, and --duration-s must be positive".to_owned());
     }
-    if args.chaos && args.addr.is_some() {
+    if args.chaos && !args.addrs.is_empty() {
         return Err(
             "--chaos requires the in-process server (the fault proxy and the panic \
              fail-point wrap it); drop --addr"
                 .to_owned(),
         );
+    }
+    if args.fleet > 0 {
+        if !args.addrs.is_empty() || args.image.is_some() || args.chaos {
+            return Err("--fleet spawns its own replicas; drop --addr/--image/--chaos".to_owned());
+        }
+        if args.shards == 0 || args.fleet % args.shards != 0 {
+            return Err("--fleet must be a positive multiple of --shards".to_owned());
+        }
+        if args.kill_replica_ms > 0 && args.fleet / args.shards < 2 {
+            return Err(
+                "--kill-replica-ms needs at least 2 replicas per shard to fail over to".to_owned(),
+            );
+        }
+    } else if args.shards != 1 || args.kill_replica_ms > 0 {
+        return Err("--shards/--kill-replica-ms require --fleet".to_owned());
     }
     Ok(args)
 }
@@ -209,6 +255,10 @@ struct Report {
     /// Sent requests orphaned by a dead connection (never answerable).
     dropped: u64,
     shed_rate: f64,
+    /// In-process fleet replicas spawned for this run (0 = no fleet).
+    fleet_replicas: usize,
+    /// Shards the fleet model was split into (0 = no fleet).
+    fleet_shards: usize,
     p50_us: u64,
     p95_us: u64,
     p99_us: u64,
@@ -592,64 +642,147 @@ fn main() -> ExitCode {
     let expected: Arc<Vec<Vec<f32>>> =
         Arc::new(inputs.iter().map(|x| oracle.infer_one(x)).collect());
 
-    // Target: an external server, or an in-process one on an ephemeral
-    // port (spawned with the same oracle weights).
+    // Target(s): external servers (round-robin over every --addr), an
+    // in-process fleet (replicas behind a router), or a single
+    // in-process server on an ephemeral port (same oracle weights).
     let mut local = None;
-    let addr = match &args.addr {
-        Some(a) => a.clone(),
-        None => {
-            let server_model = match build_model() {
-                Ok(m) => m,
-                Err(e) => {
-                    eprintln!("loadgen: {e}");
-                    return ExitCode::FAILURE;
+    let mut replica_handles: Vec<ServerHandle> = Vec::new();
+    let mut fleet_router = None;
+    let targets: Vec<String> = if args.fleet > 0 {
+        // In-process fleet: spawn the replicas (sharded when --shards >
+        // 1, whole-model otherwise), then a router in front. Load
+        // connections dial only the router.
+        let per_shard = args.fleet / args.shards;
+        for r in 0..args.fleet {
+            let model = if args.shards > 1 {
+                match ServeModel::synthetic_shard(
+                    args.design,
+                    args.seed,
+                    r / per_shard,
+                    args.shards,
+                ) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("loadgen: shard replica {r}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
+            } else {
+                ServeModel::synthetic(args.design, args.seed)
             };
-            let mut cfg = ServeConfig::default();
-            if args.chaos {
-                // A deadline short enough that stalled half-frames are
-                // reclaimed within the run, and the deliberate panic
-                // fail-point the probe will trip.
-                cfg.frame_deadline = Duration::from_secs(2);
-                cfg.fail_input_sentinel = Some(CHAOS_SENTINEL);
-            }
-            let handle =
-                serve("127.0.0.1:0", Arc::new(server_model), &cfg).expect("bind in-process server");
-            let a = handle.addr().to_string();
-            eprintln!("loadgen: in-process server on {a}");
-            local = Some(handle);
-            a
+            let h = serve("127.0.0.1:0", Arc::new(model), &ServeConfig::default())
+                .expect("bind fleet replica");
+            replica_handles.push(h);
         }
+        let replica_addrs: Vec<String> = replica_handles
+            .iter()
+            .map(|h| h.addr().to_string())
+            .collect();
+        let plan = match FleetPlan::synthetic(args.design, args.seed, args.shards) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("loadgen: fleet plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let rcfg = RouterConfig {
+            client: ClientConfig {
+                proto: args.proto,
+                ..ClientConfig::default()
+            },
+            ..RouterConfig::default()
+        };
+        let (router, admission) =
+            serve_fleet("127.0.0.1:0", plan, &replica_addrs, rcfg).expect("bind fleet router");
+        if !admission.is_empty() {
+            eprintln!("loadgen: fleet admission failed: {admission:?}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "loadgen: in-process fleet on {} ({} replica(s), {} shard(s))",
+            router.addr(),
+            args.fleet,
+            args.shards
+        );
+        let t = vec![router.addr().to_string()];
+        fleet_router = Some(router);
+        t
+    } else if !args.addrs.is_empty() {
+        args.addrs.clone()
+    } else {
+        let server_model = match build_model() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut cfg = ServeConfig::default();
+        if args.chaos {
+            // A deadline short enough that stalled half-frames are
+            // reclaimed within the run, and the deliberate panic
+            // fail-point the probe will trip.
+            cfg.frame_deadline = Duration::from_secs(2);
+            cfg.fail_input_sentinel = Some(CHAOS_SENTINEL);
+        }
+        let handle =
+            serve("127.0.0.1:0", Arc::new(server_model), &cfg).expect("bind in-process server");
+        let a = handle.addr().to_string();
+        eprintln!("loadgen: in-process server on {a}");
+        local = Some(handle);
+        vec![a]
     };
 
     // Under --chaos the load connections dial a fault-injecting proxy;
     // control traffic (probe, ping, shutdown) keeps the direct address.
-    let server_addr = addr.clone();
+    // Chaos is restricted to the single in-process server at parse time.
+    let server_addr = targets[0].clone();
     let mut proxy = None;
-    let addr = if args.chaos {
-        let upstream: std::net::SocketAddr = addr.parse().expect("server address parses");
+    let targets: Vec<String> = if args.chaos {
+        let upstream: std::net::SocketAddr = targets[0].parse().expect("server address parses");
         let seed = args.chaos_seed;
         let p = ChaosProxy::start(upstream, move |conn| Fault::seeded_mix(seed, conn))
             .expect("start chaos proxy");
         let a = p.addr().to_string();
         eprintln!("loadgen: chaos proxy on {a} (seed {seed:#x})");
         proxy = Some(p);
-        a
+        vec![a]
     } else {
-        addr
+        targets
+    };
+
+    // Mid-load replica kill: hard-stop the first fleet replica after the
+    // requested delay. The router must fail over — retries are fine,
+    // wrong answers are not (replicas-per-shard >= 2 checked at parse).
+    let kill_thread = if args.kill_replica_ms > 0 {
+        let victim = replica_handles.remove(0);
+        let delay = Duration::from_millis(args.kill_replica_ms);
+        Some(std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            eprintln!("loadgen: stopping replica {} mid-load", victim.addr());
+            victim.shutdown_flag().trigger();
+            victim.join();
+        }))
+    } else {
+        None
     };
 
     let duration = Duration::from_secs_f64(args.duration_s);
     eprintln!(
-        "loadgen: {} qps for {:.1}s over {} connection(s) against {addr} (proto {})",
-        args.qps, args.duration_s, args.conns, args.proto
+        "loadgen: {} qps for {:.1}s over {} connection(s) against {} (proto {})",
+        args.qps,
+        args.duration_s,
+        args.conns,
+        targets.join(", "),
+        args.proto
     );
     let t0 = Instant::now();
     let global_sent = Arc::new(AtomicU64::new(0));
     let results: Vec<Result<ConnResult, String>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..args.conns)
             .map(|c| {
-                let addr = addr.as_str();
+                // Multiple --addr targets round-robin over connections.
+                let addr = targets[c % targets.len()].as_str();
                 let inputs = &inputs;
                 let expected = &expected;
                 let global_sent = &global_sent;
@@ -739,14 +872,35 @@ fn main() -> ExitCode {
         p.stop();
     }
 
+    if let Some(k) = kill_thread {
+        let _ = k.join();
+    }
+
+    // --stop-server drains *every* target, not just the first: each
+    // --addr gets its own Shutdown (under --chaos the direct server
+    // address is used, never the fault proxy).
     if args.stop_server && conn_failures < args.conns {
-        match Client::connect(server_addr.as_str()).and_then(|mut c| c.shutdown()) {
-            Ok(()) => eprintln!("loadgen: server acknowledged shutdown"),
-            Err(e) => eprintln!("loadgen: shutdown request failed: {e}"),
+        let stop_addrs: &[String] = if args.chaos {
+            std::slice::from_ref(&server_addr)
+        } else {
+            &targets
+        };
+        for a in stop_addrs {
+            match Client::connect(a.as_str()).and_then(|mut c| c.shutdown()) {
+                Ok(()) => eprintln!("loadgen: {a} acknowledged shutdown"),
+                Err(e) => eprintln!("loadgen: shutdown request to {a} failed: {e}"),
+            }
         }
     }
-    let local_server_ran = local.is_some();
+    let local_server_ran = local.is_some() || fleet_router.is_some();
     if let Some(handle) = local {
+        handle.shutdown_flag().trigger();
+        handle.join();
+    }
+    if let Some(router) = fleet_router {
+        router.shutdown();
+    }
+    for handle in replica_handles {
         handle.shutdown_flag().trigger();
         handle.join();
     }
@@ -773,6 +927,8 @@ fn main() -> ExitCode {
         } else {
             0.0
         },
+        fleet_replicas: args.fleet,
+        fleet_shards: if args.fleet > 0 { args.shards } else { 0 },
         p50_us: quantile(&lat, 0.50),
         p95_us: quantile(&lat, 0.95),
         p99_us: quantile(&lat, 0.99),
@@ -804,6 +960,16 @@ fn main() -> ExitCode {
             c("imc_serve_conn_deadline_drops_total"),
             c("imc_serve_busy_rejects_total"),
         );
+        if args.fleet > 0 {
+            // Unlabeled serve counters are "latest registration wins",
+            // so with N in-process replicas the lines above show only
+            // the last replica's share; the labeled fleet.* families
+            // carry the per-replica truth.
+            println!(
+                "obs: fleet infers={} (serve counters above are one replica's share)",
+                c("fleet.infer_total"),
+            );
+        }
         let mc_failures = c("sim_mc_trial_failures_total");
         if c("sim_mc_trials_total") > 0 {
             println!(

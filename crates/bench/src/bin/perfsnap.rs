@@ -28,6 +28,7 @@ use imc_core::chgfe::ChgFeBlockPair;
 use imc_core::circuit::curfe_row_circuit;
 use imc_core::config::{ChgFeConfig, CurFeConfig};
 use imc_core::weights::{SignedNibble, UnsignedNibble};
+use imc_fleet::{serve_fleet, FleetPlan, RouterConfig};
 use imc_serve::model::{ServeModel, DEFAULT_SEED};
 use imc_serve::protocol::{InferRequest, Request, Response};
 use imc_serve::{serve, wire, Client, ClientConfig, Proto, ServeConfig};
@@ -163,6 +164,160 @@ struct Pr6Snapshot {
     p50_us: u64,
     p95_us: u64,
     p99_us: u64,
+}
+
+/// The fleet-serving snapshot written to `BENCH_pr7.json` — single-node
+/// vs routed-fleet throughput measured back to back in the same process,
+/// same closed-loop client, same `BIN1` wire.
+#[derive(Serialize)]
+struct Pr7Snapshot {
+    /// Worker-pool width in effect.
+    threads: usize,
+    /// Physical cores visible to the process; fleet speedup is bounded
+    /// by this, so a 1-core box honestly reports < 1x.
+    cores: usize,
+    /// Closed-loop requests timed per section.
+    requests: u64,
+    /// Direct in-process single server.
+    single_node_inf_per_s: f64,
+    /// 4 whole-model replicas behind the fleet router (adds one
+    /// router hop per request).
+    fleet4_inf_per_s: f64,
+    /// `fleet4 / single_node`.
+    fleet4_speedup: f64,
+    /// 2-shard fleet: the router scatters activation codes and combines
+    /// integer partial sums per layer.
+    sharded2_inf_per_s: f64,
+    /// Client-observed latency quantiles (µs) for the fleet4 section.
+    fleet4_p50_us: u64,
+    fleet4_p95_us: u64,
+    fleet4_p99_us: u64,
+    /// Every routed answer in every section matched the single-node
+    /// oracle bit for bit.
+    bit_exact: bool,
+}
+
+/// Times single-node, 4-replica, and 2-shard serving for
+/// `BENCH_pr7.json`, verifying bit-exactness of every routed answer.
+fn pr7_snapshot() -> Pr7Snapshot {
+    let design = ImcDesign::ChgFe;
+    let oracle = ServeModel::synthetic(design, DEFAULT_SEED);
+    let input: Vec<f32> = (0..oracle.input_features())
+        .map(|i| (i % 17) as f32 / 17.0)
+        .collect();
+    let expect = oracle.infer_one(&input);
+    let n = 400u64;
+    let mut scfg = ServeConfig::default();
+    scfg.max_wait = std::time::Duration::ZERO;
+
+    let mut bit_exact = true;
+    let mut run = |addr: &str| -> (f64, Vec<u64>) {
+        let ccfg = ClientConfig {
+            proto: Proto::Bin,
+            ..ClientConfig::default()
+        };
+        let mut client = Client::connect_with(addr, ccfg).expect("connect");
+        for id in 0..32u64 {
+            client.infer(id, input.clone()).expect("warmup infer");
+        }
+        let mut lat_us: Vec<u64> = Vec::with_capacity(n as usize);
+        let t0 = Instant::now();
+        for id in 0..n {
+            let t = Instant::now();
+            match client.infer(1000 + id, input.clone()).expect("infer") {
+                Response::Output(r) => {
+                    lat_us.push(t.elapsed().as_micros() as u64);
+                    if r.logits.len() != expect.len()
+                        || !expect
+                            .iter()
+                            .zip(&r.logits)
+                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                    {
+                        bit_exact = false;
+                    }
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        lat_us.sort_unstable();
+        (n as f64 / wall, lat_us)
+    };
+
+    // --- single node -----------------------------------------------------
+    let single = serve(
+        "127.0.0.1:0",
+        Arc::new(ServeModel::synthetic(design, DEFAULT_SEED)),
+        &scfg,
+    )
+    .expect("bind single server");
+    let (single_rate, _) = run(&single.addr().to_string());
+    single.shutdown_flag().trigger();
+    single.join();
+
+    // --- 4 whole-model replicas behind the router ------------------------
+    let rcfg = || RouterConfig {
+        client: ClientConfig {
+            proto: Proto::Bin,
+            ..ClientConfig::default()
+        },
+        ..RouterConfig::default()
+    };
+    let replicas: Vec<_> = (0..4)
+        .map(|_| {
+            serve(
+                "127.0.0.1:0",
+                Arc::new(ServeModel::synthetic(design, DEFAULT_SEED)),
+                &scfg,
+            )
+            .expect("bind replica")
+        })
+        .collect();
+    let addrs: Vec<String> = replicas.iter().map(|h| h.addr().to_string()).collect();
+    let plan = FleetPlan::synthetic(design, DEFAULT_SEED, 1).expect("fleet plan");
+    let (router, admission) =
+        serve_fleet("127.0.0.1:0", plan, &addrs, rcfg()).expect("bind router");
+    assert!(admission.is_empty(), "clean admission: {admission:?}");
+    let (fleet4_rate, fleet4_lat) = run(&router.addr().to_string());
+    router.shutdown();
+    for h in replicas {
+        h.shutdown_flag().trigger();
+        h.join();
+    }
+
+    // --- 2-shard fleet ---------------------------------------------------
+    let shards: Vec<_> = (0..2)
+        .map(|i| {
+            let m = ServeModel::synthetic_shard(design, DEFAULT_SEED, i, 2).expect("shard model");
+            serve("127.0.0.1:0", Arc::new(m), &scfg).expect("bind shard replica")
+        })
+        .collect();
+    let addrs: Vec<String> = shards.iter().map(|h| h.addr().to_string()).collect();
+    let plan = FleetPlan::synthetic(design, DEFAULT_SEED, 2).expect("sharded plan");
+    let (router, admission) =
+        serve_fleet("127.0.0.1:0", plan, &addrs, rcfg()).expect("bind sharded router");
+    assert!(admission.is_empty(), "clean admission: {admission:?}");
+    let (sharded_rate, _) = run(&router.addr().to_string());
+    router.shutdown();
+    for h in shards {
+        h.shutdown_flag().trigger();
+        h.join();
+    }
+
+    let q = |lat: &[u64], f: f64| lat[((lat.len() - 1) as f64 * f).round() as usize];
+    Pr7Snapshot {
+        threads: par_exec::threads(),
+        cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        requests: n,
+        single_node_inf_per_s: single_rate,
+        fleet4_inf_per_s: fleet4_rate,
+        fleet4_speedup: fleet4_rate / single_rate,
+        sharded2_inf_per_s: sharded_rate,
+        fleet4_p50_us: q(&fleet4_lat, 0.50),
+        fleet4_p95_us: q(&fleet4_lat, 0.95),
+        fleet4_p99_us: q(&fleet4_lat, 0.99),
+        bit_exact,
+    }
 }
 
 /// Measures the packed vs scalar MAC kernels, the two wire encodings,
@@ -417,6 +572,9 @@ fn main() {
     let pr6_out_path = std::env::args()
         .nth(4)
         .unwrap_or_else(|| "BENCH_pr6.json".to_owned());
+    let pr7_out_path = std::env::args()
+        .nth(5)
+        .unwrap_or_else(|| "BENCH_pr7.json".to_owned());
     let ccfg = CurFeConfig::paper();
     let qcfg = ChgFeConfig::paper();
 
@@ -521,5 +679,13 @@ fn main() {
     std::fs::write(&pr6_out_path, format!("{json}\n")).expect("write pr6 snapshot");
     println!("{json}");
     println!("\nwrote {pr6_out_path}");
+
+    // --- fleet serving: single node vs routed replicas vs shards --------
+    let fsnap = pr7_snapshot();
+    assert!(fsnap.bit_exact, "fleet answers diverged from single-node");
+    let json = serde_json::to_string_pretty(&fsnap).expect("pr7 snapshot serializes");
+    std::fs::write(&pr7_out_path, format!("{json}\n")).expect("write pr7 snapshot");
+    println!("{json}");
+    println!("\nwrote {pr7_out_path}");
     imc_obs::print_summary_if_env();
 }

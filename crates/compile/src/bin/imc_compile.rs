@@ -36,6 +36,11 @@ commands:
     --manifest PATH      also write the manifest alone (CI artifact)
   inspect IMAGE      print a human summary of an image
   diff A B           list differences between two images (exit 1 if any)
+  fleet IMAGE        cut a compiled image into per-chip shard images
+    --shards N           shard count (default 2)
+    --out-dir DIR        output directory (default .); writes
+                         shard_<i>.json per shard plus fleet.json,
+                         the router manifest
   make-checkpoint    write an untrained checkpoint for the architecture
     --out PATH --features N --hidden N --classes N --seed N";
 
@@ -297,6 +302,42 @@ fn cmd_diff(mut f: Flags) -> Result<bool, String> {
     Ok(false)
 }
 
+fn cmd_fleet(mut f: Flags) -> Result<(), String> {
+    let shards: usize = f.parsed("--shards", 2usize)?;
+    let out_dir = f.take("--out-dir")?.unwrap_or_else(|| ".".into());
+    let path = f
+        .take("--image")?
+        .or_else(|| (!f.args.is_empty()).then(|| f.args.remove(0)))
+        .ok_or("fleet needs an image path")?;
+    f.finish()?;
+    let base = ChipImage::load(&path).map_err(|e| e.to_string())?;
+    let (images, manifest) =
+        imc_compile::fleet::shard_image(&base, shards, "shard_").map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("mkdir {out_dir}: {e}"))?;
+    for (img, shard) in images.iter().zip(&manifest.shards) {
+        let p = format!("{out_dir}/{}", shard.image);
+        img.save(&p).map_err(|e| e.to_string())?;
+        let ranges: Vec<String> = shard
+            .layer_chunks
+            .iter()
+            .map(|r| format!("{}..{}", r[0], r[1]))
+            .collect();
+        println!(
+            "wrote {p}: shard {}/{shards}, digest {:#018x}, chunks [{}]",
+            shard.index,
+            shard.digest,
+            ranges.join(", ")
+        );
+    }
+    let mpath = format!("{out_dir}/fleet.json");
+    manifest.save(&mpath).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {mpath}: {shards} shards of {}x{}x{} (base digest {:#018x})",
+        manifest.arch.features, manifest.arch.hidden, manifest.arch.classes, manifest.base_digest
+    );
+    Ok(())
+}
+
 fn cmd_make_checkpoint(mut f: Flags) -> Result<(), String> {
     let out = f.take("--out")?.unwrap_or_else(|| "checkpoint.json".into());
     let arch = arch_flags(&mut f)?;
@@ -331,6 +372,7 @@ fn main() -> ExitCode {
                 Err(e) => fail(&e),
             }
         }
+        "fleet" => cmd_fleet(flags),
         "make-checkpoint" => cmd_make_checkpoint(flags),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };

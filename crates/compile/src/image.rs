@@ -324,6 +324,46 @@ pub struct Manifest {
     pub expected_accuracy_delta: f64,
 }
 
+/// Which slice of the model's accumulation chunks one fleet replica
+/// owns (DESIGN §14). Chunks — the macro's 32-row partial-sum unit —
+/// are the natural shard boundary: the packed kernel's noise streams
+/// and popcounts never cross one, so a replica computing only its
+/// chunk ranges produces i64 partial sums that recombine bit-exactly
+/// at the router.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This shard's index (`0..count`).
+    pub index: usize,
+    /// Total shards the model was split into.
+    pub count: usize,
+    /// Per MAC layer: the `[start, end)` global chunk range this shard
+    /// executes (`start == end` = this shard has no work in the layer).
+    pub layer_chunks: Vec<[usize; 2]>,
+}
+
+impl ShardSpec {
+    /// The contiguous even chunk partition: shard `index` of `count`
+    /// gets chunks `⌊index·C/count⌋ .. ⌊(index+1)·C/count⌋` of each
+    /// layer — ranges tile every layer exactly, and a layer with fewer
+    /// chunks than shards leaves the surplus shards empty there.
+    #[must_use]
+    pub fn even(arch: &MlpArch, rows: usize, index: usize, count: usize) -> Self {
+        let layer_chunks = arch
+            .layer_shapes()
+            .iter()
+            .map(|s| {
+                let chunks = s.in_ch.div_ceil(rows.max(1));
+                [index * chunks / count, (index + 1) * chunks / count]
+            })
+            .collect();
+        Self {
+            index,
+            count,
+            layer_chunks,
+        }
+    }
+}
+
 /// The deployable artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChipImage {
@@ -342,6 +382,11 @@ pub struct ChipImage {
     pub placement: PlacementTable,
     /// Compile record.
     pub manifest: Manifest,
+    /// `Some` on a per-chip shard image emitted by `imc-compile fleet`:
+    /// the replica carries the full weights (they are small — packing is
+    /// content-addressed anyway) but answers partial-MAC requests only
+    /// for the chunk ranges listed here. `None` = a whole-model image.
+    pub shard: Option<ShardSpec>,
 }
 
 impl ChipImage {
@@ -392,7 +437,96 @@ impl ChipImage {
                 "predicted logits don't cover the probe set".into(),
             ));
         }
+        if let Some(shard) = &self.shard {
+            if shard.count == 0 || shard.index >= shard.count {
+                return Err(CompileError::BadImage(format!(
+                    "shard {}/{} out of range",
+                    shard.index, shard.count
+                )));
+            }
+            if shard.layer_chunks.len() != shapes.len() {
+                return Err(CompileError::BadImage(format!(
+                    "shard covers {} layers, architecture has {}",
+                    shard.layer_chunks.len(),
+                    shapes.len()
+                )));
+            }
+            for (li, (range, shape)) in shard.layer_chunks.iter().zip(&shapes).enumerate() {
+                let chunks = shape.in_ch.div_ceil(self.imc.rows.max(1));
+                if range[0] > range[1] || range[1] > chunks {
+                    return Err(CompileError::BadImage(format!(
+                        "shard layer {li} chunk range {}..{} invalid ({chunks} chunks)",
+                        range[0], range[1]
+                    )));
+                }
+            }
+        }
         self.imc.to_config().map(|_| ())
+    }
+
+    /// Content digest of everything serving-relevant: format version,
+    /// architecture, executor settings, effective + stored codes,
+    /// biases, and the shard assignment. Two images with equal digests
+    /// serve bit-identically (and interchangeable shards never collide
+    /// with the wrong slice, since the shard spec is hashed) — the
+    /// fleet router quarantines replicas whose reported digest differs
+    /// from the manifest's expectation (DESIGN §14).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over a canonical byte stream; stable across runs and
+        // platforms (all multi-byte values are folded little-endian).
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        fn eat_u64(h: &mut u64, v: u64) {
+            eat(h, &v.to_le_bytes());
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        eat(&mut h, &self.version.to_le_bytes());
+        eat_u64(&mut h, self.arch.features as u64);
+        eat_u64(&mut h, self.arch.hidden as u64);
+        eat_u64(&mut h, self.arch.classes as u64);
+        eat_u64(&mut h, self.weight_seed);
+        eat(&mut h, self.imc.design.as_bytes());
+        eat(&mut h, &self.imc.adc_bits.to_le_bytes());
+        eat(&mut h, &self.imc.input_bits.to_le_bytes());
+        eat(&mut h, &self.imc.weight_bits.to_le_bytes());
+        eat_u64(&mut h, self.imc.rows as u64);
+        eat_u64(&mut h, self.imc.seed);
+        eat_u64(&mut h, self.imc.noise_scale.to_bits());
+        eat_u64(&mut h, self.imc.read_noise_fraction.to_bits());
+        for layer in &self.layers {
+            eat(&mut h, layer.name.as_bytes());
+            eat_u64(&mut h, layer.effective.scale.to_bits().into());
+            eat(&mut h, &layer.effective.bits.to_le_bytes());
+            eat_u64(&mut h, layer.effective.shape[0] as u64);
+            eat_u64(&mut h, layer.effective.shape[1] as u64);
+            for &q in &layer.effective.q {
+                eat(&mut h, &q.to_le_bytes());
+            }
+            for &s in &layer.stored {
+                eat(&mut h, &s.to_le_bytes());
+            }
+            for &b in &layer.bias {
+                eat(&mut h, &b.to_bits().to_le_bytes());
+            }
+        }
+        match &self.shard {
+            None => eat(&mut h, &[0]),
+            Some(s) => {
+                eat(&mut h, &[1]);
+                eat_u64(&mut h, s.index as u64);
+                eat_u64(&mut h, s.count as u64);
+                for r in &s.layer_chunks {
+                    eat_u64(&mut h, r[0] as u64);
+                    eat_u64(&mut h, r[1] as u64);
+                }
+            }
+        }
+        h
     }
 
     /// Rebuilds the executor exactly as the compiler ran it: same config,
@@ -518,6 +652,32 @@ impl ChipImage {
         }
         if self.manifest.predicted_logits != other.manifest.predicted_logits {
             out.push("predicted logits differ".into());
+        }
+        match (&self.shard, &other.shard) {
+            (None, None) => {}
+            (Some(a), Some(b)) if a == b => {}
+            (Some(a), Some(b)) => {
+                if a.count != b.count {
+                    out.push(format!("shard count: {} vs {}", a.count, b.count));
+                }
+                if a.index != b.index {
+                    out.push(format!("shard index: {} vs {}", a.index, b.index));
+                }
+                if a.layer_chunks != b.layer_chunks {
+                    out.push(format!(
+                        "shard chunk coverage: {:?} vs {:?}",
+                        a.layer_chunks, b.layer_chunks
+                    ));
+                }
+            }
+            (Some(a), None) => out.push(format!(
+                "shard {}/{} vs whole-model image",
+                a.index, a.count
+            )),
+            (None, Some(b)) => out.push(format!(
+                "whole-model image vs shard {}/{}",
+                b.index, b.count
+            )),
         }
         out
     }

@@ -30,6 +30,7 @@
 //!    and the expected accuracy delta. `imc-serve --image` loads it and
 //!    serves outputs bit-identical to the compiler's predictions.
 
+pub mod fleet;
 pub mod image;
 pub mod pipeline;
 pub mod placement;

@@ -317,6 +317,7 @@ pub fn compile(
             oracle_agreement: 1.0,
             expected_accuracy_delta: 0.0,
         },
+        shard: None,
     };
     image.manifest.slots = image.placement.slots();
 

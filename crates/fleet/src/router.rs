@@ -1,0 +1,715 @@
+//! The fleet front door: a TCP server speaking the `imc-serve`
+//! protocol (JSON and `BIN1`) that routes whole-model `Infer` requests
+//! over a fleet of chip replicas.
+//!
+//! Two routing modes, chosen by the plan's shard count:
+//!
+//! * **Replicated** (1 shard): every replica holds the whole model; the
+//!   router round-robins `Infer` requests across healthy replicas and
+//!   fails over on I/O errors. Responses pass through unchanged, so
+//!   answers are bit-identical to talking to any single replica.
+//! * **Sharded** (N > 1 shards): each replica holds one shard's chunk
+//!   ranges. Per MAC layer the router quantizes the activations once,
+//!   scatters the codes to one replica per shard (`Partial`), sums the
+//!   returned i64 partials, and applies the digital glue
+//!   (`total * w_scale * act_scale + bias`). Because the operating
+//!   point satisfies the exact shift-add condition (checked at plan
+//!   construction), the integer sum and f32 glue reproduce single-node
+//!   `QNetwork::forward` bit-for-bit — see DESIGN §14.
+//!
+//! Failover: an I/O error marks the replica `Suspect`, bumps
+//! `fleet.failovers`, sleeps the client `RetryPolicy` backoff, and
+//! retries on the next replica of the same shard. Only correctness
+//! checks (stale digest, wrong shard width) quarantine — those replicas
+//! never serve again.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use imc_obs::{counter, counter_vec, gauge_vec};
+use imc_serve::protocol::{
+    self, DescribeReply, FailedReply, InferReply, Request, Response, MAX_FRAME_BYTES,
+};
+use imc_serve::{argmax_total, wire, Client, ClientConfig, RetryPolicy, ShutdownFlag};
+use neural::quant::quantize_activations;
+use neural::tensor::Tensor;
+
+use crate::health::{FleetError, HealthBoard, Replica};
+use crate::topology::FleetPlan;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Upstream (router → replica) client settings; `client.proto`
+    /// picks JSON or `BIN1` toward the replicas.
+    pub client: ClientConfig,
+    /// Failover pacing: attempt `k` against a shard sleeps
+    /// `retry.backoff_delay(k, request_id)` before trying the next
+    /// replica.
+    pub retry: RetryPolicy,
+    /// Connect+`Describe` attempts per replica during admission.
+    pub admit_attempts: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            client: ClientConfig::default(),
+            retry: RetryPolicy::default(),
+            admit_attempts: 4,
+        }
+    }
+}
+
+struct RouterState {
+    plan: FleetPlan,
+    board: Mutex<HealthBoard>,
+    cfg: RouterConfig,
+    shutdown: ShutdownFlag,
+}
+
+/// Handle to a running fleet router.
+pub struct FleetHandle {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl FleetHandle {
+    /// The router's bound listen address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's shutdown latch (shared with the accept loop).
+    #[must_use]
+    pub fn shutdown_flag(&self) -> ShutdownFlag {
+        self.state.shutdown.clone()
+    }
+
+    /// Snapshot of the replica scoreboard.
+    ///
+    /// # Panics
+    ///
+    /// Never — a poisoned board lock is recovered.
+    #[must_use]
+    pub fn replicas(&self) -> Vec<Replica> {
+        self.state
+            .board
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .replicas()
+            .to_vec()
+    }
+
+    /// Trips shutdown and joins the accept loop. In-flight connection
+    /// threads finish their current request and exit on client EOF.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.trigger();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until shutdown is triggered elsewhere (a `Shutdown`
+    /// request or a delivered signal), then joins the accept loop.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts the fleet router: admits `replica_addrs` against the plan,
+/// binds `addr`, and serves until shutdown.
+///
+/// Returns the handle plus the admission errors (quarantines and
+/// unreachable replicas) so callers can surface them; the router still
+/// starts as long as the listener binds — a fleet with holes serves
+/// what it can and fails requests for starved shards with typed
+/// errors.
+///
+/// # Errors
+///
+/// Only binding the listener can fail.
+pub fn serve_fleet<A: ToSocketAddrs>(
+    addr: A,
+    plan: FleetPlan,
+    replica_addrs: &[String],
+    cfg: RouterConfig,
+) -> io::Result<(FleetHandle, Vec<FleetError>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let state = Arc::new(RouterState {
+        board: Mutex::new(HealthBoard::new(plan.shard_count())),
+        plan,
+        cfg,
+        shutdown: ShutdownFlag::new(),
+    });
+    let mut admission = Vec::new();
+    for addr in replica_addrs {
+        if let Err(e) = admit_replica(&state, addr) {
+            admission.push(e);
+        }
+    }
+
+    let accept_state = Arc::clone(&state);
+    let accept = thread::Builder::new()
+        .name("fleet-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_state))
+        .expect("spawn fleet accept thread");
+
+    Ok((
+        FleetHandle {
+            addr: local,
+            state,
+            accept: Some(accept),
+        },
+        admission,
+    ))
+}
+
+/// Connects to one replica, verifies its `Describe` against the plan,
+/// and registers it on the board.
+fn admit_replica(state: &RouterState, addr: &str) -> Result<(), FleetError> {
+    let attempts = state.cfg.admit_attempts.max(1);
+    let mut last = String::new();
+    for attempt in 1..=attempts {
+        match Client::connect_with(addr, state.cfg.client).and_then(|mut c| c.describe()) {
+            Ok(d) => {
+                let verdict = state
+                    .board
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .admit(&state.plan, addr, &d);
+                return match verdict {
+                    Ok(shard) => {
+                        gauge_vec!(
+                            "fleet.replica_healthy",
+                            ["replica"],
+                            "1 = healthy, 0 = suspect/unreachable, -1 = quarantined",
+                            &[addr]
+                        )
+                        .set(1.0);
+                        log(&format!(
+                            "admitted {addr} as shard {shard} (digest {:#x})",
+                            d.digest
+                        ));
+                        Ok(())
+                    }
+                    Err(e) => {
+                        counter!(
+                            "fleet.quarantined_total",
+                            "Replicas quarantined at admission (stale image, wrong shard/shape)"
+                        )
+                        .inc();
+                        gauge_vec!(
+                            "fleet.replica_healthy",
+                            ["replica"],
+                            "1 = healthy, 0 = suspect/unreachable, -1 = quarantined",
+                            &[addr]
+                        )
+                        .set(-1.0);
+                        log(&format!("quarantined {addr}: {e}"));
+                        Err(e)
+                    }
+                };
+            }
+            Err(e) => {
+                last = e.to_string();
+                if attempt < attempts {
+                    thread::sleep(state.cfg.retry.backoff_delay(attempt, fnv(addr)));
+                }
+            }
+        }
+    }
+    state
+        .board
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .note_unreachable(addr);
+    gauge_vec!(
+        "fleet.replica_healthy",
+        ["replica"],
+        "1 = healthy, 0 = suspect/unreachable, -1 = quarantined",
+        &[addr]
+    )
+    .set(0.0);
+    log(&format!("replica {addr} unreachable at admission: {last}"));
+    Err(FleetError::Unreachable {
+        addr: addr.to_owned(),
+        error: last,
+    })
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn log(msg: &str) {
+    eprintln!("imc-fleet: {msg}");
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<RouterState>) {
+    loop {
+        if state.shutdown.is_set() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                let conn_state = Arc::clone(state);
+                thread::Builder::new()
+                    .name("fleet-conn".into())
+                    .spawn(move || handle_conn(stream, &conn_state))
+                    .ok();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One downstream connection: negotiate JSON vs `BIN1` exactly like
+/// `imc-serve`, then serve frames until EOF. Each connection thread
+/// owns its upstream clients, so replica sockets are never shared
+/// across request streams.
+fn handle_conn(mut stream: TcpStream, state: &Arc<RouterState>) {
+    let mut upstreams: HashMap<usize, Client> = HashMap::new();
+    let mut prefix = [0u8; 4];
+    if stream.read_exact(&mut prefix).is_err() {
+        return;
+    }
+    if prefix == wire::MAGIC {
+        let mut ver = [0u8; 1];
+        if stream.read_exact(&mut ver).is_err() {
+            return;
+        }
+        let mut ack = [0u8; 5];
+        ack[..4].copy_from_slice(&wire::MAGIC);
+        if ver[0] != wire::VERSION {
+            // Version nack: echo magic with version 0, then close.
+            let _ = stream.write_all(&ack);
+            return;
+        }
+        ack[4] = wire::VERSION;
+        if stream.write_all(&ack).is_err() {
+            return;
+        }
+        bin_loop(&mut stream, state, &mut upstreams);
+    } else {
+        json_loop(
+            &mut stream,
+            state,
+            &mut upstreams,
+            u32::from_be_bytes(prefix),
+        );
+    }
+}
+
+fn bin_loop(
+    stream: &mut TcpStream,
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Client>,
+) {
+    let mut arena = Vec::new();
+    let mut scratch = Vec::new();
+    loop {
+        match wire::read_frame_into(stream, &mut arena) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let (resp, stop) = match wire::decode_request(&arena) {
+            Ok(req) => dispatch(state, upstreams, req),
+            Err(e) => (Response::Error(format!("bad BIN1 frame: {e}")), true),
+        };
+        if wire::write_response(stream, &resp, &mut scratch).is_err() || stop {
+            return;
+        }
+    }
+}
+
+fn json_loop(
+    stream: &mut TcpStream,
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Client>,
+    first_len: u32,
+) {
+    // The negotiation sniff already consumed the first frame's length
+    // prefix; read its payload directly, then fall into read_frame.
+    let mut pending_len = Some(first_len);
+    loop {
+        let json = if let Some(len) = pending_len.take() {
+            if len > MAX_FRAME_BYTES {
+                return;
+            }
+            let mut payload = vec![0u8; len as usize];
+            if stream.read_exact(&mut payload).is_err() {
+                return;
+            }
+            match String::from_utf8(payload) {
+                Ok(s) => s,
+                Err(_) => return,
+            }
+        } else {
+            match protocol::read_frame(stream) {
+                Ok(Some(s)) => s,
+                Ok(None) | Err(_) => return,
+            }
+        };
+        let (resp, stop) = match serde_json::from_str::<Request>(&json) {
+            Ok(req) => dispatch(state, upstreams, req),
+            Err(e) => (Response::Error(format!("bad request: {e}")), true),
+        };
+        if protocol::write_response(stream, &resp).is_err() || stop {
+            return;
+        }
+    }
+}
+
+/// Routes one request; the bool asks the connection loop to close
+/// afterwards.
+fn dispatch(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Client>,
+    req: Request,
+) -> (Response, bool) {
+    match req {
+        Request::Ping => (Response::Pong, false),
+        Request::Describe => (
+            // The fleet presents itself as one whole-model server.
+            Response::Describe(DescribeReply {
+                digest: state.plan.base_digest,
+                shard_index: 0,
+                shard_count: 0,
+                features: state.plan.features,
+                classes: state.plan.classes,
+            }),
+            false,
+        ),
+        Request::Stats => (
+            Response::Error(
+                "imc-fleet: stats are per-replica; scrape the router obs endpoint".into(),
+            ),
+            false,
+        ),
+        Request::Shutdown => {
+            state.shutdown.trigger();
+            (Response::ShuttingDown, true)
+        }
+        Request::Partial(p) => (
+            Response::Error(format!(
+                "partial id {}: the fleet router is a whole-model front door; send Infer",
+                p.id
+            )),
+            false,
+        ),
+        Request::Infer(r) => {
+            counter!("fleet.infer_total", "Infer requests routed by the fleet").inc();
+            let resp = if state.plan.whole_model() {
+                route_whole(state, upstreams, r.id, r.input)
+            } else {
+                route_sharded(state, upstreams, r.id, r.input)
+            };
+            (resp, false)
+        }
+    }
+}
+
+/// Replicated mode: forward the whole `Infer` to one replica, failing
+/// over across replicas on I/O errors. The replica's response passes
+/// through unchanged.
+fn route_whole(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Client>,
+    id: u64,
+    input: Vec<f32>,
+) -> Response {
+    let mut tried = Vec::new();
+    let mut last = String::from("no admissible replica");
+    let mut last_resp: Option<Response> = None;
+    for attempt in 1..=state.cfg.retry.max_attempts {
+        let Some((idx, addr)) = pick(state, 0, &tried) else {
+            break;
+        };
+        match exchange(state, upstreams, idx, &addr, |c| c.infer(id, input.clone())) {
+            // Shed (backpressure / draining) and Failed are this
+            // replica declining, not the fleet's answer: try another
+            // replica, and only surface the decline once every replica
+            // has declined.
+            Ok(resp @ (Response::Shed(_) | Response::Failed(_))) => {
+                last = match &resp {
+                    Response::Shed(s) => format!("{addr} shed: {}", s.reason),
+                    Response::Failed(f) => format!("{addr} failed: {}", f.reason),
+                    _ => unreachable!(),
+                };
+                last_resp = Some(resp);
+                tried.push(idx);
+                failover(state, 0, &addr, attempt, id);
+            }
+            Ok(resp) => return resp,
+            Err(e) => {
+                last = e;
+                tried.push(idx);
+                failover(state, 0, &addr, attempt, id);
+            }
+        }
+    }
+    last_resp.unwrap_or_else(|| {
+        Response::Failed(FailedReply {
+            id,
+            reason: FleetError::Exhausted {
+                shard: 0,
+                attempts: state.cfg.retry.max_attempts,
+                last,
+            }
+            .to_string(),
+        })
+    })
+}
+
+/// Sharded mode: per MAC layer, quantize once, scatter the codes to one
+/// replica per shard, sum the i64 partials, and apply the digital glue.
+/// Bit-exact vs single-node `forward` by the exact shift-add argument
+/// (DESIGN §14).
+fn route_sharded(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Client>,
+    id: u64,
+    input: Vec<f32>,
+) -> Response {
+    let plan = &state.plan;
+    if input.len() != plan.features {
+        return Response::Error(format!(
+            "infer id {id}: expected {} features, got {}",
+            plan.features,
+            input.len()
+        ));
+    }
+    if input.iter().any(|v| !v.is_finite() || *v < 0.0) {
+        // The quantizer (like the single-node server) requires
+        // non-negative finite activations; reject instead of panicking.
+        return Response::Error(format!(
+            "infer id {id}: inputs must be finite and non-negative"
+        ));
+    }
+    let started = Instant::now();
+    let mut cur = input;
+    for (li, layer) in plan.layers.iter().enumerate() {
+        if li > 0 {
+            for v in &mut cur {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        let qa = quantize_activations(
+            &Tensor::from_vec(&[1, layer.fan], cur.clone()),
+            plan.input_bits,
+        );
+        #[allow(clippy::cast_precision_loss)] // codes are < 2^8
+        let codes: Vec<f32> = qa.q.iter().map(|&v| v as f32).collect();
+        let mut total = vec![0i64; layer.out_features];
+        for slot in &plan.shards {
+            let [lo, hi] = slot.layer_chunks[li];
+            if lo == hi {
+                continue; // fewer chunks than shards: this one owns none
+            }
+            let sums = match shard_partial(state, upstreams, id, slot.index, li, lo, hi, &codes) {
+                Ok(s) => s,
+                Err(e) => {
+                    return Response::Failed(FailedReply {
+                        id,
+                        reason: e.to_string(),
+                    })
+                }
+            };
+            if sums.len() != layer.out_features {
+                return Response::Failed(FailedReply {
+                    id,
+                    reason: format!(
+                        "shard {} layer {li}: {} partial sums for {} outputs",
+                        slot.index,
+                        sums.len(),
+                        layer.out_features
+                    ),
+                });
+            }
+            for (acc, v) in total.iter_mut().zip(sums) {
+                *acc += v;
+            }
+        }
+        #[allow(clippy::cast_precision_loss)] // exactness proven by shift_add_is_exact
+        let out: Vec<f32> = total
+            .iter()
+            .enumerate()
+            .map(|(o, &t)| (t as f32) * layer.w_scale * qa.scale + layer.bias[o])
+            .collect();
+        cur = out;
+    }
+    let class = argmax_total(&cur);
+    let service_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    Response::Output(InferReply {
+        id,
+        logits: cur,
+        class,
+        bank: 0,
+        batch: 1,
+        queue_us: 0,
+        service_us,
+    })
+}
+
+/// One shard's partial sums for one layer, with failover across the
+/// shard's replicas.
+#[allow(clippy::too_many_arguments)]
+fn shard_partial(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Client>,
+    id: u64,
+    shard: usize,
+    layer: usize,
+    lo: usize,
+    hi: usize,
+    codes: &[f32],
+) -> Result<Vec<i64>, FleetError> {
+    let mut tried = Vec::new();
+    let mut last = String::new();
+    for attempt in 1..=state.cfg.retry.max_attempts {
+        let Some((idx, addr)) = pick(state, shard, &tried) else {
+            return Err(if tried.is_empty() {
+                FleetError::NoReplica { shard }
+            } else {
+                FleetError::Exhausted {
+                    shard,
+                    attempts: attempt - 1,
+                    last,
+                }
+            });
+        };
+        match exchange(state, upstreams, idx, &addr, |c| {
+            c.partial(id, layer, lo, hi, codes.to_vec())
+        }) {
+            Ok(reply) => {
+                if reply.layer != layer {
+                    return Err(FleetError::Exhausted {
+                        shard,
+                        attempts: attempt,
+                        last: format!("replica {addr} answered layer {}", reply.layer),
+                    });
+                }
+                return Ok(reply.sums);
+            }
+            Err(e) => {
+                last = e;
+                tried.push(idx);
+                failover(state, shard, &addr, attempt, id);
+            }
+        }
+    }
+    Err(FleetError::Exhausted {
+        shard,
+        attempts: state.cfg.retry.max_attempts,
+        last,
+    })
+}
+
+/// Picks a replica for `shard` and counts the routing decision.
+fn pick(state: &Arc<RouterState>, shard: usize, tried: &[usize]) -> Option<(usize, String)> {
+    let mut board = state
+        .board
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let idx = board.pick(shard, tried)?;
+    let addr = board.replicas()[idx].addr.clone();
+    counter_vec!(
+        "fleet.shard_requests",
+        ["shard", "replica"],
+        "Requests routed, by shard and replica",
+        &[&shard.to_string(), &addr]
+    )
+    .inc();
+    Some((idx, addr))
+}
+
+/// Runs one exchange against replica `idx`, reusing (or opening) this
+/// connection thread's upstream client. I/O failure drops the cached
+/// connection and marks the replica suspect.
+fn exchange<T>(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Client>,
+    idx: usize,
+    addr: &str,
+    op: impl FnOnce(&mut Client) -> io::Result<T>,
+) -> Result<T, String> {
+    let client = match upstreams.entry(idx) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => {
+            match Client::connect_with(addr, state.cfg.client) {
+                Ok(c) => v.insert(c),
+                Err(e) => {
+                    mark_suspect(state, idx, addr);
+                    return Err(format!("connect {addr}: {e}"));
+                }
+            }
+        }
+    };
+    match op(client) {
+        Ok(t) => {
+            state
+                .board
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .mark_ok(idx);
+            Ok(t)
+        }
+        Err(e) => {
+            upstreams.remove(&idx);
+            mark_suspect(state, idx, addr);
+            Err(format!("{addr}: {e}"))
+        }
+    }
+}
+
+fn mark_suspect(state: &Arc<RouterState>, idx: usize, addr: &str) {
+    state
+        .board
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .mark_suspect(idx);
+    gauge_vec!(
+        "fleet.replica_healthy",
+        ["replica"],
+        "1 = healthy, 0 = suspect/unreachable, -1 = quarantined",
+        &[addr]
+    )
+    .set(0.0);
+}
+
+/// Counts a failover and sleeps the backoff before the next attempt.
+fn failover(state: &Arc<RouterState>, shard: usize, addr: &str, attempt: u32, salt: u64) {
+    counter_vec!(
+        "fleet.failovers",
+        ["shard", "replica"],
+        "Failovers after replica I/O errors, by shard and failing replica",
+        &[&shard.to_string(), addr]
+    )
+    .inc();
+    if attempt < state.cfg.retry.max_attempts {
+        thread::sleep(state.cfg.retry.backoff_delay(attempt, salt));
+    }
+}

@@ -30,7 +30,6 @@ use crate::quant::{quantize_activations, quantize_weights, QuantizedWeights};
 use crate::tensor::{matmul_parallel, Tensor};
 use imc_core::adc::{h4b_adc, l4b_adc, SarAdc};
 use imc_core::weights::SplitWeight;
-use packed::ZigGauss;
 
 /// Which macro design executes the MACs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -243,17 +242,23 @@ impl MacPlanes {
     }
 }
 
-/// Per-forward noise stream, matching the network's kernel (the two
-/// kernels define different draw sequences).
+/// Per-forward noise-stream state, matching the network's kernel (the
+/// two kernels define different draw sequences). The packed kernel is
+/// *chunk-addressed*: each MAC dispatch takes the next layer index and
+/// derives independent `(layer, input bit, chunk)` streams through
+/// [`packed::StreamKey`], which is what lets fleet shards reproduce
+/// exactly the draws of the chunks they own (DESIGN §14). The legacy
+/// kernel threads one sequential Box–Muller stream through the whole
+/// forward pass.
 enum NoiseRng {
-    Zig(ZigGauss),
+    Zig { seed: u64, layer: u32 },
     Legacy(GaussStream),
 }
 
 impl NoiseRng {
     fn new(kernel: MacKernel, seed: u64) -> Self {
         match kernel {
-            MacKernel::Packed => Self::Zig(ZigGauss::new(seed)),
+            MacKernel::Packed => Self::Zig { seed, layer: 0 },
             MacKernel::Scalar => Self::Legacy(GaussStream::new(seed)),
         }
     }
@@ -546,8 +551,13 @@ fn mac_dispatch(
     rng: &mut NoiseRng,
 ) -> Tensor {
     match (planes, rng) {
-        (MacPlanes::Packed { planes, noise }, NoiseRng::Zig(g)) => {
-            packed::imc_matmul_packed(codes, planes, noise, adcs, cfg, g)
+        (MacPlanes::Packed { planes, noise }, NoiseRng::Zig { seed, layer }) => {
+            let key = packed::StreamKey {
+                seed: *seed,
+                layer: *layer,
+            };
+            *layer += 1;
+            packed::imc_matmul_packed(codes, planes, noise, adcs, cfg, key)
         }
         (MacPlanes::Scalar(p), NoiseRng::Legacy(g)) =>
         {
@@ -1050,7 +1060,216 @@ impl QNetwork {
         });
         corrects.iter().sum::<usize>() as f64 / n as f64
     }
+
+    /// Digital glue of each MAC (conv/linear) layer, in execution order
+    /// — everything a fleet router needs to finish a layer from gathered
+    /// integer partial sums without touching the analog path (DESIGN
+    /// §14): `out[o] = (Σ shards) · w_scale · act_scale + bias[o]`.
+    #[must_use]
+    pub fn mac_layer_meta(&self) -> Vec<MacLayerMeta> {
+        self.layers
+            .iter()
+            .filter_map(|l| match l {
+                QLayer::Conv {
+                    planes,
+                    w_scale,
+                    bias,
+                    ..
+                } => Some((planes, w_scale, bias, false)),
+                QLayer::Linear {
+                    planes,
+                    w_scale,
+                    bias,
+                    ..
+                } => Some((planes, w_scale, bias, true)),
+                _ => None,
+            })
+            .map(|(planes, w_scale, bias, is_linear)| {
+                let (fan, chunks) = match planes {
+                    MacPlanes::Packed { planes, .. } => (
+                        planes.chunks.iter().map(|c| c.rows).sum(),
+                        planes.chunks.len(),
+                    ),
+                    MacPlanes::Scalar(p) => (p.chunk_rows.iter().sum(), p.chunk_rows.len()),
+                };
+                MacLayerMeta {
+                    fan,
+                    out_features: planes.out_features(),
+                    chunks,
+                    w_scale: *w_scale,
+                    bias: bias.clone(),
+                    is_linear,
+                }
+            })
+            .collect()
+    }
+
+    /// Whether every MAC layer of this network satisfies the integer
+    /// shift-add exactness bound ([`packed::shift_add_is_exact`]) on the
+    /// packed kernel — the precondition for bit-exact sharded serving.
+    #[must_use]
+    pub fn partials_are_exact(&self) -> bool {
+        if self.kernel != MacKernel::Packed {
+            return false;
+        }
+        self.layers.iter().all(|l| match l {
+            QLayer::Conv { planes, adcs, .. } | QLayer::Linear { planes, adcs, .. } => match planes
+            {
+                MacPlanes::Packed { planes, .. } => {
+                    packed::shift_add_is_exact(adcs, &self.cfg, planes.chunks.len())
+                }
+                MacPlanes::Scalar(_) => false,
+            },
+            _ => true,
+        })
+    }
+
+    /// Executes global chunks `chunk_lo..chunk_hi` of the `mac_idx`-th
+    /// MAC layer (a linear layer) on pre-quantized activation codes,
+    /// returning exact i64 partial sums — the shard replica's half of
+    /// fleet serving. `codes` is `[positions, fan]` with integer codes
+    /// stored as f32, exactly as `quantize_activations` produces them;
+    /// the noise streams are keyed on `(cfg.seed, mac_idx, input bit,
+    /// global chunk)`, so the same chunk computed on any replica draws
+    /// the same Gaussians as the single-node forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`PartialMacError`]s on a missing/non-linear layer, scalar
+    /// kernel, fan mismatch, bad chunk range, or an ADC operating point
+    /// that breaks integer-exact recombination.
+    pub fn linear_partial(
+        &self,
+        mac_idx: usize,
+        codes: &Tensor,
+        chunk_lo: usize,
+        chunk_hi: usize,
+    ) -> Result<Vec<i64>, PartialMacError> {
+        let mut macs = self
+            .layers
+            .iter()
+            .filter(|l| matches!(l, QLayer::Conv { .. } | QLayer::Linear { .. }));
+        let layer = macs
+            .nth(mac_idx)
+            .ok_or(PartialMacError::NoSuchLayer(mac_idx))?;
+        let (planes, adcs) = match layer {
+            QLayer::Linear { planes, adcs, .. } => (planes, adcs),
+            QLayer::Conv { .. } => return Err(PartialMacError::NotLinear(mac_idx)),
+            _ => unreachable!("filtered to MAC layers"),
+        };
+        let MacPlanes::Packed { planes, noise } = planes else {
+            return Err(PartialMacError::ScalarKernel);
+        };
+        let chunks = planes.chunks.len();
+        if chunk_lo >= chunk_hi || chunk_hi > chunks {
+            return Err(PartialMacError::BadChunkRange {
+                lo: chunk_lo,
+                hi: chunk_hi,
+                chunks,
+            });
+        }
+        let fan: usize = planes.chunks.iter().map(|c| c.rows).sum();
+        if codes.shape().len() != 2 || codes.shape()[1] != fan {
+            return Err(PartialMacError::BadFan {
+                got: codes.shape().last().copied().unwrap_or(0),
+                want: fan,
+            });
+        }
+        if !packed::shift_add_is_exact(adcs, &self.cfg, chunks) {
+            return Err(PartialMacError::InexactShiftAdd);
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let key = packed::StreamKey {
+            seed: self.cfg.seed,
+            layer: mac_idx as u32,
+        };
+        Ok(packed::imc_matmul_packed_partial(
+            codes,
+            planes,
+            noise,
+            adcs,
+            &self.cfg,
+            key,
+            chunk_lo..chunk_hi,
+        ))
+    }
 }
+
+/// Digital (post-ADC) parameters of one MAC layer, surfaced for the
+/// fleet router's partial-sum combine (see
+/// [`QNetwork::mac_layer_meta`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacLayerMeta {
+    /// Fan-in (rows) of the layer's MAC.
+    pub fan: usize,
+    /// Output columns.
+    pub out_features: usize,
+    /// 32-row accumulation chunks (the shardable unit).
+    pub chunks: usize,
+    /// Weight dequantization scale.
+    pub w_scale: f32,
+    /// Per-output bias, applied after dequantization.
+    pub bias: Vec<f32>,
+    /// `true` for linear layers (the shardable kind), `false` for conv.
+    pub is_linear: bool,
+}
+
+/// Typed failures of [`QNetwork::linear_partial`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartialMacError {
+    /// No MAC layer with this index exists.
+    NoSuchLayer(usize),
+    /// The indexed MAC layer is a convolution (sharding serves MLPs).
+    NotLinear(usize),
+    /// The network was built on the legacy scalar kernel.
+    ScalarKernel,
+    /// The requested global chunk range is empty or out of bounds.
+    BadChunkRange {
+        /// Requested start chunk.
+        lo: usize,
+        /// Requested end chunk (exclusive).
+        hi: usize,
+        /// Chunks the layer actually has.
+        chunks: usize,
+    },
+    /// The activation codes do not match the layer fan-in.
+    BadFan {
+        /// Fan-in of the provided codes.
+        got: usize,
+        /// Fan-in the layer expects.
+        want: usize,
+    },
+    /// The ADC operating point breaks integer-exact recombination
+    /// ([`packed::shift_add_is_exact`]).
+    InexactShiftAdd,
+}
+
+impl std::fmt::Display for PartialMacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSuchLayer(i) => write!(f, "no MAC layer {i}"),
+            Self::NotLinear(i) => write!(f, "MAC layer {i} is a convolution, not shardable"),
+            Self::ScalarKernel => write!(f, "partial MACs need the packed kernel"),
+            Self::BadChunkRange { lo, hi, chunks } => {
+                write!(f, "chunk range {lo}..{hi} invalid for {chunks} chunks")
+            }
+            Self::BadFan { got, want } => {
+                write!(
+                    f,
+                    "activation fan-in {got} does not match layer fan-in {want}"
+                )
+            }
+            Self::InexactShiftAdd => {
+                write!(
+                    f,
+                    "ADC operating point breaks integer-exact shift-add recombination"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartialMacError {}
 
 fn nchw(x: &Tensor) -> (usize, usize, usize, usize) {
     let s = x.shape();
@@ -1423,5 +1642,105 @@ mod tests {
         assert_eq!(h4, -8);
         assert_eq!(l4, 0);
         assert_eq!(v4, 0.0);
+    }
+
+    #[test]
+    fn sharded_linear_partials_reproduce_forward_bit_exactly() {
+        // The full fleet contract at the neural level (DESIGN §14): a
+        // router that quantizes activations, scatters chunk slices to
+        // shards (`linear_partial`), sums the i64 partials, and applies
+        // the digital glue from `mac_layer_meta` must reproduce the
+        // single-node `forward` bit-for-bit — full noise, MNIST shape.
+        let net = crate::models::mlp(784, 64, 10, 0x5E44_E001);
+        let cfg = ImcConfig::paper(ImcDesign::ChgFe, 4, 8);
+        let q = QNetwork::from_sequential_kernel(&net, cfg, MacKernel::Packed);
+        assert!(q.partials_are_exact(), "paper point must be exact");
+        let x = Tensor::from_vec(
+            &[1, 784],
+            (0..784).map(|i| (i % 23) as f32 / 23.0).collect(),
+        );
+        let expect = q.forward(&x);
+        let meta = q.mac_layer_meta();
+        assert_eq!(meta.len(), 2);
+        for shards in [1usize, 2, 3] {
+            let mut cur = x.clone();
+            for (idx, m) in meta.iter().enumerate() {
+                assert!(m.is_linear);
+                if idx > 0 {
+                    // The mlp builder puts a ReLU between linears.
+                    for v in cur.data_mut() {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                let qa = quantize_activations(&cur, cfg.input_bits);
+                let codes = Tensor::from_vec(&[1, m.fan], qa.q.iter().map(|&v| v as f32).collect());
+                let mut total = vec![0i64; m.out_features];
+                let per = m.chunks.div_ceil(shards);
+                let mut lo = 0usize;
+                while lo < m.chunks {
+                    let hi = (lo + per).min(m.chunks);
+                    let part = q.linear_partial(idx, &codes, lo, hi).expect("valid slice");
+                    for (acc, v) in total.iter_mut().zip(part) {
+                        *acc += v;
+                    }
+                    lo = hi;
+                }
+                #[allow(clippy::cast_precision_loss)]
+                let out: Vec<f32> = total
+                    .iter()
+                    .enumerate()
+                    .map(|(o, &t)| (t as f32) * m.w_scale * qa.scale + m.bias[o])
+                    .collect();
+                cur = Tensor::from_vec(&[1, m.out_features], out);
+            }
+            for (i, (a, b)) in expect.data().iter().zip(cur.data()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{shards} shards: logit {i} diverged ({a} vs {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_partial_rejects_bad_requests_with_typed_errors() {
+        let net = crate::models::mlp(64, 16, 4, 3);
+        let cfg = ImcConfig::paper(ImcDesign::CurFe, 4, 8);
+        let q = QNetwork::from_sequential_kernel(&net, cfg, MacKernel::Packed);
+        let codes = Tensor::from_vec(&[1, 64], vec![1.0; 64]);
+        assert_eq!(
+            q.linear_partial(9, &codes, 0, 1),
+            Err(PartialMacError::NoSuchLayer(9))
+        );
+        assert_eq!(
+            q.linear_partial(0, &codes, 0, 99),
+            Err(PartialMacError::BadChunkRange {
+                lo: 0,
+                hi: 99,
+                chunks: 2
+            })
+        );
+        assert_eq!(
+            q.linear_partial(0, &codes, 1, 1),
+            Err(PartialMacError::BadChunkRange {
+                lo: 1,
+                hi: 1,
+                chunks: 2
+            })
+        );
+        let short = Tensor::from_vec(&[1, 8], vec![1.0; 8]);
+        assert_eq!(
+            q.linear_partial(0, &short, 0, 1),
+            Err(PartialMacError::BadFan { got: 8, want: 64 })
+        );
+        let scalar = QNetwork::from_sequential_kernel(&net, cfg, MacKernel::Scalar);
+        assert_eq!(
+            scalar.linear_partial(0, &codes, 0, 1),
+            Err(PartialMacError::ScalarKernel)
+        );
+        assert!(!scalar.partials_are_exact());
     }
 }

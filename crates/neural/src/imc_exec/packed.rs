@@ -37,6 +37,16 @@
 //! ([`ZigGauss`]) over the same SplitMix64 stream family, ~5× faster
 //! than the legacy Box-Muller at serving rates (~13k draws/inference).
 //!
+//! Noise streams are **chunk-addressed**: every `(MAC layer, input bit,
+//! chunk)` triple gets its own deterministic [`ZigGauss`] stream via
+//! [`stream_seed`], and draws inside one stream stay in the fixed
+//! `position → column → (H, L)` order. Because a stream never crosses a
+//! chunk boundary, a replica that executes only a *slice* of a layer's
+//! chunks (fleet sharding, DESIGN §14) draws bit-for-bit the same
+//! Gaussians the single-node kernel draws for those chunks — which is
+//! what lets [`imc_matmul_packed_partial`]'s integer partial sums
+//! recombine into bit-identical logits at the fleet router.
+//!
 //! Packing is **weight-stationary**: [`pack_planes_cached`] keys a
 //! process-wide cache on the exact stored codes (rows, bit width,
 //! shape, code bytes), so a re-built network — a fresh [`ChipImage`]
@@ -266,6 +276,44 @@ impl PlaneNoise {
     }
 }
 
+/// Derives the per-`(layer, input bit, chunk)` noise-stream seed.
+///
+/// The triple is xor-packed into disjoint bit fields of the base seed
+/// and diffused through two SplitMix64 finalizer rounds, so adjacent
+/// chunks get statistically unrelated streams while staying fully
+/// deterministic in `(seed, layer, t, chunk)` — the property fleet
+/// sharding relies on (a shard reproduces exactly the streams of the
+/// chunks it owns, no matter which replica runs them).
+#[must_use]
+pub fn stream_seed(seed: u64, layer: u32, t: u32, chunk: usize) -> u64 {
+    let mut z = seed ^ (u64::from(layer) << 48) ^ (u64::from(t) << 40) ^ chunk as u64;
+    for _ in 0..2 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Identifies one MAC layer's family of noise streams: the kernels
+/// spawn a fresh [`ZigGauss`] per `(input bit, chunk)` from this key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamKey {
+    /// Base seed (`ImcConfig::seed` of the serving configuration).
+    pub seed: u64,
+    /// Index of this MAC (Conv/Linear) layer within the network, in
+    /// execution order.
+    pub layer: u32,
+}
+
+impl StreamKey {
+    /// The noise stream for input bit `t` of global chunk `chunk`.
+    #[must_use]
+    pub fn stream(&self, t: u32, chunk: usize) -> ZigGauss {
+        ZigGauss::new(stream_seed(self.seed, self.layer, t, chunk))
+    }
+}
+
 /// One noisy conversion of a chunk's plane popcounts through the ADC
 /// pair, returning the combined pMACV `16·H + L` (or `H` in 4-bit
 /// mode). Shared verbatim by the packed kernel and the scalar
@@ -381,6 +429,69 @@ unsafe fn chunk_pass_x86_fast(a: &ChunkPass<'_>, gauss: &mut ZigGauss, ad: &mut 
     chunk_pass_body(a, gauss, ad);
 }
 
+/// Borrowed arguments of one chunk's *integer partial-sum* pass
+/// ([`imc_matmul_packed_partial`]): same popcount/convert loop as
+/// [`ChunkPass`], but the shifted pMACV accumulates into `i64`s.
+struct PartialPass<'a> {
+    masks: &'a [u64],
+    words: &'a [u64],
+    wpp: usize,
+    positions: usize,
+    oc: usize,
+    noise: &'a PlaneNoise,
+    adc_h: AdcReader,
+    adc_l: AdcReader,
+    eight_bit: bool,
+    shift: u32,
+}
+
+/// The `positions × oc` loop of the partial-sum kernel. `combined` is
+/// integral whenever the ADC step sizes are ([`shift_add_is_exact`]);
+/// the cast is exact there and the debug assert pins it.
+#[inline(always)]
+#[allow(clippy::cast_possible_truncation)]
+fn partial_pass_body(a: &PartialPass<'_>, gauss: &mut ZigGauss, acc: &mut [i64]) {
+    let wpp = a.wpp;
+    for p in 0..a.positions {
+        let xm = &a.masks[p * wpp..(p + 1) * wpp];
+        let base = p * a.oc;
+        for o in 0..a.oc {
+            let w = &a.words[o * PLANES * wpp..(o + 1) * PLANES * wpp];
+            let mut n = [0u32; PLANES];
+            for (s, &x) in xm.iter().enumerate() {
+                for (j, nj) in n.iter_mut().enumerate() {
+                    *nj += (x & w[j * wpp + s]).count_ones();
+                }
+            }
+            let combined = convert_counts(&n, a.noise, &a.adc_h, &a.adc_l, a.eight_bit, gauss);
+            debug_assert_eq!(
+                combined.fract(),
+                0.0,
+                "partial-sum MAC requires integer ADC outputs (shift_add_is_exact)"
+            );
+            acc[base + o] += (combined as i64) << a.shift;
+        }
+    }
+}
+
+/// Baseline-ISA compilation of the partial pass.
+fn partial_pass_portable(a: &PartialPass<'_>, gauss: &mut ZigGauss, acc: &mut [i64]) {
+    partial_pass_body(a, gauss, acc);
+}
+
+/// [`partial_pass_body`] compiled with hardware `popcnt` + SSE4.1,
+/// mirroring [`chunk_pass_x86_fast`].
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports `popcnt` and `sse4.1`
+/// ([`have_fast_mac_features`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt,sse4.1")]
+unsafe fn partial_pass_x86_fast(a: &PartialPass<'_>, gauss: &mut ZigGauss, acc: &mut [i64]) {
+    partial_pass_body(a, gauss, acc);
+}
+
 /// Runtime CPU feature gate for [`chunk_pass_x86_fast`], probed once.
 #[cfg(target_arch = "x86_64")]
 fn have_fast_mac_features() -> bool {
@@ -397,7 +508,8 @@ fn have_fast_mac_features() -> bool {
 ///
 /// Loop order is input bit → chunk → `position·oc + o` ascending — the
 /// exact f32 accumulation order of the legacy kernel, which is what
-/// makes the two bit-identical at `noise_scale = 0`.
+/// makes the two bit-identical at `noise_scale = 0`. Each `(input bit,
+/// chunk)` pass draws from its own [`StreamKey`]-derived stream.
 #[must_use]
 pub fn imc_matmul_packed(
     acts_codes: &Tensor,
@@ -405,7 +517,7 @@ pub fn imc_matmul_packed(
     noise: &PlaneNoise,
     adcs: &(SarAdc, SarAdc),
     cfg: &ImcConfig,
-    gauss: &mut ZigGauss,
+    key: StreamKey,
 ) -> Tensor {
     let positions = acts_codes.shape()[0];
     let fan = acts_codes.shape()[1];
@@ -418,7 +530,7 @@ pub fn imc_matmul_packed(
     for t in 0..cfg.input_bits {
         let weight = f64::from(1u32 << t);
         let mut r0 = 0usize;
-        for chunk in &planes.chunks {
+        for (c, chunk) in planes.chunks.iter().enumerate() {
             let rc = chunk.rows;
             let wpp = chunk.words_per_plane;
             masks.clear();
@@ -432,6 +544,7 @@ pub fn imc_matmul_packed(
                 }
             }
             let ad = acc.data_mut();
+            let mut gauss = key.stream(t, c);
             let pass = ChunkPass {
                 masks: &masks,
                 words: &chunk.words,
@@ -447,15 +560,127 @@ pub fn imc_matmul_packed(
             #[cfg(target_arch = "x86_64")]
             if have_fast_mac_features() {
                 // SAFETY: guarded by runtime CPU feature detection.
-                unsafe { chunk_pass_x86_fast(&pass, gauss, ad) };
+                unsafe { chunk_pass_x86_fast(&pass, &mut gauss, ad) };
                 r0 += rc;
                 continue;
             }
-            chunk_pass_portable(&pass, gauss, ad);
+            chunk_pass_portable(&pass, &mut gauss, ad);
             r0 += rc;
         }
     }
     acc
+}
+
+/// Integer partial-sum MAC over a global chunk slice — the shard-side
+/// kernel of fleet serving (DESIGN §14).
+///
+/// Runs only the `chunks` slice of `planes` (global indices, which
+/// also key the noise streams) and accumulates the shifted pMACV
+/// `Σ_t 2^t · combined` per `(position, column)` as exact `i64`s
+/// instead of f32. Under [`shift_add_is_exact`] every per-conversion
+/// `combined` is an integer (the ADC emits `code · lsb` with an integer
+/// `lsb`) small enough that the single-node kernel's f32 accumulator
+/// never rounds — so summing the disjoint slices' i64 outputs and
+/// casting once to f32 reproduces [`imc_matmul_packed`]'s output
+/// bit-for-bit, no matter how the chunks are split across replicas.
+///
+/// # Panics
+///
+/// Panics if the chunk range is out of bounds or inverted
+/// (`chunks.start > chunks.end`).
+#[must_use]
+pub fn imc_matmul_packed_partial(
+    acts_codes: &Tensor,
+    planes: &PackedPlanes,
+    noise: &PlaneNoise,
+    adcs: &(SarAdc, SarAdc),
+    cfg: &ImcConfig,
+    key: StreamKey,
+    chunks: std::ops::Range<usize>,
+) -> Vec<i64> {
+    let (chunk_lo, chunk_hi) = (chunks.start, chunks.end);
+    assert!(
+        chunk_lo <= chunk_hi && chunk_hi <= planes.chunks.len(),
+        "chunk slice {chunk_lo}..{chunk_hi} out of bounds ({} chunks)",
+        planes.chunks.len()
+    );
+    let positions = acts_codes.shape()[0];
+    let fan = acts_codes.shape()[1];
+    let oc = planes.out_features;
+    let (adc_h, adc_l) = (adcs.0.reader(), adcs.1.reader());
+    let eight_bit = cfg.weight_bits == 8;
+    let mut acc = vec![0i64; positions * oc];
+    let mut masks: Vec<u64> = Vec::new();
+    // Row offset of the first chunk in the slice.
+    let base_r0: usize = planes.chunks[..chunk_lo].iter().map(|c| c.rows).sum();
+    for t in 0..cfg.input_bits {
+        let mut r0 = base_r0;
+        for (c, chunk) in planes.chunks[chunk_lo..chunk_hi].iter().enumerate() {
+            let rc = chunk.rows;
+            let wpp = chunk.words_per_plane;
+            masks.clear();
+            masks.resize(positions * wpp, 0);
+            let src = acts_codes.data();
+            for p in 0..positions {
+                let row = &src[p * fan + r0..p * fan + r0 + rc];
+                let m = &mut masks[p * wpp..(p + 1) * wpp];
+                for (r, &code) in row.iter().enumerate() {
+                    m[r >> 6] |= u64::from((code as u32 >> t) & 1) << (r & 63);
+                }
+            }
+            let mut gauss = key.stream(t, chunk_lo + c);
+            let pass = PartialPass {
+                masks: &masks,
+                words: &chunk.words,
+                wpp,
+                positions,
+                oc,
+                noise,
+                adc_h,
+                adc_l,
+                eight_bit,
+                shift: t,
+            };
+            #[cfg(target_arch = "x86_64")]
+            if have_fast_mac_features() {
+                // SAFETY: guarded by runtime CPU feature detection.
+                unsafe { partial_pass_x86_fast(&pass, &mut gauss, &mut acc) };
+                r0 += rc;
+                continue;
+            }
+            partial_pass_portable(&pass, &mut gauss, &mut acc);
+            r0 += rc;
+        }
+    }
+    acc
+}
+
+/// Checks the preconditions under which i64 partial sums recombine
+/// bit-exactly with the f32 single-node kernel (see
+/// [`imc_matmul_packed_partial`]): both ADC step sizes are integers
+/// (their outputs `code · lsb` then are too), and the worst-case
+/// shift-added total over `n_chunks` chunks stays below 2²⁴, where
+/// every integer is exactly representable in f32 so the single-node
+/// accumulator never rounds.
+#[must_use]
+pub fn shift_add_is_exact(adcs: &(SarAdc, SarAdc), cfg: &ImcConfig, n_chunks: usize) -> bool {
+    let lsb_h = adcs.0.units_per_lsb();
+    let lsb_l = adcs.1.units_per_lsb();
+    if lsb_h.fract() != 0.0 || lsb_l.fract() != 0.0 {
+        return false;
+    }
+    let (h_lo, h_hi) = adcs.0.code_range();
+    let (l_lo, l_hi) = adcs.1.code_range();
+    let max_h = f64::from(h_lo.abs().max(h_hi.abs())) * lsb_h;
+    let max_l = f64::from(l_lo.abs().max(l_hi.abs())) * lsb_l;
+    let per_conv = if cfg.weight_bits == 8 {
+        16.0 * max_h + max_l
+    } else {
+        max_h
+    };
+    #[allow(clippy::cast_precision_loss)]
+    let total = per_conv * f64::from((1u32 << cfg.input_bits) - 1) * n_chunks as f64;
+    total < f64::from(1u32 << 24)
 }
 
 /// Scalar reference for the packed kernel: identical semantics, draw
@@ -470,7 +695,7 @@ pub fn imc_matmul_reference(
     noise: &PlaneNoise,
     adcs: &(SarAdc, SarAdc),
     cfg: &ImcConfig,
-    gauss: &mut ZigGauss,
+    key: StreamKey,
 ) -> Tensor {
     let positions = acts_codes.shape()[0];
     let fan = acts_codes.shape()[1];
@@ -488,6 +713,7 @@ pub fn imc_matmul_reference(
             let r0 = c * rows;
             let r1 = (r0 + rows).min(fan);
             let ad = acc.data_mut();
+            let mut gauss = key.stream(t, c);
             for p in 0..positions {
                 let base = p * oc;
                 for o in 0..oc {
@@ -502,7 +728,7 @@ pub fn imc_matmul_reference(
                             n[4 + j] += u32::from(lb[j]);
                         }
                     }
-                    let combined = convert_counts(&n, noise, &adc_h, &adc_l, eight_bit, gauss);
+                    let combined = convert_counts(&n, noise, &adc_h, &adc_l, eight_bit, &mut gauss);
                     ad[base + o] += (combined * weight) as f32;
                 }
             }
@@ -761,22 +987,12 @@ mod tests {
             let planes = pack_planes(&qw, cfg.rows);
             let noise = PlaneNoise::for_config(&cfg);
             let adcs = super::super::default_adcs(&cfg);
-            let a = imc_matmul_packed(
-                &codes,
-                &planes,
-                &noise,
-                &adcs,
-                &cfg,
-                &mut ZigGauss::new(cfg.seed),
-            );
-            let b = imc_matmul_reference(
-                &codes,
-                &qw,
-                &noise,
-                &adcs,
-                &cfg,
-                &mut ZigGauss::new(cfg.seed),
-            );
+            let key = StreamKey {
+                seed: cfg.seed,
+                layer: 0,
+            };
+            let a = imc_matmul_packed(&codes, &planes, &noise, &adcs, &cfg, key);
+            let b = imc_matmul_reference(&codes, &qw, &noise, &adcs, &cfg, key);
             assert_eq!(a.shape(), b.shape());
             for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
                 assert_eq!(
@@ -786,6 +1002,80 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn partial_sums_recombine_bit_exactly_for_any_chunk_split() {
+        // The fleet bit-exactness contract (DESIGN §14): splitting a
+        // layer's chunks across shards, running the i64 partial kernel
+        // per slice, summing, and casting once to f32 must reproduce
+        // the single-node f32 kernel bit-for-bit — with full noise on.
+        for (design, positions, fan, oc, layer) in [
+            (super::super::ImcDesign::ChgFe, 1, 784, 64, 0u32),
+            (super::super::ImcDesign::CurFe, 2, 70, 5, 1),
+            (super::super::ImcDesign::ChgFe, 1, 64, 10, 1),
+        ] {
+            let cfg = ImcConfig::paper(design, 4, 8);
+            let qw = test_weights(oc, fan, 8, 0xD00D + fan as u64);
+            let codes = test_codes(positions, fan, cfg.input_bits, 5);
+            let planes = pack_planes(&qw, cfg.rows);
+            let noise = PlaneNoise::for_config(&cfg);
+            let adcs = super::super::default_adcs(&cfg);
+            let n_chunks = planes.chunks.len();
+            assert!(
+                shift_add_is_exact(&adcs, &cfg, n_chunks),
+                "paper operating point must satisfy the exactness bound"
+            );
+            let key = StreamKey {
+                seed: cfg.seed,
+                layer,
+            };
+            let full = imc_matmul_packed(&codes, &planes, &noise, &adcs, &cfg, key);
+            for split in [
+                vec![0, n_chunks],
+                vec![0, 1, n_chunks],
+                vec![0, n_chunks / 2, n_chunks],
+                vec![0, 1, 2, n_chunks.max(3)],
+            ] {
+                if split.windows(2).any(|w| w[0] >= w[1]) || *split.last().unwrap() != n_chunks {
+                    continue;
+                }
+                let mut total = vec![0i64; positions * oc];
+                for w in split.windows(2) {
+                    let part = imc_matmul_packed_partial(
+                        &codes,
+                        &planes,
+                        &noise,
+                        &adcs,
+                        &cfg,
+                        key,
+                        w[0]..w[1],
+                    );
+                    for (acc, v) in total.iter_mut().zip(part) {
+                        *acc += v;
+                    }
+                }
+                for (i, (&f, &t)) in full.data().iter().zip(total.iter()).enumerate() {
+                    #[allow(clippy::cast_precision_loss)]
+                    let recombined = t as f32;
+                    assert_eq!(
+                        f.to_bits(),
+                        recombined.to_bits(),
+                        "{design:?} split {split:?}: output {i} diverged ({f} vs {recombined})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_seed_separates_layers_bits_and_chunks() {
+        let base = stream_seed(42, 0, 0, 0);
+        assert_ne!(base, stream_seed(42, 1, 0, 0), "layer must key the stream");
+        assert_ne!(base, stream_seed(42, 0, 1, 0), "bit must key the stream");
+        assert_ne!(base, stream_seed(42, 0, 0, 1), "chunk must key the stream");
+        assert_ne!(base, stream_seed(43, 0, 0, 0), "seed must key the stream");
+        assert_eq!(base, stream_seed(42, 0, 0, 0), "keying is deterministic");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use export::{json_snapshot, print_summary_if_env, prometheus_text, text_summ
 pub use hist::{bucket_index, bucket_value, HistogramCore, Summary, OCTAVES, SUB_BUCKETS};
 pub use http::{serve_http, HttpHandle};
 pub use registry::{
-    registry, Counter, Gauge, Histogram, Labels, MetricEntry, MetricHandle, MetricSnapshot,
-    MetricValue, Registry, Snapshot,
+    registry, Counter, CounterVec, Gauge, GaugeVec, Histogram, Labels, MetricEntry, MetricHandle,
+    MetricSnapshot, MetricValue, Registry, Snapshot,
 };
 pub use span::{enter, set_span_sampling, span_sampling, SpanGuard};

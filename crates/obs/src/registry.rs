@@ -364,6 +364,127 @@ pub fn registry() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
+/// A cached family of counters sharing one name and label *keys*, keyed
+/// by label *values* — e.g. `fleet_shard_requests_total{shard,replica}`.
+///
+/// [`Registry::counter_with`] already supports labels, but pays the
+/// registry mutex plus label normalization on every call; a family keeps
+/// a private value→handle map so steady-state increments cost one small
+/// map lookup and one relaxed atomic. Built for per-shard/per-replica
+/// traffic families, where the label values are discovered at runtime
+/// and hit on every routed request.
+pub struct CounterVec {
+    name: &'static str,
+    help: &'static str,
+    keys: &'static [&'static str],
+    cache: Mutex<HashMap<Vec<String>, Counter>>,
+}
+
+impl CounterVec {
+    /// A family registering into the global registry on first use of
+    /// each label-value combination.
+    ///
+    /// # Panics
+    ///
+    /// Later [`with`](Self::with) calls panic if `keys` and the values
+    /// passed disagree in length.
+    #[must_use]
+    pub fn new(name: &'static str, keys: &'static [&'static str], help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            keys,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The counter for one combination of label values (positionally
+    /// matching the family's keys), creating and registering it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the family's key count, or
+    /// if the name was registered as a different metric kind.
+    #[must_use]
+    pub fn with(&self, values: &[&str]) -> Counter {
+        assert_eq!(
+            values.len(),
+            self.keys.len(),
+            "family `{}` takes {} label(s)",
+            self.name,
+            self.keys.len()
+        );
+        let key: Vec<String> = values.iter().map(|v| (*v).to_owned()).collect();
+        let mut cache = self.cache.lock().expect("counter family poisoned");
+        if let Some(c) = cache.get(&key) {
+            return c.clone();
+        }
+        let labels: Vec<(&str, &str)> = self
+            .keys
+            .iter()
+            .copied()
+            .zip(values.iter().copied())
+            .collect();
+        let c = registry().counter_with(self.name, &labels, self.help);
+        cache.insert(key, c.clone());
+        c
+    }
+}
+
+/// A cached family of gauges — the [`CounterVec`] pattern for gauges.
+pub struct GaugeVec {
+    name: &'static str,
+    help: &'static str,
+    keys: &'static [&'static str],
+    cache: Mutex<HashMap<Vec<String>, Gauge>>,
+}
+
+impl GaugeVec {
+    /// A family registering into the global registry on first use of
+    /// each label-value combination.
+    #[must_use]
+    pub fn new(name: &'static str, keys: &'static [&'static str], help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            keys,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The gauge for one combination of label values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the family's key count, or
+    /// if the name was registered as a different metric kind.
+    #[must_use]
+    pub fn with(&self, values: &[&str]) -> Gauge {
+        assert_eq!(
+            values.len(),
+            self.keys.len(),
+            "family `{}` takes {} label(s)",
+            self.name,
+            self.keys.len()
+        );
+        let key: Vec<String> = values.iter().map(|v| (*v).to_owned()).collect();
+        let mut cache = self.cache.lock().expect("gauge family poisoned");
+        if let Some(g) = cache.get(&key) {
+            return g.clone();
+        }
+        let labels: Vec<(&str, &str)> = self
+            .keys
+            .iter()
+            .copied()
+            .zip(values.iter().copied())
+            .collect();
+        let g = registry().gauge_with(self.name, &labels, self.help);
+        cache.insert(key, g.clone());
+        g
+    }
+}
+
 /// A frozen value of one metric.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
@@ -476,6 +597,32 @@ macro_rules! histogram {
     }};
 }
 
+/// Gets (and caches in a call-site static) a labeled counter *family*
+/// `$name{keys...}`, then resolves the handle for the given label
+/// values: `counter_vec!("fleet_shard_requests_total", ["shard",
+/// "replica"], "help", &[shard_str, replica_str]).inc()`.
+#[macro_export]
+macro_rules! counter_vec {
+    ($name:expr, [$($key:expr),+ $(,)?], $help:expr, $values:expr) => {{
+        static FAMILY: std::sync::OnceLock<$crate::CounterVec> = std::sync::OnceLock::new();
+        FAMILY
+            .get_or_init(|| $crate::CounterVec::new($name, &[$($key),+], $help))
+            .with($values)
+    }};
+}
+
+/// Gets (and caches in a call-site static) a labeled gauge family —
+/// [`counter_vec!`](crate::counter_vec) for gauges.
+#[macro_export]
+macro_rules! gauge_vec {
+    ($name:expr, [$($key:expr),+ $(,)?], $help:expr, $values:expr) => {{
+        static FAMILY: std::sync::OnceLock<$crate::GaugeVec> = std::sync::OnceLock::new();
+        FAMILY
+            .get_or_init(|| $crate::GaugeVec::new($name, &[$($key),+], $help))
+            .with($values)
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,5 +694,60 @@ mod tests {
         let r = Registry::new();
         r.counter("dual_use", "as counter");
         r.gauge("dual_use", "as gauge");
+    }
+
+    #[test]
+    fn counter_family_caches_per_label_values() {
+        let fam = CounterVec::new(
+            "obs_test_family_total",
+            &["shard", "replica"],
+            "per shard/replica test family",
+        );
+        fam.with(&["0", "a"]).inc();
+        fam.with(&["0", "a"]).add(2);
+        fam.with(&["1", "b"]).inc();
+        let snap = registry().snapshot();
+        assert_eq!(
+            snap.counter_with("obs_test_family_total", &[("shard", "0"), ("replica", "a")]),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter_with("obs_test_family_total", &[("shard", "1"), ("replica", "b")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 label(s)")]
+    fn counter_family_rejects_wrong_arity() {
+        let fam = CounterVec::new("obs_test_arity_total", &["a", "b"], "arity check");
+        let _ = fam.with(&["only-one"]);
+    }
+
+    #[test]
+    fn gauge_family_shares_handles() {
+        let fam = GaugeVec::new("obs_test_gauge_family", &["shard"], "gauge family");
+        fam.with(&["2"]).set(4.5);
+        assert!((fam.with(&["2"]).get() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_macros_compile_and_count() {
+        crate::counter_vec!(
+            "obs_test_macro_family_total",
+            ["shard", "replica"],
+            "macro-cached family",
+            &["3", "c"]
+        )
+        .inc();
+        crate::gauge_vec!("obs_test_macro_gauge", ["shard"], "macro gauge", &["3"]).set(1.0);
+        let snap = registry().snapshot();
+        assert_eq!(
+            snap.counter_with(
+                "obs_test_macro_family_total",
+                &[("shard", "3"), ("replica", "c")]
+            ),
+            Some(1)
+        );
     }
 }

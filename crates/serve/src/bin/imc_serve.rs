@@ -42,6 +42,8 @@ struct Args {
     checkpoint: Option<String>,
     image: Option<String>,
     seed: u64,
+    shard_index: Option<usize>,
+    shard_count: Option<usize>,
     cfg: ServeConfig,
 }
 
@@ -49,7 +51,8 @@ fn usage() -> String {
     "usage: imc-serve [--addr HOST:PORT] [--design curfe|chgfe] [--checkpoint PATH]\n\
      \x20                [--image PATH] [--banks N] [--max-batch N] [--max-wait-us N]\n\
      \x20                [--queue-depth N] [--seed N] [--obs-addr HOST:PORT]\n\
-     \x20                [--max-conns N] [--frame-deadline-ms N] [--write-timeout-ms N]"
+     \x20                [--max-conns N] [--frame-deadline-ms N] [--write-timeout-ms N]\n\
+     \x20                [--shard-index I --shard-count N]"
         .to_owned()
 }
 
@@ -61,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         checkpoint: None,
         image: None,
         seed: DEFAULT_SEED,
+        shard_index: None,
+        shard_count: None,
         cfg: ServeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -79,6 +84,20 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--shard-index" => {
+                args.shard_index = Some(
+                    value("--shard-index")?
+                        .parse()
+                        .map_err(|e| format!("--shard-index: {e}"))?,
+                );
+            }
+            "--shard-count" => {
+                args.shard_count = Some(
+                    value("--shard-count")?
+                        .parse()
+                        .map_err(|e| format!("--shard-count: {e}"))?,
+                );
             }
             "--banks" => {
                 args.cfg.banks = value("--banks")?
@@ -144,6 +163,14 @@ fn parse_args() -> Result<Args, String> {
     if args.image.is_some() && args.checkpoint.is_some() {
         return Err("--image and --checkpoint are mutually exclusive".to_owned());
     }
+    if args.shard_index.is_some() != args.shard_count.is_some() {
+        return Err("--shard-index and --shard-count go together".to_owned());
+    }
+    if args.shard_index.is_some() && (args.image.is_some() || args.checkpoint.is_some()) {
+        // A compiled shard image already carries its ShardSpec;
+        // checkpoints have no shard story.
+        return Err("--shard-index/--shard-count apply to synthetic models only".to_owned());
+    }
     Ok(args)
 }
 
@@ -172,7 +199,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        (None, None) => ServeModel::synthetic(design, args.seed),
+        (None, None) => match (args.shard_index, args.shard_count) {
+            (Some(i), Some(n)) => match ServeModel::synthetic_shard(design, args.seed, i, n) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("imc-serve: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => ServeModel::synthetic(design, args.seed),
+        },
     };
     let model = Arc::new(model);
 

@@ -18,7 +18,10 @@ use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{read_response, write_request, InferRequest, Request, Response, StatsReply};
+use crate::protocol::{
+    read_response, write_request, DescribeReply, InferRequest, PartialRequest, PartialSumReply,
+    Request, Response, StatsReply,
+};
 use crate::wire::{self, Proto};
 
 /// Socket-level timeouts and wire protocol for a [`Client`].
@@ -305,6 +308,56 @@ impl Client {
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected ShuttingDown, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server what it serves (digest, shard, shape).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected response variant.
+    pub fn describe(&mut self) -> io::Result<DescribeReply> {
+        self.send(&Request::Describe)?;
+        match self.recv()? {
+            Some(Response::Describe(d)) => Ok(d),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Describe, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Round-trips one partial-MAC request: layer `layer`, global chunks
+    /// `[chunk_lo, chunk_hi)`, quantized activation codes. A server-side
+    /// `Error` response surfaces as `InvalidData` with the server's
+    /// reason (e.g. an out-of-shard chunk range).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, an early close, a server-side rejection, or
+    /// an unexpected response variant.
+    pub fn partial(
+        &mut self,
+        id: u64,
+        layer: usize,
+        chunk_lo: usize,
+        chunk_hi: usize,
+        codes: Vec<f32>,
+    ) -> io::Result<PartialSumReply> {
+        self.send(&Request::Partial(PartialRequest {
+            id,
+            layer,
+            chunk_lo,
+            chunk_hi,
+            codes,
+        }))?;
+        match self.recv()? {
+            Some(Response::PartialSum(p)) => Ok(p),
+            Some(Response::Error(why)) => Err(io::Error::new(io::ErrorKind::InvalidData, why)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected PartialSum, got {other:?}"),
             )),
         }
     }

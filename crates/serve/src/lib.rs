@@ -69,7 +69,8 @@ pub mod shutdown;
 pub mod wire;
 
 pub use client::{Client, ClientConfig, RetryPolicy};
-pub use model::ServeModel;
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use model::{parse_design, synthetic_digest, ServeModel};
+pub use protocol::{DescribeReply, PartialRequest, PartialSumReply};
+pub use server::{argmax_total, serve, ServeConfig, ServerHandle};
 pub use shutdown::{install_signal_handlers, ShutdownFlag};
 pub use wire::Proto;

@@ -16,11 +16,13 @@
 //!   post-remap) weight codes, so served logits are bit-identical to the
 //!   predictions in the image manifest.
 
-use imc_compile::image::ChipImage;
+use imc_compile::image::{ChipImage, ShardSpec};
 use neural::checkpoint::{load, Checkpoint};
 use neural::imc_exec::{ImcConfig, ImcDesign, QNetwork};
 use neural::models::{mlp, Sequential};
 use neural::tensor::Tensor;
+
+use crate::protocol::DescribeReply;
 
 /// Input features of the MNIST-shaped default model (28 × 28).
 pub const MNIST_FEATURES: usize = 784;
@@ -38,6 +40,34 @@ pub struct ServeModel {
     features: usize,
     classes: usize,
     design: ImcDesign,
+    /// Content digest reported to `Describe` probes. Image-backed models
+    /// use [`ChipImage::digest`]; synthetic models derive one from
+    /// `(design, seed, shard)`; checkpoint models report 0 (content not
+    /// verifiable from the file alone).
+    digest: u64,
+    /// Set on shard replicas: the chunk ranges this chip owns.
+    shard: Option<ShardSpec>,
+}
+
+/// Deterministic pseudo-digest for synthetic models, so fleets of
+/// `(design, seed)` replicas still get digest-based admission checks.
+/// `shard` is `Some((index, count))` for shard replicas, `None` for a
+/// whole-model server; the fleet router uses this to predict what an
+/// honest synthetic replica must report from `Describe`.
+#[must_use]
+pub fn synthetic_digest(design: ImcDesign, seed: u64, shard: Option<(usize, usize)>) -> u64 {
+    let tag = match design {
+        ImcDesign::CurFe => 0x11u64,
+        ImcDesign::ChgFe => 0x22u64,
+    };
+    let (si, sc) = shard.map_or((0, 0), |(i, c)| (i as u64 + 1, c as u64));
+    let mut z = seed ^ (tag << 56) ^ (si << 32) ^ sc ^ 0x5E44_F1EE_7000_0000;
+    for _ in 0..2 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z | 1 // never 0, which is reserved for "no digest"
 }
 
 /// Parses a design name (`curfe` / `chgfe`, case-insensitive).
@@ -63,6 +93,8 @@ impl ServeModel {
             features,
             classes,
             design,
+            digest: 0,
+            shard: None,
         }
     }
 
@@ -70,7 +102,45 @@ impl ServeModel {
     #[must_use]
     pub fn synthetic(design: ImcDesign, seed: u64) -> Self {
         let seq = mlp(MNIST_FEATURES, DEFAULT_HIDDEN, DEFAULT_CLASSES, seed);
-        Self::quantize(&seq, design, MNIST_FEATURES, DEFAULT_CLASSES)
+        let mut m = Self::quantize(&seq, design, MNIST_FEATURES, DEFAULT_CLASSES);
+        m.digest = synthetic_digest(design, seed, None);
+        m
+    }
+
+    /// Builds shard `index` of a `count`-way cut of the synthetic model:
+    /// the full network is materialized (partials need full weight
+    /// planes), but the replica only owns an even contiguous chunk range
+    /// per MAC layer and refuses whole-model `Infer` and out-of-range
+    /// `Partial` requests. The same even-split arithmetic runs in the
+    /// fleet router, so both sides agree on ownership without a
+    /// manifest file.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `count` is zero or `index` is out of range.
+    pub fn synthetic_shard(
+        design: ImcDesign,
+        seed: u64,
+        index: usize,
+        count: usize,
+    ) -> Result<Self, String> {
+        if count == 0 || index >= count {
+            return Err(format!("shard {index}/{count} is not a valid assignment"));
+        }
+        let mut m = Self::synthetic(design, seed);
+        let layer_chunks = m
+            .net
+            .mac_layer_meta()
+            .iter()
+            .map(|l| [index * l.chunks / count, (index + 1) * l.chunks / count])
+            .collect();
+        m.shard = Some(ShardSpec {
+            index,
+            count,
+            layer_chunks,
+        });
+        m.digest = synthetic_digest(design, seed, Some((index, count)));
+        Ok(m)
     }
 
     /// Restores the default architecture from a checkpoint JSON file
@@ -135,6 +205,8 @@ impl ServeModel {
             features: image.arch.features,
             classes: image.arch.classes,
             design: cfg.design,
+            digest: image.digest(),
+            shard: image.shard.clone(),
         })
     }
 
@@ -185,6 +257,75 @@ impl ServeModel {
     pub fn infer_one(&self, input: &[f32]) -> Vec<f32> {
         let x = Tensor::from_vec(&[1, self.features], input.to_vec());
         self.net.forward(&x).data().to_vec()
+    }
+
+    /// Content digest reported to `Describe` (0 = not verifiable).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The shard assignment, when this replica serves a fleet cut.
+    #[must_use]
+    pub fn shard(&self) -> Option<&ShardSpec> {
+        self.shard.as_ref()
+    }
+
+    /// Whether this replica serves a shard (and must refuse whole-model
+    /// `Infer` requests).
+    #[must_use]
+    pub fn is_sharded(&self) -> bool {
+        self.shard.is_some()
+    }
+
+    /// The identity answer for a `Describe` probe.
+    #[must_use]
+    pub fn describe(&self) -> DescribeReply {
+        let (shard_index, shard_count) = self.shard.as_ref().map_or((0, 0), |s| (s.index, s.count));
+        DescribeReply {
+            digest: self.digest,
+            shard_index,
+            shard_count,
+            features: self.features,
+            classes: self.classes,
+        }
+    }
+
+    /// Executes a partial MAC: layer `layer`, global chunks
+    /// `[chunk_lo, chunk_hi)`, over pre-quantized activation codes.
+    /// Deterministic by construction (chunk-addressed noise streams), so
+    /// it runs on the connection thread, not through the batcher.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a chunk range outside this replica's shard, or any
+    /// kernel-level validation error (`PartialMacError`).
+    pub fn partial(
+        &self,
+        layer: usize,
+        chunk_lo: usize,
+        chunk_hi: usize,
+        codes: &[f32],
+    ) -> Result<Vec<i64>, String> {
+        if let Some(s) = &self.shard {
+            let owned = s.layer_chunks.get(layer).copied().ok_or_else(|| {
+                format!(
+                    "layer {layer} out of range for shard {}/{}",
+                    s.index, s.count
+                )
+            })?;
+            if chunk_lo < owned[0] || chunk_hi > owned[1] {
+                return Err(format!(
+                    "chunks {chunk_lo}..{chunk_hi} of layer {layer} outside shard {}/{} \
+                     (owns {}..{})",
+                    s.index, s.count, owned[0], owned[1]
+                ));
+            }
+        }
+        let x = Tensor::from_vec(&[1, codes.len()], codes.to_vec());
+        self.net
+            .linear_partial(layer, &x, chunk_lo, chunk_hi)
+            .map_err(|e| e.to_string())
     }
 }
 

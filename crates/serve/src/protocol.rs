@@ -34,6 +34,28 @@ pub struct InferRequest {
     pub input: Vec<f32>,
 }
 
+/// One partial-MAC request from a fleet router: run MAC layer `layer`
+/// on the already-quantized activation codes, but only over the global
+/// accumulation chunks `[chunk_lo, chunk_hi)`, and reply with raw
+/// integer partial sums ([`PartialSumReply`]). Summing the partials of
+/// a chunk tiling and applying the digital glue reproduces
+/// `QNetwork::forward` bit-exactly — see
+/// `neural::imc_exec::QNetwork::linear_partial`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialRequest {
+    /// Client-chosen correlation id.
+    pub id: u64,
+    /// MAC-layer index (0 = first Linear).
+    pub layer: usize,
+    /// First global chunk (inclusive).
+    pub chunk_lo: usize,
+    /// Last global chunk (exclusive).
+    pub chunk_hi: usize,
+    /// Quantized activation codes for the layer's full fan-in (each an
+    /// integer-valued f32 straight out of `quantize_activations`).
+    pub codes: Vec<f32>,
+}
+
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
@@ -45,6 +67,11 @@ pub enum Request {
     Ping,
     /// Begin graceful shutdown: drain in-flight batches, then exit.
     Shutdown,
+    /// Run a chunk range of one MAC layer ([`PartialRequest`]).
+    Partial(PartialRequest),
+    /// Identify the served model ([`DescribeReply`]): image digest,
+    /// shard assignment, input/output shape.
+    Describe,
 }
 
 /// Successful inference result.
@@ -96,6 +123,39 @@ pub struct FailedReply {
     pub id: u64,
     /// What went wrong (`worker panic`, ...).
     pub reason: String,
+}
+
+/// Raw integer partial sums for one [`PartialRequest`]. `sums[o]` is
+/// the shift-added i64 accumulation for output column `o` over the
+/// requested chunk range, before dequantization. Partials from a chunk
+/// tiling add in i64 with no rounding, so the router-side combine is
+/// bit-exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialSumReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Echo of the MAC-layer index.
+    pub layer: usize,
+    /// One integer partial sum per output column.
+    pub sums: Vec<i64>,
+}
+
+/// Answer to [`Request::Describe`]: what exactly this replica serves.
+/// Routers use the digest to refuse mixing replicas that load different
+/// images (stale weights, different executor settings, or a different
+/// shard slice all change the digest).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DescribeReply {
+    /// Content digest of the loaded image (0 for synthetic models).
+    pub digest: u64,
+    /// This replica's shard index (0 when unsharded).
+    pub shard_index: usize,
+    /// Total shards in the fleet cut (0 = whole-model replica).
+    pub shard_count: usize,
+    /// Input features the model accepts.
+    pub features: usize,
+    /// Output classes the model produces.
+    pub classes: usize,
 }
 
 /// Latency distribution summary (microseconds).
@@ -173,6 +233,10 @@ pub enum Response {
     Busy(BusyReply),
     /// An admitted request failed during execution (safe to retry).
     Failed(FailedReply),
+    /// Integer partial sums for a [`Request::Partial`].
+    PartialSum(PartialSumReply),
+    /// Model identity for a [`Request::Describe`].
+    Describe(DescribeReply),
 }
 
 /// Writes one frame (length prefix + JSON payload).
@@ -389,6 +453,41 @@ mod tests {
                 }
             }
             other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_and_describe_round_trip_through_json() {
+        let req = Request::Partial(PartialRequest {
+            id: 17,
+            layer: 1,
+            chunk_lo: 3,
+            chunk_hi: 9,
+            codes: vec![0.0, 15.0, 7.0, 1.0],
+        });
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+        let back: Request =
+            serde_json::from_str(&serde_json::to_string(&Request::Describe).unwrap()).unwrap();
+        assert_eq!(back, Request::Describe);
+        let resps = [
+            Response::PartialSum(PartialSumReply {
+                id: 17,
+                layer: 1,
+                sums: vec![i64::MIN, -1, 0, 123_456_789, i64::MAX],
+            }),
+            Response::Describe(DescribeReply {
+                digest: 0xDEAD_BEEF_0042_F00D,
+                shard_index: 2,
+                shard_count: 4,
+                features: 784,
+                classes: 10,
+            }),
+        ];
+        for resp in &resps {
+            let back: Response =
+                serde_json::from_str(&serde_json::to_string(resp).unwrap()).unwrap();
+            assert_eq!(&back, resp);
         }
     }
 

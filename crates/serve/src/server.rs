@@ -36,8 +36,8 @@ use crate::batcher::{AdmissionQueue, Pending};
 use crate::metrics::Metrics;
 use crate::model::ServeModel;
 use crate::protocol::{
-    write_response, BusyReply, FailedReply, InferReply, Request, Response, ShedReply,
-    MAX_FRAME_BYTES,
+    write_response, BusyReply, FailedReply, InferReply, PartialSumReply, Request, Response,
+    ShedReply, MAX_FRAME_BYTES,
 };
 use crate::scheduler::BankScheduler;
 use crate::shutdown::ShutdownFlag;
@@ -552,7 +552,41 @@ fn handle_request(
             send(writer, &Response::ShuttingDown, metrics);
             shutdown.trigger();
         }
+        Request::Describe => {
+            send(writer, &Response::Describe(model.describe()), metrics);
+        }
+        Request::Partial(req) => {
+            // Deterministic (chunk-addressed noise) and small, so it runs
+            // right here on the connection thread instead of competing
+            // with whole-model batches for the banks.
+            let resp = match model.partial(req.layer, req.chunk_lo, req.chunk_hi, &req.codes) {
+                Ok(sums) => Response::PartialSum(PartialSumReply {
+                    id: req.id,
+                    layer: req.layer,
+                    sums,
+                }),
+                Err(why) => {
+                    metrics.protocol_errors.inc();
+                    Response::Error(format!("partial id {}: {why}", req.id))
+                }
+            };
+            send(writer, &resp, metrics);
+        }
         Request::Infer(req) => {
+            if let Some(s) = model.shard() {
+                metrics.protocol_errors.inc();
+                send(
+                    writer,
+                    &Response::Error(format!(
+                        "replica serves shard {}/{} — route whole-model Infer through \
+                         the fleet router",
+                        s.index, s.count
+                    )),
+                    metrics,
+                );
+                pool_put(req.input);
+                return;
+            }
             if req.input.len() != model.input_features() {
                 metrics.protocol_errors.inc();
                 send(

@@ -58,8 +58,8 @@
 use std::io::{self, Read, Write};
 
 use crate::protocol::{
-    BankStats, BusyReply, FailedReply, InferReply, InferRequest, LatencySummary, Request, Response,
-    ShedReply, StatsReply, MAX_FRAME_BYTES,
+    BankStats, BusyReply, DescribeReply, FailedReply, InferReply, InferRequest, LatencySummary,
+    PartialRequest, PartialSumReply, Request, Response, ShedReply, StatsReply, MAX_FRAME_BYTES,
 };
 
 /// The 4-byte connection magic a binary client leads with.
@@ -149,6 +149,8 @@ const K_INFER: u8 = 0x01;
 const K_STATS: u8 = 0x02;
 const K_PING: u8 = 0x03;
 const K_SHUTDOWN: u8 = 0x04;
+const K_PARTIAL: u8 = 0x05;
+const K_DESCRIBE: u8 = 0x06;
 // Response kinds (high bit set).
 const K_OUTPUT: u8 = 0x81;
 const K_SHED: u8 = 0x82;
@@ -158,6 +160,8 @@ const K_SHUTTING_DOWN: u8 = 0x85;
 const K_ERROR: u8 = 0x86;
 const K_BUSY: u8 = 0x87;
 const K_FAILED: u8 = 0x88;
+const K_PARTIAL_SUM: u8 = 0x89;
+const K_DESCRIBE_REPLY: u8 = 0x8A;
 
 // --- encoding ------------------------------------------------------------
 
@@ -181,6 +185,13 @@ fn put_usize(buf: &mut Vec<u8>, v: usize) {
 }
 
 fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(buf, u32::try_from(vs.len()).expect("payload fits u32"));
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_i64s(buf: &mut Vec<u8>, vs: &[i64]) {
     put_u32(buf, u32::try_from(vs.len()).expect("payload fits u32"));
     for v in vs {
         buf.extend_from_slice(&v.to_le_bytes());
@@ -228,6 +239,15 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
         Request::Stats => begin_frame(buf, K_STATS),
         Request::Ping => begin_frame(buf, K_PING),
         Request::Shutdown => begin_frame(buf, K_SHUTDOWN),
+        Request::Partial(r) => {
+            begin_frame(buf, K_PARTIAL);
+            put_u64(buf, r.id);
+            put_usize(buf, r.layer);
+            put_usize(buf, r.chunk_lo);
+            put_usize(buf, r.chunk_hi);
+            put_f32s(buf, &r.codes);
+        }
+        Request::Describe => begin_frame(buf, K_DESCRIBE),
     }
     end_frame(buf);
 }
@@ -285,6 +305,20 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
             begin_frame(buf, K_FAILED);
             put_u64(buf, r.id);
             put_str(buf, &r.reason);
+        }
+        Response::PartialSum(r) => {
+            begin_frame(buf, K_PARTIAL_SUM);
+            put_u64(buf, r.id);
+            put_usize(buf, r.layer);
+            put_i64s(buf, &r.sums);
+        }
+        Response::Describe(d) => {
+            begin_frame(buf, K_DESCRIBE_REPLY);
+            put_u64(buf, d.digest);
+            put_usize(buf, d.shard_index);
+            put_usize(buf, d.shard_count);
+            put_usize(buf, d.features);
+            put_usize(buf, d.classes);
         }
     }
     end_frame(buf);
@@ -351,6 +385,17 @@ impl<'a> Cursor<'a> {
         Ok(v)
     }
 
+    /// Reads a `u32`-counted i64 array.
+    fn i64s(&mut self) -> Result<Vec<i64>, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n.checked_mul(8).ok_or(WireError::Truncated)?)?;
+        let mut out = Vec::with_capacity(n);
+        for c in bytes.chunks_exact(8) {
+            out.push(i64::from_le_bytes(c.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
     fn string(&mut self) -> Result<String, WireError> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
@@ -408,6 +453,14 @@ pub fn decode_request_reusing(body: &[u8], spare: &mut Vec<f32>) -> Result<Reque
         K_STATS => Request::Stats,
         K_PING => Request::Ping,
         K_SHUTDOWN => Request::Shutdown,
+        K_PARTIAL => Request::Partial(PartialRequest {
+            id: c.u64()?,
+            layer: c.usize()?,
+            chunk_lo: c.usize()?,
+            chunk_hi: c.usize()?,
+            codes: c.f32s()?,
+        }),
+        K_DESCRIBE => Request::Describe,
         k => return Err(WireError::UnknownKind(k)),
     };
     c.finish()?;
@@ -471,6 +524,18 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
         K_FAILED => Response::Failed(FailedReply {
             id: c.u64()?,
             reason: c.string()?,
+        }),
+        K_PARTIAL_SUM => Response::PartialSum(PartialSumReply {
+            id: c.u64()?,
+            layer: c.usize()?,
+            sums: c.i64s()?,
+        }),
+        K_DESCRIBE_REPLY => Response::Describe(DescribeReply {
+            digest: c.u64()?,
+            shard_index: c.usize()?,
+            shard_count: c.usize()?,
+            features: c.usize()?,
+            classes: c.usize()?,
         }),
         k => return Err(WireError::UnknownKind(k)),
     };
@@ -632,6 +697,14 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::Partial(PartialRequest {
+                id: 31,
+                layer: 1,
+                chunk_lo: 12,
+                chunk_hi: 25,
+                codes: vec![0.0, 15.0, 7.0, 3.0, 1.0],
+            }),
+            Request::Describe,
         ]
     }
 
@@ -698,6 +771,18 @@ mod tests {
             Response::Failed(FailedReply {
                 id: 99,
                 reason: "worker panic".into(),
+            }),
+            Response::PartialSum(PartialSumReply {
+                id: 31,
+                layer: 1,
+                sums: vec![i64::MIN, -7, 0, 123_456_789_000, i64::MAX],
+            }),
+            Response::Describe(DescribeReply {
+                digest: 0xFEED_FACE_CAFE_BEEF,
+                shard_index: 3,
+                shard_count: 4,
+                features: 784,
+                classes: 10,
             }),
         ]
     }

@@ -36,6 +36,42 @@ fn raw_get(addr: &str, path: &str) -> (String, String) {
 /// Drives every instrumented layer once so the registry holds all the
 /// metric families a production scrape would see.
 fn generate_work() {
+    // Fleet traffic first: a 2-shard fleet in front of two shard
+    // replicas, so the labeled per-shard/per-replica families
+    // (`fleet.shard_requests{shard,replica}`) hold real samples. Runs
+    // before the plain server below because unlabeled serve counters
+    // are latest-registration-wins and the assertions target the plain
+    // server's traffic.
+    let input: Vec<f32> = (0..MNIST_FEATURES)
+        .map(|i| (i % 11) as f32 / 11.0)
+        .collect();
+    let shard = |i: usize| {
+        let m =
+            ServeModel::synthetic_shard(ImcDesign::ChgFe, DEFAULT_SEED, i, 2).expect("shard model");
+        serve("127.0.0.1:0", Arc::new(m), &ServeConfig::default()).expect("bind shard replica")
+    };
+    let replicas = [shard(0), shard(1)];
+    let addrs: Vec<String> = replicas.iter().map(|r| r.addr().to_string()).collect();
+    let plan =
+        imc_fleet::FleetPlan::synthetic(ImcDesign::ChgFe, DEFAULT_SEED, 2).expect("fleet plan");
+    let (router, admission) = imc_fleet::serve_fleet(
+        "127.0.0.1:0",
+        plan,
+        &addrs,
+        imc_fleet::RouterConfig::default(),
+    )
+    .expect("bind fleet router");
+    assert!(admission.is_empty(), "clean admission: {admission:?}");
+    let mut client = Client::connect(router.addr()).expect("connect fleet");
+    for id in 0..4u64 {
+        client.infer(id, input.clone()).expect("fleet infer");
+    }
+    router.shutdown();
+    for r in replicas {
+        r.shutdown_flag().trigger();
+        r.join();
+    }
+
     // Serve traffic: an in-process server and a handful of requests.
     let model = Arc::new(ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED));
     let cfg = ServeConfig {
@@ -118,6 +154,13 @@ fn scrape_during_live_work_exposes_every_layer() {
         // MC throughput counters.
         "sim_mc_trials_total",
         "sim_mc_trial_failures_total",
+        // Fleet per-shard/per-replica labeled families (labels render
+        // sorted by key, so `replica` precedes `shard`).
+        "fleet.infer_total",
+        "fleet.shard_requests{replica=\"",
+        ",shard=\"0\"}",
+        ",shard=\"1\"}",
+        "fleet.replica_healthy{replica=\"",
     ] {
         assert!(
             text.contains(family),
@@ -135,6 +178,7 @@ fn scrape_during_live_work_exposes_every_layer() {
     assert!(counter_value("sim_newton_iterations_total") >= 1.0);
     assert!(counter_value("imc_serve_completed_total") >= 8.0);
     assert!(counter_value("sim_mc_trials_total") >= 64.0);
+    assert!(counter_value("fleet.infer_total") >= 4.0);
 
     // The JSON route serves the same registry and must parse.
     let (status, json) = raw_get(&addr, "/metrics.json");
