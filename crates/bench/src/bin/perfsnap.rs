@@ -197,6 +197,61 @@ struct Pr7Snapshot {
     bit_exact: bool,
 }
 
+/// The analytical cost-model snapshot written to `BENCH_pr8.json`.
+#[derive(Serialize)]
+struct Pr8Snapshot {
+    /// Worker-pool width in effect.
+    threads: usize,
+    /// Physical cores visible to the process.
+    cores: usize,
+    /// Design points priced by the default DSE sweep.
+    dse_points: usize,
+    /// Wall time of the full sweep + energy rank (ms).
+    dse_wall_ms: f64,
+    /// Closed-form pricing of one whole-model inference (ns per call).
+    estimate_ns_per_inference: f64,
+    /// Analytical energy per serve-MLP inference, paper operating point.
+    curfe_energy_per_inference_nj: f64,
+    chgfe_energy_per_inference_nj: f64,
+    /// Macro throughput-per-power at the paper (8b,8b) point — the
+    /// numbers the `cost_model` anchors in `run_all` regress against.
+    curfe_tops_per_watt: f64,
+    chgfe_tops_per_watt: f64,
+}
+
+/// Times the `imc-cost` closed forms: a full default DSE sweep and
+/// per-inference pricing of the serve MLP under both variants.
+fn pr8_snapshot() -> Pr8Snapshot {
+    let shapes = imc_cost::mlp_shapes(784, 64, 10);
+    let opts = imc_cost::DseOptions::default();
+    // Warm once, then time the full sweep+rank.
+    std::hint::black_box(imc_cost::sweep(&opts, &shapes));
+    let t_sweep = time_best(3, || {
+        std::hint::black_box(imc_cost::sweep(&opts, &shapes));
+    });
+    let dse_points = imc_cost::sweep(&opts, &shapes).points.len();
+
+    let curfe = imc_cost::DesignPoint::paper(imc_cost::Variant::CurFe);
+    let chgfe = imc_cost::DesignPoint::paper(imc_cost::Variant::ChgFe);
+    let t_estimate = time_best(5, || {
+        for _ in 0..1000 {
+            std::hint::black_box(imc_cost::inference_cost(&chgfe, &shapes));
+        }
+    }) / 1000.0;
+
+    Pr8Snapshot {
+        threads: par_exec::threads(),
+        cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        dse_points,
+        dse_wall_ms: t_sweep * 1.0e3,
+        estimate_ns_per_inference: t_estimate * 1.0e9,
+        curfe_energy_per_inference_nj: imc_cost::inference_cost(&curfe, &shapes).energy_j * 1.0e9,
+        chgfe_energy_per_inference_nj: imc_cost::inference_cost(&chgfe, &shapes).energy_j * 1.0e9,
+        curfe_tops_per_watt: curfe.evaluate().tops_per_watt,
+        chgfe_tops_per_watt: chgfe.evaluate().tops_per_watt,
+    }
+}
+
 /// Times single-node, 4-replica, and 2-shard serving for
 /// `BENCH_pr7.json`, verifying bit-exactness of every routed answer.
 fn pr7_snapshot() -> Pr7Snapshot {
@@ -575,6 +630,9 @@ fn main() {
     let pr7_out_path = std::env::args()
         .nth(5)
         .unwrap_or_else(|| "BENCH_pr7.json".to_owned());
+    let pr8_out_path = std::env::args()
+        .nth(6)
+        .unwrap_or_else(|| "BENCH_pr8.json".to_owned());
     let ccfg = CurFeConfig::paper();
     let qcfg = ChgFeConfig::paper();
 
@@ -687,5 +745,12 @@ fn main() {
     std::fs::write(&pr7_out_path, format!("{json}\n")).expect("write pr7 snapshot");
     println!("{json}");
     println!("\nwrote {pr7_out_path}");
+
+    // --- analytical cost model: DSE sweep + per-inference pricing -------
+    let csnap = pr8_snapshot();
+    let json = serde_json::to_string_pretty(&csnap).expect("pr8 snapshot serializes");
+    std::fs::write(&pr8_out_path, format!("{json}\n")).expect("write pr8 snapshot");
+    println!("{json}");
+    println!("\nwrote {pr8_out_path}");
     imc_obs::print_summary_if_env();
 }

@@ -281,6 +281,37 @@ fn cmd_inspect(mut f: Flags) -> Result<(), String> {
         "  prepack: {} MAC layers, {} chunks, {} packed u64 words ({} B resident)",
         pp.mac_layers, pp.chunks, pp.words, pp.bytes
     );
+    let g = &img.geometry;
+    println!(
+        "  geometry: {} banks x {} rows x {} block pairs",
+        g.banks, g.rows, g.block_pairs_per_bank
+    );
+    let point = imc_cost::DesignPoint {
+        variant: imc_cost::Variant::parse(&img.imc.design)?,
+        banks: g.banks,
+        rows: g.rows,
+        block_pairs_per_bank: g.block_pairs_per_bank,
+        adc_bits: img.imc.adc_bits,
+        input_bits: img.imc.input_bits,
+        weight_bits: if img.imc.weight_bits <= 4 {
+            imc_core::energy::WeightBits::W4
+        } else {
+            imc_core::energy::WeightBits::W8
+        },
+    };
+    let cost = point.evaluate();
+    let inf = imc_cost::inference_cost(
+        &point,
+        &imc_cost::mlp_shapes(img.arch.features, img.arch.hidden, img.arch.classes),
+    );
+    println!(
+        "  cost: {:.2} TOPS/W  {:.4} mm²  {:.3} nJ / {:.2} µs per inference ({} bank-cycles)",
+        cost.tops_per_watt,
+        cost.area.total_mm2(),
+        inf.energy_j * 1.0e9,
+        inf.latency_s * 1.0e6,
+        inf.bank_cycles
+    );
     Ok(())
 }
 

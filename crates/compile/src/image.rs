@@ -15,7 +15,9 @@ use neural::quant::QuantizedWeights;
 use serde::{Deserialize, Serialize};
 
 /// Current on-disk format version; bumped on breaking manifest changes.
-pub const IMAGE_FORMAT_VERSION: u32 = 1;
+/// v2 added the physical [`MacroGeometry`] block the analytical cost
+/// model prices (`imc-cost`, DESIGN §15).
+pub const IMAGE_FORMAT_VERSION: u32 = 2;
 
 /// The MLP architecture a chip image carries (the serving default shape).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,6 +57,35 @@ impl MlpArch {
                 out_positions: 1,
             },
         ]
+    }
+}
+
+/// Physical macro geometry the image was compiled for — the knobs the
+/// analytical cost model (`imc-cost`) prices: energy and latency are
+/// linear in `banks × rows`, and the charge-share/TIA frontend count
+/// scales with `block_pairs_per_bank`. `rows` mirrors
+/// [`ImcSettings::rows`] (the analog accumulation depth); `validate`
+/// enforces the equality so the executor and the cost model can never
+/// disagree about the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroGeometry {
+    /// Physical banks on the chip.
+    pub banks: usize,
+    /// Simultaneously-active rows per bank (accumulation depth).
+    pub rows: usize,
+    /// H4B/L4B block-pair columns per bank.
+    pub block_pairs_per_bank: usize,
+}
+
+impl MacroGeometry {
+    /// The paper's macro: 16 banks × 32 rows × 4 block pairs.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            banks: 16,
+            rows: 32,
+            block_pairs_per_bank: 4,
+        }
     }
 }
 
@@ -376,6 +407,8 @@ pub struct ChipImage {
     pub weight_seed: u64,
     /// Executor settings.
     pub imc: ImcSettings,
+    /// Physical macro geometry (v2; priced by `imc-cost`).
+    pub geometry: MacroGeometry,
     /// MAC layers, in network order.
     pub layers: Vec<LayerImage>,
     /// Placement table.
@@ -431,6 +464,21 @@ impl ChipImage {
                     shape.out_ch
                 )));
             }
+        }
+        if self.geometry.banks == 0
+            || self.geometry.rows == 0
+            || self.geometry.block_pairs_per_bank == 0
+        {
+            return Err(CompileError::BadImage(format!(
+                "degenerate macro geometry {:?}",
+                self.geometry
+            )));
+        }
+        if self.geometry.rows != self.imc.rows {
+            return Err(CompileError::BadImage(format!(
+                "geometry rows {} != executor accumulation rows {}",
+                self.geometry.rows, self.imc.rows
+            )));
         }
         if self.manifest.predicted_logits.len() != self.manifest.probe_count {
             return Err(CompileError::BadImage(
@@ -498,6 +546,9 @@ impl ChipImage {
         eat_u64(&mut h, self.imc.seed);
         eat_u64(&mut h, self.imc.noise_scale.to_bits());
         eat_u64(&mut h, self.imc.read_noise_fraction.to_bits());
+        eat_u64(&mut h, self.geometry.banks as u64);
+        eat_u64(&mut h, self.geometry.rows as u64);
+        eat_u64(&mut h, self.geometry.block_pairs_per_bank as u64);
         for layer in &self.layers {
             eat(&mut h, layer.name.as_bytes());
             eat_u64(&mut h, layer.effective.scale.to_bits().into());
@@ -611,6 +662,12 @@ impl ChipImage {
         }
         if self.imc != other.imc {
             out.push("imc settings differ".into());
+        }
+        if self.geometry != other.geometry {
+            out.push(format!(
+                "geometry: {:?} vs {:?}",
+                self.geometry, other.geometry
+            ));
         }
         if self.placement != other.placement {
             out.push(format!(

@@ -9,7 +9,9 @@
 //! against a fault-free oracle (same weights, no stuck cells), giving the
 //! manifest's expected accuracy delta.
 
-use crate::image::{ChipImage, ImcSettings, LayerImage, Manifest, MlpArch, IMAGE_FORMAT_VERSION};
+use crate::image::{
+    ChipImage, ImcSettings, LayerImage, MacroGeometry, Manifest, MlpArch, IMAGE_FORMAT_VERSION,
+};
 use crate::placement::{place, ChipGeometry};
 use crate::programming::{program_pass, ProgramOptions, ProgramTotals};
 use crate::remap::{remap_pass, RemapOptions};
@@ -296,6 +298,11 @@ pub fn compile(
         arch: opts.arch,
         weight_seed: opts.weight_seed,
         imc: ImcSettings::from_config(&cfg),
+        geometry: MacroGeometry {
+            banks: opts.geometry.banks,
+            rows: cfg.rows,
+            ..MacroGeometry::paper()
+        },
         layers,
         placement,
         manifest: Manifest {

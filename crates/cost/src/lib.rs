@@ -1,0 +1,32 @@
+//! `imc-cost` — analytical energy/latency/area models for the CurFe and
+//! ChgFe IMC macros, with DSE sweeps and per-inference pricing.
+//!
+//! The Monte-Carlo transient path (`analog-sim` + `imc-core`) prices a
+//! design point in minutes; this crate prices it in nanoseconds from
+//! closed forms, calibrated against those same transients:
+//!
+//! * [`model`] — [`model::DesignPoint`] → per-cycle energy breakdown,
+//!   cycle time, die area, TOPS/W and TOPS/mm² roll-ups.
+//! * [`calibrate`] — fixtures pinning the closed forms to
+//!   `analog-sim` transient measurements within stated tolerances.
+//! * [`inference`] — price one forward pass of a set of MAC layer
+//!   shapes (the quantity `imc-serve` meters and `imc-fleet` budgets).
+//! * [`dse`] — sweep geometry × ADC resolution × variant and rank.
+//!
+//! The `imc-cost` binary exposes `dse`, `estimate`, and `calibrate`
+//! subcommands over checkpoints and `ChipImage` files.
+
+#![deny(missing_docs)]
+
+pub mod calibrate;
+pub mod dse;
+pub mod inference;
+pub mod model;
+
+pub use dse::{sweep, DseOptions, DseTable};
+pub use inference::{inference_cost, mlp_shapes, InferenceCost, LayerShape};
+pub use model::{DesignPoint, MacroCost, Variant};
+
+// `DesignPoint` carries a `WeightBits`; re-exported so dependents can
+// build points without also depending on `imc-core`.
+pub use imc_core::energy::WeightBits;

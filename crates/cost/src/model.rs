@@ -1,0 +1,423 @@
+//! Closed-form macro cost model: per-cycle energy, cycle time, and die
+//! area for an arbitrary CurFe or ChgFe geometry, with peak TOPS/W and
+//! TOPS/mm² roll-ups.
+//!
+//! The energy side reuses the calibrated per-component terms of
+//! [`imc_core::energy`] (pinned to the paper's Table 1 anchors), but
+//! re-parameterizes the geometry (`banks`, `rows`,
+//! `block_pairs_per_bank`) and the ADC resolution, and couples the
+//! cycle time to the ADC: a SAR converter resolves one bit per
+//! comparator cycle, so `t_cycle = t_analog + bits · t_sar_bit`. At the
+//! paper's 5-bit operating point this lands exactly on the published
+//! 5 ns (CurFe) / 7 ns (ChgFe) MAC cycles; sweeping the resolution in a
+//! DSE moves both the ADC energy *and* — for CurFe, whose cell and TIA
+//! currents are static — the array energy, which is the real
+//! throughput/efficiency tension the paper discusses.
+//!
+//! The area side follows the ZigZag-IMC `AimcArrayUnit` style: an
+//! empirical SAR-ADC area law `10^(k1·bits + k2) · 2^bits` (28 nm,
+//! scaled to this repo's 40 nm node by `(40/28)²`) plus per-cell and
+//! per-bank periphery footprints.
+
+use imc_core::config::ArrayGeometry;
+use imc_core::energy::{Activity, ChgFeEnergyModel, CurFeEnergyModel, EnergyBreakdown, WeightBits};
+use serde::{Deserialize, Serialize};
+
+/// Seconds of analog settling per MAC cycle before conversion starts:
+/// wordline ramp + cell current settling into the TIA virtual ground.
+const CURFE_ANALOG_PHASE_S: f64 = 2.0e-9;
+/// ChgFe needs pre-charge, the input window, and charge-share settling.
+const CHGFE_ANALOG_PHASE_S: f64 = 4.0e-9;
+/// SAR conversion time per resolved bit (comparator + CDAC settle).
+const SAR_S_PER_BIT: f64 = 0.6e-9;
+
+/// 40 nm feature size in µm², for cell footprints quoted in F².
+const F2_UM2: f64 = 0.040 * 0.040;
+/// CurFe 1T1R cell: FeFET plus the poly drain resistor (60 F²).
+const CURFE_CELL_UM2: f64 = 60.0 * F2_UM2;
+/// ChgFe 1T MLC cell (30 F²).
+const CHGFE_CELL_UM2: f64 = 30.0 * F2_UM2;
+/// One TIA (opamp + feedback ladder), µm².
+const TIA_UM2: f64 = 120.0;
+/// ChgFe per-bank pre-charge transistors + charge-share TGs, µm².
+const PCT_TG_BANK_UM2: f64 = 12.0;
+/// Per-bank shift-add/accumulation logic, µm².
+const ACC_BANK_UM2: f64 = 80.0;
+/// Macro-level reference bank + switch matrix, µm².
+const MACRO_OVERHEAD_UM2: f64 = 500.0;
+/// ZigZag-IMC SAR area law exponent slope (28 nm).
+const ADC_AREA_K1: f64 = -0.0369;
+/// ZigZag-IMC SAR area law exponent intercept (28 nm).
+const ADC_AREA_K2: f64 = 1.206;
+/// Area scaling from the 28 nm law to this repo's 40 nm node.
+const ADC_NODE_SCALE: f64 = (40.0 / 28.0) * (40.0 / 28.0);
+
+/// Which macro design a cost query is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Current-domain design: TIA readout, static cell currents.
+    CurFe,
+    /// Charge-domain design: pre-charged bitlines, charge sharing.
+    ChgFe,
+}
+
+impl Variant {
+    /// Canonical lowercase name (`curfe` / `chgfe`), as used by
+    /// `ImcSettings.design` in chip images.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::CurFe => "curfe",
+            Self::ChgFe => "chgfe",
+        }
+    }
+
+    /// Parses a design name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Fails on anything but `curfe` / `chgfe`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "curfe" => Ok(Self::CurFe),
+            "chgfe" => Ok(Self::ChgFe),
+            other => Err(format!("unknown design `{other}` (curfe|chgfe)")),
+        }
+    }
+
+    /// Analog phase of the MAC cycle (s), before SAR conversion.
+    #[must_use]
+    pub fn analog_phase_s(self) -> f64 {
+        match self {
+            Self::CurFe => CURFE_ANALOG_PHASE_S,
+            Self::ChgFe => CHGFE_ANALOG_PHASE_S,
+        }
+    }
+}
+
+/// One candidate macro configuration — the unit of DSE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Macro design.
+    pub variant: Variant,
+    /// Parallel banks (each with its own ADC pair + accumulator).
+    pub banks: usize,
+    /// Rows activated per bank per cycle.
+    pub rows: usize,
+    /// Stacked H4B+L4B block pairs per bank (weight capacity knob; only
+    /// one pair is active per cycle).
+    pub block_pairs_per_bank: usize,
+    /// SAR ADC resolution (bits).
+    pub adc_bits: u32,
+    /// Bit-serial input precision (cycles per MAC).
+    pub input_bits: u32,
+    /// Weight precision mode (W4 doubles MACs/cycle).
+    pub weight_bits: WeightBits,
+}
+
+impl DesignPoint {
+    /// The paper's 128×128 operating point for `variant` at (8b input,
+    /// 8b weight) — the Table 1 row.
+    #[must_use]
+    pub fn paper(variant: Variant) -> Self {
+        Self {
+            variant,
+            banks: 16,
+            rows: 32,
+            block_pairs_per_bank: 4,
+            adc_bits: 5,
+            input_bits: 8,
+            weight_bits: WeightBits::W8,
+        }
+    }
+
+    /// The serving operating point: paper geometry at the (4b input,
+    /// 8b weight) precision `ImcConfig::paper(design, 4, 8)` runs.
+    #[must_use]
+    pub fn serving_default(variant: Variant) -> Self {
+        Self {
+            input_bits: 4,
+            ..Self::paper(variant)
+        }
+    }
+
+    /// MAC cycle time (s): analog phase + SAR conversion. Reproduces
+    /// the paper's 5 ns / 7 ns cycles at 5-bit resolution.
+    #[must_use]
+    pub fn t_cycle_s(&self) -> f64 {
+        self.variant.analog_phase_s() + f64::from(self.adc_bits) * SAR_S_PER_BIT
+    }
+
+    /// The point's array geometry in core terms.
+    #[must_use]
+    pub fn geometry(&self) -> ArrayGeometry {
+        ArrayGeometry {
+            banks: self.banks,
+            rows: self.rows,
+            block_pairs_per_bank: self.block_pairs_per_bank,
+        }
+    }
+
+    /// 8-bit weights the macro can hold resident (one per block-pair
+    /// row).
+    #[must_use]
+    pub fn weight_capacity(&self) -> usize {
+        self.banks * self.block_pairs_per_bank * self.rows
+    }
+
+    /// `true` when shift-add recombination is information-lossless:
+    /// the ADC must resolve the full `16·rows`-unit block span,
+    /// i.e. `adc_bits ≥ 4 + log2(rows)`. The paper's 5-bit point is
+    /// deliberately lossy (statistically accurate, not exact).
+    #[must_use]
+    pub fn shift_add_lossless(&self) -> bool {
+        let span_bits = 4 + (usize::BITS - 1 - self.rows.leading_zeros());
+        let round_up = u32::from(!self.rows.is_power_of_two());
+        self.adc_bits >= span_bits + round_up
+    }
+
+    /// Evaluates the point at the paper's average 50/50 activity.
+    #[must_use]
+    pub fn evaluate(&self) -> MacroCost {
+        self.evaluate_with_activity(Activity::average())
+    }
+
+    /// Evaluates energy, latency, area, and the efficiency roll-ups at
+    /// an explicit switching activity.
+    #[must_use]
+    pub fn evaluate_with_activity(&self, activity: Activity) -> MacroCost {
+        let t_cycle = self.t_cycle_s();
+        let (breakdown, macs) = match self.variant {
+            Variant::CurFe => {
+                let mut m = CurFeEnergyModel::paper();
+                m.config.geometry = self.geometry();
+                m.config.t_cycle = t_cycle;
+                m.adc_bits = self.adc_bits;
+                (
+                    m.cycle_breakdown(activity),
+                    m.macs_per_cycle(self.weight_bits),
+                )
+            }
+            Variant::ChgFe => {
+                let mut m = ChgFeEnergyModel::paper();
+                m.config.geometry = self.geometry();
+                m.config.t_cycle = t_cycle;
+                m.adc_bits = self.adc_bits;
+                (
+                    m.cycle_breakdown(activity),
+                    m.macs_per_cycle(self.weight_bits),
+                )
+            }
+        };
+        let cycle_energy = breakdown.total();
+        // 1 MAC = 2 OPs (Table 1 convention); a full MAC takes
+        // `input_bits` bit-serial cycles.
+        let ops_per_mac_pass = 2.0 * macs;
+        let tops_per_watt = ops_per_mac_pass / (f64::from(self.input_bits) * cycle_energy) / 1.0e12;
+        let peak_tops = ops_per_mac_pass / (f64::from(self.input_bits) * t_cycle) / 1.0e12;
+        let area = self.area();
+        MacroCost {
+            breakdown,
+            cycle_energy_j: cycle_energy,
+            t_cycle_s: t_cycle,
+            macs_per_cycle: macs,
+            peak_tops,
+            tops_per_watt,
+            area,
+            tops_per_mm2: peak_tops / area.total_mm2(),
+        }
+    }
+
+    /// Die area breakdown of the macro (mm²).
+    #[must_use]
+    pub fn area(&self) -> AreaBreakdown {
+        let cells = (self.banks * self.block_pairs_per_bank * self.rows * 8) as f64;
+        let cell_um2 = match self.variant {
+            Variant::CurFe => CURFE_CELL_UM2,
+            Variant::ChgFe => CHGFE_CELL_UM2,
+        };
+        let frontend_um2 = match self.variant {
+            Variant::CurFe => self.banks as f64 * 2.0 * TIA_UM2,
+            Variant::ChgFe => self.banks as f64 * PCT_TG_BANK_UM2,
+        };
+        let adc_mm2 = self.banks as f64 * 2.0 * sar_adc_area_mm2(self.adc_bits);
+        let digital_um2 = self.banks as f64 * ACC_BANK_UM2 + MACRO_OVERHEAD_UM2;
+        AreaBreakdown {
+            array_mm2: cells * cell_um2 * 1.0e-6,
+            adc_mm2,
+            frontend_mm2: frontend_um2 * 1.0e-6,
+            digital_mm2: digital_um2 * 1.0e-6,
+        }
+    }
+}
+
+/// Empirical SAR ADC area (mm²) at `bits` resolution — the ZigZag-IMC
+/// law, node-scaled from 28 nm to 40 nm.
+#[must_use]
+pub fn sar_adc_area_mm2(bits: u32) -> f64 {
+    10.0f64.powf(ADC_AREA_K1 * f64::from(bits) + ADC_AREA_K2)
+        * (1u64 << bits) as f64
+        * 1.0e-6
+        * ADC_NODE_SCALE
+}
+
+/// Area breakdown of one macro (mm²).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Cell array.
+    pub array_mm2: f64,
+    /// SAR ADCs (2 per bank).
+    pub adc_mm2: f64,
+    /// Readout front end (TIAs / PCT+TG).
+    pub frontend_mm2: f64,
+    /// Accumulators, reference bank, switch matrix.
+    pub digital_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total macro area (mm²).
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        self.array_mm2 + self.adc_mm2 + self.frontend_mm2 + self.digital_mm2
+    }
+}
+
+/// Everything the model says about one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacroCost {
+    /// Per-cycle energy by component (J).
+    pub breakdown: EnergyBreakdown,
+    /// Total per-cycle energy (J).
+    pub cycle_energy_j: f64,
+    /// MAC cycle time (s).
+    pub t_cycle_s: f64,
+    /// MACs retired per cycle across the macro.
+    pub macs_per_cycle: f64,
+    /// Peak throughput at the point's precisions (TOPS).
+    pub peak_tops: f64,
+    /// Average energy efficiency (TOPS/W) at the evaluated activity.
+    pub tops_per_watt: f64,
+    /// Die area breakdown.
+    pub area: AreaBreakdown,
+    /// Area efficiency (TOPS/mm²).
+    pub tops_per_mm2: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_CURFE_8B8B: f64 = 12.18;
+    const PAPER_CHGFE_8B8B: f64 = 14.47;
+
+    #[test]
+    fn paper_points_reproduce_core_energy_model_exactly() {
+        // The generalized model must be a strict superset of
+        // imc_core::energy: at the paper geometry it is the same math.
+        let cur = DesignPoint::paper(Variant::CurFe).evaluate();
+        let core = CurFeEnergyModel::paper().tops_per_watt(8, WeightBits::W8, Activity::average());
+        assert!((cur.tops_per_watt - core).abs() / core < 1e-12);
+        let chg = DesignPoint::paper(Variant::ChgFe).evaluate();
+        let core = ChgFeEnergyModel::paper().tops_per_watt(8, WeightBits::W8, Activity::average());
+        assert!((chg.tops_per_watt - core).abs() / core < 1e-12);
+    }
+
+    #[test]
+    fn cycle_times_land_on_the_published_5ns_and_7ns() {
+        let cur = DesignPoint::paper(Variant::CurFe);
+        let chg = DesignPoint::paper(Variant::ChgFe);
+        assert!((cur.t_cycle_s() - 5.0e-9).abs() < 1e-15);
+        assert!((chg.t_cycle_s() - 7.0e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_anchor_efficiencies_within_ten_percent() {
+        let cur = DesignPoint::paper(Variant::CurFe).evaluate().tops_per_watt;
+        let chg = DesignPoint::paper(Variant::ChgFe).evaluate().tops_per_watt;
+        assert!(
+            (cur - PAPER_CURFE_8B8B).abs() < 0.10 * PAPER_CURFE_8B8B,
+            "CurFe {cur:.2}"
+        );
+        assert!(
+            (chg - PAPER_CHGFE_8B8B).abs() < 0.10 * PAPER_CHGFE_8B8B,
+            "ChgFe {chg:.2}"
+        );
+        assert!(chg > cur, "ChgFe must beat CurFe at equal precision");
+    }
+
+    #[test]
+    fn higher_adc_resolution_costs_energy_and_cycle_time() {
+        let mut last_e = 0.0;
+        let mut last_t = 0.0;
+        for bits in 3..=8 {
+            let p = DesignPoint {
+                adc_bits: bits,
+                ..DesignPoint::paper(Variant::CurFe)
+            };
+            let c = p.evaluate();
+            assert!(c.cycle_energy_j > last_e, "{bits}b energy");
+            assert!(c.t_cycle_s > last_t, "{bits}b cycle");
+            last_e = c.cycle_energy_j;
+            last_t = c.t_cycle_s;
+        }
+    }
+
+    #[test]
+    fn adc_dominates_macro_area_at_the_paper_point() {
+        // The paper's motivation: conversion hardware, not cells,
+        // limits analog IMC density.
+        let a = DesignPoint::paper(Variant::CurFe).area();
+        assert!(a.adc_mm2 > 0.5 * a.total_mm2(), "{a:?}");
+        assert!(
+            (a.total_mm2() - (a.array_mm2 + a.adc_mm2 + a.frontend_mm2 + a.digital_mm2)).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn chgfe_macro_is_smaller_but_slower() {
+        let cur = DesignPoint::paper(Variant::CurFe).evaluate();
+        let chg = DesignPoint::paper(Variant::ChgFe).evaluate();
+        assert!(chg.area.total_mm2() < cur.area.total_mm2());
+        assert!(chg.peak_tops < cur.peak_tops);
+    }
+
+    #[test]
+    fn w4_doubles_peak_throughput() {
+        let w8 = DesignPoint::paper(Variant::ChgFe).evaluate();
+        let w4 = DesignPoint {
+            weight_bits: WeightBits::W4,
+            ..DesignPoint::paper(Variant::ChgFe)
+        }
+        .evaluate();
+        assert!((w4.peak_tops / w8.peak_tops - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_add_losslessness_threshold() {
+        let mut p = DesignPoint::paper(Variant::CurFe);
+        assert!(!p.shift_add_lossless(), "paper 5-bit point is lossy");
+        p.adc_bits = 9; // 4 + log2(32)
+        assert!(p.shift_add_lossless());
+        p.rows = 16;
+        p.adc_bits = 8;
+        assert!(p.shift_add_lossless());
+    }
+
+    #[test]
+    fn more_banks_scale_capacity_and_throughput_linearly() {
+        let base = DesignPoint::paper(Variant::ChgFe);
+        let double = DesignPoint { banks: 32, ..base };
+        assert_eq!(double.weight_capacity(), 2 * base.weight_capacity());
+        let (b, d) = (base.evaluate(), double.evaluate());
+        assert!((d.peak_tops / b.peak_tops - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variant_names_round_trip() {
+        for v in [Variant::CurFe, Variant::ChgFe] {
+            assert_eq!(Variant::parse(v.name()).unwrap(), v);
+        }
+        assert!(Variant::parse("resistive").is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Calibration-tolerance tests: the closed-form cost model must track
+//! `analog-sim` transient measurements within each fixture item's
+//! stated tolerance, for both CurFe and ChgFe.
+
+use imc_cost::calibrate::{generate_fixture, stored_fixture, FIXTURE_STEPS, FIXTURE_VERSION};
+
+#[test]
+fn stored_fixture_parses_and_is_populated() {
+    let fix = stored_fixture();
+    assert_eq!(fix.version, FIXTURE_VERSION);
+    assert_eq!(fix.steps, FIXTURE_STEPS);
+    assert!(
+        fix.items.len() >= 15,
+        "fixture should pin both designs' quantities, got {}",
+        fix.items.len()
+    );
+    for design in ["curfe", "chgfe"] {
+        assert!(
+            fix.items.iter().any(|i| i.variant == design),
+            "no {design} items in the fixture"
+        );
+    }
+}
+
+#[test]
+fn closed_forms_hold_on_the_stored_fixture() {
+    // The headline calibration claim, cheap to check (no simulation):
+    // every stored measurement is within its item's tolerance of the
+    // closed-form prediction.
+    let violations = stored_fixture().violations();
+    assert!(
+        violations.is_empty(),
+        "calibration drifted:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn regenerated_transients_match_the_stored_fixture() {
+    // The expensive direction: re-run the analog-sim transients and
+    // fail if the simulator and the checked-in fixture disagree — the
+    // guard against silently stale fixtures.
+    let stored = stored_fixture();
+    let fresh = generate_fixture();
+    assert!(fresh.violations().is_empty(), "{:#?}", fresh.violations());
+    assert_eq!(
+        stored.items.len(),
+        fresh.items.len(),
+        "item set changed; regenerate the fixture"
+    );
+    for (s, f) in stored.items.iter().zip(&fresh.items) {
+        assert_eq!(
+            (&s.variant, &s.quantity, s.weight, s.index),
+            (&f.variant, &f.quantity, f.weight, f.index)
+        );
+        let scale = f.measured.abs().max(f.abs_floor);
+        assert!(
+            (s.measured - f.measured).abs() <= 1.0e-6 * scale,
+            "{}/{} weight {:#04x} idx {}: stored measured {:.6e} vs fresh {:.6e} — \
+             regenerate fixtures/calibration.json with `imc-cost calibrate --write`",
+            s.variant,
+            s.quantity,
+            s.weight as u8,
+            s.index,
+            s.measured,
+            f.measured,
+        );
+        assert!(
+            (s.predicted - f.predicted).abs() <= 1.0e-9 * s.predicted.abs().max(f.abs_floor),
+            "{}/{}: stored prediction diverged from the model",
+            s.variant,
+            s.quantity,
+        );
+    }
+}
+
+#[test]
+fn fixture_covers_the_load_bearing_quantities() {
+    let fix = stored_fixture();
+    for q in [
+        "vddi_energy_j",
+        "block_current_a",
+        "restore_charge_j",
+        "vddq_energy_j",
+        "bl_delta_v",
+        "share_drop_v",
+    ] {
+        assert!(
+            fix.items.iter().any(|i| i.quantity == q),
+            "missing calibrated quantity {q}"
+        );
+    }
+    // The activity sweep: block currents must cover more than one unit
+    // count, i.e. the single-row image of an array-geometry sweep.
+    let currents: Vec<f64> = fix
+        .items
+        .iter()
+        .filter(|i| i.quantity == "block_current_a")
+        .map(|i| i.predicted)
+        .collect();
+    let min = currents.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = currents.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max > 3.0 * min, "unit-count sweep too narrow: {currents:?}");
+}

@@ -15,8 +15,9 @@
 //! stale image versions are quarantined with a typed error.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use imc_fleet::{serve_fleet, FleetPlan, RouterConfig};
+use imc_fleet::{serve_fleet, EnergyBudget, FleetPlan, RouterConfig};
 use imc_serve::{install_signal_handlers, parse_design, wire::Proto};
 
 fn usage() -> &'static str {
@@ -24,18 +25,24 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
        imc-fleet [--listen ADDR] --replica ADDR [--replica ADDR ...]\n\
-                 (--manifest FLEET.json | [--design NAME] [--seed N] [--shards N])\n\
+                 (--manifest FLEET.json | [--design NAME] [--seed N] [--shards N] [--variants])\n\
+                 [--energy-budget J [--energy-window-ms MS]]\n\
                  [--proto bin|json] [--obs-addr ADDR]\n\
      \n\
      OPTIONS:\n\
-       --listen ADDR     front-door bind address (default 127.0.0.1:7500)\n\
-       --replica ADDR    one imc-serve replica; repeat per replica\n\
-       --manifest PATH   fleet.json from `imc-compile fleet`\n\
-       --design NAME     curfe|chgfe for a synthetic fleet (default chgfe)\n\
-       --seed N          synthetic weight seed (default: imc-serve's)\n\
-       --shards N        synthetic shard count (default 1 = replicated)\n\
-       --proto P         upstream protocol: bin (default) or json\n\
-       --obs-addr ADDR   serve GET /metrics for the router process\n"
+       --listen ADDR          front-door bind address (default 127.0.0.1:7500)\n\
+       --replica ADDR         one imc-serve replica; repeat per replica\n\
+       --manifest PATH        fleet.json from `imc-compile fleet`\n\
+       --design NAME          curfe|chgfe for a synthetic fleet (default chgfe)\n\
+       --seed N               synthetic weight seed (default: imc-serve's)\n\
+       --shards N             synthetic shard count (default 1 = replicated)\n\
+       --variants             admit both CurFe and ChgFe whole-model replicas\n\
+                              of the same synthetic weights (implies --shards 1)\n\
+       --energy-budget J      per-window analytical energy budget in joules;\n\
+                              also turns on lowest-energy-variant routing\n\
+       --energy-window-ms MS  budget accounting window (default 1000)\n\
+       --proto P              upstream protocol: bin (default) or json\n\
+       --obs-addr ADDR        serve GET /metrics for the router process\n"
 }
 
 fn main() -> ExitCode {
@@ -49,6 +56,9 @@ fn main() -> ExitCode {
     // digest mismatch at admission.
     let mut seed = imc_serve::model::DEFAULT_SEED;
     let mut shards = 1usize;
+    let mut variants = false;
+    let mut energy_budget_j: Option<f64> = None;
+    let mut energy_window_ms = 1000u64;
     let mut proto = Proto::Bin;
     let mut obs_addr: Option<String> = None;
 
@@ -73,6 +83,27 @@ fn main() -> ExitCode {
                 v.parse()
                     .map(|p| shards = p)
                     .map_err(|e| format!("--shards: {e}"))
+            }),
+            "--variants" => {
+                variants = true;
+                Ok(())
+            }
+            "--energy-budget" => val("--energy-budget").and_then(|v| {
+                v.parse()
+                    .map_err(|e| format!("--energy-budget: {e}"))
+                    .and_then(|j: f64| {
+                        if j.is_finite() && j > 0.0 {
+                            energy_budget_j = Some(j);
+                            Ok(())
+                        } else {
+                            Err("--energy-budget: must be a positive number of joules".into())
+                        }
+                    })
+            }),
+            "--energy-window-ms" => val("--energy-window-ms").and_then(|v| {
+                v.parse()
+                    .map(|ms| energy_window_ms = ms)
+                    .map_err(|e| format!("--energy-window-ms: {e}"))
             }),
             "--proto" => val("--proto").and_then(|v| match v.as_str() {
                 "bin" => {
@@ -106,10 +137,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if variants && (manifest.is_some() || shards != 1) {
+        eprintln!("imc-fleet: --variants is a synthetic whole-model mode; it cannot combine with --manifest or --shards > 1\n\n{}", usage());
+        return ExitCode::FAILURE;
+    }
     let plan = match &manifest {
         Some(path) => imc_compile::fleet::FleetManifest::load(path)
             .map_err(|e| e.to_string())
             .and_then(|m| FleetPlan::from_manifest(&m)),
+        None if variants => FleetPlan::synthetic_variants(seed),
         None => parse_design(&design).and_then(|d| FleetPlan::synthetic(d, seed, shards)),
     };
     let plan = match plan {
@@ -127,6 +163,17 @@ fn main() -> ExitCode {
         plan.classes,
         plan.base_digest
     );
+    for v in &plan.variants {
+        eprintln!(
+            "imc-fleet: variant {:?}: digest {:#x}, {:.3} nJ/inference",
+            v.design,
+            v.expect_digest,
+            v.energy_per_inference_j * 1.0e9
+        );
+    }
+    if let Some(j) = energy_budget_j {
+        eprintln!("imc-fleet: energy budget {j:.3e} J per {energy_window_ms} ms window");
+    }
 
     let _obs = obs_addr.as_deref().map(|a| match imc_obs::serve_http(a) {
         Ok(h) => {
@@ -144,6 +191,10 @@ fn main() -> ExitCode {
             proto,
             ..Default::default()
         },
+        energy_budget: energy_budget_j.map(|joules| EnergyBudget {
+            joules,
+            window: Duration::from_millis(energy_window_ms),
+        }),
         ..Default::default()
     };
     install_signal_handlers();

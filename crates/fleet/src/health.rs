@@ -94,6 +94,17 @@ pub enum FleetError {
         /// Last underlying error, as text.
         last: String,
     },
+    /// The router's per-window analytical energy budget is spent; the
+    /// request was shed without touching a replica. Integer picojoules
+    /// keep the error `Eq`-comparable.
+    EnergyExhausted {
+        /// Energy already charged this window (pJ).
+        spent_pj: u64,
+        /// The configured window budget (pJ).
+        budget_pj: u64,
+        /// The accounting window length (ms).
+        window_ms: u64,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -135,6 +146,15 @@ impl fmt::Display for FleetError {
                 f,
                 "shard {shard}: every replica failed after {attempts} attempts (last: {last})"
             ),
+            Self::EnergyExhausted {
+                spent_pj,
+                budget_pj,
+                window_ms,
+            } => write!(
+                f,
+                "fleet energy budget exhausted: {spent_pj} pJ of {budget_pj} pJ \
+                 already spent in the current {window_ms} ms window"
+            ),
         }
     }
 }
@@ -148,6 +168,9 @@ pub struct Replica {
     pub addr: String,
     /// Shard it serves (`usize::MAX` until admitted).
     pub shard: usize,
+    /// Index into the plan's `variants` when the replica was admitted
+    /// by a variant digest; `None` in single-variant fleets.
+    pub variant: Option<usize>,
     /// Current health state.
     pub state: ReplicaState,
     /// Consecutive I/O failures since the last success.
@@ -190,24 +213,29 @@ impl HealthBoard {
     ) -> Result<usize, FleetError> {
         let verdict = Self::check(plan, addr, d);
         match verdict {
-            Ok(shard) => {
-                let idx = self.upsert(addr, shard, ReplicaState::Healthy);
+            Ok((shard, variant)) => {
+                let idx = self.upsert(addr, shard, variant, ReplicaState::Healthy);
                 Ok(self.replicas[idx].shard)
             }
             Err(e) => {
-                self.upsert(addr, usize::MAX, ReplicaState::Quarantined);
+                self.upsert(addr, usize::MAX, None, ReplicaState::Quarantined);
                 Err(e)
             }
         }
     }
 
-    /// Pure admission check (no board mutation): which shard would this
-    /// `Describe` reply be admitted to?
+    /// Pure admission check (no board mutation): which shard — and, in
+    /// a variant-aware fleet, which [`crate::topology::VariantSlot`] —
+    /// would this `Describe` reply be admitted to?
     ///
     /// # Errors
     ///
     /// Same correctness errors as [`HealthBoard::admit`].
-    pub fn check(plan: &FleetPlan, addr: &str, d: &DescribeReply) -> Result<usize, FleetError> {
+    pub fn check(
+        plan: &FleetPlan,
+        addr: &str,
+        d: &DescribeReply,
+    ) -> Result<(usize, Option<usize>), FleetError> {
         if d.features != plan.features || d.classes != plan.classes {
             return Err(FleetError::ShapeMismatch {
                 addr: addr.to_owned(),
@@ -225,6 +253,23 @@ impl HealthBoard {
                     expect_count: 1,
                     got_count: d.shard_count,
                 });
+            }
+            // A variant-aware plan admits any flavor's digest and tags
+            // the replica so energy-aware routing can tell them apart.
+            if !plan.variants.is_empty() {
+                return match plan
+                    .variants
+                    .iter()
+                    .position(|v| v.expect_digest == d.digest)
+                {
+                    Some(vi) => Ok((0, Some(vi))),
+                    None => Err(FleetError::StaleImage {
+                        addr: addr.to_owned(),
+                        shard: 0,
+                        expect: plan.base_digest,
+                        got: d.digest,
+                    }),
+                };
             }
             (0, plan.base_digest)
         } else {
@@ -249,19 +294,26 @@ impl HealthBoard {
                 got: d.digest,
             });
         }
-        Ok(shard)
+        Ok((shard, None))
     }
 
     /// Records a replica that never answered `Describe` during
     /// admission: tracked as `Suspect` with no shard assignment, so it
     /// shows on the board but is never picked.
     pub fn note_unreachable(&mut self, addr: &str) {
-        self.upsert(addr, usize::MAX, ReplicaState::Suspect);
+        self.upsert(addr, usize::MAX, None, ReplicaState::Suspect);
     }
 
-    fn upsert(&mut self, addr: &str, shard: usize, state: ReplicaState) -> usize {
+    fn upsert(
+        &mut self,
+        addr: &str,
+        shard: usize,
+        variant: Option<usize>,
+        state: ReplicaState,
+    ) -> usize {
         if let Some(i) = self.replicas.iter().position(|r| r.addr == addr) {
             self.replicas[i].shard = shard;
+            self.replicas[i].variant = variant;
             self.replicas[i].state = state;
             self.replicas[i].fails = 0;
             i
@@ -269,6 +321,7 @@ impl HealthBoard {
             self.replicas.push(Replica {
                 addr: addr.to_owned(),
                 shard,
+                variant,
                 state,
                 fails: 0,
             });
@@ -282,6 +335,35 @@ impl HealthBoard {
     /// request. Quarantined replicas are never returned.
     #[must_use]
     pub fn pick(&mut self, shard: usize, excluding: &[usize]) -> Option<usize> {
+        self.pick_where(shard, excluding, None)
+    }
+
+    /// Like [`HealthBoard::pick`], but walks `order` (variant indices,
+    /// cheapest first) and exhausts one variant's replicas before
+    /// considering the next — the energy-aware routing rule. Untagged
+    /// replicas are a final fallback, so a mixed board still serves.
+    #[must_use]
+    pub fn pick_preferring(
+        &mut self,
+        shard: usize,
+        excluding: &[usize],
+        order: &[usize],
+    ) -> Option<usize> {
+        for &v in order {
+            if let Some(i) = self.pick_where(shard, excluding, Some(v)) {
+                return Some(i);
+            }
+        }
+        self.pick_where(shard, excluding, None)
+    }
+
+    /// Round-robin pick constrained to one variant (`None` = any).
+    fn pick_where(
+        &mut self,
+        shard: usize,
+        excluding: &[usize],
+        variant: Option<usize>,
+    ) -> Option<usize> {
         let eligible = |state: ReplicaState| {
             let n = self.replicas.len();
             if n == 0 {
@@ -290,7 +372,10 @@ impl HealthBoard {
             let start = self.cursors.get(shard).copied().unwrap_or(0);
             (0..n).map(|k| (start + k) % n).find(|&i| {
                 let r = &self.replicas[i];
-                r.shard == shard && r.state == state && !excluding.contains(&i)
+                r.shard == shard
+                    && r.state == state
+                    && (variant.is_none() || r.variant == variant)
+                    && !excluding.contains(&i)
             })
         };
         let found = eligible(ReplicaState::Healthy).or_else(|| eligible(ReplicaState::Suspect))?;
@@ -423,6 +508,45 @@ mod tests {
         assert_eq!(third, first);
         board.mark_ok(third);
         assert_eq!(board.replicas()[third].state, ReplicaState::Healthy);
+    }
+
+    #[test]
+    fn variant_fleet_admits_both_flavors_and_prefers_by_order() {
+        let plan = FleetPlan::synthetic_variants(42).unwrap();
+        let mut board = HealthBoard::new(1);
+        let describe = |digest: u64| DescribeReply {
+            digest,
+            shard_index: 0,
+            shard_count: 0,
+            features: plan.features,
+            classes: plan.classes,
+        };
+        // Both flavors admit; a third digest is still quarantined.
+        board
+            .admit(&plan, "chg:1", &describe(plan.variants[0].expect_digest))
+            .unwrap();
+        board
+            .admit(&plan, "cur:1", &describe(plan.variants[1].expect_digest))
+            .unwrap();
+        assert!(matches!(
+            board.admit(
+                &plan,
+                "bad:1",
+                &describe(synthetic_digest(ImcDesign::ChgFe, 43, None))
+            ),
+            Err(FleetError::StaleImage { .. })
+        ));
+        assert_eq!(board.replicas()[0].variant, Some(0));
+        assert_eq!(board.replicas()[1].variant, Some(1));
+
+        // Preference order 0 (ChgFe) pins traffic to the cheap flavor
+        // as long as it is healthy...
+        for _ in 0..3 {
+            assert_eq!(board.pick_preferring(0, &[], &[0, 1]), Some(0));
+        }
+        // ...and only falls through to the next variant when the cheap
+        // one is excluded or gone.
+        assert_eq!(board.pick_preferring(0, &[0], &[0, 1]), Some(1));
     }
 
     #[test]

@@ -41,5 +41,5 @@ pub mod router;
 pub mod topology;
 
 pub use health::{FleetError, HealthBoard, Replica, ReplicaState};
-pub use router::{serve_fleet, FleetHandle, RouterConfig};
-pub use topology::{FleetPlan, GlueLayer, ShardSlot};
+pub use router::{serve_fleet, EnergyBudget, FleetHandle, RouterConfig};
+pub use topology::{FleetPlan, GlueLayer, ShardSlot, VariantSlot};

@@ -30,9 +30,9 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use imc_obs::{counter, counter_vec, gauge_vec};
+use imc_obs::{counter, counter_vec, gauge, gauge_vec};
 use imc_serve::protocol::{
-    self, DescribeReply, FailedReply, InferReply, Request, Response, MAX_FRAME_BYTES,
+    self, DescribeReply, FailedReply, InferReply, Request, Response, ShedReply, MAX_FRAME_BYTES,
 };
 use imc_serve::{argmax_total, wire, Client, ClientConfig, RetryPolicy, ShutdownFlag};
 use neural::quant::quantize_activations;
@@ -40,6 +40,21 @@ use neural::tensor::Tensor;
 
 use crate::health::{FleetError, HealthBoard, Replica};
 use crate::topology::FleetPlan;
+
+/// Per-window analytical energy budget for the fleet front door.
+///
+/// Requests are charged the `imc-cost` closed-form energy of one
+/// whole-model inference on the replica variant that answered. Once the
+/// window's cumulative charge would exceed `joules`, further `Infer`
+/// requests are shed with a typed [`FleetError::EnergyExhausted`]
+/// reason until the window rolls over.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyBudget {
+    /// Joules the fleet may spend per window.
+    pub joules: f64,
+    /// Accounting window length.
+    pub window: Duration,
+}
 
 /// Router tuning knobs.
 #[derive(Debug, Clone)]
@@ -53,6 +68,10 @@ pub struct RouterConfig {
     pub retry: RetryPolicy,
     /// Connect+`Describe` attempts per replica during admission.
     pub admit_attempts: u32,
+    /// Optional per-window energy budget. Setting it also turns on
+    /// energy-aware routing: whole-model picks prefer the
+    /// lowest-energy healthy replica variant.
+    pub energy_budget: Option<EnergyBudget>,
 }
 
 impl Default for RouterConfig {
@@ -61,8 +80,15 @@ impl Default for RouterConfig {
             client: ClientConfig::default(),
             retry: RetryPolicy::default(),
             admit_attempts: 4,
+            energy_budget: None,
         }
     }
+}
+
+/// Energy spent in the current accounting window.
+struct EnergyMeter {
+    opened: Instant,
+    spent_j: f64,
 }
 
 struct RouterState {
@@ -70,6 +96,10 @@ struct RouterState {
     board: Mutex<HealthBoard>,
     cfg: RouterConfig,
     shutdown: ShutdownFlag,
+    /// Plan variant indices, cheapest per-inference energy first — the
+    /// preference order energy-aware picks walk.
+    variant_order: Vec<usize>,
+    energy: Mutex<EnergyMeter>,
 }
 
 /// Handle to a running fleet router.
@@ -147,11 +177,22 @@ pub fn serve_fleet<A: ToSocketAddrs>(
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    let mut variant_order: Vec<usize> = (0..plan.variants.len()).collect();
+    variant_order.sort_by(|&a, &b| {
+        plan.variants[a]
+            .energy_per_inference_j
+            .total_cmp(&plan.variants[b].energy_per_inference_j)
+    });
     let state = Arc::new(RouterState {
         board: Mutex::new(HealthBoard::new(plan.shard_count())),
         plan,
         cfg,
         shutdown: ShutdownFlag::new(),
+        variant_order,
+        energy: Mutex::new(EnergyMeter {
+            opened: Instant::now(),
+            spent_j: 0.0,
+        }),
     });
     let mut admission = Vec::new();
     for addr in replica_addrs {
@@ -439,11 +480,14 @@ fn route_whole(
     id: u64,
     input: Vec<f32>,
 ) -> Response {
+    if let Some(shed) = energy_admission(state, id) {
+        return shed;
+    }
     let mut tried = Vec::new();
     let mut last = String::from("no admissible replica");
     let mut last_resp: Option<Response> = None;
     for attempt in 1..=state.cfg.retry.max_attempts {
-        let Some((idx, addr)) = pick(state, 0, &tried) else {
+        let Some((idx, addr, energy_j)) = pick_whole(state, &tried) else {
             break;
         };
         match exchange(state, upstreams, idx, &addr, |c| c.infer(id, input.clone())) {
@@ -461,7 +505,12 @@ fn route_whole(
                 tried.push(idx);
                 failover(state, 0, &addr, attempt, id);
             }
-            Ok(resp) => return resp,
+            Ok(resp) => {
+                if matches!(resp, Response::Output(_)) {
+                    charge_energy(state, energy_j);
+                }
+                return resp;
+            }
             Err(e) => {
                 last = e;
                 tried.push(idx);
@@ -492,6 +541,9 @@ fn route_sharded(
     id: u64,
     input: Vec<f32>,
 ) -> Response {
+    if let Some(shed) = energy_admission(state, id) {
+        return shed;
+    }
     let plan = &state.plan;
     if input.len() != plan.features {
         return Response::Error(format!(
@@ -563,6 +615,9 @@ fn route_sharded(
     }
     let class = argmax_total(&cur);
     let service_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    // A sharded fleet jointly executes one whole-model inference, so
+    // the charge is the plan's single-design per-inference energy.
+    charge_energy(state, state.plan.energy_per_inference_j);
     Response::Output(InferReply {
         id,
         logits: cur,
@@ -626,6 +681,105 @@ fn shard_partial(
         attempts: state.cfg.retry.max_attempts,
         last,
     })
+}
+
+/// Picks a replica for whole-model routing, returning the analytical
+/// energy to charge if it answers. With an energy budget configured and
+/// a variant-aware plan, healthy replicas of the cheapest variant are
+/// preferred; otherwise plain round-robin.
+fn pick_whole(state: &Arc<RouterState>, tried: &[usize]) -> Option<(usize, String, f64)> {
+    let mut board = state
+        .board
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let energy_aware = state.cfg.energy_budget.is_some() && !state.plan.variants.is_empty();
+    let idx = if energy_aware {
+        board.pick_preferring(0, tried, &state.variant_order)
+    } else {
+        board.pick(0, tried)
+    }?;
+    let r = &board.replicas()[idx];
+    let addr = r.addr.clone();
+    let energy_j = r
+        .variant
+        .and_then(|v| state.plan.variants.get(v))
+        .map_or(state.plan.energy_per_inference_j, |v| {
+            v.energy_per_inference_j
+        });
+    counter_vec!(
+        "fleet.shard_requests",
+        ["shard", "replica"],
+        "Requests routed, by shard and replica",
+        &["0", &addr]
+    )
+    .inc();
+    Some((idx, addr, energy_j))
+}
+
+/// Admits one `Infer` against the energy budget, rolling the window
+/// when it has elapsed. Returns the typed shed response when even the
+/// cheapest variant no longer fits this window.
+fn energy_admission(state: &Arc<RouterState>, id: u64) -> Option<Response> {
+    let budget = state.cfg.energy_budget?;
+    let next_j = state
+        .variant_order
+        .first()
+        .map_or(state.plan.energy_per_inference_j, |&v| {
+            state.plan.variants[v].energy_per_inference_j
+        });
+    let mut meter = state
+        .energy
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if meter.opened.elapsed() >= budget.window {
+        meter.opened = Instant::now();
+        meter.spent_j = 0.0;
+        gauge!(
+            "cost.fleet_window_spent_pj",
+            "Analytical energy charged in the current budget window (pJ)"
+        )
+        .set(0.0);
+    }
+    if meter.spent_j + next_j <= budget.joules {
+        return None;
+    }
+    counter!(
+        "cost.fleet_energy_shed_total",
+        "Infer requests shed because the per-window energy budget was exhausted"
+    )
+    .inc();
+    let reason = FleetError::EnergyExhausted {
+        spent_pj: to_pj(meter.spent_j),
+        budget_pj: to_pj(budget.joules),
+        window_ms: u64::try_from(budget.window.as_millis()).unwrap_or(u64::MAX),
+    }
+    .to_string();
+    Some(Response::Shed(ShedReply { id, reason }))
+}
+
+/// Charges one answered inference to the current window and exports the
+/// running totals.
+fn charge_energy(state: &Arc<RouterState>, joules: f64) {
+    counter!(
+        "cost.fleet_energy_pj_total",
+        "Cumulative analytical inference energy routed by the fleet (pJ)"
+    )
+    .add(to_pj(joules));
+    let mut meter = state
+        .energy
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    meter.spent_j += joules;
+    gauge!(
+        "cost.fleet_window_spent_pj",
+        "Analytical energy charged in the current budget window (pJ)"
+    )
+    .set(meter.spent_j * 1.0e12);
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // pJ totals are far below 2^63
+fn to_pj(joules: f64) -> u64 {
+    (joules * 1.0e12).round().max(0.0) as u64
 }
 
 /// Picks a replica for `shard` and counts the routing decision.

@@ -16,6 +16,8 @@
 //!   formula, so they agree without a manifest file.
 
 use imc_compile::fleet::FleetManifest;
+use imc_compile::image::ImcSettings;
+use imc_cost::{inference_cost, DesignPoint, LayerShape, Variant, WeightBits};
 use imc_serve::{parse_design, synthetic_digest, ServeModel};
 use neural::imc_exec::ImcDesign;
 
@@ -54,10 +56,23 @@ pub struct ShardSlot {
     pub layer_chunks: Vec<[usize; 2]>,
 }
 
+/// One admissible whole-model replica flavor in a variant-aware fleet:
+/// a (design, digest) pair plus the analytical energy one inference on
+/// it costs (the `imc-cost` closed forms the router budgets with).
+#[derive(Debug, Clone)]
+pub struct VariantSlot {
+    /// The macro design this variant's replicas simulate.
+    pub design: ImcDesign,
+    /// Digest an honest whole-model replica of this variant reports.
+    pub expect_digest: u64,
+    /// Analytical energy of one whole-model inference (joules).
+    pub energy_per_inference_j: f64,
+}
+
 /// The router's complete model-independent view of the fleet.
 #[derive(Debug, Clone)]
 pub struct FleetPlan {
-    /// Which macro design the replicas simulate.
+    /// Which macro design the replicas simulate (the base variant).
     pub design: ImcDesign,
     /// Activation precision: the router quantizes layer inputs to this
     /// many unsigned bits before scattering codes to shards.
@@ -69,11 +84,21 @@ pub struct FleetPlan {
     /// Digest of the unsharded base image (what whole-model replicas
     /// report; `0` = unverifiable).
     pub base_digest: u64,
+    /// Analytical energy of one whole-model inference on the base
+    /// design (joules) — what the router charges per answered request
+    /// when a replica carries no variant tag.
+    pub energy_per_inference_j: f64,
     /// Digital glue per MAC layer, in forward order.
     pub layers: Vec<GlueLayer>,
     /// The shard slots. Length 1 means whole-model routing (replicate +
     /// load-balance, no scatter/gather).
     pub shards: Vec<ShardSlot>,
+    /// Admissible whole-model variants (CurFe vs ChgFe images of the
+    /// same weights). Empty = single-variant fleet: only `base_digest`
+    /// admits. Non-empty only for whole-model plans; admission accepts
+    /// any variant's digest and tags the replica, so `--energy-budget`
+    /// routing can prefer the cheapest flavor.
+    pub variants: Vec<VariantSlot>,
 }
 
 impl FleetPlan {
@@ -135,9 +160,38 @@ impl FleetPlan {
             features: model.input_features(),
             classes: model.classes(),
             base_digest: synthetic_digest(design, seed, None),
+            energy_per_inference_j: model.energy_per_inference_j(),
             layers,
             shards,
+            variants: Vec::new(),
         })
+    }
+
+    /// Builds a whole-model plan that admits **both** macro variants of
+    /// the same synthetic weights: a ChgFe base plus a CurFe flavor,
+    /// each with its own expected digest and analytical per-inference
+    /// energy. With `--energy-budget` set, the router prefers the
+    /// cheapest variant's healthy replicas.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`FleetPlan::synthetic`].
+    pub fn synthetic_variants(seed: u64) -> Result<Self, String> {
+        let mut plan = Self::synthetic(ImcDesign::ChgFe, seed, 1)?;
+        let curfe = ServeModel::synthetic(ImcDesign::CurFe, seed);
+        plan.variants = vec![
+            VariantSlot {
+                design: ImcDesign::ChgFe,
+                expect_digest: plan.base_digest,
+                energy_per_inference_j: plan.energy_per_inference_j,
+            },
+            VariantSlot {
+                design: ImcDesign::CurFe,
+                expect_digest: curfe.digest(),
+                energy_per_inference_j: curfe.energy_per_inference_j(),
+            },
+        ];
+        Ok(plan)
     }
 
     /// Builds the plan from a `fleet.json` manifest written by
@@ -150,12 +204,21 @@ impl FleetPlan {
     pub fn from_manifest(m: &FleetManifest) -> Result<Self, String> {
         m.validate().map_err(|e| e.to_string())?;
         let design = parse_design(&m.imc.design)?;
+        let shapes: Vec<LayerShape> = m
+            .layers
+            .iter()
+            .map(|l| LayerShape {
+                fan: l.fan,
+                out: l.out_features,
+            })
+            .collect();
         Ok(Self {
             design,
             input_bits: m.imc.input_bits,
             features: m.arch.features,
             classes: m.arch.classes,
             base_digest: m.base_digest,
+            energy_per_inference_j: manifest_energy(design, &m.imc, &shapes),
             layers: m
                 .layers
                 .iter()
@@ -177,6 +240,7 @@ impl FleetPlan {
                     layer_chunks: s.layer_chunks.clone(),
                 })
                 .collect(),
+            variants: Vec::new(),
         })
     }
 
@@ -192,6 +256,31 @@ impl FleetPlan {
     pub fn whole_model(&self) -> bool {
         self.shards.len() == 1
     }
+}
+
+/// Prices one whole-model inference for a manifest-backed fleet with
+/// the `imc-cost` closed forms. The manifest carries the IMC operating
+/// point but no macro geometry, so the paper's 16-bank × 4-block-pair
+/// floorplan is assumed — the same default `imc-compile` writes into v2
+/// images.
+fn manifest_energy(design: ImcDesign, imc: &ImcSettings, shapes: &[LayerShape]) -> f64 {
+    let point = DesignPoint {
+        variant: match design {
+            ImcDesign::CurFe => Variant::CurFe,
+            ImcDesign::ChgFe => Variant::ChgFe,
+        },
+        banks: 16,
+        rows: imc.rows.max(1),
+        block_pairs_per_bank: 4,
+        adc_bits: imc.adc_bits,
+        input_bits: imc.input_bits,
+        weight_bits: if imc.weight_bits <= 4 {
+            WeightBits::W4
+        } else {
+            WeightBits::W8
+        },
+    };
+    inference_cost(&point, shapes).energy_j
 }
 
 #[cfg(test)]
@@ -241,5 +330,49 @@ mod tests {
     #[test]
     fn zero_shards_is_rejected() {
         assert!(FleetPlan::synthetic(ImcDesign::ChgFe, 1, 0).is_err());
+    }
+
+    #[test]
+    fn variant_plan_carries_both_digests_and_chgfe_is_cheaper() {
+        let plan = FleetPlan::synthetic_variants(42).unwrap();
+        assert!(plan.whole_model(), "variants are a whole-model feature");
+        assert_eq!(plan.variants.len(), 2);
+        let find = |d: ImcDesign| {
+            plan.variants
+                .iter()
+                .find(|v| v.design == d)
+                .unwrap_or_else(|| panic!("{d:?} variant missing"))
+        };
+        let chg = find(ImcDesign::ChgFe);
+        let cur = find(ImcDesign::CurFe);
+        // Digests must agree with what honest replicas of each variant
+        // actually report — that agreement is the admission mechanism.
+        assert_eq!(
+            chg.expect_digest,
+            ServeModel::synthetic(ImcDesign::ChgFe, 42).digest()
+        );
+        assert_eq!(
+            cur.expect_digest,
+            ServeModel::synthetic(ImcDesign::CurFe, 42).digest()
+        );
+        assert_ne!(chg.expect_digest, cur.expect_digest);
+        // Energies come straight from the models' own cost estimates,
+        // and at the paper point ChgFe is the cheaper flavor.
+        assert!(chg.energy_per_inference_j > 0.0);
+        assert!(
+            chg.energy_per_inference_j < cur.energy_per_inference_j,
+            "ChgFe {} J should undercut CurFe {} J",
+            chg.energy_per_inference_j,
+            cur.energy_per_inference_j
+        );
+        assert_eq!(plan.energy_per_inference_j, chg.energy_per_inference_j);
+    }
+
+    #[test]
+    fn synthetic_plan_prices_inference() {
+        let plan = FleetPlan::synthetic(ImcDesign::ChgFe, 42, 1).unwrap();
+        let model = ServeModel::synthetic(ImcDesign::ChgFe, 42);
+        assert_eq!(plan.energy_per_inference_j, model.energy_per_inference_j());
+        assert!(plan.energy_per_inference_j > 0.0);
     }
 }

@@ -107,6 +107,12 @@ pub struct Metrics {
     pub busy_rejects: Counter,
     /// Batches dispatched.
     pub batches: Counter,
+    /// Cumulative analytical inference energy (pJ) across answered
+    /// requests — `cost.energy_pj_total` on the scrape endpoint.
+    pub energy_pj: Counter,
+    /// The model's per-inference energy estimate (pJ) —
+    /// `cost.energy_per_inference_pj`; set once at server start.
+    pub energy_per_inference_pj: Gauge,
     /// End-to-end request latency (admission → response ready).
     pub request_latency: Histogram,
     /// Bank execution latency per batch.
@@ -134,6 +140,8 @@ impl Metrics {
             conn_deadline_drops: Counter::new(),
             busy_rejects: Counter::new(),
             batches: Counter::new(),
+            energy_pj: Counter::new(),
+            energy_per_inference_pj: Gauge::new(),
             request_latency: Histogram::new(),
             batch_latency: Histogram::new(),
             queue_depth: Gauge::new(),
@@ -188,6 +196,18 @@ impl Metrics {
             &[],
             "Batches dispatched to banks",
             &m.batches,
+        );
+        r.insert_counter(
+            "cost.energy_pj_total",
+            &[],
+            "Cumulative analytical inference energy in picojoules (imc-cost closed forms)",
+            &m.energy_pj,
+        );
+        r.insert_gauge(
+            "cost.energy_per_inference_pj",
+            &[],
+            "Analytical energy per whole-model inference in picojoules",
+            &m.energy_per_inference_pj,
         );
         r.insert_histogram(
             "imc_serve_request_latency_us",
@@ -288,7 +308,11 @@ mod tests {
         let latest = Metrics::new(2);
         latest.request_latency.record(120);
         latest.banks[0].requests.inc();
+        latest.energy_pj.add(4321);
+        latest.energy_per_inference_pj.set(4321.0);
         let snap = imc_obs::registry().snapshot();
+        assert_eq!(snap.counter("cost.energy_pj_total"), Some(4321));
+        assert_eq!(snap.gauge("cost.energy_per_inference_pj"), Some(4321.0));
         let lat = snap
             .histogram("imc_serve_request_latency_us")
             .expect("histogram registered");

@@ -16,7 +16,7 @@
 //!   post-remap) weight codes, so served logits are bit-identical to the
 //!   predictions in the image manifest.
 
-use imc_compile::image::{ChipImage, ShardSpec};
+use imc_compile::image::{ChipImage, MacroGeometry, ShardSpec};
 use neural::checkpoint::{load, Checkpoint};
 use neural::imc_exec::{ImcConfig, ImcDesign, QNetwork};
 use neural::models::{mlp, Sequential};
@@ -47,6 +47,43 @@ pub struct ServeModel {
     digest: u64,
     /// Set on shard replicas: the chunk ranges this chip owns.
     shard: Option<ShardSpec>,
+    /// Analytical energy of one whole-model inference (J), priced by
+    /// `imc-cost` from the design, macro geometry, and layer shapes at
+    /// construction (DESIGN §15). Serving adds it per answered request
+    /// to the `cost.energy_pj_total` counter.
+    energy_per_inference_j: f64,
+}
+
+/// Prices one whole-model inference (J) with the analytical cost model:
+/// the executor's design/precision knobs plus the macro geometry the
+/// model was compiled for (paper geometry for synthetic and checkpoint
+/// models).
+fn price_inference(cfg: &ImcConfig, geometry: MacroGeometry, net: &QNetwork) -> f64 {
+    let point = imc_cost::DesignPoint {
+        variant: match cfg.design {
+            ImcDesign::CurFe => imc_cost::Variant::CurFe,
+            ImcDesign::ChgFe => imc_cost::Variant::ChgFe,
+        },
+        banks: geometry.banks,
+        rows: cfg.rows,
+        block_pairs_per_bank: geometry.block_pairs_per_bank,
+        adc_bits: cfg.adc_bits,
+        input_bits: cfg.input_bits,
+        weight_bits: if cfg.weight_bits <= 4 {
+            imc_cost::WeightBits::W4
+        } else {
+            imc_cost::WeightBits::W8
+        },
+    };
+    let layers: Vec<imc_cost::LayerShape> = net
+        .mac_layer_meta()
+        .iter()
+        .map(|m| imc_cost::LayerShape {
+            fan: m.fan,
+            out: m.out_features,
+        })
+        .collect();
+    imc_cost::inference_cost(&point, &layers).energy_j
 }
 
 /// Deterministic pseudo-digest for synthetic models, so fleets of
@@ -88,13 +125,16 @@ impl ServeModel {
         // The paper operating point: 4-bit activations, 8-bit weights,
         // 5-bit ADC, 32-row chunks, full device noise.
         let cfg = ImcConfig::paper(design, 4, 8);
+        let net = QNetwork::from_sequential(seq, cfg);
+        let energy_per_inference_j = price_inference(&cfg, MacroGeometry::paper(), &net);
         Self {
-            net: QNetwork::from_sequential(seq, cfg),
+            net,
             features,
             classes,
             design,
             digest: 0,
             shard: None,
+            energy_per_inference_j,
         }
     }
 
@@ -200,6 +240,7 @@ impl ServeModel {
             }
         }
         let net = image.to_network().map_err(|e| e.to_string())?;
+        let energy_per_inference_j = price_inference(&cfg, image.geometry, &net);
         Ok(Self {
             net,
             features: image.arch.features,
@@ -207,6 +248,7 @@ impl ServeModel {
             design: cfg.design,
             digest: image.digest(),
             shard: image.shard.clone(),
+            energy_per_inference_j,
         })
     }
 
@@ -263,6 +305,20 @@ impl ServeModel {
     #[must_use]
     pub fn digest(&self) -> u64 {
         self.digest
+    }
+
+    /// Analytical energy of one whole-model inference (J), from the
+    /// calibrated `imc-cost` closed forms.
+    #[must_use]
+    pub fn energy_per_inference_j(&self) -> f64 {
+        self.energy_per_inference_j
+    }
+
+    /// The same estimate in integer picojoules — the unit the
+    /// `cost.energy_pj_total` counter accumulates.
+    #[must_use]
+    pub fn energy_per_inference_pj(&self) -> u64 {
+        (self.energy_per_inference_j * 1.0e12).round() as u64
     }
 
     /// The shard assignment, when this replica serves a fleet cut.
@@ -369,6 +425,24 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn energy_estimate_is_positive_and_chgfe_is_cheaper() {
+        let cur = ServeModel::synthetic(ImcDesign::CurFe, DEFAULT_SEED);
+        let chg = ServeModel::synthetic(ImcDesign::ChgFe, DEFAULT_SEED);
+        assert!(cur.energy_per_inference_j() > 0.0);
+        assert!(
+            chg.energy_per_inference_j() < cur.energy_per_inference_j(),
+            "paper ordering: ChgFe ({:.3e} J) must price below CurFe ({:.3e} J)",
+            chg.energy_per_inference_j(),
+            cur.energy_per_inference_j()
+        );
+        assert_eq!(
+            chg.energy_per_inference_pj(),
+            (chg.energy_per_inference_j() * 1.0e12).round() as u64
+        );
+        assert!(chg.energy_per_inference_pj() > 0);
     }
 
     #[test]

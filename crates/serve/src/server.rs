@@ -270,6 +270,9 @@ pub fn serve<A: ToSocketAddrs>(
 
     let shutdown = ShutdownFlag::new();
     let metrics = Arc::new(Metrics::new(cfg.banks));
+    metrics
+        .energy_per_inference_pj
+        .set(model.energy_per_inference_pj() as f64);
     let queue: Arc<AdmissionQueue<Conn>> = Arc::new(AdmissionQueue::new(cfg.queue_depth));
 
     // --- bank executor ---------------------------------------------------
@@ -989,6 +992,9 @@ fn execute_batch(
     metrics.batch_latency.record(service_us);
     metrics.banks[bank].batches.inc();
     metrics.banks[bank].requests.add(n as u64);
+    metrics
+        .energy_pj
+        .add(model.energy_per_inference_pj() * n as u64);
 
     for (i, req) in batch.iter().enumerate() {
         let row = &logits.data()[i * classes..(i + 1) * classes];

@@ -96,6 +96,7 @@ fn fast_retry() -> RouterConfig {
             request_timeout: Some(Duration::from_secs(5)),
         },
         admit_attempts: 8,
+        ..RouterConfig::default()
     }
 }
 
