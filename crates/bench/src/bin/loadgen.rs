@@ -44,6 +44,13 @@
 //! small Monte-Carlo batch (trial counters). After the run the shed /
 //! failure counters from the registry are printed alongside the report.
 //!
+//! Every request carries a fresh trace context, so server hops tag
+//! their spans with the client's `trace_id` and the flight recorder
+//! keeps the notable ones. `--trace-slowest N` prints the N slowest
+//! stitched traces after the run as per-hop waterfalls — local recorder
+//! records (in-process servers and fleets share it) merged with a
+//! `GET /traces` scrape of every `--trace-addr` obs endpoint.
+//!
 //! `--chaos` turns the run into a resilience exercise: the in-process
 //! server gets a short frame deadline and a deliberate fail-point
 //! (`fail_input_sentinel`), a fault-injecting proxy
@@ -105,6 +112,14 @@ struct Args {
     /// With `--fleet`: hard-stop one replica this many ms into the run
     /// (0 = never), proving failover keeps answers bit-exact mid-load.
     kill_replica_ms: u64,
+    /// After the run, print the N slowest stitched traces as per-hop
+    /// waterfalls (0 = off). Sources: this process's flight recorder
+    /// (which in-process servers and fleets share) plus every
+    /// `--trace-addr` obs endpoint.
+    trace_slowest: usize,
+    /// Extra obs endpoints to scrape `GET /traces` from for
+    /// `--trace-slowest` — the `--obs-addr` of each external server.
+    trace_addrs: Vec<String>,
 }
 
 /// The chaos fail-point: no generated input starts with this value (the
@@ -113,12 +128,46 @@ struct Args {
 /// exercising panic isolation, typed `Failed` replies, and client retry.
 const CHAOS_SENTINEL: f32 = 2.0;
 
+/// What the sender remembers about each in-flight request: send time
+/// for latency, plus the trace identity so the answered request's
+/// client-side root span lands in the flight recorder under the same
+/// `trace_id` the server hops used.
+#[derive(Clone, Copy)]
+struct SentReq {
+    at: Instant,
+    ctx: imc_obs::TraceContext,
+    root_span: u64,
+}
+
+/// Records the client's view of one answered request as a one-span
+/// trace record rooted at the span id that rode the wire — the hop
+/// `imc-trace` nests the server-side spans under.
+fn offer_client_trace(sent: &SentReq, status: imc_obs::SpanStatus, conn_idx: usize) {
+    let dur_us = sent.at.elapsed().as_micros() as u64;
+    imc_obs::recorder().offer(imc_obs::TraceRec {
+        trace_id: sent.ctx.trace_id,
+        sampled: sent.ctx.sampled,
+        spans: vec![imc_obs::SpanRec {
+            span_id: sent.root_span,
+            parent_span: 0,
+            name: "loadgen.request",
+            service: "loadgen",
+            start_unix_us: imc_obs::unix_us().saturating_sub(dur_us),
+            dur_us,
+            status,
+            energy_pj: 0,
+            detail: format!("conn={conn_idx}"),
+        }],
+    });
+}
+
 fn parse_args() -> Result<Args, String> {
     let usage = "usage: loadgen [--addr HOST:PORT ...] [--design curfe|chgfe] [--seed N]\n\
                  \x20              [--image PATH] [--qps N] [--duration-s N] [--conns N]\n\
                  \x20              [--out PATH] [--smoke] [--stop-server] [--obs-addr HOST:PORT]\n\
                  \x20              [--chaos] [--chaos-seed N] [--proto json|bin]\n\
-                 \x20              [--fleet N] [--shards N] [--kill-replica-ms N]";
+                 \x20              [--fleet N] [--shards N] [--kill-replica-ms N]\n\
+                 \x20              [--trace-slowest N] [--trace-addr HOST:PORT ...]";
     let mut args = Args {
         addrs: Vec::new(),
         obs_addr: None,
@@ -137,6 +186,8 @@ fn parse_args() -> Result<Args, String> {
         fleet: 0,
         shards: 1,
         kill_replica_ms: 0,
+        trace_slowest: 0,
+        trace_addrs: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -194,6 +245,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--kill-replica-ms: {e}"))?;
             }
+            "--trace-slowest" => {
+                args.trace_slowest = value("--trace-slowest")?
+                    .parse()
+                    .map_err(|e| format!("--trace-slowest: {e}"))?;
+            }
+            "--trace-addr" => args.trace_addrs.push(value("--trace-addr")?),
             "--help" | "-h" => return Err(usage.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{usage}")),
         }
@@ -222,6 +279,9 @@ fn parse_args() -> Result<Args, String> {
         }
     } else if args.shards != 1 || args.kill_replica_ms > 0 {
         return Err("--shards/--kill-replica-ms require --fleet".to_owned());
+    }
+    if !args.trace_addrs.is_empty() && args.trace_slowest == 0 {
+        return Err("--trace-addr only matters with --trace-slowest".to_owned());
     }
     Ok(args)
 }
@@ -417,9 +477,9 @@ fn run_connection(
         .ok();
     const DRAIN_WINDOW: Duration = Duration::from_secs(10);
 
-    // id → send time, shared with the sender. ids are globally unique:
-    // conn_idx + k * total_conns.
-    let in_flight: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    // id → send time + trace identity, shared with the sender. ids are
+    // globally unique: conn_idx + k * total_conns.
+    let in_flight: Arc<Mutex<HashMap<u64, SentReq>>> = Arc::new(Mutex::new(HashMap::new()));
 
     let mut sender = Some({
         let mut writer = writer;
@@ -444,10 +504,24 @@ fn run_connection(
                 }
                 let id = conn_idx as u64 + k * total_conns as u64;
                 let input = &inputs[(id as usize) % INPUT_POOL];
-                in_flight.lock().unwrap().insert(id, Instant::now());
+                // Every request starts a trace; the head lottery
+                // inside `new_root` plus the recorder's tail rules
+                // (slow / failed / shed / energy outlier) decide what
+                // is actually kept.
+                let ctx = imc_obs::TraceContext::new_root();
+                let root_span = imc_obs::next_span_id();
+                in_flight.lock().unwrap().insert(
+                    id,
+                    SentReq {
+                        at: Instant::now(),
+                        ctx,
+                        root_span,
+                    },
+                );
                 let req = Request::Infer(InferRequest {
                     id,
                     input: input.clone(),
+                    trace: Some(ctx.child(root_span)),
                 });
                 let wrote = match proto {
                     Proto::Json => write_request(&mut writer, &req),
@@ -523,8 +597,9 @@ fn run_connection(
                 answered += 1;
                 res.last_response = Some(Instant::now());
                 let sent_at = in_flight.lock().unwrap().remove(&r.id);
-                if let Some(t0) = sent_at {
-                    res.latencies_us.push(t0.elapsed().as_micros() as u64);
+                if let Some(sent) = sent_at {
+                    res.latencies_us.push(sent.at.elapsed().as_micros() as u64);
+                    offer_client_trace(&sent, imc_obs::SpanStatus::Ok, conn_idx);
                 }
                 let exp = &expected[(r.id as usize) % INPUT_POOL];
                 let bits_equal = r.logits.len() == exp.len()
@@ -540,7 +615,9 @@ fn run_connection(
             }
             Ok(Some(Response::Shed(r))) => {
                 answered += 1;
-                in_flight.lock().unwrap().remove(&r.id);
+                if let Some(sent) = in_flight.lock().unwrap().remove(&r.id) {
+                    offer_client_trace(&sent, imc_obs::SpanStatus::Shed, conn_idx);
+                }
                 res.shed += 1;
             }
             Ok(Some(Response::Error(_))) => {
@@ -551,7 +628,9 @@ fn run_connection(
                 // A recovered worker panic failed this request with a
                 // typed response — expected under --chaos, never silent.
                 answered += 1;
-                in_flight.lock().unwrap().remove(&r.id);
+                if let Some(sent) = in_flight.lock().unwrap().remove(&r.id) {
+                    offer_client_trace(&sent, imc_obs::SpanStatus::Failed, conn_idx);
+                }
                 res.failed += 1;
             }
             Ok(Some(Response::Busy(_))) => {
@@ -596,6 +675,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    imc_obs::set_service_name("loadgen");
+    if let Some(every) = imc_obs::init_span_sampling_from_env() {
+        eprintln!("loadgen: span sampling 1-in-{every} (FEFET_IMC_SPAN_SAMPLE)");
+    }
 
     // Observability endpoint for scrapers, alive for the whole run. The
     // warm-up populates the non-serve metric families before the first
@@ -874,6 +958,43 @@ fn main() -> ExitCode {
 
     if let Some(k) = kill_thread {
         let _ = k.join();
+    }
+
+    // Slowest-trace waterfalls, while every external obs endpoint is
+    // still up: the local flight recorder (in-process servers and
+    // fleets share it, so their hops are already here) stitched with a
+    // scrape of each --trace-addr.
+    if args.trace_slowest > 0 {
+        let mut docs = Vec::new();
+        match imc_bench::trace_view::parse_doc(&imc_obs::traces_json(
+            &imc_obs::recorder().snapshot(),
+        )) {
+            Ok(t) => docs.push(t),
+            Err(e) => eprintln!("loadgen: local recorder export: {e}"),
+        }
+        for addr in &args.trace_addrs {
+            let scraped = imc_bench::trace_view::fetch_traces(addr)
+                .map_err(|e| e.to_string())
+                .and_then(|doc| imc_bench::trace_view::parse_doc(&doc));
+            match scraped {
+                Ok(t) => {
+                    eprintln!("loadgen: scraped {} trace record(s) from {addr}", t.len());
+                    docs.push(t);
+                }
+                Err(e) => eprintln!("loadgen: trace scrape {addr}: {e}"),
+            }
+        }
+        let mut traces = imc_bench::trace_view::stitch(docs);
+        traces.sort_by_key(|t| std::cmp::Reverse(t.dur_us()));
+        traces.truncate(args.trace_slowest);
+        if traces.is_empty() {
+            println!("\nloadgen: no traces kept by the flight recorder");
+        } else {
+            println!("\nloadgen: {} slowest trace(s):", traces.len());
+            for t in &traces {
+                print!("{}", imc_bench::trace_view::render_waterfall(t));
+            }
+        }
     }
 
     // --stop-server drains *every* target, not just the first: each

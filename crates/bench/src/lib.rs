@@ -7,6 +7,7 @@
 #![deny(missing_docs)]
 
 pub mod chaos;
+pub mod trace_view;
 
 use std::fmt::Write as _;
 

@@ -175,6 +175,10 @@ fn main() -> ExitCode {
         eprintln!("imc-fleet: energy budget {j:.3e} J per {energy_window_ms} ms window");
     }
 
+    imc_obs::set_service_name("fleet");
+    if let Some(every) = imc_obs::init_span_sampling_from_env() {
+        eprintln!("imc-fleet: span sampling 1-in-{every} (FEFET_IMC_SPAN_SAMPLE)");
+    }
     let _obs = obs_addr.as_deref().map(|a| match imc_obs::serve_http(a) {
         Ok(h) => {
             eprintln!("imc-fleet: obs on http://{}/metrics", h.addr());
@@ -213,6 +217,7 @@ fn main() -> ExitCode {
     // The accept loop exits when a Shutdown request or SIGINT/SIGTERM
     // trips the shared flag.
     handle.wait();
+    imc_obs::print_summary_if_env();
     eprintln!("imc-fleet: bye");
     ExitCode::SUCCESS
 }

@@ -30,7 +30,9 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use imc_obs::{counter, counter_vec, gauge, gauge_vec};
+use imc_obs::{
+    counter, counter_vec, gauge, gauge_vec, SpanRec, SpanStatus, TraceContext, TraceRec,
+};
 use imc_serve::protocol::{
     self, DescribeReply, FailedReply, InferReply, Request, Response, ShedReply, MAX_FRAME_BYTES,
 };
@@ -342,16 +344,18 @@ fn handle_conn(mut stream: TcpStream, state: &Arc<RouterState>) {
         }
         let mut ack = [0u8; 5];
         ack[..4].copy_from_slice(&wire::MAGIC);
-        if ver[0] != wire::VERSION {
+        if !(wire::MIN_VERSION..=wire::VERSION).contains(&ver[0]) {
             // Version nack: echo magic with version 0, then close.
             let _ = stream.write_all(&ack);
             return;
         }
-        ack[4] = wire::VERSION;
+        // Echo the offered version: a v1 client must never see a
+        // trace-context block, so the loop strips reply trace ids.
+        ack[4] = ver[0];
         if stream.write_all(&ack).is_err() {
             return;
         }
-        bin_loop(&mut stream, state, &mut upstreams);
+        bin_loop(&mut stream, state, &mut upstreams, ver[0]);
     } else {
         json_loop(
             &mut stream,
@@ -366,6 +370,7 @@ fn bin_loop(
     stream: &mut TcpStream,
     state: &Arc<RouterState>,
     upstreams: &mut HashMap<usize, Client>,
+    version: u8,
 ) {
     let mut arena = Vec::new();
     let mut scratch = Vec::new();
@@ -374,10 +379,16 @@ fn bin_loop(
             Ok(true) => {}
             Ok(false) | Err(_) => return,
         }
-        let (resp, stop) = match wire::decode_request(&arena) {
+        let (mut resp, stop) = match wire::decode_request(&arena) {
             Ok(req) => dispatch(state, upstreams, req),
             Err(e) => (Response::Error(format!("bad BIN1 frame: {e}")), true),
         };
+        if version < 2 {
+            // Version gate: v1 decoders predate the trace block.
+            if let Response::Output(r) = &mut resp {
+                r.trace_id = 0;
+            }
+        }
         if wire::write_response(stream, &resp, &mut scratch).is_err() || stop {
             return;
         }
@@ -461,24 +472,98 @@ fn dispatch(
         ),
         Request::Infer(r) => {
             counter!("fleet.infer_total", "Infer requests routed by the fleet").inc();
+            // Adopt the caller's trace, or start one: the router is the
+            // fleet's front door, so every routed request is traceable.
+            let ctx = r.trace.unwrap_or_else(TraceContext::new_root);
             let resp = if state.plan.whole_model() {
-                route_whole(state, upstreams, r.id, r.input)
+                route_whole(state, upstreams, r.id, r.input, ctx)
             } else {
-                route_sharded(state, upstreams, r.id, r.input)
+                route_sharded(state, upstreams, r.id, r.input, ctx)
             };
             (resp, false)
         }
     }
 }
 
+/// Maps a routed response onto the span status its trace records.
+fn resp_status(resp: &Response) -> SpanStatus {
+    match resp {
+        Response::Output(_) => SpanStatus::Ok,
+        Response::Shed(_) => SpanStatus::Shed,
+        _ => SpanStatus::Failed,
+    }
+}
+
+/// Records the router's view of one routed request: a `fleet.request`
+/// root span (parented on the caller's hop) plus whatever child spans
+/// the routing mode collected. `energy_pj` follows the one-stamp rule:
+/// sharded routing stamps the plan's whole-inference energy here (the
+/// replicas' partial spans carry 0); replicated routing stamps 0 — the
+/// replica that answered prices its own `serve.request` span.
+fn offer_fleet_trace(
+    ctx: &TraceContext,
+    root: u64,
+    started: Instant,
+    resp: &Response,
+    energy_pj: u64,
+    detail: String,
+    mut children: Vec<SpanRec>,
+) {
+    let dur_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let mut spans = vec![SpanRec {
+        span_id: root,
+        parent_span: ctx.parent_span,
+        name: "fleet.request",
+        service: "fleet",
+        start_unix_us: imc_obs::unix_us().saturating_sub(dur_us),
+        dur_us,
+        status: resp_status(resp),
+        energy_pj,
+        detail,
+    }];
+    spans.append(&mut children);
+    imc_obs::recorder().offer(TraceRec {
+        trace_id: ctx.trace_id,
+        sampled: ctx.sampled,
+        spans,
+    });
+}
+
 /// Replicated mode: forward the whole `Infer` to one replica, failing
 /// over across replicas on I/O errors. The replica's response passes
-/// through unchanged.
+/// through unchanged (except that the reply's `trace_id` is pinned to
+/// the routed trace, even when a v1 replica stripped it).
 fn route_whole(
     state: &Arc<RouterState>,
     upstreams: &mut HashMap<usize, Client>,
     id: u64,
     input: Vec<f32>,
+    ctx: TraceContext,
+) -> Response {
+    let started = Instant::now();
+    let root = imc_obs::next_span_id();
+    let mut resp = route_whole_inner(state, upstreams, id, input, ctx.child(root));
+    if let Response::Output(r) = &mut resp {
+        r.trace_id = ctx.trace_id;
+    }
+    offer_fleet_trace(
+        &ctx,
+        root,
+        started,
+        &resp,
+        0,
+        "mode=replicated".to_owned(),
+        Vec::new(),
+    );
+    resp
+}
+
+fn route_whole_inner(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Client>,
+    id: u64,
+    input: Vec<f32>,
+    child: TraceContext,
 ) -> Response {
     if let Some(shed) = energy_admission(state, id) {
         return shed;
@@ -490,7 +575,9 @@ fn route_whole(
         let Some((idx, addr, energy_j)) = pick_whole(state, &tried) else {
             break;
         };
-        match exchange(state, upstreams, idx, &addr, |c| c.infer(id, input.clone())) {
+        match exchange(state, upstreams, idx, &addr, |c| {
+            c.infer_traced(id, input.clone(), Some(child))
+        }) {
             // Shed (backpressure / draining) and Failed are this
             // replica declining, not the fleet's answer: try another
             // replica, and only surface the decline once every replica
@@ -540,6 +627,40 @@ fn route_sharded(
     upstreams: &mut HashMap<usize, Client>,
     id: u64,
     input: Vec<f32>,
+    ctx: TraceContext,
+) -> Response {
+    let started = Instant::now();
+    let root = imc_obs::next_span_id();
+    let mut children = Vec::new();
+    let resp = route_sharded_inner(
+        state,
+        upstreams,
+        id,
+        input,
+        ctx.child(root),
+        root,
+        &mut children,
+    );
+    // The sharded fleet jointly executes one whole-model inference;
+    // this root span is the one pricing point of the whole trace.
+    let energy_pj = if matches!(resp, Response::Output(_)) {
+        to_pj(state.plan.energy_per_inference_j)
+    } else {
+        0
+    };
+    let detail = format!("mode=sharded shards={}", state.plan.shard_count());
+    offer_fleet_trace(&ctx, root, started, &resp, energy_pj, detail, children);
+    resp
+}
+
+fn route_sharded_inner(
+    state: &Arc<RouterState>,
+    upstreams: &mut HashMap<usize, Client>,
+    id: u64,
+    input: Vec<f32>,
+    child: TraceContext,
+    root: u64,
+    children: &mut Vec<SpanRec>,
 ) -> Response {
     if let Some(shed) = energy_admission(state, id) {
         return shed;
@@ -581,7 +702,36 @@ fn route_sharded(
             if lo == hi {
                 continue; // fewer chunks than shards: this one owns none
             }
-            let sums = match shard_partial(state, upstreams, id, slot.index, li, lo, hi, &codes) {
+            let pspan = imc_obs::next_span_id();
+            let pt0 = Instant::now();
+            let outcome = shard_partial(
+                state,
+                upstreams,
+                id,
+                slot.index,
+                li,
+                lo,
+                hi,
+                &codes,
+                child.child(pspan),
+            );
+            let pdur_us = u64::try_from(pt0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            children.push(SpanRec {
+                span_id: pspan,
+                parent_span: root,
+                name: "fleet.partial",
+                service: "fleet",
+                start_unix_us: imc_obs::unix_us().saturating_sub(pdur_us),
+                dur_us: pdur_us,
+                status: if outcome.is_ok() {
+                    SpanStatus::Ok
+                } else {
+                    SpanStatus::Failed
+                },
+                energy_pj: 0,
+                detail: format!("shard={} layer={li} chunks={lo}..{hi}", slot.index),
+            });
+            let sums = match outcome {
                 Ok(s) => s,
                 Err(e) => {
                     return Response::Failed(FailedReply {
@@ -626,6 +776,7 @@ fn route_sharded(
         batch: 1,
         queue_us: 0,
         service_us,
+        trace_id: child.trace_id,
     })
 }
 
@@ -641,6 +792,7 @@ fn shard_partial(
     lo: usize,
     hi: usize,
     codes: &[f32],
+    trace: TraceContext,
 ) -> Result<Vec<i64>, FleetError> {
     let mut tried = Vec::new();
     let mut last = String::new();
@@ -657,7 +809,7 @@ fn shard_partial(
             });
         };
         match exchange(state, upstreams, idx, &addr, |c| {
-            c.partial(id, layer, lo, hi, codes.to_vec())
+            c.partial_traced(id, layer, lo, hi, codes.to_vec(), Some(trace))
         }) {
             Ok(reply) => {
                 if reply.layer != layer {

@@ -519,6 +519,7 @@ pub fn imc_matmul_packed(
     cfg: &ImcConfig,
     key: StreamKey,
 ) -> Tensor {
+    let _span = imc_obs::span!("kernel.packed_mac");
     let positions = acts_codes.shape()[0];
     let fan = acts_codes.shape()[1];
     let oc = planes.out_features;
@@ -598,6 +599,7 @@ pub fn imc_matmul_packed_partial(
     key: StreamKey,
     chunks: std::ops::Range<usize>,
 ) -> Vec<i64> {
+    let _span = imc_obs::span!("kernel.packed_mac_partial");
     let (chunk_lo, chunk_hi) = (chunks.start, chunks.end);
     assert!(
         chunk_lo <= chunk_hi && chunk_hi <= planes.chunks.len(),

@@ -174,6 +174,13 @@ pub fn json_snapshot(snap: &Snapshot) -> String {
                     s.p99,
                     s.max
                 );
+                if let Some(x) = e.exemplar {
+                    let _ = write!(
+                        out,
+                        ",\"exemplar\":{{\"value\":{},\"trace_id\":{}}}",
+                        x.value, x.trace_id
+                    );
+                }
             }
         }
         out.push('}');
@@ -223,13 +230,53 @@ pub fn text_summary(snap: &Snapshot) -> String {
     out
 }
 
-/// Prints [`text_summary`] of the global registry to stderr when the
-/// `FEFET_IMC_OBS_SUMMARY` environment variable is set (to anything but
-/// `0`). Call at the end of batch binaries.
+/// Compact per-trace exit listing of the flight recorder: one line per
+/// kept trace (id, span count, widest span, energy stamp, worst
+/// status), newest last.
+#[must_use]
+pub fn trace_summary(recs: &[crate::trace::TraceRec]) -> String {
+    let mut out = String::new();
+    let rec = crate::trace::recorder();
+    let _ = writeln!(
+        out,
+        "--- flight recorder ({} kept, {} dropped, {} in ring) ---",
+        rec.kept_total(),
+        rec.dropped_total(),
+        recs.len()
+    );
+    for t in recs {
+        let status = t
+            .spans
+            .iter()
+            .map(|s| s.status)
+            .find(|s| *s != crate::trace::SpanStatus::Ok)
+            .unwrap_or(crate::trace::SpanStatus::Ok);
+        let _ = writeln!(
+            out,
+            "trace {:#018x} spans={:<2} dur={}us energy={}pJ status={}{}",
+            t.trace_id,
+            t.spans.len(),
+            t.dur_us(),
+            t.energy_pj(),
+            status.as_str(),
+            if t.sampled { "" } else { " (tail-kept)" }
+        );
+    }
+    out
+}
+
+/// Prints [`text_summary`] of the global registry — and, when the
+/// flight recorder holds any traces, a [`trace_summary`] dump — to
+/// stderr when the `FEFET_IMC_OBS_SUMMARY` environment variable is set
+/// (to anything but `0`). Call at the end of batch binaries.
 pub fn print_summary_if_env() {
     match std::env::var("FEFET_IMC_OBS_SUMMARY") {
         Ok(v) if v != "0" && !v.is_empty() => {
             eprint!("{}", text_summary(&registry().snapshot()));
+            let traces = crate::trace::recorder().snapshot();
+            if !traces.is_empty() {
+                eprint!("{}", trace_summary(&traces));
+            }
         }
         _ => {}
     }

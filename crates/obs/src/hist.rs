@@ -53,6 +53,22 @@ pub struct HistogramCore {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
+    /// Exemplar cell: the value and trace id of a recent traced
+    /// observation (best-effort, last-writer-wins; 0 = none yet). Lets
+    /// a p99 bucket link to a concrete flight-recorder trace.
+    exemplar_value: AtomicU64,
+    exemplar_trace: AtomicU64,
+}
+
+/// A recent traced observation attached to a histogram: links an
+/// aggregate (say, a p99 latency) to one concrete trace id that can be
+/// looked up in the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded value (same unit as the histogram).
+    pub value: u64,
+    /// The trace it came from (never 0).
+    pub trace_id: u64,
 }
 
 /// Quantile summary folded out of a histogram.
@@ -87,6 +103,8 @@ impl HistogramCore {
                 .collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -96,6 +114,33 @@ impl HistogramCore {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records one observation and stamps the exemplar cell with its
+    /// trace id (ignored when `trace_id` is 0 — untraced requests keep
+    /// the last traced exemplar). Two extra relaxed stores; the pair is
+    /// not written atomically, so a racing reader may see the value of
+    /// one observation with the trace id of another — both are still
+    /// real recent observations, which is all an exemplar promises.
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if trace_id != 0 {
+            self.exemplar_value.store(v, Ordering::Relaxed);
+            self.exemplar_trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// The most recent traced observation, if any was recorded.
+    #[must_use]
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        let trace_id = self.exemplar_trace.load(Ordering::Relaxed);
+        if trace_id == 0 {
+            return None;
+        }
+        Some(Exemplar {
+            value: self.exemplar_value.load(Ordering::Relaxed),
+            trace_id,
+        })
     }
 
     /// Number of recorded observations.
@@ -205,5 +250,25 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.p99, 0);
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn exemplar_keeps_the_last_traced_observation() {
+        let h = HistogramCore::new();
+        assert_eq!(h.exemplar(), None);
+        h.record(5); // untraced: no exemplar yet
+        assert_eq!(h.exemplar(), None);
+        h.record_with_exemplar(120, 0xABCD);
+        h.record_with_exemplar(77, 0); // trace id 0 = untraced
+        assert_eq!(
+            h.exemplar(),
+            Some(Exemplar {
+                value: 120,
+                trace_id: 0xABCD
+            })
+        );
+        assert_eq!(h.count(), 3);
+        h.record_with_exemplar(9, 0x1111);
+        assert_eq!(h.exemplar().expect("stamped").trace_id, 0x1111);
     }
 }

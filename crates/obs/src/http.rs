@@ -1,10 +1,14 @@
 //! A tiny read-only HTTP/1.1 scrape endpoint over `std::net`.
 //!
-//! One background thread, non-blocking accept, one request per
+//! One accept thread, non-blocking accept, one short-lived thread per
+//! connection (so a stalled scraper never serializes the endpoint —
+//! concurrent `curl`s each get their own snapshot), one request per
 //! connection (`Connection: close`). Routes:
 //!
 //! * `GET /metrics` — Prometheus text exposition
 //! * `GET /metrics.json` — JSON snapshot
+//! * `GET /traces` — flight-recorder dump (JSON; see [`crate::trace`])
+//! * `GET /healthz` — liveness probe (`ok`), for CI smokes to poll
 //! * `GET /` — plain-text route listing
 //!
 //! This is deliberately *not* a web server: no keep-alive, no TLS, no
@@ -21,6 +25,7 @@ use std::time::Duration;
 
 use crate::export::{json_snapshot, prometheus_text};
 use crate::registry::registry;
+use crate::trace::{recorder, traces_json};
 
 /// A running scrape endpoint; shuts down on [`stop`](HttpHandle::stop)
 /// or drop.
@@ -84,9 +89,24 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Serve inline: scrapes are rare and tiny, a second
-                // thread per connection would be overkill.
-                let _ = handle_connection(stream);
+                // One short-lived thread per connection: a scraper that
+                // stalls mid-read (or three Prometheis scraping at
+                // once) must not serialize everyone else behind the
+                // accept loop. Responses are small and connections are
+                // `Connection: close`, so threads are gone in
+                // milliseconds; the read/write timeouts inside bound
+                // the worst case.
+                let spawned =
+                    thread::Builder::new()
+                        .name("obs-http-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream);
+                        });
+                if spawned.is_err() {
+                    // Out of threads: better to drop one scrape than
+                    // the whole endpoint.
+                    continue;
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(20));
@@ -150,10 +170,16 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             "application/json",
             json_snapshot(&registry().snapshot()),
         ),
+        "/traces" => (
+            "200 OK",
+            "application/json",
+            traces_json(&recorder().snapshot()),
+        ),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".into()),
         "/" => (
             "200 OK",
             "text/plain",
-            "imc-obs scrape endpoint\n  GET /metrics       Prometheus text\n  GET /metrics.json  JSON snapshot\n".into(),
+            "imc-obs scrape endpoint\n  GET /metrics       Prometheus text\n  GET /metrics.json  JSON snapshot\n  GET /traces        flight-recorder traces (JSON)\n  GET /healthz       liveness probe\n".into(),
         ),
         _ => ("404 Not Found", "text/plain", "unknown route\n".into()),
     }
@@ -194,6 +220,28 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/traces");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"traces\""));
+
+        // Concurrent scrapes: a connection that never sends a request
+        // must not block other scrapers (it holds its own thread, and
+        // its 500 ms read timeout is far longer than a healthy
+        // scrape).
+        let _stalled = TcpStream::connect(addr).expect("stall connect");
+        let t0 = std::time::Instant::now();
+        let (head, _) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(
+            t0.elapsed() < Duration::from_millis(400),
+            "scrape serialized behind a stalled connection: {:?}",
+            t0.elapsed()
+        );
 
         handle.stop();
         // After stop the port is released; a fresh bind succeeds.

@@ -43,6 +43,7 @@ pub mod hist;
 pub mod http;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use export::{json_snapshot, print_summary_if_env, prometheus_text, text_summary};
 pub use hist::{bucket_index, bucket_value, HistogramCore, Summary, OCTAVES, SUB_BUCKETS};
@@ -51,4 +52,12 @@ pub use registry::{
     registry, Counter, CounterVec, Gauge, GaugeVec, Histogram, Labels, MetricEntry, MetricHandle,
     MetricSnapshot, MetricValue, Registry, Snapshot,
 };
-pub use span::{enter, set_span_sampling, span_sampling, SpanGuard};
+pub use span::{
+    enter, init_span_sampling_from_env, set_span_sampling, span_sampling, SpanGuard,
+    SPAN_SAMPLE_ENV,
+};
+pub use trace::{
+    next_span_id, recorder, set_service_name, set_trace_head_sampling, set_trace_slow_us,
+    trace_head_sampling, traces_json, unix_us, FlightRecorder, SpanRec, SpanStatus, TraceContext,
+    TraceRec,
+};

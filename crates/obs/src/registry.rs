@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::hist::{HistogramCore, Summary};
+use crate::hist::{Exemplar, HistogramCore, Summary};
 
 /// A monotonically increasing counter. Clones share the same value.
 #[derive(Debug, Clone, Default)]
@@ -112,6 +112,18 @@ impl Histogram {
     /// Records one observation (three relaxed atomic adds).
     pub fn record(&self, v: u64) {
         self.0.record(v);
+    }
+
+    /// Records one observation and stamps the exemplar cell with its
+    /// trace id (0 = untraced, exemplar untouched).
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u64) {
+        self.0.record_with_exemplar(v, trace_id);
+    }
+
+    /// The most recent traced observation, if any.
+    #[must_use]
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.0.exemplar()
     }
 
     /// Number of recorded observations.
@@ -344,6 +356,10 @@ impl Registry {
                         MetricHandle::Gauge(g) => MetricValue::Gauge(g.get()),
                         MetricHandle::Histogram(h) => MetricValue::Histogram(h.summary()),
                     },
+                    exemplar: match &e.handle {
+                        MetricHandle::Histogram(h) => h.exemplar(),
+                        _ => None,
+                    },
                 })
                 .collect(),
         }
@@ -507,6 +523,8 @@ pub struct MetricSnapshot {
     pub help: String,
     /// Frozen value.
     pub value: MetricValue,
+    /// Histogram exemplar (a recent traced observation), if any.
+    pub exemplar: Option<Exemplar>,
 }
 
 /// A point-in-time copy of a whole registry.

@@ -24,10 +24,26 @@ use crate::registry::{registry, Histogram};
 /// Global 1-in-N sampling knob (1 = record every span).
 static SAMPLE_EVERY: AtomicU32 = AtomicU32::new(1);
 
+/// Environment variable read by [`init_span_sampling_from_env`]:
+/// `FEFET_IMC_SPAN_SAMPLE=N` keeps 1-in-N spans.
+pub const SPAN_SAMPLE_ENV: &str = "FEFET_IMC_SPAN_SAMPLE";
+
 /// Keeps 1-in-`every` spans; `every = 1` records all (the default),
 /// `every = 0` is treated as 1.
 pub fn set_span_sampling(every: u32) {
     SAMPLE_EVERY.store(every.max(1), Ordering::Relaxed);
+}
+
+/// Applies the [`SPAN_SAMPLE_ENV`] override, if set: parses it as the
+/// 1-in-N keep rate and calls [`set_span_sampling`]. Bins call this at
+/// startup so operators can dial span overhead without a flag. Returns
+/// the applied rate, or `None` when the variable is unset or
+/// unparsable (the current setting is left untouched).
+pub fn init_span_sampling_from_env() -> Option<u32> {
+    let raw = std::env::var(SPAN_SAMPLE_ENV).ok()?;
+    let every: u32 = raw.trim().parse().ok()?;
+    set_span_sampling(every);
+    Some(every.max(1))
 }
 
 /// Current 1-in-N sampling setting.
@@ -217,5 +233,19 @@ mod tests {
         })
         .join()
         .expect("span test thread");
+    }
+
+    #[test]
+    fn env_override_parses_and_applies() {
+        // Unset and garbage leave the setting untouched.
+        std::env::remove_var(SPAN_SAMPLE_ENV);
+        assert_eq!(init_span_sampling_from_env(), None);
+        std::env::set_var(SPAN_SAMPLE_ENV, "not-a-number");
+        assert_eq!(init_span_sampling_from_env(), None);
+        std::env::set_var(SPAN_SAMPLE_ENV, "8");
+        assert_eq!(init_span_sampling_from_env(), Some(8));
+        assert_eq!(span_sampling(), 8);
+        std::env::remove_var(SPAN_SAMPLE_ENV);
+        set_span_sampling(1);
     }
 }

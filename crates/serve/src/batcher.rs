@@ -28,6 +28,10 @@ pub struct Pending<R> {
     pub enqueued: Instant,
     /// Opaque reply route (the server wires a connection handle here).
     pub reply: R,
+    /// Distributed-tracing context the request arrived with, if any —
+    /// rides through the batcher so the executing bank worker can
+    /// record spans under the originating trace.
+    pub trace: Option<imc_obs::TraceContext>,
 }
 
 /// Why an enqueue was refused.
@@ -204,6 +208,7 @@ mod tests {
             input: vec![0.0],
             enqueued: Instant::now(),
             reply: (),
+            trace: None,
         }
     }
 

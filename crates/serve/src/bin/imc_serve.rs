@@ -213,6 +213,10 @@ fn main() -> ExitCode {
     let model = Arc::new(model);
 
     install_signal_handlers();
+    imc_obs::set_service_name("serve");
+    if let Some(every) = imc_obs::init_span_sampling_from_env() {
+        println!("imc-serve: span sampling 1-in-{every} (FEFET_IMC_SPAN_SAMPLE)");
+    }
     let _obs = match &args.obs_addr {
         Some(addr) => match imc_obs::serve_http(addr) {
             Ok(h) => {

@@ -18,6 +18,8 @@ use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use imc_obs::TraceContext;
+
 use crate::protocol::{
     read_response, write_request, DescribeReply, InferRequest, PartialRequest, PartialSumReply,
     Request, Response, StatsReply,
@@ -120,6 +122,10 @@ pub struct Client {
     /// [`connect`]: Self::connect
     addrs: Vec<SocketAddr>,
     cfg: ClientConfig,
+    /// Negotiated `BIN1` version (relevant for [`Proto::Bin`] only).
+    /// A version-1 peer predates the optional trace-context block, so
+    /// requests to it have their trace stripped before encoding.
+    peer_version: u8,
     /// `BIN1` encode scratch and read arena, reused across requests so
     /// steady-state round trips allocate nothing on the wire path.
     scratch: Vec<u8>,
@@ -141,11 +147,12 @@ impl Client {
             request_timeout: None,
             proto: Proto::Json,
         };
-        let stream = Self::open(&addrs, &cfg)?;
+        let (stream, peer_version) = Self::open(&addrs, &cfg)?;
         Ok(Self {
             stream,
             addrs,
             cfg,
+            peer_version,
             scratch: Vec::new(),
             arena: Vec::new(),
         })
@@ -159,32 +166,33 @@ impl Client {
     /// address).
     pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: ClientConfig) -> io::Result<Self> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
-        let stream = Self::open(&addrs, &cfg)?;
+        let (stream, peer_version) = Self::open(&addrs, &cfg)?;
         Ok(Self {
             stream,
             addrs,
             cfg,
+            peer_version,
             scratch: Vec::new(),
             arena: Vec::new(),
         })
     }
 
-    fn open(addrs: &[SocketAddr], cfg: &ClientConfig) -> io::Result<TcpStream> {
+    /// Dials and handshakes one stream, returning the negotiated `BIN1`
+    /// version (or [`wire::VERSION`] for JSON, where nothing is
+    /// negotiated — old JSON decoders simply ignore unknown fields). A
+    /// server that nacks the current version gets re-dialed once with
+    /// [`wire::MIN_VERSION`] — the downgrade path against a pre-trace
+    /// deployment.
+    fn open(addrs: &[SocketAddr], cfg: &ClientConfig) -> io::Result<(TcpStream, u8)> {
         let mut last_err = None;
         for a in addrs {
-            let attempt = match cfg.connect_timeout {
-                Some(t) => TcpStream::connect_timeout(a, t),
-                None => TcpStream::connect(a),
-            };
-            match attempt {
-                Ok(mut stream) => {
-                    stream.set_nodelay(true).ok();
-                    stream.set_read_timeout(cfg.request_timeout).ok();
-                    stream.set_write_timeout(cfg.request_timeout).ok();
-                    if cfg.proto == Proto::Bin {
-                        wire::client_handshake(&mut stream)?;
+            match Self::dial(a, cfg, wire::VERSION) {
+                Ok(ok) => return Ok(ok),
+                Err(e) if e.to_string().contains("unsupported BIN1 version") => {
+                    match Self::dial(a, cfg, wire::MIN_VERSION) {
+                        Ok(ok) => return Ok(ok),
+                        Err(e) => last_err = Some(e),
                     }
-                    return Ok(stream);
                 }
                 Err(e) => last_err = Some(e),
             }
@@ -194,6 +202,23 @@ impl Client {
         }))
     }
 
+    fn dial(a: &SocketAddr, cfg: &ClientConfig, offer: u8) -> io::Result<(TcpStream, u8)> {
+        let attempt = match cfg.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(a, t),
+            None => TcpStream::connect(a),
+        };
+        let mut stream = attempt?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(cfg.request_timeout).ok();
+        stream.set_write_timeout(cfg.request_timeout).ok();
+        let version = if cfg.proto == Proto::Bin {
+            wire::client_handshake_offer(&mut stream, offer)?
+        } else {
+            wire::VERSION
+        };
+        Ok((stream, version))
+    }
+
     /// Drops the current connection and dials the same address again
     /// with the same timeouts.
     ///
@@ -201,8 +226,17 @@ impl Client {
     ///
     /// Propagates connection errors.
     pub fn reconnect(&mut self) -> io::Result<()> {
-        self.stream = Self::open(&self.addrs, &self.cfg)?;
+        let (stream, peer_version) = Self::open(&self.addrs, &self.cfg)?;
+        self.stream = stream;
+        self.peer_version = peer_version;
         Ok(())
+    }
+
+    /// The negotiated `BIN1` protocol version of this connection
+    /// ([`wire::VERSION`] for JSON connections).
+    #[must_use]
+    pub fn peer_version(&self) -> u8 {
+        self.peer_version
     }
 
     /// Sends a request frame without waiting for the response (pipelined
@@ -214,7 +248,33 @@ impl Client {
     pub fn send(&mut self, req: &Request) -> io::Result<()> {
         match self.cfg.proto {
             Proto::Json => write_request(&mut self.stream, req),
-            Proto::Bin => wire::write_request(&mut self.stream, req, &mut self.scratch),
+            Proto::Bin => {
+                // Version gate: a v1 peer's decoder predates the
+                // optional trace block — strip rather than confuse it.
+                let stripped;
+                let req = if self.peer_version < 2 {
+                    match req {
+                        Request::Infer(r) if r.trace.is_some() => {
+                            stripped = Request::Infer(InferRequest {
+                                trace: None,
+                                ..r.clone()
+                            });
+                            &stripped
+                        }
+                        Request::Partial(r) if r.trace.is_some() => {
+                            stripped = Request::Partial(PartialRequest {
+                                trace: None,
+                                ..r.clone()
+                            });
+                            &stripped
+                        }
+                        other => other,
+                    }
+                } else {
+                    req
+                };
+                wire::write_request(&mut self.stream, req, &mut self.scratch)
+            }
         }
     }
 
@@ -236,7 +296,24 @@ impl Client {
     ///
     /// Propagates I/O errors; fails if the connection closes early.
     pub fn infer(&mut self, id: u64, input: Vec<f32>) -> io::Result<Response> {
-        self.send(&Request::Infer(InferRequest { id, input }))?;
+        self.infer_traced(id, input, None)
+    }
+
+    /// [`infer`](Self::infer) carrying a distributed-tracing context —
+    /// the server records its spans under `trace.trace_id` and echoes
+    /// the id on the reply. Against a v1 `BIN1` peer the context is
+    /// stripped (the request still executes untraced).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; fails if the connection closes early.
+    pub fn infer_traced(
+        &mut self,
+        id: u64,
+        input: Vec<f32>,
+        trace: Option<TraceContext>,
+    ) -> io::Result<Response> {
+        self.send(&Request::Infer(InferRequest { id, input, trace }))?;
         self.recv()?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
     }
@@ -345,12 +422,33 @@ impl Client {
         chunk_hi: usize,
         codes: Vec<f32>,
     ) -> io::Result<PartialSumReply> {
+        self.partial_traced(id, layer, chunk_lo, chunk_hi, codes, None)
+    }
+
+    /// [`partial`](Self::partial) carrying a distributed-tracing
+    /// context, so the replica's `serve.partial` span lands under the
+    /// caller's trace.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, an early close, a server-side rejection, or
+    /// an unexpected response variant.
+    pub fn partial_traced(
+        &mut self,
+        id: u64,
+        layer: usize,
+        chunk_lo: usize,
+        chunk_hi: usize,
+        codes: Vec<f32>,
+        trace: Option<TraceContext>,
+    ) -> io::Result<PartialSumReply> {
         self.send(&Request::Partial(PartialRequest {
             id,
             layer,
             chunk_lo,
             chunk_hi,
             codes,
+            trace,
         }))?;
         match self.recv()? {
             Some(Response::PartialSum(p)) => Ok(p),

@@ -16,7 +16,8 @@
 
 use std::io::{self, Read, Write};
 
-use serde::{Deserialize, Serialize};
+use imc_obs::TraceContext;
+use serde::{Deserialize, Serialize, Value};
 
 /// Upper bound on a frame payload (16 MiB) — far above any legal request
 /// (a 784-feature MNIST-shaped input is a few KiB of JSON) but small
@@ -26,12 +27,71 @@ pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
 /// One inference request: an `id` chosen by the client (echoed back in
 /// the matching [`InferReply`] / [`ShedReply`]) and the flat input
 /// vector, row-major, matching the served model's `input_features`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde impls are hand-written (not derived) because `trace` must be
+/// *optional on the wire*: the field is omitted when `None` and
+/// tolerated as missing on decode, so traced and untraced builds
+/// interoperate in both directions.
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferRequest {
     /// Client-chosen correlation id.
     pub id: u64,
     /// Flat input features in `[0, 1]`.
     pub input: Vec<f32>,
+    /// Optional distributed-tracing context. `None` (the default for
+    /// untraced clients) encodes as an absent field.
+    pub trace: Option<TraceContext>,
+}
+
+/// Lowers a [`TraceContext`] into the inline JSON object
+/// `{"trace_id":N,"parent_span":N,"sampled":b}` (the context lives in
+/// the zero-dependency `imc-obs` crate, so its serde shape is defined
+/// here with the protocol).
+fn trace_to_value(t: &TraceContext) -> Value {
+    Value::Object(vec![
+        ("trace_id".to_owned(), Value::UInt(t.trace_id)),
+        ("parent_span".to_owned(), Value::UInt(t.parent_span)),
+        ("sampled".to_owned(), Value::Bool(t.sampled)),
+    ])
+}
+
+fn trace_from_value(v: &Value) -> Result<TraceContext, serde::Error> {
+    Ok(TraceContext {
+        trace_id: v.field("trace_id")?.as_u64()?,
+        parent_span: v.field("parent_span")?.as_u64()?,
+        sampled: v.field("sampled")?.as_bool()?,
+    })
+}
+
+/// An optional trace field: absent or `null` → `None`.
+fn opt_trace_field(v: &Value, name: &str) -> Result<Option<TraceContext>, serde::Error> {
+    match v.field(name) {
+        Ok(Value::Null) | Err(_) => Ok(None),
+        Ok(tv) => Ok(Some(trace_from_value(tv)?)),
+    }
+}
+
+impl Serialize for InferRequest {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_owned(), self.id.to_value()),
+            ("input".to_owned(), self.input.to_value()),
+        ];
+        if let Some(t) = &self.trace {
+            fields.push(("trace".to_owned(), trace_to_value(t)));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for InferRequest {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            id: u64::from_value(v.field("id")?)?,
+            input: Vec::from_value(v.field("input")?)?,
+            trace: opt_trace_field(v, "trace")?,
+        })
+    }
 }
 
 /// One partial-MAC request from a fleet router: run MAC layer `layer`
@@ -41,7 +101,7 @@ pub struct InferRequest {
 /// a chunk tiling and applying the digital glue reproduces
 /// `QNetwork::forward` bit-exactly — see
 /// `neural::imc_exec::QNetwork::linear_partial`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartialRequest {
     /// Client-chosen correlation id.
     pub id: u64,
@@ -54,6 +114,37 @@ pub struct PartialRequest {
     /// Quantized activation codes for the layer's full fan-in (each an
     /// integer-valued f32 straight out of `quantize_activations`).
     pub codes: Vec<f32>,
+    /// Optional distributed-tracing context (absent field when `None`).
+    pub trace: Option<TraceContext>,
+}
+
+impl Serialize for PartialRequest {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_owned(), self.id.to_value()),
+            ("layer".to_owned(), self.layer.to_value()),
+            ("chunk_lo".to_owned(), self.chunk_lo.to_value()),
+            ("chunk_hi".to_owned(), self.chunk_hi.to_value()),
+            ("codes".to_owned(), self.codes.to_value()),
+        ];
+        if let Some(t) = &self.trace {
+            fields.push(("trace".to_owned(), trace_to_value(t)));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for PartialRequest {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            id: u64::from_value(v.field("id")?)?,
+            layer: usize::from_value(v.field("layer")?)?,
+            chunk_lo: usize::from_value(v.field("chunk_lo")?)?,
+            chunk_hi: usize::from_value(v.field("chunk_hi")?)?,
+            codes: Vec::from_value(v.field("codes")?)?,
+            trace: opt_trace_field(v, "trace")?,
+        })
+    }
 }
 
 /// A client → server message.
@@ -75,7 +166,7 @@ pub enum Request {
 }
 
 /// Successful inference result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferReply {
     /// Echo of the request id.
     pub id: u64,
@@ -91,6 +182,43 @@ pub struct InferReply {
     pub queue_us: u64,
     /// Time spent executing on the bank (µs, shared by the batch).
     pub service_us: u64,
+    /// Trace id of the request this reply answers (0 = untraced).
+    /// Clients use it to look the request up in a flight recorder.
+    pub trace_id: u64,
+}
+
+impl Serialize for InferReply {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".to_owned(), self.id.to_value()),
+            ("logits".to_owned(), self.logits.to_value()),
+            ("class".to_owned(), self.class.to_value()),
+            ("bank".to_owned(), self.bank.to_value()),
+            ("batch".to_owned(), self.batch.to_value()),
+            ("queue_us".to_owned(), self.queue_us.to_value()),
+            ("service_us".to_owned(), self.service_us.to_value()),
+            ("trace_id".to_owned(), self.trace_id.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for InferReply {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            id: u64::from_value(v.field("id")?)?,
+            logits: Vec::from_value(v.field("logits")?)?,
+            class: usize::from_value(v.field("class")?)?,
+            bank: usize::from_value(v.field("bank")?)?,
+            batch: usize::from_value(v.field("batch")?)?,
+            queue_us: u64::from_value(v.field("queue_us")?)?,
+            service_us: u64::from_value(v.field("service_us")?)?,
+            // Replies from pre-tracing servers lack the field: untraced.
+            trace_id: match v.field("trace_id") {
+                Ok(t) => u64::from_value(t)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 /// Backpressure response: the request was not executed.
@@ -420,6 +548,16 @@ mod tests {
             Request::Infer(InferRequest {
                 id: 42,
                 input: vec![0.0, 0.25, 1.0, 0.1234567],
+                trace: None,
+            }),
+            Request::Infer(InferRequest {
+                id: 43,
+                input: vec![0.5],
+                trace: Some(TraceContext {
+                    trace_id: 0xFEED_BEEF,
+                    parent_span: 7,
+                    sampled: true,
+                }),
             }),
             Request::Stats,
             Request::Ping,
@@ -443,6 +581,7 @@ mod tests {
             batch: 32,
             queue_us: 1500,
             service_us: 800,
+            trace_id: 0xABCD,
         });
         let json = serde_json::to_string(&resp).unwrap();
         let back: Response = serde_json::from_str(&json).unwrap();
@@ -464,6 +603,7 @@ mod tests {
             chunk_lo: 3,
             chunk_hi: 9,
             codes: vec![0.0, 15.0, 7.0, 1.0],
+            trace: None,
         });
         let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
         assert_eq!(back, req);
@@ -488,6 +628,50 @@ mod tests {
             let back: Response =
                 serde_json::from_str(&serde_json::to_string(resp).unwrap()).unwrap();
             assert_eq!(&back, resp);
+        }
+    }
+
+    #[test]
+    fn trace_field_is_optional_in_both_directions() {
+        // A pre-tracing client's JSON (no `trace` key) still decodes.
+        let legacy = r#"{"Infer":{"id":1,"input":[0.5,0.25]}}"#;
+        let req: Request = serde_json::from_str(legacy).unwrap();
+        match req {
+            Request::Infer(r) => {
+                assert_eq!(r.id, 1);
+                assert_eq!(r.trace, None);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        // An untraced request does not emit the field at all (so old
+        // decoders that reject unknown shapes never see it), a traced
+        // one does.
+        let untraced = serde_json::to_string(&Request::Infer(InferRequest {
+            id: 2,
+            input: vec![1.0],
+            trace: None,
+        }))
+        .unwrap();
+        assert!(!untraced.contains("trace"));
+        let traced = serde_json::to_string(&Request::Infer(InferRequest {
+            id: 2,
+            input: vec![1.0],
+            trace: Some(TraceContext {
+                trace_id: 9,
+                parent_span: 3,
+                sampled: true,
+            }),
+        }))
+        .unwrap();
+        assert!(traced.contains("\"trace_id\":9"));
+        assert!(traced.contains("\"sampled\":true"));
+
+        // A pre-tracing server's reply (no `trace_id`) decodes to 0.
+        let legacy_reply = r#"{"Output":{"id":1,"logits":[0.5],"class":0,"bank":0,"batch":1,"queue_us":0,"service_us":0}}"#;
+        let resp: Response = serde_json::from_str(legacy_reply).unwrap();
+        match resp {
+            Response::Output(r) => assert_eq!(r.trace_id, 0),
+            other => panic!("wrong variant {other:?}"),
         }
     }
 

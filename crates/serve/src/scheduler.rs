@@ -196,6 +196,7 @@ mod tests {
                 input: Vec::new(),
                 enqueued: Instant::now(),
                 reply: id,
+                trace: None,
             })
             .collect()
     }

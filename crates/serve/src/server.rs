@@ -112,6 +112,11 @@ pub(crate) struct ConnWriter {
     stream: TcpStream,
     dead: bool,
     proto: Proto,
+    /// Negotiated `BIN1` version for `Proto::Bin` connections. Version-1
+    /// peers must never see a trace-context block, so replies to them
+    /// have their `trace_id` stripped before encoding. (JSON framing
+    /// needs no gate — old decoders ignore unknown fields.)
+    bin_version: u8,
     scratch: Vec<u8>,
 }
 
@@ -135,12 +140,28 @@ fn send(conn: &Conn, resp: &Response, metrics: &Metrics) {
     let ConnWriter {
         stream,
         proto,
+        bin_version,
         scratch,
         ..
     } = &mut *w;
     let wrote = match proto {
         Proto::Json => write_response(stream, resp),
-        Proto::Bin => wire::write_response(stream, resp, scratch),
+        Proto::Bin => {
+            // Version gate: a v1 peer's decoder predates the optional
+            // trace block, so strip the trace id rather than send it.
+            let stripped;
+            let resp = match resp {
+                Response::Output(r) if *bin_version < 2 && r.trace_id != 0 => {
+                    stripped = Response::Output(InferReply {
+                        trace_id: 0,
+                        ..r.clone()
+                    });
+                    &stripped
+                }
+                other => other,
+            };
+            wire::write_response(stream, resp, scratch)
+        }
     };
     if wrote.is_err() {
         metrics.protocol_errors.inc();
@@ -562,7 +583,12 @@ fn handle_request(
             // Deterministic (chunk-addressed noise) and small, so it runs
             // right here on the connection thread instead of competing
             // with whole-model batches for the banks.
-            let resp = match model.partial(req.layer, req.chunk_lo, req.chunk_hi, &req.codes) {
+            let t0 = Instant::now();
+            let result = model.partial(req.layer, req.chunk_lo, req.chunk_hi, &req.codes);
+            if let Some(ctx) = req.trace {
+                record_partial_trace(&ctx, &req, t0.elapsed(), result.is_err());
+            }
+            let resp = match result {
                 Ok(sums) => Response::PartialSum(PartialSumReply {
                     id: req.id,
                     layer: req.layer,
@@ -628,6 +654,7 @@ fn handle_request(
                 input: req.input,
                 enqueued: Instant::now(),
                 reply: Arc::clone(writer),
+                trace: req.trace,
             };
             match queue.try_enqueue(pending) {
                 Ok(()) => {
@@ -635,6 +662,16 @@ fn handle_request(
                 }
                 Err((rejected, why)) => {
                     metrics.shed.inc();
+                    if let Some(ctx) = rejected.trace {
+                        offer_trace(
+                            &ctx,
+                            "serve.request",
+                            0,
+                            imc_obs::SpanStatus::Shed,
+                            0,
+                            why.reason().to_owned(),
+                        );
+                    }
                     send(
                         writer,
                         &Response::Shed(ShedReply {
@@ -676,6 +713,7 @@ fn connection_loop(
         stream: write_half,
         dead: false,
         proto: Proto::Json,
+        bin_version: wire::VERSION,
         scratch: Vec::new(),
     }));
     // A read timeout lets the reader notice shutdown even on an idle
@@ -724,7 +762,7 @@ fn connection_loop(
             let mut w = writer
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if ver[0] != wire::VERSION {
+            if !(wire::MIN_VERSION..=wire::VERSION).contains(&ver[0]) {
                 // Reject: echo the magic with version 0, then close.
                 metrics.protocol_errors.inc();
                 let mut nack = [0u8; 5];
@@ -732,13 +770,17 @@ fn connection_loop(
                 let _ = std::io::Write::write_all(&mut w.stream, &nack);
                 return;
             }
+            // Accept by echoing the version the client offered — that
+            // offer governs whether trace blocks may appear on this
+            // connection, in both directions.
             let mut ack = [0u8; 5];
             ack[..4].copy_from_slice(&wire::MAGIC);
-            ack[4] = wire::VERSION;
+            ack[4] = ver[0];
             if std::io::Write::write_all(&mut w.stream, &ack).is_err() {
                 return;
             }
             w.proto = Proto::Bin;
+            w.bin_version = ver[0];
         }
         imc_obs::counter!(
             "imc_serve_bin_connections_total",
@@ -948,6 +990,63 @@ pub fn argmax_total(row: &[f32]) -> usize {
     best
 }
 
+/// Offers a one-span [`imc_obs::TraceRec`] under `ctx` — the shape every
+/// inline-answered path (shed, partial) records: root span parented on
+/// the upstream hop, wall time `dur_us`, status and energy as given.
+fn offer_trace(
+    ctx: &imc_obs::TraceContext,
+    name: &'static str,
+    dur_us: u64,
+    status: imc_obs::SpanStatus,
+    energy_pj: u64,
+    detail: String,
+) {
+    imc_obs::recorder().offer(imc_obs::TraceRec {
+        trace_id: ctx.trace_id,
+        sampled: ctx.sampled,
+        spans: vec![imc_obs::SpanRec {
+            span_id: imc_obs::next_span_id(),
+            parent_span: ctx.parent_span,
+            name,
+            service: "serve",
+            start_unix_us: imc_obs::unix_us().saturating_sub(dur_us),
+            dur_us,
+            status,
+            energy_pj,
+            detail,
+        }],
+    });
+}
+
+/// Records the trace of an inline partial-MAC execution (sharded-replica
+/// hop). Energy is stamped upstream by the fleet router's plan — the
+/// replica's span carries 0 so a stitched trace never double-counts.
+fn record_partial_trace(
+    ctx: &imc_obs::TraceContext,
+    req: &crate::protocol::PartialRequest,
+    dur: Duration,
+    failed: bool,
+) {
+    offer_trace(
+        ctx,
+        "serve.partial",
+        dur.as_micros() as u64,
+        if failed {
+            imc_obs::SpanStatus::Failed
+        } else {
+            imc_obs::SpanStatus::Ok
+        },
+        0,
+        format!(
+            "layer={} chunks={}..{} codes={}",
+            req.layer,
+            req.chunk_lo,
+            req.chunk_hi,
+            req.codes.len()
+        ),
+    );
+}
+
 /// Runs one batch on a bank: assemble the input tensor, execute with
 /// per-sample noise isolation, write each response, record latencies.
 fn execute_batch(
@@ -987,7 +1086,9 @@ fn execute_batch(
     if !service_delay.is_zero() {
         std::thread::sleep(service_delay);
     }
+    let tk = Instant::now();
     let logits = model.infer_batch(&x);
+    let kernel_us = tk.elapsed().as_micros() as u64;
     let service_us = t0.elapsed().as_micros() as u64;
     metrics.batch_latency.record(service_us);
     metrics.banks[bank].batches.inc();
@@ -1008,13 +1109,62 @@ fn execute_batch(
             batch: n,
             queue_us,
             service_us,
+            trace_id: req.trace.map_or(0, |t| t.trace_id),
         });
+        let total_us = req.enqueued.elapsed().as_micros() as u64;
+        if let Some(ctx) = req.trace {
+            // One record per traced request: the root `serve.request`
+            // span carries the analytical energy stamp (the one pricing
+            // point per logical inference), with queue wait and the
+            // tight kernel window as children.
+            let root = imc_obs::next_span_id();
+            let start = imc_obs::unix_us().saturating_sub(total_us);
+            imc_obs::recorder().offer(imc_obs::TraceRec {
+                trace_id: ctx.trace_id,
+                sampled: ctx.sampled,
+                spans: vec![
+                    imc_obs::SpanRec {
+                        span_id: root,
+                        parent_span: ctx.parent_span,
+                        name: "serve.request",
+                        service: "serve",
+                        start_unix_us: start,
+                        dur_us: total_us,
+                        status: imc_obs::SpanStatus::Ok,
+                        energy_pj: model.energy_per_inference_pj(),
+                        detail: format!("bank={bank} batch={n}"),
+                    },
+                    imc_obs::SpanRec {
+                        span_id: imc_obs::next_span_id(),
+                        parent_span: root,
+                        name: "serve.queue",
+                        service: "serve",
+                        start_unix_us: start,
+                        dur_us: queue_us,
+                        status: imc_obs::SpanStatus::Ok,
+                        energy_pj: 0,
+                        detail: String::new(),
+                    },
+                    imc_obs::SpanRec {
+                        span_id: imc_obs::next_span_id(),
+                        parent_span: root,
+                        name: "serve.kernel",
+                        service: "serve",
+                        start_unix_us: start + queue_us + (service_us - kernel_us),
+                        dur_us: kernel_us,
+                        status: imc_obs::SpanStatus::Ok,
+                        energy_pj: 0,
+                        detail: String::new(),
+                    },
+                ],
+            });
+        }
         // Count completion before the reply goes out: a client that
         // pipelines `Stats` right behind its answered `Infer` must see
         // the request already counted.
         metrics
             .request_latency
-            .record(req.enqueued.elapsed().as_micros() as u64);
+            .record_with_exemplar(total_us, req.trace.map_or(0, |t| t.trace_id));
         metrics.completed.inc();
         send(&req.reply, &resp, metrics);
     }

@@ -12,15 +12,36 @@
 //! A `BIN1` client opens its connection with a 5-byte hello:
 //!
 //! ```text
-//! 'B' 'I' 'N' '1'  version(=1)
+//! 'B' 'I' 'N' '1'  version(1|2)
 //! ```
 //!
 //! The server echoes the same 5 bytes to accept, or `BIN1` + `0x00`
-//! (then closes) for an unsupported version. A JSON client's first
-//! bytes are instead a big-endian frame length ≤
-//! [`MAX_FRAME_BYTES`] (16 MiB); `b"BIN1"` read as a big-endian u32 is
-//! ≈ 1.1 GiB, so the two openings can never be confused and JSON
-//! clients keep working untouched.
+//! (then closes) for an unsupported version. Servers accept any
+//! version in `[`[`MIN_VERSION`]`, `[`VERSION`]`]` and echo what the
+//! client offered; a new client whose version-2 hello is nacked by an
+//! old server redials offering version 1
+//! ([`client_handshake_offer`]). A JSON client's first bytes are
+//! instead a big-endian frame length ≤ [`MAX_FRAME_BYTES`] (16 MiB);
+//! `b"BIN1"` read as a big-endian u32 is ≈ 1.1 GiB, so the two
+//! openings can never be confused and JSON clients keep working
+//! untouched.
+//!
+//! # Trace context (version 2)
+//!
+//! Version 2 adds an *optional* trailing trace-context block to
+//! `Infer`/`Partial` requests and `Output` responses:
+//!
+//! ```text
+//! 0xC7  trace_id: u64 LE  parent_span: u64 LE  flags: u8
+//! ```
+//!
+//! Exactly [`CTX_BLOCK_LEN`] bytes, appended after the body when the
+//! message carries a trace (`flags` bit 0 = head-sampled). Decoders of
+//! *every* kind tolerate the block — if exactly 18 bytes remain after
+//! the positional fields and the first is `0xC7` they are consumed —
+//! so a context-bearing frame is never a [`WireError`] to a decoder
+//! that does not use it. Peers that negotiated version 1 never see the
+//! block: encoding paths strip trace fields first.
 //!
 //! # Frames
 //!
@@ -57,6 +78,8 @@
 
 use std::io::{self, Read, Write};
 
+use imc_obs::TraceContext;
+
 use crate::protocol::{
     BankStats, BusyReply, DescribeReply, FailedReply, InferReply, InferRequest, LatencySummary,
     PartialRequest, PartialSumReply, Request, Response, ShedReply, StatsReply, MAX_FRAME_BYTES,
@@ -66,7 +89,18 @@ use crate::protocol::{
 pub const MAGIC: [u8; 4] = *b"BIN1";
 
 /// Current protocol version, sent (and echoed) after [`MAGIC`].
-pub const VERSION: u8 = 1;
+/// Version 2 added the optional trailing trace-context block.
+pub const VERSION: u8 = 2;
+
+/// Oldest version servers still accept (frames without trace context).
+pub const MIN_VERSION: u8 = 1;
+
+/// Marker byte opening the optional trace-context block.
+pub const CTX_MARKER: u8 = 0xC7;
+
+/// Exact size of the trace-context block: marker + trace_id +
+/// parent_span + flags.
+pub const CTX_BLOCK_LEN: usize = 1 + 8 + 8 + 1;
 
 /// Which wire encoding a connection speaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -203,6 +237,14 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
+/// Appends the optional trace-context block (see module docs).
+fn put_ctx(buf: &mut Vec<u8>, trace_id: u64, parent_span: u64, sampled: bool) {
+    buf.push(CTX_MARKER);
+    put_u64(buf, trace_id);
+    put_u64(buf, parent_span);
+    buf.push(u8::from(sampled));
+}
+
 fn put_latency(buf: &mut Vec<u8>, l: &LatencySummary) {
     put_u64(buf, l.count);
     put_f64(buf, l.mean_us);
@@ -235,6 +277,9 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             begin_frame(buf, K_INFER);
             put_u64(buf, r.id);
             put_f32s(buf, &r.input);
+            if let Some(t) = &r.trace {
+                put_ctx(buf, t.trace_id, t.parent_span, t.sampled);
+            }
         }
         Request::Stats => begin_frame(buf, K_STATS),
         Request::Ping => begin_frame(buf, K_PING),
@@ -246,6 +291,9 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             put_usize(buf, r.chunk_lo);
             put_usize(buf, r.chunk_hi);
             put_f32s(buf, &r.codes);
+            if let Some(t) = &r.trace {
+                put_ctx(buf, t.trace_id, t.parent_span, t.sampled);
+            }
         }
         Request::Describe => begin_frame(buf, K_DESCRIBE),
     }
@@ -265,6 +313,9 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
             put_u64(buf, r.queue_us);
             put_u64(buf, r.service_us);
             put_f32s(buf, &r.logits);
+            if r.trace_id != 0 {
+                put_ctx(buf, r.trace_id, 0, false);
+            }
         }
         Response::Shed(r) => {
             begin_frame(buf, K_SHED);
@@ -413,6 +464,27 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    /// Consumes the optional trailing trace-context block if — and
+    /// only if — exactly [`CTX_BLOCK_LEN`] bytes remain and they open
+    /// with [`CTX_MARKER`]. Anything else leaves the cursor untouched,
+    /// so [`finish`](Cursor::finish) still rejects genuine trailing
+    /// garbage. Returns `None` when no block is present.
+    fn maybe_ctx(&mut self) -> Option<TraceContext> {
+        let rest = &self.b[self.pos..];
+        if rest.len() != CTX_BLOCK_LEN || rest[0] != CTX_MARKER {
+            return None;
+        }
+        let trace_id = u64::from_le_bytes(rest[1..9].try_into().unwrap());
+        let parent_span = u64::from_le_bytes(rest[9..17].try_into().unwrap());
+        let sampled = rest[17] & 1 != 0;
+        self.pos = self.b.len();
+        Some(TraceContext {
+            trace_id,
+            parent_span,
+            sampled,
+        })
+    }
+
     /// The body must be fully consumed — trailing bytes mean a framing
     /// bug or corruption, not padding.
     fn finish(self) -> Result<(), WireError> {
@@ -448,7 +520,8 @@ pub fn decode_request_reusing(body: &[u8], spare: &mut Vec<f32>) -> Result<Reque
             let id = c.u64()?;
             let mut input = std::mem::take(spare);
             c.f32s_into(&mut input)?;
-            Request::Infer(InferRequest { id, input })
+            let trace = c.maybe_ctx();
+            Request::Infer(InferRequest { id, input, trace })
         }
         K_STATS => Request::Stats,
         K_PING => Request::Ping,
@@ -459,10 +532,15 @@ pub fn decode_request_reusing(body: &[u8], spare: &mut Vec<f32>) -> Result<Reque
             chunk_lo: c.usize()?,
             chunk_hi: c.usize()?,
             codes: c.f32s()?,
+            trace: c.maybe_ctx(),
         }),
         K_DESCRIBE => Request::Describe,
         k => return Err(WireError::UnknownKind(k)),
     };
+    // Tolerate (and discard) a trace-context block on kinds that do not
+    // carry one in their struct — a newer peer's frame must decode, not
+    // error, here.
+    let _ = c.maybe_ctx();
     c.finish()?;
     Ok(req)
 }
@@ -475,15 +553,22 @@ pub fn decode_request_reusing(body: &[u8], spare: &mut Vec<f32>) -> Result<Reque
 pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
     let mut c = Cursor::new(body);
     let resp = match c.u8()? {
-        K_OUTPUT => Response::Output(InferReply {
-            id: c.u64()?,
-            class: c.u32()? as usize,
-            bank: c.u32()? as usize,
-            batch: c.u32()? as usize,
-            queue_us: c.u64()?,
-            service_us: c.u64()?,
-            logits: c.f32s()?,
-        }),
+        K_OUTPUT => {
+            let mut r = InferReply {
+                id: c.u64()?,
+                class: c.u32()? as usize,
+                bank: c.u32()? as usize,
+                batch: c.u32()? as usize,
+                queue_us: c.u64()?,
+                service_us: c.u64()?,
+                logits: c.f32s()?,
+                trace_id: 0,
+            };
+            if let Some(t) = c.maybe_ctx() {
+                r.trace_id = t.trace_id;
+            }
+            Response::Output(r)
+        }
         K_SHED => Response::Shed(ShedReply {
             id: c.u64()?,
             reason: c.string()?,
@@ -539,6 +624,8 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
         }),
         k => return Err(WireError::UnknownKind(k)),
     };
+    // As for requests: a context block on any kind is tolerated.
+    let _ = c.maybe_ctx();
     c.finish()?;
     Ok(resp)
 }
@@ -631,27 +718,41 @@ pub fn read_response<R: Read>(r: &mut R, arena: &mut Vec<u8>) -> io::Result<Opti
 
 /// Performs the client half of the `BIN1` handshake on a fresh
 /// connection: sends `MAGIC ‖ VERSION` and validates the server's
-/// 5-byte echo.
+/// 5-byte echo. Returns the negotiated version.
 ///
 /// If the server is at its connection cap it answers with a *JSON*
 /// `Busy` frame before reading anything; that opening is detected here
 /// and surfaced as `ConnectionRefused` so callers can tell
 /// backpressure from protocol failure.
 ///
+/// A pre-trace server nacks the version-2 hello
+/// (`WireError::UnsupportedVersion`); callers wanting interop redial
+/// and call [`client_handshake_offer`] with [`MIN_VERSION`].
+///
 /// # Errors
 ///
 /// I/O errors, version rejection, or an unrecognized server opening.
-pub fn client_handshake<S: Read + Write>(stream: &mut S) -> io::Result<()> {
+pub fn client_handshake<S: Read + Write>(stream: &mut S) -> io::Result<u8> {
+    client_handshake_offer(stream, VERSION)
+}
+
+/// [`client_handshake`] offering an explicit `version` — the downgrade
+/// path after an old server nacked the current version.
+///
+/// # Errors
+///
+/// I/O errors, version rejection, or an unrecognized server opening.
+pub fn client_handshake_offer<S: Read + Write>(stream: &mut S, version: u8) -> io::Result<u8> {
     let mut hello = [0u8; 5];
     hello[..4].copy_from_slice(&MAGIC);
-    hello[4] = VERSION;
+    hello[4] = version;
     stream.write_all(&hello)?;
     stream.flush()?;
     let mut ack = [0u8; 5];
     read_exact_or_eof(stream, &mut ack, false)?;
     if ack[..4] == MAGIC {
         return match ack[4] {
-            VERSION => Ok(()),
+            v if v == version => Ok(v),
             v => Err(WireError::UnsupportedVersion(v).into()),
         };
     }
@@ -689,10 +790,21 @@ mod tests {
             Request::Infer(InferRequest {
                 id: u64::MAX,
                 input: vec![0.0, -0.0, 1.5e-7, f32::MIN_POSITIVE, 0.1234567, 1.0],
+                trace: None,
             }),
             Request::Infer(InferRequest {
                 id: 0,
                 input: Vec::new(),
+                trace: None,
+            }),
+            Request::Infer(InferRequest {
+                id: 17,
+                input: vec![0.5, 0.25],
+                trace: Some(TraceContext {
+                    trace_id: 0xDEAD_BEEF_1234,
+                    parent_span: 42,
+                    sampled: true,
+                }),
             }),
             Request::Stats,
             Request::Ping,
@@ -703,6 +815,19 @@ mod tests {
                 chunk_lo: 12,
                 chunk_hi: 25,
                 codes: vec![0.0, 15.0, 7.0, 3.0, 1.0],
+                trace: None,
+            }),
+            Request::Partial(PartialRequest {
+                id: 32,
+                layer: 0,
+                chunk_lo: 0,
+                chunk_hi: 4,
+                codes: vec![1.0, 2.0],
+                trace: Some(TraceContext {
+                    trace_id: 7,
+                    parent_span: 0,
+                    sampled: false,
+                }),
             }),
             Request::Describe,
         ]
@@ -718,6 +843,7 @@ mod tests {
                 batch: 64,
                 queue_us: 1500,
                 service_us: 800,
+                trace_id: 0x5EED,
             }),
             Response::Shed(ShedReply {
                 id: 7,
@@ -827,9 +953,16 @@ mod tests {
         for resp in &sample_responses() {
             encode_response(resp, &mut buf);
             let body = &buf[4..];
+            let traced = matches!(resp, Response::Output(r) if r.trace_id != 0);
             for cut in 0..body.len() {
                 match decode_response(&body[..cut]) {
                     Err(WireError::Truncated) | Err(WireError::Malformed(_)) => {}
+                    // Cutting exactly the optional trace block yields
+                    // the valid *untraced* form of the same frame —
+                    // that is the compatibility contract, not a bug.
+                    Ok(Response::Output(v)) if traced && cut + CTX_BLOCK_LEN == body.len() => {
+                        assert_eq!(v.trace_id, 0);
+                    }
                     Ok(v) => panic!("cut {cut} of {resp:?} decoded as {v:?}"),
                     Err(e) => panic!("cut {cut} of {resp:?}: unexpected {e:?}"),
                 }
@@ -890,6 +1023,7 @@ mod tests {
             &Request::Infer(InferRequest {
                 id: 5,
                 input: vec![0.25; 16],
+                trace: None,
             }),
             &mut buf,
         );
@@ -906,30 +1040,32 @@ mod tests {
         assert!(spare.is_empty(), "spare was consumed");
     }
 
+    /// An in-memory peer that answers a canned byte sequence.
+    struct FakePeer {
+        reply: Vec<u8>,
+        pos: usize,
+    }
+    impl Read for FakePeer {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = (self.reply.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.reply[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+    impl Write for FakePeer {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn corrupt_magic_handshake_is_rejected() {
         // Server answers garbage that is neither a BIN1 ack nor a JSON
         // frame: 5 bytes that parse as an enormous BE length.
-        struct FakePeer {
-            reply: Vec<u8>,
-            pos: usize,
-        }
-        impl Read for FakePeer {
-            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-                let n = (self.reply.len() - self.pos).min(buf.len());
-                buf[..n].copy_from_slice(&self.reply[self.pos..self.pos + n]);
-                self.pos += n;
-                Ok(n)
-            }
-        }
-        impl Write for FakePeer {
-            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> io::Result<()> {
-                Ok(())
-            }
-        }
         let mut peer = FakePeer {
             reply: vec![0xff, 0xff, 0xff, 0xff, 0x00],
             pos: 0,
@@ -944,6 +1080,56 @@ mod tests {
         };
         let err = client_handshake(&mut peer).unwrap_err();
         assert!(err.to_string().contains("unsupported BIN1 version"));
+    }
+
+    #[test]
+    fn client_handshake_reports_negotiated_version() {
+        let mut peer = FakePeer {
+            reply: vec![b'B', b'I', b'N', b'1', VERSION],
+            pos: 0,
+        };
+        assert_eq!(client_handshake(&mut peer).unwrap(), VERSION);
+        // Downgrade path: after an old server nacked v2, redial with an
+        // explicit v1 offer; its echo negotiates v1.
+        let mut peer = FakePeer {
+            reply: vec![b'B', b'I', b'N', b'1', MIN_VERSION],
+            pos: 0,
+        };
+        assert_eq!(
+            client_handshake_offer(&mut peer, MIN_VERSION).unwrap(),
+            MIN_VERSION
+        );
+    }
+
+    #[test]
+    fn trace_context_block_round_trips_and_is_tolerated() {
+        // Traced Infer/Partial/Output round trips are covered by the
+        // samples; here: a context block appended to kinds that do not
+        // carry one must decode cleanly (never a WireError).
+        let mut ctx_block = vec![CTX_MARKER];
+        ctx_block.extend_from_slice(&99u64.to_le_bytes());
+        ctx_block.extend_from_slice(&0u64.to_le_bytes());
+        ctx_block.push(1);
+        assert_eq!(ctx_block.len(), CTX_BLOCK_LEN);
+
+        let mut buf = Vec::new();
+        encode_request(&Request::Ping, &mut buf);
+        let mut body = buf[4..].to_vec();
+        body.extend_from_slice(&ctx_block);
+        assert_eq!(decode_request(&body), Ok(Request::Ping));
+
+        encode_response(&Response::Pong, &mut buf);
+        let mut body = buf[4..].to_vec();
+        body.extend_from_slice(&ctx_block);
+        assert_eq!(decode_response(&body), Ok(Response::Pong));
+
+        // A *partial* block is still trailing garbage, typed as such.
+        let mut body = buf[4..].to_vec();
+        body.extend_from_slice(&[CTX_MARKER, 1, 2, 3]);
+        assert!(matches!(
+            decode_response(&body),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

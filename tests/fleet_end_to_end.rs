@@ -398,3 +398,137 @@ fn four_replica_fleet_throughput_and_bit_exactness() {
         stop(r);
     }
 }
+
+/// The tracing tentpole, end to end: one traced request through a
+/// 2-shard fleet must come back carrying its `trace_id`, and the
+/// shared flight recorder (router and replicas are in-process, so they
+/// offer to the same one) must hold a stitchable trace — a
+/// `fleet.request` root, a `fleet.partial` hop per shard, and a
+/// replica-side `serve.partial` span nested under each — stamped with
+/// the `imc-cost` analytical energy for the whole inference.
+#[test]
+fn traced_request_stitches_across_router_and_both_shards() {
+    let design = ImcDesign::ChgFe;
+    let replicas: Vec<ServerHandle> = (0..2).map(|i| shard_replica(design, i, 2)).collect();
+    let addrs: Vec<String> = replicas.iter().map(|r| r.addr().to_string()).collect();
+    let plan = FleetPlan::synthetic(design, DEFAULT_SEED, 2).expect("plan");
+    let (router, admission) =
+        serve_fleet("127.0.0.1:0", plan, &addrs, fast_retry()).expect("bind router");
+    assert!(admission.is_empty(), "clean admission: {admission:?}");
+
+    let mut client = Client::connect_with(
+        router.addr().to_string().as_str(),
+        ClientConfig {
+            proto: Proto::Bin,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+
+    // A known root context; sampled so head sampling can't drop it.
+    let ctx = imc_obs::TraceContext {
+        trace_id: imc_obs::next_span_id(),
+        parent_span: 0,
+        sampled: true,
+    };
+    let input = test_input(1);
+    match client
+        .infer_traced(0x7ACE, input, Some(ctx))
+        .expect("traced infer")
+    {
+        Response::Output(r) => {
+            assert_eq!(r.id, 0x7ACE);
+            assert_eq!(
+                r.trace_id, ctx.trace_id,
+                "reply must echo the request's trace id"
+            );
+        }
+        other => panic!("expected Output, got {other:?}"),
+    }
+
+    // Everything this request touched ran in-process, so its records
+    // are already in the global recorder (offered before each hop
+    // replied). Other tests share the ring; filter by our trace id.
+    let spans: Vec<imc_obs::SpanRec> = imc_obs::recorder()
+        .snapshot()
+        .into_iter()
+        .filter(|t| t.trace_id == ctx.trace_id)
+        .flat_map(|t| t.spans)
+        .collect();
+
+    let roots: Vec<&imc_obs::SpanRec> =
+        spans.iter().filter(|s| s.name == "fleet.request").collect();
+    assert_eq!(roots.len(), 1, "exactly one router root span: {spans:?}");
+    let root = roots[0];
+    assert_eq!(root.service, "fleet");
+    assert_eq!(
+        root.parent_span, 0,
+        "client sent parent 0, the router must keep it"
+    );
+
+    // One fleet.partial per (shard, MAC layer), parented on the root,
+    // covering both shards.
+    let partials: Vec<&imc_obs::SpanRec> =
+        spans.iter().filter(|s| s.name == "fleet.partial").collect();
+    assert!(
+        partials.len() >= 2,
+        "at least one partial hop per shard: {partials:?}"
+    );
+    for p in &partials {
+        assert_eq!(p.parent_span, root.span_id, "partials nest under the root");
+    }
+    for shard in 0..2 {
+        assert!(
+            partials
+                .iter()
+                .any(|p| p.detail.contains(&format!("shard={shard} "))),
+            "shard {shard} missing from partial hops: {partials:?}"
+        );
+    }
+
+    // Each replica recorded its own serve.partial nested under the
+    // fleet.partial hop that called it — the cross-process stitch edge.
+    let serve_spans: Vec<&imc_obs::SpanRec> =
+        spans.iter().filter(|s| s.name == "serve.partial").collect();
+    assert!(
+        serve_spans.len() >= 2,
+        "both shard replicas must record their hop: {serve_spans:?}"
+    );
+    let partial_ids: Vec<u64> = partials.iter().map(|p| p.span_id).collect();
+    let mut parents: Vec<u64> = Vec::new();
+    for s in &serve_spans {
+        assert_eq!(s.service, "serve");
+        assert!(
+            partial_ids.contains(&s.parent_span),
+            "serve.partial parents a fleet.partial span: {s:?}"
+        );
+        if !parents.contains(&s.parent_span) {
+            parents.push(s.parent_span);
+        }
+    }
+    assert!(
+        parents.len() >= 2,
+        "replica spans must hang off distinct router hops"
+    );
+
+    // The energy stamp: exactly one span (the root) is priced, and its
+    // value is the imc-cost closed-form inference energy the plan (and
+    // the single-node model) carries — within 1%.
+    let expect_pj = ServeModel::synthetic(design, DEFAULT_SEED).energy_per_inference_pj();
+    assert!(expect_pj > 0, "analytical energy model prices the net");
+    let total_pj: u64 = spans.iter().map(|s| s.energy_pj).sum();
+    let err = (total_pj as f64 - expect_pj as f64).abs() / expect_pj as f64;
+    assert!(
+        err < 0.01,
+        "per-trace energy {total_pj} pJ vs imc-cost {expect_pj} pJ (rel err {err:.4})"
+    );
+    assert_eq!(
+        root.energy_pj, total_pj,
+        "the root carries the whole stamp; hops stay at 0"
+    );
+
+    router.shutdown();
+    for r in replicas {
+        stop(r);
+    }
+}

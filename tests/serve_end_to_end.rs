@@ -57,6 +57,7 @@ fn batched_responses_are_bit_identical_to_direct_execution() {
             .send(&Request::Infer(InferRequest {
                 id,
                 input: test_input(id as usize),
+                trace: None,
             }))
             .expect("send");
     }
@@ -142,6 +143,7 @@ fn bin1_and_json_clients_interoperate_bit_exactly_on_one_server() {
         bin.send(&Request::Infer(InferRequest {
             id,
             input: test_input(id as usize),
+            trace: None,
         }))
         .expect("bin send");
     }
@@ -180,6 +182,7 @@ fn bin1_and_json_clients_interoperate_bit_exactly_on_one_server() {
     bin.send(&Request::Infer(InferRequest {
         id: 200,
         input: vec![0.25; 5],
+        trace: None,
     }))
     .expect("bin send bad");
     match bin.recv().expect("recv").expect("open") {
@@ -256,6 +259,7 @@ fn queue_overflow_sheds_explicitly_and_answers_every_request() {
             .send(&Request::Infer(InferRequest {
                 id,
                 input: test_input(0),
+                trace: None,
             }))
             .expect("send");
     }
@@ -380,6 +384,7 @@ fn malformed_and_mis_sized_requests_get_error_responses() {
         .send(&Request::Infer(InferRequest {
             id: 1,
             input: vec![0.5; 3],
+            trace: None,
         }))
         .expect("send");
     match client.recv().expect("recv").expect("open") {

@@ -26,7 +26,7 @@ proptest! {
         id in any::<u64>(),
         input in proptest::collection::vec(0.0f32..=1.0, 1..64),
     ) {
-        let req = Request::Infer(InferRequest { id, input });
+        let req = Request::Infer(InferRequest { id, input, trace: None });
         let buf = frame(&req);
         let bin = wire::decode_request(&buf[4..]).expect("bin decode");
         prop_assert_eq!(&bin, &req);
@@ -61,6 +61,7 @@ proptest! {
             batch,
             queue_us: u64::from(queue_us),
             service_us: u64::from(service_us),
+            trace_id: 0,
         });
         let mut buf = Vec::new();
         wire::encode_response(&resp, &mut buf);
@@ -85,7 +86,7 @@ proptest! {
         input in proptest::collection::vec(0.0f32..=1.0, 1..32),
         cut_frac in 0.0f64..1.0,
     ) {
-        let buf = frame(&Request::Infer(InferRequest { id, input }));
+        let buf = frame(&Request::Infer(InferRequest { id, input, trace: None }));
         let body = &buf[4..];
         // Any strict prefix, including the empty body.
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
