@@ -63,6 +63,15 @@
 //! forced panic came back as a typed `Failed`, and a direct ping after
 //! the storm still answers. Requires the in-process server (no
 //! `--addr`), so the sentinel and fault plan are actually in place.
+//!
+//! `--swap-image PATH` exercises the live lifecycle: a control client
+//! hot-swaps the server to the chip image at PATH mid-run
+//! (`--swap-after-ms`, default half the run) while the load connections
+//! keep hammering. Verification then accepts a response if it is
+//! bit-exact against *either* the pre-swap oracle or the post-swap one
+//! — anything else (a blend, a torn read) is still `incorrect` and a
+//! non-zero exit. The report carries the swap's version, flip pause,
+//! and how many responses matched the swapped image.
 
 use std::collections::HashMap;
 use std::io::Read;
@@ -120,6 +129,11 @@ struct Args {
     /// Extra obs endpoints to scrape `GET /traces` from for
     /// `--trace-slowest` — the `--obs-addr` of each external server.
     trace_addrs: Vec<String>,
+    /// Hot-swap the server to this chip image mid-run (server-side
+    /// path; `None` = no swap).
+    swap_image: Option<String>,
+    /// Delay before the swap request (0 = half the run duration).
+    swap_after_ms: u64,
 }
 
 /// The chaos fail-point: no generated input starts with this value (the
@@ -167,7 +181,8 @@ fn parse_args() -> Result<Args, String> {
                  \x20              [--out PATH] [--smoke] [--stop-server] [--obs-addr HOST:PORT]\n\
                  \x20              [--chaos] [--chaos-seed N] [--proto json|bin]\n\
                  \x20              [--fleet N] [--shards N] [--kill-replica-ms N]\n\
-                 \x20              [--trace-slowest N] [--trace-addr HOST:PORT ...]";
+                 \x20              [--trace-slowest N] [--trace-addr HOST:PORT ...]\n\
+                 \x20              [--swap-image PATH] [--swap-after-ms N]";
     let mut args = Args {
         addrs: Vec::new(),
         obs_addr: None,
@@ -188,6 +203,8 @@ fn parse_args() -> Result<Args, String> {
         kill_replica_ms: 0,
         trace_slowest: 0,
         trace_addrs: Vec::new(),
+        swap_image: None,
+        swap_after_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -251,6 +268,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--trace-slowest: {e}"))?;
             }
             "--trace-addr" => args.trace_addrs.push(value("--trace-addr")?),
+            "--swap-image" => args.swap_image = Some(value("--swap-image")?),
+            "--swap-after-ms" => {
+                args.swap_after_ms = value("--swap-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("--swap-after-ms: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{usage}")),
         }
@@ -282,6 +305,16 @@ fn parse_args() -> Result<Args, String> {
     }
     if !args.trace_addrs.is_empty() && args.trace_slowest == 0 {
         return Err("--trace-addr only matters with --trace-slowest".to_owned());
+    }
+    if args.swap_image.is_some() {
+        if args.fleet > 0 || args.chaos {
+            return Err(
+                "--swap-image drives a single server's control path; drop --fleet/--chaos"
+                    .to_owned(),
+            );
+        }
+    } else if args.swap_after_ms > 0 {
+        return Err("--swap-after-ms requires --swap-image".to_owned());
     }
     Ok(args)
 }
@@ -319,6 +352,14 @@ struct Report {
     fleet_replicas: usize,
     /// Shards the fleet model was split into (0 = no fleet).
     fleet_shards: usize,
+    /// Image version after a `--swap-image` run (0 = no swap).
+    swap_version: u64,
+    /// Microseconds the swap held the model write lock (the only window
+    /// where new batches wait).
+    swap_pause_us: u64,
+    /// Completed responses that matched the *swapped* oracle (ties with
+    /// the pre-swap oracle count as pre-swap).
+    swap_matched: u64,
     p50_us: u64,
     p95_us: u64,
     p99_us: u64,
@@ -335,6 +376,9 @@ struct ConnResult {
     incorrect: u64,
     failed: u64,
     busy: u64,
+    /// Completed responses that bit-matched the post-swap oracle
+    /// (subset of `completed`; only populated under `--swap-image`).
+    swap_matched: u64,
     /// Sent requests still awaiting an answer when the post-send drain
     /// window expired — the server may yet have answered them after we
     /// stopped listening.
@@ -456,6 +500,7 @@ fn run_connection(
     duration: Duration,
     inputs: &Arc<Vec<Vec<f32>>>,
     expected: &Arc<Vec<Vec<f32>>>,
+    swap_expected: &Arc<Option<Vec<Vec<f32>>>>,
     global_sent: &AtomicU64,
     proto: Proto,
 ) -> Result<ConnResult, String> {
@@ -601,14 +646,25 @@ fn run_connection(
                     res.latencies_us.push(sent.at.elapsed().as_micros() as u64);
                     offer_client_trace(&sent, imc_obs::SpanStatus::Ok, conn_idx);
                 }
-                let exp = &expected[(r.id as usize) % INPUT_POOL];
-                let bits_equal = r.logits.len() == exp.len()
-                    && r.logits
-                        .iter()
-                        .zip(exp.iter())
-                        .all(|(a, b)| a.to_bits() == b.to_bits());
-                if bits_equal {
+                let bits_equal = |exp: &[f32]| {
+                    r.logits.len() == exp.len()
+                        && r.logits
+                            .iter()
+                            .zip(exp.iter())
+                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                };
+                let pool_idx = (r.id as usize) % INPUT_POOL;
+                if bits_equal(&expected[pool_idx]) {
                     res.completed += 1;
+                } else if (**swap_expected)
+                    .as_ref()
+                    .is_some_and(|v| bits_equal(&v[pool_idx]))
+                {
+                    // Mid-swap runs are two-oracle: a response priced by
+                    // the swapped image is just as correct — but never a
+                    // blend of the two.
+                    res.completed += 1;
+                    res.swap_matched += 1;
                 } else {
                     res.incorrect += 1;
                 }
@@ -726,6 +782,27 @@ fn main() -> ExitCode {
     let expected: Arc<Vec<Vec<f32>>> =
         Arc::new(inputs.iter().map(|x| oracle.infer_one(x)).collect());
 
+    // With --swap-image, a second oracle: the image the server will be
+    // flipped to mid-run. Responses must bit-match one of the two.
+    let swap_expected: Arc<Option<Vec<Vec<f32>>>> = Arc::new(match &args.swap_image {
+        Some(path) => {
+            eprintln!("loadgen: building post-swap oracle from image {path}...");
+            let m = match ServeModel::from_image(path, None) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("loadgen: swap oracle: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if m.input_features() != oracle.input_features() || m.classes() != oracle.classes() {
+                eprintln!("loadgen: swap image shape differs from the serving model");
+                return ExitCode::FAILURE;
+            }
+            Some(inputs.iter().map(|x| m.infer_one(x)).collect())
+        }
+        None => None,
+    });
+
     // Target(s): external servers (round-robin over every --addr), an
     // in-process fleet (replicas behind a router), or a single
     // in-process server on an ephemeral port (same oracle weights).
@@ -838,6 +915,35 @@ fn main() -> ExitCode {
     // Mid-load replica kill: hard-stop the first fleet replica after the
     // requested delay. The router must fail over — retries are fine,
     // wrong answers are not (replicas-per-shard >= 2 checked at parse).
+    // Mid-load hot swap: a control client flips the server to the new
+    // image while the load connections keep sending. The control path
+    // dials the direct server address (never a chaos proxy — excluded
+    // at parse time).
+    let swap_thread = args.swap_image.clone().map(|path| {
+        let addr = server_addr.clone();
+        let delay = if args.swap_after_ms > 0 {
+            Duration::from_millis(args.swap_after_ms)
+        } else {
+            Duration::from_secs_f64(args.duration_s / 2.0)
+        };
+        let proto = args.proto;
+        std::thread::spawn(move || -> Result<imc_serve::SwapDoneReply, String> {
+            std::thread::sleep(delay);
+            let cfg = ClientConfig {
+                proto,
+                ..ClientConfig::default()
+            };
+            let mut c =
+                Client::connect_with(&addr, cfg).map_err(|e| format!("swap connect: {e}"))?;
+            let d = c.swap_image(&path).map_err(|e| format!("swap: {e}"))?;
+            eprintln!(
+                "loadgen: hot-swapped to {path} (version {}, digest {:#018x}, pause {}us)",
+                d.version, d.digest, d.pause_us
+            );
+            Ok(d)
+        })
+    });
+
     let kill_thread = if args.kill_replica_ms > 0 {
         let victim = replica_handles.remove(0);
         let delay = Duration::from_millis(args.kill_replica_ms);
@@ -869,6 +975,7 @@ fn main() -> ExitCode {
                 let addr = targets[c % targets.len()].as_str();
                 let inputs = &inputs;
                 let expected = &expected;
+                let swap_expected = &swap_expected;
                 let global_sent = &global_sent;
                 s.spawn(move || {
                     run_connection(
@@ -879,6 +986,7 @@ fn main() -> ExitCode {
                         duration,
                         inputs,
                         expected,
+                        swap_expected,
                         global_sent,
                         args.proto,
                     )
@@ -899,6 +1007,7 @@ fn main() -> ExitCode {
     let mut incorrect = 0u64;
     let mut failed = 0u64;
     let mut busy = 0u64;
+    let mut swap_matched = 0u64;
     let mut in_flight_at_stop = 0u64;
     let mut dropped = 0u64;
     let mut last_done: Option<Instant> = None;
@@ -914,6 +1023,7 @@ fn main() -> ExitCode {
                 incorrect += c.incorrect;
                 failed += c.failed;
                 busy += c.busy;
+                swap_matched += c.swap_matched;
                 in_flight_at_stop += c.in_flight_at_stop;
                 dropped += c.dropped;
                 last_done = last_done.max(c.last_response);
@@ -958,6 +1068,25 @@ fn main() -> ExitCode {
 
     if let Some(k) = kill_thread {
         let _ = k.join();
+    }
+
+    // The swap thread must have flipped the image cleanly: a rejected
+    // or failed swap fails the run even if every response verified
+    // (the lifecycle is the thing under test).
+    let mut swap_ok = true;
+    let mut swap_version = 0u64;
+    let mut swap_pause_us = 0u64;
+    if let Some(t) = swap_thread {
+        match t.join().expect("swap thread panicked") {
+            Ok(d) => {
+                swap_version = d.version;
+                swap_pause_us = d.pause_us;
+            }
+            Err(e) => {
+                eprintln!("loadgen: swap FAILED: {e}");
+                swap_ok = false;
+            }
+        }
     }
 
     // Slowest-trace waterfalls, while every external obs endpoint is
@@ -1050,6 +1179,9 @@ fn main() -> ExitCode {
         },
         fleet_replicas: args.fleet,
         fleet_shards: if args.fleet > 0 { args.shards } else { 0 },
+        swap_version,
+        swap_pause_us,
+        swap_matched,
         p50_us: quantile(&lat, 0.50),
         p95_us: quantile(&lat, 0.95),
         p99_us: quantile(&lat, 0.99),
@@ -1110,7 +1242,7 @@ fn main() -> ExitCode {
     let verified_ok = if args.chaos {
         incorrect == 0 && completed > 0 && chaos_ok
     } else {
-        incorrect == 0 && errors == 0 && conn_failures == 0
+        incorrect == 0 && errors == 0 && conn_failures == 0 && swap_ok
     };
     if args.smoke {
         if verified_ok && completed > 0 {

@@ -94,8 +94,9 @@ struct CompileSnapshot {
     programmed_cells_per_s: f64,
     /// Total ISPP pulses issued.
     ispp_pulses: u64,
-    /// Manifest oracle agreement of the compiled image.
-    oracle_agreement: f64,
+    /// Manifest oracle agreement of the compiled image (`None` = no
+    /// probes ran).
+    oracle_agreement: Option<f64>,
 }
 
 /// The observability snapshot written to `BENCH_pr4.json` — built from
@@ -323,6 +324,155 @@ fn pr9_snapshot() -> Pr9Snapshot {
         overhead_frac: 1.0 - traced / untraced,
         traces_kept: imc_obs::recorder().snapshot().len(),
         bit_exact,
+    }
+}
+
+/// The lifecycle snapshot written to `BENCH_pr10.json` — the three live
+/// paths this PR ships, timed together: serial vs pooled ISPP
+/// programming (bit-identical images), a delta recompile against the
+/// just-written image (touched fraction 0 = perfect no-op), and a
+/// mid-load hot swap (write-lock pause plus two-oracle bit-exactness).
+#[derive(Serialize)]
+struct Pr10Snapshot {
+    /// Worker-pool width in effect.
+    threads: usize,
+    /// Compiled architecture.
+    arch: String,
+    /// Cells physically programmed per compile (stride-subsampled).
+    programmed_cells: u64,
+    /// Programming-pass wall time, serial baseline.
+    serial_program_s: f64,
+    /// Programming-pass wall time on the worker pool.
+    parallel_program_s: f64,
+    /// `serial / parallel` (≈1 on a single-core box).
+    program_speedup: f64,
+    /// Pooled cells/s, the compile throughput headline.
+    parallel_cells_per_s: f64,
+    /// The pooled image equals the serial one bit for bit.
+    program_bit_identical: bool,
+    /// Delta recompile of the unchanged checkpoint: fraction of cells
+    /// re-pulsed (must be 0.0).
+    delta_touched_fraction: f64,
+    /// Wall time of the delta recompile (placement reused, ISPP skipped).
+    delta_compile_s: f64,
+    /// Requests answered across the swap run.
+    swap_responses: u64,
+    /// Every response bit-matched the pre- or post-swap oracle.
+    swap_bit_exact: bool,
+    /// Image version after the flip (2 = one swap).
+    swap_version: u64,
+    /// Microseconds the swap held the model write lock.
+    swap_pause_us: u64,
+}
+
+/// Times the lifecycle for `BENCH_pr10.json`.
+fn pr10_snapshot() -> Pr10Snapshot {
+    let arch = MlpArch {
+        features: 256,
+        hidden: 32,
+        classes: 10,
+    };
+    let mut opts = CompileOptions::new(arch, neural::imc_exec::ImcDesign::ChgFe);
+    opts.program.stride = 4;
+    opts.probe_count = 32;
+
+    // Serial vs pooled ISPP over the same work list: the images must be
+    // bit-identical, only the wall time may differ.
+    let mut serial_opts = opts.clone();
+    serial_opts.program.force_serial = true;
+    let mut ledger = WearLedger::fresh(opts.geometry.banks);
+    let serial_out = compile(&serial_opts, &mut ledger).expect("serial compile");
+    let mut ledger = WearLedger::fresh(opts.geometry.banks);
+    let parallel_out = compile(&opts, &mut ledger).expect("parallel compile");
+    let program_bit_identical = serial_out.image == parallel_out.image;
+
+    // Delta recompile against the image just written: same checkpoint,
+    // so no cell may be touched and programming is skipped entirely.
+    let base_path = std::env::temp_dir().join("perfsnap_pr10_base.chip.json");
+    let base_path = base_path.to_string_lossy().into_owned();
+    parallel_out
+        .image
+        .save(&base_path)
+        .expect("base image saves");
+    let mut delta_opts = opts.clone();
+    delta_opts.base = Some(base_path.clone());
+    let mut ledger = WearLedger::fresh(opts.geometry.banks);
+    let t0 = Instant::now();
+    let delta_out = compile(&delta_opts, &mut ledger).expect("delta compile");
+    let delta_compile_s = t0.elapsed().as_secs_f64();
+    let delta = delta_out
+        .image
+        .manifest
+        .delta
+        .expect("delta stats recorded");
+
+    // Hot swap under load: serve the base image, hammer it from a
+    // client, flip to a reseeded image halfway, verify every answer
+    // against whichever oracle it was priced by.
+    let mut swap_opts = opts.clone();
+    swap_opts.weight_seed ^= 0xBEEF;
+    let mut ledger = WearLedger::fresh(opts.geometry.banks);
+    let swap_out = compile(&swap_opts, &mut ledger).expect("swap-target compile");
+    let swap_path = std::env::temp_dir().join("perfsnap_pr10_swap.chip.json");
+    let swap_path = swap_path.to_string_lossy().into_owned();
+    swap_out.image.save(&swap_path).expect("swap image saves");
+
+    let oracle_a = ServeModel::from_image(&base_path, None).expect("oracle A");
+    let oracle_b = ServeModel::from_image(&swap_path, None).expect("oracle B");
+    let input: Vec<f32> = (0..oracle_a.input_features())
+        .map(|i| (i % 17) as f32 / 17.0)
+        .collect();
+    let expect_a = oracle_a.infer_one(&input);
+    let expect_b = oracle_b.infer_one(&input);
+
+    let serving = ServeModel::from_image(&base_path, None).expect("serving model");
+    let handle =
+        serve("127.0.0.1:0", Arc::new(serving), &ServeConfig::default()).expect("bind swap server");
+    let mut client = Client::connect(handle.addr().to_string().as_str()).expect("connect");
+    let n = 200u64;
+    let mut swap_bit_exact = true;
+    let mut swap_done = None;
+    for id in 0..n {
+        if id == n / 2 {
+            swap_done = Some(handle.swap_model(&swap_path).expect("swap succeeds"));
+        }
+        match client.infer(id, input.clone()).expect("infer") {
+            Response::Output(r) => {
+                let eq = |e: &[f32]| {
+                    r.logits.len() == e.len()
+                        && r.logits
+                            .iter()
+                            .zip(e)
+                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                };
+                if !eq(&expect_a) && !eq(&expect_b) {
+                    swap_bit_exact = false;
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    let swap_done = swap_done.expect("swap ran");
+    handle.shutdown_flag().trigger();
+    handle.join();
+
+    Pr10Snapshot {
+        threads: par_exec::threads(),
+        arch: format!("{}x{}x{}", arch.features, arch.hidden, arch.classes),
+        programmed_cells: parallel_out.totals.cells,
+        serial_program_s: serial_out.timings.programming_s,
+        parallel_program_s: parallel_out.timings.programming_s,
+        program_speedup: serial_out.timings.programming_s
+            / parallel_out.timings.programming_s.max(1e-12),
+        parallel_cells_per_s: parallel_out.totals.cells as f64
+            / parallel_out.timings.programming_s.max(1e-12),
+        program_bit_identical,
+        delta_touched_fraction: delta.touched_fraction,
+        delta_compile_s,
+        swap_responses: n,
+        swap_bit_exact,
+        swap_version: swap_done.version,
+        swap_pause_us: swap_done.pause_us,
     }
 }
 
@@ -745,6 +895,9 @@ fn main() {
     let pr9_out_path = std::env::args()
         .nth(7)
         .unwrap_or_else(|| "BENCH_pr9.json".to_owned());
+    let pr10_out_path = std::env::args()
+        .nth(8)
+        .unwrap_or_else(|| "BENCH_pr10.json".to_owned());
     let ccfg = CurFeConfig::paper();
     let qcfg = ChgFeConfig::paper();
 
@@ -879,5 +1032,24 @@ fn main() {
     std::fs::write(&pr9_out_path, format!("{json}\n")).expect("write pr9 snapshot");
     println!("{json}");
     println!("\nwrote {pr9_out_path}");
+
+    // --- live lifecycle: parallel ISPP, delta recompile, hot swap -------
+    let lsnap = pr10_snapshot();
+    assert!(
+        lsnap.program_bit_identical,
+        "pooled ISPP diverged from serial"
+    );
+    assert!(
+        lsnap.swap_bit_exact,
+        "a swapped answer matched neither oracle"
+    );
+    assert_eq!(
+        lsnap.delta_touched_fraction, 0.0,
+        "no-op delta recompile touched cells"
+    );
+    let json = serde_json::to_string_pretty(&lsnap).expect("pr10 snapshot serializes");
+    std::fs::write(&pr10_out_path, format!("{json}\n")).expect("write pr10 snapshot");
+    println!("{json}");
+    println!("\nwrote {pr10_out_path}");
     imc_obs::print_summary_if_env();
 }

@@ -30,6 +30,9 @@ commands:
                          between stuck-on and stuck-off; default 0)
     --fault-seed N       fault-map seed (default 42)
     --no-remap           skip relocation/clamping (ablation baseline)
+    --base PATH          incremental compile: diff against this image,
+                         reprogram only changed cells, reuse placement
+    --serial             run ISPP programming serially (benchmark baseline)
     --stride N           program every N-th cell (default 1 = all)
     --probes N           probe-set size (default 64)
     --wear-ledger PATH   persistent per-bank wear ledger (JSON)
@@ -140,6 +143,8 @@ fn cmd_compile(mut f: Flags) -> Result<(), String> {
     };
     opts.fault_seed = f.seed("--fault-seed", 42)?;
     opts.remap = !f.switch("--no-remap");
+    opts.base = f.take("--base")?;
+    opts.program.force_serial = f.switch("--serial");
     opts.program.stride = f.parsed("--stride", 1usize)?;
     if opts.program.stride == 0 {
         return Err("--stride must be at least 1".into());
@@ -210,13 +215,29 @@ fn cmd_compile(mut f: Flags) -> Result<(), String> {
             |s| format!("{:.1} days", s / 86_400.0)
         )
     );
+    if let Some(d) = &m.delta {
+        println!(
+            "  delta        base {:#018x}: {} of {} cells touched ({:.2}%), {} tiles reprogrammed",
+            d.base_digest,
+            d.touched_cells,
+            d.total_cells,
+            d.touched_fraction * 100.0,
+            d.reprogrammed_tiles
+        );
+    }
     println!(
-        "  predict     {:>9.3} ms  oracle agreement {:.3} (expected accuracy delta {:.3})",
+        "  predict     {:>9.3} ms  oracle agreement {} (noise flip rate {})",
         t.predict_s * 1e3,
-        m.oracle_agreement,
-        m.expected_accuracy_delta
+        fmt_score(m.oracle_agreement),
+        fmt_score(m.noise_flip_rate)
     );
     Ok(())
+}
+
+/// Renders an optional predict-pass score; `None` prints as unmeasured
+/// rather than masquerading as a perfect 1.0.
+fn fmt_score(v: Option<f64>) -> String {
+    v.map_or_else(|| "unmeasured (no probes)".into(), |x| format!("{x:.3}"))
 }
 
 fn cmd_inspect(mut f: Flags) -> Result<(), String> {
@@ -273,9 +294,22 @@ fn cmd_inspect(mut f: Flags) -> Result<(), String> {
         }
     }
     println!(
-        "  probes: {} (seed {:#x}), oracle agreement {:.3}, expected accuracy delta {:.3}",
-        m.probe_count, m.probe_seed, m.oracle_agreement, m.expected_accuracy_delta
+        "  probes: {} (seed {:#x}), oracle agreement {}, noise flip rate {}",
+        m.probe_count,
+        m.probe_seed,
+        fmt_score(m.oracle_agreement),
+        fmt_score(m.noise_flip_rate)
     );
+    if let Some(d) = &m.delta {
+        println!(
+            "  delta: base {:#018x}, {} of {} cells touched ({:.2}%), {} tiles",
+            d.base_digest,
+            d.touched_cells,
+            d.total_cells,
+            d.touched_fraction * 100.0,
+            d.reprogrammed_tiles
+        );
+    }
     let pp = img.prepack().map_err(|e| e.to_string())?;
     println!(
         "  prepack: {} MAC layers, {} chunks, {} packed u64 words ({} B resident)",

@@ -16,8 +16,11 @@ use serde::{Deserialize, Serialize};
 
 /// Current on-disk format version; bumped on breaking manifest changes.
 /// v2 added the physical [`MacroGeometry`] block the analytical cost
-/// model prices (`imc-cost`, DESIGN §15).
-pub const IMAGE_FORMAT_VERSION: u32 = 2;
+/// model prices (`imc-cost`, DESIGN §15). v3 made the predict-pass
+/// scores `Option` (empty probe sets no longer report a vacuous 1.0),
+/// added the noise-flip rate, and added [`DeltaStats`] for incremental
+/// (`--base`) compiles (DESIGN §17).
+pub const IMAGE_FORMAT_VERSION: u32 = 3;
 
 /// The MLP architecture a chip image carries (the serving default shape).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -316,6 +319,24 @@ pub struct RefreshEntry {
     pub first_refresh_s: Option<f64>,
 }
 
+/// What an incremental (`--base`) compile touched, relative to the base
+/// image it was diffed against (DESIGN §17). `None` in the manifest
+/// means the image came from a full compile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeltaStats {
+    /// [`ChipImage::digest`] of the base image the diff ran against.
+    pub base_digest: u64,
+    /// Physical cells whose stored bit changed and were re-pulsed.
+    pub touched_cells: u64,
+    /// Total physical cells the model occupies (8 per weight).
+    pub total_cells: u64,
+    /// `touched_cells / total_cells` (0.0 when the model is empty).
+    pub touched_fraction: f64,
+    /// Placement tiles containing at least one touched cell — only these
+    /// went through the ISPP programming pass and charged the wear ledger.
+    pub reprogrammed_tiles: usize,
+}
+
 /// The human- and machine-readable compile record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Manifest {
@@ -345,14 +366,28 @@ pub struct Manifest {
     /// Number of probe inputs.
     pub probe_count: usize,
     /// Predicted logits of the compiled (effective) network on the probe
-    /// set — the served outputs must match these bit-for-bit.
+    /// set — the served outputs must match these bit-for-bit. These are
+    /// computed *under serving noise* (the serving contract), unlike the
+    /// noise-free scoring fields below.
     pub predicted_logits: Vec<Vec<f32>>,
     /// Argmax agreement between the compiled network and the fault-free
-    /// oracle on the probe set.
-    pub oracle_agreement: f64,
+    /// oracle on the probe set, scored with analog read noise disabled on
+    /// both sides so the number isolates *fault* damage (clamp errors,
+    /// residual stuck cells) from noise chaos at tiny logit margins.
+    /// `None` when the probe set is empty — an unmeasured image must not
+    /// claim a vacuously perfect 1.0 (DESIGN §17).
+    pub oracle_agreement: Option<f64>,
     /// `1 − oracle_agreement`: the accuracy the faults are expected to
-    /// cost.
-    pub expected_accuracy_delta: f64,
+    /// cost. `None` when unmeasured.
+    pub expected_accuracy_delta: Option<f64>,
+    /// Fraction of probes whose argmax under serving noise differs from
+    /// the same compiled network's noise-free argmax — the quantified
+    /// "physics gap": chaos the analog read noise injects at tiny logit
+    /// margins, orthogonal to fault damage. `None` when unmeasured.
+    pub noise_flip_rate: Option<f64>,
+    /// `Some` on an image produced by an incremental compile
+    /// (`imc-compile --base`).
+    pub delta: Option<DeltaStats>,
 }
 
 /// Which slice of the model's accumulation chunks one fleet replica
@@ -484,6 +519,23 @@ impl ChipImage {
             return Err(CompileError::BadImage(
                 "predicted logits don't cover the probe set".into(),
             ));
+        }
+        // Scoring is measured iff probes ran: a populated agreement on an
+        // empty probe set would be the vacuous-1.0 bug in disguise, and a
+        // missing one on a real probe set means the predict pass was
+        // skipped.
+        if (self.manifest.probe_count == 0) != self.manifest.oracle_agreement.is_none() {
+            return Err(CompileError::BadImage(format!(
+                "oracle_agreement {:?} inconsistent with probe_count {}",
+                self.manifest.oracle_agreement, self.manifest.probe_count
+            )));
+        }
+        if let Some(a) = self.manifest.oracle_agreement {
+            if !(0.0..=1.0).contains(&a) {
+                return Err(CompileError::BadImage(format!(
+                    "oracle_agreement {a} outside [0, 1]"
+                )));
+            }
         }
         if let Some(shard) = &self.shard {
             if shard.count == 0 || shard.index >= shard.count {

@@ -9,10 +9,19 @@
 //! against the *sensed* threshold, so the device lands at `target − dv`
 //! and the true residual error is ≈ `|dv|` plus the verify tolerance
 //! (capped at the erase level — ISPP only moves V_TH down from erase).
-//! The pass records pulse counts, convergence, residual
-//! and write energy per bank, parallelized over placement tiles on the
-//! shared worker pool (per-tile seeding keeps it deterministic at any
-//! thread count).
+//!
+//! The pass records pulse counts, convergence, residual and write energy
+//! per bank. Work is decomposed into **per-column items** (one output
+//! column of one placed tile) run on the shared `par-exec` pool; each
+//! item draws its offsets from its own stream keyed on
+//! `(layer, row_tile, column)`, so the result is bit-identical at any
+//! pool width *and* to the `force_serial` reference path, which runs the
+//! very same items in the very same order on the caller thread.
+//!
+//! An incremental compile passes the base image's stored codes: cells
+//! whose bit is unchanged draw their offset (keeping every stream
+//! aligned with a full compile) but are never pulsed — the essence of
+//! delta reprogramming under the endurance budget (DESIGN §17).
 
 use crate::image::{BankProgramStats, PlacementTable};
 use fefet_device::fefet::{FeFet, FeFetParams, Polarity};
@@ -34,6 +43,11 @@ pub struct ProgramOptions {
     /// strides *sample* the pulse/energy statistics — the stored codes
     /// are unaffected, only the manifest stats are subsampled.
     pub stride: usize,
+    /// Run the per-column work items serially on the caller thread
+    /// instead of the worker pool — the bit-identity reference the
+    /// parallel path is tested against (and a fair serial baseline for
+    /// the cells/s benchmark).
+    pub force_serial: bool,
 }
 
 impl ProgramOptions {
@@ -45,6 +59,7 @@ impl ProgramOptions {
             variation: VariationParams::paper(),
             seed,
             stride: 1,
+            force_serial: false,
         }
     }
 }
@@ -115,7 +130,28 @@ fn cell_bits(w: i8, weight_bits: u32) -> Vec<bool> {
     }
 }
 
-/// SplitMix64 hop: one deterministic 64-bit mix for per-tile seeding.
+/// Number of physical cells whose bit differs between two stored codes —
+/// the per-weight unit of the delta-compile touched-cell count.
+#[must_use]
+pub fn changed_cells(a: i8, b: i8, weight_bits: u32) -> u64 {
+    cell_bits(a, weight_bits)
+        .iter()
+        .zip(cell_bits(b, weight_bits).iter())
+        .filter(|(x, y)| x != y)
+        .count() as u64
+}
+
+/// Physical cells per stored weight.
+#[must_use]
+pub fn cells_per_weight(weight_bits: u32) -> u64 {
+    if weight_bits == 8 {
+        8
+    } else {
+        4
+    }
+}
+
+/// SplitMix64 hop: one deterministic 64-bit mix for per-item seeding.
 fn mix(seed: u64, salt: u64) -> u64 {
     let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -123,7 +159,20 @@ fn mix(seed: u64, salt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-struct TileStats {
+/// One unit of programming work: one output column of one placed tile.
+#[derive(Clone, Copy)]
+struct ColItem {
+    layer: usize,
+    row_tile: usize,
+    bank: usize,
+    /// Absolute output channel.
+    o: usize,
+    /// Absolute row range `[r0, r1)` within the layer's fan.
+    r0: usize,
+    r1: usize,
+}
+
+struct ColStats {
     bank: usize,
     cells: u64,
     pulses: u64,
@@ -137,6 +186,9 @@ struct TileStats {
 /// Runs the programming pass over every placed tile.
 ///
 /// `stored[l]` are layer `l`'s driven codes; `shapes[l]` is `[oc, fan]`.
+/// `base[l]`, when present, are the codes already on the chip: only
+/// cells whose bit differs are pulsed (an incremental compile); offset
+/// streams stay aligned with the full-compile case either way.
 ///
 /// # Panics
 ///
@@ -145,6 +197,7 @@ struct TileStats {
 #[must_use]
 pub fn program_pass(
     stored: &[Vec<i8>],
+    base: Option<&[Vec<i8>]>,
     shapes: &[[usize; 2]],
     placement: &PlacementTable,
     design: ImcDesign,
@@ -159,26 +212,44 @@ pub fn program_pass(
     };
     let tile_rows = placement.tile_rows;
 
-    let per_tile: Vec<TileStats> = par_exec::par_map(&placement.entries, |entry| {
+    // Flatten tiles into per-column items. The item list order is the
+    // canonical serial order; `par_map` returns results in input order,
+    // so aggregation below is identical on both paths.
+    let mut items: Vec<ColItem> = Vec::new();
+    for entry in &placement.entries {
         let [oc, fan] = shapes[entry.layer];
-        let codes = &stored[entry.layer];
+        let r0 = entry.row_tile * tile_rows;
+        let r1 = (r0 + tile_rows).min(fan);
+        let c0 = entry.col_tile * tile_cols;
+        let c1 = (c0 + tile_cols).min(oc);
+        for o in c0..c1 {
+            items.push(ColItem {
+                layer: entry.layer,
+                row_tile: entry.row_tile,
+                bank: entry.bank,
+                o,
+                r0,
+                r1,
+            });
+        }
+    }
+
+    let run_item = |item: &ColItem| -> ColStats {
+        let [_oc, fan] = shapes[item.layer];
+        let codes = &stored[item.layer];
         let targets = Targets::for_design(design);
         let mut dev = device_for(design);
-        // Per-tile offset stream: deterministic whatever the pool width.
-        let salt =
-            ((entry.layer as u64) << 40) | ((entry.row_tile as u64) << 20) | entry.col_tile as u64;
+        // Per-column offset stream: deterministic whatever the pool
+        // width, and independent of which other columns run where.
+        let salt = ((item.layer as u64) << 40) | ((item.row_tile as u64) << 20) | item.o as u64;
         let mut sampler = VariationSampler::new(opts.variation, mix(opts.seed, salt));
         // ISPP only moves V_TH *down* from erase; a sense offset can push
         // the commanded target above the erased level, which no pulse
         // ladder reaches. Real controllers accept the erased state there.
         dev.erase();
         let v_erase = dev.vth();
-        let r0 = entry.row_tile * tile_rows;
-        let r1 = (r0 + tile_rows).min(fan);
-        let c0 = entry.col_tile * tile_cols;
-        let c1 = (c0 + tile_cols).min(oc);
-        let mut s = TileStats {
-            bank: entry.bank,
+        let mut s = ColStats {
+            bank: item.bank,
             cells: 0,
             pulses: 0,
             max_pulses: 0,
@@ -188,50 +259,61 @@ pub fn program_pass(
             energy: 0.0,
         };
         let mut cell_counter = 0usize;
-        for o in c0..c1 {
-            for r in r0..r1 {
-                let w = codes[o * fan + r];
-                for (cell, bit) in cell_bits(w, weight_bits).into_iter().enumerate() {
-                    // The offset is drawn per cell even when skipped, so
-                    // any stride sees the same per-cell offsets.
-                    let dv = sampler.vth_offset();
-                    cell_counter += 1;
-                    if !(cell_counter - 1).is_multiple_of(opts.stride) {
-                        continue;
+        for r in item.r0..item.r1 {
+            let w = codes[item.o * fan + r];
+            let old_bits = base.map(|b| cell_bits(b[item.layer][item.o * fan + r], weight_bits));
+            for (cell, bit) in cell_bits(w, weight_bits).into_iter().enumerate() {
+                // The offset is drawn per cell even when skipped (by
+                // stride *or* by an unchanged delta bit), so every
+                // variant sees the same per-cell offsets.
+                let dv = sampler.vth_offset();
+                cell_counter += 1;
+                if !(cell_counter - 1).is_multiple_of(opts.stride) {
+                    continue;
+                }
+                if let Some(old) = &old_bits {
+                    if old[cell] == bit {
+                        continue; // already on the chip — delta skip
                     }
-                    let target = targets.vth(cell, bit);
-                    s.cells += 1;
-                    if Targets::is_erased_state(bit) {
-                        // '0' cells stay erased: no pulses, no energy —
-                        // the residual is the erase level's distance from
-                        // the nominal off state.
-                        let residual = (v_erase - target).abs();
-                        s.sum_abs_residual += residual;
-                        s.max_abs_residual = s.max_abs_residual.max(residual);
-                        continue;
-                    }
-                    // Verify senses `vth + dv`: program against the
-                    // offset-shifted target, capped at the erase level.
-                    let rep = program_vth(&mut dev, (target - dv).min(v_erase), &opts.ispp);
-                    let residual = (rep.vth - target).abs();
-                    s.pulses += rep.pulses as u64;
-                    s.max_pulses = s.max_pulses.max(rep.pulses as u64);
-                    if !rep.converged {
-                        s.unconverged += 1;
-                    }
+                }
+                let target = targets.vth(cell, bit);
+                s.cells += 1;
+                if Targets::is_erased_state(bit) {
+                    // '0' cells stay erased: no pulses, no energy —
+                    // the residual is the erase level's distance from
+                    // the nominal off state.
+                    let residual = (v_erase - target).abs();
                     s.sum_abs_residual += residual;
                     s.max_abs_residual = s.max_abs_residual.max(residual);
-                    s.energy += rep.energy;
+                    continue;
                 }
+                // Verify senses `vth + dv`: program against the
+                // offset-shifted target, capped at the erase level.
+                let rep = program_vth(&mut dev, (target - dv).min(v_erase), &opts.ispp);
+                let residual = (rep.vth - target).abs();
+                s.pulses += rep.pulses as u64;
+                s.max_pulses = s.max_pulses.max(rep.pulses as u64);
+                if !rep.converged {
+                    s.unconverged += 1;
+                }
+                s.sum_abs_residual += residual;
+                s.max_abs_residual = s.max_abs_residual.max(residual);
+                s.energy += rep.energy;
             }
         }
         s
-    });
+    };
+
+    let per_col: Vec<ColStats> = if opts.force_serial {
+        items.iter().map(run_item).collect()
+    } else {
+        par_exec::par_map(&items, run_item)
+    };
 
     let mut by_bank: Vec<BankProgramStats> = Vec::new();
     let mut totals = ProgramTotals::default();
     let mut residual_sums = std::collections::BTreeMap::new();
-    for t in &per_tile {
+    for t in &per_col {
         totals.cells += t.cells;
         totals.pulses += t.pulses;
         totals.unconverged += t.unconverged;
@@ -285,6 +367,7 @@ mod tests {
         let opts = ProgramOptions::paper(3);
         let (banks, totals) = program_pass(
             &stored,
+            None,
             &shapes,
             &one_tile_placement(16),
             ImcDesign::CurFe,
@@ -315,6 +398,7 @@ mod tests {
         let shapes = [[16usize, 8usize]];
         let full = program_pass(
             &stored,
+            None,
             &shapes,
             &one_tile_placement(16),
             ImcDesign::ChgFe,
@@ -325,6 +409,7 @@ mod tests {
         opts.stride = 4;
         let sub = program_pass(
             &stored,
+            None,
             &shapes,
             &one_tile_placement(16),
             ImcDesign::ChgFe,
@@ -347,6 +432,7 @@ mod tests {
         let run = || {
             program_pass(
                 &stored,
+                None,
                 &shapes,
                 &one_tile_placement(16),
                 ImcDesign::CurFe,
@@ -358,5 +444,83 @@ mod tests {
         let (b, tb) = run();
         assert_eq!(ta, tb);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serial_and_parallel_are_bit_identical() {
+        let stored = vec![(0..24 * 16).map(|i| (i % 251) as i8).collect::<Vec<i8>>()];
+        let shapes = [[24usize, 16usize]];
+        let mut opts = ProgramOptions::paper(17);
+        opts.stride = 8; // keep the debug-mode ISPP loop cheap
+        let par = program_pass(
+            &stored,
+            None,
+            &shapes,
+            &one_tile_placement(16),
+            ImcDesign::ChgFe,
+            8,
+            &opts,
+        );
+        opts.force_serial = true;
+        let ser = program_pass(
+            &stored,
+            None,
+            &shapes,
+            &one_tile_placement(16),
+            ImcDesign::ChgFe,
+            8,
+            &opts,
+        );
+        assert_eq!(par.0, ser.0, "per-bank stats must match bit-for-bit");
+        assert_eq!(par.1, ser.1, "totals must match bit-for-bit");
+    }
+
+    #[test]
+    fn delta_base_skips_unchanged_cells() {
+        let base: Vec<i8> = (0..16 * 8).map(|i| (i % 97) as i8).collect();
+        let mut next = base.clone();
+        // Flip a handful of weights; the rest are already on the chip.
+        next[3] = next[3].wrapping_add(1);
+        next[40] = 0;
+        next[100] = -100;
+        let shapes = [[16usize, 8usize]];
+        let opts = ProgramOptions::paper(23);
+        let full = program_pass(
+            &[next.clone()],
+            None,
+            &shapes,
+            &one_tile_placement(16),
+            ImcDesign::ChgFe,
+            8,
+            &opts,
+        );
+        let delta = program_pass(
+            &[next.clone()],
+            Some(&[base.clone()]),
+            &shapes,
+            &one_tile_placement(16),
+            ImcDesign::ChgFe,
+            8,
+            &opts,
+        );
+        let expect: u64 = base
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| changed_cells(*a, *b, 8))
+            .sum();
+        assert!(expect > 0 && expect < full.1.cells);
+        assert_eq!(delta.1.cells, expect, "only changed bits are pulsed");
+        // Identical codes → a true no-op.
+        let noop = program_pass(
+            &[next.clone()],
+            Some(&[next.clone()]),
+            &shapes,
+            &one_tile_placement(16),
+            ImcDesign::ChgFe,
+            8,
+            &opts,
+        );
+        assert_eq!(noop.1.cells, 0);
+        assert_eq!(noop.1.pulses, 0);
     }
 }

@@ -1,4 +1,4 @@
-//! Pass 3 — fault-aware remapping: spares first, sign-aware clamping after.
+//! Pass 3 — fault-aware remapping: best-fit spares, sign-aware clamping.
 //!
 //! A seeded [`FaultMap`] pins cells stuck-on/off. Faults cluster by
 //! *column* (one output channel within one 128-row tile) because that is
@@ -7,13 +7,25 @@
 //!
 //! 1. samples per-layer fault maps and per-spare defect maps from the
 //!    same model (spares are silicon too),
-//! 2. relocates each faulty column to a clean spare — same bank
-//!    preferred, any bank otherwise,
-//! 3. when spares run out, clamps each faulty weight *in place*: among
-//!    all 256 storable codes it picks the one whose faulty read-back
-//!    lands closest to the intended code, preferring candidates that
-//!    preserve the sign (a flipped sign column is the worst-case ±128
-//!    error of the ladder in [`FaultMap::worst_case_weight_error`]).
+//! 2. prices every faulty column twice — the cost of clamping its faulty
+//!    weights *in place* versus the cost of hosting it on each unused
+//!    spare (a spare's own defects clamp the rows they land on) — and
+//!    relocates worst-damaged-first onto the cheapest spare that beats
+//!    staying put,
+//! 3. clamps whatever remains in place: among all 256 storable codes it
+//!    picks the one whose faulty read-back lands closest to the intended
+//!    code, preferring candidates that preserve the sign (a flipped sign
+//!    column is the worst-case ±128 error of the ladder in
+//!    [`FaultMap::worst_case_weight_error`]).
+//!
+//! Best-fit matters: at realistic defect densities a 128-row × 8-cell
+//! spare is rarely *perfectly* clean, and the previous all-or-nothing
+//! rule ("any defect in the used rows disqualifies the spare") threw
+//! away nearly the whole spare pool, leaving worst-case sign-cell clamps
+//! in place — the dominant term of the predict-pass disagreement this
+//! pass now fixes (DESIGN §17). A spare with one low-bit defect hosting
+//! a column whose own fault hit the sign cell trades a ±128-class error
+//! for a ±1 ripple.
 //!
 //! The output is a `(stored, effective)` code pair per layer: `stored` is
 //! driven by the programming pass, `effective` is what the array computes
@@ -82,19 +94,36 @@ fn clamp_code(intended: i8, faults: &[(usize, FaultKind)]) -> (i8, i8) {
     (stored, eff)
 }
 
+/// The |effective − intended| a clamp against `faults` achieves.
+fn clamp_cost(intended: i8, faults: &[(usize, FaultKind)]) -> i64 {
+    let (_, eff) = clamp_code(intended, faults);
+    (i64::from(eff) - i64::from(intended)).abs()
+}
+
 /// A spare column site and its (model-sampled) defect map.
 struct Spare {
     bank: usize,
     idx: usize,
-    /// Faulty row indices (any cell) within the 128-row column.
-    faulty_rows: Vec<usize>,
+    /// Row → faulty cells within that row's weight.
+    defects: BTreeMap<usize, Vec<(usize, FaultKind)>>,
     used: bool,
 }
 
-impl Spare {
-    fn clean_for(&self, rows_used: usize) -> bool {
-        !self.used && self.faulty_rows.iter().all(|&r| r >= rows_used)
-    }
+/// One faulty column awaiting a relocate-or-clamp decision.
+struct FaultyColumn {
+    layer: usize,
+    row_tile: usize,
+    out_col: usize,
+    /// Rows actually occupied by the column in this tile.
+    rows_used: usize,
+    /// Bank the column's tile lives on (same-bank spares preferred).
+    home_bank: Option<usize>,
+    /// Flat weight indices of the column's faulty weights.
+    weights: Vec<usize>,
+    /// Total stuck cells across those weights.
+    stuck_cells: usize,
+    /// Summed clamp cost of fixing the column where it is.
+    in_place_cost: i64,
 }
 
 /// Runs the remapping pass.
@@ -105,6 +134,7 @@ impl Spare {
 ///
 /// Returns [`CompileError::InvalidFaultModel`] if the fault probabilities
 /// fail [`FaultModel::validate`].
+#[allow(clippy::too_many_lines)]
 pub fn remap_pass(
     intended: &[QuantizedWeights],
     placement: &PlacementTable,
@@ -131,17 +161,20 @@ pub fn remap_pass(
         for idx in 0..placement.spare_cols_w8 {
             let site = (bank * placement.spare_cols_w8 + idx) as u64;
             let map = FaultMap::sample(tile_rows, &opts.model, mix(opts.seed ^ SPARE_SALT, site));
-            let mut faulty_rows: Vec<usize> = map.faults.iter().map(|&(r, _, _)| r).collect();
-            faulty_rows.dedup();
+            let mut defects: BTreeMap<usize, Vec<(usize, FaultKind)>> = BTreeMap::new();
+            for &(r, cell, kind) in &map.faults {
+                defects.entry(r).or_default().push((cell, kind));
+            }
             spares.push(Spare {
                 bank,
                 idx,
-                faulty_rows,
+                defects,
                 used: false,
             });
         }
     }
     let spares_total = spares.len();
+    let spares_clean = spares.iter().filter(|s| s.defects.is_empty()).count();
 
     let mut stored = Vec::with_capacity(intended.len());
     let mut effective = Vec::with_capacity(intended.len());
@@ -151,86 +184,175 @@ pub fn remap_pass(
         p_stuck_off: opts.model.p_stuck_off,
         remap_enabled: opts.enable,
         spares_total,
+        spares_clean,
         ..FaultLedger::default()
     };
 
+    // Per-layer fault maps, grouped by weight; columns collected across
+    // *all* layers so they compete globally for the spare pool.
+    let mut by_weight_per_layer: Vec<HashMap<usize, Vec<(usize, FaultKind)>>> = Vec::new();
+    let mut columns: Vec<FaultyColumn> = Vec::new();
     for (layer, qw) in intended.iter().enumerate() {
         let [_oc, fan] = qw.shape;
         let map = FaultMap::sample(qw.q.len(), &opts.model, mix(opts.seed, layer as u64));
         ledger.total_faults += map.len();
 
-        let mut st = qw.q.clone();
-        let mut eff;
+        let st = qw.q.clone();
         if !opts.enable {
-            eff = Vec::new();
+            let mut eff = Vec::new();
             map.apply_into(&st, &mut eff);
             stored.push(st);
             effective.push(eff);
             ledger.residual_faulty_cells += map.len();
+            by_weight_per_layer.push(HashMap::new());
             continue;
         }
-        eff = st.clone();
+        let eff = st.clone();
+        stored.push(st);
+        effective.push(eff);
 
-        // Group faults by weight, then by physical column.
         let mut by_weight: HashMap<usize, Vec<(usize, FaultKind)>> = HashMap::new();
         for &(w, cell, kind) in &map.faults {
             by_weight.entry(w).or_default().push((cell, kind));
         }
         // Column key (row_tile, out_col) → faulty weight indices; BTreeMap
-        // keeps relocation order deterministic.
+        // keeps the collection order deterministic.
         let mut by_column: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
         for &w in by_weight.keys() {
             let (o, r) = (w / fan, w % fan);
             by_column.entry((r / tile_rows, o)).or_default().push(w);
         }
-
-        for ((row_tile, out_col), weights) in by_column {
-            let rows_used = (fan - row_tile * tile_rows).min(tile_rows);
-            let home_bank = tile_bank
-                .get(&(layer, row_tile, out_col / tile_cols))
-                .copied();
-            // Same-bank spare first, then any clean spare.
-            let pick = spares
+        for ((row_tile, out_col), mut weights) in by_column {
+            weights.sort_unstable();
+            let in_place_cost = weights
                 .iter()
-                .position(|s| Some(s.bank) == home_bank && s.clean_for(rows_used))
-                .or_else(|| spares.iter().position(|s| s.clean_for(rows_used)));
-            if let Some(si) = pick {
-                spares[si].used = true;
-                let stuck: usize = weights.iter().map(|w| by_weight[w].len()).sum();
+                .map(|w| clamp_cost(intended[layer].q[*w], &by_weight[w]))
+                .sum();
+            let stuck_cells = weights.iter().map(|w| by_weight[w].len()).sum();
+            columns.push(FaultyColumn {
+                layer,
+                row_tile,
+                out_col,
+                rows_used: (fan - row_tile * tile_rows).min(tile_rows),
+                home_bank: tile_bank
+                    .get(&(layer, row_tile, out_col / tile_cols))
+                    .copied(),
+                weights,
+                stuck_cells,
+                in_place_cost,
+            });
+        }
+        by_weight_per_layer.push(by_weight);
+    }
+
+    // Worst-damaged columns pick their spares first; ties resolve by
+    // position so the allocation is deterministic.
+    columns.sort_by_key(|c| {
+        (
+            std::cmp::Reverse(c.in_place_cost),
+            c.layer,
+            c.row_tile,
+            c.out_col,
+        )
+    });
+
+    let clamp_in_place = |ledger: &mut FaultLedger,
+                          stored: &mut [Vec<i8>],
+                          effective: &mut [Vec<i8>],
+                          layer: usize,
+                          w: usize,
+                          faults: &[(usize, FaultKind)]| {
+        let (s_code, e_code) = clamp_code(intended[layer].q[w], faults);
+        ledger.clamped.push(ClampedWeight {
+            layer,
+            index: w,
+            intended: intended[layer].q[w],
+            stored: s_code,
+            effective: e_code,
+        });
+        stored[layer][w] = s_code;
+        effective[layer][w] = e_code;
+        ledger.residual_faulty_cells += faults.len();
+    };
+
+    for col in &columns {
+        let fan = intended[col.layer].shape[1];
+        // Hosting cost on each unused spare: the spare's own defects
+        // clamp the rows they land on. Prefer (cost, same-bank, order).
+        let mut pick: Option<(i64, bool, usize)> = None;
+        for (si, s) in spares.iter().enumerate() {
+            if s.used {
+                continue;
+            }
+            let cost: i64 = s
+                .defects
+                .range(..col.rows_used)
+                .map(|(&r, faults)| {
+                    let w = col.out_col * fan + col.row_tile * tile_rows + r;
+                    clamp_cost(intended[col.layer].q[w], faults)
+                })
+                .sum();
+            let off_bank = Some(s.bank) != col.home_bank;
+            let key = (cost, off_bank, si);
+            if pick.is_none_or(|p| key < p) {
+                pick = Some(key);
+            }
+        }
+        match pick {
+            // Relocate only when the spare strictly beats staying put —
+            // a harmless in-place fault (cost 0) never burns a spare.
+            Some((cost, _, si)) if cost < col.in_place_cost => {
+                let spare = &mut spares[si];
+                spare.used = true;
                 ledger.relocated.push(RelocatedColumn {
-                    layer,
-                    row_tile,
-                    out_col,
-                    spare_bank: spares[si].bank,
-                    spare_col: spares[si].idx,
-                    stuck_cells: stuck,
+                    layer: col.layer,
+                    row_tile: col.row_tile,
+                    out_col: col.out_col,
+                    spare_bank: spare.bank,
+                    spare_col: spare.idx,
+                    stuck_cells: col.stuck_cells,
                 });
-                // Relocated nibbles live on clean cells: intended codes
-                // survive untouched in both stored and effective.
-            } else {
-                for w in weights {
-                    let faults = &by_weight[&w];
-                    let (s_code, e_code) = clamp_code(st[w], faults);
-                    ledger.clamped.push(ClampedWeight {
-                        layer,
-                        index: w,
-                        intended: st[w],
-                        stored: s_code,
-                        effective: e_code,
-                    });
-                    st[w] = s_code;
-                    eff[w] = e_code;
-                    ledger.residual_faulty_cells += faults.len();
+                // Rows landing on spare defects are clamped against the
+                // *spare's* faults; every other relocated code survives
+                // intact.
+                let defect_rows: Vec<(usize, Vec<(usize, FaultKind)>)> = spare
+                    .defects
+                    .range(..col.rows_used)
+                    .map(|(&r, f)| (r, f.clone()))
+                    .collect();
+                for (r, faults) in defect_rows {
+                    let w = col.out_col * fan + col.row_tile * tile_rows + r;
+                    clamp_in_place(
+                        &mut ledger,
+                        &mut stored,
+                        &mut effective,
+                        col.layer,
+                        w,
+                        &faults,
+                    );
+                }
+            }
+            _ => {
+                for &w in &col.weights {
+                    let faults = by_weight_per_layer[col.layer][&w].clone();
+                    clamp_in_place(
+                        &mut ledger,
+                        &mut stored,
+                        &mut effective,
+                        col.layer,
+                        w,
+                        &faults,
+                    );
                 }
             }
         }
-        stored.push(st);
-        effective.push(eff);
     }
-    ledger.spares_clean = spares
-        .iter()
-        .filter(|s| s.used || s.faulty_rows.is_empty())
-        .count();
+    // Deterministic ledger order regardless of the cost-driven visit
+    // order above.
+    ledger.clamped.sort_by_key(|c| (c.layer, c.index));
+    ledger
+        .relocated
+        .sort_by_key(|r| (r.layer, r.row_tile, r.out_col));
     Ok(RemapResult {
         stored,
         effective,
@@ -319,8 +441,9 @@ mod tests {
 
     #[test]
     fn relocation_restores_intended_codes() {
-        // Plenty of spares: every faulty column must relocate, so the
-        // effective codes equal the intended codes exactly.
+        // Plenty of spares: every damaging column must relocate, and a
+        // column relocated onto a defect-free spare keeps its intended
+        // codes exactly.
         let model = FaultModel {
             p_stuck_on: 0.005,
             p_stuck_off: 0.005,
@@ -379,6 +502,58 @@ mod tests {
         let (e_raw, e_fix) = (err(&raw.effective[0]), err(&fixed.effective[0]));
         assert!(e_fix <= e_raw, "clamped {e_fix} vs raw {e_raw}");
         assert!(e_fix < e_raw, "with ±128 sign faults clamping must win");
+    }
+
+    #[test]
+    fn best_fit_uses_imperfect_spares() {
+        // Dense faults: under the old all-or-nothing rule nearly every
+        // spare tests dirty and worst-case sign clamps stay in place.
+        // Best-fit must still relocate the damaging columns and keep the
+        // total effective error below the pure-clamp floor.
+        let model = FaultModel {
+            p_stuck_on: 0.002,
+            p_stuck_off: 0.002,
+        };
+        let w = qw(32, 128, 9);
+        let opts = RemapOptions {
+            model,
+            seed: 33,
+            enable: true,
+        };
+        let r = remap_pass(&[w.clone()], &placement(16, 2), &opts).unwrap();
+        assert!(r.ledger.total_faults > 0);
+        assert!(
+            !r.ledger.relocated.is_empty(),
+            "best-fit found no usable spare among {} ({} defect-free)",
+            r.ledger.spares_total,
+            r.ledger.spares_clean
+        );
+        // Every relocation must have strictly beaten its in-place cost,
+        // so total damage is bounded by the no-spare clamp floor.
+        let no_spares = remap_pass(&[w.clone()], &placement(16, 0), &opts).unwrap();
+        let err = |eff: &[i8]| -> i64 {
+            eff.iter()
+                .zip(&w.q)
+                .map(|(e, i)| (i64::from(*e) - i64::from(*i)).abs())
+                .sum()
+        };
+        assert!(
+            err(&r.effective[0]) < err(&no_spares.effective[0]),
+            "spares {} vs none {}",
+            err(&r.effective[0]),
+            err(&no_spares.effective[0])
+        );
+    }
+
+    #[test]
+    fn harmless_faults_do_not_burn_spares() {
+        // A stuck cell that already matches the intended bit clamps at
+        // zero cost; relocating it would waste a spare another column
+        // needs. Construct that case directly through the cost rule.
+        let faults = vec![(0usize, FaultKind::StuckOn)];
+        assert_eq!(clamp_cost(1, &faults), 0);
+        let (s, e) = clamp_code(1, &faults);
+        assert_eq!((s, e), (1, 1));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! window is wide enough that typical-corner drift never crosses it
 //! (interval `None`); ChgFe's √2 ladder needs periodic reprogramming.
 
-use crate::image::{PlacementTable, RefreshEntry, WearSummary};
+use crate::image::{PlacementTable, RefreshEntry, RelocatedColumn, WearSummary};
 use crate::CompileError;
 use fefet_device::endurance::{window_factor, EnduranceParams};
 use fefet_device::programming::{MlcCurrentLadder, SlcStates};
@@ -107,20 +107,29 @@ pub fn refresh_budget_v(design: ImcDesign) -> f64 {
 
 /// Runs the wear/retention pass.
 ///
-/// Charges each bank one P/E cycle per tile placed on it, updates
-/// `ledger` in place, and returns the per-bank wear summaries plus the
-/// refresh schedule for the banks this image actually uses. First
-/// refresh times are staggered evenly across one interval so the chip
-/// never reprograms every bank at once.
+/// Charges each bank one P/E cycle per tile programmed on it — plus one
+/// per relocated column on the **spare's physical bank**, which is where
+/// those cells actually live (charging the logical origin instead would
+/// feed delta-compile endurance decisions phantom counts). An
+/// incremental compile passes `programmed_tiles` (aligned with
+/// `placement.entries`): untouched tiles were never pulsed and charge
+/// nothing, though their banks still appear in the refresh schedule —
+/// retention drift does not care who programmed the data. Updates
+/// `ledger` in place and returns the per-bank wear summaries plus the
+/// refresh schedule. First refresh times are staggered evenly across one
+/// interval so the chip never reprograms every bank at once.
 ///
 /// # Panics
 ///
-/// Panics if `ledger` tracks a different bank count than `placement`.
+/// Panics if `ledger` tracks a different bank count than `placement`, or
+/// if `programmed_tiles` is not aligned with `placement.entries`.
 pub fn wear_pass(
     placement: &PlacementTable,
     design: ImcDesign,
     endurance: &EnduranceParams,
     retention: &RetentionParams,
+    relocated: &[RelocatedColumn],
+    programmed_tiles: Option<&[bool]>,
     ledger: &mut WearLedger,
 ) -> (Vec<WearSummary>, Vec<RefreshEntry>) {
     assert_eq!(
@@ -128,9 +137,24 @@ pub fn wear_pass(
         placement.banks,
         "ledger/placement bank count mismatch"
     );
+    if let Some(mask) = programmed_tiles {
+        assert_eq!(
+            mask.len(),
+            placement.entries.len(),
+            "programmed-tile mask/placement mismatch"
+        );
+    }
     let mut programmed = vec![0u64; placement.banks];
-    for e in &placement.entries {
-        programmed[e.bank] += 1;
+    let mut occupied = vec![false; placement.banks];
+    for (i, e) in placement.entries.iter().enumerate() {
+        occupied[e.bank] = true;
+        if programmed_tiles.is_none_or(|m| m[i]) {
+            programmed[e.bank] += 1;
+        }
+    }
+    for r in relocated {
+        occupied[r.spare_bank] = true;
+        programmed[r.spare_bank] += 1;
     }
     for (b, n) in programmed.iter().enumerate() {
         ledger.cycles[b] += n;
@@ -157,9 +181,7 @@ pub fn wear_pass(
         })
         .expect("designs have at least one state");
 
-    let used: Vec<usize> = (0..placement.banks)
-        .filter(|&b| programmed[b] > 0)
-        .collect();
+    let used: Vec<usize> = (0..placement.banks).filter(|&b| occupied[b]).collect();
     let n_used = used.len().max(1);
     let schedule = used
         .iter()
@@ -208,6 +230,8 @@ mod tests {
             ImcDesign::CurFe,
             &EnduranceParams::hfo2_typical(),
             &RetentionParams::hfo2_typical(),
+            &[],
+            None,
             &mut ledger,
         );
         assert_eq!(ledger.cycles[3], 102);
@@ -215,6 +239,59 @@ mod tests {
         assert_eq!(summ[3].cycles, 102);
         // Far below fatigue onset: the window is pristine-or-better.
         assert!(summ[3].window_factor >= 1.0);
+    }
+
+    #[test]
+    fn relocated_columns_charge_the_spare_bank() {
+        // The origin tile lives on bank 3; the relocation hosts one of
+        // its columns on bank 9's spare. Bank 9 physically programs those
+        // cells and must take the P/E cycle — the logical origin must not
+        // be double-charged for cells it no longer holds.
+        let mut ledger = WearLedger::fresh(16);
+        let relocated = [crate::image::RelocatedColumn {
+            layer: 0,
+            row_tile: 0,
+            out_col: 5,
+            spare_bank: 9,
+            spare_col: 1,
+            stuck_cells: 2,
+        }];
+        let (summ, sched) = wear_pass(
+            &placement(&[3]),
+            ImcDesign::CurFe,
+            &EnduranceParams::hfo2_typical(),
+            &RetentionParams::hfo2_typical(),
+            &relocated,
+            None,
+            &mut ledger,
+        );
+        assert_eq!(ledger.cycles[3], 1, "origin tile: one tile program");
+        assert_eq!(ledger.cycles[9], 1, "spare bank takes the cycle");
+        assert_eq!(ledger.cycles.iter().sum::<u64>(), 2, "no phantom charges");
+        assert_eq!(summ[9].cycles, 1);
+        // The spare bank now holds live data: it needs refresh coverage.
+        assert!(sched.iter().any(|e| e.bank == 9));
+    }
+
+    #[test]
+    fn delta_mask_charges_only_touched_tiles() {
+        let mut ledger = WearLedger::fresh(16);
+        let p = placement(&[3, 4, 5]);
+        let (_, sched) = wear_pass(
+            &p,
+            ImcDesign::CurFe,
+            &EnduranceParams::hfo2_typical(),
+            &RetentionParams::hfo2_typical(),
+            &[],
+            Some(&[true, false, true]),
+            &mut ledger,
+        );
+        assert_eq!(ledger.cycles[3], 1);
+        assert_eq!(ledger.cycles[4], 0, "untouched tile charges nothing");
+        assert_eq!(ledger.cycles[5], 1);
+        // The untouched bank still holds data and stays on the refresh
+        // schedule.
+        assert!(sched.iter().any(|e| e.bank == 4));
     }
 
     #[test]
@@ -227,6 +304,8 @@ mod tests {
             ImcDesign::CurFe,
             &EnduranceParams::hfo2_typical(),
             &RetentionParams::hfo2_typical(),
+            &[],
+            None,
             &mut ledger,
         );
         assert_eq!(sched.len(), 1);
@@ -242,6 +321,8 @@ mod tests {
             ImcDesign::ChgFe,
             &EnduranceParams::hfo2_typical(),
             &RetentionParams::hfo2_typical(),
+            &[],
+            None,
             &mut ledger,
         );
         assert_eq!(sched.len(), 2);

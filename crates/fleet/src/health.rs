@@ -472,6 +472,45 @@ mod tests {
     }
 
     #[test]
+    fn retarget_readmits_a_replica_quarantined_for_the_new_digest() {
+        // The fleet rolls forward: replica "a:1" hot-swaps to the
+        // seed-43 image while the plan still expects seed 42. Its next
+        // Describe reports the new digest → StaleImage quarantine.
+        let plan = plan2();
+        let mut board = HealthBoard::new(plan.shard_count());
+        board.admit(&plan, "a:1", &honest(&plan, 0)).unwrap();
+        let swapped = DescribeReply {
+            digest: synthetic_digest(ImcDesign::ChgFe, 43, Some((0, 2))),
+            ..honest(&plan, 0)
+        };
+        assert!(matches!(
+            board.admit(&plan, "a:1", &swapped),
+            Err(FleetError::StaleImage { .. })
+        ));
+        assert_eq!(board.quarantined(), 1);
+        assert!(board.pick(0, &[]).is_none());
+
+        // Retargeting the plan at the swapped image re-admits it
+        // Healthy on the next passing Describe — upsert is keyed by
+        // addr, so quarantine is terminal only against a fixed plan.
+        let mut plan = plan;
+        plan.retarget(
+            synthetic_digest(ImcDesign::ChgFe, 43, None),
+            &[
+                synthetic_digest(ImcDesign::ChgFe, 43, Some((0, 2))),
+                synthetic_digest(ImcDesign::ChgFe, 43, Some((1, 2))),
+            ],
+        )
+        .unwrap();
+        let shard = board.admit(&plan, "a:1", &swapped).unwrap();
+        assert_eq!(shard, 0);
+        assert_eq!(board.quarantined(), 0);
+        assert_eq!(board.pick(0, &[]), Some(0));
+        // A digest-count mismatch is a typed error, not a partial write.
+        assert!(plan.retarget(1, &[1]).is_err());
+    }
+
+    #[test]
     fn shard_width_mismatch_is_rejected() {
         let plan = plan2();
         let mut board = HealthBoard::new(plan.shard_count());

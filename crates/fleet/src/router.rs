@@ -470,6 +470,13 @@ fn dispatch(
             )),
             false,
         ),
+        Request::SwapImage(r) => (
+            Response::Error(format!(
+                "swap {}: swap replicas directly, then retarget the fleet plan to the new digest",
+                r.path
+            )),
+            false,
+        ),
         Request::Infer(r) => {
             counter!("fleet.infer_total", "Infer requests routed by the fleet").inc();
             // Adopt the caller's trace, or start one: the router is the

@@ -256,6 +256,34 @@ impl FleetPlan {
     pub fn whole_model(&self) -> bool {
         self.shards.len() == 1
     }
+
+    /// Points the plan at a freshly swapped image: replaces the base
+    /// digest and every shard slot's expected digest, so replicas that
+    /// were quarantined as `StaleImage` while the fleet rolled forward
+    /// re-admit `Healthy` on their next passing `Describe`.
+    /// `shard_digests` carries one digest per shard slot in slot order
+    /// (a whole-model plan passes just `[base_digest]`). Variant slots
+    /// are cleared — a retargeted fleet is single-variant until it is
+    /// re-planned.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `shard_digests` does not match the shard count.
+    pub fn retarget(&mut self, base_digest: u64, shard_digests: &[u64]) -> Result<(), String> {
+        if shard_digests.len() != self.shards.len() {
+            return Err(format!(
+                "retarget needs {} shard digests, got {}",
+                self.shards.len(),
+                shard_digests.len()
+            ));
+        }
+        self.base_digest = base_digest;
+        for (slot, &d) in self.shards.iter_mut().zip(shard_digests) {
+            slot.expect_digest = d;
+        }
+        self.variants.clear();
+        Ok(())
+    }
 }
 
 /// Prices one whole-model inference for a manifest-backed fleet with

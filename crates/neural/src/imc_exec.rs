@@ -1312,6 +1312,30 @@ fn im2col_codes(x: &Tensor, k: usize, stride: usize, pad: usize) -> (Tensor, (us
     (cols, (oh, ow))
 }
 
+/// NaN-safe total-order argmax — the canonical tie-break rule shared by
+/// the compile predict pass and the serving classifier, so a manifest
+/// and a server can never disagree on which class a logit row names.
+///
+/// NaN never beats anything (an all-NaN row keeps index 0); any non-NaN
+/// beats NaN; finite ties keep the **last** maximal index, matching
+/// `Iterator::max_by` with `partial_cmp` on finite rows.
+#[must_use]
+pub fn argmax_total(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (j, v) in row.iter().enumerate().skip(1) {
+        let cur = row[best];
+        let better = if v.is_nan() {
+            false
+        } else {
+            cur.is_nan() || *v >= cur
+        };
+        if better {
+            best = j;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

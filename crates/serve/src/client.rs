@@ -22,7 +22,7 @@ use imc_obs::TraceContext;
 
 use crate::protocol::{
     read_response, write_request, DescribeReply, InferRequest, PartialRequest, PartialSumReply,
-    Request, Response, StatsReply,
+    Request, Response, StatsReply, SwapDoneReply, SwapRequest,
 };
 use crate::wire::{self, Proto};
 
@@ -456,6 +456,31 @@ impl Client {
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected PartialSum, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server to hot-swap its serving model to the chip image
+    /// at `path` (a **server-side** filesystem path) and waits for the
+    /// completed flip. The server loads and prepacks off the hot path,
+    /// so this call blocks for the full load time; a rejection (missing
+    /// or shape-incompatible image) surfaces as `InvalidData` carrying
+    /// the server's reason, with the old model left serving.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a server-side rejection, or an unexpected
+    /// response variant.
+    pub fn swap_image(&mut self, path: &str) -> io::Result<SwapDoneReply> {
+        self.send(&Request::SwapImage(SwapRequest {
+            path: path.to_owned(),
+        }))?;
+        match self.recv()? {
+            Some(Response::SwapDone(d)) => Ok(d),
+            Some(Response::Error(why)) => Err(io::Error::new(io::ErrorKind::InvalidData, why)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected SwapDone, got {other:?}"),
             )),
         }
     }

@@ -70,7 +70,7 @@ pub mod wire;
 
 pub use client::{Client, ClientConfig, RetryPolicy};
 pub use model::{parse_design, synthetic_digest, ServeModel};
-pub use protocol::{DescribeReply, PartialRequest, PartialSumReply};
+pub use protocol::{DescribeReply, PartialRequest, PartialSumReply, SwapDoneReply, SwapRequest};
 pub use server::{argmax_total, serve, ServeConfig, ServerHandle};
 pub use shutdown::{install_signal_handlers, ShutdownFlag};
 pub use wire::Proto;

@@ -120,6 +120,12 @@ pub struct Metrics {
     /// Admission-queue depth, sampled by the batcher (exporters only —
     /// `Stats` replies carry the depth passed to [`Metrics::snapshot`]).
     pub queue_depth: Gauge,
+    /// Completed hot swaps of the serving image —
+    /// `serve.swaps_total` on the scrape endpoint.
+    pub swaps_total: Counter,
+    /// Version of the image currently serving (1 at startup, +1 per
+    /// swap) — `serve.image_version`.
+    pub image_version: Gauge,
     /// Per-bank counters, indexed by bank id.
     pub banks: Vec<BankCounters>,
     started: Instant,
@@ -145,6 +151,8 @@ impl Metrics {
             request_latency: Histogram::new(),
             batch_latency: Histogram::new(),
             queue_depth: Gauge::new(),
+            swaps_total: Counter::new(),
+            image_version: Gauge::new(),
             banks: (0..banks).map(|_| BankCounters::default()).collect(),
             started: Instant::now(),
         };
@@ -226,6 +234,18 @@ impl Metrics {
             &[],
             "Admission-queue depth sampled at each batch",
             &m.queue_depth,
+        );
+        r.insert_counter(
+            "serve.swaps_total",
+            &[],
+            "Completed hot swaps of the serving image",
+            &m.swaps_total,
+        );
+        r.insert_gauge(
+            "serve.image_version",
+            &[],
+            "Version of the image currently serving (1 at startup, +1 per swap)",
+            &m.image_version,
         );
         for (bank, c) in m.banks.iter().enumerate() {
             let id = bank.to_string();
@@ -310,9 +330,13 @@ mod tests {
         latest.banks[0].requests.inc();
         latest.energy_pj.add(4321);
         latest.energy_per_inference_pj.set(4321.0);
+        latest.swaps_total.inc();
+        latest.image_version.set(2.0);
         let snap = imc_obs::registry().snapshot();
         assert_eq!(snap.counter("cost.energy_pj_total"), Some(4321));
         assert_eq!(snap.gauge("cost.energy_per_inference_pj"), Some(4321.0));
+        assert_eq!(snap.counter("serve.swaps_total"), Some(1));
+        assert_eq!(snap.gauge("serve.image_version"), Some(2.0));
         let lat = snap
             .histogram("imc_serve_request_latency_us")
             .expect("histogram registered");

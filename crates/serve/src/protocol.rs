@@ -147,6 +147,33 @@ impl Deserialize for PartialRequest {
     }
 }
 
+/// Ask the server to hot-swap its serving model to the chip image at a
+/// **server-side** filesystem path. Loading and prepacking happen off
+/// the hot path; in-flight batches finish on the old model; the flip
+/// itself is a pointer swap. Answered with [`Response::SwapDone`] on
+/// success or [`Response::Error`] when the image is missing, corrupt,
+/// or shape-incompatible (wrong feature/class count or shard cut) —
+/// a rejected swap leaves the old model serving untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapRequest {
+    /// Path of the new `ChipImage` JSON, resolved on the server's
+    /// filesystem (the image is never shipped over this protocol).
+    pub path: String,
+}
+
+/// Acknowledgement of a completed [`Request::SwapImage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapDoneReply {
+    /// Image version now serving: 1 at startup, +1 per successful swap.
+    pub version: u64,
+    /// Content digest of the newly active image.
+    pub digest: u64,
+    /// How long new batches were actually blocked from starting (µs):
+    /// the write-lock hold of the pointer flip, not the load/prepack
+    /// time, which happens before the flip on the control connection.
+    pub pause_us: u64,
+}
+
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
@@ -163,6 +190,8 @@ pub enum Request {
     /// Identify the served model ([`DescribeReply`]): image digest,
     /// shard assignment, input/output shape.
     Describe,
+    /// Hot-swap the serving model to a new chip image ([`SwapRequest`]).
+    SwapImage(SwapRequest),
 }
 
 /// Successful inference result.
@@ -365,6 +394,8 @@ pub enum Response {
     PartialSum(PartialSumReply),
     /// Model identity for a [`Request::Describe`].
     Describe(DescribeReply),
+    /// A [`Request::SwapImage`] completed; the new image is serving.
+    SwapDone(SwapDoneReply),
 }
 
 /// Writes one frame (length prefix + JSON payload).
@@ -673,6 +704,22 @@ mod tests {
             Response::Output(r) => assert_eq!(r.trace_id, 0),
             other => panic!("wrong variant {other:?}"),
         }
+    }
+
+    #[test]
+    fn swap_messages_round_trip_through_json() {
+        let req = Request::SwapImage(SwapRequest {
+            path: "/models/mnist.v2.chip.json".to_owned(),
+        });
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+        let resp = Response::SwapDone(SwapDoneReply {
+            version: 2,
+            digest: 0xFEED_F00D_1234_5678,
+            pause_us: 83,
+        });
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

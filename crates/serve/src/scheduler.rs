@@ -43,8 +43,33 @@ struct BankState<R> {
 struct Bank<R> {
     state: Mutex<BankState<R>>,
     ready: Condvar,
-    /// Requests queued on or executing in this bank.
-    outstanding: AtomicUsize,
+    /// Requests queued on or executing in this bank. Shared (rather than
+    /// inline) so a [`LoadProbe`] can watch drain progress after the
+    /// scheduler itself has been moved into the batcher thread.
+    outstanding: Arc<AtomicUsize>,
+}
+
+/// A detached, cloneable view of the scheduler's outstanding-request
+/// counters. [`BankScheduler::shutdown`] consumes the scheduler and the
+/// batcher thread owns it in the meantime, so anything that needs to
+/// watch load from outside — the hot-swap drain wait, for instance —
+/// takes a probe up front via [`BankScheduler::probe`].
+#[derive(Clone)]
+pub struct LoadProbe {
+    outstanding: Vec<Arc<AtomicUsize>>,
+}
+
+impl LoadProbe {
+    /// Outstanding requests (queued + executing) across all banks, as of
+    /// this instant. Monotonicity is not guaranteed — new dispatches can
+    /// race the read — so callers treat it as a best-effort drain signal.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.outstanding
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .sum()
+    }
 }
 
 /// Dispatches batches across per-bank worker threads.
@@ -80,7 +105,7 @@ impl<R: Clone + Send + 'static> BankScheduler<R> {
                         closed: false,
                     }),
                     ready: Condvar::new(),
-                    outstanding: AtomicUsize::new(0),
+                    outstanding: Arc::new(AtomicUsize::new(0)),
                 })
             })
             .collect();
@@ -162,6 +187,21 @@ impl<R: Clone + Send + 'static> BankScheduler<R> {
             .iter()
             .map(|b| b.outstanding.load(Ordering::Acquire))
             .sum()
+    }
+
+    /// A detached [`LoadProbe`] over this scheduler's outstanding
+    /// counters, valid (and cheap to clone) for the scheduler's whole
+    /// lifetime — including after the scheduler value itself has moved
+    /// into the batcher thread.
+    #[must_use]
+    pub fn probe(&self) -> LoadProbe {
+        LoadProbe {
+            outstanding: self
+                .banks
+                .iter()
+                .map(|b| Arc::clone(&b.outstanding))
+                .collect(),
+        }
     }
 
     /// Closes every bank queue and joins the workers; each worker drains
@@ -251,6 +291,44 @@ mod tests {
         *lock.lock().unwrap() = true;
         cv.notify_all();
         sched.shutdown();
+    }
+
+    #[test]
+    fn probe_tracks_in_flight_and_survives_scheduler_move() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let sched = BankScheduler::new(
+            2,
+            move |_bank, _b: Vec<Pending<u64>>| {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            },
+            |_bank, _routes| {},
+        );
+        let probe = sched.probe();
+        sched.dispatch(batch(&[1, 2, 3]));
+        sched.dispatch(batch(&[4]));
+        assert_eq!(probe.in_flight(), 4);
+        // The probe keeps reporting after the scheduler moves elsewhere
+        // (here: into a thread, as the server's batcher does).
+        let mover = std::thread::spawn(move || {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+            sched.shutdown();
+        });
+        let t0 = Instant::now();
+        while probe.in_flight() > 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "probe never saw the drain"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        mover.join().unwrap();
     }
 
     #[test]

@@ -25,8 +25,8 @@
 //! accepted work is never dropped.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -37,9 +37,9 @@ use crate::metrics::Metrics;
 use crate::model::ServeModel;
 use crate::protocol::{
     write_response, BusyReply, FailedReply, InferReply, PartialSumReply, Request, Response,
-    ShedReply, MAX_FRAME_BYTES,
+    ShedReply, SwapDoneReply, MAX_FRAME_BYTES,
 };
-use crate::scheduler::BankScheduler;
+use crate::scheduler::{BankScheduler, LoadProbe};
 use crate::shutdown::ShutdownFlag;
 use crate::wire::{self, Proto};
 
@@ -200,6 +200,48 @@ fn pool_put(mut v: Vec<f32>) {
     }
 }
 
+/// The swappable serving model: an `Arc` behind an `RwLock`, plus a
+/// monotone version number (1 at startup).
+///
+/// Readers — the bank executor, admission validation, `Describe`,
+/// `Partial` — take the lock only long enough to clone the `Arc`, so a
+/// batch is internally consistent by construction: it executes entirely
+/// on whichever model it snapshotted, even if a swap lands mid-batch.
+/// The swap path holds the write lock only for the pointer flip; the
+/// expensive load/prepack happens before, on the requesting thread.
+pub(crate) struct ModelSlot {
+    model: RwLock<Arc<ServeModel>>,
+    version: AtomicU64,
+}
+
+impl ModelSlot {
+    fn new(model: Arc<ServeModel>) -> Self {
+        Self {
+            model: RwLock::new(model),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// Snapshot the currently serving model (a cheap `Arc` clone under
+    /// a read lock). Lock poisoning is recovered: the guarded value is
+    /// a plain pointer with no intermediate invalid states.
+    fn current(&self) -> Arc<ServeModel> {
+        Arc::clone(&self.model.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+/// State every connection thread and the bank executor share: the
+/// swappable model slot and a probe over the scheduler's outstanding
+/// counters (for the swap path's best-effort drain wait).
+pub(crate) struct Shared {
+    slot: Arc<ModelSlot>,
+    probe: LoadProbe,
+}
+
 /// Handle to a running server.
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -208,6 +250,7 @@ pub struct ServerHandle {
     batcher_thread: Option<JoinHandle<()>>,
     metrics: Arc<Metrics>,
     queue: Arc<AdmissionQueue<Conn>>,
+    shared: Arc<Shared>,
 }
 
 impl ServerHandle {
@@ -241,6 +284,29 @@ impl ServerHandle {
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// Version of the image currently serving (1 at startup, +1 per
+    /// successful [`swap_model`](Self::swap_model)).
+    #[must_use]
+    pub fn image_version(&self) -> u64 {
+        self.shared.slot.version()
+    }
+
+    /// Hot-swaps the serving model to the chip image at `path` without
+    /// stopping the server: load and prepack happen on this thread, the
+    /// in-flight batches get a best-effort drain wait, and the flip
+    /// itself is a write-locked pointer swap (its hold time is the
+    /// returned `pause_us`). The same operation is reachable over the
+    /// wire via [`Request::SwapImage`].
+    ///
+    /// # Errors
+    ///
+    /// Fails — leaving the old model serving untouched — when the image
+    /// cannot be loaded or its input/output shape (or shard cut) differs
+    /// from the currently served model's.
+    pub fn swap_model(&self, path: &str) -> Result<SwapDoneReply, String> {
+        do_swap(&self.shared, &self.metrics, path)
     }
 
     /// Requests the server stop and blocks until every accepted request
@@ -294,11 +360,13 @@ pub fn serve<A: ToSocketAddrs>(
     metrics
         .energy_per_inference_pj
         .set(model.energy_per_inference_pj() as f64);
+    metrics.image_version.set(1.0);
+    let slot = Arc::new(ModelSlot::new(model));
     let queue: Arc<AdmissionQueue<Conn>> = Arc::new(AdmissionQueue::new(cfg.queue_depth));
 
     // --- bank executor ---------------------------------------------------
     let scheduler = {
-        let model = Arc::clone(&model);
+        let slot = Arc::clone(&slot);
         let metrics = Arc::clone(&metrics);
         let panic_metrics = Arc::clone(&metrics);
         let delay = cfg.service_delay;
@@ -306,6 +374,10 @@ pub fn serve<A: ToSocketAddrs>(
         BankScheduler::new(
             cfg.banks,
             move |bank, batch: Vec<Pending<Conn>>| {
+                // One model snapshot per batch: every request in the
+                // batch executes on the same image, and a concurrent
+                // swap affects only *later* batches.
+                let model = slot.current();
                 execute_batch(bank, batch, &model, &metrics, delay, sentinel);
             },
             move |_bank, routes: Vec<(u64, Conn)>| {
@@ -323,6 +395,10 @@ pub fn serve<A: ToSocketAddrs>(
             },
         )
     };
+    let shared = Arc::new(Shared {
+        slot,
+        probe: scheduler.probe(),
+    });
 
     // --- batcher thread ---------------------------------------------------
     let batcher_thread = {
@@ -353,12 +429,12 @@ pub fn serve<A: ToSocketAddrs>(
         let shutdown = shutdown.clone();
         let queue = Arc::clone(&queue);
         let metrics = Arc::clone(&metrics);
-        let model = Arc::clone(&model);
+        let shared = Arc::clone(&shared);
         let cfg = cfg.clone();
         std::thread::Builder::new()
             .name("imc-accept".into())
             .spawn(move || {
-                accept_loop(&listener, &shutdown, &queue, &metrics, &model, &cfg);
+                accept_loop(&listener, &shutdown, &queue, &metrics, &shared, &cfg);
                 // Stop admitting; the batcher drains and exits.
                 queue.close();
             })
@@ -372,6 +448,7 @@ pub fn serve<A: ToSocketAddrs>(
         batcher_thread: Some(batcher_thread),
         metrics,
         queue,
+        shared,
     })
 }
 
@@ -394,7 +471,7 @@ fn accept_loop(
     shutdown: &ShutdownFlag,
     queue: &Arc<AdmissionQueue<Conn>>,
     metrics: &Arc<Metrics>,
-    model: &Arc<ServeModel>,
+    shared: &Arc<Shared>,
     cfg: &ServeConfig,
 ) {
     let active = Arc::new(AtomicUsize::new(0));
@@ -424,14 +501,14 @@ fn accept_loop(
                 let slot = ConnSlot(Arc::clone(&active));
                 let queue = Arc::clone(queue);
                 let metrics = Arc::clone(metrics);
-                let model = Arc::clone(model);
+                let shared = Arc::clone(shared);
                 let shutdown = shutdown.clone();
                 let cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name("imc-conn".into())
                     .spawn(move || {
                         let _slot = slot;
-                        connection_loop(stream, &queue, &metrics, &model, &shutdown, &cfg);
+                        connection_loop(stream, &queue, &metrics, &shared, &shutdown, &cfg);
                     })
                     .expect("spawn connection thread");
             }
@@ -563,9 +640,15 @@ fn handle_request(
     writer: &Conn,
     queue: &AdmissionQueue<Conn>,
     metrics: &Metrics,
-    model: &ServeModel,
+    shared: &Shared,
     shutdown: &ShutdownFlag,
 ) {
+    // One model snapshot per request: validation, Describe, and Partial
+    // all see a single consistent image even if a swap lands mid-call.
+    // (Batch execution takes its own snapshot per batch; swaps keep the
+    // input/output shape invariant, so a request validated against the
+    // old image is still well-formed for the new one.)
+    let model = shared.slot.current();
     match request {
         Request::Ping => send(writer, &Response::Pong, metrics),
         Request::Stats => {
@@ -578,6 +661,19 @@ fn handle_request(
         }
         Request::Describe => {
             send(writer, &Response::Describe(model.describe()), metrics);
+        }
+        Request::SwapImage(req) => {
+            // Runs on this control connection's thread: the expensive
+            // load/prepack never touches the bank workers, and a failed
+            // swap leaves the old model serving.
+            let resp = match do_swap(shared, metrics, &req.path) {
+                Ok(done) => Response::SwapDone(done),
+                Err(why) => {
+                    metrics.protocol_errors.inc();
+                    Response::Error(why)
+                }
+            };
+            send(writer, &resp, metrics);
         }
         Request::Partial(req) => {
             // Deterministic (chunk-addressed noise) and small, so it runs
@@ -687,6 +783,99 @@ fn handle_request(
     }
 }
 
+/// Longest the swap path waits for in-flight batches to drain before
+/// flipping anyway. The wait is a residency bound, not a correctness
+/// gate — every batch snapshots its model once, so batches that outlive
+/// the wait simply finish on the old image.
+const SWAP_DRAIN_WAIT: Duration = Duration::from_secs(5);
+
+/// Poll interval of the swap drain wait.
+const SWAP_DRAIN_POLL: Duration = Duration::from_millis(1);
+
+/// The hot-swap sequence, shared by [`Request::SwapImage`] and
+/// [`ServerHandle::swap_model`]:
+///
+/// 1. **Load + prepack off the hot path** — `ServeModel::from_image` on
+///    the calling thread; serving continues on the old model throughout.
+/// 2. **Validate** — the new image must keep the input/output shape and
+///    shard cut (clients validated against the old shape must stay
+///    well-formed); any failure returns `Err` with nothing changed.
+/// 3. **Drain, best-effort** — wait up to [`SWAP_DRAIN_WAIT`] for the
+///    banks to go idle, bounding how long the old image lingers.
+/// 4. **Flip** — swap the `Arc` under the write lock; the hold time is
+///    the reported `pause_us`. Prepacked per-bank state rides inside the
+///    `ServeModel`, so stale plane caches are impossible by construction.
+/// 5. **Announce** — bump `serve.swaps_total` / `serve.image_version`,
+///    retarget the energy gauge, and offer a `serve.swap` span to the
+///    flight recorder (force-sampled: swaps are always notable).
+fn do_swap(shared: &Shared, metrics: &Metrics, path: &str) -> Result<SwapDoneReply, String> {
+    let t_all = Instant::now();
+    let old = shared.slot.current();
+    let new_model = ServeModel::from_image(path, None).map_err(|e| format!("swap {path}: {e}"))?;
+    if new_model.input_features() != old.input_features() || new_model.classes() != old.classes() {
+        return Err(format!(
+            "swap {path}: shape mismatch — serving {}→{}, image is {}→{}",
+            old.input_features(),
+            old.classes(),
+            new_model.input_features(),
+            new_model.classes()
+        ));
+    }
+    let old_cut = old.shard().map(|s| (s.index, s.count));
+    let new_cut = new_model.shard().map(|s| (s.index, s.count));
+    if old_cut != new_cut {
+        return Err(format!(
+            "swap {path}: shard cut mismatch — serving {old_cut:?}, image is {new_cut:?}"
+        ));
+    }
+
+    let drain_deadline = Instant::now() + SWAP_DRAIN_WAIT;
+    while shared.probe.in_flight() > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(SWAP_DRAIN_POLL);
+    }
+
+    let new_model = Arc::new(new_model);
+    let digest = new_model.digest();
+    let energy_pj = new_model.energy_per_inference_pj();
+    let t_flip = Instant::now();
+    let pause_us = {
+        let mut w = shared
+            .slot
+            .model
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        *w = new_model;
+        t_flip.elapsed().as_micros() as u64
+    };
+    let version = shared.slot.version.fetch_add(1, Ordering::AcqRel) + 1;
+    metrics.swaps_total.inc();
+    metrics.image_version.set(version as f64);
+    metrics.energy_per_inference_pj.set(energy_pj as f64);
+
+    let total_us = t_all.elapsed().as_micros() as u64;
+    imc_obs::recorder().offer(imc_obs::TraceRec {
+        trace_id: imc_obs::next_span_id(),
+        sampled: true, // a swap is always worth keeping
+        spans: vec![imc_obs::SpanRec {
+            span_id: imc_obs::next_span_id(),
+            parent_span: 0,
+            name: "serve.swap",
+            service: "serve",
+            start_unix_us: imc_obs::unix_us().saturating_sub(total_us),
+            dur_us: total_us,
+            status: imc_obs::SpanStatus::Ok,
+            energy_pj: 0,
+            detail: format!("version={version} digest={digest:#018x} pause_us={pause_us}"),
+        }],
+    });
+
+    Ok(SwapDoneReply {
+        version,
+        digest,
+        pause_us,
+    })
+}
+
 /// Reads frames off one connection until EOF, error, shutdown, or a
 /// frame-deadline drop. The first four bytes decide the framing: the
 /// `BIN1` magic selects the binary protocol (version byte, then an
@@ -696,7 +885,7 @@ fn connection_loop(
     stream: TcpStream,
     queue: &AdmissionQueue<Conn>,
     metrics: &Metrics,
-    model: &ServeModel,
+    shared: &Shared,
     shutdown: &ShutdownFlag,
     cfg: &ServeConfig,
 ) {
@@ -787,7 +976,7 @@ fn connection_loop(
             "Connections negotiated onto the BIN1 binary protocol"
         )
         .inc();
-        bin_loop(&mut reader, &writer, queue, metrics, model, shutdown, cfg);
+        bin_loop(&mut reader, &writer, queue, metrics, shared, shutdown, cfg);
     } else {
         imc_obs::counter!(
             "imc_serve_json_connections_total",
@@ -801,7 +990,7 @@ fn connection_loop(
             frame_deadline,
             queue,
             metrics,
-            model,
+            shared,
             shutdown,
             cfg,
         );
@@ -818,7 +1007,7 @@ fn json_loop(
     first_deadline: Option<Instant>,
     queue: &AdmissionQueue<Conn>,
     metrics: &Metrics,
-    model: &ServeModel,
+    shared: &Shared,
     shutdown: &ShutdownFlag,
     cfg: &ServeConfig,
 ) {
@@ -872,7 +1061,7 @@ fn json_loop(
                 continue;
             }
         };
-        handle_request(request, writer, queue, metrics, model, shutdown);
+        handle_request(request, writer, queue, metrics, shared, shutdown);
     }
 }
 
@@ -884,7 +1073,7 @@ fn bin_loop(
     writer: &Conn,
     queue: &AdmissionQueue<Conn>,
     metrics: &Metrics,
-    model: &ServeModel,
+    shared: &Shared,
     shutdown: &ShutdownFlag,
     cfg: &ServeConfig,
 ) {
@@ -951,7 +1140,7 @@ fn bin_loop(
             }
         };
         let took_spare = matches!(request, Request::Infer(_));
-        handle_request(request, writer, queue, metrics, model, shutdown);
+        handle_request(request, writer, queue, metrics, shared, shutdown);
         if took_spare {
             spare = pool_take();
         }
@@ -973,21 +1162,12 @@ fn duration_opt(d: Duration) -> Option<Duration> {
 /// NaN-is-lowest rule keeps "any real logit beats a NaN". Ties keep the
 /// **last** maximal index, matching the `Iterator::max_by` call this
 /// replaces, so classes on finite rows are bit-for-bit unchanged.
+///
+/// The implementation lives in `neural::imc_exec` so the compile predict
+/// pass scores with the exact same rule the server classifies with.
 #[must_use]
 pub fn argmax_total(row: &[f32]) -> usize {
-    let mut best = 0usize;
-    for (j, v) in row.iter().enumerate().skip(1) {
-        let cur = row[best];
-        let better = if v.is_nan() {
-            false // NaN never beats anything (all-NaN rows keep index 0)
-        } else {
-            cur.is_nan() || *v >= cur // any non-NaN beats NaN; ties → last
-        };
-        if better {
-            best = j;
-        }
-    }
-    best
+    neural::imc_exec::argmax_total(row)
 }
 
 /// Offers a one-span [`imc_obs::TraceRec`] under `ctx` — the shape every

@@ -82,7 +82,8 @@ use imc_obs::TraceContext;
 
 use crate::protocol::{
     BankStats, BusyReply, DescribeReply, FailedReply, InferReply, InferRequest, LatencySummary,
-    PartialRequest, PartialSumReply, Request, Response, ShedReply, StatsReply, MAX_FRAME_BYTES,
+    PartialRequest, PartialSumReply, Request, Response, ShedReply, StatsReply, SwapDoneReply,
+    SwapRequest, MAX_FRAME_BYTES,
 };
 
 /// The 4-byte connection magic a binary client leads with.
@@ -185,6 +186,7 @@ const K_PING: u8 = 0x03;
 const K_SHUTDOWN: u8 = 0x04;
 const K_PARTIAL: u8 = 0x05;
 const K_DESCRIBE: u8 = 0x06;
+const K_SWAP: u8 = 0x07;
 // Response kinds (high bit set).
 const K_OUTPUT: u8 = 0x81;
 const K_SHED: u8 = 0x82;
@@ -196,6 +198,7 @@ const K_BUSY: u8 = 0x87;
 const K_FAILED: u8 = 0x88;
 const K_PARTIAL_SUM: u8 = 0x89;
 const K_DESCRIBE_REPLY: u8 = 0x8A;
+const K_SWAP_DONE: u8 = 0x8B;
 
 // --- encoding ------------------------------------------------------------
 
@@ -296,6 +299,10 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             }
         }
         Request::Describe => begin_frame(buf, K_DESCRIBE),
+        Request::SwapImage(r) => {
+            begin_frame(buf, K_SWAP);
+            put_str(buf, &r.path);
+        }
     }
     end_frame(buf);
 }
@@ -370,6 +377,12 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
             put_usize(buf, d.shard_count);
             put_usize(buf, d.features);
             put_usize(buf, d.classes);
+        }
+        Response::SwapDone(r) => {
+            begin_frame(buf, K_SWAP_DONE);
+            put_u64(buf, r.version);
+            put_u64(buf, r.digest);
+            put_u64(buf, r.pause_us);
         }
     }
     end_frame(buf);
@@ -535,6 +548,7 @@ pub fn decode_request_reusing(body: &[u8], spare: &mut Vec<f32>) -> Result<Reque
             trace: c.maybe_ctx(),
         }),
         K_DESCRIBE => Request::Describe,
+        K_SWAP => Request::SwapImage(SwapRequest { path: c.string()? }),
         k => return Err(WireError::UnknownKind(k)),
     };
     // Tolerate (and discard) a trace-context block on kinds that do not
@@ -621,6 +635,11 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             shard_count: c.usize()?,
             features: c.usize()?,
             classes: c.usize()?,
+        }),
+        K_SWAP_DONE => Response::SwapDone(SwapDoneReply {
+            version: c.u64()?,
+            digest: c.u64()?,
+            pause_us: c.u64()?,
         }),
         k => return Err(WireError::UnknownKind(k)),
     };
@@ -830,6 +849,9 @@ mod tests {
                 }),
             }),
             Request::Describe,
+            Request::SwapImage(SwapRequest {
+                path: "/models/mnist.v2.chip.json".into(),
+            }),
         ]
     }
 
@@ -909,6 +931,11 @@ mod tests {
                 shard_count: 4,
                 features: 784,
                 classes: 10,
+            }),
+            Response::SwapDone(SwapDoneReply {
+                version: 2,
+                digest: 0x0123_4567_89AB_CDEF,
+                pause_us: 91,
             }),
         ]
     }

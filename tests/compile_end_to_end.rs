@@ -7,12 +7,13 @@
 use std::sync::Arc;
 
 use imc_compile::image::{ChipImage, MlpArch};
-use imc_compile::pipeline::{argmax, compile, probe_inputs, CompileOptions};
+use imc_compile::pipeline::{compile, probe_inputs, CompileOptions};
 use imc_compile::wear::WearLedger;
 use imc_core::faults::FaultModel;
 use imc_serve::model::ServeModel;
 use imc_serve::protocol::Response;
 use imc_serve::{serve, Client, ServeConfig};
+use neural::imc_exec::argmax_total;
 use neural::imc_exec::ImcDesign;
 
 /// A small-but-typical compile: two-layer MLP on ChgFe with a
@@ -120,15 +121,15 @@ fn remapping_strictly_beats_raw_faults_on_the_same_seed() {
     assert!(with_remap.image.manifest.faults.remap_enabled);
     assert!(!without.image.manifest.faults.remap_enabled);
 
-    let a_with = with_remap.image.manifest.oracle_agreement;
-    let a_raw = without.image.manifest.oracle_agreement;
+    let a_with = with_remap.image.manifest.oracle_agreement.unwrap();
+    let a_raw = without.image.manifest.oracle_agreement.unwrap();
     assert!(
         a_with > a_raw,
         "remapping must strictly improve probe agreement: with={a_with} raw={a_raw}"
     );
     assert!(
-        with_remap.image.manifest.expected_accuracy_delta
-            < without.image.manifest.expected_accuracy_delta
+        with_remap.image.manifest.expected_accuracy_delta.unwrap()
+            < without.image.manifest.expected_accuracy_delta.unwrap()
     );
     // And the remap did real work on this seed.
     let f = &with_remap.image.manifest.faults;
@@ -154,9 +155,11 @@ fn manifest_argmax_agrees_with_direct_execution() {
     for (i, p) in probes.iter().enumerate() {
         let x = neural::tensor::Tensor::from_vec(&[1, 48], p.clone());
         let logits = net.forward(&x).data().to_vec();
+        // The NaN-safe ties-last rule the server classifies with — the
+        // manifest and `imc-serve` can never disagree on a class now.
         assert_eq!(
-            argmax(&logits),
-            argmax(&out.image.manifest.predicted_logits[i]),
+            argmax_total(&logits),
+            argmax_total(&out.image.manifest.predicted_logits[i]),
             "probe {i}"
         );
     }
